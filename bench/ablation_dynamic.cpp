@@ -1,0 +1,113 @@
+// Ablation: static Pcont bands vs the predictive-constraint extension
+// (paper §2.1: "dynamic constraints as in [4] and [14] may also be
+// considered").
+//
+// Workload: a regulator-style signal that idles, ramps at up to 100 units
+// per sample, and holds — the profile that forces a static random-class
+// band to rmax >= 100.  For every bit position we replay the trace with a
+// periodically re-injected bit-flip and ask which mechanism reports at
+// least once.  The static band is blind below its rate bound; the
+// predictive window stays tight whenever the signal is locally steady.
+#include <cstdio>
+#include <vector>
+
+#include "core/easel.hpp"
+#include "util/rng.hpp"
+
+using namespace easel;
+using core::sig_t;
+
+namespace {
+
+std::vector<sig_t> make_profile(util::Rng rng) {
+  std::vector<sig_t> profile;
+  sig_t level = 2000;
+  const auto hold = [&](int n) {
+    for (int k = 0; k < n; ++k) {
+      level += static_cast<sig_t>(rng.uniform_i64(-3, 3));
+      profile.push_back(level);
+    }
+  };
+  const auto ramp = [&](sig_t target) {
+    while (level != target) {
+      const sig_t step = static_cast<sig_t>(rng.uniform_i64(60, 100));
+      level += level < target ? std::min(step, static_cast<sig_t>(target - level))
+                              : -std::min(step, static_cast<sig_t>(level - target));
+      profile.push_back(level);
+    }
+  };
+  hold(300);
+  ramp(6500);
+  hold(500);
+  ramp(3000);
+  hold(700);
+  ramp(7500);
+  hold(400);
+  return profile;
+}
+
+struct Outcome {
+  bool detected = false;
+  int false_alarms = 0;
+};
+
+template <typename CheckFn>
+Outcome replay(const std::vector<sig_t>& profile, unsigned bit, CheckFn&& check) {
+  Outcome outcome;
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    sig_t s = profile[k];
+    if (bit < 16 && (k / 20) % 2 == 1) s ^= 1 << bit;  // 20-sample injection cadence
+    if (!check(s)) {
+      if (bit < 16) {
+        outcome.detected = true;
+      } else {
+        ++outcome.false_alarms;  // clean replay: any report is a false alarm
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<sig_t> profile = make_profile(util::Rng{2024});
+
+  const core::ContinuousParams static_params{.smax = 8000, .smin = 0, .rmin_incr = 0,
+                                             .rmax_incr = 110, .rmin_decr = 0,
+                                             .rmax_decr = 110, .wrap = false};
+  const core::PredictiveParams dynamic_params{.smax = 8000, .smin = 0, .base_tolerance = 10,
+                                              .slack_num = 1, .slack_den = 2,
+                                              .ema_shift = 2};
+
+  const auto static_outcome = [&](unsigned bit) {
+    core::ContinuousMonitor monitor{core::SignalClass::continuous_random, static_params};
+    core::MonitorState state;
+    return replay(profile, bit, [&](sig_t s) { return monitor.check(s, state).ok; });
+  };
+  const auto dynamic_outcome = [&](unsigned bit) {
+    const core::PredictiveAssertion assertion{dynamic_params};
+    core::TrendState state;
+    return replay(profile, bit, [&](sig_t s) { return assertion.check(s, state).ok; });
+  };
+
+  std::printf("Static Co/Ra band (rmax 110) vs predictive window on a %zu-sample profile\n",
+              profile.size());
+  std::printf("(clean-replay false alarms: static %d, predictive %d — must both be 0)\n\n",
+              static_outcome(16).false_alarms, dynamic_outcome(16).false_alarms);
+
+  std::printf("%4s %10s %12s\n", "bit", "static", "predictive");
+  int static_detected = 0, dynamic_detected = 0;
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    const bool st = static_outcome(bit).detected;
+    const bool dy = dynamic_outcome(bit).detected;
+    static_detected += st ? 1 : 0;
+    dynamic_detected += dy ? 1 : 0;
+    std::printf("%4u %10s %12s\n", bit, st ? "detected" : "-", dy ? "detected" : "-");
+  }
+  std::printf("\ndetected bits: static %d/16, predictive %d/16\n", static_detected,
+              dynamic_detected);
+  std::printf("(the predictive window should add several low-order bits at zero false "
+              "alarms)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: sensitivity to the injection period.  The paper injects every
+// 20 ms ("errors may have been injected during the execution of the
+// executable assertions"); this harness sweeps the period to show how the
+// intermittent-error rate shifts detection probability and latency.
+//
+// Options as in the campaign harnesses (default here: 5 test cases, bits
+// 2/9/13 of SetValue, pulscnt and OutValue).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/estimator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easel;
+  fi::CampaignOptions options = bench::parse_options(argc, argv);
+  if (options.test_case_count == 25) options.test_case_count = 5;  // lighter default
+  const auto cases = fi::campaign_test_cases(options);
+  const auto errors = fi::make_e1_for_target();
+
+  const arrestor::MonitoredSignal signals[] = {arrestor::MonitoredSignal::set_value,
+                                               arrestor::MonitoredSignal::pulscnt,
+                                               arrestor::MonitoredSignal::out_value};
+  const unsigned bits[] = {2, 9, 13};
+
+  std::printf("Injection-period ablation (3 signals x 3 bits x %zu cases per point):\n\n",
+              cases.size());
+  std::printf("%12s %10s %10s %12s %12s\n", "period [ms]", "P(d) %", "fail %", "avg lat ms",
+              "max lat ms");
+
+  for (const std::uint32_t period : {5u, 20u, 100u, 500u, 2000u}) {
+    stats::Proportion detected, failed;
+    stats::LatencyStats latency;
+    for (const auto signal : signals) {
+      for (const unsigned bit : bits) {
+        for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+          fi::RunConfig config;
+          config.test_case = cases[ci];
+          config.error = errors[static_cast<std::size_t>(signal) * 16 + bit];
+          config.injection_period_ms = period;
+          config.observation_ms = options.observation_ms;
+          config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+          const fi::RunResult r = fi::run_experiment(config);
+          detected.add(r.detected);
+          failed.add(r.failed);
+          if (r.detected) latency.add(r.latency_ms);
+        }
+      }
+    }
+    std::printf("%12u %10.1f %10.1f %12.0f %12llu\n", period, 100.0 * detected.point(),
+                100.0 * failed.point(), latency.average(),
+                static_cast<unsigned long long>(latency.max()));
+  }
+  std::printf("\n(rarer injections -> fewer chances per window: lower P(d), longer latency)\n");
+  return 0;
+}

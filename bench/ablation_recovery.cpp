@@ -1,0 +1,57 @@
+// Ablation: what does recovery buy?  The paper evaluates detection only
+// (§2: recovery "may be invoked"); this harness runs an E1 subset under
+// each recovery policy and compares failure rates — the fraction of runs
+// that violate the arrestment constraints — with detection held identical.
+//
+// Options as in the campaign harnesses (default here: 5 test cases, bits
+// 3/7/11/14 of every signal).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/estimator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easel;
+  fi::CampaignOptions options = bench::parse_options(argc, argv);
+  if (options.test_case_count == 25) options.test_case_count = 5;  // lighter default
+  const auto cases = fi::campaign_test_cases(options);
+  const auto errors = fi::make_e1_for_target();
+  const unsigned bits[] = {3, 7, 11, 14};
+
+  std::printf("Recovery ablation over %zu signals x 4 bits x %zu cases:\n\n",
+              static_cast<std::size_t>(arrestor::kMonitoredSignalCount), cases.size());
+  std::printf("%-18s %10s %10s %12s %12s\n", "policy", "P(d) %", "fail %", "avg lat ms",
+              "overrun %");
+
+  for (const auto policy :
+       {core::RecoveryPolicy::none, core::RecoveryPolicy::hold_previous,
+        core::RecoveryPolicy::clamp_to_bounds, core::RecoveryPolicy::rate_limit}) {
+    stats::Proportion detected, failed, overrun;
+    stats::LatencyStats latency;
+    for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+      for (const unsigned bit : bits) {
+        for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+          fi::RunConfig config;
+          config.test_case = cases[ci];
+          config.error = errors[s * 16 + bit];
+          config.recovery = policy;
+          config.observation_ms = options.observation_ms;
+          config.injection_period_ms = options.injection_period_ms;
+          config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+          const fi::RunResult r = fi::run_experiment(config);
+          detected.add(r.detected);
+          failed.add(r.failed);
+          overrun.add(r.failure == arrestor::FailureKind::overrun);
+          if (r.detected) latency.add(r.latency_ms);
+        }
+      }
+    }
+    std::printf("%-18s %10.1f %10.1f %12.0f %12.1f\n",
+                std::string{core::to_string(policy)}.c_str(), 100.0 * detected.point(),
+                100.0 * failed.point(), latency.average(), 100.0 * overrun.point());
+  }
+  std::printf(
+      "\n(hold-previous cuts the failure rate at identical detection; clamp-to-bounds can\n"
+      " make things WORSE — it legalises an erroneous extreme instead of discarding it)\n");
+  return 0;
+}

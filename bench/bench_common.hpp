@@ -1,0 +1,62 @@
+// Shared option handling for the campaign harnesses.
+//
+// Every campaign bench runs at full paper scale by default and accepts:
+//   --cases N       test cases per error (default 25, the 5x5 grid)
+//   --obs-ms N      observation window (default 40000)
+//   --seed N        campaign master seed (default 2000)
+//   --quick         shorthand for --cases 2 --obs-ms 12000 (smoke-test scale)
+//
+// The EASEL_QUICK environment variable (any non-empty value) also enables
+// quick mode, so "for b in build/bench/*; do $b; done" can be scaled from
+// the outside.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fi/campaign.hpp"
+
+namespace bench {
+
+inline easel::fi::CampaignOptions parse_options(int argc, char** argv) {
+  easel::fi::CampaignOptions options;
+  const auto quick = [&options] {
+    options.test_case_count = 2;
+    options.observation_ms = 12000;
+  };
+  if (const char* env = std::getenv("EASEL_QUICK"); env != nullptr && env[0] != '\0') quick();
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    if (is("--quick")) {
+      quick();
+    } else if (is("--cases") && i + 1 < argc) {
+      options.test_case_count = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (is("--obs-ms") && i + 1 < argc) {
+      options.observation_ms = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (is("--seed") && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (supported: --quick --cases N --obs-ms N --seed N)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  options.progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  };
+  return options;
+}
+
+/// Cache file shared by the table-7 and table-8 harnesses.
+inline std::string e1_cache_path() {
+  if (const char* env = std::getenv("EASEL_E1_CACHE"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "easel_e1_results.cache";
+}
+
+}  // namespace bench

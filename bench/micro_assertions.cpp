@@ -1,0 +1,100 @@
+// Microbenchmarks: the CPU cost of the mechanisms themselves.  The paper
+// positions executable assertions as a low-cost technique; these numbers
+// quantify "low": single-digit nanoseconds per continuous test, and a
+// small relative overhead on a full node tick.
+#include <benchmark/benchmark.h>
+
+#include "arrestor/master_node.hpp"
+#include "arrestor/slave_node.hpp"
+#include "core/channel.hpp"
+#include "fi/experiment.hpp"
+#include "sim/environment.hpp"
+
+using namespace easel;
+
+namespace {
+
+void BM_ContinuousAssertion_InBand(benchmark::State& state) {
+  const core::ContinuousAssertion assertion{core::ContinuousParams{
+      .smax = 9000, .smin = 0, .rmin_incr = 0, .rmax_incr = 128, .rmin_decr = 0,
+      .rmax_decr = 128, .wrap = false}};
+  core::sig_t s = 4000;
+  for (auto _ : state) {
+    s = s == 4000 ? 4050 : 4000;
+    benchmark::DoNotOptimize(assertion.check(s, 4000));
+  }
+}
+BENCHMARK(BM_ContinuousAssertion_InBand);
+
+void BM_ContinuousAssertion_Wrap(benchmark::State& state) {
+  const core::ContinuousAssertion assertion{core::ContinuousParams{
+      .smax = 1000, .smin = 0, .rmin_incr = 50, .rmax_incr = 50, .rmin_decr = 0,
+      .rmax_decr = 0, .wrap = true}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assertion.check(24, 975));  // wrapped increase
+  }
+}
+BENCHMARK(BM_ContinuousAssertion_Wrap);
+
+void BM_DiscreteAssertion(benchmark::State& state) {
+  const core::DiscreteAssertion assertion{core::make_linear_cycle({0, 1, 2, 3, 4, 5, 6}),
+                                          true};
+  core::sig_t s = 0;
+  for (auto _ : state) {
+    const core::sig_t next = s == 6 ? 0 : s + 1;
+    benchmark::DoNotOptimize(assertion.check(next, s));
+    s = next;
+  }
+}
+BENCHMARK(BM_DiscreteAssertion);
+
+void BM_Channel_Test(benchmark::State& state) {
+  auto channel = core::Channel::continuous(
+      "bench", core::SignalClass::continuous_random,
+      {.smax = 10000, .smin = 0, .rmin_incr = 0, .rmax_incr = 100, .rmin_decr = 0,
+       .rmax_decr = 100, .wrap = false});
+  core::sig_t s = 5000;
+  for (auto _ : state) {
+    s = s == 5000 ? 5050 : 5000;
+    benchmark::DoNotOptimize(channel.test(s));
+  }
+}
+BENCHMARK(BM_Channel_Test);
+
+/// One node tick with the given assertion mask (overhead ablation: the
+/// difference between mask 0x7f and 0x00 is the whole mechanism cost).
+void node_tick(benchmark::State& state, arrestor::EaMask mask) {
+  sim::Environment env{sim::TestCase{14000.0, 60.0}, util::Rng{1}};
+  core::DetectionBus bus;
+  arrestor::MasterNode master{env, bus, mask};
+  arrestor::SlaveNode slave{env};
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    bus.set_time_ms(now++);
+    master.tick();
+    slave.tick();
+    env.step_1ms();
+  }
+}
+
+void BM_NodeTick_NoAssertions(benchmark::State& state) {
+  node_tick(state, arrestor::kNoAssertions);
+}
+BENCHMARK(BM_NodeTick_NoAssertions);
+
+void BM_NodeTick_AllAssertions(benchmark::State& state) {
+  node_tick(state, arrestor::kAllAssertions);
+}
+BENCHMARK(BM_NodeTick_AllAssertions);
+
+void BM_FullRun_Golden(benchmark::State& state) {
+  fi::RunConfig config;
+  config.test_case = {14000.0, 60.0};
+  config.observation_ms = 10000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::run_experiment(config));
+  }
+}
+BENCHMARK(BM_FullRun_Golden)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Regenerates paper Table 4 (the classification of the monitored signals
+// and the assertion placement, Figure 6) from the placement-process data
+// model, and prints the memory-map facts the E2 campaign depends on.
+#include <cstdio>
+
+#include "arrestor/assertions.hpp"
+#include "arrestor/inventory.hpp"
+#include "fi/experiment.hpp"
+
+int main() {
+  using namespace easel;
+
+  const core::SignalInventory inventory = arrestor::build_inventory();
+  std::printf("Table 4. Classification of the signals.\n%s\n",
+              inventory.render_table4().c_str());
+
+  std::printf("Signal pathways (placement process, step 2):\n");
+  for (const auto& pathway : inventory.pathways()) {
+    std::printf("  %-24s:", pathway.name.c_str());
+    for (const auto& signal : pathway.signals) std::printf(" -> %s", signal.c_str());
+    std::printf("\n");
+  }
+
+  const auto unfinished = inventory.unfinished();
+  std::printf("\nPlacement process steps 1-7: %s\n",
+              unfinished.empty() ? "complete" : "INCOMPLETE");
+  for (const auto& item : unfinished) std::printf("  missing: %s\n", item.c_str());
+
+  std::printf("\nSignals identified: %zu total, %zu service-critical (paper: 24 / 7)\n",
+              inventory.signals().size(), inventory.service_critical().size());
+
+  const fi::TargetInfo target = fi::probe_target();
+  std::printf("\nMaster-node memory image: %zu B application RAM (%zu B allocated, %zu B "
+              "headroom), %zu B stack\n",
+              target.ram_bytes, target.ram_bytes_allocated,
+              target.ram_bytes - target.ram_bytes_allocated, target.stack_bytes);
+  std::printf("Monitored signal addresses:");
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    std::printf(" %s@%zu", arrestor::to_string(static_cast<arrestor::MonitoredSignal>(s)),
+                target.signal_addresses[s]);
+  }
+  std::printf("\n\nStep-6 parameter sets (ROM):\n");
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(s);
+    if (signal == arrestor::MonitoredSignal::ms_slot_nbr) {
+      std::printf("  EA%u %-11s Pdisc: D = {0..6}, T(d) = {(d+1) mod 7}\n",
+                  arrestor::ea_number(signal), arrestor::to_string(signal));
+      continue;
+    }
+    const auto p = arrestor::rom_continuous_params(signal);
+    std::printf("  EA%u %-11s Pcont: smin=%d smax=%d r_incr=[%d,%d] r_decr=[%d,%d] wrap=%s\n",
+                arrestor::ea_number(signal), arrestor::to_string(signal), p.smin, p.smax,
+                p.rmin_incr, p.rmax_incr, p.rmin_decr, p.rmax_decr, p.wrap ? "yes" : "no");
+  }
+  return 0;
+}

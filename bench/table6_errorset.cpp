@@ -1,0 +1,23 @@
+// Regenerates paper Table 6: the composition of error set E1 (112 bit-flip
+// errors over the seven monitored signals), plus a sample of the E2 random
+// error set for inspection.
+#include <cstdio>
+
+#include "fi/report.hpp"
+
+int main() {
+  using namespace easel;
+  std::printf("%s\n", fi::render_table6().c_str());
+
+  const auto e2 = fi::make_e2_for_target(util::Rng{2000}.derive("e2-errors"));
+  std::size_t ram = 0, stack = 0;
+  for (const auto& error : e2) (error.region == mem::Region::ram ? ram : stack) += 1;
+  std::printf("Error set E2: %zu errors (%zu RAM, %zu stack), uniform with replacement.\n",
+              e2.size(), ram, stack);
+  std::printf("First ten: ");
+  for (std::size_t k = 0; k < 10 && k < e2.size(); ++k) {
+    std::printf("%s=(%zu,%u) ", e2[k].label.c_str(), e2[k].address, e2[k].bit);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Regenerates paper Table 7: error-detection probabilities per injected
+// signal x executable-assertion version, with 95 % confidence intervals,
+// from the full E1 campaign (8 versions x 112 errors x 25 test cases =
+// 22 400 runs at default scale).
+//
+// The campaign results are cached on disk so bench_table8_e1_latency (a
+// second view of the same runs) does not have to repeat them.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fi/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace easel;
+  const fi::CampaignOptions options = bench::parse_options(argc, argv);
+  const std::string key = fi::campaign_key(options);
+  const std::string cache = bench::e1_cache_path();
+
+  fi::E1Results results;
+  if (const auto cached = fi::load_e1(cache, key)) {
+    std::fprintf(stderr, "using cached E1 campaign from %s\n", cache.c_str());
+    results = *cached;
+  } else {
+    std::fprintf(stderr,
+                 "running E1 campaign: 8 versions x 112 errors x %zu cases, %u-ms window\n",
+                 options.test_case_count, options.observation_ms);
+    results = fi::run_e1(options);
+    save_e1(results, cache, key);
+  }
+
+  std::printf("%s\n", fi::render_table7(results).c_str());
+  std::printf("%s\n", fi::render_e1_summary(results).c_str());
+  return 0;
+}

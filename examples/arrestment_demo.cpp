@@ -1,0 +1,99 @@
+// arrestment_demo — run a fault-free arrestment on the simulated target and
+// watch the control loop work.
+//
+//   ./arrestment_demo                 one arrestment (14000 kg at 60 m/s)
+//   ./arrestment_demo 8000 70         specific mass [kg] and velocity [m/s]
+//   ./arrestment_demo --sweep         the full 5x5 experiment grid, one row each
+//
+// Prints a 0.5-second trace of plant truth and the node's signal values,
+// then the failure-classifier verdict.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "arrestor/failure.hpp"
+#include "arrestor/master_node.hpp"
+#include "arrestor/slave_node.hpp"
+#include "core/detection_bus.hpp"
+#include "fi/experiment.hpp"
+#include "sim/environment.hpp"
+
+using namespace easel;
+
+namespace {
+
+void trace_run(const sim::TestCase& test_case) {
+  sim::Environment env{test_case, util::Rng{0x5eed}};
+  core::DetectionBus bus;
+  arrestor::MasterNode master{env, bus, arrestor::kAllAssertions};
+  arrestor::SlaveNode slave{env};
+  arrestor::FailureClassifier classifier{test_case};
+
+  std::printf("Arrestment: mass %.0f kg, engaging velocity %.1f m/s, Fmax %.1f kN\n",
+              test_case.mass_kg, test_case.velocity_mps, classifier.force_limit_n() / 1000.0);
+  std::printf("%8s %9s %9s %7s %6s %9s %9s %9s\n", "t[ms]", "x[m]", "v[m/s]", "a[g]", "i",
+              "SetValue", "IsValue", "OutValue");
+
+  auto& map = master.signals();
+  for (std::uint64_t now = 0; now < sim::kObservationMs; ++now) {
+    bus.set_time_ms(now);
+    master.tick();
+    slave.tick();
+    if (now % 7 == 6) {
+      slave.deliver_set_point(map.comm_tx_set_value.get(), map.comm_tx_seq.get());
+    }
+    env.step_1ms();
+    classifier.sample(env, now);
+    if (now % 500 == 0) {
+      std::printf("%8llu %9.2f %9.2f %7.3f %6u %9u %9u %9u\n",
+                  static_cast<unsigned long long>(now), env.position_m(), env.velocity_mps(),
+                  env.retardation_mps2() / sim::kGravity, map.checkpoint_i.get(),
+                  map.set_value.get(), map.is_value.get(), map.out_value.get());
+    }
+    if (classifier.stopped() && now > classifier.stop_time_ms() + 1000) break;
+  }
+
+  std::printf("\nOutcome: %s after %.1f m (peak %.2f g, peak force %.1f kN, limit %.1f kN)\n",
+              classifier.stopped() ? "stopped" : "STILL MOVING", classifier.final_position_m(),
+              classifier.peak_retardation_g(), classifier.peak_force_n() / 1000.0,
+              classifier.force_limit_n() / 1000.0);
+  std::printf("Failure classification: %s%s\n",
+              std::string{arrestor::to_string(classifier.kind())}.c_str(),
+              classifier.failed() ? "  ** FAILURE **" : "  (within limits)");
+  std::printf("Executable assertions reported %llu detection(s)%s\n\n",
+              static_cast<unsigned long long>(bus.count()),
+              bus.count() == 0 ? " — clean run" : "  ** UNEXPECTED ON A CLEAN RUN **");
+}
+
+void sweep() {
+  std::printf("%10s %9s | %9s %8s %8s %10s %10s %7s %5s\n", "mass[kg]", "v[m/s]", "stop[m]",
+              "t[s]", "peak g", "peakF[kN]", "Fmax[kN]", "fail", "det");
+  for (const auto& test_case : sim::grid_test_cases(5)) {
+    fi::RunConfig config;
+    config.test_case = test_case;
+    const fi::RunResult r = fi::run_experiment(config);
+    std::printf("%10.0f %9.1f | %9.2f %8.2f %8.3f %10.1f %10.1f %7s %5llu\n",
+                test_case.mass_kg, test_case.velocity_mps, r.final_position_m,
+                static_cast<double>(r.stop_ms) / 1000.0, r.peak_retardation_g,
+                r.peak_force_n / 1000.0,
+                arrestor::force_limits().limit_n(test_case.mass_kg, test_case.velocity_mps) /
+                    1000.0,
+                r.failed ? "FAIL" : "ok", static_cast<unsigned long long>(r.detection_count));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--sweep") == 0) {
+    sweep();
+    return 0;
+  }
+  sim::TestCase test_case{14000.0, 60.0};
+  if (argc > 2) {
+    test_case.mass_kg = std::atof(argv[1]);
+    test_case.velocity_mps = std::atof(argv[2]);
+  }
+  trace_run(test_case);
+  return 0;
+}

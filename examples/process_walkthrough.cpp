@@ -1,0 +1,97 @@
+// process_walkthrough — the paper's §2.3 eight-step placement process,
+// executed end to end for a small fictional system (a coolant loop), with
+// the SignalInventory model gating each step.
+//
+// The same artefacts for the real arresting-system target are built by
+// arrestor::build_inventory() and printed by bench_table4_signalmap.
+#include <cstdio>
+
+#include "core/easel.hpp"
+
+using namespace easel::core;
+
+namespace {
+
+void show_gaps(const SignalInventory& inv, const char* after_step) {
+  const auto gaps = inv.unfinished();
+  std::printf("after %s: %zu gap(s)\n", after_step, gaps.size());
+  for (const auto& gap : gaps) std::printf("    - %s\n", gap.c_str());
+}
+
+}  // namespace
+
+int main() {
+  SignalInventory inv;
+
+  // Step 1: identify the input and output signals of the system.
+  auto add = [&inv](const char* name, SignalRole role, const char* producer,
+                    const char* consumer) {
+    SignalDecl decl;
+    decl.name = name;
+    decl.role = role;
+    decl.producer = producer;
+    decl.consumer = consumer;
+    inv.add(std::move(decl));
+  };
+  add("temp_raw", SignalRole::input, "adc", "FILTER");
+  add("pump_cmd", SignalRole::output, "CTRL", "pump");
+  // Step 3: internally generated signals with direct influence.
+  add("temp_filt", SignalRole::intermediate, "FILTER", "CTRL");
+  add("ctrl_state", SignalRole::internal, "CTRL", "CTRL");
+  add("tick", SignalRole::internal, "TIMER", "CTRL");
+  show_gaps(inv, "steps 1+3 (signals identified)");
+
+  // Step 2: pathways from inputs through the system to outputs.
+  inv.add_pathway({"temp-to-pump", {"temp_raw", "temp_filt", "pump_cmd"}});
+  inv.add_pathway({"timebase", {"tick", "pump_cmd"}});
+  show_gaps(inv, "step 2 (pathways)");
+
+  // Step 4: FMECA verdict — which signals are service-critical.
+  inv.mark_service_critical("temp_filt");
+  inv.mark_service_critical("pump_cmd");
+  inv.mark_service_critical("ctrl_state");
+  show_gaps(inv, "step 4 (criticality)");
+
+  // Step 5: classify each critical signal (Figure 1).
+  inv.classify("temp_filt", SignalClass::continuous_random);
+  inv.classify("pump_cmd", SignalClass::continuous_random);
+  inv.classify("ctrl_state", SignalClass::discrete_sequential_nonlinear);
+  show_gaps(inv, "step 5 (classification)");
+
+  // Step 6: parameter values — and the validation that catches a mistake.
+  ContinuousParams temp_params{.smax = 1200, .smin = -400, .rmin_incr = 0, .rmax_incr = 30,
+                               .rmin_decr = 0, .rmax_decr = 30, .wrap = false};
+  ContinuousParams bad{.smax = -400, .smin = 1200};  // inverted bounds
+  const Validation oops = validate(bad, SignalClass::continuous_random);
+  std::printf("step 6: validating a mistyped Pcont -> %zu problem(s): %s\n",
+              oops.problems.size(), oops.problems.empty() ? "" : oops.problems[0].c_str());
+  inv.mark_parameters_defined("temp_filt");
+  inv.mark_parameters_defined("pump_cmd");
+  inv.mark_parameters_defined("ctrl_state");
+  show_gaps(inv, "step 6 (parameters)");
+
+  // Step 7: test locations (at the consumer of each signal).
+  inv.set_test_location("temp_filt", "CTRL");
+  inv.set_test_location("pump_cmd", "CTRL");
+  inv.set_test_location("ctrl_state", "CTRL");
+  show_gaps(inv, "step 7 (locations)");
+
+  // Step 8 may proceed only when nothing is missing: incorporate.
+  if (!inv.unfinished().empty()) {
+    std::printf("process incomplete — refusing to deploy\n");
+    return 1;
+  }
+  DetectionBus bus;
+  Channel temp = Channel::continuous("temp_filt", SignalClass::continuous_random,
+                                     temp_params);
+  temp.attach(bus);
+  std::printf("step 8: mechanisms incorporated; inventory table:\n\n%s\n",
+              inv.render_table4().c_str());
+
+  // Prove the deployment is live.
+  (void)temp.test(200);
+  (void)temp.test(1500);  // out of bounds
+  std::printf("smoke test: %llu detection(s) (expect 1)\n",
+              static_cast<unsigned long long>(bus.count()));
+  return bus.count() == 1 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// quickstart — instrument a plain control loop with executable assertions
+// in a dozen lines.
+//
+// A toy coolant controller samples a temperature and drives a pump duty
+// cycle.  Two channels monitor the signals; halfway through we corrupt the
+// temperature the way a bit-flip would and watch the detection fire.
+#include <cstdio>
+
+#include "core/channel.hpp"
+
+using namespace easel::core;
+
+int main() {
+  DetectionBus bus;
+
+  // Coolant temperature in deci-degrees: a continuous random signal that
+  // physically cannot move faster than 3 degrees per sample.
+  Channel temperature = Channel::continuous(
+      "coolant-temp", SignalClass::continuous_random,
+      ContinuousParams{.smax = 1200, .smin = -400, .rmin_incr = 0, .rmax_incr = 30,
+                       .rmin_decr = 0, .rmax_decr = 30, .wrap = false},
+      RecoveryPolicy::hold_previous);
+  temperature.attach(bus);
+
+  // Pump duty cycle in percent: random continuous, slewed by the controller.
+  Channel duty = Channel::discrete(
+      "pump-mode", SignalClass::discrete_sequential_nonlinear,
+      DiscreteParams{.domain = {0, 1, 2},
+                     .transitions = {{0, {0, 1}}, {1, {0, 1, 2}}, {2, {1, 2}}}},
+      RecoveryPolicy::hold_previous);
+  duty.attach(bus);
+
+  sig_t temp = 200;  // 20.0 C
+  sig_t mode = 0;    // off -> low -> high state machine
+  for (int step = 0; step < 40; ++step) {
+    bus.set_time_ms(static_cast<std::uint64_t>(step) * 100);
+
+    temp += (step < 20) ? 25 : -10;       // heat up, then cool
+    if (step == 25) temp ^= 1 << 12;      // injected data error (bit 12 flip)
+    if (step % 10 == 3) mode = mode == 2 ? 1 : mode + 1;
+    if (step == 33) mode = 7;             // corrupted state variable
+
+    const CheckOutcome t = temperature.test(temp);
+    const CheckOutcome m = duty.test(mode);
+    if (!t.ok) {
+      std::printf("[%4d ms] coolant-temp violation: value %d failed %s -> recovered to %d\n",
+                  step * 100, temp, std::string{to_string(t.continuous_test)}.c_str(),
+                  t.value);
+      temp = t.value;  // write the recovered value back into the signal
+    }
+    if (!m.ok) {
+      std::printf("[%4d ms] pump-mode violation: value %d failed %s -> recovered to %d\n",
+                  step * 100, mode, std::string{to_string(m.discrete_test)}.c_str(), m.value);
+      mode = m.value;
+    }
+  }
+
+  std::printf("\n%llu detection(s); first at %llu ms\n",
+              static_cast<unsigned long long>(bus.count()),
+              static_cast<unsigned long long>(bus.first_detection_ms().value_or(0)));
+  for (const auto& event : bus.events()) {
+    std::printf("  t=%5llu ms  %s  value=%d prev=%d\n",
+                static_cast<unsigned long long>(event.time_ms),
+                bus.monitor_name(event.monitor_id).c_str(), event.value, event.prev);
+  }
+  return bus.count() == 2 ? 0 : 1;  // exactly the two injected errors
+}

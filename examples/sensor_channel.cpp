@@ -1,0 +1,70 @@
+// sensor_channel — signal modes in practice (paper §2.1 "Signal modes").
+//
+// A tank-level sensor behaves differently per operating phase:
+//   mode 0 FILLING:  dynamic monotonic increasing, 0..40 units per sample
+//   mode 1 HOLDING:  random, +-2 units of slosh
+//   mode 2 DRAINING: dynamic monotonic decreasing, 0..60 units per sample
+//
+// One channel carries one parameter set per mode; the mode variable itself
+// is monitored as a discrete signal, exactly as the paper recommends
+// ("mode variables can be classified as discrete signals in themselves").
+#include <cstdio>
+
+#include "core/channel.hpp"
+
+using namespace easel::core;
+
+int main() {
+  DetectionBus bus;
+
+  Channel level = Channel::continuous_moded(
+      "tank-level", SignalClass::continuous_random,
+      {
+          // FILLING: monotonic up — expressed in the random class's grammar
+          // (decrease band zero) so the same channel can switch modes.
+          ContinuousParams{.smax = 10000, .smin = 0, .rmin_incr = 0, .rmax_incr = 40,
+                           .rmin_decr = 0, .rmax_decr = 0, .wrap = false},
+          // HOLDING: slosh only.
+          ContinuousParams{.smax = 10000, .smin = 0, .rmin_incr = 0, .rmax_incr = 2,
+                           .rmin_decr = 0, .rmax_decr = 2, .wrap = false},
+          // DRAINING: monotonic down.
+          ContinuousParams{.smax = 10000, .smin = 0, .rmin_incr = 0, .rmax_incr = 0,
+                           .rmin_decr = 0, .rmax_decr = 60, .wrap = false},
+      });
+  level.attach(bus);
+
+  Channel phase = Channel::discrete(
+      "tank-phase", SignalClass::discrete_sequential_nonlinear,
+      DiscreteParams{.domain = {0, 1, 2},
+                     .transitions = {{0, {0, 1}}, {1, {1, 2}}, {2, {2, 0}}}});
+  phase.attach(bus);
+
+  sig_t value = 0;
+  int violations = 0;
+  const auto step = [&](sig_t mode, sig_t delta, const char* note) {
+    if (!phase.test(mode).ok) ++violations, std::printf("phase violation: %s\n", note);
+    level.set_mode(static_cast<std::size_t>(mode));
+    value += delta;
+    if (!level.test(value).ok) {
+      ++violations;
+      std::printf("level violation in mode %d (%s): value %d\n", mode, note, value);
+    }
+  };
+
+  // Nominal cycle: fill, hold, drain.
+  for (int k = 0; k < 100; ++k) step(0, 35, "filling");
+  for (int k = 0; k < 50; ++k) step(1, (k % 2 == 0) ? 2 : -2, "holding");
+  for (int k = 0; k < 70; ++k) step(2, -48, "draining");
+  std::printf("nominal cycle: %d violations (expect 0)\n", violations);
+  const int nominal_violations = violations;
+
+  // A decrease while FILLING is an error the mode-specific band catches,
+  // although the HOLDING band would have passed it.
+  step(0, 35, "refill");
+  step(0, -2, "slosh during fill (error)");
+  // And a phase skip: DRAINING cannot follow FILLING directly here.
+  step(2, -10, "phase skip (error)");
+
+  std::printf("after injected anomalies: %d violations (expect 2 more)\n", violations);
+  return (nominal_violations == 0 && violations == nominal_violations + 2) ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// trace_dump — record a full-rig signal trace to CSV (stdout), optionally
+// with an injected error.  Feed the output to any plotting tool to see the
+// control loop, the corruption, and the detection unfold.
+//
+//   ./trace_dump > clean.csv
+//   ./trace_dump 14000 60 > clean.csv
+//   ./trace_dump 14000 60 0 13 > setvalue_bit13.csv   (signal 0..6, bit 0..15)
+#include <cstdio>
+#include <cstdlib>
+
+#include "fi/experiment.hpp"
+#include "fi/trace.hpp"
+
+using namespace easel;
+
+int main(int argc, char** argv) {
+  fi::RunConfig config;
+  config.test_case = {14000.0, 60.0};
+  if (argc > 2) {
+    config.test_case.mass_kg = std::atof(argv[1]);
+    config.test_case.velocity_mps = std::atof(argv[2]);
+  }
+  if (argc > 4) {
+    const auto signal = static_cast<std::size_t>(std::atoi(argv[3])) % 7;
+    const auto bit = static_cast<unsigned>(std::atoi(argv[4])) % 16;
+    config.error = fi::make_e1_for_target()[signal * 16 + bit];
+    std::fprintf(stderr, "injecting %s: %s bit %u\n", config.error->label.c_str(),
+                 arrestor::to_string(*config.error->signal), bit);
+  }
+  config.observation_ms = 20000;
+
+  fi::TraceRecorder recorder{10};
+  config.trace = &recorder;
+  const fi::RunResult result = fi::run_experiment(config);
+
+  std::fprintf(stderr,
+               "run: %s%s stop=%.1fm peak=%.2fg detections=%llu first=%llums\n",
+               result.detected ? "detected " : "",
+               result.failed ? "FAILED" : "within-limits", result.final_position_m,
+               result.peak_retardation_g,
+               static_cast<unsigned long long>(result.detection_count),
+               static_cast<unsigned long long>(result.first_detection_ms));
+  std::fputs(recorder.to_csv().c_str(), stdout);
+  return 0;
+}

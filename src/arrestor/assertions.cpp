@@ -1,0 +1,152 @@
+#include "arrestor/assertions.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace easel::arrestor {
+
+core::ContinuousParams rom_continuous_params(MonitoredSignal signal) {
+  using core::ContinuousParams;
+  switch (signal) {
+    case MonitoredSignal::set_value:
+      // The control program slews the set point by <= 16 pu/ms and V_REG
+      // tests it every 7 ms, so 7*16 = 112 pu is the legitimate worst case;
+      // the program never commands beyond kSetValueMaxPu.
+      return ContinuousParams{.smax = 9000, .smin = 0, .rmin_incr = 0, .rmax_incr = 128,
+                              .rmin_decr = 0, .rmax_decr = 128, .wrap = false};
+    case MonitoredSignal::is_value:
+      // Applied pressure follows the valve's 100-ms lag toward a slewed
+      // command, bounded well under 256 pu per 7-ms frame, plus sensor
+      // dither; small overshoot above the program clamp is physical.
+      return ContinuousParams{.smax = 9500, .smin = 0, .rmin_incr = 0, .rmax_incr = 256,
+                              .rmin_decr = 0, .rmax_decr = 256, .wrap = false};
+    case MonitoredSignal::checkpoint:
+      // The checkpoint counter climbs 0..6, one step per crossing.
+      return ContinuousParams{.smax = 6, .smin = 0, .rmin_incr = 0, .rmax_incr = 1,
+                              .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+    case MonitoredSignal::pulscnt:
+      // 1-cm pulses at <= ~90 m/s: at most 9 pulses per 1-ms test; 12 with
+      // margin.  35000 pulses = 350 m, past the end of any runway.
+      return ContinuousParams{.smax = 35000, .smin = 0, .rmin_incr = 0, .rmax_incr = 12,
+                              .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+    case MonitoredSignal::mscnt:
+      // The millisecond clock: exactly +1 per 1-ms test (static rate).
+      return ContinuousParams{.smax = 50000, .smin = 0, .rmin_incr = 1, .rmax_incr = 1,
+                              .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+    case MonitoredSignal::out_value:
+      // The regulator output is the least constrained signal: feedforward
+      // plus correction may legitimately traverse a large share of the DAC
+      // range on worst-case error transients, so its band is analysis-
+      // derived, not trace-derived (and correspondingly weak — paper §5.1).
+      return ContinuousParams{.smax = 20000, .smin = 0, .rmin_incr = 0, .rmax_incr = 8192,
+                              .rmin_decr = 0, .rmax_decr = 8192, .wrap = false};
+    case MonitoredSignal::ms_slot_nbr:
+      break;
+  }
+  throw std::invalid_argument{"ms_slot_nbr is a discrete signal; use rom_slot_params()"};
+}
+
+core::ContinuousParams rom_precharge_params(MonitoredSignal signal) {
+  using core::ContinuousParams;
+  switch (signal) {
+    case MonitoredSignal::set_value:
+      // Pre-charge: the program commands at most kPrechargePu (1000 pu).
+      return ContinuousParams{.smax = 1200, .smin = 0, .rmin_incr = 0, .rmax_incr = 128,
+                              .rmin_decr = 0, .rmax_decr = 128, .wrap = false};
+    case MonitoredSignal::is_value:
+      // Pressure follows the pre-charge command plus lag overshoot/dither.
+      return ContinuousParams{.smax = 1500, .smin = 0, .rmin_incr = 0, .rmax_incr = 256,
+                              .rmin_decr = 0, .rmax_decr = 256, .wrap = false};
+    case MonitoredSignal::out_value:
+      // Feedforward + correction around a <= 1200-pu set point.
+      return ContinuousParams{.smax = 2500, .smin = 0, .rmin_incr = 0, .rmax_incr = 8192,
+                              .rmin_decr = 0, .rmax_decr = 8192, .wrap = false};
+    default:
+      break;
+  }
+  throw std::invalid_argument{"signal has no distinct pre-charge parameter set"};
+}
+
+core::DiscreteParams rom_slot_params() {
+  return core::make_linear_cycle({0, 1, 2, 3, 4, 5, 6});
+}
+
+core::SignalClass rom_signal_class(MonitoredSignal signal) noexcept {
+  using core::SignalClass;
+  switch (signal) {
+    case MonitoredSignal::set_value: return SignalClass::continuous_random;
+    case MonitoredSignal::is_value: return SignalClass::continuous_random;
+    case MonitoredSignal::checkpoint: return SignalClass::continuous_dynamic_monotonic;
+    case MonitoredSignal::pulscnt: return SignalClass::continuous_dynamic_monotonic;
+    case MonitoredSignal::ms_slot_nbr: return SignalClass::discrete_sequential_linear;
+    case MonitoredSignal::mscnt: return SignalClass::continuous_static_monotonic;
+    case MonitoredSignal::out_value: return SignalClass::continuous_random;
+  }
+  return SignalClass::continuous_random;
+}
+
+AssertionBank::AssertionBank(mem::AddressSpace& space, SignalMap& map, core::DetectionBus& bus,
+                             EaMask enabled, core::RecoveryPolicy policy,
+                             bool per_mode_constraints)
+    : space_{&space}, map_{&map}, bus_{&bus}, enabled_{enabled},
+      per_mode_{per_mode_constraints} {
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    if (!this->enabled(signal)) continue;
+    if (signal == MonitoredSignal::ms_slot_nbr) {
+      slot_monitor_.emplace(rom_signal_class(signal), rom_slot_params(), policy);
+    } else if (per_mode_ && has_precharge_mode(signal)) {
+      // Mode 0: pre-charge constraints; mode 1: whole-arrestment envelope.
+      continuous_[idx].emplace(
+          rom_signal_class(signal),
+          std::vector<core::ContinuousParams>{rom_precharge_params(signal),
+                                              rom_continuous_params(signal)},
+          policy);
+    } else {
+      continuous_[idx].emplace(rom_signal_class(signal), rom_continuous_params(signal), policy);
+    }
+    bus_ids_[idx] = bus.register_monitor("EA" + std::to_string(ea_number(signal)) + "(" +
+                                         to_string(signal) + ")");
+  }
+}
+
+void AssertionBank::test(MonitoredSignal signal) {
+  const auto idx = static_cast<std::size_t>(signal);
+  if (!enabled(signal)) return;
+
+  const std::size_t addr = map_->signal_address(signal);
+  const std::uint16_t raw = space_->read_u16(addr);
+
+  MonitorStateSlot& slot = map_->monitor_state[idx];
+  core::MonitorState state;
+  state.prev = slot.prev.get();
+  state.primed = (slot.flags.get() & 1u) != 0;
+  const core::sig_t prev_before = state.prev;
+
+  // Mode selection (paper §2.1): the CALC-produced arrest_phase signal picks
+  // the parameter set.  A corrupted phase value degrades to the wide
+  // (braking) set rather than raising false alarms.
+  std::size_t mode = 0;
+  if (per_mode_ && signal != MonitoredSignal::ms_slot_nbr &&
+      continuous_[idx]->mode_count() > 1) {
+    mode = map_->arrest_phase.get() == 0 ? 0 : 1;
+  }
+
+  const core::CheckOutcome outcome =
+      signal == MonitoredSignal::ms_slot_nbr
+          ? slot_monitor_->check(raw, state)
+          : continuous_[idx]->check(raw, state, mode);
+
+  slot.prev.set(static_cast<std::uint16_t>(state.prev));
+  slot.flags.set(state.primed ? 1u : 0u);
+
+  if (!outcome.ok) {
+    bus_->report(bus_ids_[idx], raw, prev_before, outcome.continuous_test,
+                 outcome.discrete_test, static_cast<std::uint8_t>(mode));
+    if (outcome.recovered) {
+      space_->write_u16(addr, static_cast<std::uint16_t>(outcome.value));
+    }
+  }
+}
+
+}  // namespace easel::arrestor

@@ -1,0 +1,103 @@
+// The executable-assertion bank of the master node: EA1..EA7 (paper
+// Table 6), instantiated from the step-6 parameter values below and placed
+// at the test locations of paper Table 4 (the modules call into the bank).
+//
+// The generic algorithms and the parameter values live in code/ROM; the
+// per-assertion monitor state (previous value, primed flag) lives in the
+// node's RAM image (SignalMap::monitor_state) and is therefore itself a
+// fault-injection target, as on the real node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "arrestor/signal_map.hpp"
+#include "core/detection_bus.hpp"
+#include "core/monitor.hpp"
+
+namespace easel::arrestor {
+
+/// Bitmask of enabled assertions; bit n enables the EA monitoring signal n
+/// (MonitoredSignal order).  The paper's eight software versions are the
+/// seven single-bit masks plus kAllAssertions.
+using EaMask = std::uint8_t;
+
+inline constexpr EaMask kNoAssertions = 0;
+inline constexpr EaMask kAllAssertions = 0x7f;
+
+[[nodiscard]] constexpr EaMask ea_bit(MonitoredSignal signal) noexcept {
+  return static_cast<EaMask>(1u << static_cast<unsigned>(signal));
+}
+
+/// The ROM parameter set of a continuous EA (throws for ms_slot_nbr, the
+/// one discrete signal).  Centralised so tests and documentation can quote
+/// the exact step-6 values.
+[[nodiscard]] core::ContinuousParams rom_continuous_params(MonitoredSignal signal);
+
+/// Pre-charge-phase (mode 0) parameter sets for the three continuous
+/// feedback signals (paper §2.1 "Signal modes": one Pcont per mode;
+/// "using different modes may increase the possibility of detecting
+/// errors").  Between engagement and the first checkpoint the program
+/// commands at most the pre-charge pressure, so the bounds can be an order
+/// of magnitude tighter than the whole-arrestment envelope.  Signals other
+/// than SetValue/IsValue/OutValue behave identically in both phases and
+/// keep a single set.
+[[nodiscard]] core::ContinuousParams rom_precharge_params(MonitoredSignal signal);
+
+/// True for the signals that carry a distinct pre-charge parameter set.
+[[nodiscard]] constexpr bool has_precharge_mode(MonitoredSignal signal) noexcept {
+  return signal == MonitoredSignal::set_value || signal == MonitoredSignal::is_value ||
+         signal == MonitoredSignal::out_value;
+}
+
+/// The ROM parameter set of EA5 (ms_slot_nbr): the 0..6 slot cycle.
+[[nodiscard]] core::DiscreteParams rom_slot_params();
+
+/// Declared class of each monitored signal (paper Table 4).
+[[nodiscard]] core::SignalClass rom_signal_class(MonitoredSignal signal) noexcept;
+
+class AssertionBank {
+ public:
+  /// Builds the bank over a node image.  Each enabled EA registers itself
+  /// on `bus` under its paper name ("EA1(SetValue)", ...).  `policy`
+  /// selects the recovery behaviour; the paper's campaigns use `none`
+  /// (detect only), the recovery ablation uses the others.  With
+  /// `per_mode_constraints`, the feedback-signal EAs carry the tighter
+  /// pre-charge parameter set as mode 0, selected by the CALC-produced
+  /// arrest_phase signal (off for the paper-baseline campaigns).
+  AssertionBank(mem::AddressSpace& space, SignalMap& map, core::DetectionBus& bus,
+                EaMask enabled, core::RecoveryPolicy policy = core::RecoveryPolicy::none,
+                bool per_mode_constraints = false);
+
+  /// Runs the EA monitoring `signal` if enabled: reads the signal word and
+  /// the monitor state from RAM, evaluates the assertion, writes the state
+  /// back, reports any violation, and — under a recovery policy — writes
+  /// the recovered value back into the signal word.
+  void test(MonitoredSignal signal);
+
+  [[nodiscard]] bool enabled(MonitoredSignal signal) const noexcept {
+    return (enabled_ & ea_bit(signal)) != 0;
+  }
+  [[nodiscard]] EaMask mask() const noexcept { return enabled_; }
+
+  /// Detection-bus id of an EA (valid only if enabled).
+  [[nodiscard]] std::uint16_t bus_id(MonitoredSignal signal) const noexcept {
+    return bus_ids_[static_cast<std::size_t>(signal)];
+  }
+
+ private:
+  mem::AddressSpace* space_;
+  SignalMap* map_;
+  core::DetectionBus* bus_;
+  EaMask enabled_;
+  bool per_mode_;
+
+  // One monitor per signal; index = MonitoredSignal.  EA5 is discrete, the
+  // rest continuous.
+  std::array<std::optional<core::ContinuousMonitor>, kMonitoredSignalCount> continuous_;
+  std::optional<core::DiscreteMonitor> slot_monitor_;
+  std::array<std::uint16_t, kMonitoredSignalCount> bus_ids_{};
+};
+
+}  // namespace easel::arrestor

@@ -1,0 +1,81 @@
+// Application constants of the arresting-system software.
+//
+// These are the values a systems engineer would derive in step 6 of the
+// placement process (paper §2.3): sensor time constants, actuator ranges,
+// and the pressure-program parameters of the control law.  They live in
+// code/ROM — the E2 campaign injects into RAM and stack only, as the paper
+// did.  RAM-resident configuration (the checkpoint table, copied to .data at
+// boot) is defined in signal_map.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace easel::arrestor {
+
+// --- Control program (CALC) ---
+
+/// Number of set-point checkpoints along the runway (paper §3.1: "six
+/// predefined checkpoints...  the distance between these checkpoints is
+/// constant").
+inline constexpr unsigned kCheckpointCount = 6;
+
+/// Checkpoint spacing in rotation-sensor pulses (40 m at 1 cm/pulse).
+inline constexpr std::uint16_t kCheckpointSpacingPulses = 4000;
+
+/// Engagement detection threshold (0.5 m of cable pulled out).
+inline constexpr std::uint16_t kEngageThresholdPulses = 50;
+
+/// Design stop target in metres: the pressure program aims to stop the
+/// heaviest aircraft here, leaving margin to the 335-m runway limit.
+inline constexpr std::uint16_t kStopTargetM = 300;
+
+/// Design mass of the pressure program (the heaviest aircraft; the real
+/// mass is unknown to the controller, so lighter aircraft see higher
+/// retardation — bounded by the force limits, see failure.hpp).
+inline constexpr std::uint16_t kDesignMassKg10 = 2000;  ///< in units of 10 kg (= 20000 kg)
+
+/// Pre-charge set point applied between engagement and the first checkpoint.
+inline constexpr std::uint16_t kPrechargePu = 1000;
+
+/// Set-point slew limit in pressure units per CALC pass (1 ms): the program
+/// ramps pressure commands to avoid jerking the airframe, which also gives
+/// the SetValue assertion a tight legitimate rate band.
+inline constexpr std::uint16_t kSetValueSlewPuPerMs = 16;
+
+/// Software clamp of the set point per drum: the DAC full scale.  The
+/// *correct* program stays below the 9000-pu operational envelope that the
+/// SetValue assertion encodes (assertions.cpp); the clamp only protects the
+/// hardware, so erroneous inputs (corrupted counters, checkpoint tables,
+/// velocity estimates) can legitimately drive the set point far past the
+/// envelope — which is exactly what lets EA1 catch propagated errors.
+inline constexpr std::uint16_t kSetValueClampPu = 20000;
+
+// --- Regulator (V_REG) ---
+
+/// Proportional gain: correction += error / kPidPDiv.
+inline constexpr std::int32_t kPidPDiv = 2;
+/// Integral gain: correction += accumulated_error / kPidIDiv.
+inline constexpr std::int32_t kPidIDiv = 128;
+/// Anti-windup clamp on the error accumulator.
+inline constexpr std::int32_t kPidIntegralClamp = 1 << 20;
+/// Output clamp (full DAC scale).
+inline constexpr std::uint16_t kOutValueMaxPu = 20000;
+
+// --- Timing ---
+
+/// Module frame: CLOCK and DIST_S run every slot, the rest once per frame.
+inline constexpr std::uint32_t kSlotPresS = 0;
+inline constexpr std::uint32_t kSlotVReg = 2;
+inline constexpr std::uint32_t kSlotPresA = 4;
+
+// --- Task entry tokens (simulated code addresses, see rt::TaskContext) ---
+
+inline constexpr std::uint16_t kEntryClock = 0x8111;
+inline constexpr std::uint16_t kEntryDistS = 0x8225;
+inline constexpr std::uint16_t kEntryCalc = 0x8339;
+inline constexpr std::uint16_t kEntryPresS = 0x844d;
+inline constexpr std::uint16_t kEntryVReg = 0x8561;
+inline constexpr std::uint16_t kEntryPresA = 0x8675;
+inline constexpr std::uint16_t kEntryExec = 0x8789;
+
+}  // namespace easel::arrestor

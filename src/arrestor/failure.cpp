@@ -1,0 +1,103 @@
+#include "arrestor/failure.hpp"
+
+#include "sim/plant_constants.hpp"
+
+namespace easel::arrestor {
+
+std::string_view to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::none: return "none";
+    case FailureKind::retardation: return "retardation > 2.8g";
+    case FailureKind::force: return "force > Fmax";
+    case FailureKind::overrun: return "overrun > 335 m";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Structural limit underlying the table: 35 % above the peak force of the
+/// nominal pressure program for that aircraft (the program's cp-1 force,
+/// F = m_design * v1^2 / (2 * 260 m) with v1^2 = v0^2 - 2.5e6/m from the
+/// pre-charge segment).  The spec table would come from the airframe
+/// manuals; deriving it from the program envelope keeps the same margins
+/// for every aircraft in the envelope.
+double spec_limit_n(double mass_kg, double velocity_mps) noexcept {
+  const double v1_sq = velocity_mps * velocity_mps - 2.5e6 / mass_kg;
+  return 1.35 * (20000.0 / 520.0) * v1_sq;
+}
+
+/// Piecewise-linear interpolation index: returns the segment base index and
+/// the (possibly <0 or >1) fractional position, extrapolating on the edges.
+struct Segment {
+  std::size_t idx;
+  double t;
+};
+
+template <std::size_t N>
+Segment locate(const std::array<double, N>& axis, double x) noexcept {
+  std::size_t idx = 0;
+  while (idx + 2 < N && x >= axis[idx + 1]) ++idx;
+  const double t = (x - axis[idx]) / (axis[idx + 1] - axis[idx]);
+  return {idx, t};
+}
+
+}  // namespace
+
+ForceLimitTable::ForceLimitTable() noexcept {
+  masses_ = {8000.0, 12000.0, 16000.0, 20000.0};
+  velocities_ = {40.0, 50.0, 60.0, 70.0};
+  for (std::size_t mi = 0; mi < kMassPoints; ++mi) {
+    for (std::size_t vi = 0; vi < kVelocityPoints; ++vi) {
+      values_[mi][vi] = spec_limit_n(masses_[mi], velocities_[vi]);
+    }
+  }
+}
+
+double ForceLimitTable::limit_n(double mass_kg, double velocity_mps) const noexcept {
+  const Segment m = locate(masses_, mass_kg);
+  const Segment v = locate(velocities_, velocity_mps);
+  const double low =
+      values_[m.idx][v.idx] + v.t * (values_[m.idx][v.idx + 1] - values_[m.idx][v.idx]);
+  const double high = values_[m.idx + 1][v.idx] +
+                      v.t * (values_[m.idx + 1][v.idx + 1] - values_[m.idx + 1][v.idx]);
+  return low + m.t * (high - low);
+}
+
+const ForceLimitTable& force_limits() noexcept {
+  static const ForceLimitTable table;
+  return table;
+}
+
+FailureClassifier::FailureClassifier(const sim::TestCase& test_case) noexcept
+    : limit_n_{force_limits().limit_n(test_case.mass_kg, test_case.velocity_mps)} {}
+
+void FailureClassifier::sample(const sim::Environment& env, std::uint64_t time_ms) noexcept {
+  const double g = env.retardation_mps2() / sim::kGravity;
+  const double force = env.cable_force_n();
+  peak_g_ = g > peak_g_ ? g : peak_g_;
+  // Peak force only counts while the cable is loaded (the drums keep
+  // pressure after the stop, but no force reaches a standing aircraft).
+  if (!env.stopped()) peak_force_ = force > peak_force_ ? force : peak_force_;
+  final_position_ = env.position_m();
+
+  if (env.position_m() > 0.0) moved_ = true;
+  if (!stopped_ && moved_ && env.stopped()) {
+    stopped_ = true;
+    stop_ms_ = time_ms;
+  }
+
+  if (first_ != FailureKind::none) return;
+  if (g >= sim::kMaxRetardationG) {
+    first_ = FailureKind::retardation;
+  } else if (!env.stopped() && force >= limit_n_) {
+    first_ = FailureKind::force;
+  } else if (env.position_m() >= sim::kRunwayLimitM) {
+    first_ = FailureKind::overrun;
+  } else {
+    return;
+  }
+  failure_ms_ = time_ms;
+}
+
+}  // namespace easel::arrestor

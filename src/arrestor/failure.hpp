@@ -1,0 +1,90 @@
+// Failure classification (paper §3.3): an arrestment fails if
+//
+//   1. retardation       r >= 2.8 g at any time,
+//   2. retardation force F >= Fmax(mass, velocity) at any time, where Fmax
+//      is tabulated for several masses and engaging velocities and
+//      interpolated/extrapolated for combinations in between, or
+//   3. stopping distance d >= 335 m.
+//
+// "This is a pessimistic failure classification" — any instantaneous
+// violation counts, as in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/environment.hpp"
+
+namespace easel::arrestor {
+
+enum class FailureKind : std::uint8_t { none, retardation, force, overrun };
+
+[[nodiscard]] std::string_view to_string(FailureKind kind) noexcept;
+
+/// The structural force-limit table (our stand-in for the MIL-A-38202C
+/// limits): Fmax in newtons over a mass x engaging-velocity grid.  Lookup
+/// between grid points is bilinear; outside the grid it extrapolates
+/// linearly from the edge cells, as the paper prescribes.
+class ForceLimitTable {
+ public:
+  static constexpr std::size_t kMassPoints = 4;
+  static constexpr std::size_t kVelocityPoints = 4;
+
+  ForceLimitTable() noexcept;
+
+  /// Fmax in newtons for the given aircraft.
+  [[nodiscard]] double limit_n(double mass_kg, double velocity_mps) const noexcept;
+
+  [[nodiscard]] const std::array<double, kMassPoints>& masses() const noexcept {
+    return masses_;
+  }
+  [[nodiscard]] const std::array<double, kVelocityPoints>& velocities() const noexcept {
+    return velocities_;
+  }
+  [[nodiscard]] double grid_value(std::size_t mass_idx, std::size_t vel_idx) const noexcept {
+    return values_[mass_idx][vel_idx];
+  }
+
+ private:
+  std::array<double, kMassPoints> masses_{};
+  std::array<double, kVelocityPoints> velocities_{};
+  std::array<std::array<double, kVelocityPoints>, kMassPoints> values_{};
+};
+
+/// Watches the environment's ground truth during a run and latches the
+/// first constraint violation.
+class FailureClassifier {
+ public:
+  explicit FailureClassifier(const sim::TestCase& test_case) noexcept;
+
+  /// Samples the plant state at `time_ms` (call once per 1-ms step).
+  void sample(const sim::Environment& env, std::uint64_t time_ms) noexcept;
+
+  [[nodiscard]] bool failed() const noexcept { return first_ != FailureKind::none; }
+  [[nodiscard]] FailureKind kind() const noexcept { return first_; }
+  [[nodiscard]] std::uint64_t failure_time_ms() const noexcept { return failure_ms_; }
+
+  [[nodiscard]] double peak_retardation_g() const noexcept { return peak_g_; }
+  [[nodiscard]] double peak_force_n() const noexcept { return peak_force_; }
+  [[nodiscard]] double force_limit_n() const noexcept { return limit_n_; }
+  [[nodiscard]] double final_position_m() const noexcept { return final_position_; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::uint64_t stop_time_ms() const noexcept { return stop_ms_; }
+
+ private:
+  double limit_n_;
+  FailureKind first_ = FailureKind::none;
+  std::uint64_t failure_ms_ = 0;
+  double peak_g_ = 0.0;
+  double peak_force_ = 0.0;
+  double final_position_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t stop_ms_ = 0;
+  bool moved_ = false;
+};
+
+/// The process-wide force-limit table instance.
+[[nodiscard]] const ForceLimitTable& force_limits() noexcept;
+
+}  // namespace easel::arrestor

@@ -1,0 +1,92 @@
+#include "arrestor/inventory.hpp"
+
+namespace easel::arrestor {
+
+core::SignalInventory build_inventory() {
+  using core::SignalClass;
+  using core::SignalDecl;
+  using core::SignalRole;
+
+  core::SignalInventory inv;
+
+  // Step 1/3: inputs, outputs, and internally generated signals of both
+  // nodes (24 signals in total, as on the paper's target).
+  const auto add = [&inv](const char* name, SignalRole role, const char* producer,
+                          const char* consumer) {
+    SignalDecl decl;
+    decl.name = name;
+    decl.role = role;
+    decl.producer = producer;
+    decl.consumer = consumer;
+    inv.add(std::move(decl));
+  };
+
+  // The seven service-critical signals first, in paper Table 4 row order.
+  add("SetValue", SignalRole::intermediate, "CALC", "V_REG");
+  add("IsValue", SignalRole::intermediate, "PRES_S", "V_REG");
+  add("i", SignalRole::internal, "CALC", "CALC");
+  add("pulscnt", SignalRole::intermediate, "DIST_S", "CALC");
+  add("ms_slot_nbr", SignalRole::internal, "CLOCK", "CLOCK");
+  add("mscnt", SignalRole::internal, "CLOCK", "CALC");
+  add("OutValue", SignalRole::intermediate, "V_REG", "PRES_A");
+  // Master node inputs.
+  add("rot_pulses_hw", SignalRole::input, "rot-sensor", "DIST_S");
+  add("pres_sensor_m", SignalRole::input, "pres-sensor", "PRES_S");
+  // Remaining master intermediates / internals (Figure 5).
+  add("sv_target", SignalRole::internal, "CALC", "CALC");
+  add("pid_integral_m", SignalRole::internal, "V_REG", "V_REG");
+  add("pid_prev_err_m", SignalRole::internal, "V_REG", "V_REG");
+  add("dist_last_hw", SignalRole::internal, "DIST_S", "DIST_S");
+  add("comm_tx_setval", SignalRole::intermediate, "CALC", "link");
+  add("comm_tx_seq", SignalRole::internal, "CALC", "link");
+  // Master node output.
+  add("valve_cmd_m", SignalRole::output, "PRES_A", "valve");
+  // Slave node.
+  add("rx_set_value", SignalRole::intermediate, "link", "V_REG.s");
+  add("rx_seq", SignalRole::internal, "link", "V_REG.s");
+  add("pres_sensor_s", SignalRole::input, "pres-sensor", "PRES_S.s");
+  add("IsValue.s", SignalRole::intermediate, "PRES_S.s", "V_REG.s");
+  add("OutValue.s", SignalRole::intermediate, "V_REG.s", "PRES_A.s");
+  add("pid_integral_s", SignalRole::internal, "V_REG.s", "V_REG.s");
+  add("mscnt.s", SignalRole::internal, "CLOCK.s", "CLOCK.s");
+  add("valve_cmd_s", SignalRole::output, "PRES_A.s", "valve");
+
+  // Step 2: pathways from each input to the outputs.
+  inv.add_pathway({"distance-to-pressure",
+                   {"rot_pulses_hw", "pulscnt", "SetValue", "OutValue", "valve_cmd_m"}});
+  inv.add_pathway({"pressure-feedback-master",
+                   {"pres_sensor_m", "IsValue", "OutValue", "valve_cmd_m"}});
+  inv.add_pathway({"master-to-slave",
+                   {"rot_pulses_hw", "pulscnt", "SetValue", "comm_tx_setval", "rx_set_value",
+                    "OutValue.s", "valve_cmd_s"}});
+  inv.add_pathway({"pressure-feedback-slave",
+                   {"pres_sensor_s", "IsValue.s", "OutValue.s", "valve_cmd_s"}});
+  inv.add_pathway({"timebase", {"mscnt", "SetValue", "OutValue", "valve_cmd_m"}});
+
+  // Step 4 (FMECA outcome): the seven service-critical signals of Table 4.
+  // Steps 5-7: classification, parameters, and test locations.
+  struct Table4Row {
+    const char* name;
+    SignalClass cls;
+    const char* location;
+  };
+  constexpr Table4Row kTable4[] = {
+      {"SetValue", SignalClass::continuous_random, "V_REG"},
+      {"IsValue", SignalClass::continuous_random, "V_REG"},
+      {"i", SignalClass::continuous_dynamic_monotonic, "CALC"},
+      {"pulscnt", SignalClass::continuous_dynamic_monotonic, "DIST_S"},
+      {"ms_slot_nbr", SignalClass::discrete_sequential_linear, "CLOCK"},
+      {"mscnt", SignalClass::continuous_static_monotonic, "CLOCK"},
+      {"OutValue", SignalClass::continuous_random, "PRES_A"},
+  };
+  for (const auto& row : kTable4) {
+    inv.mark_service_critical(row.name);
+    inv.classify(row.name, row.cls);
+    inv.mark_parameters_defined(row.name);
+    inv.set_test_location(row.name, row.location);
+  }
+
+  return inv;
+}
+
+}  // namespace easel::arrestor

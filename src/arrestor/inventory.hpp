@@ -1,0 +1,15 @@
+// The placement-process artefacts for the arresting system: the full signal
+// inventory (the paper reports 24 signals in the target, of which 7 were
+// found service-critical), the input→output pathways, and the Table 4
+// classification/test-location decisions.
+#pragma once
+
+#include "core/placement.hpp"
+
+namespace easel::arrestor {
+
+/// Builds the completed inventory: steps 1–7 of paper §2.3 applied to the
+/// master/slave system.  `unfinished()` on the result is empty.
+[[nodiscard]] core::SignalInventory build_inventory();
+
+}  // namespace easel::arrestor

@@ -1,0 +1,50 @@
+#include "arrestor/master_node.hpp"
+
+namespace easel::arrestor {
+
+namespace {
+constexpr std::size_t kSmallLocals = 8;
+constexpr std::size_t kVRegLocals = 16;
+}  // namespace
+
+MasterNode::MasterNode(sim::Environment& env, core::DetectionBus& bus, EaMask assertions,
+                       core::RecoveryPolicy policy, bool per_mode_constraints)
+    : space_{},
+      alloc_{space_},
+      map_{space_, alloc_},
+      bank_{space_, map_, bus, assertions, policy, per_mode_constraints},
+      ctx_exec_{space_, alloc_, "EXEC", kEntryExec, 32},
+      ctx_clock_{space_, alloc_, "CLOCK", kEntryClock, kSmallLocals},
+      ctx_dist_s_{space_, alloc_, "DIST_S", kEntryDistS, kSmallLocals},
+      ctx_pres_s_{space_, alloc_, "PRES_S", kEntryPresS, kSmallLocals},
+      ctx_v_reg_{space_, alloc_, "V_REG", kEntryVReg, kVRegLocals},
+      ctx_pres_a_{space_, alloc_, "PRES_A", kEntryPresA, kSmallLocals},
+      ctx_calc_{space_, alloc_, "CALC", kEntryCalc, CalcModule::Locals::bytes},
+      clock_{map_, bank_},
+      dist_s_{map_, bank_, env},
+      calc_{map_, bank_, ctx_calc_},
+      pres_s_{map_, env},
+      v_reg_{map_, bank_},
+      pres_a_{map_, bank_, env} {
+  // CLOCK and DIST_S run every millisecond (timer-interrupt level); the
+  // 7-ms modules are dispatched by slot number, which the scheduler reads
+  // from the CLOCK-maintained ms_slot_nbr signal (paper Figure 5); CALC is
+  // the background process.
+  scheduler_.add_every_tick(clock_, ctx_clock_);
+  scheduler_.add_every_tick(dist_s_, ctx_dist_s_);
+  scheduler_.add_periodic(pres_s_, ctx_pres_s_, kSlotPresS);
+  scheduler_.add_periodic(v_reg_, ctx_v_reg_, kSlotVReg);
+  scheduler_.add_periodic(pres_a_, ctx_pres_a_, kSlotPresA);
+  scheduler_.set_background(calc_, ctx_calc_);
+  scheduler_.set_kernel_context(ctx_exec_);
+  scheduler_.set_slot_source([this] { return std::uint32_t{map_.ms_slot_nbr.get()}; });
+  boot();
+}
+
+void MasterNode::boot() {
+  space_.clear();
+  map_.write_boot_values();
+  scheduler_.boot();
+}
+
+}  // namespace easel::arrestor

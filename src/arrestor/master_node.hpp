@@ -1,0 +1,72 @@
+// The master node: memory image, signal map, assertion bank, modules, task
+// contexts, and the cyclic executive, wired as in paper Figures 5 and 6.
+#pragma once
+
+#include <cstdint>
+
+#include "arrestor/assertions.hpp"
+#include "arrestor/modules.hpp"
+#include "arrestor/signal_map.hpp"
+#include "core/detection_bus.hpp"
+#include "mem/address_space.hpp"
+#include "rt/scheduler.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::arrestor {
+
+class MasterNode {
+ public:
+  /// Builds the node over `env` with the given executable assertions
+  /// enabled (one of the paper's eight software versions) and the given
+  /// recovery policy (the paper's campaigns detect only).
+  /// `per_mode_constraints` arms the pre-charge/braking signal modes
+  /// (extension; off in the paper-baseline configuration).
+  MasterNode(sim::Environment& env, core::DetectionBus& bus, EaMask assertions,
+             core::RecoveryPolicy policy = core::RecoveryPolicy::none,
+             bool per_mode_constraints = false);
+
+  MasterNode(const MasterNode&) = delete;
+  MasterNode& operator=(const MasterNode&) = delete;
+
+  /// Power-on: clears the image, writes .data boot values, initialises the
+  /// task contexts.  Must run before the first tick (the constructor boots
+  /// once already; call again to reuse the node for another run).
+  void boot();
+
+  /// One 1-ms slot of the node.
+  void tick() { scheduler_.tick(); }
+
+  [[nodiscard]] mem::AddressSpace& image() noexcept { return space_; }
+  [[nodiscard]] const mem::AddressSpace& image() const noexcept { return space_; }
+  [[nodiscard]] SignalMap& signals() noexcept { return map_; }
+  [[nodiscard]] const SignalMap& signals() const noexcept { return map_; }
+  [[nodiscard]] AssertionBank& assertions() noexcept { return bank_; }
+  [[nodiscard]] rt::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const rt::Scheduler& scheduler() const noexcept { return scheduler_; }
+  [[nodiscard]] rt::TaskContext& calc_frame() noexcept { return ctx_calc_; }
+
+ private:
+  mem::AddressSpace space_;
+  mem::Allocator alloc_;
+  SignalMap map_;
+  AssertionBank bank_;
+
+  rt::TaskContext ctx_exec_;  ///< the cyclic executive's own kernel stack
+  rt::TaskContext ctx_clock_;
+  rt::TaskContext ctx_dist_s_;
+  rt::TaskContext ctx_pres_s_;
+  rt::TaskContext ctx_v_reg_;
+  rt::TaskContext ctx_pres_a_;
+  rt::TaskContext ctx_calc_;
+
+  ClockModule clock_;
+  DistSModule dist_s_;
+  CalcModule calc_;
+  PresSModule pres_s_;
+  VRegModule v_reg_;
+  PresAModule pres_a_;
+
+  rt::Scheduler scheduler_;
+};
+
+}  // namespace easel::arrestor

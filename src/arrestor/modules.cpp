@@ -1,0 +1,162 @@
+#include "arrestor/modules.hpp"
+
+#include <algorithm>
+
+#include "rt/scheduler.hpp"
+#include "util/saturate.hpp"
+
+namespace easel::arrestor {
+
+using util::sat_add_u16;
+
+void ClockModule::execute() {
+  map_->mscnt.set(sat_add_u16(map_->mscnt.get(), 1));
+  bank_->test(MonitoredSignal::mscnt);
+
+  std::uint16_t slot = map_->ms_slot_nbr.get();
+  ++slot;
+  if (slot >= rt::Scheduler::kSlotCount) slot = 0;
+  map_->ms_slot_nbr.set(slot);
+  bank_->test(MonitoredSignal::ms_slot_nbr);
+}
+
+void DistSModule::execute() {
+  const auto hw = static_cast<std::uint16_t>(env_->rotation_pulses());
+  const auto last = map_->dist_last_hw.get();
+  const auto delta = static_cast<std::uint16_t>(hw - last);  // mod-2^16 counter diff
+  map_->dist_last_hw.set(hw);
+  map_->pulscnt.set(sat_add_u16(map_->pulscnt.get(), delta));
+  bank_->test(MonitoredSignal::pulscnt);
+}
+
+void CalcModule::execute() {
+  bank_->test(MonitoredSignal::checkpoint);
+  if (frame_->local_u16(Locals::engaged) == 0) {
+    detect_engagement();
+  } else {
+    checkpoint_update();
+    slew_set_value();
+  }
+}
+
+void CalcModule::detect_engagement() {
+  if (map_->pulscnt.get() < map_->cfg_engage_pulses.get()) return;
+  frame_->set_local_u16(Locals::engaged, 1);
+  frame_->set_local_u16(Locals::t_mark, map_->mscnt.get());
+  frame_->set_local_u16(Locals::p_mark, map_->pulscnt.get());
+  for (std::size_t k = 0; k < kCheckpointCount; ++k) {
+    frame_->set_local_u16(Locals::cp_cache + 2 * k, map_->cp_pulse[k].get());
+  }
+  map_->sv_target.set(map_->cfg_precharge_pu.get());
+  map_->diag_arrest_count.set(sat_add_u16(map_->diag_arrest_count.get(), 1));
+  map_->diag_status_word.set(1);
+}
+
+void CalcModule::checkpoint_update() {
+  const std::uint16_t index = map_->checkpoint_i.get();
+  if (index >= kCheckpointCount) return;
+  const std::uint16_t threshold = frame_->local_u16(Locals::cp_cache + 2 * index);
+  const std::uint16_t pulses = map_->pulscnt.get();
+  if (pulses < threshold) return;
+
+  // Segment velocity estimate: pulses are centimetres, mscnt milliseconds,
+  // so pulses * 1000 / ms is directly cm/s.
+  std::uint16_t dt_ms = static_cast<std::uint16_t>(map_->mscnt.get() -
+                                                   frame_->local_u16(Locals::t_mark));
+  if (dt_ms == 0) dt_ms = 1;
+  const auto dp = static_cast<std::uint16_t>(pulses - frame_->local_u16(Locals::p_mark));
+  const std::uint32_t v_cms32 = static_cast<std::uint32_t>(dp) * 1000u / dt_ms;
+  const auto v_cms = static_cast<std::uint16_t>(std::min<std::uint32_t>(v_cms32, 0xffffu));
+  frame_->set_local_u16(Locals::v_prev, frame_->local_u16(Locals::v_est));
+  frame_->set_local_u16(Locals::v_est, v_cms);
+
+  // Constant-retardation program: the force that stops the design mass at
+  // the stop target from the current position and estimated speed.
+  const std::int32_t mass_kg = static_cast<std::int32_t>(map_->cfg_design_mass_kg10.get()) * 10;
+  const std::int32_t here_m = threshold / 100;  // pulses are centimetres
+  std::int32_t remaining_m = static_cast<std::int32_t>(map_->cfg_stop_target_m.get()) - here_m;
+  if (remaining_m < 5) remaining_m = 5;
+  frame_->set_local_i32(Locals::scratch, remaining_m);
+
+  const std::int64_t v2 = static_cast<std::int64_t>(v_cms) * v_cms;  // (cm/s)^2
+  // F = m * v^2 / (2 d); v^2 in m^2/s^2 is v2 / 10^4.
+  const std::int64_t force_n = static_cast<std::int64_t>(mass_kg) * v2 /
+                               (20000LL * remaining_m);
+  frame_->set_local_i32(Locals::f_needed, static_cast<std::int32_t>(
+                                              std::min<std::int64_t>(force_n, 1 << 30)));
+
+  // Per-drum set point: F = 2 drums * kNewtonsPerPressureUnit * SetValue.
+  std::int64_t set_point = force_n * 32 / 1000;  // 1/(2 * 15.625) = 32/1000
+  set_point = std::clamp<std::int64_t>(set_point, 0, kSetValueClampPu);
+  const auto sv = static_cast<std::uint16_t>(set_point);
+  frame_->set_local_u16(Locals::sv_cmd, sv);
+
+  map_->sv_target.set(sv);
+  map_->checkpoint_i.set(static_cast<std::uint16_t>(index + 1));
+  frame_->set_local_u16(Locals::t_mark, map_->mscnt.get());
+  frame_->set_local_u16(Locals::p_mark, pulses);
+  if (index == 0) {
+    map_->diag_engage_velocity.set(static_cast<std::uint16_t>(v_cms / 100));
+    map_->arrest_phase.set(1);  // pre-charge ends at the first checkpoint
+  }
+}
+
+void CalcModule::slew_set_value() {
+  const std::uint16_t target = map_->sv_target.get();
+  std::uint16_t current = map_->set_value.get();
+  if (current < target) {
+    current = static_cast<std::uint16_t>(
+        current + std::min<std::uint16_t>(kSetValueSlewPuPerMs,
+                                          static_cast<std::uint16_t>(target - current)));
+  } else if (current > target) {
+    current = static_cast<std::uint16_t>(
+        current - std::min<std::uint16_t>(kSetValueSlewPuPerMs,
+                                          static_cast<std::uint16_t>(current - target)));
+  } else {
+    return;
+  }
+  map_->set_value.set(current);
+  map_->comm_tx_set_value.set(current);
+  map_->comm_tx_seq.set(sat_add_u16(map_->comm_tx_seq.get(), 1));
+  map_->diag_max_set_value.set(std::max(map_->diag_max_set_value.get(), current));
+}
+
+void PresSModule::execute() {
+  const std::uint16_t reading = env_->master_pressure_reading();
+  map_->is_value.set(reading);
+  map_->diag_max_pressure.set(std::max(map_->diag_max_pressure.get(), reading));
+}
+
+void VRegModule::execute() {
+  bank_->test(MonitoredSignal::set_value);
+  bank_->test(MonitoredSignal::is_value);
+
+  const auto sv = static_cast<std::int32_t>(map_->set_value.get());
+  const auto iv = static_cast<std::int32_t>(map_->is_value.get());
+  const std::int32_t error = sv - iv;
+
+  std::int32_t integral = map_->pid_integral.get() + error;
+  integral = std::clamp(integral, -kPidIntegralClamp, kPidIntegralClamp);
+  map_->pid_integral.set(integral);
+
+  const std::int32_t correction = error / kPidPDiv + integral / kPidIDiv;
+  const std::int32_t out =
+      std::clamp<std::int32_t>(sv + correction, 0, kOutValueMaxPu);
+  map_->out_value.set(static_cast<std::uint16_t>(out));
+  map_->pid_prev_err.set(static_cast<std::int16_t>(
+      std::clamp<std::int32_t>(error, -32768, 32767)));
+
+  // Maintenance trace: one (mscnt, OutValue) record per regulator frame.
+  const std::uint16_t head = map_->trace_head.get() % SignalMap::kTraceDepth;
+  map_->trace_ring[head].set(
+      static_cast<std::int32_t>((static_cast<std::uint32_t>(map_->mscnt.get()) << 16) |
+                                static_cast<std::uint32_t>(out)));
+  map_->trace_head.set(static_cast<std::uint16_t>((head + 1) % SignalMap::kTraceDepth));
+}
+
+void PresAModule::execute() {
+  bank_->test(MonitoredSignal::out_value);
+  env_->command_master_valve(map_->out_value.get());
+}
+
+}  // namespace easel::arrestor

@@ -1,0 +1,119 @@
+// The master node's software modules (paper §3.1, Figure 5):
+//
+//   CLOCK   (1 ms)  — maintains mscnt and ms_slot_nbr; hosts EA5, EA6
+//   DIST_S  (1 ms)  — rotation-sensor pulses into pulscnt; hosts EA4
+//   CALC    (bgnd)  — the pressure program: engagement detection, checkpoint
+//                     set points, set-value slewing; hosts EA3
+//   PRES_S  (7 ms)  — pressure sensor into IsValue
+//   V_REG   (7 ms)  — PI regulator SetValue/IsValue -> OutValue; hosts EA1, EA2
+//   PRES_A  (7 ms)  — OutValue to the pressure valve; hosts EA7
+//
+// Every piece of module state is either in the RAM image (SignalMap) or in
+// the module's stack-resident task context locals, so fault injection can
+// reach all of it.
+#pragma once
+
+#include "arrestor/assertions.hpp"
+#include "arrestor/signal_map.hpp"
+#include "rt/module.hpp"
+#include "rt/task_context.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::arrestor {
+
+class ClockModule final : public rt::Module {
+ public:
+  ClockModule(SignalMap& map, AssertionBank& bank) : map_{&map}, bank_{&bank} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "CLOCK"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  AssertionBank* bank_;
+};
+
+class DistSModule final : public rt::Module {
+ public:
+  DistSModule(SignalMap& map, AssertionBank& bank, sim::Environment& env)
+      : map_{&map}, bank_{&bank}, env_{&env} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "DIST_S"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  AssertionBank* bank_;
+  sim::Environment* env_;
+};
+
+class CalcModule final : public rt::Module {
+ public:
+  /// Stack-resident working set (offsets into the CALC task context locals).
+  /// CALC is the background process: it never returns, so its whole working
+  /// set lives on the stack (see rt/task_context.hpp).  At engagement it
+  /// also caches the checkpoint table from RAM into its frame (a common
+  /// copy-config-into-locals idiom), so a corrupted cache line mis-times
+  /// every later checkpoint — a stack error the assertions cannot see.
+  struct Locals {
+    static constexpr std::size_t engaged = 0;    ///< u16: 0 idle, 1 arresting
+    static constexpr std::size_t t_mark = 2;     ///< u16: mscnt at last mark
+    static constexpr std::size_t p_mark = 4;     ///< u16: pulscnt at last mark
+    static constexpr std::size_t v_est = 6;      ///< u16: segment velocity (cm/s)
+    static constexpr std::size_t f_needed = 8;   ///< i32: required force (N)
+    static constexpr std::size_t scratch = 12;   ///< i32: division scratch
+    static constexpr std::size_t sv_cmd = 16;    ///< u16: computed set point (pu)
+    static constexpr std::size_t v_prev = 18;    ///< u16: previous segment velocity
+    static constexpr std::size_t cp_cache = 20;  ///< u16[6]: cached checkpoint table
+    static constexpr std::size_t bytes = 96;     ///< frame size incl. spare
+  };
+
+  CalcModule(SignalMap& map, AssertionBank& bank, rt::TaskContext& frame)
+      : map_{&map}, bank_{&bank}, frame_{&frame} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "CALC"; }
+  void execute() override;
+
+ private:
+  void detect_engagement();
+  void checkpoint_update();
+  void slew_set_value();
+
+  SignalMap* map_;
+  AssertionBank* bank_;
+  rt::TaskContext* frame_;
+};
+
+class PresSModule final : public rt::Module {
+ public:
+  PresSModule(SignalMap& map, sim::Environment& env) : map_{&map}, env_{&env} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "PRES_S"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  sim::Environment* env_;
+};
+
+class VRegModule final : public rt::Module {
+ public:
+  VRegModule(SignalMap& map, AssertionBank& bank) : map_{&map}, bank_{&bank} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "V_REG"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  AssertionBank* bank_;
+};
+
+class PresAModule final : public rt::Module {
+ public:
+  PresAModule(SignalMap& map, AssertionBank& bank, sim::Environment& env)
+      : map_{&map}, bank_{&bank}, env_{&env} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "PRES_A"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  AssertionBank* bank_;
+  sim::Environment* env_;
+};
+
+}  // namespace easel::arrestor

@@ -1,0 +1,115 @@
+#include "arrestor/signal_map.hpp"
+
+#include <cstring>
+
+namespace easel::arrestor {
+
+const char* to_string(MonitoredSignal signal) noexcept {
+  switch (signal) {
+    case MonitoredSignal::set_value: return "SetValue";
+    case MonitoredSignal::is_value: return "IsValue";
+    case MonitoredSignal::checkpoint: return "i";
+    case MonitoredSignal::pulscnt: return "pulscnt";
+    case MonitoredSignal::ms_slot_nbr: return "ms_slot_nbr";
+    case MonitoredSignal::mscnt: return "mscnt";
+    case MonitoredSignal::out_value: return "OutValue";
+  }
+  return "?";
+}
+
+namespace {
+
+mem::Var16 var16(mem::AddressSpace& space, mem::Allocator& alloc) {
+  return mem::Var16{space, alloc.allocate(mem::Region::ram, 2, 2)};
+}
+
+mem::Var8 var8(mem::AddressSpace& space, mem::Allocator& alloc) {
+  return mem::Var8{space, alloc.allocate(mem::Region::ram, 1, 1)};
+}
+
+mem::VarI16 vari16(mem::AddressSpace& space, mem::Allocator& alloc) {
+  return mem::VarI16{space, alloc.allocate(mem::Region::ram, 2, 2)};
+}
+
+mem::VarI32 vari32(mem::AddressSpace& space, mem::Allocator& alloc) {
+  return mem::VarI32{space, alloc.allocate(mem::Region::ram, 4, 2)};
+}
+
+}  // namespace
+
+SignalMap::SignalMap(mem::AddressSpace& space, mem::Allocator& alloc) : space_{&space} {
+  // Monitored signals first — the hand-written linker map of the real node
+  // places the service-critical words at the start of .data.
+  set_value = var16(space, alloc);
+  is_value = var16(space, alloc);
+  checkpoint_i = var16(space, alloc);
+  pulscnt = var16(space, alloc);
+  ms_slot_nbr = var16(space, alloc);
+  mscnt = var16(space, alloc);
+  out_value = var16(space, alloc);
+
+  signal_addr_ = {set_value.address(),   is_value.address(), checkpoint_i.address(),
+                  pulscnt.address(),     ms_slot_nbr.address(), mscnt.address(),
+                  out_value.address()};
+
+  comm_tx_set_value = var16(space, alloc);
+  comm_tx_seq = var16(space, alloc);
+  dist_last_hw = var16(space, alloc);
+  sv_target = var16(space, alloc);
+  pid_integral = vari32(space, alloc);
+  pid_prev_err = vari16(space, alloc);
+
+  for (auto& threshold : cp_pulse) threshold = var16(space, alloc);
+  cfg_design_mass_kg10 = var16(space, alloc);
+  cfg_stop_target_m = var16(space, alloc);
+  cfg_precharge_pu = var16(space, alloc);
+  cfg_engage_pulses = var16(space, alloc);
+
+  for (auto& slot : monitor_state) {
+    slot.prev = var16(space, alloc);
+    slot.flags = var8(space, alloc);
+    (void)alloc.allocate(mem::Region::ram, 1, 1);  // pad to keep slots word-aligned
+  }
+
+  diag_arrest_count = var16(space, alloc);
+  diag_max_pressure = var16(space, alloc);
+  diag_max_set_value = var16(space, alloc);
+  diag_engage_velocity = var16(space, alloc);
+  diag_status_word = var16(space, alloc);
+  diag_last_run_ms = var16(space, alloc);
+  for (auto& entry : diag_error_log) entry = var16(space, alloc);
+
+  for (auto& record : trace_ring) record = vari32(space, alloc);
+  trace_head = var16(space, alloc);
+
+  // Appended after the original layout (a later software revision added the
+  // mode variable; keeping it at the end leaves every prior address stable,
+  // as a real maintenance release would).
+  arrest_phase = var16(space, alloc);
+
+  banner_base = alloc.allocate(mem::Region::ram, kBannerBytes, 2);
+
+  ram_used_ = alloc.used(mem::Region::ram);
+}
+
+void SignalMap::write_boot_values() {
+  for (unsigned k = 0; k < kCheckpointCount; ++k) {
+    cp_pulse[k].set(static_cast<std::uint16_t>((k + 1) * kCheckpointSpacingPulses));
+  }
+  cfg_design_mass_kg10.set(kDesignMassKg10);
+  cfg_stop_target_m.set(kStopTargetM);
+  cfg_precharge_pu.set(kPrechargePu);
+  cfg_engage_pulses.set(kEngageThresholdPulses);
+
+  static constexpr char kBanner[] = "BAK-12A master node  sw 1.0  service due 500 arrests";
+  const std::size_t n = std::min(sizeof(kBanner), kBannerBytes);
+  for (std::size_t b = 0; b < n; ++b) {
+    space_->write_u8(banner_base + b, static_cast<std::uint8_t>(kBanner[b]));
+  }
+}
+
+std::size_t SignalMap::signal_address(MonitoredSignal signal) const noexcept {
+  return signal_addr_[static_cast<std::size_t>(signal)];
+}
+
+}  // namespace easel::arrestor

@@ -1,0 +1,120 @@
+// The master node's application RAM layout.
+//
+// Everything the software keeps in variables lives in the 417-byte RAM
+// region of the memory image, addressable by the fault injector: the seven
+// monitored signals of paper Table 4, module state, the RAM-resident
+// configuration copied from ROM at boot (.data), the monitor previous-value
+// state of the executable assertions, and the diagnostics/trace areas that a
+// maintenance-oriented embedded application typically carries.  Bytes not
+// claimed by anything model .bss headroom — flips there are inert.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arrestor/config.hpp"
+#include "mem/address_space.hpp"
+#include "mem/mem_var.hpp"
+
+namespace easel::arrestor {
+
+/// The seven monitored signals in paper order (Table 6: EA1..EA7 monitor
+/// SetValue, IsValue, i, pulscnt, ms_slot_nbr, mscnt, OutValue).
+enum class MonitoredSignal : std::uint8_t {
+  set_value = 0,
+  is_value = 1,
+  checkpoint = 2,    ///< the checkpoint counter "i"
+  pulscnt = 3,
+  ms_slot_nbr = 4,
+  mscnt = 5,
+  out_value = 6,
+};
+
+inline constexpr std::size_t kMonitoredSignalCount = 7;
+
+[[nodiscard]] const char* to_string(MonitoredSignal signal) noexcept;
+
+/// Executable-assertion id (1-based, as in the paper: EA1..EA7).
+[[nodiscard]] constexpr unsigned ea_number(MonitoredSignal signal) noexcept {
+  return static_cast<unsigned>(signal) + 1;
+}
+
+/// Per-assertion monitor state as laid out in RAM: previous value (2 bytes)
+/// plus a primed flag byte and one pad byte.
+struct MonitorStateSlot {
+  mem::Var16 prev;
+  mem::Var8 flags;  ///< bit 0: primed
+};
+
+/// All master-node RAM addresses.  Construction performs the .data/.bss
+/// layout against the given allocator; `write_boot_values` then fills the
+/// .data initial values (done again on every node boot).
+class SignalMap {
+ public:
+  SignalMap(mem::AddressSpace& space, mem::Allocator& alloc);
+
+  /// Writes the boot-time (.data) values: the checkpoint table, program
+  /// parameters, and the maintenance banner.  The memory image must have
+  /// been cleared first.
+  void write_boot_values();
+
+  /// Address of a monitored signal's 16-bit word (for E1 targeting).
+  [[nodiscard]] std::size_t signal_address(MonitoredSignal signal) const noexcept;
+
+  // --- The seven monitored signals (paper Figure 5 / Table 4) ---
+  mem::Var16 set_value;     ///< SetValue: set-point pressure per drum (pu)
+  mem::Var16 is_value;      ///< IsValue: measured applied pressure (pu)
+  mem::Var16 checkpoint_i;  ///< i: checkpoint counter (0..6)
+  mem::Var16 pulscnt;       ///< pulscnt: total rotation pulses this arrestment
+  mem::Var16 ms_slot_nbr;   ///< ms_slot_nbr: current 1-ms slot (0..6)
+  mem::Var16 mscnt;         ///< mscnt: milliseconds since boot
+  mem::Var16 out_value;     ///< OutValue: valve command (pu)
+
+  // --- Module state ---
+  mem::Var16 arrest_phase;       ///< 0 = pre-charge, 1 = braking (CALC-produced
+                                 ///< mode variable for the moded assertions)
+  mem::Var16 comm_tx_set_value;  ///< outgoing set point for the slave node
+  mem::Var16 comm_tx_seq;        ///< message sequence counter
+  mem::Var16 dist_last_hw;       ///< DIST_S: last latched hardware pulse count
+  mem::Var16 sv_target;          ///< CALC: slew target for SetValue
+  mem::VarI32 pid_integral;      ///< V_REG: error accumulator
+  mem::VarI16 pid_prev_err;      ///< V_REG: previous error
+
+  // --- RAM-resident configuration (.data, from ROM at boot) ---
+  std::array<mem::Var16, kCheckpointCount> cp_pulse;  ///< checkpoint pulse thresholds
+  mem::Var16 cfg_design_mass_kg10;  ///< program design mass (10-kg units)
+  mem::Var16 cfg_stop_target_m;     ///< program stop target (m)
+  mem::Var16 cfg_precharge_pu;      ///< pre-charge set point (pu)
+  mem::Var16 cfg_engage_pulses;     ///< engagement threshold (pulses)
+
+  // --- Executable-assertion monitor state (one slot per EA) ---
+  std::array<MonitorStateSlot, kMonitoredSignalCount> monitor_state;
+
+  // --- Diagnostics block (maintenance counters; inert to service) ---
+  mem::Var16 diag_arrest_count;
+  mem::Var16 diag_max_pressure;
+  mem::Var16 diag_max_set_value;
+  mem::Var16 diag_engage_velocity;
+  mem::Var16 diag_status_word;
+  mem::Var16 diag_last_run_ms;
+  std::array<mem::Var16, 8> diag_error_log;
+
+  /// OutValue trace ring: 32 records of (mscnt << 16 | OutValue), one per
+  /// regulator frame, wrapping around.
+  static constexpr std::size_t kTraceDepth = 32;
+  std::array<mem::VarI32, kTraceDepth> trace_ring;
+  mem::Var16 trace_head;
+
+  /// Boot banner / maintenance message buffer (written once at boot).
+  static constexpr std::size_t kBannerBytes = 64;
+  std::size_t banner_base = 0;
+
+  [[nodiscard]] std::size_t ram_bytes_used() const noexcept { return ram_used_; }
+
+ private:
+  mem::AddressSpace* space_;
+  std::size_t ram_used_ = 0;
+  std::array<std::size_t, kMonitoredSignalCount> signal_addr_{};
+};
+
+}  // namespace easel::arrestor

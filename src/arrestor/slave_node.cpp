@@ -1,0 +1,71 @@
+#include "arrestor/slave_node.hpp"
+
+#include <algorithm>
+
+#include "util/saturate.hpp"
+
+namespace easel::arrestor {
+
+SlaveMap::SlaveMap(mem::AddressSpace& space, mem::Allocator& alloc)
+    : set_value{space, alloc.allocate(mem::Region::ram, 2, 2)},
+      is_value{space, alloc.allocate(mem::Region::ram, 2, 2)},
+      out_value{space, alloc.allocate(mem::Region::ram, 2, 2)},
+      mscnt{space, alloc.allocate(mem::Region::ram, 2, 2)},
+      rx_seq{space, alloc.allocate(mem::Region::ram, 2, 2)},
+      pid_integral{space, alloc.allocate(mem::Region::ram, 4, 2)},
+      pid_prev_err{space, alloc.allocate(mem::Region::ram, 2, 2)} {}
+
+SlaveNode::SlaveNode(sim::Environment& env)
+    : space_{},
+      alloc_{space_},
+      map_{space_, alloc_},
+      ctx_clock_{space_, alloc_, "CLOCK", kEntryClock, 8},
+      ctx_pres_s_{space_, alloc_, "PRES_S", kEntryPresS, 8},
+      ctx_v_reg_{space_, alloc_, "V_REG", kEntryVReg, 16},
+      ctx_pres_a_{space_, alloc_, "PRES_A", kEntryPresA, 8},
+      clock_{map_},
+      pres_s_{map_, env},
+      v_reg_{map_},
+      pres_a_{map_, env} {
+  scheduler_.add_every_tick(clock_, ctx_clock_);
+  scheduler_.add_periodic(pres_s_, ctx_pres_s_, kSlotPresS);
+  scheduler_.add_periodic(v_reg_, ctx_v_reg_, kSlotVReg);
+  scheduler_.add_periodic(pres_a_, ctx_pres_a_, kSlotPresA);
+  boot();
+}
+
+void SlaveNode::boot() {
+  space_.clear();
+  scheduler_.boot();
+}
+
+void SlaveNode::deliver_set_point(std::uint16_t set_value, std::uint16_t seq) {
+  map_.set_value.set(set_value);
+  map_.rx_seq.set(seq);
+}
+
+void SlaveNode::SlaveClock::execute() {
+  map_->mscnt.set(util::sat_add_u16(map_->mscnt.get(), 1));
+}
+
+void SlaveNode::SlavePresS::execute() { map_->is_value.set(env_->slave_pressure_reading()); }
+
+void SlaveNode::SlaveVReg::execute() {
+  const auto sv = static_cast<std::int32_t>(map_->set_value.get());
+  const auto iv = static_cast<std::int32_t>(map_->is_value.get());
+  const std::int32_t error = sv - iv;
+
+  std::int32_t integral = map_->pid_integral.get() + error;
+  integral = std::clamp(integral, -kPidIntegralClamp, kPidIntegralClamp);
+  map_->pid_integral.set(integral);
+
+  const std::int32_t correction = error / kPidPDiv + integral / kPidIDiv;
+  const std::int32_t out = std::clamp<std::int32_t>(sv + correction, 0, kOutValueMaxPu);
+  map_->out_value.set(static_cast<std::uint16_t>(out));
+  map_->pid_prev_err.set(
+      static_cast<std::int16_t>(std::clamp<std::int32_t>(error, -32768, 32767)));
+}
+
+void SlaveNode::SlavePresA::execute() { env_->command_slave_valve(map_->out_value.get()); }
+
+}  // namespace easel::arrestor

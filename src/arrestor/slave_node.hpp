@@ -1,0 +1,106 @@
+// The slave node (paper §3.1): "No calculations of set point values...  The
+// slave node simply receives a set point value from the master node, which
+// it then applies to its tape drum."  Modules present: CLOCK, PRES_S,
+// V_REG, PRES_A (no DIST_S, no CALC).
+//
+// The paper's campaigns inject into the master node only, so the slave owns
+// a separate memory image that the injector never touches; it still runs
+// the full regulator so that erroneous master set points (e.g. a corrupted
+// comm buffer) propagate into real drum pressure.
+#pragma once
+
+#include "arrestor/config.hpp"
+#include "core/detection_bus.hpp"
+#include "mem/address_space.hpp"
+#include "mem/mem_var.hpp"
+#include "rt/module.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/task_context.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::arrestor {
+
+/// The slave node's RAM layout (same image dimensions as the master's).
+struct SlaveMap {
+  SlaveMap(mem::AddressSpace& space, mem::Allocator& alloc);
+
+  mem::Var16 set_value;   ///< set point received from the master
+  mem::Var16 is_value;    ///< measured slave-drum pressure
+  mem::Var16 out_value;   ///< slave valve command
+  mem::Var16 mscnt;       ///< slave millisecond clock
+  mem::Var16 rx_seq;      ///< last received message sequence number
+  mem::VarI32 pid_integral;
+  mem::VarI16 pid_prev_err;
+};
+
+class SlaveNode {
+ public:
+  explicit SlaveNode(sim::Environment& env);
+
+  SlaveNode(const SlaveNode&) = delete;
+  SlaveNode& operator=(const SlaveNode&) = delete;
+
+  void boot();
+  void tick() { scheduler_.tick(); }
+
+  /// Network delivery of the master's set-point message (called by the
+  /// inter-node link once per 7-ms frame).
+  void deliver_set_point(std::uint16_t set_value, std::uint16_t seq);
+
+  [[nodiscard]] mem::AddressSpace& image() noexcept { return space_; }
+  [[nodiscard]] SlaveMap& signals() noexcept { return map_; }
+  [[nodiscard]] rt::Scheduler& scheduler() noexcept { return scheduler_; }
+
+ private:
+  class SlaveClock final : public rt::Module {
+   public:
+    explicit SlaveClock(SlaveMap& map) : map_{&map} {}
+    [[nodiscard]] std::string_view name() const noexcept override { return "CLOCK"; }
+    void execute() override;
+    SlaveMap* map_;
+  };
+
+  class SlavePresS final : public rt::Module {
+   public:
+    SlavePresS(SlaveMap& map, sim::Environment& env) : map_{&map}, env_{&env} {}
+    [[nodiscard]] std::string_view name() const noexcept override { return "PRES_S"; }
+    void execute() override;
+    SlaveMap* map_;
+    sim::Environment* env_;
+  };
+
+  class SlaveVReg final : public rt::Module {
+   public:
+    explicit SlaveVReg(SlaveMap& map) : map_{&map} {}
+    [[nodiscard]] std::string_view name() const noexcept override { return "V_REG"; }
+    void execute() override;
+    SlaveMap* map_;
+  };
+
+  class SlavePresA final : public rt::Module {
+   public:
+    SlavePresA(SlaveMap& map, sim::Environment& env) : map_{&map}, env_{&env} {}
+    [[nodiscard]] std::string_view name() const noexcept override { return "PRES_A"; }
+    void execute() override;
+    SlaveMap* map_;
+    sim::Environment* env_;
+  };
+
+  mem::AddressSpace space_;
+  mem::Allocator alloc_;
+  SlaveMap map_;
+
+  rt::TaskContext ctx_clock_;
+  rt::TaskContext ctx_pres_s_;
+  rt::TaskContext ctx_v_reg_;
+  rt::TaskContext ctx_pres_a_;
+
+  SlaveClock clock_;
+  SlavePresS pres_s_;
+  SlaveVReg v_reg_;
+  SlavePresA pres_a_;
+
+  rt::Scheduler scheduler_;
+};
+
+}  // namespace easel::arrestor

@@ -1,0 +1,58 @@
+#include "core/channel.hpp"
+
+namespace easel::core {
+
+Channel Channel::continuous(std::string name, SignalClass cls, const ContinuousParams& params,
+                            RecoveryPolicy policy) {
+  return Channel{std::move(name), ContinuousMonitor{cls, params, policy}};
+}
+
+Channel Channel::continuous_moded(std::string name, SignalClass cls,
+                                  std::vector<ContinuousParams> mode_params,
+                                  RecoveryPolicy policy) {
+  return Channel{std::move(name), ContinuousMonitor{cls, std::move(mode_params), policy}};
+}
+
+Channel Channel::discrete(std::string name, SignalClass cls, const DiscreteParams& params,
+                          RecoveryPolicy policy) {
+  return Channel{std::move(name), DiscreteMonitor{cls, params, policy}};
+}
+
+Channel Channel::discrete_moded(std::string name, SignalClass cls,
+                                std::vector<DiscreteParams> mode_params,
+                                RecoveryPolicy policy) {
+  return Channel{std::move(name), DiscreteMonitor{cls, std::move(mode_params), policy}};
+}
+
+void Channel::attach(DetectionBus& bus) {
+  bus_ = &bus;
+  bus_id_ = bus.register_monitor(name_);
+}
+
+CheckOutcome Channel::test(sig_t s) {
+  const sig_t prev = state_.prev;
+  const CheckOutcome outcome = std::visit(
+      [&](const auto& monitor) { return monitor.check(s, state_, mode_); }, monitor_);
+  if (!outcome.ok && bus_ != nullptr) {
+    bus_->report(bus_id_, s, prev, outcome.continuous_test, outcome.discrete_test,
+                 static_cast<std::uint8_t>(mode_));
+  }
+  return outcome;
+}
+
+void Channel::set_mode(std::size_t mode) {
+  if (mode >= mode_count()) {
+    throw std::out_of_range{"channel '" + name_ + "' has no mode " + std::to_string(mode)};
+  }
+  mode_ = mode;
+}
+
+std::size_t Channel::mode_count() const noexcept {
+  return std::visit([](const auto& monitor) { return monitor.mode_count(); }, monitor_);
+}
+
+SignalClass Channel::signal_class() const noexcept {
+  return std::visit([](const auto& monitor) { return monitor.signal_class(); }, monitor_);
+}
+
+}  // namespace easel::core

@@ -1,0 +1,85 @@
+// Channel — the one-object convenience API for host applications.
+//
+// A Channel bundles a named monitor, its state, its current mode, and an
+// optional DetectionBus hookup, so instrumenting a plain program is:
+//
+//   easel::core::DetectionBus bus;
+//   auto temp = easel::core::Channel::continuous(
+//       "coolant-temp", SignalClass::continuous_random,
+//       {.smax = 1200, .smin = -400, .rmax_incr = 30, .rmax_decr = 30});
+//   temp.attach(bus);
+//   ...
+//   if (!temp.test(sample).ok) { /* assess / recover */ }
+//
+// Target-system code that must keep monitor state inside an injectable
+// memory image uses ContinuousMonitor/DiscreteMonitor directly instead
+// (see src/arrestor/assertions.*).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "core/detection_bus.hpp"
+#include "core/monitor.hpp"
+
+namespace easel::core {
+
+class Channel {
+ public:
+  /// Builds a channel over a continuous signal.  Throws std::invalid_argument
+  /// if `params` violates Table 1 for `cls`.
+  [[nodiscard]] static Channel continuous(std::string name, SignalClass cls,
+                                          const ContinuousParams& params,
+                                          RecoveryPolicy policy = RecoveryPolicy::none);
+
+  /// Continuous channel with one parameter set per mode.
+  [[nodiscard]] static Channel continuous_moded(std::string name, SignalClass cls,
+                                                std::vector<ContinuousParams> mode_params,
+                                                RecoveryPolicy policy = RecoveryPolicy::none);
+
+  /// Builds a channel over a discrete signal.
+  [[nodiscard]] static Channel discrete(std::string name, SignalClass cls,
+                                        const DiscreteParams& params,
+                                        RecoveryPolicy policy = RecoveryPolicy::none);
+
+  /// Discrete channel with one parameter set per mode.
+  [[nodiscard]] static Channel discrete_moded(std::string name, SignalClass cls,
+                                              std::vector<DiscreteParams> mode_params,
+                                              RecoveryPolicy policy = RecoveryPolicy::none);
+
+  /// Routes this channel's detections to `bus` (registers the monitor name).
+  void attach(DetectionBus& bus);
+
+  /// Runs the executable assertion on sample `s`; reports to the attached
+  /// bus on violation.  With a recovery policy, `outcome.value` carries the
+  /// valid replacement the caller should write back to the signal.
+  CheckOutcome test(sig_t s);
+
+  /// Selects the active mode (paper §2.1 "Signal modes").
+  /// Throws std::out_of_range for an unknown mode.
+  void set_mode(std::size_t mode);
+  [[nodiscard]] std::size_t mode() const noexcept { return mode_; }
+  [[nodiscard]] std::size_t mode_count() const noexcept;
+
+  /// Forgets the previous value (e.g. across an operating-phase boundary
+  /// where continuity intentionally breaks).
+  void reset() noexcept { state_ = MonitorState{}; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] SignalClass signal_class() const noexcept;
+  [[nodiscard]] const MonitorState& state() const noexcept { return state_; }
+
+ private:
+  Channel(std::string name, std::variant<ContinuousMonitor, DiscreteMonitor> monitor)
+      : name_{std::move(name)}, monitor_{std::move(monitor)} {}
+
+  std::string name_;
+  std::variant<ContinuousMonitor, DiscreteMonitor> monitor_;
+  MonitorState state_{};
+  std::size_t mode_ = 0;
+  DetectionBus* bus_ = nullptr;
+  std::uint16_t bus_id_ = 0;
+};
+
+}  // namespace easel::core

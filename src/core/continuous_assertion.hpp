@@ -1,0 +1,94 @@
+// The generic executable assertion for continuous signals — paper Table 2,
+// implemented verbatim.
+//
+// Per test invocation the signal is subjected to at most five assertions:
+//
+//   Test 1 (always): s <= smax
+//   Test 2 (always): s >= smin
+//   then, depending on the relation between s and the previous value s':
+//     s > s':  3a  s - s' within [rmin_incr, rmax_incr]
+//              4a  wrap allowed and (s' - smin) + (smax - s) within
+//                  [rmin_decr, rmax_decr]       (wrapped decrease)
+//     s < s':  3b  s' - s within [rmin_decr, rmax_decr]
+//              4b  wrap allowed and (smax - s') + (s - smin) within
+//                  [rmin_incr, rmax_incr]       (wrapped increase)
+//     s = s':  3c  parameters describe a monotonically decreasing signal
+//                  that is allowed to pause (rmin_incr = rmax_incr = 0 and
+//                  rmin_decr = 0)
+//              4c  mirrored for a monotonically increasing signal
+//              5c  parameters describe a random signal with a zero minimum
+//                  rate in at least one direction
+//
+// Tests 1 and 2 must both pass; within a status group it suffices that one
+// assertion holds.  A violation is the detection of an error.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/params.hpp"
+
+namespace easel::core {
+
+/// Identifies the individual assertions of Table 2 for diagnostics.
+enum class ContinuousTest : std::uint8_t {
+  none,      ///< no test failed / not applicable
+  t1_max,    ///< Test 1: maximum value
+  t2_min,    ///< Test 2: minimum value
+  group_a,   ///< s > s' and neither 3a nor 4a held
+  group_b,   ///< s < s' and neither 3b nor 4b held
+  group_c,   ///< s = s' and none of 3c/4c/5c held
+};
+
+[[nodiscard]] std::string_view to_string(ContinuousTest test) noexcept;
+
+/// Relation between the current and previous sample (the "Signal status"
+/// column of Table 2).
+enum class SignalStatus : std::uint8_t { increased, decreased, unchanged };
+
+/// Result of one assertion evaluation.
+struct ContinuousVerdict {
+  bool ok = true;
+  ContinuousTest failed = ContinuousTest::none;  ///< first violated group
+  SignalStatus status = SignalStatus::unchanged;
+  bool wrap_used = false;  ///< the passing assertion was 4a or 4b
+};
+
+/// The Table 2 algorithm instantiated with one Pcont.
+///
+/// The algorithm is a pure function of (params, s, s'); this class merely
+/// caches the parameter-only predicates of tests 3c/4c/5c, which do not
+/// depend on the sample values.
+class ContinuousAssertion {
+ public:
+  constexpr explicit ContinuousAssertion(const ContinuousParams& params) noexcept
+      : p_{params},
+        // 3c: rmin_incr = 0 ∧ rmax_incr = 0 ∧ rmin_decr = 0
+        pause_ok_decreasing_{params.rmin_incr == 0 && params.rmax_incr == 0 &&
+                             params.rmin_decr == 0},
+        // 4c: rmin_decr = 0 ∧ rmax_decr = 0 ∧ rmin_incr = 0
+        pause_ok_increasing_{params.rmin_decr == 0 && params.rmax_decr == 0 &&
+                             params.rmin_incr == 0},
+        // 5c: ¬(rmin_decr = 0 ∧ rmax_decr = 0) ∧ ¬(rmin_incr = 0 ∧ rmax_incr = 0)
+        //     ∧ (rmin_incr = 0 ∨ rmin_decr = 0)
+        pause_ok_random_{!(params.rmin_decr == 0 && params.rmax_decr == 0) &&
+                         !(params.rmin_incr == 0 && params.rmax_incr == 0) &&
+                         (params.rmin_incr == 0 || params.rmin_decr == 0)} {}
+
+  /// Full Table 2 evaluation of current sample `s` against previous `s_prev`.
+  [[nodiscard]] ContinuousVerdict check(sig_t s, sig_t s_prev) const noexcept;
+
+  /// Tests 1 and 2 only — used for the first sample, when no previous value
+  /// exists yet.
+  [[nodiscard]] ContinuousVerdict check_bounds_only(sig_t s) const noexcept;
+
+  [[nodiscard]] const ContinuousParams& params() const noexcept { return p_; }
+
+ private:
+  ContinuousParams p_;
+  bool pause_ok_decreasing_;
+  bool pause_ok_increasing_;
+  bool pause_ok_random_;
+};
+
+}  // namespace easel::core

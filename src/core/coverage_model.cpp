@@ -1,0 +1,27 @@
+#include "core/coverage_model.hpp"
+
+namespace easel::core {
+
+double solve_p_prop(double p_detect, double p_em, double p_ds) {
+  if (p_detect < 0.0 || p_detect > 1.0 || p_em < 0.0 || p_em > 1.0 || p_ds < 0.0 ||
+      p_ds > 1.0) {
+    throw std::domain_error{"probabilities must lie in [0, 1]"};
+  }
+  const double p_en = 1.0 - p_em;
+  if (p_ds == 0.0) {
+    if (p_detect == 0.0) return 0.0;  // any Pprop is consistent; return the smallest
+    throw std::domain_error{"Pdetect > 0 impossible with Pds = 0"};
+  }
+  if (p_en == 0.0) {
+    // Every error lands in a monitored signal; Pdetect must equal Pds.
+    if (p_detect <= p_ds) return 0.0;
+    throw std::domain_error{"Pdetect exceeds Pds with Pem = 1"};
+  }
+  const double p_prop = (p_detect / p_ds - p_em) / p_en;
+  if (p_prop < 0.0 || p_prop > 1.0) {
+    throw std::domain_error{"inputs admit no propagation probability in [0, 1]"};
+  }
+  return p_prop;
+}
+
+}  // namespace easel::core

@@ -1,0 +1,55 @@
+// The total-detection-probability model of paper §2.4.
+//
+// Given that an error has occurred:
+//   Pem   = Pr{error location is in a monitored signal}
+//   Pen   = Pr{error location is not in a monitored signal} = 1 - Pem
+//   Pprop = Pr{error propagates to a monitored signal}
+//   Pds   = Pr{detected | error is located in a monitored signal}
+//
+//   Pdetect = (Pen * Pprop + Pem) * Pds
+//
+// Pds is assessed separately by error-injection (error set E1 estimates it);
+// the model then predicts whole-system coverage for any assumed error
+// distribution.  `bench_coverage_model` evaluates the paper's worked
+// numbers; `fi::Campaign` measures Pdetect directly with error set E2.
+#pragma once
+
+#include <stdexcept>
+
+namespace easel::core {
+
+struct CoverageModel {
+  double p_em = 0.0;    ///< Pr{error lands in a monitored signal}
+  double p_prop = 0.0;  ///< Pr{non-monitored error propagates to a monitored signal}
+  double p_ds = 0.0;    ///< Pr{detected | present in a monitored signal}
+
+  /// Pen = 1 - Pem.
+  [[nodiscard]] constexpr double p_en() const noexcept { return 1.0 - p_em; }
+
+  /// Pdetect = (Pen·Pprop + Pem)·Pds.
+  [[nodiscard]] constexpr double p_detect() const noexcept {
+    return (p_en() * p_prop + p_em) * p_ds;
+  }
+
+  /// Pr{error is present in a monitored signal} — the first factor.
+  [[nodiscard]] constexpr double p_present_in_monitored() const noexcept {
+    return p_en() * p_prop + p_em;
+  }
+
+  /// Throws std::domain_error unless every probability lies in [0, 1].
+  void validate() const {
+    const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+    if (!in_unit(p_em) || !in_unit(p_prop) || !in_unit(p_ds)) {
+      throw std::domain_error{"coverage model probabilities must lie in [0, 1]"};
+    }
+  }
+};
+
+/// Solves the model for Pprop given a measured Pdetect (useful after an
+/// E2-style campaign: with Pem known from the memory map and Pds from an
+/// E1-style campaign, the remaining unknown is the propagation probability).
+/// Throws std::domain_error if the inputs are inconsistent (no solution in
+/// [0, 1]).
+[[nodiscard]] double solve_p_prop(double p_detect, double p_em, double p_ds);
+
+}  // namespace easel::core

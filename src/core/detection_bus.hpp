@@ -1,0 +1,94 @@
+// Detection reporting — the software analogue of the digital output pin the
+// target raises on detection, plus the FIC3-side time-stamping (paper §3.3).
+//
+// The bus clock is *experiment* (ground-truth) time supplied by the harness,
+// never target time: on the real rig the FIC3 time-stamps detections with
+// its own clock, so an injected error that corrupts the target's clock
+// signal cannot corrupt the latency measurement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/continuous_assertion.hpp"
+#include "core/discrete_assertion.hpp"
+#include "core/params.hpp"
+
+namespace easel::core {
+
+/// One detection event.
+struct Detection {
+  std::uint64_t time_ms = 0;      ///< experiment time of the report
+  std::uint16_t monitor_id = 0;   ///< which executable assertion reported
+  sig_t value = 0;                ///< offending signal value
+  sig_t prev = 0;                 ///< monitor's previous value at the time
+  ContinuousTest continuous_test = ContinuousTest::none;
+  DiscreteTest discrete_test = DiscreteTest::none;
+  std::uint8_t mode = 0;          ///< signal mode in effect
+};
+
+/// Collects detection events for one experiment run.
+///
+/// Stores the first `capacity` events verbatim (for diagnosis) and counts
+/// the rest; first-detection time and per-monitor first-detection times are
+/// always exact.
+class DetectionBus {
+ public:
+  explicit DetectionBus(std::size_t capacity = 256) : capacity_{capacity} {}
+
+  /// Advances the experiment clock (called by the harness each tick).
+  void set_time_ms(std::uint64_t now) noexcept { now_ms_ = now; }
+  [[nodiscard]] std::uint64_t time_ms() const noexcept { return now_ms_; }
+
+  /// Registers a monitor name; returns its id.  Ids are dense from 0.
+  std::uint16_t register_monitor(std::string name);
+
+  /// Raises the detection "pin" for `monitor_id` with diagnostic payload.
+  void report(std::uint16_t monitor_id, sig_t value, sig_t prev,
+              ContinuousTest continuous_test, DiscreteTest discrete_test,
+              std::uint8_t mode = 0);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool any() const noexcept { return count_ > 0; }
+
+  /// Time of the first report, if any.
+  [[nodiscard]] std::optional<std::uint64_t> first_detection_ms() const noexcept {
+    return first_ms_;
+  }
+
+  /// Time of the first report by a specific monitor, if any.
+  [[nodiscard]] std::optional<std::uint64_t> first_detection_ms(std::uint16_t monitor_id) const;
+
+  /// Number of reports by a specific monitor.
+  [[nodiscard]] std::uint64_t count_for(std::uint16_t monitor_id) const;
+
+  /// The stored (first `capacity`) events.
+  [[nodiscard]] const std::vector<Detection>& events() const noexcept { return events_; }
+
+  [[nodiscard]] const std::string& monitor_name(std::uint16_t monitor_id) const {
+    return names_.at(monitor_id);
+  }
+  [[nodiscard]] std::size_t monitor_count() const noexcept { return names_.size(); }
+
+  /// Clears events and the clock but keeps monitor registrations — the
+  /// between-runs reset of an experiment campaign.
+  void reset_run() noexcept;
+
+ private:
+  struct PerMonitor {
+    std::optional<std::uint64_t> first_ms;
+    std::uint64_t count = 0;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t now_ms_ = 0;
+  std::uint64_t count_ = 0;
+  std::optional<std::uint64_t> first_ms_;
+  std::vector<Detection> events_;
+  std::vector<std::string> names_;
+  std::vector<PerMonitor> per_monitor_;
+};
+
+}  // namespace easel::core

@@ -1,0 +1,42 @@
+#include "core/discrete_assertion.hpp"
+
+namespace easel::core {
+
+std::string_view to_string(DiscreteTest test) noexcept {
+  switch (test) {
+    case DiscreteTest::none: return "none";
+    case DiscreteTest::domain: return "s ∈ D";
+    case DiscreteTest::transition: return "s ∈ T(s')";
+  }
+  return "unknown";
+}
+
+DiscreteAssertion::DiscreteAssertion(const DiscreteParams& params, bool sequential)
+    : domain_{params.domain.begin(), params.domain.end()}, sequential_{sequential} {
+  if (sequential_) {
+    for (const auto& [from, successors] : params.transitions) {
+      for (const sig_t to : successors) transitions_.insert(pair_key(from, to));
+    }
+  }
+}
+
+DiscreteVerdict DiscreteAssertion::check(sig_t s, sig_t s_prev) const noexcept {
+  DiscreteVerdict v = check_domain_only(s);
+  if (!v.ok || !sequential_) return v;
+  if (!transitions_.contains(pair_key(s_prev, s))) {
+    v.ok = false;
+    v.failed = DiscreteTest::transition;
+  }
+  return v;
+}
+
+DiscreteVerdict DiscreteAssertion::check_domain_only(sig_t s) const noexcept {
+  DiscreteVerdict v;
+  if (!domain_.contains(s)) {
+    v.ok = false;
+    v.failed = DiscreteTest::domain;
+  }
+  return v;
+}
+
+}  // namespace easel::core

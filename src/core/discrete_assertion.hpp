@@ -1,0 +1,74 @@
+// The generic executable assertion for discrete signals — paper Table 3.
+//
+//   Random signals:     s ∈ D
+//   Sequential signals: s ∈ D  and  s ∈ T(s')
+//
+// For sequential signals the membership test s ∈ D is implied by
+// s ∈ T(s'), "but both tests are used nonetheless" (Table 3); we keep both
+// so that the reported failing test distinguishes an out-of-domain value
+// from an illegal transition.
+//
+// Remaining in the same state counts as a transition: s = s' passes only if
+// s ∈ T(s') contains s (self-loop).  State machines that may dwell in a
+// state therefore list the state in its own transition set.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace easel::core {
+
+/// Identifies the Table 3 assertions for diagnostics.
+enum class DiscreteTest : std::uint8_t {
+  none,        ///< passed
+  domain,      ///< s ∈ D violated
+  transition,  ///< s ∈ T(s') violated
+};
+
+[[nodiscard]] std::string_view to_string(DiscreteTest test) noexcept;
+
+struct DiscreteVerdict {
+  bool ok = true;
+  DiscreteTest failed = DiscreteTest::none;
+};
+
+/// The Table 3 algorithm instantiated with one Pdisc, compiled into hash
+/// lookups so the per-test cost is O(1) regardless of domain size.
+class DiscreteAssertion {
+ public:
+  /// `sequential` selects the sequential-signal variant (domain + transition
+  /// test); otherwise only the domain test runs.  For sequential use, every
+  /// legal (s', s) pair must appear in params.transitions.
+  DiscreteAssertion(const DiscreteParams& params, bool sequential);
+
+  /// Convenience: sequential is derived from the class.
+  DiscreteAssertion(const DiscreteParams& params, SignalClass cls)
+      : DiscreteAssertion{params, is_sequential(cls)} {}
+
+  /// Full Table 3 evaluation of `s` following previous value `s_prev`.
+  [[nodiscard]] DiscreteVerdict check(sig_t s, sig_t s_prev) const noexcept;
+
+  /// Domain-only test — used for the first sample, when no previous value
+  /// exists, and for random discrete signals.
+  [[nodiscard]] DiscreteVerdict check_domain_only(sig_t s) const noexcept;
+
+  [[nodiscard]] bool sequential() const noexcept { return sequential_; }
+  [[nodiscard]] std::size_t domain_size() const noexcept { return domain_.size(); }
+
+ private:
+  [[nodiscard]] static std::uint64_t pair_key(sig_t from, sig_t to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  std::unordered_set<sig_t> domain_;
+  std::unordered_set<std::uint64_t> transitions_;
+  bool sequential_;
+};
+
+}  // namespace easel::core

@@ -1,0 +1,77 @@
+#include "core/dynamic_assertion.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace easel::core {
+
+std::string_view to_string(PredictiveTest test) noexcept {
+  switch (test) {
+    case PredictiveTest::none: return "none";
+    case PredictiveTest::t1_max: return "test 1 (maximum value)";
+    case PredictiveTest::t2_min: return "test 2 (minimum value)";
+    case PredictiveTest::prediction: return "prediction window";
+  }
+  return "unknown";
+}
+
+Validation validate(const PredictiveParams& params) {
+  Validation v;
+  if (params.smax <= params.smin) v.problems.emplace_back("smax must exceed smin");
+  if (params.base_tolerance < 0) v.problems.emplace_back("base tolerance must be >= 0");
+  if (params.slack_num < 0 || params.slack_den <= 0) {
+    v.problems.emplace_back("slack fraction must be non-negative with positive denominator");
+  }
+  if (params.ema_shift > 15) v.problems.emplace_back("ema shift must be <= 15");
+  return v;
+}
+
+PredictiveAssertion::PredictiveAssertion(const PredictiveParams& params) : p_{params} {
+  if (const Validation v = validate(params); !v.ok()) {
+    std::string message = "invalid predictive parameters:";
+    for (const auto& problem : v.problems) message += " " + problem + ";";
+    throw std::invalid_argument{message};
+  }
+}
+
+PredictiveVerdict PredictiveAssertion::check(sig_t s, TrendState& state) const noexcept {
+  PredictiveVerdict verdict;
+  if (s > p_.smax) {
+    verdict.ok = false;
+    verdict.failed = PredictiveTest::t1_max;
+  } else if (s < p_.smin) {
+    verdict.ok = false;
+    verdict.failed = PredictiveTest::t2_min;
+  }
+
+  if (!state.primed) {
+    if (verdict.ok) {
+      state.prev = s;
+      state.trend_q8 = 0;
+      state.primed = true;
+    }
+    return verdict;
+  }
+
+  const std::int32_t trend = state.trend_q8 / 256;  // integer part of the EMA
+  verdict.predicted = state.prev + trend;
+  verdict.tolerance = p_.base_tolerance +
+                      static_cast<sig_t>(static_cast<std::int64_t>(std::abs(trend)) *
+                                         p_.slack_num / p_.slack_den);
+  if (verdict.ok) {
+    const std::int32_t miss = s - verdict.predicted;
+    if (miss > verdict.tolerance || miss < -verdict.tolerance) {
+      verdict.ok = false;
+      verdict.failed = PredictiveTest::prediction;
+    }
+  }
+
+  // Track the observed signal either way (detect-only semantics): the EMA
+  // update uses the raw delta in Q8.
+  const std::int32_t delta_q8 = (s - state.prev) * 256;
+  state.trend_q8 += (delta_q8 - state.trend_q8) >> p_.ema_shift;
+  state.prev = s;
+  return verdict;
+}
+
+}  // namespace easel::core

@@ -1,0 +1,85 @@
+// Dynamic (predictive) constraints — the extension the paper defers:
+// "These parameters are static, but dynamic constraints as in [4] and [14]
+// may also be considered" (§2.1, citing Stroph & Clarke's dynamic acceptance
+// tests and Clegg & Marzullo's physical-process prediction).
+//
+// A PredictiveAssertion tracks the signal's local trend with an integer
+// exponential moving average and tests each new sample against a predicted
+// acceptance window:
+//
+//     trend'  = trend + (delta - trend) / 2^k          (EMA of per-test delta)
+//     predict = s' + trend
+//     accept  iff  smin <= s <= smax  and  |s - predict| <= tolerance
+//     tolerance = base + |trend| * slack_num / slack_den
+//
+// Compared with a static Pcont band, the window *follows the signal*: it is
+// tight while the signal is steady (catching small errors a static band
+// sized for the worst-case ramp must let through) and widens during fast
+// legitimate transients.  The trend state is caller-owned POD, like
+// MonitorState, so targets can keep it in injectable memory.
+//
+// All arithmetic is integer (trend kept in Q8 fixed point) — the mechanism
+// stays deployable on the paper's class of embedded nodes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/params.hpp"
+
+namespace easel::core {
+
+/// Tuning of a predictive assertion.
+struct PredictiveParams {
+  sig_t smax = 0;            ///< absolute maximum (Table 2 test 1 still applies)
+  sig_t smin = 0;            ///< absolute minimum (test 2)
+  sig_t base_tolerance = 0;  ///< acceptance half-width at zero trend (>= noise floor)
+  std::int32_t slack_num = 1;  ///< tolerance slack per unit of |trend|...
+  std::int32_t slack_den = 1;  ///< ...as the fraction slack_num / slack_den
+  unsigned ema_shift = 2;      ///< trend smoothing: new delta weight 1 / 2^ema_shift
+};
+
+/// Empty problems == valid.
+[[nodiscard]] Validation validate(const PredictiveParams& params);
+
+/// Caller-owned predictor state (POD; storable in a memory image).
+struct TrendState {
+  sig_t prev = 0;
+  std::int32_t trend_q8 = 0;  ///< EMA of per-test delta, Q8 fixed point
+  bool primed = false;
+};
+
+enum class PredictiveTest : std::uint8_t {
+  none,
+  t1_max,      ///< s > smax
+  t2_min,      ///< s < smin
+  prediction,  ///< |s - predicted| exceeded the dynamic tolerance
+};
+
+[[nodiscard]] std::string_view to_string(PredictiveTest test) noexcept;
+
+struct PredictiveVerdict {
+  bool ok = true;
+  PredictiveTest failed = PredictiveTest::none;
+  sig_t predicted = 0;   ///< s' + trend (valid when primed)
+  sig_t tolerance = 0;   ///< acceptance half-width used
+};
+
+class PredictiveAssertion {
+ public:
+  /// Throws std::invalid_argument on invalid parameters.
+  explicit PredictiveAssertion(const PredictiveParams& params);
+
+  /// Tests sample `s`, updating `state`.  The first sample after reset sees
+  /// only the bounds tests and seeds the predictor with zero trend.
+  /// On a violation the state keeps tracking the observed signal (trend
+  /// update included), mirroring ContinuousMonitor's detect-only behaviour.
+  PredictiveVerdict check(sig_t s, TrendState& state) const noexcept;
+
+  [[nodiscard]] const PredictiveParams& params() const noexcept { return p_; }
+
+ private:
+  PredictiveParams p_;
+};
+
+}  // namespace easel::core

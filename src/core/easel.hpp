@@ -1,0 +1,22 @@
+// Umbrella header for the EASEL core library: the signal classification
+// scheme, the executable assertions of paper Tables 2 and 3, per-signal
+// monitors and channels, recovery policies, detection reporting, the
+// predictive-constraint extension, the §2.4 coverage model, and the §2.3
+// placement-process data model.
+//
+// Target-system and experiment infrastructure (memory image, scheduler,
+// plant, fault injection) live in their own headers under mem/, rt/, sim/,
+// arrestor/ and fi/.
+#pragma once
+
+#include "core/channel.hpp"           // IWYU pragma: export
+#include "core/continuous_assertion.hpp"  // IWYU pragma: export
+#include "core/coverage_model.hpp"    // IWYU pragma: export
+#include "core/detection_bus.hpp"     // IWYU pragma: export
+#include "core/discrete_assertion.hpp"  // IWYU pragma: export
+#include "core/dynamic_assertion.hpp"  // IWYU pragma: export
+#include "core/monitor.hpp"           // IWYU pragma: export
+#include "core/params.hpp"            // IWYU pragma: export
+#include "core/placement.hpp"         // IWYU pragma: export
+#include "core/recovery.hpp"          // IWYU pragma: export
+#include "core/signal_class.hpp"      // IWYU pragma: export

@@ -1,0 +1,96 @@
+// Stateful per-signal monitors: the deployable form of the executable
+// assertions.
+//
+// A monitor owns the per-mode parameter sets (paper §2.1 "Signal modes": one
+// Pcont/Pdisc per mode of operation) and the assertion algorithm, but NOT
+// the previous-value state: that lives in a caller-owned MonitorState so the
+// target system can keep it in its (fault-injectable) memory image, exactly
+// as monitor state occupies application RAM on the real node.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/continuous_assertion.hpp"
+#include "core/discrete_assertion.hpp"
+#include "core/recovery.hpp"
+
+namespace easel::core {
+
+/// Caller-owned monitor state: the last accepted sample and whether one
+/// exists yet.  POD so it can be mirrored into a memory image.
+struct MonitorState {
+  sig_t prev = 0;
+  bool primed = false;
+};
+
+/// Result of one monitor invocation.
+struct CheckOutcome {
+  bool ok = true;                 ///< the assertion held
+  bool recovered = false;         ///< a replacement value was produced
+  sig_t value = 0;                ///< accepted or recovered signal value
+  ContinuousTest continuous_test = ContinuousTest::none;  ///< failed group, if continuous
+  DiscreteTest discrete_test = DiscreteTest::none;        ///< failed test, if discrete
+};
+
+/// Monitor for one continuous signal with one parameter set per mode.
+///
+/// Invariant: every mode's parameters satisfy Table 1 for the declared
+/// class (checked at construction; violations throw std::invalid_argument).
+class ContinuousMonitor {
+ public:
+  ContinuousMonitor(SignalClass cls, std::vector<ContinuousParams> mode_params,
+                    RecoveryPolicy policy = RecoveryPolicy::none);
+
+  /// Single-mode convenience.
+  ContinuousMonitor(SignalClass cls, const ContinuousParams& params,
+                    RecoveryPolicy policy = RecoveryPolicy::none)
+      : ContinuousMonitor{cls, std::vector<ContinuousParams>{params}, policy} {}
+
+  /// Tests sample `s` in `mode`, updating `state`.
+  ///
+  /// The first sample after reset sees only the bounds tests (1 and 2) —
+  /// there is no previous value to rate-check against.  On a violation with
+  /// a recovery policy, `outcome.value` holds the valid replacement and the
+  /// state tracks it; without recovery the state tracks the observed value
+  /// so subsequent tests compare against the real signal trajectory.
+  CheckOutcome check(sig_t s, MonitorState& state, std::size_t mode = 0) const;
+
+  [[nodiscard]] SignalClass signal_class() const noexcept { return cls_; }
+  [[nodiscard]] std::size_t mode_count() const noexcept { return assertions_.size(); }
+  [[nodiscard]] const ContinuousParams& params(std::size_t mode = 0) const {
+    return assertions_.at(mode).params();
+  }
+  [[nodiscard]] RecoveryPolicy policy() const noexcept { return policy_; }
+
+ private:
+  SignalClass cls_;
+  std::vector<ContinuousAssertion> assertions_;  // one per mode
+  RecoveryPolicy policy_;
+};
+
+/// Monitor for one discrete signal with one parameter set per mode.
+class DiscreteMonitor {
+ public:
+  DiscreteMonitor(SignalClass cls, std::vector<DiscreteParams> mode_params,
+                  RecoveryPolicy policy = RecoveryPolicy::none);
+
+  DiscreteMonitor(SignalClass cls, const DiscreteParams& params,
+                  RecoveryPolicy policy = RecoveryPolicy::none)
+      : DiscreteMonitor{cls, std::vector<DiscreteParams>{params}, policy} {}
+
+  CheckOutcome check(sig_t s, MonitorState& state, std::size_t mode = 0) const;
+
+  [[nodiscard]] SignalClass signal_class() const noexcept { return cls_; }
+  [[nodiscard]] std::size_t mode_count() const noexcept { return assertions_.size(); }
+  [[nodiscard]] RecoveryPolicy policy() const noexcept { return policy_; }
+
+ private:
+  SignalClass cls_;
+  std::vector<DiscreteAssertion> assertions_;  // one per mode
+  std::vector<DiscreteParams> params_;         // kept for recovery
+  RecoveryPolicy policy_;
+};
+
+}  // namespace easel::core

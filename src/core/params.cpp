@@ -1,0 +1,148 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace easel::core {
+
+DiscreteParams make_linear_cycle(std::vector<sig_t> ordered_domain) {
+  DiscreteParams params;
+  params.domain = std::move(ordered_domain);
+  const std::size_t n = params.domain.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    params.transitions[params.domain[i]] = {params.domain[(i + 1) % n]};
+  }
+  return params;
+}
+
+DiscreteParams make_linear_chain(std::vector<sig_t> ordered_domain) {
+  DiscreteParams params;
+  params.domain = std::move(ordered_domain);
+  for (std::size_t i = 0; i + 1 < params.domain.size(); ++i) {
+    params.transitions[params.domain[i]] = {params.domain[i + 1]};
+  }
+  if (!params.domain.empty()) params.transitions[params.domain.back()] = {};
+  return params;
+}
+
+namespace {
+
+bool rates_nonneg(const ContinuousParams& p, Validation& v) {
+  bool ok = true;
+  if (p.rmin_incr < 0 || p.rmax_incr < 0 || p.rmin_decr < 0 || p.rmax_decr < 0) {
+    v.problems.emplace_back("rates must be non-negative magnitudes");
+    ok = false;
+  }
+  return ok;
+}
+
+/// Table 1, "Static monotonic" row.
+bool is_static_monotonic(const ContinuousParams& p) noexcept {
+  const bool decreasing =
+      p.rmax_incr == 0 && p.rmin_incr == 0 && p.rmax_decr == p.rmin_decr && p.rmax_decr > 0;
+  const bool increasing =
+      p.rmax_decr == 0 && p.rmin_decr == 0 && p.rmax_incr == p.rmin_incr && p.rmax_incr > 0;
+  return decreasing || increasing;
+}
+
+/// Table 1, "Dynamic monotonic" row.
+bool is_dynamic_monotonic(const ContinuousParams& p) noexcept {
+  const bool decreasing =
+      p.rmax_incr == 0 && p.rmin_incr == 0 && p.rmax_decr > p.rmin_decr && p.rmin_decr >= 0;
+  const bool increasing =
+      p.rmax_decr == 0 && p.rmin_decr == 0 && p.rmax_incr > p.rmin_incr && p.rmin_incr >= 0;
+  return decreasing || increasing;
+}
+
+/// Table 1, "Random" row.
+bool is_random(const ContinuousParams& p) noexcept {
+  return p.rmax_incr >= p.rmin_incr && p.rmin_incr >= 0 && p.rmax_decr >= p.rmin_decr &&
+         p.rmin_decr >= 0;
+}
+
+}  // namespace
+
+Validation validate(const ContinuousParams& params, SignalClass cls) {
+  Validation v;
+  if (!is_continuous(cls)) {
+    v.problems.emplace_back("class is not continuous");
+    return v;
+  }
+  if (params.smax <= params.smin) {
+    v.problems.emplace_back("Table 1 'All': smax must exceed smin");
+  }
+  if (!rates_nonneg(params, v)) return v;
+
+  switch (cls) {
+    case SignalClass::continuous_static_monotonic:
+      if (!is_static_monotonic(params)) {
+        v.problems.emplace_back(
+            "Table 1 'Static monotonic': one direction's rates must be a single "
+            "positive value and the other direction's rates must be zero");
+      }
+      break;
+    case SignalClass::continuous_dynamic_monotonic:
+      if (!is_dynamic_monotonic(params)) {
+        v.problems.emplace_back(
+            "Table 1 'Dynamic monotonic': one direction must carry a proper rate band "
+            "(rmax > rmin >= 0) and the other direction's rates must be zero");
+      }
+      break;
+    case SignalClass::continuous_random:
+      if (!is_random(params)) {
+        v.problems.emplace_back("Table 1 'Random': each direction needs rmax >= rmin >= 0");
+      }
+      break;
+    default:
+      break;  // unreachable: is_continuous checked above
+  }
+  return v;
+}
+
+Validation validate(const DiscreteParams& params, SignalClass cls) {
+  Validation v;
+  if (!is_discrete(cls)) {
+    v.problems.emplace_back("class is not discrete");
+    return v;
+  }
+  if (params.domain.empty()) {
+    v.problems.emplace_back("domain D must not be empty");
+    return v;
+  }
+  const std::set<sig_t> domain(params.domain.begin(), params.domain.end());
+  if (domain.size() != params.domain.size()) {
+    v.problems.emplace_back("domain D contains duplicate values");
+  }
+  if (cls == SignalClass::discrete_random) return v;  // T(d) ignored for random signals
+
+  for (const auto& [from, successors] : params.transitions) {
+    if (!domain.contains(from)) {
+      v.problems.emplace_back("transition source " + std::to_string(from) + " is outside D");
+    }
+    for (const sig_t to : successors) {
+      if (!domain.contains(to)) {
+        v.problems.emplace_back("transition target " + std::to_string(to) + " from " +
+                                std::to_string(from) + " is outside D");
+      }
+    }
+    if (cls == SignalClass::discrete_sequential_linear && successors.size() > 1) {
+      v.problems.emplace_back("linear signal value " + std::to_string(from) +
+                              " has more than one successor");
+    }
+  }
+  return v;
+}
+
+std::optional<SignalClass> infer_class(const ContinuousParams& params) noexcept {
+  if (params.smax <= params.smin) return std::nullopt;
+  if (params.rmin_incr < 0 || params.rmax_incr < 0 || params.rmin_decr < 0 ||
+      params.rmax_decr < 0) {
+    return std::nullopt;
+  }
+  if (is_static_monotonic(params)) return SignalClass::continuous_static_monotonic;
+  if (is_dynamic_monotonic(params)) return SignalClass::continuous_dynamic_monotonic;
+  if (is_random(params)) return SignalClass::continuous_random;
+  return std::nullopt;
+}
+
+}  // namespace easel::core

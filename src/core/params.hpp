@@ -1,0 +1,78 @@
+// Parameter sets that instantiate the generic assertion algorithms.
+//
+// Paper §2.1: each continuous signal carries a set Pcont of seven parameters
+// {smax, smin, rmin_incr, rmax_incr, rmin_decr, rmax_decr, w}; each discrete
+// signal carries Pdisc = {D, T(d) for d in D}.  Table 1 constrains the
+// continuous parameters per class; `validate` enforces those constraints and
+// `infer_class` recovers the class a parameter set describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/signal_class.hpp"
+
+namespace easel::core {
+
+/// Signal value type of the assertion engine.  The target's signals are
+/// 16-bit words; int32_t holds both unsigned and signed interpretations and
+/// keeps every Table 2 arithmetic expression exactly representable.
+using sig_t = std::int32_t;
+
+/// Pcont — the seven parameters of a continuous signal (paper §2.1).
+/// Rates are magnitudes per test invocation (always >= 0); the increase and
+/// decrease directions carry separate bands.
+struct ContinuousParams {
+  sig_t smax = 0;        ///< maximum value
+  sig_t smin = 0;        ///< minimum value
+  sig_t rmin_incr = 0;   ///< minimum increase rate
+  sig_t rmax_incr = 0;   ///< maximum increase rate
+  sig_t rmin_decr = 0;   ///< minimum decrease rate
+  sig_t rmax_decr = 0;   ///< maximum decrease rate
+  bool wrap = false;     ///< w — wrap-around allowed
+
+  friend bool operator==(const ContinuousParams&, const ContinuousParams&) = default;
+};
+
+/// Pdisc — the valid domain D and the per-value transition sets T(d)
+/// (paper §2.1).  For discrete *random* signals `transitions` is ignored:
+/// any transition inside D is valid.  For sequential signals, a value with
+/// no entry in `transitions` has an empty T(d) — no transition away from it
+/// is valid (an absorbing state).
+struct DiscreteParams {
+  std::vector<sig_t> domain;                       ///< D
+  std::map<sig_t, std::vector<sig_t>> transitions; ///< T(d)
+};
+
+/// Builds the Pdisc of a linear sequential signal that cycles through
+/// `ordered_domain` in order (T(d_i) = {d_(i+1 mod n)}).
+[[nodiscard]] DiscreteParams make_linear_cycle(std::vector<sig_t> ordered_domain);
+
+/// Builds the Pdisc of a linear sequential signal that walks `ordered_domain`
+/// once and stops (the last value is absorbing).
+[[nodiscard]] DiscreteParams make_linear_chain(std::vector<sig_t> ordered_domain);
+
+/// Outcome of a parameter validation: empty `problems` means valid.
+struct Validation {
+  std::vector<std::string> problems;
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+};
+
+/// Checks Pcont against the Table 1 constraints for `cls` (which must be a
+/// continuous class).  The "All" row (smax > smin) is always enforced.
+[[nodiscard]] Validation validate(const ContinuousParams& params, SignalClass cls);
+
+/// Checks Pdisc for `cls` (which must be a discrete class): non-empty domain,
+/// no duplicate values, transition endpoints inside the domain, and — for
+/// linear signals — at most one successor per value.
+[[nodiscard]] Validation validate(const DiscreteParams& params, SignalClass cls);
+
+/// The most specific continuous class whose Table 1 constraints `params`
+/// satisfies, or nullopt if it satisfies none (e.g. smax <= smin).
+/// Static monotonic is preferred over dynamic monotonic, which is preferred
+/// over random, mirroring the specialisation order of Figure 1.
+[[nodiscard]] std::optional<SignalClass> infer_class(const ContinuousParams& params) noexcept;
+
+}  // namespace easel::core

@@ -1,0 +1,115 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace easel::core {
+
+std::string_view to_string(SignalRole role) noexcept {
+  switch (role) {
+    case SignalRole::input: return "input";
+    case SignalRole::output: return "output";
+    case SignalRole::intermediate: return "intermediate";
+    case SignalRole::internal: return "internal";
+  }
+  return "unknown";
+}
+
+void SignalInventory::add(SignalDecl decl) {
+  if (contains(decl.name)) {
+    throw std::invalid_argument{"duplicate signal '" + decl.name + "'"};
+  }
+  signals_.push_back(std::move(decl));
+}
+
+void SignalInventory::add_pathway(Pathway pathway) {
+  for (const auto& signal : pathway.signals) {
+    if (!contains(signal)) {
+      throw std::invalid_argument{"pathway '" + pathway.name + "' references unknown signal '" +
+                                  signal + "'"};
+    }
+  }
+  pathways_.push_back(std::move(pathway));
+}
+
+bool SignalInventory::contains(const std::string& name) const noexcept {
+  return std::any_of(signals_.begin(), signals_.end(),
+                     [&](const SignalDecl& s) { return s.name == name; });
+}
+
+const SignalDecl& SignalInventory::find(const std::string& name) const {
+  for (const auto& signal : signals_) {
+    if (signal.name == name) return signal;
+  }
+  throw std::out_of_range{"unknown signal '" + name + "'"};
+}
+
+SignalDecl& SignalInventory::find_mutable(const std::string& name) {
+  for (auto& signal : signals_) {
+    if (signal.name == name) return signal;
+  }
+  throw std::out_of_range{"unknown signal '" + name + "'"};
+}
+
+void SignalInventory::mark_service_critical(const std::string& name) {
+  find_mutable(name).service_critical = true;
+}
+
+void SignalInventory::classify(const std::string& name, SignalClass cls) {
+  find_mutable(name).cls = cls;
+}
+
+void SignalInventory::mark_parameters_defined(const std::string& name) {
+  find_mutable(name).parameters_defined = true;
+}
+
+void SignalInventory::set_test_location(const std::string& name, std::string module) {
+  find_mutable(name).test_location = std::move(module);
+}
+
+std::vector<SignalDecl> SignalInventory::service_critical() const {
+  std::vector<SignalDecl> out;
+  std::copy_if(signals_.begin(), signals_.end(), std::back_inserter(out),
+               [](const SignalDecl& s) { return s.service_critical; });
+  return out;
+}
+
+std::vector<std::string> SignalInventory::unfinished() const {
+  std::vector<std::string> missing;
+  if (signals_.empty()) missing.emplace_back("step 1/3: no signals identified");
+  if (pathways_.empty()) missing.emplace_back("step 2: no signal pathways identified");
+  const auto critical = service_critical();
+  if (critical.empty()) missing.emplace_back("step 4: no service-critical signals determined");
+  for (const auto& signal : critical) {
+    if (!signal.cls) missing.push_back("step 5: '" + signal.name + "' not classified");
+    if (!signal.parameters_defined) {
+      missing.push_back("step 6: '" + signal.name + "' has no parameter values");
+    }
+    if (signal.test_location.empty()) {
+      missing.push_back("step 7: '" + signal.name + "' has no test location");
+    }
+  }
+  return missing;
+}
+
+std::string SignalInventory::render_table4() const {
+  using util::pad_right;
+  constexpr std::size_t kName = 13, kModule = 10, kClass = 10;
+  std::string out;
+  out += pad_right("Signal", kName) + pad_right("Producer", kModule) +
+         pad_right("Consumer", kModule) + pad_right("Test location", kName + 1) +
+         pad_right("Class", kClass) + "\n";
+  out += std::string(kName + 2 * kModule + kName + 1 + kClass, '-') + "\n";
+  for (const auto& signal : signals_) {
+    if (!signal.service_critical) continue;
+    out += pad_right(signal.name, kName) + pad_right(signal.producer, kModule) +
+           pad_right(signal.consumer, kModule) + pad_right(signal.test_location, kName + 1) +
+           pad_right(signal.cls ? short_code(*signal.cls) : std::string_view{"?"}, kClass) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace easel::core

@@ -1,0 +1,89 @@
+// The eight-step placement process of paper §2.3, as a checkable data model.
+//
+//   1. Identify the input and output signals of the system.
+//   2. Identify the signal pathways from inputs through the system to outputs.
+//   3. Identify internally generated signals with direct influence on
+//      intermediate and output signals.
+//   4. Determine which signals are service-critical (e.g. via FMECA).
+//   5. Classify each critical signal using the classification scheme.
+//   6. Determine parameter values (possibly per mode).
+//   7. Decide on locations for the mechanisms.
+//   8. Incorporate the mechanisms in the system.
+//
+// SignalInventory records the outcome of steps 1–7; `unfinished()` lists
+// what is still missing, so the process can gate step 8 (incorporation) in
+// code review or CI.  The arresting-system target builds its Table 4 from
+// this model (src/arrestor/signal_map.*).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/signal_class.hpp"
+
+namespace easel::core {
+
+/// How a signal enters the dataflow (steps 1 and 3).
+enum class SignalRole : std::uint8_t { input, output, intermediate, internal };
+
+[[nodiscard]] std::string_view to_string(SignalRole role) noexcept;
+
+/// One row of the inventory (becomes a row of paper Table 4 once critical,
+/// classified, and placed).
+struct SignalDecl {
+  std::string name;
+  SignalRole role = SignalRole::intermediate;
+  std::string producer;       ///< originating module
+  std::string consumer;       ///< receiving module
+  bool service_critical = false;          ///< step 4 outcome
+  std::optional<SignalClass> cls;         ///< step 5 outcome
+  bool parameters_defined = false;        ///< step 6 outcome
+  std::string test_location;              ///< step 7 outcome (module name)
+};
+
+/// A named input→output pathway (step 2).
+struct Pathway {
+  std::string name;
+  std::vector<std::string> signals;  ///< in dataflow order, inputs first
+};
+
+class SignalInventory {
+ public:
+  /// Adds a signal; throws std::invalid_argument on duplicate name.
+  void add(SignalDecl decl);
+
+  /// Adds a pathway; every referenced signal must already be declared.
+  void add_pathway(Pathway pathway);
+
+  [[nodiscard]] const SignalDecl& find(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  void mark_service_critical(const std::string& name);
+  void classify(const std::string& name, SignalClass cls);
+  void mark_parameters_defined(const std::string& name);
+  void set_test_location(const std::string& name, std::string module);
+
+  [[nodiscard]] const std::vector<SignalDecl>& signals() const noexcept { return signals_; }
+  [[nodiscard]] const std::vector<Pathway>& pathways() const noexcept { return pathways_; }
+
+  /// The step 4 output: all service-critical signals.
+  [[nodiscard]] std::vector<SignalDecl> service_critical() const;
+
+  /// Human-readable list of process steps not yet complete: signals or
+  /// pathways missing, critical signals without class, parameters, or test
+  /// location.  Empty means steps 1–7 are done and step 8 may proceed.
+  [[nodiscard]] std::vector<std::string> unfinished() const;
+
+  /// Renders the service-critical signals as the paper's Table 4
+  /// (Signal | Producer | Consumer | Test location | Class).
+  [[nodiscard]] std::string render_table4() const;
+
+ private:
+  SignalDecl& find_mutable(const std::string& name);
+
+  std::vector<SignalDecl> signals_;
+  std::vector<Pathway> pathways_;
+};
+
+}  // namespace easel::core

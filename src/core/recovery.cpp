@@ -1,0 +1,73 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+
+namespace easel::core {
+
+std::string_view to_string(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::none: return "none";
+    case RecoveryPolicy::hold_previous: return "hold-previous";
+    case RecoveryPolicy::clamp_to_bounds: return "clamp-to-bounds";
+    case RecoveryPolicy::rate_limit: return "rate-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+sig_t clamp_bounds(sig_t s, const ContinuousParams& p) noexcept {
+  return std::clamp(s, p.smin, p.smax);
+}
+
+/// Steps from `s_prev` toward `s` as far as the rate band in that direction
+/// allows.  If the signal may not move in that direction at all, holds the
+/// previous value when pausing is legal, otherwise takes the smallest legal
+/// step in the allowed direction (a static-rate signal must keep moving).
+sig_t rate_limited(sig_t s, sig_t s_prev, const ContinuousParams& p) noexcept {
+  if (s > s_prev) {
+    if (p.rmax_incr > 0) {
+      const sig_t step = std::clamp(s - s_prev, p.rmin_incr, p.rmax_incr);
+      return clamp_bounds(s_prev + step, p);
+    }
+  } else if (s < s_prev) {
+    if (p.rmax_decr > 0) {
+      const sig_t step = std::clamp(s_prev - s, p.rmin_decr, p.rmax_decr);
+      return clamp_bounds(s_prev - step, p);
+    }
+  }
+  // Either s == s_prev, or movement toward s is forbidden.  Hold if pausing
+  // is legal under the Table 2 group-c predicates (3c/4c/5c), else take the
+  // minimum legal step in the allowed direction.
+  const bool pause_3c = p.rmin_incr == 0 && p.rmax_incr == 0 && p.rmin_decr == 0;
+  const bool pause_4c = p.rmin_decr == 0 && p.rmax_decr == 0 && p.rmin_incr == 0;
+  const bool pause_5c = !(p.rmin_decr == 0 && p.rmax_decr == 0) &&
+                        !(p.rmin_incr == 0 && p.rmax_incr == 0) &&
+                        (p.rmin_incr == 0 || p.rmin_decr == 0);
+  if (pause_3c || pause_4c || pause_5c) return clamp_bounds(s_prev, p);
+  if (p.rmax_incr > 0) return clamp_bounds(s_prev + p.rmin_incr, p);
+  return clamp_bounds(s_prev - p.rmin_decr, p);
+}
+
+}  // namespace
+
+sig_t recover_continuous(sig_t s, sig_t s_prev, const ContinuousParams& params,
+                         RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::none: return s;
+    case RecoveryPolicy::hold_previous: return clamp_bounds(s_prev, params);
+    case RecoveryPolicy::clamp_to_bounds: return clamp_bounds(s, params);
+    case RecoveryPolicy::rate_limit: return rate_limited(s, s_prev, params);
+  }
+  return s;
+}
+
+sig_t recover_discrete(sig_t s_prev, const DiscreteParams& params,
+                       RecoveryPolicy policy) noexcept {
+  if (policy == RecoveryPolicy::none || params.domain.empty()) return s_prev;
+  const bool prev_valid =
+      std::find(params.domain.begin(), params.domain.end(), s_prev) != params.domain.end();
+  return prev_valid ? s_prev : params.domain.front();
+}
+
+}  // namespace easel::core

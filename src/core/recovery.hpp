@@ -1,0 +1,39 @@
+// Recovery of a signal to a valid state after a detected error (paper §2:
+// "measures can be taken to recover from the error, and the signal can be
+// returned to a valid state").
+//
+// The paper evaluates detection only; recovery is provided as the natural
+// companion mechanism and is exercised by the ablation benchmark
+// (bench_ablation_recovery) and the recovery test suite.
+#pragma once
+
+#include <string_view>
+
+#include "core/params.hpp"
+
+namespace easel::core {
+
+enum class RecoveryPolicy : std::uint8_t {
+  none,            ///< detect only; the signal keeps its (erroneous) value
+  hold_previous,   ///< replace the value with the last accepted one
+  clamp_to_bounds, ///< clamp into [smin, smax] (continuous only)
+  rate_limit,      ///< move from the previous value toward the observed one,
+                   ///< but no further than the rate band allows (continuous only)
+};
+
+[[nodiscard]] std::string_view to_string(RecoveryPolicy policy) noexcept;
+
+/// A valid replacement for a continuous signal that failed its assertion.
+/// `s` is the observed (erroneous) value, `s_prev` the last accepted value.
+/// The result always satisfies tests 1 and 2, and for `rate_limit` also the
+/// applicable rate test relative to `s_prev`.
+[[nodiscard]] sig_t recover_continuous(sig_t s, sig_t s_prev, const ContinuousParams& params,
+                                       RecoveryPolicy policy) noexcept;
+
+/// A valid replacement for a discrete signal that failed its assertion:
+/// the previous value if it lies in the domain, otherwise the first domain
+/// value.  (`clamp_to_bounds`/`rate_limit` degrade to `hold_previous`.)
+[[nodiscard]] sig_t recover_discrete(sig_t s_prev, const DiscreteParams& params,
+                                     RecoveryPolicy policy) noexcept;
+
+}  // namespace easel::core

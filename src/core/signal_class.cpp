@@ -1,0 +1,47 @@
+#include "core/signal_class.hpp"
+
+#include <array>
+
+namespace easel::core {
+
+namespace {
+
+struct Name {
+  SignalClass cls;
+  std::string_view long_name;
+  std::string_view code;
+};
+
+constexpr std::array<Name, 6> kNames{{
+    {SignalClass::continuous_static_monotonic, "continuous/monotonic/static", "Co/Mo/St"},
+    {SignalClass::continuous_dynamic_monotonic, "continuous/monotonic/dynamic", "Co/Mo/Dy"},
+    {SignalClass::continuous_random, "continuous/random", "Co/Ra"},
+    {SignalClass::discrete_sequential_linear, "discrete/sequential/linear", "Di/Se/Li"},
+    {SignalClass::discrete_sequential_nonlinear, "discrete/sequential/non-linear", "Di/Se/Nl"},
+    {SignalClass::discrete_random, "discrete/random", "Di/Ra"},
+}};
+
+}  // namespace
+
+std::string_view to_string(SignalClass cls) noexcept {
+  for (const auto& name : kNames) {
+    if (name.cls == cls) return name.long_name;
+  }
+  return "unknown";
+}
+
+std::string_view short_code(SignalClass cls) noexcept {
+  for (const auto& name : kNames) {
+    if (name.cls == cls) return name.code;
+  }
+  return "??";
+}
+
+std::optional<SignalClass> parse_signal_class(std::string_view text) noexcept {
+  for (const auto& name : kNames) {
+    if (text == name.long_name || text == name.code) return name.cls;
+  }
+  return std::nullopt;
+}
+
+}  // namespace easel::core

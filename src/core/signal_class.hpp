@@ -1,0 +1,76 @@
+// The signal classification scheme of Hiller, DSN 2000, Figure 1.
+//
+//                       +-- monotonic --+-- static
+//        +- continuous -+               +-- dynamic
+//        |              +-- random
+// signal-+
+//        |              +-- sequential -+-- linear
+//        +- discrete ---+               +-- non-linear
+//                       +-- random
+//
+// Every signal that is to be monitored is placed in exactly one leaf class;
+// the class determines which constraints (paper Table 1) its parameter set
+// must satisfy and which executable assertion (paper Table 2 or 3) tests it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace easel::core {
+
+/// Top-level split of Figure 1.
+enum class SignalCategory : std::uint8_t { continuous, discrete };
+
+/// Leaf classes of the classification scheme (Figure 1).
+enum class SignalClass : std::uint8_t {
+  continuous_static_monotonic,   ///< changes by one fixed rate every test (e.g. a clock)
+  continuous_dynamic_monotonic,  ///< changes in one direction within a rate band
+  continuous_random,             ///< may move either way within rate bands
+  discrete_sequential_linear,    ///< fixed traversal order over the domain
+  discrete_sequential_nonlinear, ///< per-value transition sets (state machines)
+  discrete_random,               ///< any value-to-value transition inside the domain
+};
+
+[[nodiscard]] constexpr SignalCategory category_of(SignalClass cls) noexcept {
+  switch (cls) {
+    case SignalClass::continuous_static_monotonic:
+    case SignalClass::continuous_dynamic_monotonic:
+    case SignalClass::continuous_random:
+      return SignalCategory::continuous;
+    case SignalClass::discrete_sequential_linear:
+    case SignalClass::discrete_sequential_nonlinear:
+    case SignalClass::discrete_random:
+      return SignalCategory::discrete;
+  }
+  return SignalCategory::continuous;  // unreachable with valid input
+}
+
+[[nodiscard]] constexpr bool is_continuous(SignalClass cls) noexcept {
+  return category_of(cls) == SignalCategory::continuous;
+}
+
+[[nodiscard]] constexpr bool is_discrete(SignalClass cls) noexcept {
+  return category_of(cls) == SignalCategory::discrete;
+}
+
+[[nodiscard]] constexpr bool is_monotonic(SignalClass cls) noexcept {
+  return cls == SignalClass::continuous_static_monotonic ||
+         cls == SignalClass::continuous_dynamic_monotonic;
+}
+
+[[nodiscard]] constexpr bool is_sequential(SignalClass cls) noexcept {
+  return cls == SignalClass::discrete_sequential_linear ||
+         cls == SignalClass::discrete_sequential_nonlinear;
+}
+
+/// Long human-readable name, e.g. "continuous/monotonic/static".
+[[nodiscard]] std::string_view to_string(SignalClass cls) noexcept;
+
+/// Paper Table 4 shorthand, e.g. "Co/Mo/St", "Di/Se/Li", "Co/Ra".
+[[nodiscard]] std::string_view short_code(SignalClass cls) noexcept;
+
+/// Parses either the long name or the Table 4 shorthand.
+[[nodiscard]] std::optional<SignalClass> parse_signal_class(std::string_view text) noexcept;
+
+}  // namespace easel::core

@@ -1,0 +1,171 @@
+#include "fi/campaign.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace easel::fi {
+
+std::array<arrestor::EaMask, 8> paper_versions() noexcept {
+  std::array<arrestor::EaMask, 8> versions{};
+  for (std::size_t k = 0; k < 7; ++k) {
+    versions[k] = arrestor::ea_bit(static_cast<arrestor::MonitoredSignal>(k));
+  }
+  versions[kAllVersion] = arrestor::kAllAssertions;
+  return versions;
+}
+
+std::vector<sim::TestCase> campaign_test_cases(const CampaignOptions& options) {
+  if (options.test_case_count == 25) return sim::grid_test_cases(5);
+  return sim::random_test_cases(options.test_case_count,
+                                util::Rng{options.seed}.derive("test-cases"));
+}
+
+namespace {
+
+/// Per-test-case sensor-noise seed: identical across errors and versions so
+/// every run of a test case sees the same environment, as on the rig.
+std::uint64_t noise_seed(const CampaignOptions& options, std::size_t case_index) {
+  return util::Rng{options.seed}.derive("sensor-noise", case_index).seed();
+}
+
+void account(Cell& cell, const RunResult& result) {
+  cell.detection.add(result.detected, result.failed);
+  if (result.detected) cell.latency.add(result.latency_ms);
+}
+
+}  // namespace
+
+E1Results run_e1(const CampaignOptions& options) {
+  const auto errors = make_e1_for_target();
+  const auto cases = campaign_test_cases(options);
+  const auto versions = paper_versions();
+
+  E1Results results;
+  const std::size_t total = versions.size() * errors.size() * cases.size();
+  std::size_t done = 0;
+
+  for (std::size_t v = 0; v < versions.size(); ++v) {
+    for (const ErrorSpec& error : errors) {
+      const auto signal_idx = static_cast<std::size_t>(*error.signal);
+      for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+        RunConfig config;
+        config.test_case = cases[ci];
+        config.assertions = versions[v];
+        config.recovery = options.recovery;
+        config.error = error;
+        config.injection_period_ms = options.injection_period_ms;
+        config.observation_ms = options.observation_ms;
+        config.noise_seed = noise_seed(options, ci);
+
+        const RunResult result = run_experiment(config);
+        account(results.cells[signal_idx][v], result);
+        account(results.totals[v], result);
+        ++results.runs;
+        if (options.progress && (++done % 200 == 0 || done == total)) {
+          options.progress(done, total);
+        }
+      }
+    }
+  }
+  return results;
+}
+
+E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
+                 std::size_t stack_errors) {
+  const auto errors = make_e2_for_target(util::Rng{options.seed}.derive("e2-errors"),
+                                         ram_errors, stack_errors);
+  const auto cases = campaign_test_cases(options);
+
+  E2Results results;
+  const std::size_t total = errors.size() * cases.size();
+  std::size_t done = 0;
+
+  for (const ErrorSpec& error : errors) {
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      RunConfig config;
+      config.test_case = cases[ci];
+      config.assertions = arrestor::kAllAssertions;
+      config.recovery = options.recovery;
+      config.error = error;
+      config.injection_period_ms = options.injection_period_ms;
+      config.observation_ms = options.observation_ms;
+      config.noise_seed = noise_seed(options, ci);
+
+      const RunResult result = run_experiment(config);
+      AreaResults& area = error.region == mem::Region::ram ? results.ram : results.stack;
+      for (AreaResults* bucket : {&area, &results.total}) {
+        bucket->detection.add(result.detected, result.failed);
+        if (result.detected) {
+          bucket->latency_all.add(result.latency_ms);
+          bucket->histogram.add(result.latency_ms);
+          if (result.failed) bucket->latency_fail.add(result.latency_ms);
+        }
+      }
+      ++results.runs;
+      if (options.progress && (++done % 200 == 0 || done == total)) {
+        options.progress(done, total);
+      }
+    }
+  }
+  return results;
+}
+
+std::string campaign_key(const CampaignOptions& options) {
+  std::ostringstream key;
+  key << "e1 v1 seed=" << options.seed << " cases=" << options.test_case_count
+      << " obs=" << options.observation_ms << " period=" << options.injection_period_ms
+      << " recovery=" << static_cast<int>(options.recovery);
+  return key.str();
+}
+
+namespace {
+
+void write_cell(std::ostream& out, const Cell& cell) {
+  const auto& d = cell.detection;
+  out << d.all.successes << ' ' << d.all.trials << ' ' << d.fail.successes << ' '
+      << d.fail.trials << ' ' << d.no_fail.successes << ' ' << d.no_fail.trials << ' '
+      << cell.latency.count() << ' ' << cell.latency.min() << ' ' << cell.latency.max() << ' '
+      << cell.latency.sum() << '\n';
+}
+
+bool read_cell(std::istream& in, Cell& cell) {
+  std::uint64_t count = 0, min = 0, max = 0, sum = 0;
+  auto& d = cell.detection;
+  if (!(in >> d.all.successes >> d.all.trials >> d.fail.successes >> d.fail.trials >>
+        d.no_fail.successes >> d.no_fail.trials >> count >> min >> max >> sum)) {
+    return false;
+  }
+  cell.latency = stats::LatencyStats::from_parts(count, min, max, sum);
+  return true;
+}
+
+}  // namespace
+
+void save_e1(const E1Results& results, const std::string& path, const std::string& key) {
+  std::ofstream out{path};
+  out << key << '\n' << results.runs << '\n';
+  for (const auto& row : results.cells) {
+    for (const Cell& cell : row) write_cell(out, cell);
+  }
+  for (const Cell& cell : results.totals) write_cell(out, cell);
+}
+
+std::optional<E1Results> load_e1(const std::string& path, const std::string& key) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::string file_key;
+  if (!std::getline(in, file_key) || file_key != key) return std::nullopt;
+  E1Results results;
+  if (!(in >> results.runs)) return std::nullopt;
+  for (auto& row : results.cells) {
+    for (Cell& cell : row) {
+      if (!read_cell(in, cell)) return std::nullopt;
+    }
+  }
+  for (Cell& cell : results.totals) {
+    if (!read_cell(in, cell)) return std::nullopt;
+  }
+  return results;
+}
+
+}  // namespace easel::fi

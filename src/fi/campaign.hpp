@@ -1,0 +1,98 @@
+// Campaign engines: the paper's two experiment series.
+//
+//   E1 (paper §3.4, Tables 7 and 8): eight software versions (each single
+//   executable assertion alone, plus all seven together) x 112 errors x the
+//   test-case set = 22 400 runs at full scale.
+//
+//   E2 (paper Table 9): the all-assertions version x 200 random RAM/stack
+//   errors x the test-case set = 5000 runs.
+//
+// Campaigns are deterministic in (options.seed, scale parameters) and
+// single-threaded; a progress callback reports completed runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fi/experiment.hpp"
+#include "stats/estimator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/latency.hpp"
+
+namespace easel::fi {
+
+struct CampaignOptions {
+  std::uint64_t seed = 2000;          ///< master seed (E2 sampling, sensor noise)
+  std::size_t test_case_count = 25;   ///< 25 = the canonical 5x5 grid
+  std::uint32_t observation_ms = sim::kObservationMs;
+  std::uint32_t injection_period_ms = 20;
+  core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
+  std::function<void(std::size_t done, std::size_t total)> progress;  ///< optional
+};
+
+/// The paper's eight software versions: EA1 alone .. EA7 alone, then all.
+[[nodiscard]] std::array<arrestor::EaMask, 8> paper_versions() noexcept;
+
+inline constexpr std::size_t kVersionCount = 8;
+inline constexpr std::size_t kAllVersion = 7;  ///< index of the all-assertions version
+
+/// Detection and latency statistics of one (injected signal, version) cell.
+struct Cell {
+  stats::DetectionMeasures detection;
+  stats::LatencyStats latency;  ///< over all detected runs (Table 8 counts
+                                ///< failures and non-failures alike)
+};
+
+struct E1Results {
+  std::array<std::array<Cell, kVersionCount>, arrestor::kMonitoredSignalCount> cells{};
+  std::array<Cell, kVersionCount> totals{};
+  std::size_t runs = 0;
+
+  [[nodiscard]] const Cell& cell(arrestor::MonitoredSignal signal,
+                                 std::size_t version) const noexcept {
+    return cells[static_cast<std::size_t>(signal)][version];
+  }
+};
+
+[[nodiscard]] E1Results run_e1(const CampaignOptions& options);
+
+/// One memory area's results for Table 9.
+struct AreaResults {
+  stats::DetectionMeasures detection;
+  stats::LatencyStats latency_all;   ///< latencies over all detected runs
+  stats::LatencyStats latency_fail;  ///< latencies over detected failing runs
+  stats::LatencyHistogram histogram; ///< latency distribution, all detected runs
+};
+
+struct E2Results {
+  AreaResults ram;
+  AreaResults stack;
+  AreaResults total;
+  std::size_t runs = 0;
+};
+
+[[nodiscard]] E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors = 150,
+                               std::size_t stack_errors = 50);
+
+/// The test-case set a campaign uses: the 5x5 grid when count == 25, else
+/// `count` seeded-random cases.
+[[nodiscard]] std::vector<sim::TestCase> campaign_test_cases(const CampaignOptions& options);
+
+/// Cache key identifying a campaign configuration (scale + seed); results
+/// saved under one key only load under the same key.
+[[nodiscard]] std::string campaign_key(const CampaignOptions& options);
+
+/// Saves E1 results as a small text file, so the Table 8 harness can reuse
+/// the campaign the Table 7 harness already executed (both print views of
+/// the same 22 400 runs).
+void save_e1(const E1Results& results, const std::string& path, const std::string& key);
+
+/// Loads previously saved E1 results; nullopt if the file is missing,
+/// malformed, or was produced under a different key.
+[[nodiscard]] std::optional<E1Results> load_e1(const std::string& path,
+                                               const std::string& key);
+
+}  // namespace easel::fi

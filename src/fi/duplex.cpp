@@ -1,0 +1,81 @@
+#include "fi/duplex.hpp"
+
+#include "arrestor/master_node.hpp"
+#include "arrestor/slave_node.hpp"
+#include "core/detection_bus.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::fi {
+
+namespace {
+
+/// One complete channel: plant + master + slave, stepped as in
+/// run_experiment but without any executable assertions (the comparator is
+/// the only mechanism under test).
+struct Channel {
+  explicit Channel(const DuplexConfig& config)
+      : env{config.test_case, util::Rng{config.noise_seed}},
+        master{env, bus, arrestor::kNoAssertions},
+        slave{env} {}
+
+  void tick(std::uint64_t now) {
+    master.tick();
+    slave.tick();
+    if (now % 7 == 6) {
+      slave.deliver_set_point(master.signals().comm_tx_set_value.get(),
+                              master.signals().comm_tx_seq.get());
+    }
+    env.step_1ms();
+  }
+
+  sim::Environment env;
+  core::DetectionBus bus;  // unused (no assertions); required by MasterNode
+  arrestor::MasterNode master;
+  arrestor::SlaveNode slave;
+};
+
+}  // namespace
+
+DuplexResult run_duplex_experiment(const DuplexConfig& config) {
+  Channel primary{config};
+  Channel shadow{config};
+  arrestor::FailureClassifier classifier{config.test_case};
+
+  std::optional<Injector> injector;
+  if (config.error) injector.emplace(*config.error, config.injection_period_ms);
+
+  DuplexResult result;
+  for (std::uint64_t now = 0; now < config.observation_ms; ++now) {
+    if (injector) injector->on_tick(now, primary.master.image());
+
+    primary.tick(now);
+    shadow.tick(now);
+    classifier.sample(primary.env, now);
+
+    if (now % config.compare_period_ms == config.compare_period_ms - 1) {
+      ++result.total_compares;
+      auto& p = primary.master.signals();
+      auto& s = shadow.master.signals();
+      const bool mismatch = p.out_value.get() != s.out_value.get() ||
+                            p.set_value.get() != s.set_value.get() ||
+                            p.comm_tx_set_value.get() != s.comm_tx_set_value.get();
+      if (mismatch) {
+        ++result.mismatched_compares;
+        if (!result.detected) {
+          result.detected = true;
+          result.first_detection_ms = now;
+          const std::uint64_t injected_at = injector ? injector->first_injection_ms() : 0;
+          result.latency_ms = now >= injected_at ? now - injected_at : 0;
+        }
+      }
+    }
+  }
+
+  result.failed = classifier.failed();
+  result.failure = classifier.kind();
+  result.primary_halted = primary.master.scheduler().halted();
+  result.injections = injector ? injector->injections() : 0;
+  return result;
+}
+
+}  // namespace easel::fi

@@ -1,0 +1,52 @@
+// Duplex (NVP-style) error detection — the expensive baseline the paper's
+// introduction positions executable assertions against: "running several
+// versions or variants of the system in parallel and then compare their
+// results...  very effective but tends to be also very expensive" [1].
+//
+// Model: two complete channels (master + slave + plant) run in lockstep
+// from identical initial state and identical seeds; faults are injected
+// into the primary channel only; a comparator checks the primary's output
+// signals (SetValue, OutValue, the comm buffer) against the shadow
+// channel's every frame.  Any divergence is a detection — including the
+// control-flow errors (skips, crashes) that signal-level assertions cannot
+// see, because a dead primary's outputs freeze while the shadow's keep
+// moving.
+//
+// The price is the paper's point: 2x memory, 2x CPU, plus the comparator.
+// bench_ablation_duplex quantifies both sides.
+#pragma once
+
+#include <cstdint>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+
+struct DuplexConfig {
+  sim::TestCase test_case{12000.0, 55.0};
+  std::optional<ErrorSpec> error;          ///< injected into the primary channel
+  std::uint32_t injection_period_ms = 20;
+  std::uint32_t observation_ms = sim::kObservationMs;
+  std::uint64_t noise_seed = 0x5eed;
+  std::uint32_t compare_period_ms = 7;     ///< comparator cadence (one frame)
+};
+
+struct DuplexResult {
+  bool detected = false;               ///< any output divergence observed
+  std::uint64_t first_detection_ms = 0;
+  std::uint64_t latency_ms = 0;        ///< first injection -> first divergence
+  std::uint64_t mismatched_compares = 0;
+  std::uint64_t total_compares = 0;
+
+  // Failure classification of the PRIMARY channel's plant (the one that
+  // would be arresting the aircraft).
+  bool failed = false;
+  arrestor::FailureKind failure = arrestor::FailureKind::none;
+  bool primary_halted = false;
+  std::uint64_t injections = 0;
+};
+
+/// Executes one duplex run.  Deterministic, like run_experiment.
+[[nodiscard]] DuplexResult run_duplex_experiment(const DuplexConfig& config);
+
+}  // namespace easel::fi

@@ -1,0 +1,59 @@
+#include "fi/error_set.hpp"
+
+namespace easel::fi {
+
+std::string_view to_string(FaultModel model) noexcept {
+  switch (model) {
+    case FaultModel::bit_flip: return "bit-flip";
+    case FaultModel::stuck_at_1: return "stuck-at-1";
+    case FaultModel::stuck_at_0: return "stuck-at-0";
+  }
+  return "unknown";
+}
+
+std::vector<ErrorSpec> make_e1(const arrestor::SignalMap& map) {
+  std::vector<ErrorSpec> errors;
+  errors.reserve(arrestor::kMonitoredSignalCount * 16);
+  unsigned number = 1;
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(s);
+    const std::size_t base = map.signal_address(signal);
+    for (unsigned bit = 0; bit < 16; ++bit) {
+      ErrorSpec spec;
+      spec.address = base + bit / 8;
+      spec.bit = bit % 8;
+      spec.region = mem::Region::ram;
+      spec.label = "S" + std::to_string(number++);
+      spec.signal = signal;
+      spec.signal_bit = bit;
+      errors.push_back(std::move(spec));
+    }
+  }
+  return errors;
+}
+
+std::vector<ErrorSpec> make_e2(const mem::AddressSpace& image, util::Rng rng,
+                               std::size_t ram_count, std::size_t stack_count) {
+  std::vector<ErrorSpec> errors;
+  errors.reserve(ram_count + stack_count);
+  for (std::size_t k = 0; k < ram_count; ++k) {
+    ErrorSpec spec;
+    spec.address = rng.uniform_u64(0, image.ram_size() - 1);
+    spec.bit = static_cast<unsigned>(rng.uniform_u64(0, 7));
+    spec.region = mem::Region::ram;
+    spec.label = "R" + std::to_string(k + 1);
+    errors.push_back(std::move(spec));
+  }
+  const std::size_t stack_base = image.region_base(mem::Region::stack);
+  for (std::size_t k = 0; k < stack_count; ++k) {
+    ErrorSpec spec;
+    spec.address = stack_base + rng.uniform_u64(0, image.stack_size() - 1);
+    spec.bit = static_cast<unsigned>(rng.uniform_u64(0, 7));
+    spec.region = mem::Region::stack;
+    spec.label = "K" + std::to_string(k + 1);
+    errors.push_back(std::move(spec));
+  }
+  return errors;
+}
+
+}  // namespace easel::fi

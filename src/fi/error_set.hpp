@@ -1,0 +1,101 @@
+// Error sets for the injection campaigns (paper §3.4).
+//
+//   E1: one bit-flip error per bit position of each monitored signal —
+//       7 signals x 16 bits = 112 errors ("S1".."S112", paper Table 6).
+//   E2: 200 bit-flip errors at uniformly random (address, bit) positions,
+//       150 in application RAM and 50 in the stack area, sampled with
+//       replacement.
+//
+// Every error is re-injected with a fixed period during the run (20 ms in
+// the paper), each injection XOR-ing the target bit — the intermittent
+// hardware-fault model of [17].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrestor/signal_map.hpp"
+#include "mem/address_space.hpp"
+#include "util/rng.hpp"
+
+namespace easel::fi {
+
+/// How an injection manipulates the target bit.  The paper's campaigns use
+/// bit flips (XOR), arguing they model intermittent hardware faults [17];
+/// the stuck-at models extend the evaluation to permanent faults.
+enum class FaultModel : std::uint8_t {
+  bit_flip,    ///< XOR the bit on every injection instant (intermittent)
+  stuck_at_1,  ///< OR the bit in on every instant (permanent bridging to 1)
+  stuck_at_0,  ///< clear the bit on every instant (permanent bridging to 0)
+};
+
+[[nodiscard]] std::string_view to_string(FaultModel model) noexcept;
+
+/// One injectable error: a byte address and bit position in the image.
+struct ErrorSpec {
+  std::size_t address = 0;                ///< image byte address
+  unsigned bit = 0;                       ///< bit within the byte (0..7)
+  mem::Region region = mem::Region::ram;  ///< area, for the Table 9 breakdown
+  std::string label;                      ///< "S1".."S112" (E1) or "R17"/"K3" (E2)
+  FaultModel model = FaultModel::bit_flip;
+
+  /// E1 provenance: which monitored signal and which of its 16 bits.
+  std::optional<arrestor::MonitoredSignal> signal;
+  unsigned signal_bit = 0;
+};
+
+/// Builds E1 against a node's signal map: for each of the seven monitored
+/// signals, one error per bit 0..15, numbered S1..S112 in paper order.
+[[nodiscard]] std::vector<ErrorSpec> make_e1(const arrestor::SignalMap& map);
+
+/// Builds E2 against an image: `ram_count` + `stack_count` errors uniform
+/// over the respective region's (address, bit) space, with replacement.
+[[nodiscard]] std::vector<ErrorSpec> make_e2(const mem::AddressSpace& image, util::Rng rng,
+                                             std::size_t ram_count = 150,
+                                             std::size_t stack_count = 50);
+
+/// The time-triggered injector: XORs the error's bit into the image every
+/// `period_ms`, starting at `start_ms` (paper: 20-ms period).
+class Injector {
+ public:
+  Injector(ErrorSpec spec, std::uint32_t period_ms = 20, std::uint64_t start_ms = 0) noexcept
+      : spec_{std::move(spec)}, period_ms_{period_ms}, start_ms_{start_ms} {}
+
+  /// Performs the injection if `now_ms` is an injection instant.
+  void on_tick(std::uint64_t now_ms, mem::AddressSpace& image) {
+    if (now_ms < start_ms_ || (now_ms - start_ms_) % period_ms_ != 0) return;
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << spec_.bit);
+    const std::uint8_t byte = image.read_u8(spec_.address);
+    switch (spec_.model) {
+      case FaultModel::bit_flip:
+        image.write_u8(spec_.address, byte ^ mask);
+        break;
+      case FaultModel::stuck_at_1:
+        image.write_u8(spec_.address, byte | mask);
+        break;
+      case FaultModel::stuck_at_0:
+        image.write_u8(spec_.address, byte & static_cast<std::uint8_t>(~mask));
+        break;
+    }
+    if (injections_ == 0) first_injection_ms_ = now_ms;
+    ++injections_;
+  }
+
+  [[nodiscard]] const ErrorSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t injections() const noexcept { return injections_; }
+  [[nodiscard]] std::uint64_t first_injection_ms() const noexcept {
+    return first_injection_ms_;
+  }
+
+ private:
+  ErrorSpec spec_;
+  std::uint32_t period_ms_;
+  std::uint64_t start_ms_;
+  std::uint64_t injections_ = 0;
+  std::uint64_t first_injection_ms_ = 0;
+};
+
+}  // namespace easel::fi

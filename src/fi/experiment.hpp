@@ -1,0 +1,91 @@
+// One experiment run: the full rig of paper Figure 7 — environment
+// simulator, master and slave nodes, inter-node link, time-triggered
+// injector, detection time-stamping, and failure classification over the
+// 40-second observation window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arrestor/assertions.hpp"
+#include "arrestor/failure.hpp"
+#include "fi/error_set.hpp"
+#include "sim/test_case.hpp"
+
+namespace easel::fi {
+
+class TraceRecorder;
+
+struct RunConfig {
+  sim::TestCase test_case{12000.0, 55.0};
+  arrestor::EaMask assertions = arrestor::kAllAssertions;
+  core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
+  std::optional<ErrorSpec> error;           ///< nullopt = golden (fault-free) run
+  std::uint32_t injection_period_ms = 20;   ///< paper §3.4
+  std::uint32_t observation_ms = sim::kObservationMs;
+  std::uint64_t noise_seed = 0x5eed;        ///< pressure-sensor dither stream
+
+  /// Extension: per-phase (pre-charge vs braking) parameter sets for the
+  /// feedback-signal assertions (paper §2.1 signal modes; off in the
+  /// paper-baseline configuration).  Evaluated by bench_ablation_modes.
+  bool moded_assertions = false;
+
+  /// Extension: a rig-side watchdog that reports a detection when the
+  /// master stops refreshing its valve command for this long (0 = off).
+  /// Targets the control-flow errors the signal-level assertions cannot
+  /// see (paper §5.2); evaluated by bench_ablation_watchdog.
+  std::uint32_t watchdog_timeout_ms = 0;
+
+  /// Optional signal tracing (nullptr = off; adds per-tick sampling cost).
+  TraceRecorder* trace = nullptr;
+};
+
+struct RunResult {
+  // Detection (the FIC3-side view of the detection pin).
+  bool detected = false;
+  std::uint64_t first_detection_ms = 0;
+  std::uint64_t detection_count = 0;
+  std::uint64_t latency_ms = 0;  ///< first injection -> first detection
+
+  // Failure classification (from the environment readouts).
+  bool failed = false;
+  arrestor::FailureKind failure = arrestor::FailureKind::none;
+  std::uint64_t failure_ms = 0;
+
+  // Arrestment outcome.
+  bool stopped = false;
+  std::uint64_t stop_ms = 0;
+  double final_position_m = 0.0;
+  double peak_retardation_g = 0.0;
+  double peak_force_n = 0.0;
+
+  // Target-node post-mortem.
+  bool node_halted = false;
+  std::uint64_t injections = 0;
+  bool watchdog_tripped = false;
+};
+
+/// Executes one run to completion.  Deterministic: identical configs give
+/// identical results.
+[[nodiscard]] RunResult run_experiment(const RunConfig& config);
+
+/// Image/bookkeeping facts about the master node, needed to build error
+/// sets without running anything.
+struct TargetInfo {
+  std::size_t ram_bytes = 0;
+  std::size_t stack_bytes = 0;
+  std::size_t ram_bytes_allocated = 0;
+  std::array<std::size_t, arrestor::kMonitoredSignalCount> signal_addresses{};
+};
+
+[[nodiscard]] TargetInfo probe_target();
+
+/// Builds E1 against the production signal-map layout.
+[[nodiscard]] std::vector<ErrorSpec> make_e1_for_target();
+
+/// Builds E2 against the production image dimensions.
+[[nodiscard]] std::vector<ErrorSpec> make_e2_for_target(util::Rng rng,
+                                                        std::size_t ram_count = 150,
+                                                        std::size_t stack_count = 50);
+
+}  // namespace easel::fi

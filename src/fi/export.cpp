@@ -1,0 +1,110 @@
+#include "fi/export.hpp"
+
+#include <cstdio>
+
+namespace easel::fi {
+
+namespace {
+
+void append_cell_fields(std::string& out, const Cell& cell) {
+  char buffer[192];
+  const auto& d = cell.detection;
+  std::snprintf(buffer, sizeof buffer,
+                "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.1f,%llu",
+                static_cast<unsigned long long>(d.all.trials),
+                static_cast<unsigned long long>(d.all.successes),
+                static_cast<unsigned long long>(d.fail.trials),
+                static_cast<unsigned long long>(d.fail.successes),
+                static_cast<unsigned long long>(d.no_fail.trials),
+                static_cast<unsigned long long>(d.no_fail.successes),
+                static_cast<unsigned long long>(cell.latency.count()),
+                static_cast<unsigned long long>(cell.latency.min()),
+                cell.latency.average(),
+                static_cast<unsigned long long>(cell.latency.max()));
+  out += buffer;
+  out += '\n';
+}
+
+std::string version_name(std::size_t version) {
+  if (version == kAllVersion) return "All";
+  return "EA" + std::to_string(version + 1);
+}
+
+}  // namespace
+
+std::string e1_to_csv(const E1Results& results) {
+  std::string out =
+      "signal,version,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,"
+      "lat_count,lat_min_ms,lat_avg_ms,lat_max_ms\n";
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    for (std::size_t v = 0; v < kVersionCount; ++v) {
+      out += std::string{arrestor::to_string(static_cast<arrestor::MonitoredSignal>(s))} +
+             "," + version_name(v) + ",";
+      append_cell_fields(out, results.cells[s][v]);
+    }
+  }
+  for (std::size_t v = 0; v < kVersionCount; ++v) {
+    out += "Total," + version_name(v) + ",";
+    append_cell_fields(out, results.totals[v]);
+  }
+  return out;
+}
+
+std::string e2_to_csv(const E2Results& results) {
+  std::string out =
+      "area,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,"
+      "lat_count,lat_min_ms,lat_avg_ms,lat_max_ms,fail_lat_avg_ms\n";
+  const auto append_area = [&out](const char* name, const AreaResults& area) {
+    char buffer[224];
+    const auto& d = area.detection;
+    std::snprintf(buffer, sizeof buffer,
+                  "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.1f,%llu,%.1f\n", name,
+                  static_cast<unsigned long long>(d.all.trials),
+                  static_cast<unsigned long long>(d.all.successes),
+                  static_cast<unsigned long long>(d.fail.trials),
+                  static_cast<unsigned long long>(d.fail.successes),
+                  static_cast<unsigned long long>(d.no_fail.trials),
+                  static_cast<unsigned long long>(d.no_fail.successes),
+                  static_cast<unsigned long long>(area.latency_all.count()),
+                  static_cast<unsigned long long>(area.latency_all.min()),
+                  area.latency_all.average(),
+                  static_cast<unsigned long long>(area.latency_all.max()),
+                  area.latency_fail.average());
+    out += buffer;
+  };
+  append_area("RAM", results.ram);
+  append_area("Stack", results.stack);
+  append_area("Total", results.total);
+  return out;
+}
+
+std::string run_csv_header() {
+  return "label,address,bit,model,mass_kg,velocity_mps,detected,first_detection_ms,"
+         "latency_ms,detections,failed,failure,failure_ms,stopped,stop_ms,"
+         "final_position_m,peak_g,peak_force_n,node_halted,watchdog\n";
+}
+
+std::string run_to_csv(const RunConfig& config, const RunResult& result) {
+  char buffer[384];
+  const std::string label = config.error ? config.error->label : "golden";
+  const std::size_t address = config.error ? config.error->address : 0;
+  const unsigned bit = config.error ? config.error->bit : 0;
+  const std::string model{config.error ? to_string(config.error->model) : "none"};
+  const std::string failure{arrestor::to_string(result.failure)};
+  std::snprintf(buffer, sizeof buffer,
+                "%s,%zu,%u,%s,%.0f,%.2f,%d,%llu,%llu,%llu,%d,%s,%llu,%d,%llu,%.2f,%.3f,"
+                "%.0f,%d,%d\n",
+                label.c_str(), address, bit, model.c_str(), config.test_case.mass_kg,
+                config.test_case.velocity_mps, result.detected ? 1 : 0,
+                static_cast<unsigned long long>(result.first_detection_ms),
+                static_cast<unsigned long long>(result.latency_ms),
+                static_cast<unsigned long long>(result.detection_count),
+                result.failed ? 1 : 0, failure.c_str(),
+                static_cast<unsigned long long>(result.failure_ms), result.stopped ? 1 : 0,
+                static_cast<unsigned long long>(result.stop_ms), result.final_position_m,
+                result.peak_retardation_g, result.peak_force_n, result.node_halted ? 1 : 0,
+                result.watchdog_tripped ? 1 : 0);
+  return buffer;
+}
+
+}  // namespace easel::fi

@@ -1,0 +1,29 @@
+// Machine-readable exports of campaign results (CSV), for notebooks and
+// downstream analysis; the human-readable paper-layout tables live in
+// fi/report.hpp.
+#pragma once
+
+#include <string>
+
+#include "fi/campaign.hpp"
+
+namespace easel::fi {
+
+/// One row per (injected signal, version) cell plus per-version totals:
+/// signal,version,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,
+/// lat_count,lat_min_ms,lat_avg_ms,lat_max_ms
+[[nodiscard]] std::string e1_to_csv(const E1Results& results);
+
+/// One row per memory area:
+/// area,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,
+/// lat_count,lat_min_ms,lat_avg_ms,lat_max_ms,fail_lat_avg_ms
+[[nodiscard]] std::string e2_to_csv(const E2Results& results);
+
+/// Header + one row describing a single run (for sweep tooling):
+/// label,address,bit,model,mass_kg,velocity_mps,detected,first_detection_ms,
+/// latency_ms,detections,failed,failure,failure_ms,stopped,stop_ms,
+/// final_position_m,peak_g,peak_force_n,node_halted,watchdog
+[[nodiscard]] std::string run_csv_header();
+[[nodiscard]] std::string run_to_csv(const RunConfig& config, const RunResult& result);
+
+}  // namespace easel::fi

@@ -1,0 +1,163 @@
+#include "fi/report.hpp"
+
+#include <optional>
+
+#include "stats/table.hpp"
+#include "util/strings.hpp"
+
+namespace easel::fi {
+
+namespace {
+
+using arrestor::MonitoredSignal;
+using arrestor::kMonitoredSignalCount;
+
+std::vector<std::string> version_headers(const std::string& first) {
+  std::vector<std::string> headers{first, "Measure"};
+  for (unsigned k = 1; k <= 7; ++k) headers.push_back("EA" + std::to_string(k));
+  headers.emplace_back("All");
+  return headers;
+}
+
+/// '*' marks the paper's boldface primary signal-mechanism pairs.
+std::string mark(const std::string& text, bool primary) {
+  return primary && !text.empty() ? text + "*" : text;
+}
+
+std::string percent_cell(const stats::Proportion& p, bool any_detection) {
+  if (!any_detection) return "";
+  if (p.trials == 0) return "–";
+  return p.to_percent_string();
+}
+
+void add_detection_rows(stats::Table& table, const std::string& label,
+                        const std::array<Cell, kVersionCount>& row_cells,
+                        std::optional<std::size_t> primary_version) {
+  const char* measures[3] = {"P(d)", "P(d|fail)", "P(d|no fail)"};
+  for (int m = 0; m < 3; ++m) {
+    std::vector<std::string> row{m == 0 ? label : "", measures[m]};
+    for (std::size_t v = 0; v < kVersionCount; ++v) {
+      const Cell& cell = row_cells[v];
+      const bool any = cell.detection.all.successes > 0;
+      const stats::Proportion& p = m == 0   ? cell.detection.all
+                                   : m == 1 ? cell.detection.fail
+                                            : cell.detection.no_fail;
+      row.push_back(mark(percent_cell(p, any), primary_version && v == *primary_version));
+    }
+    table.add_row(std::move(row));
+  }
+}
+
+void add_latency_rows(stats::Table& table, const std::string& label,
+                      const std::array<Cell, kVersionCount>& row_cells,
+                      std::optional<std::size_t> primary_version) {
+  const char* measures[3] = {"Min", "Average", "Max"};
+  for (int m = 0; m < 3; ++m) {
+    std::vector<std::string> row{m == 0 ? label : "", measures[m]};
+    for (std::size_t v = 0; v < kVersionCount; ++v) {
+      const stats::LatencyStats& lat = row_cells[v].latency;
+      std::string cell;
+      if (!lat.empty()) {
+        cell = m == 0   ? std::to_string(lat.min())
+               : m == 1 ? util::format_fixed(lat.average(), 0)
+                        : std::to_string(lat.max());
+      }
+      row.push_back(mark(cell, primary_version && v == *primary_version));
+    }
+    table.add_row(std::move(row));
+  }
+}
+
+}  // namespace
+
+std::string render_table6() {
+  stats::Table table{{"Signal", "Executable assertion", "# errors (ns)", "Error numbers",
+                      "# injections (ns*25)"}};
+  const auto errors = make_e1_for_target();
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<MonitoredSignal>(s);
+    const std::size_t first = s * 16 + 1;
+    table.add_row({to_string(signal), "EA" + std::to_string(arrestor::ea_number(signal)), "16",
+                   "S" + std::to_string(first) + "-S" + std::to_string(first + 15), "400"});
+  }
+  table.add_separator();
+  table.add_row({"Total", "–", std::to_string(errors.size()), "–",
+                 std::to_string(errors.size() * 25)});
+  return "Table 6. The distribution of errors in the error set E1.\n" + table.render();
+}
+
+std::string render_table7(const E1Results& results) {
+  stats::Table table{version_headers("Signal")};
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<MonitoredSignal>(s);
+    add_detection_rows(table, to_string(signal), results.cells[s], s);
+    table.add_separator();
+  }
+  add_detection_rows(table, "Total", results.totals, std::nullopt);
+  return "Table 7. Error detection probabilities (%) with confidence intervals at 95%.\n"
+         "('*' marks the primary signal-mechanism pairs; empty cells registered no "
+         "detection.)\n" +
+         table.render();
+}
+
+std::string render_table8(const E1Results& results) {
+  stats::Table table{version_headers("Signal")};
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<MonitoredSignal>(s);
+    add_latency_rows(table, to_string(signal), results.cells[s], s);
+    table.add_separator();
+  }
+  add_latency_rows(table, "Total", results.totals, std::nullopt);
+  return "Table 8. Error detection latencies for all errors (milliseconds).\n" +
+         table.render();
+}
+
+std::string render_table9(const E2Results& results) {
+  stats::Table table{{"Area", "Measure", "Value"}};
+  const auto add_area = [&table](const char* name, const AreaResults& area) {
+    table.add_row({name, "P(d)", area.detection.all.to_percent_string()});
+    table.add_row({"", "P(d|fail)", area.detection.fail.to_percent_string()});
+    table.add_row({"", "P(d|no fail)", area.detection.no_fail.to_percent_string()});
+    table.add_row({"", "Latency all (min/avg/max)", area.latency_all.to_string()});
+    table.add_row({"", "Latency failures (min/avg/max)", area.latency_fail.to_string()});
+    table.add_separator();
+  };
+  add_area("RAM", results.ram);
+  add_area("Stack", results.stack);
+  add_area("Total", results.total);
+  return "Table 9. Results for error set E2 (detection probability %, 95% conf. int.; "
+         "latencies in ms).\n" +
+         table.render();
+}
+
+std::string render_e1_summary(const E1Results& results) {
+  const Cell& all = results.totals[kAllVersion];
+  std::string out;
+  out += "E1 summary (all-assertions version, " + std::to_string(all.detection.all.trials) +
+         " runs):\n";
+  out += "  overall detection probability P(d)            = " +
+         all.detection.all.to_percent_string() + "%  (paper: 74.0±1.4%)\n";
+  out += "  detection given failure P(d|fail)             = " +
+         all.detection.fail.to_percent_string() + "%  (paper: 99.6±0.3%)\n";
+  out += "  detection given no failure P(d|no fail)       = " +
+         all.detection.no_fail.to_percent_string() + "%  (paper: 60.6±1.9%)\n";
+  out += "  average detection latency (all mechanisms on) = " +
+         util::format_fixed(all.latency.average(), 0) + " ms  (paper: 511 ms)\n";
+  return out;
+}
+
+std::string render_e2_summary(const E2Results& results) {
+  std::string out;
+  out += "E2 summary (" + std::to_string(results.runs) + " runs):\n";
+  out += "  total P(d)        = " + results.total.detection.all.to_percent_string() +
+         "%  (paper: 10.6±0.7%)\n";
+  out += "  total P(d|fail)   = " + results.total.detection.fail.to_percent_string() +
+         "%  (paper: 39.4±5.2%)\n";
+  out += "  RAM   P(d|fail)   = " + results.ram.detection.fail.to_percent_string() +
+         "%  (paper: 81.1±6.8%)\n";
+  out += "  stack P(d|fail)   = " + results.stack.detection.fail.to_percent_string() +
+         "%  (paper: 13.7±4.7%)\n";
+  return out;
+}
+
+}  // namespace easel::fi

@@ -1,0 +1,31 @@
+// Renderers that print campaign results in the layout of the paper's
+// tables, for side-by-side comparison in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+
+#include "fi/campaign.hpp"
+
+namespace easel::fi {
+
+/// Paper Table 6: the composition of error set E1.
+[[nodiscard]] std::string render_table6();
+
+/// Paper Table 7: detection probabilities (%) with 95 % confidence
+/// intervals, per injected signal x EA version, plus totals.  Cells where
+/// no detection was registered are left empty, as in the paper; the
+/// primary signal-mechanism pairs are marked with '*'.
+[[nodiscard]] std::string render_table7(const E1Results& results);
+
+/// Paper Table 8: detection latencies (ms), min/average/max per injected
+/// signal x EA version, over all detected errors.
+[[nodiscard]] std::string render_table8(const E1Results& results);
+
+/// Paper Table 9: E2 detection probabilities and latencies per memory area.
+[[nodiscard]] std::string render_table9(const E2Results& results);
+
+/// The §5.1/§5.2 headline numbers derived from campaign results.
+[[nodiscard]] std::string render_e1_summary(const E1Results& results);
+[[nodiscard]] std::string render_e2_summary(const E2Results& results);
+
+}  // namespace easel::fi

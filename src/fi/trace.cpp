@@ -1,0 +1,41 @@
+#include "fi/trace.hpp"
+
+#include <cstdio>
+
+#include "sim/plant_constants.hpp"
+
+namespace easel::fi {
+
+void TraceRecorder::maybe_sample(std::uint64_t now_ms, const sim::Environment& env,
+                                 const arrestor::SignalMap& map) {
+  if (now_ms % stride_ms_ != 0 || samples_.size() >= capacity_) return;
+  TraceSample sample;
+  sample.time_ms = now_ms;
+  sample.position_m = env.position_m();
+  sample.velocity_mps = env.velocity_mps();
+  sample.retardation_g = env.retardation_mps2() / sim::kGravity;
+  sample.pressure_master_pu = env.master_pressure_pu();
+  sample.pressure_slave_pu = env.slave_pressure_pu();
+  sample.checkpoint = map.checkpoint_i.get();
+  sample.set_value = map.set_value.get();
+  sample.is_value = map.is_value.get();
+  sample.out_value = map.out_value.get();
+  samples_.push_back(sample);
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::string out =
+      "time_ms,position_m,velocity_mps,retardation_g,pressure_master_pu,"
+      "pressure_slave_pu,checkpoint,set_value,is_value,out_value\n";
+  char line[256];
+  for (const TraceSample& s : samples_) {
+    std::snprintf(line, sizeof line, "%llu,%.3f,%.3f,%.4f,%.1f,%.1f,%u,%u,%u,%u\n",
+                  static_cast<unsigned long long>(s.time_ms), s.position_m, s.velocity_mps,
+                  s.retardation_g, s.pressure_master_pu, s.pressure_slave_pu, s.checkpoint,
+                  s.set_value, s.is_value, s.out_value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace easel::fi

@@ -1,0 +1,53 @@
+// Per-run signal traces: the software analogue of the FIC3's experiment
+// readouts ("All input to and output from the environment simulator is
+// stored as experiment readouts", paper §3.3), extended with the node's own
+// signal values for debugging and visualisation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arrestor/signal_map.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::fi {
+
+struct TraceSample {
+  std::uint64_t time_ms = 0;
+  // Plant truth.
+  double position_m = 0.0;
+  double velocity_mps = 0.0;
+  double retardation_g = 0.0;
+  double pressure_master_pu = 0.0;
+  double pressure_slave_pu = 0.0;
+  // Master-node signal values (as read from the possibly-corrupted image).
+  std::uint16_t checkpoint = 0;
+  std::uint16_t set_value = 0;
+  std::uint16_t is_value = 0;
+  std::uint16_t out_value = 0;
+};
+
+/// Samples the rig every `stride_ms` milliseconds, up to `capacity` samples.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::uint32_t stride_ms = 10, std::size_t capacity = 100000)
+      : stride_ms_{stride_ms == 0 ? 1 : stride_ms}, capacity_{capacity} {}
+
+  void maybe_sample(std::uint64_t now_ms, const sim::Environment& env,
+                    const arrestor::SignalMap& map);
+
+  [[nodiscard]] const std::vector<TraceSample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::uint32_t stride_ms() const noexcept { return stride_ms_; }
+  void clear() noexcept { samples_.clear(); }
+
+  /// CSV with a header row; suitable for any plotting tool.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::uint32_t stride_ms_;
+  std::size_t capacity_;
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace easel::fi

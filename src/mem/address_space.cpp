@@ -1,0 +1,18 @@
+#include "mem/address_space.hpp"
+
+namespace easel::mem {
+
+std::size_t Allocator::allocate(Region region, std::size_t size, std::size_t align) {
+  std::size_t& cursor = region == Region::ram ? ram_cursor_ : stack_cursor_;
+  const std::size_t end = region == Region::ram ? ram_end_ : stack_end_;
+  const std::size_t aligned = (cursor + align - 1) & ~(align - 1);
+  if (aligned + size > end || aligned < cursor) {
+    throw BadAddress{std::string{"out of "} + to_string(region) + " space: need " +
+                     std::to_string(size) + " bytes, " + std::to_string(end - cursor) +
+                     " remaining"};
+  }
+  cursor = aligned + size;
+  return aligned;
+}
+
+}  // namespace easel::mem

@@ -1,0 +1,188 @@
+// Simulated target-node memory image.
+//
+// The DSN 2000 evaluation injects bit-flips into "the memory areas of the
+// application": 417 bytes of application RAM and 1008 bytes of stack
+// (paper §3.4).  To reproduce that on a host, *all* application state of the
+// target system — signal values, module state, PID accumulators, calibration
+// tables, monitor previous-values — lives in one byte-addressable image, so
+// that a random (address, bit) flip can hit any of it, or hit unused padding
+// and stay inert, exactly as on the real node.
+//
+// Addresses are image-relative: [0, ram_size) is application RAM,
+// [ram_size, ram_size + stack_size) is the stack region.  Multi-byte values
+// are little-endian.  Accessors are header-inline: experiment campaigns
+// perform billions of image accesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace easel::mem {
+
+/// Which area of the target image an address falls in (paper Table 9 reports
+/// results per area).
+enum class Region : std::uint8_t { ram, stack };
+
+[[nodiscard]] constexpr const char* to_string(Region region) noexcept {
+  return region == Region::ram ? "RAM" : "Stack";
+}
+
+/// Image dimensions; defaults are the paper's target (§3.4).
+struct MemoryLayout {
+  std::size_t ram_bytes = 417;
+  std::size_t stack_bytes = 1008;
+};
+
+/// Thrown on out-of-range image accesses.  A production embedded target has
+/// no such guard; here it catches host-side layout bugs in tests.
+class BadAddress : public std::out_of_range {
+ public:
+  explicit BadAddress(const std::string& what) : std::out_of_range{what} {}
+};
+
+/// The flat memory image.  Plain value semantics: copyable (snapshots are
+/// used to diff corruption in tests) and cheap to reset between runs.
+class AddressSpace {
+ public:
+  explicit AddressSpace(MemoryLayout layout = {})
+      : bytes_(layout.ram_bytes + layout.stack_bytes, 0),
+        ram_bytes_{layout.ram_bytes},
+        stack_bytes_{layout.stack_bytes} {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::size_t ram_size() const noexcept { return ram_bytes_; }
+  [[nodiscard]] std::size_t stack_size() const noexcept { return stack_bytes_; }
+
+  /// First address of the given region.
+  [[nodiscard]] std::size_t region_base(Region region) const noexcept {
+    return region == Region::ram ? 0 : ram_bytes_;
+  }
+
+  /// Region that contains `addr`.  Throws BadAddress if out of range.
+  [[nodiscard]] Region region_of(std::size_t addr) const {
+    check(addr, 1);
+    return addr < ram_bytes_ ? Region::ram : Region::stack;
+  }
+
+  [[nodiscard]] std::uint8_t read_u8(std::size_t addr) const {
+    check(addr, 1);
+    return bytes_[addr];
+  }
+
+  void write_u8(std::size_t addr, std::uint8_t value) {
+    check(addr, 1);
+    bytes_[addr] = value;
+  }
+
+  [[nodiscard]] std::uint16_t read_u16(std::size_t addr) const {
+    check(addr, 2);
+    return static_cast<std::uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+  }
+
+  void write_u16(std::size_t addr, std::uint16_t value) {
+    check(addr, 2);
+    bytes_[addr] = static_cast<std::uint8_t>(value & 0xff);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+
+  [[nodiscard]] std::int16_t read_i16(std::size_t addr) const {
+    return static_cast<std::int16_t>(read_u16(addr));
+  }
+
+  void write_i16(std::size_t addr, std::int16_t value) {
+    write_u16(addr, static_cast<std::uint16_t>(value));
+  }
+
+  [[nodiscard]] std::uint32_t read_u32(std::size_t addr) const {
+    check(addr, 4);
+    return static_cast<std::uint32_t>(bytes_[addr]) |
+           (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+  }
+
+  void write_u32(std::size_t addr, std::uint32_t value) {
+    check(addr, 4);
+    bytes_[addr] = static_cast<std::uint8_t>(value & 0xff);
+    bytes_[addr + 1] = static_cast<std::uint8_t>((value >> 8) & 0xff);
+    bytes_[addr + 2] = static_cast<std::uint8_t>((value >> 16) & 0xff);
+    bytes_[addr + 3] = static_cast<std::uint8_t>((value >> 24) & 0xff);
+  }
+
+  [[nodiscard]] std::int32_t read_i32(std::size_t addr) const {
+    return static_cast<std::int32_t>(read_u32(addr));
+  }
+
+  void write_i32(std::size_t addr, std::int32_t value) {
+    write_u32(addr, static_cast<std::uint32_t>(value));
+  }
+
+  /// XORs one bit of one byte (bit in [0,7]).  This is the SWIFI primitive.
+  void flip_bit(std::size_t addr, unsigned bit) {
+    check(addr, 1);
+    if (bit > 7) throw BadAddress{"byte bit index " + std::to_string(bit) + " > 7"};
+    bytes_[addr] = static_cast<std::uint8_t>(bytes_[addr] ^ (1u << bit));
+  }
+
+  /// XORs one bit of a little-endian 16-bit word at `addr` (bit in [0,15]).
+  void flip_bit16(std::size_t addr, unsigned bit) {
+    if (bit > 15) throw BadAddress{"word bit index " + std::to_string(bit) + " > 15"};
+    flip_bit(addr + bit / 8, bit % 8);
+  }
+
+  /// Zero-fills the whole image (power-on state between experiment runs).
+  void clear() noexcept {
+    for (auto& byte : bytes_) byte = 0;
+  }
+
+  /// Raw byte view for snapshot/diff tooling.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  void check(std::size_t addr, std::size_t len) const {
+    if (addr + len > bytes_.size() || addr + len < addr) [[unlikely]] {
+      throw BadAddress{"access at " + std::to_string(addr) + "+" + std::to_string(len) +
+                       " outside image of " + std::to_string(bytes_.size()) + " bytes"};
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t ram_bytes_;
+  std::size_t stack_bytes_;
+};
+
+/// Bump allocator that hands out image addresses while the application lays
+/// out its variables.  Mirrors a linker placing .data and per-task stacks.
+class Allocator {
+ public:
+  explicit Allocator(const AddressSpace& space) noexcept
+      : ram_end_{space.ram_size()},
+        stack_end_{space.ram_size() + space.stack_size()},
+        ram_cursor_{0},
+        stack_cursor_{space.ram_size()} {}
+
+  /// Reserves `size` bytes in `region`, aligned to `align` (power of two).
+  /// Throws BadAddress when the region is exhausted.
+  [[nodiscard]] std::size_t allocate(Region region, std::size_t size, std::size_t align = 2);
+
+  /// Bytes still unallocated in `region`.
+  [[nodiscard]] std::size_t remaining(Region region) const noexcept {
+    return region == Region::ram ? ram_end_ - ram_cursor_ : stack_end_ - stack_cursor_;
+  }
+
+  /// Bytes allocated so far in `region`.
+  [[nodiscard]] std::size_t used(Region region) const noexcept {
+    return region == Region::ram ? ram_cursor_ : stack_cursor_ - ram_end_;
+  }
+
+ private:
+  std::size_t ram_end_;
+  std::size_t stack_end_;
+  std::size_t ram_cursor_;
+  std::size_t stack_cursor_;
+};
+
+}  // namespace easel::mem

@@ -1,0 +1,85 @@
+// Typed accessors over the simulated memory image.
+//
+// Application code never keeps signal values in host variables; it reads and
+// writes them through MemVar<T> handles so that an injected bit-flip between
+// two accesses is observed, exactly as on the target hardware.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "mem/address_space.hpp"
+
+namespace easel::mem {
+
+namespace detail {
+
+template <typename T>
+struct Accessor;
+
+template <>
+struct Accessor<std::uint8_t> {
+  static std::uint8_t read(const AddressSpace& s, std::size_t a) { return s.read_u8(a); }
+  static void write(AddressSpace& s, std::size_t a, std::uint8_t v) { s.write_u8(a, v); }
+};
+
+template <>
+struct Accessor<std::uint16_t> {
+  static std::uint16_t read(const AddressSpace& s, std::size_t a) { return s.read_u16(a); }
+  static void write(AddressSpace& s, std::size_t a, std::uint16_t v) { s.write_u16(a, v); }
+};
+
+template <>
+struct Accessor<std::int16_t> {
+  static std::int16_t read(const AddressSpace& s, std::size_t a) { return s.read_i16(a); }
+  static void write(AddressSpace& s, std::size_t a, std::int16_t v) { s.write_i16(a, v); }
+};
+
+template <>
+struct Accessor<std::uint32_t> {
+  static std::uint32_t read(const AddressSpace& s, std::size_t a) { return s.read_u32(a); }
+  static void write(AddressSpace& s, std::size_t a, std::uint32_t v) { s.write_u32(a, v); }
+};
+
+template <>
+struct Accessor<std::int32_t> {
+  static std::int32_t read(const AddressSpace& s, std::size_t a) { return s.read_i32(a); }
+  static void write(AddressSpace& s, std::size_t a, std::int32_t v) { s.write_i32(a, v); }
+};
+
+}  // namespace detail
+
+/// A handle to a T stored at a fixed address in an AddressSpace.
+/// Non-owning; the address space must outlive the handle.
+template <typename T>
+class MemVar {
+ public:
+  static_assert(std::is_integral_v<T>, "MemVar supports integral signal types");
+
+  MemVar() noexcept = default;
+
+  MemVar(AddressSpace& space, std::size_t addr) noexcept : space_{&space}, addr_{addr} {}
+
+  /// Allocates storage for the variable in `region` and binds to it.
+  MemVar(AddressSpace& space, Allocator& alloc, Region region)
+      : space_{&space}, addr_{alloc.allocate(region, sizeof(T), alignof(T) < 2 ? 1 : 2)} {}
+
+  [[nodiscard]] T get() const { return detail::Accessor<T>::read(*space_, addr_); }
+  void set(T value) { detail::Accessor<T>::write(*space_, addr_, value); }
+
+  /// Address of the first byte (image-relative), e.g. for injector targeting.
+  [[nodiscard]] std::size_t address() const noexcept { return addr_; }
+  [[nodiscard]] static constexpr std::size_t size_bytes() noexcept { return sizeof(T); }
+  [[nodiscard]] bool bound() const noexcept { return space_ != nullptr; }
+
+ private:
+  AddressSpace* space_ = nullptr;
+  std::size_t addr_ = 0;
+};
+
+using Var16 = MemVar<std::uint16_t>;
+using VarI16 = MemVar<std::int16_t>;
+using VarI32 = MemVar<std::int32_t>;
+using Var8 = MemVar<std::uint8_t>;
+
+}  // namespace easel::mem

@@ -1,0 +1,78 @@
+// Complement-storage ("shadow") variables — the classic low-cost self-check
+// for data errors in RAM, from the same family of techniques the paper's
+// introduction surveys (self-tests cheaper than replication [1], data
+// diversity [12]).  Each protected 16-bit variable occupies two cells:
+//
+//     [ value ]  [ ~value ]
+//
+// Every write refreshes both; every read checks value == ~complement.  Any
+// single-bit error in either cell is caught at the next read — regardless
+// of whether the corrupted value would look plausible to an executable
+// assertion.  The two mechanisms are complementary: the shadow check knows
+// nothing about signal semantics (a *computed* wrong value passes), while
+// the executable assertion misses in-band corruption but catches semantic
+// violations wherever they originate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/address_space.hpp"
+
+namespace easel::mem {
+
+class ShadowVar16 {
+ public:
+  ShadowVar16() noexcept = default;
+
+  /// Allocates the value and complement cells (adjacent) in `region`.
+  ShadowVar16(AddressSpace& space, Allocator& alloc, Region region)
+      : space_{&space},
+        value_addr_{alloc.allocate(region, 2, 2)},
+        shadow_addr_{alloc.allocate(region, 2, 2)} {}
+
+  /// Binds to two existing cells.
+  ShadowVar16(AddressSpace& space, std::size_t value_addr, std::size_t shadow_addr) noexcept
+      : space_{&space}, value_addr_{value_addr}, shadow_addr_{shadow_addr} {}
+
+  /// Writes the value and its complement.
+  void set(std::uint16_t value) {
+    space_->write_u16(value_addr_, value);
+    space_->write_u16(shadow_addr_, static_cast<std::uint16_t>(~value));
+  }
+
+  /// True if the pair is consistent.
+  [[nodiscard]] bool valid() const {
+    return space_->read_u16(value_addr_) ==
+           static_cast<std::uint16_t>(~space_->read_u16(shadow_addr_));
+  }
+
+  /// The value if the pair is consistent, nullopt on detected corruption.
+  [[nodiscard]] std::optional<std::uint16_t> get() const {
+    const std::uint16_t value = space_->read_u16(value_addr_);
+    if (value != static_cast<std::uint16_t>(~space_->read_u16(shadow_addr_))) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Unchecked read of the value cell (what an unprotected access sees).
+  [[nodiscard]] std::uint16_t raw() const { return space_->read_u16(value_addr_); }
+
+  /// Re-derives the complement from the value cell — recovery under the
+  /// assumption that the value cell is the intact one (a 50/50 guess for a
+  /// single-bit error; pair it with an executable assertion on the value
+  /// to bias the guess).
+  void scrub_from_value() { set(space_->read_u16(value_addr_)); }
+
+  [[nodiscard]] std::size_t value_address() const noexcept { return value_addr_; }
+  [[nodiscard]] std::size_t shadow_address() const noexcept { return shadow_addr_; }
+  [[nodiscard]] bool bound() const noexcept { return space_ != nullptr; }
+
+ private:
+  AddressSpace* space_ = nullptr;
+  std::size_t value_addr_ = 0;
+  std::size_t shadow_addr_ = 0;
+};
+
+}  // namespace easel::mem

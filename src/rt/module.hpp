@@ -1,0 +1,24 @@
+// A schedulable software module of the target node (paper Figure 5: CLOCK,
+// DIST_S, CALC, PRES_S, V_REG, PRES_A).
+#pragma once
+
+#include <string_view>
+
+namespace easel::rt {
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// One invocation.  Periodic modules are invoked in their slot; the
+  /// background module is invoked whenever the periodic work of a tick is
+  /// done (paper: CALC "runs when the other modules are dormant").
+  virtual void execute() = 0;
+};
+
+}  // namespace easel::rt

@@ -1,0 +1,77 @@
+#include "rt/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace easel::rt {
+
+void Scheduler::add_every_tick(Module& module, TaskContext& context) {
+  every_tick_.push_back(Entry{&module, &context});
+  routines_.push_back(Entry{&module, &context});
+}
+
+void Scheduler::add_periodic(Module& module, TaskContext& context, std::uint32_t slot) {
+  if (slot >= kSlotCount) throw std::out_of_range{"slot must be < 7"};
+  per_slot_[slot].push_back(Entry{&module, &context});
+  routines_.push_back(Entry{&module, &context});
+}
+
+void Scheduler::set_background(Module& module, TaskContext& context) {
+  background_ = Entry{&module, &context};
+  routines_.push_back(Entry{&module, &context});
+}
+
+void Scheduler::boot() {
+  for (auto& entry : routines_) entry.context->initialize();
+  if (kernel_ != nullptr) kernel_->initialize();
+  tick_ = 0;
+  halted_ = false;
+  stats_ = Stats{};
+}
+
+void Scheduler::dispatch(const Entry& entry) {
+  if (halted_ || entry.module == nullptr) return;
+  switch (entry.context->health()) {
+    case ContextHealth::ok:
+      ++stats_.dispatches;
+      entry.module->execute();
+      break;
+    case ContextHealth::skip:
+      ++stats_.skips;
+      break;
+    case ContextHealth::wrong_vector: {
+      ++stats_.wrong_vectors;
+      // The bogus entry address lands in some other routine's body, which
+      // then runs against its own (healthy or not) context.
+      const Entry& victim = routines_[entry.context->wrong_vector_index(routines_.size())];
+      if (victim.module != nullptr && victim.context->health() == ContextHealth::ok) {
+        victim.module->execute();
+      }
+      break;
+    }
+    case ContextHealth::crash:
+      halted_ = true;
+      stats_.halt_tick = tick_;
+      break;
+  }
+}
+
+void Scheduler::tick() {
+  if (halted_) {
+    ++tick_;
+    return;
+  }
+  if (kernel_ != nullptr && kernel_->health() != ContextHealth::ok) {
+    halted_ = true;
+    stats_.halt_tick = tick_;
+    ++tick_;
+    return;
+  }
+  for (const auto& entry : every_tick_) dispatch(entry);
+  const std::uint32_t slot =
+      slot_source_ ? slot_source_() % kSlotCount : current_slot();
+  for (const auto& entry : per_slot_[slot]) dispatch(entry);
+  dispatch(background_);
+  ++tick_;
+}
+
+}  // namespace easel::rt

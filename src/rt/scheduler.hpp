@@ -1,0 +1,96 @@
+// The node kernel: a slot-based cyclic executive (paper §3.1: "the system
+// operates in seven 1-ms slots"; CLOCK and DIST_S run every millisecond, the
+// other periodic modules every 7 ms, and CALC runs in the background).
+//
+// The slot counter itself is driven by a hardware timer outside the
+// injectable memory image (the application-visible ms_slot_nbr signal,
+// which IS injectable, is produced by the CLOCK module on top of this).
+//
+// Before every activation the dispatcher validates the task's context; a
+// corrupted context yields the control-flow errors described in
+// task_context.hpp.  A crash halts the node permanently: no module runs
+// again, outputs freeze — the failure mode the signal-level assertions
+// cannot see.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rt/module.hpp"
+#include "rt/task_context.hpp"
+
+namespace easel::rt {
+
+class Scheduler {
+ public:
+  static constexpr std::uint32_t kSlotCount = 7;
+
+  struct Stats {
+    std::uint64_t dispatches = 0;     ///< healthy activations
+    std::uint64_t skips = 0;          ///< control-flow error: task body skipped
+    std::uint64_t wrong_vectors = 0;  ///< control-flow error: wrong routine ran
+    std::uint64_t halt_tick = 0;      ///< tick at which the node crashed (if halted)
+  };
+
+  /// Registers a module that runs in every 1-ms slot (period 1 ms).
+  void add_every_tick(Module& module, TaskContext& context);
+
+  /// Registers a module that runs once per frame (period 7 ms) in `slot`.
+  void add_periodic(Module& module, TaskContext& context, std::uint32_t slot);
+
+  /// Registers the background module, invoked at the end of every tick.
+  void set_background(Module& module, TaskContext& context);
+
+  /// Registers the executive's own context (kernel stack + dispatch state).
+  /// It is validated at the start of every tick; any corruption of its
+  /// entry or stack pointer crashes the node — a scrambled kernel has no
+  /// defined behaviour to continue with.
+  void set_kernel_context(TaskContext& context) { kernel_ = &context; }
+
+  /// Overrides where the dispatcher reads the current slot number from.
+  /// The paper's node takes it from the CLOCK module's ms_slot_nbr signal
+  /// (Figure 5), which lives in injectable RAM — a corrupted slot number
+  /// then dispatches the wrong periodic modules.  Values are folded into
+  /// [0, 7) as the dispatch table lookup would.  Without a source, an
+  /// internal (non-injectable) counter is used.
+  void set_slot_source(std::function<std::uint32_t()> source) {
+    slot_source_ = std::move(source);
+  }
+
+  /// Initialises all task contexts (node boot).  Must be called after the
+  /// memory image is cleared and before the first tick.
+  void boot();
+
+  /// Advances one 1-ms slot: every-tick modules, then this slot's periodic
+  /// modules, then the background module.  No-op once halted.
+  void tick();
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint64_t tick_count() const noexcept { return tick_; }
+  [[nodiscard]] std::uint32_t current_slot() const noexcept {
+    return static_cast<std::uint32_t>(tick_ % kSlotCount);
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    Module* module = nullptr;
+    TaskContext* context = nullptr;
+  };
+
+  void dispatch(const Entry& entry);
+
+  std::vector<Entry> every_tick_;
+  std::vector<Entry> per_slot_[kSlotCount];
+  Entry background_{};
+  std::vector<Entry> routines_;  ///< all registered entries, for wrong-vector dispatch
+  TaskContext* kernel_ = nullptr;
+  std::function<std::uint32_t()> slot_source_;
+
+  std::uint64_t tick_ = 0;
+  bool halted_ = false;
+  Stats stats_{};
+};
+
+}  // namespace easel::rt

@@ -1,0 +1,93 @@
+// Simulated task activation records in the stack region.
+//
+// The paper's E2 campaign injects bit-flips into the 1008-byte stack area and
+// observes that such errors "more often lead to control flow errors", which
+// the signal-level assertions are not aimed at (paper §5.2).  To reproduce
+// that failure mode we give each software module a task context that lives in
+// the stack region of the memory image:
+//
+//   offset 0..1   entry  — the saved entry/return address of the task.  The
+//                 dispatcher reads it on every activation; a corrupted value
+//                 is a control-flow error (skip / wrong vector / crash,
+//                 derived deterministically from the corrupted value).
+//   offset 2..3   sp     — the task's saved stack pointer, addressing its
+//                 locals inside the image.  A corrupted in-image sp makes
+//                 the task read and write someone else's stack bytes; an
+//                 out-of-image sp is a bus error that halts the node.
+//   offset 4..    locals — the task's stack-resident working set.  The
+//                 background task (CALC) never returns, so its entire
+//                 working set is stack-resident, exactly as on the target.
+//
+// Bytes never allocated to any context model stack headroom: flips there are
+// inert, which is why most random stack errors in the paper neither fail nor
+// get detected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address_space.hpp"
+
+namespace easel::rt {
+
+/// What the dispatcher found when it validated a task context.
+enum class ContextHealth : std::uint8_t {
+  ok,            ///< entry and sp are intact
+  skip,          ///< corrupted entry decodes to a vector that returns immediately
+  wrong_vector,  ///< corrupted entry decodes to some other routine's address
+  crash,         ///< corrupted entry or sp is not executable/addressable — node halts
+};
+
+class TaskContext {
+ public:
+  /// Allocates a context with `locals_bytes` bytes of stack-resident locals.
+  /// `entry_token` models the code address of the task body; any two tasks
+  /// of a node must use distinct tokens.
+  TaskContext(mem::AddressSpace& space, mem::Allocator& alloc, std::string task_name,
+              std::uint16_t entry_token, std::size_t locals_bytes);
+
+  /// Writes the pristine entry token and stack pointer — performed once at
+  /// node boot, as a real kernel initialises its task control blocks.
+  void initialize();
+
+  /// Validates entry and sp as the dispatcher does before every activation.
+  /// The decode of a corrupted entry is a pure function of the corrupted
+  /// value, so identical corruption reproduces identical misbehaviour.
+  [[nodiscard]] ContextHealth health() const;
+
+  /// For ContextHealth::wrong_vector: an index (derived from the corrupted
+  /// entry) selecting which other routine gets executed instead.
+  [[nodiscard]] std::size_t wrong_vector_index(std::size_t routine_count) const;
+
+  // Locals access.  All reads/writes go through the saved sp in the image,
+  // so a shifted-but-in-image sp transparently redirects the task's working
+  // set onto foreign stack bytes.  Out-of-image accesses must not occur when
+  // health() == ok or skip; the dispatcher halts on crash before executing.
+  [[nodiscard]] std::uint16_t local_u16(std::size_t offset) const;
+  void set_local_u16(std::size_t offset, std::uint16_t value);
+  [[nodiscard]] std::int16_t local_i16(std::size_t offset) const;
+  void set_local_i16(std::size_t offset, std::int16_t value);
+  [[nodiscard]] std::int32_t local_i32(std::size_t offset) const;
+  void set_local_i32(std::size_t offset, std::int32_t value);
+
+  [[nodiscard]] const std::string& task_name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t base_address() const noexcept { return base_; }
+  [[nodiscard]] std::size_t locals_bytes() const noexcept { return locals_bytes_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return kHeaderBytes + locals_bytes_; }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 4;  // entry (2) + sp (2)
+
+  /// The locals base currently saved in the image (follows sp corruption).
+  [[nodiscard]] std::size_t saved_locals_base() const;
+  /// True if [saved sp, saved sp + locals_bytes) lies inside the image.
+  [[nodiscard]] bool sp_addressable() const;
+
+  mem::AddressSpace* space_;
+  std::string name_;
+  std::size_t base_;
+  std::uint16_t entry_token_;
+  std::size_t locals_bytes_;
+};
+
+}  // namespace easel::rt

@@ -1,0 +1,92 @@
+// The environment simulator (paper §3.3): "acts as the barrier (i.e. cable
+// and tape drums) and as the incoming aircraft...  feeds the system with
+// sensory data (rotation sensor and pressure sensor) and receives actuator
+// data (pressure value)".
+//
+// State per 1-ms step:
+//   * aircraft: position x along the runway, velocity v; the hook holds the
+//     cable from t = 0, so cable payout equals x (straight-line drum model);
+//   * per drum: applied hydraulic pressure, first-order lag toward the
+//     node's commanded value;
+//   * retarding force F = c_f * (P_master + P_slave), retardation a = F/m
+//     while the aircraft moves.
+//
+// Sensor reads quantize the physical values into the 16-bit raw units the
+// nodes consume, with a small bounded dither on the pressure sensors.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/plant_constants.hpp"
+#include "sim/test_case.hpp"
+#include "util/rng.hpp"
+
+namespace easel::sim {
+
+class Environment {
+ public:
+  /// `noise_rng` drives the pressure-sensor dither; pass a per-run stream.
+  Environment(const TestCase& test_case, util::Rng noise_rng);
+
+  /// Latches a node's valve command (raw pressure units; values outside
+  /// [0, full scale] are clamped by the valve driver hardware).
+  void command_master_valve(std::uint16_t out_value) noexcept;
+  void command_slave_valve(std::uint16_t out_value) noexcept;
+
+  /// Advances the plant one millisecond.
+  void step_1ms() noexcept;
+
+  // --- Sensor interfaces (what the nodes can see) ---
+
+  /// Cumulative rotation-sensor pulse count (hardware counter in the sensor
+  /// electronics, outside the node's injectable memory).
+  [[nodiscard]] std::uint32_t rotation_pulses() const noexcept;
+
+  /// Master-side pressure sensor reading in raw units (quantized + dither).
+  [[nodiscard]] std::uint16_t master_pressure_reading() noexcept;
+
+  /// Slave-side pressure sensor reading in raw units (quantized + dither).
+  [[nodiscard]] std::uint16_t slave_pressure_reading() noexcept;
+
+  // --- Ground truth (what the experiment readouts record) ---
+
+  [[nodiscard]] double position_m() const noexcept { return position_m_; }
+  [[nodiscard]] double velocity_mps() const noexcept { return velocity_mps_; }
+  [[nodiscard]] double retardation_mps2() const noexcept { return retardation_mps2_; }
+  [[nodiscard]] double cable_force_n() const noexcept { return force_n_; }
+  [[nodiscard]] bool stopped() const noexcept { return velocity_mps_ <= 0.0; }
+  [[nodiscard]] double master_pressure_pu() const noexcept { return pressure_master_pu_; }
+  [[nodiscard]] double slave_pressure_pu() const noexcept { return pressure_slave_pu_; }
+  [[nodiscard]] const TestCase& test_case() const noexcept { return test_case_; }
+
+  /// Milliseconds since the master node last wrote its valve command — the
+  /// signal an external (rig-side) watchdog observes.
+  [[nodiscard]] std::uint64_t ms_since_master_refresh() const noexcept {
+    return now_ms_ - master_refresh_ms_;
+  }
+  [[nodiscard]] std::uint64_t ms_since_slave_refresh() const noexcept {
+    return now_ms_ - slave_refresh_ms_;
+  }
+
+ private:
+  [[nodiscard]] std::uint16_t quantize_pressure(double pressure_pu) noexcept;
+
+  TestCase test_case_;
+  util::Rng noise_rng_;
+
+  double position_m_ = 0.0;
+  double velocity_mps_ = 0.0;
+  double retardation_mps2_ = 0.0;
+  double force_n_ = 0.0;
+
+  double pressure_master_pu_ = 0.0;
+  double pressure_slave_pu_ = 0.0;
+  double command_master_pu_ = 0.0;
+  double command_slave_pu_ = 0.0;
+
+  std::uint64_t now_ms_ = 0;
+  std::uint64_t master_refresh_ms_ = 0;
+  std::uint64_t slave_refresh_ms_ = 0;
+};
+
+}  // namespace easel::sim

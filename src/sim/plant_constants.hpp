@@ -1,0 +1,54 @@
+// Physical and interface constants of the simulated arresting gear.
+//
+// The plant is a BAK-12-style rotary-friction system: a cable between two
+// tape drums, each drum braked by a hydraulic pressure valve commanded by
+// its node.  Values are chosen so that (a) the whole flight envelope of the
+// experiment (8000–20000 kg at 40–70 m/s) is arrested well inside the
+// specification limits, and (b) the 16-bit signal encodings of the paper's
+// target are natural (pressures in raw "pressure units", distances in
+// centimetre pulses).
+#pragma once
+
+namespace easel::sim {
+
+/// Simulation/physics step and module timing.
+inline constexpr double kTickSeconds = 0.001;   ///< 1-ms physics and scheduler step
+inline constexpr unsigned kFramesPerCycle = 7;  ///< 7 x 1-ms slots per module frame
+
+/// Rotation sensor: one tooth-wheel pulse per centimetre of pulled-out cable.
+inline constexpr double kMetresPerPulse = 0.01;
+
+/// Pressure encoding: valve commands and sensor readings in raw units (pu).
+inline constexpr double kPressureUnitsMax = 20000.0;  ///< full-scale command/reading
+
+/// Brake gain: retarding force on the aircraft per pressure unit per drum.
+/// Full pressure on both drums gives 2 * 20000 * 15.625 = 625 kN; the
+/// control program clamps its own commands far below that (config.hpp), so
+/// the headroom exists only for erroneous commands to exercise.
+inline constexpr double kNewtonsPerPressureUnit = 15.625;
+
+/// Valve dynamics: first-order lag time constant of applied pressure.
+inline constexpr double kValveTauSeconds = 0.1;
+
+/// Valve deadman: the servo valve is spring-returned and needs its command
+/// refreshed continuously (PRES_A writes it every 7 ms).  If a node stops
+/// refreshing for this long — e.g. after a crash or a starved output task —
+/// the valve closes and drum pressure bleeds off.
+inline constexpr unsigned kValveDeadmanMs = 100;
+
+/// Pressure-sensor noise: uniform dither amplitude in pressure units (the
+/// paper notes LSB errors in continuous signals are indistinguishable from
+/// sampling noise — this is that noise).
+inline constexpr int kPressureNoisePu = 2;
+
+/// Standard gravity, used by the failure constraints (r < 2.8 g).
+inline constexpr double kGravity = 9.80665;
+
+/// Specification limits (paper §3.3, from MIL-A-38202C).
+inline constexpr double kMaxRetardationG = 2.8;
+inline constexpr double kRunwayLimitM = 335.0;
+
+/// Observation window per experiment run (paper §3.4).
+inline constexpr unsigned kObservationMs = 40000;
+
+}  // namespace easel::sim

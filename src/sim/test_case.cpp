@@ -1,0 +1,32 @@
+#include "sim/test_case.hpp"
+
+namespace easel::sim {
+
+std::vector<TestCase> grid_test_cases(std::size_t per_axis) {
+  std::vector<TestCase> cases;
+  if (per_axis == 0) return cases;
+  cases.reserve(per_axis * per_axis);
+  const double denom = per_axis > 1 ? static_cast<double>(per_axis - 1) : 1.0;
+  for (std::size_t mi = 0; mi < per_axis; ++mi) {
+    const double mass =
+        kMassMinKg + (kMassMaxKg - kMassMinKg) * static_cast<double>(mi) / denom;
+    for (std::size_t vi = 0; vi < per_axis; ++vi) {
+      const double velocity =
+          kVelocityMinMps + (kVelocityMaxMps - kVelocityMinMps) * static_cast<double>(vi) / denom;
+      cases.push_back(TestCase{mass, velocity});
+    }
+  }
+  return cases;
+}
+
+std::vector<TestCase> random_test_cases(std::size_t count, util::Rng rng) {
+  std::vector<TestCase> cases;
+  cases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cases.push_back(TestCase{rng.uniform_real(kMassMinKg, kMassMaxKg),
+                             rng.uniform_real(kVelocityMinMps, kVelocityMaxMps)});
+  }
+  return cases;
+}
+
+}  // namespace easel::sim

@@ -1,0 +1,33 @@
+// Experiment test cases: incoming aircraft (paper §3.4: velocity ranging
+// uniformly from 40 m/s to 70 m/s, mass ranging uniformly from 8000 kg to
+// 20000 kg; 25 test cases per error).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace easel::sim {
+
+struct TestCase {
+  double mass_kg = 0.0;
+  double velocity_mps = 0.0;
+};
+
+/// Experiment bounds (paper §3.4).
+inline constexpr double kMassMinKg = 8000.0;
+inline constexpr double kMassMaxKg = 20000.0;
+inline constexpr double kVelocityMinMps = 40.0;
+inline constexpr double kVelocityMaxMps = 70.0;
+
+/// The canonical 25-case set: a 5×5 grid spanning the mass and velocity
+/// ranges uniformly, corners included.  Deterministic, so every error in an
+/// error set faces the same aircraft (as on the rig, where the same test
+/// cases were replayed per error).
+[[nodiscard]] std::vector<TestCase> grid_test_cases(std::size_t per_axis = 5);
+
+/// Random test cases drawn uniformly from the experiment bounds.
+[[nodiscard]] std::vector<TestCase> random_test_cases(std::size_t count, util::Rng rng);
+
+}  // namespace easel::sim

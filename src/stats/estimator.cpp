@@ -1,0 +1,37 @@
+#include "stats/estimator.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace easel::stats {
+
+double Proportion::point() const noexcept {
+  if (trials == 0) return 0.0;
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+double Proportion::half_width(double z) const noexcept {
+  if (trials == 0) return 0.0;
+  const double p = point();
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return z * std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+}
+
+Proportion::Interval Proportion::wilson(double z) const noexcept {
+  if (trials == 0) return {};
+  const double n = static_cast<double>(trials);
+  const double p = point();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double spread = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {centre - spread, centre + spread};
+}
+
+std::string Proportion::to_percent_string(int decimals) const {
+  if (trials == 0) return "–";
+  return util::format_estimate(100.0 * point(), 100.0 * half_width(), decimals);
+}
+
+}  // namespace easel::stats

@@ -1,0 +1,78 @@
+// Coverage estimators — paper §4 computes detection probabilities "according
+// to the formulas for coverage estimation in [18]" (Powell, Martins, Arlat,
+// Crouzet, "Estimators for Fault Tolerance Coverage Evaluation", IEEE ToC
+// 44(2), 1995).
+//
+// For simple uniform sampling with replacement, the coverage estimate is the
+// sample proportion p̂ = nd/ne with the normal-approximation confidence
+// interval p̂ ± z·sqrt(p̂(1−p̂)/ne).  The paper prints no interval when the
+// measured proportion is exactly 0 or 1 (the normal half-width collapses to
+// zero there); we reproduce that, and additionally expose the Wilson score
+// interval, which stays informative at the extremes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace easel::stats {
+
+/// z-value for a two-sided 95 % confidence interval.
+inline constexpr double kZ95 = 1.959963984540054;
+
+/// A binomial proportion estimate nd / ne.
+struct Proportion {
+  std::uint64_t successes = 0;  ///< nd
+  std::uint64_t trials = 0;     ///< ne
+
+  void add(bool success) noexcept {
+    ++trials;
+    successes += success ? 1u : 0u;
+  }
+
+  void merge(const Proportion& other) noexcept {
+    successes += other.successes;
+    trials += other.trials;
+  }
+
+  /// p̂ in [0,1]; 0 when there are no trials.
+  [[nodiscard]] double point() const noexcept;
+
+  /// Normal-approximation half-width z·sqrt(p̂(1−p̂)/ne); zero when the
+  /// estimate is degenerate (ne = 0 or p̂ ∈ {0, 1}), matching the paper's
+  /// "no confidence interval can be estimated for 100.0 %".
+  [[nodiscard]] double half_width(double z = kZ95) const noexcept;
+
+  /// Wilson score interval [lo, hi] — well-behaved at p̂ ∈ {0, 1}.
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  [[nodiscard]] Interval wilson(double z = kZ95) const noexcept;
+
+  /// "55.5±4.1" in percent, as the paper's tables print it; "–" when there
+  /// are no trials.
+  [[nodiscard]] std::string to_percent_string(int decimals = 1) const;
+};
+
+/// The paper's three detection measures over one population of runs:
+/// P(d) over all runs, P(d|fail) over failed runs, P(d|no fail) over the
+/// rest (paper §4: n = nfail + n_no_fail for both errors and detections).
+struct DetectionMeasures {
+  Proportion all;      ///< P(d)
+  Proportion fail;     ///< P(d|fail)
+  Proportion no_fail;  ///< P(d|no fail)
+
+  /// Accounts one run.
+  void add(bool detected, bool failed) noexcept {
+    all.add(detected);
+    (failed ? fail : no_fail).add(detected);
+  }
+
+  void merge(const DetectionMeasures& other) noexcept {
+    all.merge(other.all);
+    fail.merge(other.fail);
+    no_fail.merge(other.no_fail);
+  }
+};
+
+}  // namespace easel::stats

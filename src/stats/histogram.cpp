@@ -1,0 +1,41 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace easel::stats {
+
+std::uint64_t LatencyHistogram::quantile_floor(double quantile) const noexcept {
+  if (total_ == 0) return 0;
+  const double target = quantile * static_cast<double>(total_);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    running += counts_[b];
+    if (static_cast<double>(running) >= target) return bucket_floor(b);
+  }
+  return bucket_floor(kBuckets - 1);
+}
+
+std::string LatencyHistogram::render(std::size_t bar_width) const {
+  if (total_ == 0) return "(no samples)\n";
+  std::uint64_t max_count = 0;
+  std::size_t last_used = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    max_count = std::max(max_count, counts_[b]);
+    if (counts_[b] > 0) last_used = b;
+  }
+  std::string out;
+  for (std::size_t b = 0; b <= last_used; ++b) {
+    if (counts_[b] == 0) continue;
+    const std::size_t bar = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                    static_cast<double>(max_count) *
+                                    static_cast<double>(bar_width)));
+    out += util::pad_left(std::to_string(bucket_floor(b)), 8) + " ms |" +
+           std::string(bar, '#') + " " + std::to_string(counts_[b]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace easel::stats

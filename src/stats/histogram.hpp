@@ -1,0 +1,57 @@
+// Log-bucketed latency histograms.  The paper reports only min/avg/max
+// (Tables 8, 9); the histogram exposes the shape behind those aggregates —
+// e.g. the bimodal split between direct detections (one test period) and
+// propagated detections (hundreds of milliseconds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace easel::stats {
+
+/// Powers-of-two buckets: [0,1), [1,2), [2,4), ... [2^30, inf).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void add(std::uint64_t latency_ms) noexcept {
+    ++counts_[bucket_of(latency_ms)];
+    ++total_;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count_in(std::size_t bucket) const {
+    return counts_.at(bucket);
+  }
+
+  /// Inclusive lower bound of a bucket in milliseconds.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t bucket) noexcept {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+
+  /// Index of the bucket holding `latency_ms`.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t latency_ms) noexcept {
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && latency_ms >= (std::uint64_t{1} << bucket)) ++bucket;
+    return bucket;
+  }
+
+  /// Smallest latency L such that at least `quantile` (0..1] of samples are
+  /// <= the upper edge of L's bucket; 0 when empty.  Bucket-resolution only.
+  [[nodiscard]] std::uint64_t quantile_floor(double quantile) const noexcept;
+
+  /// ASCII rendering: one line per non-empty bucket with a proportional bar.
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace easel::stats

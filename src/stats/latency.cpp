@@ -1,0 +1,43 @@
+#include "stats/latency.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace easel::stats {
+
+void LatencyStats::add(std::uint64_t latency_ms) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = latency_ms;
+  } else {
+    min_ = std::min(min_, latency_ms);
+    max_ = std::max(max_, latency_ms);
+  }
+  sum_ += latency_ms;
+  ++count_;
+}
+
+void LatencyStats::merge(const LatencyStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double LatencyStats::average() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::string LatencyStats::to_string() const {
+  if (count_ == 0) return "–";
+  return std::to_string(min_) + "/" + util::format_fixed(average(), 0) + "/" +
+         std::to_string(max_);
+}
+
+}  // namespace easel::stats

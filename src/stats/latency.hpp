@@ -1,0 +1,55 @@
+// Detection-latency aggregation (paper Tables 8 and 9: min / average / max
+// in milliseconds, measured from the first injection to the first reported
+// detection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace easel::stats {
+
+class LatencyStats {
+ public:
+  /// Accounts one detection latency in milliseconds.
+  void add(std::uint64_t latency_ms) noexcept;
+
+  void merge(const LatencyStats& other) noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// Minimum; 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  /// Maximum; 0 when empty.
+  [[nodiscard]] std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double average() const noexcept;
+
+  /// "min/avg/max" rendering; "–" when empty.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Sum of all accounted latencies (for serialization).
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Reconstructs aggregated stats (deserialization).  count == 0 yields an
+  /// empty object regardless of the other fields.
+  [[nodiscard]] static LatencyStats from_parts(std::uint64_t count, std::uint64_t min,
+                                               std::uint64_t max, std::uint64_t sum) noexcept {
+    LatencyStats stats;
+    if (count > 0) {
+      stats.count_ = count;
+      stats.min_ = min;
+      stats.max_ = max;
+      stats.sum_ = sum;
+    }
+    return stats;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace easel::stats

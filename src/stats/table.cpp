@@ -1,0 +1,82 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace easel::stats {
+
+std::size_t display_width(std::string_view text) noexcept {
+  std::size_t width = 0;
+  for (const char c : text) {
+    // Count every byte that is not a UTF-8 continuation byte (10xxxxxx).
+    if ((static_cast<unsigned char>(c) & 0xc0) != 0x80) ++width;
+  }
+  return width;
+}
+
+namespace {
+
+std::string pad(std::string_view text, std::size_t width, Table::Align align) {
+  const std::size_t w = display_width(text);
+  if (w >= width) return std::string{text};
+  const std::string fill(width - w, ' ');
+  return align == Table::Align::left ? std::string{text} + fill : fill + std::string{text};
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  aligns_.assign(headers_.size(), Align::right);
+  if (!aligns_.empty()) aligns_[0] = Align::left;
+}
+
+void Table::set_align(std::size_t column, Align align) { aligns_.at(column) = align; }
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument{"row has more cells than the table has columns"};
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = display_width(headers_[c]);
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], display_width(row.cells[c]));
+    }
+  }
+
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += pad(headers_[c], widths[c], aligns_[c]);
+  }
+  out += "\n" + std::string(total, '-') + "\n";
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out += std::string(total, '-') + "\n";
+      continue;
+    }
+    std::string line;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += pad(row.cells[c], widths[c], aligns_[c]);
+    }
+    // Trim trailing spaces from right-padded final cells.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace easel::stats

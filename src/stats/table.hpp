@@ -1,0 +1,49 @@
+// A minimal ASCII table renderer used by the benchmark harnesses to print
+// the paper's result tables.  UTF-8 aware enough for our needs: multi-byte
+// sequences (e.g. "±", "–") count one display column.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easel::stats {
+
+/// Display width of a UTF-8 string, counting code points (sufficient for the
+/// Latin-1/область characters the reports use; no wide-glyph handling).
+[[nodiscard]] std::size_t display_width(std::string_view text) noexcept;
+
+class Table {
+ public:
+  enum class Align { left, right };
+
+  /// Creates a table with the given column headers.  All data columns are
+  /// right-aligned by default except the first (the row label).
+  explicit Table(std::vector<std::string> headers);
+
+  void set_align(std::size_t column, Align align);
+
+  /// Adds a row; missing trailing cells render empty, extra cells throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace easel::stats

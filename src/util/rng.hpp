@@ -1,0 +1,145 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic decision in a campaign must flow from a single seed so
+// that experiment runs are exactly reproducible and can be partitioned
+// across processes without changing results.  We provide:
+//
+//   * SplitMix64 — a tiny seeding/stream-derivation generator.
+//   * Xoshiro256StarStar — the workhorse generator (fast, 256-bit state).
+//   * Rng — a convenience wrapper with uniform int/real helpers and
+//     named sub-stream derivation ("error-set", "test-cases", "noise", ...).
+//
+// None of the generators allocate; all are value types.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace easel::util {
+
+/// SplitMix64 PRNG (Steele, Lea, Flood 2014).  Used to expand seeds and to
+/// derive independent sub-streams; also a valid generator in its own right.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018).  All-purpose 64-bit generator;
+/// passes BigCrush; period 2^256 - 1.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by expanding `seed` through SplitMix64, as
+  /// recommended by the authors (avoids the all-zero state).
+  constexpr explicit Xoshiro256StarStar(std::uint64_t seed = 1) noexcept {
+    SplitMix64 sm{seed};
+    for (auto& word : state_) word = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// FNV-1a hash of a string, used to derive named sub-streams.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Convenience generator: xoshiro256** plus uniform-distribution helpers and
+/// deterministic sub-stream derivation.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 1) noexcept : gen_{seed}, seed_{seed} {}
+
+  constexpr std::uint64_t next() noexcept { return gen_.next(); }
+  constexpr std::uint64_t operator()() noexcept { return gen_.next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive), signed convenience.
+  [[nodiscard]] std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// A new, statistically independent generator for the named purpose.
+  /// Derivation is a pure function of (seed, name[, index]), so call order
+  /// does not matter.
+  [[nodiscard]] constexpr Rng derive(std::string_view name, std::uint64_t index = 0) const noexcept {
+    SplitMix64 sm{seed_ ^ fnv1a(name)};
+    sm.next();
+    const std::uint64_t base = sm.next();
+    SplitMix64 sm2{base + 0x9e3779b97f4a7c15ULL * (index + 1)};
+    return Rng{sm2.next()};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  Xoshiro256StarStar gen_;
+  std::uint64_t seed_;
+};
+
+}  // namespace easel::util

@@ -1,0 +1,51 @@
+// Saturating conversions between the double-precision physics domain and the
+// 16-bit signal domain of the target system.  Embedded actuator/sensor
+// interfaces clamp rather than wrap; these helpers make that explicit.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace easel::util {
+
+/// Clamps `value` into [lo, hi].  Requires lo <= hi.
+template <typename T>
+[[nodiscard]] constexpr T clamp(T value, T lo, T hi) noexcept {
+  return std::min(std::max(value, lo), hi);
+}
+
+/// Rounds a double to the nearest integer and saturates into the full range
+/// of the destination integer type.  NaN maps to 0.
+template <typename Int>
+[[nodiscard]] Int saturate_cast(double value) noexcept {
+  static_assert(std::numeric_limits<Int>::is_integer);
+  if (std::isnan(value)) return Int{0};
+  constexpr double lo = static_cast<double>(std::numeric_limits<Int>::min());
+  constexpr double hi = static_cast<double>(std::numeric_limits<Int>::max());
+  const double r = std::nearbyint(value);
+  if (r <= lo) return std::numeric_limits<Int>::min();
+  if (r >= hi) return std::numeric_limits<Int>::max();
+  return static_cast<Int>(r);
+}
+
+/// Rounds a double to the nearest integer and saturates into [lo, hi].
+template <typename Int>
+[[nodiscard]] Int saturate_cast(double value, Int lo, Int hi) noexcept {
+  return clamp(saturate_cast<Int>(value), lo, hi);
+}
+
+/// Saturating unsigned 16-bit addition (counters in the target never wrap
+/// silently; wrapping, where allowed, is an explicit signal property).
+[[nodiscard]] constexpr std::uint16_t sat_add_u16(std::uint16_t a, std::uint16_t b) noexcept {
+  const std::uint32_t sum = static_cast<std::uint32_t>(a) + b;
+  return sum > 0xffffu ? std::uint16_t{0xffff} : static_cast<std::uint16_t>(sum);
+}
+
+/// Saturating unsigned 16-bit subtraction.
+[[nodiscard]] constexpr std::uint16_t sat_sub_u16(std::uint16_t a, std::uint16_t b) noexcept {
+  return a < b ? std::uint16_t{0} : static_cast<std::uint16_t>(a - b);
+}
+
+}  // namespace easel::util

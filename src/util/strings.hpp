@@ -1,0 +1,30 @@
+// Small string-formatting helpers used by the report/table renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easel::util {
+
+/// Fixed-precision decimal rendering, e.g. format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// "55.5±4.1" style rendering of an estimate with its confidence half-width.
+/// A half-width of exactly zero renders without the ± part (the paper prints
+/// "100.0" with no interval when no CI can be estimated).
+[[nodiscard]] std::string format_estimate(double percent, double half_width, int decimals = 1);
+
+/// Pads `text` on the left (right-aligns) to `width` columns.
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+
+/// Pads `text` on the right (left-aligns) to `width` columns.
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// Splits on a delimiter; no empty-token suppression.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace easel::util

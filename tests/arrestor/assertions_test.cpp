@@ -1,0 +1,211 @@
+#include "arrestor/assertions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::arrestor {
+namespace {
+
+struct Fixture {
+  mem::AddressSpace space;
+  mem::Allocator alloc{space};
+  SignalMap map{space, alloc};
+  core::DetectionBus bus;
+};
+
+TEST(RomParams, EveryContinuousSetSatisfiesItsDeclaredClass) {
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<MonitoredSignal>(s);
+    if (signal == MonitoredSignal::ms_slot_nbr) {
+      EXPECT_TRUE(core::validate(rom_slot_params(), rom_signal_class(signal)).ok());
+      continue;
+    }
+    const auto validation = core::validate(rom_continuous_params(signal),
+                                           rom_signal_class(signal));
+    EXPECT_TRUE(validation.ok()) << to_string(signal);
+  }
+}
+
+TEST(RomParams, ClassesMatchTable4) {
+  EXPECT_EQ(rom_signal_class(MonitoredSignal::set_value), core::SignalClass::continuous_random);
+  EXPECT_EQ(rom_signal_class(MonitoredSignal::mscnt),
+            core::SignalClass::continuous_static_monotonic);
+  EXPECT_EQ(rom_signal_class(MonitoredSignal::pulscnt),
+            core::SignalClass::continuous_dynamic_monotonic);
+  EXPECT_EQ(rom_signal_class(MonitoredSignal::ms_slot_nbr),
+            core::SignalClass::discrete_sequential_linear);
+}
+
+TEST(RomParams, SlotParamsRequestedViaDedicatedAccessor) {
+  EXPECT_THROW((void)rom_continuous_params(MonitoredSignal::ms_slot_nbr),
+               std::invalid_argument);
+  const auto p = rom_slot_params();
+  EXPECT_EQ(p.domain.size(), 7u);
+  EXPECT_EQ(p.transitions.at(6), (std::vector<core::sig_t>{0}));
+}
+
+TEST(EaMask, BitsAndNumbering) {
+  EXPECT_EQ(ea_bit(MonitoredSignal::set_value), 0x01);
+  EXPECT_EQ(ea_bit(MonitoredSignal::out_value), 0x40);
+  EXPECT_EQ(kAllAssertions, 0x7f);
+}
+
+TEST(AssertionBank, DisabledAssertionsNeverReport) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kNoAssertions};
+  f.map.mscnt.set(5000);  // would fail the first bounds... actually passes
+  f.map.checkpoint_i.set(99);  // far outside [0, 6]
+  bank.test(MonitoredSignal::checkpoint);
+  EXPECT_EQ(f.bus.count(), 0u);
+  EXPECT_FALSE(bank.enabled(MonitoredSignal::checkpoint));
+}
+
+TEST(AssertionBank, BoundsViolationDetectedImmediately) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions};
+  f.map.checkpoint_i.set(99);
+  bank.test(MonitoredSignal::checkpoint);
+  EXPECT_EQ(f.bus.count(), 1u);
+  EXPECT_EQ(f.bus.events()[0].continuous_test, core::ContinuousTest::t1_max);
+}
+
+TEST(AssertionBank, RateViolationNeedsPriming) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions};
+  // First test primes at 100 (bounds only).
+  f.map.pulscnt.set(100);
+  bank.test(MonitoredSignal::pulscnt);
+  EXPECT_EQ(f.bus.count(), 0u);
+  // +200 in one test: far over rmax_incr = 12.
+  f.map.pulscnt.set(300);
+  bank.test(MonitoredSignal::pulscnt);
+  EXPECT_EQ(f.bus.count(), 1u);
+}
+
+TEST(AssertionBank, StatePersistsInRam) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions};
+  f.map.pulscnt.set(100);
+  bank.test(MonitoredSignal::pulscnt);
+  const auto& slot = f.map.monitor_state[static_cast<std::size_t>(MonitoredSignal::pulscnt)];
+  EXPECT_EQ(slot.prev.get(), 100u);
+  EXPECT_EQ(slot.flags.get() & 1u, 1u);
+}
+
+TEST(AssertionBank, CorruptedMonitorStateTriggersDetection) {
+  // A bit-flip in the monitor's own previous-value slot makes the next test
+  // compare against a wrong baseline — the detector detects damage to
+  // itself, as on the real target where monitor state is ordinary RAM.
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, ea_bit(MonitoredSignal::mscnt)};
+  f.map.mscnt.set(1000);
+  bank.test(MonitoredSignal::mscnt);
+  const auto& slot = f.map.monitor_state[static_cast<std::size_t>(MonitoredSignal::mscnt)];
+  f.space.flip_bit16(slot.prev.address(), 9);  // 1000 ^ 512 = 488
+  f.map.mscnt.set(1001);                       // the true +1 step
+  bank.test(MonitoredSignal::mscnt);
+  EXPECT_EQ(f.bus.count(), 1u);
+}
+
+TEST(AssertionBank, SlotCycleAcceptedAndBreaksDetected) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, ea_bit(MonitoredSignal::ms_slot_nbr)};
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint16_t s = 0; s < 7; ++s) {
+      f.map.ms_slot_nbr.set(s);
+      bank.test(MonitoredSignal::ms_slot_nbr);
+    }
+  }
+  EXPECT_EQ(f.bus.count(), 0u);
+  f.map.ms_slot_nbr.set(3);  // 6 -> 3 is not the successor
+  bank.test(MonitoredSignal::ms_slot_nbr);
+  EXPECT_EQ(f.bus.count(), 1u);
+  EXPECT_EQ(f.bus.events()[0].discrete_test, core::DiscreteTest::transition);
+}
+
+TEST(AssertionBank, RecoveryWritesValueBackToRam) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions,
+                     core::RecoveryPolicy::hold_previous};
+  f.map.checkpoint_i.set(2);
+  bank.test(MonitoredSignal::checkpoint);
+  f.map.checkpoint_i.set(77);  // corrupted
+  bank.test(MonitoredSignal::checkpoint);
+  EXPECT_EQ(f.bus.count(), 1u);
+  EXPECT_EQ(f.map.checkpoint_i.get(), 2u);  // restored in RAM
+}
+
+TEST(AssertionBank, DetectOnlyLeavesSignalUntouched) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions};
+  f.map.checkpoint_i.set(2);
+  bank.test(MonitoredSignal::checkpoint);
+  f.map.checkpoint_i.set(77);
+  bank.test(MonitoredSignal::checkpoint);
+  EXPECT_EQ(f.map.checkpoint_i.get(), 77u);
+}
+
+TEST(AssertionBank, MonitorNamesFollowPaperConvention) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions};
+  EXPECT_EQ(f.bus.monitor_name(bank.bus_id(MonitoredSignal::set_value)), "EA1(SetValue)");
+  EXPECT_EQ(f.bus.monitor_name(bank.bus_id(MonitoredSignal::out_value)), "EA7(OutValue)");
+  EXPECT_EQ(f.bus.monitor_count(), 7u);
+}
+
+TEST(RomParams, PrechargeSetsSatisfyTheirClasses) {
+  for (const auto signal : {MonitoredSignal::set_value, MonitoredSignal::is_value,
+                            MonitoredSignal::out_value}) {
+    EXPECT_TRUE(has_precharge_mode(signal));
+    EXPECT_TRUE(core::validate(rom_precharge_params(signal), rom_signal_class(signal)).ok())
+        << to_string(signal);
+    // The pre-charge bound is strictly tighter than the braking envelope.
+    EXPECT_LT(rom_precharge_params(signal).smax, rom_continuous_params(signal).smax);
+  }
+  EXPECT_FALSE(has_precharge_mode(MonitoredSignal::mscnt));
+  EXPECT_THROW((void)rom_precharge_params(MonitoredSignal::mscnt), std::invalid_argument);
+}
+
+TEST(AssertionBank, ModedBankUsesPhaseSignal) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions, core::RecoveryPolicy::none,
+                     /*per_mode_constraints=*/true};
+  // Phase 0 (pre-charge): 2000 pu exceeds the mode-0 bound of 1200.
+  f.map.arrest_phase.set(0);
+  f.map.set_value.set(2000);
+  bank.test(MonitoredSignal::set_value);
+  EXPECT_EQ(f.bus.count(), 1u);
+  EXPECT_EQ(f.bus.events()[0].mode, 0u);
+  // Phase 1 (braking): the same value is fine.
+  f.map.arrest_phase.set(1);
+  bank.test(MonitoredSignal::set_value);
+  EXPECT_EQ(f.bus.count(), 1u);
+}
+
+TEST(AssertionBank, CorruptedPhaseDegradesToWideMode) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions, core::RecoveryPolicy::none, true};
+  f.map.arrest_phase.set(0xbeef);  // garbage mode variable
+  f.map.set_value.set(5000);       // legal in braking, illegal in pre-charge
+  bank.test(MonitoredSignal::set_value);
+  EXPECT_EQ(f.bus.count(), 0u);  // degraded to the wide set: no false alarm
+}
+
+TEST(AssertionBank, UnmodedBankIgnoresPhase) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, kAllAssertions};
+  f.map.arrest_phase.set(0);
+  f.map.set_value.set(5000);  // above the pre-charge bound
+  bank.test(MonitoredSignal::set_value);
+  EXPECT_EQ(f.bus.count(), 0u);  // single-mode envelope applies
+}
+
+TEST(AssertionBank, SingleAssertionVersionRegistersOneMonitor) {
+  Fixture f;
+  AssertionBank bank{f.space, f.map, f.bus, ea_bit(MonitoredSignal::is_value)};
+  EXPECT_EQ(f.bus.monitor_count(), 1u);
+  EXPECT_TRUE(bank.enabled(MonitoredSignal::is_value));
+  EXPECT_FALSE(bank.enabled(MonitoredSignal::set_value));
+}
+
+}  // namespace
+}  // namespace easel::arrestor

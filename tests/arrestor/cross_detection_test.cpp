@@ -1,0 +1,99 @@
+// Pins the cross-detection structure of paper Table 7: an assertion on one
+// signal catches errors injected into *another* signal once they propagate
+// through the control loop — and the propagation paths are the ones the
+// dataflow (Figure 5) predicts.
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+
+namespace easel::arrestor {
+namespace {
+
+fi::RunResult run_one(MonitoredSignal injected, unsigned bit, EaMask version,
+                      sim::TestCase test_case = {17000.0, 65.0}) {
+  fi::RunConfig config;
+  config.test_case = test_case;
+  config.assertions = version;
+  config.error = fi::make_e1_for_target()[static_cast<std::size_t>(injected) * 16 + bit];
+  return fi::run_experiment(config);
+}
+
+TEST(CrossDetection, Ea1CatchesPulscntErrorsThroughCalc) {
+  // pulscnt feeds CALC's checkpoint logic; a high-bit error mis-times the
+  // program and the set point crosses the EA1 envelope (paper Table 7:
+  // EA1 detects pulscnt errors at 29.8 %).
+  const fi::RunResult r =
+      run_one(MonitoredSignal::pulscnt, 15, ea_bit(MonitoredSignal::set_value));
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(CrossDetection, Ea2CatchesSetValueErrorsThroughTheLoop) {
+  // A corrupted set point drives the regulator, the valve, and therefore
+  // the measured pressure: EA2 on IsValue sees the transient (paper: EA2
+  // detects SetValue errors at 31.3 %).
+  const fi::RunResult r =
+      run_one(MonitoredSignal::set_value, 14, ea_bit(MonitoredSignal::is_value));
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(CrossDetection, Ea7CatchesSetValueHighBits) {
+  // OutValue = SetValue + correction: a bit-14 set-point error slams the
+  // regulator output across EA7's band (paper: EA7 on SetValue, 44.3 %).
+  const fi::RunResult r =
+      run_one(MonitoredSignal::set_value, 14, ea_bit(MonitoredSignal::out_value));
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(CrossDetection, NoPathFromOutValueToPulscntAssertion) {
+  // The reverse direction has no (fast) path: an OutValue error changes
+  // pressure, which only modulates how quickly pulses accrue — always
+  // within EA4's rate band.  (Paper Table 7: EA4 row/OutValue column and
+  // EA4 column/OutValue row are blank or near zero.)
+  const fi::RunResult r =
+      run_one(MonitoredSignal::out_value, 13, ea_bit(MonitoredSignal::pulscnt));
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(CrossDetection, CountersAreSelfContained) {
+  // mscnt errors cannot be caught by EA5 (ms_slot_nbr is maintained
+  // independently); the slot cycle stays legal.
+  const fi::RunResult r =
+      run_one(MonitoredSignal::mscnt, 13, ea_bit(MonitoredSignal::ms_slot_nbr));
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(CrossDetection, MscntErrorsReachSetValueViaVelocityEstimate) {
+  // CALC divides by a time delta taken from mscnt: a corrupted clock skews
+  // the velocity estimate and the computed set point (paper: EA1 detects
+  // mscnt errors at 12.3 %).  A bit-15 clock error makes dt wrap huge or
+  // tiny, so the set point saturates across the envelope.
+  const fi::RunResult r =
+      run_one(MonitoredSignal::mscnt, 15, ea_bit(MonitoredSignal::set_value));
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(CrossDetection, AllVersionDetectsWhateverAnySingleVersionDoes) {
+  // Spot-check the dominance property at the run level for a mixed bag.
+  const struct {
+    MonitoredSignal signal;
+    unsigned bit;
+  } probes[] = {{MonitoredSignal::set_value, 14}, {MonitoredSignal::pulscnt, 15},
+                {MonitoredSignal::mscnt, 15},     {MonitoredSignal::is_value, 12},
+                {MonitoredSignal::checkpoint, 2}, {MonitoredSignal::out_value, 15}};
+  for (const auto& probe : probes) {
+    bool any_single = false;
+    for (std::size_t v = 0; v < 7; ++v) {
+      any_single |= run_one(probe.signal, probe.bit,
+                            ea_bit(static_cast<MonitoredSignal>(v)))
+                        .detected;
+    }
+    const bool all_version = run_one(probe.signal, probe.bit, kAllAssertions).detected;
+    if (any_single) {
+      EXPECT_TRUE(all_version)
+          << to_string(probe.signal) << " bit " << probe.bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easel::arrestor

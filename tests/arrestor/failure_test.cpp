@@ -1,0 +1,157 @@
+#include "arrestor/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::arrestor {
+namespace {
+
+TEST(ForceLimitTable, GridCornersPositiveAndOrdered) {
+  const ForceLimitTable& table = force_limits();
+  for (std::size_t mi = 0; mi < ForceLimitTable::kMassPoints; ++mi) {
+    for (std::size_t vi = 0; vi < ForceLimitTable::kVelocityPoints; ++vi) {
+      EXPECT_GT(table.grid_value(mi, vi), 0.0);
+      if (vi > 0) {
+        EXPECT_GT(table.grid_value(mi, vi), table.grid_value(mi, vi - 1));
+      }
+      if (mi > 0) {
+        EXPECT_GT(table.grid_value(mi, vi), table.grid_value(mi - 1, vi));
+      }
+    }
+  }
+}
+
+TEST(ForceLimitTable, ExactAtGridPoints) {
+  const ForceLimitTable& table = force_limits();
+  const auto& masses = table.masses();
+  const auto& velocities = table.velocities();
+  for (std::size_t mi = 0; mi < masses.size(); ++mi) {
+    for (std::size_t vi = 0; vi < velocities.size(); ++vi) {
+      EXPECT_NEAR(table.limit_n(masses[mi], velocities[vi]), table.grid_value(mi, vi), 1e-6);
+    }
+  }
+}
+
+TEST(ForceLimitTable, InterpolatesBetweenPoints) {
+  const ForceLimitTable& table = force_limits();
+  const double mid = table.limit_n(10000.0, 45.0);
+  EXPECT_GT(mid, table.limit_n(8000.0, 40.0));
+  EXPECT_LT(mid, table.limit_n(12000.0, 50.0));
+  // Bilinear: halfway in velocity at a grid mass is the average of the ends.
+  const double at_45 = table.limit_n(8000.0, 45.0);
+  EXPECT_NEAR(at_45, 0.5 * (table.grid_value(0, 0) + table.grid_value(0, 1)), 1e-6);
+}
+
+TEST(ForceLimitTable, ExtrapolatesBeyondGrid) {
+  // Paper §3.3: limits for combinations outside the tabulated ones are
+  // obtained by extrapolation.
+  const ForceLimitTable& table = force_limits();
+  const double beyond = table.limit_n(20000.0, 75.0);
+  const double at_70 = table.limit_n(20000.0, 70.0);
+  const double at_60 = table.limit_n(20000.0, 60.0);
+  EXPECT_NEAR(beyond, at_70 + 0.5 * (at_70 - at_60), 1e-6);  // linear continuation
+  EXPECT_GT(table.limit_n(22000.0, 50.0), table.limit_n(20000.0, 50.0));
+  EXPECT_LT(table.limit_n(6000.0, 50.0), table.limit_n(8000.0, 50.0));
+}
+
+TEST(ForceLimitTable, EnvelopeClearsNominalPeakForces) {
+  // Nominal peaks measured in the calibration sweep stay ~15 % or more
+  // under the limit for the hardest corner (light-fast).
+  EXPECT_GT(force_limits().limit_n(8000.0, 70.0), 1.15 * 193100.0);
+}
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  sim::TestCase test_case_{12000.0, 60.0};
+  sim::Environment env_{test_case_, util::Rng{3}};
+  FailureClassifier classifier_{test_case_};
+};
+
+TEST_F(ClassifierTest, CleanCoastHasNoFailureUntilOverrun) {
+  for (std::uint64_t t = 0; t < 5000; ++t) {
+    env_.step_1ms();
+    classifier_.sample(env_, t);
+  }
+  // 5 s at 60 m/s = 300 m: not yet past the runway.
+  EXPECT_FALSE(classifier_.failed());
+  for (std::uint64_t t = 5000; t < 7000; ++t) {
+    env_.step_1ms();
+    classifier_.sample(env_, t);
+  }
+  EXPECT_TRUE(classifier_.failed());
+  EXPECT_EQ(classifier_.kind(), FailureKind::overrun);
+  EXPECT_GE(classifier_.failure_time_ms(), 5000u);
+}
+
+TEST_F(ClassifierTest, RetardationViolation) {
+  // For a light, fast aircraft m*2.8g sits below Fmax, so slamming both
+  // valves to full scale trips the retardation constraint first.
+  const sim::TestCase light{8000.0, 70.0};
+  sim::Environment env{light, util::Rng{5}};
+  FailureClassifier classifier{light};
+  for (std::uint64_t t = 0; t < 2000 && !classifier.failed(); ++t) {
+    env.command_master_valve(20000);
+    env.command_slave_valve(20000);
+    env.step_1ms();
+    classifier.sample(env, t);
+  }
+  ASSERT_TRUE(classifier.failed());
+  EXPECT_EQ(classifier.kind(), FailureKind::retardation);
+  EXPECT_GT(classifier.peak_retardation_g(), 2.8);
+}
+
+TEST_F(ClassifierTest, ForceViolationForHeavyAircraft) {
+  // A heavy aircraft keeps r below 2.8 g even at high force, so the force
+  // constraint trips first.
+  const sim::TestCase heavy{20000.0, 40.0};
+  sim::Environment env{heavy, util::Rng{4}};
+  FailureClassifier classifier{heavy};
+  for (std::uint64_t t = 0; t < 3000 && !classifier.failed(); ++t) {
+    env.command_master_valve(6000);
+    env.command_slave_valve(6000);
+    env.step_1ms();
+    classifier.sample(env, t);
+  }
+  ASSERT_TRUE(classifier.failed());
+  EXPECT_EQ(classifier.kind(), FailureKind::force);
+  EXPECT_LT(classifier.peak_retardation_g(), 2.8);
+}
+
+TEST_F(ClassifierTest, FirstViolationLatched) {
+  for (std::uint64_t t = 0; t < 4000; ++t) {
+    env_.command_master_valve(20000);
+    env_.command_slave_valve(20000);
+    env_.step_1ms();
+    classifier_.sample(env_, t);
+  }
+  // The force limit tripped first (12 t: Fmax < m * 2.8 g) and stays the
+  // recorded kind even as retardation later violates too.
+  EXPECT_EQ(classifier_.kind(), FailureKind::force);
+  const auto first_ms = classifier_.failure_time_ms();
+  classifier_.sample(env_, 4001);
+  EXPECT_EQ(classifier_.failure_time_ms(), first_ms);
+}
+
+TEST_F(ClassifierTest, StopDetection) {
+  for (std::uint64_t t = 0; t < 30000 && !classifier_.stopped(); ++t) {
+    if (t % 7 == 0) {
+      env_.command_master_valve(5000);
+      env_.command_slave_valve(5000);
+    }
+    env_.step_1ms();
+    classifier_.sample(env_, t);
+  }
+  EXPECT_TRUE(classifier_.stopped());
+  EXPECT_GT(classifier_.stop_time_ms(), 0u);
+  EXPECT_GT(classifier_.final_position_m(), 0.0);
+  EXPECT_LT(classifier_.final_position_m(), 335.0);
+}
+
+TEST(FailureKindNames, Printable) {
+  EXPECT_EQ(to_string(FailureKind::none), "none");
+  EXPECT_NE(to_string(FailureKind::retardation).find("2.8"), std::string_view::npos);
+  EXPECT_NE(to_string(FailureKind::force).find("Fmax"), std::string_view::npos);
+  EXPECT_NE(to_string(FailureKind::overrun).find("335"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace easel::arrestor

@@ -1,0 +1,86 @@
+#include "arrestor/inventory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arrestor/assertions.hpp"
+
+namespace easel::arrestor {
+namespace {
+
+TEST(Inventory, MatchesPaperCounts) {
+  const core::SignalInventory inv = build_inventory();
+  // Paper §3.2: 7 of 24 signals are service-critical.
+  EXPECT_EQ(inv.signals().size(), 24u);
+  EXPECT_EQ(inv.service_critical().size(), 7u);
+}
+
+TEST(Inventory, ProcessStepsComplete) {
+  EXPECT_TRUE(build_inventory().unfinished().empty());
+}
+
+TEST(Inventory, Table4RowsMatchPaper) {
+  const core::SignalInventory inv = build_inventory();
+  struct Row {
+    const char* name;
+    const char* producer;
+    const char* consumer;
+    const char* location;
+    core::SignalClass cls;
+  };
+  const Row expected[] = {
+      {"SetValue", "CALC", "V_REG", "V_REG", core::SignalClass::continuous_random},
+      {"IsValue", "PRES_S", "V_REG", "V_REG", core::SignalClass::continuous_random},
+      {"i", "CALC", "CALC", "CALC", core::SignalClass::continuous_dynamic_monotonic},
+      {"pulscnt", "DIST_S", "CALC", "DIST_S",
+       core::SignalClass::continuous_dynamic_monotonic},
+      {"ms_slot_nbr", "CLOCK", "CLOCK", "CLOCK",
+       core::SignalClass::discrete_sequential_linear},
+      {"mscnt", "CLOCK", "CALC", "CLOCK", core::SignalClass::continuous_static_monotonic},
+      {"OutValue", "V_REG", "PRES_A", "PRES_A", core::SignalClass::continuous_random},
+  };
+  for (const Row& row : expected) {
+    const core::SignalDecl& decl = inv.find(row.name);
+    EXPECT_TRUE(decl.service_critical) << row.name;
+    EXPECT_EQ(decl.producer, row.producer) << row.name;
+    EXPECT_EQ(decl.consumer, row.consumer) << row.name;
+    EXPECT_EQ(decl.test_location, row.location) << row.name;
+    ASSERT_TRUE(decl.cls.has_value()) << row.name;
+    EXPECT_EQ(*decl.cls, row.cls) << row.name;
+  }
+}
+
+TEST(Inventory, ClassificationAgreesWithRomParameters) {
+  // The inventory (step 5) and the deployed assertion bank (step 8) must
+  // agree on every signal's class.
+  const core::SignalInventory inv = build_inventory();
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    const auto signal = static_cast<MonitoredSignal>(s);
+    const core::SignalDecl& decl = inv.find(to_string(signal));
+    ASSERT_TRUE(decl.cls.has_value());
+    EXPECT_EQ(*decl.cls, rom_signal_class(signal)) << to_string(signal);
+  }
+}
+
+TEST(Inventory, PathwaysCoverEveryInput) {
+  const core::SignalInventory inv = build_inventory();
+  for (const auto& signal : inv.signals()) {
+    if (signal.role != core::SignalRole::input) continue;
+    bool covered = false;
+    for (const auto& pathway : inv.pathways()) {
+      for (const auto& name : pathway.signals) covered |= name == signal.name;
+    }
+    EXPECT_TRUE(covered) << "input " << signal.name << " not on any pathway";
+  }
+}
+
+TEST(Inventory, Table4Renders) {
+  const std::string table = build_inventory().render_table4();
+  EXPECT_NE(table.find("SetValue"), std::string::npos);
+  EXPECT_NE(table.find("Co/Mo/St"), std::string::npos);
+  EXPECT_NE(table.find("Di/Se/Li"), std::string::npos);
+  // Non-critical signals are not listed.
+  EXPECT_EQ(table.find("pid_integral_m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easel::arrestor

@@ -1,0 +1,159 @@
+// Unit-level behaviour of the master node's software modules, driven tick
+// by tick through the real node assembly.
+#include <gtest/gtest.h>
+
+#include "arrestor/master_node.hpp"
+#include "core/detection_bus.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::arrestor {
+namespace {
+
+class ModulesTest : public ::testing::Test {
+ protected:
+  void run_ms(std::uint64_t n) {
+    for (std::uint64_t k = 0; k < n; ++k) {
+      bus_.set_time_ms(now_++);
+      master_.tick();
+      env_.step_1ms();
+    }
+  }
+
+  sim::TestCase test_case_{14000.0, 60.0};
+  sim::Environment env_{test_case_, util::Rng{0x5eed}};
+  core::DetectionBus bus_;
+  MasterNode master_{env_, bus_, kAllAssertions};
+  std::uint64_t now_ = 0;
+};
+
+TEST_F(ModulesTest, ClockIncrementsEveryMillisecond) {
+  run_ms(123);
+  EXPECT_EQ(master_.signals().mscnt.get(), 123u);
+}
+
+TEST_F(ModulesTest, SlotNumberCyclesThroughSeven) {
+  std::uint16_t last = master_.signals().ms_slot_nbr.get();
+  for (int k = 0; k < 30; ++k) {
+    run_ms(1);
+    const std::uint16_t slot = master_.signals().ms_slot_nbr.get();
+    EXPECT_EQ(slot, (last + 1) % 7);
+    last = slot;
+  }
+}
+
+TEST_F(ModulesTest, SchedulerDispatchFollowsRamSlotNumber) {
+  // Force the RAM slot number to V_REG's slot and verify V_REG runs on the
+  // next tick even though the hardware tick count says otherwise.
+  run_ms(50);
+  const std::uint16_t out_before = master_.signals().out_value.get();
+  const std::int32_t integral_before = master_.signals().pid_integral.get();
+  // Set slot so that CLOCK increments it onto kSlotVReg this tick.
+  master_.signals().ms_slot_nbr.set((kSlotVReg + 7 - 1) % 7);
+  run_ms(1);
+  // V_REG recomputed: the integral accumulates every V_REG pass during
+  // engagement (error is nonzero while pressure builds).
+  const bool v_reg_ran = master_.signals().pid_integral.get() != integral_before ||
+                         master_.signals().out_value.get() != out_before;
+  EXPECT_TRUE(v_reg_ran);
+}
+
+TEST_F(ModulesTest, DistSAccumulatesPulses) {
+  run_ms(2000);
+  const std::uint16_t pulses = master_.signals().pulscnt.get();
+  EXPECT_GT(pulses, 0u);
+  EXPECT_NEAR(pulses, env_.position_m() * 100.0, 15.0);
+  // The latch is one tick old (DIST_S runs before the physics step).
+  EXPECT_NEAR(master_.signals().dist_last_hw.get(),
+              static_cast<double>(static_cast<std::uint16_t>(env_.rotation_pulses())), 12.0);
+}
+
+TEST_F(ModulesTest, CalcEngagesAtThreshold) {
+  EXPECT_EQ(master_.calc_frame().local_u16(CalcModule::Locals::engaged), 0u);
+  run_ms(40);  // 60 m/s: 0.5 m after ~8 ms
+  EXPECT_EQ(master_.calc_frame().local_u16(CalcModule::Locals::engaged), 1u);
+  EXPECT_EQ(master_.signals().diag_arrest_count.get(), 1u);
+  EXPECT_EQ(master_.signals().diag_status_word.get(), 1u);
+  // The checkpoint cache was filled from the RAM table.
+  for (unsigned k = 0; k < kCheckpointCount; ++k) {
+    EXPECT_EQ(master_.calc_frame().local_u16(CalcModule::Locals::cp_cache + 2 * k),
+              (k + 1) * kCheckpointSpacingPulses);
+  }
+}
+
+TEST_F(ModulesTest, CalcSlewsSetValueTowardTarget) {
+  run_ms(40);
+  const std::uint16_t early = master_.signals().set_value.get();
+  EXPECT_LT(early, kPrechargePu);  // still ramping
+  run_ms(100);
+  EXPECT_EQ(master_.signals().set_value.get(), kPrechargePu);
+  // Per-millisecond step is bounded by the slew limit.
+  std::uint16_t prev = master_.signals().set_value.get();
+  for (int k = 0; k < 50; ++k) {
+    run_ms(1);
+    const std::uint16_t current = master_.signals().set_value.get();
+    EXPECT_LE(std::abs(static_cast<int>(current) - static_cast<int>(prev)),
+              static_cast<int>(kSetValueSlewPuPerMs));
+    prev = current;
+  }
+}
+
+TEST_F(ModulesTest, CalcComputesVelocityAtFirstCheckpoint) {
+  // Run until checkpoint 1 fires (40 m).
+  while (master_.signals().checkpoint_i.get() == 0) run_ms(10);
+  const std::uint16_t v_est = master_.calc_frame().local_u16(CalcModule::Locals::v_est);
+  // Average segment velocity in cm/s, slightly below 60 m/s due to braking.
+  EXPECT_GT(v_est, 5000u);
+  EXPECT_LE(v_est, 6100u);
+  EXPECT_EQ(master_.signals().diag_engage_velocity.get(), v_est / 100);
+  // And the set-point target moved off the pre-charge.
+  EXPECT_GT(master_.signals().sv_target.get(), kPrechargePu);
+}
+
+TEST_F(ModulesTest, VRegTracksAndTraces) {
+  run_ms(3000);
+  // PI regulator: output stays within the DAC range and near the set point
+  // plus correction.
+  const std::uint16_t out = master_.signals().out_value.get();
+  EXPECT_LE(out, kOutValueMaxPu);
+  EXPECT_GT(out, 0u);
+  // The trace ring advanced (one record per V_REG frame).
+  EXPECT_GT(master_.signals().trace_head.get(), 0u);
+  EXPECT_LT(master_.signals().trace_head.get(), SignalMap::kTraceDepth);
+}
+
+TEST_F(ModulesTest, PresSWritesSensorReading) {
+  run_ms(3000);
+  // IsValue is at most one 7-ms frame old; while the set point slews, the
+  // pressure can move a few tens of pu within a frame, plus sensor dither.
+  EXPECT_NEAR(master_.signals().is_value.get(), env_.master_pressure_pu(), 60.0);
+  EXPECT_GE(master_.signals().diag_max_pressure.get(), master_.signals().is_value.get());
+}
+
+TEST_F(ModulesTest, PresACommandsValve) {
+  run_ms(3000);
+  // The valve target equals the last OutValue written by PRES_A (within the
+  // frame in flight).
+  EXPECT_GT(env_.master_pressure_pu(), 100.0);
+}
+
+TEST_F(ModulesTest, CommBufferFollowsSetValue) {
+  run_ms(3000);
+  EXPECT_EQ(master_.signals().comm_tx_set_value.get(), master_.signals().set_value.get());
+  EXPECT_GT(master_.signals().comm_tx_seq.get(), 0u);
+}
+
+TEST_F(ModulesTest, CheckpointIndexOutOfRangeStopsProgramSafely) {
+  run_ms(2000);
+  master_.signals().checkpoint_i.set(kCheckpointCount);  // as if all passed
+  const std::uint16_t target = master_.signals().sv_target.get();
+  run_ms(2000);
+  EXPECT_EQ(master_.signals().sv_target.get(), target);  // no further updates
+}
+
+TEST_F(ModulesTest, DiagMaxSetValueMonotone) {
+  run_ms(10000);
+  EXPECT_GE(master_.signals().diag_max_set_value.get(), master_.signals().set_value.get());
+}
+
+}  // namespace
+}  // namespace easel::arrestor

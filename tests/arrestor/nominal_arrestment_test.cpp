@@ -1,0 +1,131 @@
+// End-to-end behaviour of the full target system on one fault-free
+// arrestment: control-loop progression, signal dynamics, assertion silence.
+#include <gtest/gtest.h>
+
+#include "arrestor/master_node.hpp"
+#include "arrestor/slave_node.hpp"
+#include "core/detection_bus.hpp"
+#include "fi/experiment.hpp"
+
+namespace easel::arrestor {
+namespace {
+
+class NominalArrestment : public ::testing::Test {
+ protected:
+  void run_ms(std::uint64_t duration_ms) {
+    for (std::uint64_t k = 0; k < duration_ms; ++k, ++now_) {
+      bus_.set_time_ms(now_);
+      master_.tick();
+      slave_.tick();
+      if (now_ % 7 == 6) {
+        slave_.deliver_set_point(master_.signals().comm_tx_set_value.get(),
+                                 master_.signals().comm_tx_seq.get());
+      }
+      env_.step_1ms();
+      classifier_.sample(env_, now_);
+    }
+  }
+
+  sim::TestCase test_case_{14000.0, 60.0};
+  sim::Environment env_{test_case_, util::Rng{0x5eed}};
+  core::DetectionBus bus_;
+  MasterNode master_{env_, bus_, kAllAssertions};
+  SlaveNode slave_{env_};
+  FailureClassifier classifier_{test_case_};
+  std::uint64_t now_ = 0;
+};
+
+TEST_F(NominalArrestment, ClockSignalsTrackTime) {
+  run_ms(1000);
+  EXPECT_EQ(master_.signals().mscnt.get(), 1000u);
+  EXPECT_LT(master_.signals().ms_slot_nbr.get(), 7u);
+}
+
+TEST_F(NominalArrestment, EngagementDetectedAndPrechargeApplied) {
+  run_ms(300);  // 60 m/s: 0.5 m of cable in ~8 ms; precharge ramps in
+  EXPECT_EQ(master_.calc_frame().local_u16(CalcModule::Locals::engaged), 1u);
+  EXPECT_EQ(master_.signals().sv_target.get(), kPrechargePu);
+  EXPECT_EQ(master_.signals().set_value.get(), kPrechargePu);  // ramp finished
+}
+
+TEST_F(NominalArrestment, CheckpointsAdvanceInOrder) {
+  std::uint16_t last = 0;
+  for (int window = 0; window < 40; ++window) {
+    run_ms(500);
+    const std::uint16_t i = master_.signals().checkpoint_i.get();
+    EXPECT_GE(i, last);
+    EXPECT_LE(i, kCheckpointCount);
+    EXPECT_LE(i - last, 2u);  // no checkpoint skipping within 0.5 s
+    last = i;
+  }
+  EXPECT_GE(last, 4u);  // 14 t @ 60 m/s crosses at least checkpoints 1..4
+}
+
+TEST_F(NominalArrestment, AircraftStopsInsideRunway) {
+  run_ms(sim::kObservationMs);
+  EXPECT_TRUE(classifier_.stopped());
+  EXPECT_LT(classifier_.final_position_m(), 300.0);
+  EXPECT_FALSE(classifier_.failed());
+  EXPECT_LT(classifier_.peak_retardation_g(), 2.8 * 0.8);  // comfortable margin
+  EXPECT_LT(classifier_.peak_force_n(), classifier_.force_limit_n() * 0.9);
+}
+
+TEST_F(NominalArrestment, NoAssertionFiresOnCleanRun) {
+  run_ms(sim::kObservationMs);
+  EXPECT_EQ(bus_.count(), 0u);
+}
+
+TEST_F(NominalArrestment, SlaveTracksMasterSetPoint) {
+  run_ms(5000);
+  const std::uint16_t master_sv = master_.signals().set_value.get();
+  const std::uint16_t slave_sv = slave_.signals().set_value.get();
+  // The link delivers every 7 ms; during a ramp the slave may lag a hair.
+  EXPECT_NEAR(slave_sv, master_sv, 8.0 * kSetValueSlewPuPerMs);
+  EXPECT_GT(slave_.signals().out_value.get(), 0u);
+  // Both drums carry comparable pressure.
+  EXPECT_NEAR(env_.slave_pressure_pu(), env_.master_pressure_pu(),
+              0.25 * env_.master_pressure_pu() + 50.0);
+}
+
+TEST_F(NominalArrestment, RegulatorDrivesPressureToSetPoint) {
+  run_ms(6000);  // well into a steady segment
+  const double pressure = env_.master_pressure_pu();
+  const double set_point = master_.signals().set_value.get();
+  EXPECT_NEAR(pressure, set_point, 0.15 * set_point + 50.0);
+}
+
+TEST_F(NominalArrestment, PulscntMatchesDistanceTravelled) {
+  run_ms(4000);
+  EXPECT_NEAR(master_.signals().pulscnt.get(),
+              env_.position_m() / sim::kMetresPerPulse, 15.0);
+}
+
+TEST_F(NominalArrestment, SchedulerRunsCleanly) {
+  run_ms(1000);
+  EXPECT_FALSE(master_.scheduler().halted());
+  EXPECT_EQ(master_.scheduler().stats().skips, 0u);
+  EXPECT_EQ(master_.scheduler().stats().wrong_vectors, 0u);
+}
+
+TEST_F(NominalArrestment, RebootResetsEverything) {
+  run_ms(3000);
+  master_.boot();
+  EXPECT_EQ(master_.signals().mscnt.get(), 0u);
+  EXPECT_EQ(master_.signals().set_value.get(), 0u);
+  EXPECT_EQ(master_.signals().cp_pulse[0].get(), kCheckpointSpacingPulses);
+  EXPECT_FALSE(master_.scheduler().halted());
+}
+
+TEST(RunExperiment, GoldenRunMatchesHarness) {
+  // The fi::run_experiment harness must agree with the hand-rolled loop.
+  fi::RunConfig config;
+  config.test_case = {14000.0, 60.0};
+  const fi::RunResult r = fi::run_experiment(config);
+  EXPECT_FALSE(r.detected);
+  EXPECT_FALSE(r.failed);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_NEAR(r.final_position_m, 250.0, 10.0);
+}
+
+}  // namespace
+}  // namespace easel::arrestor

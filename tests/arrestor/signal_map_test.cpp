@@ -1,0 +1,97 @@
+#include "arrestor/signal_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace easel::arrestor {
+namespace {
+
+struct Fixture {
+  mem::AddressSpace space;
+  mem::Allocator alloc{space};
+  SignalMap map{space, alloc};
+};
+
+TEST(SignalMap, FitsInsidePaperRam) {
+  Fixture f;
+  EXPECT_LE(f.map.ram_bytes_used(), 417u);
+  EXPECT_GT(f.map.ram_bytes_used(), 250u);  // most of RAM is live state
+}
+
+TEST(SignalMap, MonitoredSignalsHaveDistinctWordAddresses) {
+  Fixture f;
+  std::set<std::size_t> addresses;
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    const std::size_t addr = f.map.signal_address(static_cast<MonitoredSignal>(s));
+    EXPECT_EQ(f.space.region_of(addr), mem::Region::ram);
+    EXPECT_EQ(addr % 2, 0u);
+    addresses.insert(addr);
+  }
+  EXPECT_EQ(addresses.size(), kMonitoredSignalCount);
+}
+
+TEST(SignalMap, SignalAddressesMatchVars) {
+  Fixture f;
+  EXPECT_EQ(f.map.signal_address(MonitoredSignal::set_value), f.map.set_value.address());
+  EXPECT_EQ(f.map.signal_address(MonitoredSignal::mscnt), f.map.mscnt.address());
+  EXPECT_EQ(f.map.signal_address(MonitoredSignal::out_value), f.map.out_value.address());
+}
+
+TEST(SignalMap, BootValuesWriteCheckpointTable) {
+  Fixture f;
+  f.map.write_boot_values();
+  for (unsigned k = 0; k < kCheckpointCount; ++k) {
+    EXPECT_EQ(f.map.cp_pulse[k].get(), (k + 1) * kCheckpointSpacingPulses);
+  }
+  EXPECT_EQ(f.map.cfg_design_mass_kg10.get(), kDesignMassKg10);
+  EXPECT_EQ(f.map.cfg_stop_target_m.get(), kStopTargetM);
+  EXPECT_EQ(f.map.cfg_precharge_pu.get(), kPrechargePu);
+  EXPECT_EQ(f.map.cfg_engage_pulses.get(), kEngageThresholdPulses);
+}
+
+TEST(SignalMap, BootWritesBanner) {
+  Fixture f;
+  f.map.write_boot_values();
+  EXPECT_EQ(f.space.read_u8(f.map.banner_base), 'B');  // "BAK-12A ..."
+}
+
+TEST(SignalMap, MonitorStateSlotsAreWordAlignedPairs) {
+  Fixture f;
+  for (const auto& slot : f.map.monitor_state) {
+    EXPECT_EQ(slot.prev.address() % 2, 0u);
+    EXPECT_EQ(slot.flags.address(), slot.prev.address() + 2);
+  }
+}
+
+TEST(SignalMap, EaNumberingMatchesTable6) {
+  EXPECT_EQ(ea_number(MonitoredSignal::set_value), 1u);
+  EXPECT_EQ(ea_number(MonitoredSignal::is_value), 2u);
+  EXPECT_EQ(ea_number(MonitoredSignal::checkpoint), 3u);
+  EXPECT_EQ(ea_number(MonitoredSignal::pulscnt), 4u);
+  EXPECT_EQ(ea_number(MonitoredSignal::ms_slot_nbr), 5u);
+  EXPECT_EQ(ea_number(MonitoredSignal::mscnt), 6u);
+  EXPECT_EQ(ea_number(MonitoredSignal::out_value), 7u);
+}
+
+TEST(SignalMap, SignalNamesMatchPaper) {
+  EXPECT_STREQ(to_string(MonitoredSignal::set_value), "SetValue");
+  EXPECT_STREQ(to_string(MonitoredSignal::is_value), "IsValue");
+  EXPECT_STREQ(to_string(MonitoredSignal::checkpoint), "i");
+  EXPECT_STREQ(to_string(MonitoredSignal::pulscnt), "pulscnt");
+  EXPECT_STREQ(to_string(MonitoredSignal::ms_slot_nbr), "ms_slot_nbr");
+  EXPECT_STREQ(to_string(MonitoredSignal::mscnt), "mscnt");
+  EXPECT_STREQ(to_string(MonitoredSignal::out_value), "OutValue");
+}
+
+TEST(SignalMap, LayoutIsDeterministic) {
+  Fixture a, b;
+  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
+    EXPECT_EQ(a.map.signal_address(static_cast<MonitoredSignal>(s)),
+              b.map.signal_address(static_cast<MonitoredSignal>(s)));
+  }
+  EXPECT_EQ(a.map.ram_bytes_used(), b.map.ram_bytes_used());
+}
+
+}  // namespace
+}  // namespace easel::arrestor

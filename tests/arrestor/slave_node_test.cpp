@@ -1,0 +1,74 @@
+#include "arrestor/slave_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.hpp"
+
+namespace easel::arrestor {
+namespace {
+
+class SlaveNodeTest : public ::testing::Test {
+ protected:
+  void run_ms(std::uint64_t n, std::uint16_t set_point) {
+    for (std::uint64_t k = 0; k < n; ++k, ++now_) {
+      slave_.tick();
+      if (now_ % 7 == 6) slave_.deliver_set_point(set_point, ++seq_);
+      env_.step_1ms();
+    }
+  }
+
+  sim::TestCase test_case_{14000.0, 60.0};
+  sim::Environment env_{test_case_, util::Rng{0x5eed}};
+  SlaveNode slave_{env_};
+  std::uint64_t now_ = 0;
+  std::uint16_t seq_ = 0;
+};
+
+TEST_F(SlaveNodeTest, ClockRuns) {
+  run_ms(500, 0);
+  EXPECT_EQ(slave_.signals().mscnt.get(), 500u);
+}
+
+TEST_F(SlaveNodeTest, AppliesReceivedSetPoint) {
+  run_ms(3000, 4000);
+  EXPECT_EQ(slave_.signals().set_value.get(), 4000u);
+  EXPECT_EQ(slave_.signals().rx_seq.get(), seq_);
+  // The regulator drives slave-drum pressure toward the set point.
+  EXPECT_NEAR(env_.slave_pressure_pu(), 4000.0, 600.0);
+  // The master drum stays untouched (no master node in this fixture, and
+  // its valve deadman has long since closed the valve).
+  EXPECT_LT(env_.master_pressure_pu(), 10.0);
+}
+
+TEST_F(SlaveNodeTest, NoSetPointMeansNoPressure) {
+  run_ms(2000, 0);
+  EXPECT_LT(env_.slave_pressure_pu(), sim::kPressureNoisePu + 40.0);
+}
+
+TEST_F(SlaveNodeTest, FollowsSetPointChanges) {
+  run_ms(3000, 3000);
+  const double at_3000 = env_.slave_pressure_pu();
+  run_ms(3000, 1000);
+  EXPECT_LT(env_.slave_pressure_pu(), at_3000 - 1000.0);
+}
+
+TEST_F(SlaveNodeTest, RebootClearsState) {
+  run_ms(1000, 2000);
+  slave_.boot();
+  EXPECT_EQ(slave_.signals().mscnt.get(), 0u);
+  EXPECT_EQ(slave_.signals().set_value.get(), 0u);
+  EXPECT_EQ(slave_.signals().pid_integral.get(), 0);
+  EXPECT_FALSE(slave_.scheduler().halted());
+}
+
+TEST_F(SlaveNodeTest, OwnImageSeparateFromAnyMaster) {
+  // The slave's memory image has the same dimensions but is a distinct
+  // object — paper campaigns inject into the master only.
+  EXPECT_EQ(slave_.image().ram_size(), 417u);
+  EXPECT_EQ(slave_.image().stack_size(), 1008u);
+  slave_.image().write_u16(0, 0xbeef);
+  EXPECT_EQ(slave_.signals().set_value.get(), 0xbeefu);  // maps to its own RAM
+}
+
+}  // namespace
+}  // namespace easel::arrestor

@@ -1,0 +1,122 @@
+#include "core/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+Channel make_counter() {
+  return Channel::continuous("counter", SignalClass::continuous_static_monotonic,
+                             ContinuousParams{.smax = 100, .smin = 0, .rmin_incr = 1,
+                                              .rmax_incr = 1, .rmin_decr = 0, .rmax_decr = 0,
+                                              .wrap = false});
+}
+
+TEST(Channel, NominalSequencePasses) {
+  Channel channel = make_counter();
+  for (sig_t s = 0; s <= 20; ++s) EXPECT_TRUE(channel.test(s).ok);
+}
+
+TEST(Channel, ViolationReportedToBus) {
+  DetectionBus bus;
+  Channel channel = make_counter();
+  channel.attach(bus);
+  bus.set_time_ms(5);
+  (void)channel.test(0);
+  bus.set_time_ms(6);
+  (void)channel.test(3);  // jump of 3
+  EXPECT_EQ(bus.count(), 1u);
+  ASSERT_EQ(bus.events().size(), 1u);
+  EXPECT_EQ(bus.events()[0].time_ms, 6u);
+  EXPECT_EQ(bus.events()[0].value, 3);
+  EXPECT_EQ(bus.events()[0].prev, 0);
+  EXPECT_EQ(bus.monitor_name(bus.events()[0].monitor_id), "counter");
+}
+
+TEST(Channel, WorksWithoutBus) {
+  Channel channel = make_counter();
+  (void)channel.test(0);
+  EXPECT_FALSE(channel.test(9).ok);  // no crash, just the outcome
+}
+
+TEST(Channel, ResetForgetsPreviousValue) {
+  Channel channel = make_counter();
+  (void)channel.test(10);
+  channel.reset();
+  EXPECT_TRUE(channel.test(55).ok);  // bounds-only again after reset
+}
+
+TEST(Channel, ModeSwitching) {
+  Channel channel = Channel::continuous_moded(
+      "moded", SignalClass::continuous_random,
+      {{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 1, .rmin_decr = 0,
+        .rmax_decr = 1, .wrap = false},
+       {.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 50, .rmin_decr = 0,
+        .rmax_decr = 50, .wrap = false}});
+  EXPECT_EQ(channel.mode_count(), 2u);
+  EXPECT_EQ(channel.mode(), 0u);
+  (void)channel.test(10);
+  EXPECT_FALSE(channel.test(30).ok);  // +20 violates mode 0
+  channel.set_mode(1);
+  EXPECT_TRUE(channel.test(60).ok);  // +30 fine in mode 1 (prev tracked 30)
+  EXPECT_THROW(channel.set_mode(2), std::out_of_range);
+}
+
+TEST(Channel, DiscreteFactoryAndClass) {
+  Channel channel = Channel::discrete("fsm", SignalClass::discrete_sequential_linear,
+                                      make_linear_cycle({0, 1, 2}));
+  EXPECT_EQ(channel.signal_class(), SignalClass::discrete_sequential_linear);
+  EXPECT_EQ(channel.name(), "fsm");
+  (void)channel.test(0);
+  EXPECT_TRUE(channel.test(1).ok);
+  EXPECT_FALSE(channel.test(0).ok);  // backwards
+}
+
+TEST(Channel, DiscreteModedFactory) {
+  // Mode 0: strict cycle; mode 1: free movement within the domain.
+  Channel channel = Channel::discrete_moded(
+      "moded-fsm", SignalClass::discrete_random,
+      {DiscreteParams{.domain = {0, 1, 2}, .transitions = {}},
+       DiscreteParams{.domain = {0, 1, 2, 3}, .transitions = {}}});
+  (void)channel.test(0);
+  EXPECT_FALSE(channel.test(3).ok);  // 3 outside mode-0 domain
+  channel.set_mode(1);
+  EXPECT_TRUE(channel.test(3).ok);
+}
+
+TEST(Channel, InvalidParametersThrowAtConstruction) {
+  EXPECT_THROW(Channel::continuous("bad", SignalClass::continuous_static_monotonic,
+                                   ContinuousParams{.smax = 0, .smin = 0}),
+               std::invalid_argument);
+}
+
+TEST(Channel, RecoveryOutcomeExposesReplacement) {
+  Channel channel = Channel::continuous(
+      "rec", SignalClass::continuous_random,
+      ContinuousParams{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 10,
+                       .rmin_decr = 0, .rmax_decr = 10, .wrap = false},
+      RecoveryPolicy::clamp_to_bounds);
+  (void)channel.test(50);
+  const CheckOutcome outcome = channel.test(300);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(outcome.value, 100);
+}
+
+TEST(Channel, TwoChannelsOnOneBusKeepDistinctIds) {
+  DetectionBus bus;
+  Channel a = make_counter();
+  Channel b = Channel::discrete("fsm", SignalClass::discrete_random,
+                                DiscreteParams{.domain = {0}, .transitions = {}});
+  a.attach(bus);
+  b.attach(bus);
+  (void)a.test(0);
+  (void)a.test(5);  // violation by a
+  (void)b.test(1);  // violation by b (out of domain)
+  ASSERT_EQ(bus.count(), 2u);
+  EXPECT_EQ(bus.monitor_name(bus.events()[0].monitor_id), "counter");
+  EXPECT_EQ(bus.monitor_name(bus.events()[1].monitor_id), "fsm");
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,150 @@
+// Paper Table 2, test by test.
+#include "core/continuous_assertion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+// A random-class parameter set with distinct bands in each direction.
+ContinuousParams random_params() {
+  return ContinuousParams{.smax = 1000, .smin = -1000, .rmin_incr = 2, .rmax_incr = 50,
+                          .rmin_decr = 3, .rmax_decr = 40, .wrap = false};
+}
+
+TEST(Table2Test1and2, BoundsAlwaysChecked) {
+  const ContinuousAssertion a{random_params()};
+  // Test 1: s <= smax.
+  auto v = a.check(1001, 990);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::t1_max);
+  // Test 2: s >= smin.
+  v = a.check(-1001, -990);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::t2_min);
+  // Boundary values pass.
+  EXPECT_TRUE(a.check(1000, 990).ok);
+  EXPECT_TRUE(a.check(-1000, -997).ok);
+}
+
+TEST(Table2Test1and2, BoundsFailureShortCircuitsRateTests) {
+  // "If either of the first two tests fails, the entire test fails" —
+  // even if the step size itself would have been legal.
+  ContinuousParams p = random_params();
+  p.rmax_incr = 10000;
+  const ContinuousAssertion a{p};
+  const auto v = a.check(1001, 1000);  // step of 1 would pass 3a
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::t1_max);
+}
+
+TEST(Table2Test3a, IncreaseWithinBand) {
+  const ContinuousAssertion a{random_params()};
+  EXPECT_TRUE(a.check(102, 100).ok);   // rmin_incr
+  EXPECT_TRUE(a.check(150, 100).ok);   // rmax_incr
+  EXPECT_TRUE(a.check(120, 100).ok);   // interior
+
+  auto v = a.check(101, 100);  // below rmin_incr
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::group_a);
+  EXPECT_EQ(v.status, SignalStatus::increased);
+
+  v = a.check(151, 100);  // above rmax_incr
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::group_a);
+}
+
+TEST(Table2Test3b, DecreaseWithinBand) {
+  const ContinuousAssertion a{random_params()};
+  EXPECT_TRUE(a.check(97, 100).ok);   // rmin_decr
+  EXPECT_TRUE(a.check(60, 100).ok);   // rmax_decr
+  auto v = a.check(98, 100);          // below rmin_decr
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::group_b);
+  EXPECT_EQ(v.status, SignalStatus::decreased);
+  v = a.check(59, 100);               // above rmax_decr
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Table2Test5c, RandomSignalMayPauseIfAZeroRateExists) {
+  // 5c: neither direction all-zero, and rmin_incr = 0 or rmin_decr = 0.
+  ContinuousParams p = random_params();
+  p.rmin_incr = 0;
+  const ContinuousAssertion allows_pause{p};
+  EXPECT_TRUE(allows_pause.check(100, 100).ok);
+
+  // Both minimum rates positive: the signal must keep moving.
+  const ContinuousAssertion no_pause{random_params()};
+  const auto v = no_pause.check(100, 100);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::group_c);
+  EXPECT_EQ(v.status, SignalStatus::unchanged);
+}
+
+TEST(Table2Test3c, MonotonicDecreasingMayPauseWhenMinRateZero) {
+  // 3c: rmin_incr = 0 ∧ rmax_incr = 0 ∧ rmin_decr = 0.
+  const ContinuousAssertion a{ContinuousParams{
+      .smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 0, .rmin_decr = 0,
+      .rmax_decr = 10, .wrap = false}};
+  EXPECT_TRUE(a.check(50, 50).ok);
+  // And increases are forbidden entirely.
+  EXPECT_FALSE(a.check(51, 50).ok);
+}
+
+TEST(Table2Test4c, MonotonicIncreasingMayPauseWhenMinRateZero) {
+  // 4c: rmin_decr = 0 ∧ rmax_decr = 0 ∧ rmin_incr = 0.
+  const ContinuousAssertion a{ContinuousParams{
+      .smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 10, .rmin_decr = 0,
+      .rmax_decr = 0, .wrap = false}};
+  EXPECT_TRUE(a.check(50, 50).ok);
+  EXPECT_FALSE(a.check(49, 50).ok);
+}
+
+TEST(Table2GroupC, StaticRateSignalMustKeepMoving) {
+  // A static-rate counter has no zero rate anywhere: pausing is an error.
+  const ContinuousAssertion a{ContinuousParams{
+      .smax = 100, .smin = 0, .rmin_incr = 1, .rmax_incr = 1, .rmin_decr = 0,
+      .rmax_decr = 0, .wrap = false}};
+  const auto v = a.check(5, 5);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::group_c);
+}
+
+TEST(Table2, StaticRateAcceptsExactlyThatRate) {
+  const ContinuousAssertion a{ContinuousParams{
+      .smax = 100, .smin = 0, .rmin_incr = 1, .rmax_incr = 1, .rmin_decr = 0,
+      .rmax_decr = 0, .wrap = false}};
+  EXPECT_TRUE(a.check(6, 5).ok);
+  EXPECT_FALSE(a.check(7, 5).ok);
+  EXPECT_FALSE(a.check(4, 5).ok);  // wrong direction entirely
+}
+
+TEST(Table2, BoundsOnlyForFirstSample) {
+  const ContinuousAssertion a{random_params()};
+  EXPECT_TRUE(a.check_bounds_only(1000).ok);
+  EXPECT_TRUE(a.check_bounds_only(0).ok);
+  EXPECT_FALSE(a.check_bounds_only(1001).ok);
+  EXPECT_FALSE(a.check_bounds_only(-1001).ok);
+}
+
+TEST(Table2, VerdictCarriesStatus) {
+  const ContinuousAssertion a{random_params()};
+  EXPECT_EQ(a.check(110, 100).status, SignalStatus::increased);
+  EXPECT_EQ(a.check(90, 100).status, SignalStatus::decreased);
+}
+
+TEST(Table2, NegativeDomainWorks) {
+  // Everything must hold on negative values (the engine is sign-agnostic).
+  const ContinuousAssertion a{random_params()};
+  EXPECT_TRUE(a.check(-500, -520).ok);   // +20 within incr band
+  EXPECT_FALSE(a.check(-500, -501).ok);  // +1 below rmin_incr
+}
+
+TEST(ContinuousTestNames, Printable) {
+  EXPECT_EQ(to_string(ContinuousTest::none), "none");
+  EXPECT_NE(to_string(ContinuousTest::t1_max).find("maximum"), std::string_view::npos);
+  EXPECT_NE(to_string(ContinuousTest::group_b).find("decrease"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace easel::core

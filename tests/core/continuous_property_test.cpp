@@ -1,0 +1,145 @@
+// Property-style sweeps of the Table 2 algorithm (parameterised gtest).
+//
+// A naive oracle transcribes Table 2 row by row; the engine must agree with
+// it on every (params, s, s') triple in a randomized sweep, and a set of
+// algebraic properties must hold regardless of parameters.
+#include "core/continuous_assertion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace easel::core {
+namespace {
+
+/// Literal transcription of Table 2 (kept intentionally naive).
+bool oracle(const ContinuousParams& p, sig_t s, sig_t s_prev) {
+  if (s > p.smax) return false;                       // test 1
+  if (s < p.smin) return false;                       // test 2
+  if (s > s_prev) {
+    const sig_t d = s - s_prev;
+    if (d <= p.rmax_incr && d >= p.rmin_incr) return true;               // 3a
+    const sig_t w = (s_prev - p.smin) + (p.smax - s);
+    return p.wrap && w <= p.rmax_decr && w >= p.rmin_decr;               // 4a
+  }
+  if (s < s_prev) {
+    const sig_t d = s_prev - s;
+    if (d <= p.rmax_decr && d >= p.rmin_decr) return true;               // 3b
+    const sig_t w = (p.smax - s_prev) + (s - p.smin);
+    return p.wrap && w <= p.rmax_incr && w >= p.rmin_incr;               // 4b
+  }
+  const bool t3c = p.rmin_incr == 0 && p.rmax_incr == 0 && p.rmin_decr == 0;
+  const bool t4c = p.rmin_decr == 0 && p.rmax_decr == 0 && p.rmin_incr == 0;
+  const bool t5c = !(p.rmin_decr == 0 && p.rmax_decr == 0) &&
+                   !(p.rmin_incr == 0 && p.rmax_incr == 0) &&
+                   (p.rmin_incr == 0 || p.rmin_decr == 0);
+  return t3c || t4c || t5c;
+}
+
+struct SweepCase {
+  std::string name;
+  ContinuousParams params;
+};
+
+class ContinuousSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ContinuousSweep, AgreesWithTable2Oracle) {
+  const ContinuousParams& p = GetParam().params;
+  const ContinuousAssertion assertion{p};
+  util::Rng rng{util::fnv1a(GetParam().name)};
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = static_cast<sig_t>(rng.uniform_i64(p.smin - 20, p.smax + 20));
+    const auto s_prev = static_cast<sig_t>(rng.uniform_i64(p.smin - 20, p.smax + 20));
+    EXPECT_EQ(assertion.check(s, s_prev).ok, oracle(p, s, s_prev))
+        << "s=" << s << " s'=" << s_prev;
+  }
+}
+
+TEST_P(ContinuousSweep, AcceptedValuesAlwaysInBounds) {
+  const ContinuousParams& p = GetParam().params;
+  const ContinuousAssertion assertion{p};
+  util::Rng rng{util::fnv1a(GetParam().name) ^ 1};
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = static_cast<sig_t>(rng.uniform_i64(p.smin - 50, p.smax + 50));
+    const auto s_prev = static_cast<sig_t>(rng.uniform_i64(p.smin, p.smax));
+    if (assertion.check(s, s_prev).ok) {
+      EXPECT_GE(s, p.smin);
+      EXPECT_LE(s, p.smax);
+    }
+  }
+}
+
+TEST_P(ContinuousSweep, VerdictDiagnosticsConsistent) {
+  const ContinuousParams& p = GetParam().params;
+  const ContinuousAssertion assertion{p};
+  util::Rng rng{util::fnv1a(GetParam().name) ^ 2};
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = static_cast<sig_t>(rng.uniform_i64(p.smin - 20, p.smax + 20));
+    const auto s_prev = static_cast<sig_t>(rng.uniform_i64(p.smin - 20, p.smax + 20));
+    const ContinuousVerdict v = assertion.check(s, s_prev);
+    // ok <=> no failed test recorded.
+    EXPECT_EQ(v.ok, v.failed == ContinuousTest::none);
+    // wrap_used only on passing wrap readings, and only if wrap is allowed.
+    if (v.wrap_used) {
+      EXPECT_TRUE(v.ok);
+      EXPECT_TRUE(p.wrap);
+    }
+    // Status matches the raw relation unless a bounds test failed first.
+    if (v.failed != ContinuousTest::t1_max && v.failed != ContinuousTest::t2_min) {
+      const SignalStatus expected = s > s_prev   ? SignalStatus::increased
+                                    : s < s_prev ? SignalStatus::decreased
+                                                 : SignalStatus::unchanged;
+      EXPECT_EQ(v.status, expected);
+    }
+  }
+}
+
+TEST_P(ContinuousSweep, BoundsOnlyAgreesWithTests1And2) {
+  const ContinuousParams& p = GetParam().params;
+  const ContinuousAssertion assertion{p};
+  util::Rng rng{util::fnv1a(GetParam().name) ^ 3};
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = static_cast<sig_t>(rng.uniform_i64(p.smin - 50, p.smax + 50));
+    EXPECT_EQ(assertion.check_bounds_only(s).ok, s >= p.smin && s <= p.smax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2ParameterSpace, ContinuousSweep,
+    ::testing::Values(
+        SweepCase{"static_incr",
+                  {.smax = 200, .smin = 0, .rmin_incr = 3, .rmax_incr = 3, .rmin_decr = 0,
+                   .rmax_decr = 0, .wrap = false}},
+        SweepCase{"static_incr_wrap",
+                  {.smax = 200, .smin = 0, .rmin_incr = 3, .rmax_incr = 3, .rmin_decr = 0,
+                   .rmax_decr = 0, .wrap = true}},
+        SweepCase{"static_decr",
+                  {.smax = 100, .smin = -100, .rmin_incr = 0, .rmax_incr = 0, .rmin_decr = 7,
+                   .rmax_decr = 7, .wrap = false}},
+        SweepCase{"dynamic_incr",
+                  {.smax = 500, .smin = 0, .rmin_incr = 0, .rmax_incr = 12, .rmin_decr = 0,
+                   .rmax_decr = 0, .wrap = false}},
+        SweepCase{"dynamic_decr_floor",
+                  {.smax = 500, .smin = 0, .rmin_incr = 0, .rmax_incr = 0, .rmin_decr = 2,
+                   .rmax_decr = 9, .wrap = false}},
+        SweepCase{"random_tight",
+                  {.smax = 64, .smin = 0, .rmin_incr = 0, .rmax_incr = 4, .rmin_decr = 0,
+                   .rmax_decr = 4, .wrap = false}},
+        SweepCase{"random_wide_wrap",
+                  {.smax = 1000, .smin = -1000, .rmin_incr = 1, .rmax_incr = 300,
+                   .rmin_decr = 2, .rmax_decr = 250, .wrap = true}},
+        SweepCase{"random_asymmetric",
+                  {.smax = 9000, .smin = 0, .rmin_incr = 0, .rmax_incr = 128, .rmin_decr = 0,
+                   .rmax_decr = 128, .wrap = false}},
+        SweepCase{"narrow_domain",
+                  {.smax = 6, .smin = 0, .rmin_incr = 0, .rmax_incr = 1, .rmin_decr = 0,
+                   .rmax_decr = 0, .wrap = false}},
+        SweepCase{"single_step_domain",
+                  {.smax = 1, .smin = 0, .rmin_incr = 1, .rmax_incr = 1, .rmin_decr = 1,
+                   .rmax_decr = 1, .wrap = false}}),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace easel::core

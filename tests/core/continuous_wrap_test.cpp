@@ -1,0 +1,103 @@
+// Paper Table 2, tests 4a and 4b: wrap-around.
+//
+// The paper measures the wrapped step as (s' - smin) + (smax - s) for a
+// wrapped decrease and (smax - s') + (s - smin) for a wrapped increase.
+// Note this is one LESS than the modular distance — the step from smax to
+// smin counts as zero (the endpoints are identified on the circle).  These
+// tests pin that verbatim-implemented behaviour, including the
+// counter-intuitive corollary that a static-rate wrap-around counter passes
+// its wrap only if the rate band, applied at the wrap, covers rate-1.
+#include "core/continuous_assertion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+ContinuousParams wrap_params(bool wrap) {
+  return ContinuousParams{.smax = 100, .smin = 0, .rmin_incr = 2, .rmax_incr = 10,
+                          .rmin_decr = 2, .rmax_decr = 10, .wrap = wrap};
+}
+
+TEST(Table2Test4b, WrappedIncreasePasses) {
+  const ContinuousAssertion a{wrap_params(true)};
+  // s' = 98 -> s = 3: wrapped step (100 - 98) + (3 - 0) = 5, inside [2, 10].
+  const auto v = a.check(3, 98);
+  EXPECT_TRUE(v.ok);
+  EXPECT_TRUE(v.wrap_used);
+  EXPECT_EQ(v.status, SignalStatus::decreased);  // raw relation is a decrease
+}
+
+TEST(Table2Test4b, WrappedIncreaseOutsideBandFails) {
+  const ContinuousAssertion a{wrap_params(true)};
+  // (100 - 98) + (9 - 0) = 11 > rmax_incr.
+  EXPECT_FALSE(a.check(9, 98).ok);
+  // (100 - 100) + (1 - 0) = 1 < rmin_incr.
+  EXPECT_FALSE(a.check(1, 100).ok);
+}
+
+TEST(Table2Test4a, WrappedDecreasePasses) {
+  const ContinuousAssertion a{wrap_params(true)};
+  // s' = 2 -> s = 97: wrapped step (2 - 0) + (100 - 97) = 5, inside [2, 10].
+  const auto v = a.check(97, 2);
+  EXPECT_TRUE(v.ok);
+  EXPECT_TRUE(v.wrap_used);
+  EXPECT_EQ(v.status, SignalStatus::increased);
+}
+
+TEST(Table2Test4a, WrappedDecreaseOutsideBandFails) {
+  const ContinuousAssertion a{wrap_params(true)};
+  // (2 - 0) + (100 - 89) = 13 > rmax_decr.
+  EXPECT_FALSE(a.check(89, 2).ok);
+}
+
+TEST(Table2Wrap, DisallowedWrapFails) {
+  const ContinuousAssertion a{wrap_params(false)};
+  const auto v = a.check(3, 98);  // raw decrease of 95, far over rmax_decr
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, ContinuousTest::group_b);
+}
+
+TEST(Table2Wrap, DirectStepPreferredOverWrap) {
+  // 3a/3b run before 4a/4b: a small direct step never reports wrap_used.
+  const ContinuousAssertion a{wrap_params(true)};
+  const auto v = a.check(55, 50);
+  EXPECT_TRUE(v.ok);
+  EXPECT_FALSE(v.wrap_used);
+}
+
+TEST(Table2Wrap, AmbiguousStepAcceptsEitherReading) {
+  // With wide bands both the direct decrease and the wrapped increase can
+  // be legal; the direct test passes first.
+  ContinuousParams p{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 98,
+                     .rmin_decr = 0, .rmax_decr = 98, .wrap = true};
+  const ContinuousAssertion a{p};
+  const auto v = a.check(3, 98);  // direct decrease of 95 <= 98 passes 3b
+  EXPECT_TRUE(v.ok);
+  EXPECT_FALSE(v.wrap_used);
+}
+
+TEST(Table2Wrap, PaperFormulaOffByOneFromModularDistance) {
+  // Documented subtlety: a sawtooth counter that increments by exactly 5
+  // and wraps 100 -> 4 has modular distance 5, but the paper formula gives
+  // (100 - 100) + (4 - 0) = 4.  A static band [5,5] therefore REJECTS the
+  // wrap; the band must be widened (or the wrap step aligned) by one.
+  const ContinuousAssertion strict{ContinuousParams{
+      .smax = 100, .smin = 0, .rmin_incr = 5, .rmax_incr = 5, .rmin_decr = 0,
+      .rmax_decr = 0, .wrap = true}};
+  EXPECT_FALSE(strict.check(4, 100).ok);  // paper formula: step 4, not 5
+  EXPECT_TRUE(strict.check(5, 100).ok);   // paper formula: step 5
+}
+
+TEST(Table2Wrap, WrapFromExactBoundaries) {
+  const ContinuousAssertion a{wrap_params(true)};
+  // smax -> smin: wrapped increase of (100-100)+(0-0) = 0 < rmin_incr -> fail.
+  EXPECT_FALSE(a.check(0, 100).ok);
+  // But with rmin_incr = 0 it passes.
+  ContinuousParams p = wrap_params(true);
+  p.rmin_incr = 0;
+  EXPECT_TRUE(ContinuousAssertion{p}.check(0, 100).ok);
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,82 @@
+#include "core/coverage_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+TEST(CoverageModel, FormulaMatchesPaperSection24) {
+  // Pdetect = (Pen*Pprop + Pem)*Pds.
+  const CoverageModel model{.p_em = 0.2, .p_prop = 0.5, .p_ds = 0.74};
+  EXPECT_DOUBLE_EQ(model.p_en(), 0.8);
+  EXPECT_DOUBLE_EQ(model.p_detect(), (0.8 * 0.5 + 0.2) * 0.74);
+}
+
+TEST(CoverageModel, AllErrorsInMonitoredSignals) {
+  // Pem = 1 collapses Pdetect to Pds — the paper's 74 % reading.
+  const CoverageModel model{.p_em = 1.0, .p_prop = 0.0, .p_ds = 0.74};
+  EXPECT_DOUBLE_EQ(model.p_detect(), 0.74);
+}
+
+TEST(CoverageModel, NoPropagationNoMonitoredErrors) {
+  const CoverageModel model{.p_em = 0.0, .p_prop = 0.0, .p_ds = 0.99};
+  EXPECT_DOUBLE_EQ(model.p_detect(), 0.0);
+}
+
+TEST(CoverageModel, FullPropagation) {
+  // Every error reaches a monitored signal: Pdetect = Pds again.
+  const CoverageModel model{.p_em = 0.0, .p_prop = 1.0, .p_ds = 0.6};
+  EXPECT_DOUBLE_EQ(model.p_detect(), 0.6);
+  EXPECT_DOUBLE_EQ(model.p_present_in_monitored(), 1.0);
+}
+
+TEST(CoverageModel, MonotoneInEachParameter) {
+  const CoverageModel base{.p_em = 0.3, .p_prop = 0.4, .p_ds = 0.5};
+  CoverageModel more = base;
+  more.p_prop = 0.6;
+  EXPECT_GT(more.p_detect(), base.p_detect());
+  more = base;
+  more.p_ds = 0.9;
+  EXPECT_GT(more.p_detect(), base.p_detect());
+  more = base;
+  more.p_em = 0.9;  // Pem dominates Pprop here, so coverage rises
+  EXPECT_GT(more.p_detect(), base.p_detect());
+}
+
+TEST(CoverageModel, ValidateRejectsOutOfRange) {
+  EXPECT_NO_THROW((CoverageModel{0.0, 0.0, 0.0}.validate()));
+  EXPECT_NO_THROW((CoverageModel{1.0, 1.0, 1.0}.validate()));
+  EXPECT_THROW((CoverageModel{-0.1, 0.5, 0.5}.validate()), std::domain_error);
+  EXPECT_THROW((CoverageModel{0.5, 1.5, 0.5}.validate()), std::domain_error);
+  EXPECT_THROW((CoverageModel{0.5, 0.5, 2.0}.validate()), std::domain_error);
+}
+
+TEST(SolveProp, RoundTripsTheForwardModel) {
+  for (const double p_em : {0.0, 0.034, 0.3}) {
+    for (const double p_prop : {0.0, 0.25, 0.9}) {
+      for (const double p_ds : {0.3, 0.74, 1.0}) {
+        const CoverageModel model{p_em, p_prop, p_ds};
+        if (p_em >= 1.0) continue;
+        EXPECT_NEAR(solve_p_prop(model.p_detect(), p_em, p_ds), p_prop, 1e-12)
+            << p_em << " " << p_prop << " " << p_ds;
+      }
+    }
+  }
+}
+
+TEST(SolveProp, RejectsInconsistentInputs) {
+  // Pdetect cannot exceed Pds.
+  EXPECT_THROW((void)solve_p_prop(0.9, 0.1, 0.5), std::domain_error);
+  // Pds = 0 with observed detections is impossible.
+  EXPECT_THROW((void)solve_p_prop(0.1, 0.1, 0.0), std::domain_error);
+  // Out-of-range probabilities.
+  EXPECT_THROW((void)solve_p_prop(1.2, 0.1, 0.5), std::domain_error);
+}
+
+TEST(SolveProp, EdgeCases) {
+  EXPECT_DOUBLE_EQ(solve_p_prop(0.0, 0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(solve_p_prop(0.5, 1.0, 0.74), 0.0);  // Pem = 1: any Pprop
+}
+
+}  // namespace
+}  // namespace easel::core

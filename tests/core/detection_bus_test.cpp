@@ -1,0 +1,94 @@
+#include "core/detection_bus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+TEST(DetectionBus, EmptyState) {
+  DetectionBus bus;
+  EXPECT_FALSE(bus.any());
+  EXPECT_EQ(bus.count(), 0u);
+  EXPECT_FALSE(bus.first_detection_ms().has_value());
+}
+
+TEST(DetectionBus, TimeStampsWithExperimentClock) {
+  DetectionBus bus;
+  const auto id = bus.register_monitor("EA1");
+  bus.set_time_ms(123);
+  bus.report(id, 5, 4, ContinuousTest::group_a, DiscreteTest::none);
+  EXPECT_EQ(bus.first_detection_ms(), 123u);
+  bus.set_time_ms(200);
+  bus.report(id, 6, 5, ContinuousTest::group_a, DiscreteTest::none);
+  EXPECT_EQ(bus.first_detection_ms(), 123u);  // first report wins
+  EXPECT_EQ(bus.count(), 2u);
+}
+
+TEST(DetectionBus, PerMonitorFirstDetection) {
+  DetectionBus bus;
+  const auto a = bus.register_monitor("EA1");
+  const auto b = bus.register_monitor("EA2");
+  bus.set_time_ms(10);
+  bus.report(b, 0, 0, ContinuousTest::none, DiscreteTest::domain);
+  bus.set_time_ms(20);
+  bus.report(a, 0, 0, ContinuousTest::t1_max, DiscreteTest::none);
+  EXPECT_EQ(bus.first_detection_ms(a), 20u);
+  EXPECT_EQ(bus.first_detection_ms(b), 10u);
+  EXPECT_EQ(bus.count_for(a), 1u);
+  EXPECT_EQ(bus.count_for(b), 1u);
+  EXPECT_FALSE(bus.first_detection_ms(99).has_value());
+  EXPECT_EQ(bus.count_for(99), 0u);
+}
+
+TEST(DetectionBus, CapacityBoundsStoredEventsNotCounts) {
+  DetectionBus bus{4};
+  const auto id = bus.register_monitor("EA1");
+  for (int i = 0; i < 10; ++i) {
+    bus.set_time_ms(static_cast<std::uint64_t>(i));
+    bus.report(id, i, i - 1, ContinuousTest::group_a, DiscreteTest::none);
+  }
+  EXPECT_EQ(bus.events().size(), 4u);  // first four kept
+  EXPECT_EQ(bus.count(), 10u);         // all counted
+  EXPECT_EQ(bus.events()[3].time_ms, 3u);
+}
+
+TEST(DetectionBus, EventPayloadPreserved) {
+  DetectionBus bus;
+  const auto id = bus.register_monitor("EA5(ms_slot_nbr)");
+  bus.set_time_ms(7);
+  bus.report(id, 9, 3, ContinuousTest::none, DiscreteTest::domain, /*mode=*/2);
+  ASSERT_EQ(bus.events().size(), 1u);
+  const Detection& e = bus.events()[0];
+  EXPECT_EQ(e.monitor_id, id);
+  EXPECT_EQ(e.value, 9);
+  EXPECT_EQ(e.prev, 3);
+  EXPECT_EQ(e.discrete_test, DiscreteTest::domain);
+  EXPECT_EQ(e.mode, 2);
+  EXPECT_EQ(bus.monitor_name(id), "EA5(ms_slot_nbr)");
+}
+
+TEST(DetectionBus, ResetRunKeepsRegistrations) {
+  DetectionBus bus;
+  const auto id = bus.register_monitor("EA1");
+  bus.set_time_ms(50);
+  bus.report(id, 1, 0, ContinuousTest::t1_max, DiscreteTest::none);
+  bus.reset_run();
+  EXPECT_EQ(bus.count(), 0u);
+  EXPECT_FALSE(bus.first_detection_ms().has_value());
+  EXPECT_FALSE(bus.first_detection_ms(id).has_value());
+  EXPECT_TRUE(bus.events().empty());
+  EXPECT_EQ(bus.time_ms(), 0u);
+  EXPECT_EQ(bus.monitor_count(), 1u);
+  EXPECT_EQ(bus.monitor_name(id), "EA1");
+}
+
+TEST(DetectionBus, MonitorIdsAreDense) {
+  DetectionBus bus;
+  EXPECT_EQ(bus.register_monitor("a"), 0u);
+  EXPECT_EQ(bus.register_monitor("b"), 1u);
+  EXPECT_EQ(bus.register_monitor("c"), 2u);
+  EXPECT_EQ(bus.monitor_count(), 3u);
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,126 @@
+// Paper Table 3 and the Figure 3 example state machine.
+#include "core/discrete_assertion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+/// The paper's Figure 3: five states, T(v1)={v2,v4}, T(v2)={v3,v4},
+/// T(v3)={v4}, T(v4)={v5}, T(v5)={v1}.
+DiscreteParams figure3() {
+  return DiscreteParams{
+      .domain = {1, 2, 3, 4, 5},
+      .transitions = {{1, {2, 4}}, {2, {3, 4}}, {3, {4}}, {4, {5}}, {5, {1}}}};
+}
+
+TEST(Table3Random, DomainMembershipOnly) {
+  const DiscreteAssertion a{DiscreteParams{.domain = {10, 20, 30}, .transitions = {}},
+                            /*sequential=*/false};
+  // Any transition inside D is valid, including arbitrary jumps.
+  EXPECT_TRUE(a.check(30, 10).ok);
+  EXPECT_TRUE(a.check(10, 30).ok);
+  EXPECT_TRUE(a.check(20, 20).ok);
+  const auto v = a.check(15, 10);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, DiscreteTest::domain);
+}
+
+TEST(Table3Sequential, Figure3LegalTransitions) {
+  const DiscreteAssertion a{figure3(), /*sequential=*/true};
+  EXPECT_TRUE(a.check(2, 1).ok);
+  EXPECT_TRUE(a.check(4, 1).ok);
+  EXPECT_TRUE(a.check(3, 2).ok);
+  EXPECT_TRUE(a.check(4, 2).ok);
+  EXPECT_TRUE(a.check(4, 3).ok);
+  EXPECT_TRUE(a.check(5, 4).ok);
+  EXPECT_TRUE(a.check(1, 5).ok);
+}
+
+TEST(Table3Sequential, Figure3IllegalTransitionsAllFlagged) {
+  const DiscreteAssertion a{figure3(), /*sequential=*/true};
+  const DiscreteParams p = figure3();
+  int illegal = 0;
+  for (const sig_t from : p.domain) {
+    for (const sig_t to : p.domain) {
+      const auto& allowed = p.transitions.at(from);
+      const bool legal =
+          std::find(allowed.begin(), allowed.end(), to) != allowed.end();
+      const DiscreteVerdict v = a.check(to, from);
+      EXPECT_EQ(v.ok, legal) << from << " -> " << to;
+      if (!legal) {
+        ++illegal;
+        EXPECT_EQ(v.failed, DiscreteTest::transition);
+      }
+    }
+  }
+  EXPECT_EQ(illegal, 25 - 7);  // 5x5 pairs minus the 7 legal edges
+}
+
+TEST(Table3Sequential, DomainTestRunsFirst) {
+  // "This property actually implies s ∈ D, but both tests are used
+  // nonetheless" — an out-of-domain value reports the domain test.
+  const DiscreteAssertion a{figure3(), /*sequential=*/true};
+  const auto v = a.check(9, 1);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, DiscreteTest::domain);
+}
+
+TEST(Table3Sequential, SelfLoopRequiresExplicitTransition) {
+  DiscreteParams p{.domain = {1, 2}, .transitions = {{1, {1, 2}}, {2, {1}}}};
+  const DiscreteAssertion a{p, /*sequential=*/true};
+  EXPECT_TRUE(a.check(1, 1).ok);   // explicit self-loop
+  EXPECT_FALSE(a.check(2, 2).ok);  // no self-loop declared
+}
+
+TEST(Table3Sequential, AbsorbingStateAllowsNothing) {
+  const DiscreteAssertion a{make_linear_chain({1, 2, 3}), /*sequential=*/true};
+  EXPECT_TRUE(a.check(2, 1).ok);
+  EXPECT_TRUE(a.check(3, 2).ok);
+  EXPECT_FALSE(a.check(1, 3).ok);
+  EXPECT_FALSE(a.check(3, 3).ok);
+}
+
+TEST(Table3Sequential, LinearCycleWrapsOnce) {
+  const DiscreteAssertion a{make_linear_cycle({0, 1, 2, 3, 4, 5, 6}), /*sequential=*/true};
+  for (sig_t k = 0; k < 7; ++k) {
+    EXPECT_TRUE(a.check((k + 1) % 7, k).ok);
+    EXPECT_FALSE(a.check((k + 2) % 7, k).ok);   // skipping a step
+    EXPECT_FALSE(a.check((k + 6) % 7, k).ok);   // going backwards
+  }
+}
+
+TEST(Table3, DomainOnlyForFirstSample) {
+  const DiscreteAssertion a{figure3(), /*sequential=*/true};
+  EXPECT_TRUE(a.check_domain_only(3).ok);
+  EXPECT_FALSE(a.check_domain_only(0).ok);
+}
+
+TEST(Table3, ClassConstructorSelectsVariant) {
+  const DiscreteAssertion seq{figure3(), SignalClass::discrete_sequential_nonlinear};
+  const DiscreteAssertion rand{figure3(), SignalClass::discrete_random};
+  EXPECT_TRUE(seq.sequential());
+  EXPECT_FALSE(rand.sequential());
+  // The random variant accepts a transition the sequential one rejects.
+  EXPECT_FALSE(seq.check(3, 1).ok);
+  EXPECT_TRUE(rand.check(3, 1).ok);
+}
+
+TEST(Table3, LargeDomainStaysExact) {
+  // 0..4095 even values only; odd values rejected.
+  DiscreteParams p;
+  for (sig_t v = 0; v < 4096; v += 2) p.domain.push_back(v);
+  const DiscreteAssertion a{p, /*sequential=*/false};
+  EXPECT_EQ(a.domain_size(), 2048u);
+  EXPECT_TRUE(a.check(2048, 0).ok);
+  EXPECT_FALSE(a.check(2047, 0).ok);
+}
+
+TEST(DiscreteTestNames, Printable) {
+  EXPECT_EQ(to_string(DiscreteTest::none), "none");
+  EXPECT_EQ(to_string(DiscreteTest::domain), "s ∈ D");
+  EXPECT_EQ(to_string(DiscreteTest::transition), "s ∈ T(s')");
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,112 @@
+// Property sweeps of the Table 3 algorithm over randomly generated state
+// machines (parameterised gtest).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/discrete_assertion.hpp"
+#include "util/rng.hpp"
+
+namespace easel::core {
+namespace {
+
+struct FsmCase {
+  std::string name;
+  std::size_t state_count;
+  std::size_t max_out_degree;
+  std::uint64_t seed;
+};
+
+/// Deterministic random state machine: `state_count` distinct values drawn
+/// from [0, 4 * state_count), each with up to `max_out_degree` successors.
+DiscreteParams random_fsm(const FsmCase& fsm) {
+  util::Rng rng{fsm.seed};
+  DiscreteParams params;
+  std::set<sig_t> domain;
+  while (domain.size() < fsm.state_count) {
+    domain.insert(static_cast<sig_t>(rng.uniform_u64(0, 4 * fsm.state_count - 1)));
+  }
+  params.domain.assign(domain.begin(), domain.end());
+  for (const sig_t from : params.domain) {
+    const std::size_t degree = rng.uniform_u64(0, fsm.max_out_degree);
+    std::set<sig_t> successors;
+    for (std::size_t k = 0; k < degree; ++k) {
+      successors.insert(
+          params.domain[rng.uniform_u64(0, params.domain.size() - 1)]);
+    }
+    params.transitions[from].assign(successors.begin(), successors.end());
+  }
+  return params;
+}
+
+class FsmSweep : public ::testing::TestWithParam<FsmCase> {};
+
+TEST_P(FsmSweep, ParamsValidateAsNonLinear) {
+  const DiscreteParams params = random_fsm(GetParam());
+  EXPECT_TRUE(validate(params, SignalClass::discrete_sequential_nonlinear).ok());
+}
+
+TEST_P(FsmSweep, AcceptanceMatrixMatchesTransitionSets) {
+  // The assertion must accept exactly the declared (from, to) pairs.
+  const DiscreteParams params = random_fsm(GetParam());
+  const DiscreteAssertion assertion{params, /*sequential=*/true};
+  for (const sig_t from : params.domain) {
+    const auto& allowed = params.transitions.at(from);
+    for (const sig_t to : params.domain) {
+      const bool legal = std::find(allowed.begin(), allowed.end(), to) != allowed.end();
+      EXPECT_EQ(assertion.check(to, from).ok, legal) << from << " -> " << to;
+    }
+  }
+}
+
+TEST_P(FsmSweep, OutOfDomainAlwaysRejected) {
+  const DiscreteParams params = random_fsm(GetParam());
+  const DiscreteAssertion assertion{params, /*sequential=*/true};
+  const std::set<sig_t> domain(params.domain.begin(), params.domain.end());
+  util::Rng rng{GetParam().seed ^ 0xabcdef};
+  for (int k = 0; k < 2000; ++k) {
+    const auto value = static_cast<sig_t>(rng.uniform_i64(-100, 10000));
+    if (domain.contains(value)) continue;
+    const DiscreteVerdict v =
+        assertion.check(value, params.domain[rng.uniform_u64(0, params.domain.size() - 1)]);
+    EXPECT_FALSE(v.ok);
+    EXPECT_EQ(v.failed, DiscreteTest::domain);
+  }
+}
+
+TEST_P(FsmSweep, RandomClassAcceptsAnyDomainPair) {
+  const DiscreteParams params = random_fsm(GetParam());
+  const DiscreteAssertion assertion{params, /*sequential=*/false};
+  util::Rng rng{GetParam().seed ^ 0x1234};
+  for (int k = 0; k < 2000; ++k) {
+    const sig_t from = params.domain[rng.uniform_u64(0, params.domain.size() - 1)];
+    const sig_t to = params.domain[rng.uniform_u64(0, params.domain.size() - 1)];
+    EXPECT_TRUE(assertion.check(to, from).ok);
+  }
+}
+
+TEST_P(FsmSweep, RandomWalkAlongEdgesNeverFlagged) {
+  const DiscreteParams params = random_fsm(GetParam());
+  const DiscreteAssertion assertion{params, /*sequential=*/true};
+  util::Rng rng{GetParam().seed ^ 0x77};
+  // Start anywhere with outgoing edges and walk 5000 legal steps.
+  sig_t current = params.domain.front();
+  for (int k = 0; k < 5000; ++k) {
+    const auto& successors = params.transitions.at(current);
+    if (successors.empty()) break;  // absorbing state reached
+    const sig_t next = successors[rng.uniform_u64(0, successors.size() - 1)];
+    ASSERT_TRUE(assertion.check(next, current).ok) << current << " -> " << next;
+    current = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStateMachines, FsmSweep,
+    ::testing::Values(FsmCase{"tiny", 2, 1, 101}, FsmCase{"figure3_size", 5, 2, 202},
+                      FsmCase{"sparse", 12, 1, 303}, FsmCase{"dense", 8, 8, 404},
+                      FsmCase{"wide", 40, 3, 505}, FsmCase{"large", 128, 4, 606}),
+    [](const ::testing::TestParamInfo<FsmCase>& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace easel::core

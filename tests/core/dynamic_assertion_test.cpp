@@ -1,0 +1,173 @@
+#include "core/dynamic_assertion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/continuous_assertion.hpp"
+#include "util/rng.hpp"
+
+namespace easel::core {
+namespace {
+
+PredictiveParams ramp_params() {
+  // Tolerates +-8 around the prediction at steady state, widening by half
+  // the trend magnitude during transients.
+  return PredictiveParams{.smax = 10000, .smin = 0, .base_tolerance = 8,
+                          .slack_num = 1, .slack_den = 2, .ema_shift = 2};
+}
+
+TEST(PredictiveParams, Validation) {
+  EXPECT_TRUE(validate(ramp_params()).ok());
+  PredictiveParams p = ramp_params();
+  p.smax = p.smin;
+  EXPECT_FALSE(validate(p).ok());
+  p = ramp_params();
+  p.base_tolerance = -1;
+  EXPECT_FALSE(validate(p).ok());
+  p = ramp_params();
+  p.slack_den = 0;
+  EXPECT_FALSE(validate(p).ok());
+  p = ramp_params();
+  p.ema_shift = 16;
+  EXPECT_FALSE(validate(p).ok());
+  EXPECT_THROW(PredictiveAssertion{p}, std::invalid_argument);
+}
+
+TEST(PredictiveAssertion, BoundsStillAbsolute) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  EXPECT_FALSE(a.check(10001, state).ok);
+  EXPECT_EQ(a.check(10001, state).failed, PredictiveTest::t1_max);
+  EXPECT_FALSE(a.check(-1, state).ok);
+  EXPECT_TRUE(a.check(5000, state).ok);
+}
+
+TEST(PredictiveAssertion, FirstSampleSeedsPredictor) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  EXPECT_TRUE(a.check(5000, state).ok);
+  EXPECT_TRUE(state.primed);
+  EXPECT_EQ(state.prev, 5000);
+  EXPECT_EQ(state.trend_q8, 0);
+}
+
+TEST(PredictiveAssertion, SteadySignalTightWindow) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  (void)a.check(5000, state);
+  for (int k = 0; k < 50; ++k) EXPECT_TRUE(a.check(5000, state).ok);
+  // At steady state a +-8 wiggle passes, +-9 is flagged — far tighter than
+  // any static band that must also accommodate ramps.
+  EXPECT_TRUE(a.check(5008, state).ok);
+  TrendState fresh;
+  (void)a.check(5000, fresh);
+  const PredictiveVerdict v = a.check(5009, fresh);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, PredictiveTest::prediction);
+  EXPECT_EQ(v.tolerance, 8);
+}
+
+TEST(PredictiveAssertion, LearnsRampAndFollowsIt) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  sig_t s = 1000;
+  (void)a.check(s, state);
+  int violations = 0;
+  for (int k = 0; k < 200; ++k) {
+    s += 40;  // constant ramp of 40/sample — far beyond the base tolerance
+    violations += a.check(s, state).ok ? 0 : 1;
+  }
+  // The EMA locks on within a handful of samples; the ramp itself is
+  // accepted from then on.
+  EXPECT_LE(violations, 4);
+  EXPECT_NEAR(state.trend_q8 / 256.0, 40.0, 2.0);
+}
+
+TEST(PredictiveAssertion, DetectsStepOnTopOfRamp) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  sig_t s = 1000;
+  (void)a.check(s, state);
+  for (int k = 0; k < 50; ++k) {
+    s += 40;
+    (void)a.check(s, state);
+  }
+  // A 256-step (bit-8 flip) riding the ramp is caught: prediction expects
+  // +40, tolerance is 8 + 20 = 28.
+  const PredictiveVerdict v = a.check(s + 40 + 256, state);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failed, PredictiveTest::prediction);
+}
+
+TEST(PredictiveAssertion, ToleranceWidensWithTrend) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  sig_t s = 0;
+  (void)a.check(s, state);
+  for (int k = 0; k < 60; ++k) {
+    s += 100;
+    (void)a.check(s, state);
+  }
+  const PredictiveVerdict v = a.check(s + 100, state);
+  EXPECT_TRUE(v.ok);
+  // Trend has converged to ~100 (the EMA floor may sit one unit under).
+  EXPECT_NEAR(v.tolerance, 8 + 100 / 2, 1);
+}
+
+TEST(PredictiveAssertion, BeatsStaticBandOnLowBits) {
+  // The motivating comparison: a signal that legitimately ramps at up to
+  // 100/sample forces a static Co/Ra band of rmax >= 100, which hides any
+  // error of magnitude <= 100.  The predictive window catches a bit-6 flip
+  // (64) while the signal is steady.
+  const PredictiveAssertion dynamic{ramp_params()};
+  const ContinuousAssertion fixed{ContinuousParams{
+      .smax = 10000, .smin = 0, .rmin_incr = 0, .rmax_incr = 100, .rmin_decr = 0,
+      .rmax_decr = 100, .wrap = false}};
+  TrendState state;
+  (void)dynamic.check(4000, state);
+  for (int k = 0; k < 20; ++k) (void)dynamic.check(4000, state);
+  EXPECT_FALSE(dynamic.check(4000 ^ 64, state).ok);   // caught
+  EXPECT_TRUE(fixed.check(4000 ^ 64, 4000).ok);       // hidden by the band
+}
+
+TEST(PredictiveAssertion, TracksAfterViolation) {
+  const PredictiveAssertion a{ramp_params()};
+  TrendState state;
+  (void)a.check(1000, state);
+  EXPECT_FALSE(a.check(2000, state).ok);  // jump flagged
+  EXPECT_EQ(state.prev, 2000);            // but tracked (detect-only)
+  // The learned phantom trend decays geometrically; the window re-centres
+  // and the steady signal is accepted again within ~a dozen samples.
+  int violations = 0;
+  bool last_five_clean = true;
+  for (int k = 0; k < 20; ++k) {
+    const bool ok = a.check(2000, state).ok;
+    violations += ok ? 0 : 1;
+    if (k >= 15) last_five_clean &= ok;
+  }
+  EXPECT_LE(violations, 13);
+  EXPECT_TRUE(last_five_clean);
+}
+
+TEST(PredictiveAssertion, NoisyRandomWalkWithinToleranceIsQuiet) {
+  PredictiveParams p = ramp_params();
+  p.base_tolerance = 12;
+  const PredictiveAssertion a{p};
+  TrendState state;
+  util::Rng rng{11};
+  sig_t s = 5000;
+  (void)a.check(s, state);
+  int violations = 0;
+  for (int k = 0; k < 2000; ++k) {
+    s += static_cast<sig_t>(rng.uniform_i64(-4, 4));
+    violations += a.check(s, state).ok ? 0 : 1;
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(PredictiveTestNames, Printable) {
+  EXPECT_EQ(to_string(PredictiveTest::none), "none");
+  EXPECT_EQ(to_string(PredictiveTest::prediction), "prediction window");
+}
+
+}  // namespace
+}  // namespace easel::core

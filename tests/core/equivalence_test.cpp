@@ -1,0 +1,108 @@
+// Cross-layer equivalence properties: Channel is a thin stateful wrapper
+// over Monitor, which is a thin stateful wrapper over the assertions; the
+// layers must agree sample-for-sample on randomized inputs.
+#include <gtest/gtest.h>
+
+#include "core/channel.hpp"
+#include "util/rng.hpp"
+
+namespace easel::core {
+namespace {
+
+struct LayerCase {
+  std::string name;
+  ContinuousParams params;
+  SignalClass cls;
+};
+
+class ContinuousLayers : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(ContinuousLayers, ChannelAgreesWithMonitorAgreesWithAssertion) {
+  const auto& [name, params, cls] = GetParam();
+  const ContinuousAssertion assertion{params};
+  const ContinuousMonitor monitor{cls, params};
+  Channel channel = Channel::continuous("probe", cls, params);
+
+  MonitorState monitor_state;
+  std::optional<sig_t> reference_prev;  // hand-rolled "tracked" state
+  util::Rng rng{util::fnv1a(name)};
+
+  for (int k = 0; k < 20000; ++k) {
+    const auto s = static_cast<sig_t>(rng.uniform_i64(params.smin - 10, params.smax + 10));
+
+    const bool assertion_ok = reference_prev
+                                  ? assertion.check(s, *reference_prev).ok
+                                  : assertion.check_bounds_only(s).ok;
+    const CheckOutcome monitor_outcome = monitor.check(s, monitor_state);
+    const CheckOutcome channel_outcome = channel.test(s);
+
+    ASSERT_EQ(monitor_outcome.ok, assertion_ok) << name << " sample " << k;
+    ASSERT_EQ(channel_outcome.ok, assertion_ok) << name << " sample " << k;
+    ASSERT_EQ(channel.state().prev, monitor_state.prev);
+
+    reference_prev = s;  // detect-only monitors track the observed value
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossClasses, ContinuousLayers,
+    ::testing::Values(
+        LayerCase{"counter",
+                  {.smax = 30000, .smin = 0, .rmin_incr = 1, .rmax_incr = 1, .rmin_decr = 0,
+                   .rmax_decr = 0, .wrap = false},
+                  SignalClass::continuous_static_monotonic},
+        LayerCase{"rising",
+                  {.smax = 1000, .smin = -1000, .rmin_incr = 0, .rmax_incr = 25,
+                   .rmin_decr = 0, .rmax_decr = 0, .wrap = false},
+                  SignalClass::continuous_dynamic_monotonic},
+        LayerCase{"random_band",
+                  {.smax = 512, .smin = 0, .rmin_incr = 0, .rmax_incr = 64, .rmin_decr = 0,
+                   .rmax_decr = 48, .wrap = false},
+                  SignalClass::continuous_random},
+        LayerCase{"wrapping",
+                  {.smax = 255, .smin = 0, .rmin_incr = 0, .rmax_incr = 16, .rmin_decr = 0,
+                   .rmax_decr = 16, .wrap = true},
+                  SignalClass::continuous_random}),
+    [](const ::testing::TestParamInfo<LayerCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(DiscreteLayers, ChannelAgreesWithMonitor) {
+  const DiscreteParams params = make_linear_cycle({0, 1, 2, 3, 4});
+  const DiscreteMonitor monitor{SignalClass::discrete_sequential_linear, params};
+  Channel channel =
+      Channel::discrete("probe", SignalClass::discrete_sequential_linear, params);
+  MonitorState state;
+  util::Rng rng{99};
+  for (int k = 0; k < 20000; ++k) {
+    const auto s = static_cast<sig_t>(rng.uniform_i64(-2, 7));
+    const CheckOutcome a = monitor.check(s, state);
+    const CheckOutcome b = channel.test(s);
+    ASSERT_EQ(a.ok, b.ok) << "sample " << k << " value " << s;
+    ASSERT_EQ(a.discrete_test, b.discrete_test);
+  }
+}
+
+TEST(RecoveryLayers, RecoveredValuesAgree) {
+  const ContinuousParams params{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 10,
+                                .rmin_decr = 0, .rmax_decr = 10, .wrap = false};
+  for (const auto policy : {RecoveryPolicy::hold_previous, RecoveryPolicy::clamp_to_bounds,
+                            RecoveryPolicy::rate_limit}) {
+    const ContinuousMonitor monitor{SignalClass::continuous_random, params, policy};
+    Channel channel = Channel::continuous("probe", SignalClass::continuous_random, params,
+                                          policy);
+    MonitorState state;
+    util::Rng rng{policy == RecoveryPolicy::hold_previous ? 1u : 2u};
+    for (int k = 0; k < 5000; ++k) {
+      const auto s = static_cast<sig_t>(rng.uniform_i64(-200, 300));
+      const CheckOutcome a = monitor.check(s, state);
+      const CheckOutcome b = channel.test(s);
+      ASSERT_EQ(a.ok, b.ok);
+      ASSERT_EQ(a.recovered, b.recovered);
+      ASSERT_EQ(a.value, b.value) << to_string(policy) << " sample " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easel::core

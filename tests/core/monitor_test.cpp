@@ -1,0 +1,143 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+ContinuousParams counter_params() {
+  return ContinuousParams{.smax = 1000, .smin = 0, .rmin_incr = 1, .rmax_incr = 1,
+                          .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+}
+
+TEST(ContinuousMonitor, ValidatesParametersAtConstruction) {
+  EXPECT_NO_THROW((ContinuousMonitor{SignalClass::continuous_static_monotonic,
+                                     counter_params()}));
+  ContinuousParams bad = counter_params();
+  bad.rmax_incr = 2;  // a band — not static monotonic
+  EXPECT_THROW((ContinuousMonitor{SignalClass::continuous_static_monotonic, bad}),
+               std::invalid_argument);
+  EXPECT_THROW((ContinuousMonitor{SignalClass::continuous_static_monotonic,
+                                  std::vector<ContinuousParams>{}}),
+               std::invalid_argument);
+}
+
+TEST(ContinuousMonitor, FirstSampleSeesBoundsOnly) {
+  const ContinuousMonitor monitor{SignalClass::continuous_static_monotonic, counter_params()};
+  MonitorState state;
+  // A static-rate signal would fail the rate test from any prior value, but
+  // the first sample has no prior: only bounds apply.
+  EXPECT_TRUE(monitor.check(500, state).ok);
+  EXPECT_TRUE(state.primed);
+  EXPECT_EQ(state.prev, 500);
+}
+
+TEST(ContinuousMonitor, FirstSampleOutOfBoundsDetected) {
+  const ContinuousMonitor monitor{SignalClass::continuous_static_monotonic, counter_params()};
+  MonitorState state;
+  const CheckOutcome outcome = monitor.check(2000, state);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.continuous_test, ContinuousTest::t1_max);
+}
+
+TEST(ContinuousMonitor, TracksAcceptedValues) {
+  const ContinuousMonitor monitor{SignalClass::continuous_static_monotonic, counter_params()};
+  MonitorState state;
+  (void)monitor.check(10, state);
+  EXPECT_TRUE(monitor.check(11, state).ok);
+  EXPECT_TRUE(monitor.check(12, state).ok);
+  EXPECT_FALSE(monitor.check(14, state).ok);  // skipped a step
+  EXPECT_EQ(state.prev, 14);                  // detect-only still tracks
+  EXPECT_TRUE(monitor.check(15, state).ok);   // consistent with trajectory
+}
+
+TEST(ContinuousMonitor, RecoveryReplacesValueAndState) {
+  const ContinuousMonitor monitor{SignalClass::continuous_static_monotonic, counter_params(),
+                                  RecoveryPolicy::rate_limit};
+  MonitorState state;
+  (void)monitor.check(10, state);
+  const CheckOutcome outcome = monitor.check(500, state);  // jump
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(outcome.value, 11);  // static rate +1 from the previous value
+  EXPECT_EQ(state.prev, 11);     // state follows the recovered value
+}
+
+TEST(ContinuousMonitor, ModesSelectParameterSets) {
+  // Mode 0: slow band; mode 1: fast band (paper §2.1 signal modes).
+  const ContinuousMonitor monitor{
+      SignalClass::continuous_random,
+      std::vector<ContinuousParams>{
+          {.smax = 1000, .smin = 0, .rmin_incr = 0, .rmax_incr = 5, .rmin_decr = 0,
+           .rmax_decr = 5, .wrap = false},
+          {.smax = 1000, .smin = 0, .rmin_incr = 0, .rmax_incr = 100, .rmin_decr = 0,
+           .rmax_decr = 100, .wrap = false}}};
+  EXPECT_EQ(monitor.mode_count(), 2u);
+  MonitorState state;
+  (void)monitor.check(100, state, 0);
+  EXPECT_FALSE(monitor.check(150, state, 0).ok);  // +50 violates mode 0
+  state = MonitorState{};
+  (void)monitor.check(100, state, 1);
+  EXPECT_TRUE(monitor.check(150, state, 1).ok);   // fine in mode 1
+}
+
+TEST(ContinuousMonitor, UnknownModeThrows) {
+  const ContinuousMonitor monitor{SignalClass::continuous_static_monotonic, counter_params()};
+  MonitorState state;
+  EXPECT_THROW((void)monitor.check(1, state, 5), std::out_of_range);
+}
+
+TEST(ContinuousMonitor, EveryModeValidated) {
+  ContinuousParams good = counter_params();
+  ContinuousParams bad = counter_params();
+  bad.smax = bad.smin;
+  EXPECT_THROW((ContinuousMonitor{SignalClass::continuous_static_monotonic,
+                                  std::vector<ContinuousParams>{good, bad}}),
+               std::invalid_argument);
+}
+
+TEST(DiscreteMonitor, SequentialFlow) {
+  const DiscreteMonitor monitor{SignalClass::discrete_sequential_linear,
+                                make_linear_cycle({0, 1, 2})};
+  MonitorState state;
+  EXPECT_TRUE(monitor.check(0, state).ok);  // first sample: domain only
+  EXPECT_TRUE(monitor.check(1, state).ok);
+  EXPECT_TRUE(monitor.check(2, state).ok);
+  EXPECT_TRUE(monitor.check(0, state).ok);  // cycle wrap
+  const CheckOutcome outcome = monitor.check(2, state);  // skip
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.discrete_test, DiscreteTest::transition);
+}
+
+TEST(DiscreteMonitor, RecoveryRestoresValidState) {
+  const DiscreteMonitor monitor{SignalClass::discrete_sequential_linear,
+                                make_linear_cycle({0, 1, 2}), RecoveryPolicy::hold_previous};
+  MonitorState state;
+  (void)monitor.check(0, state);
+  const CheckOutcome outcome = monitor.check(7, state);  // out of domain
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.recovered);
+  EXPECT_EQ(outcome.value, 0);
+  EXPECT_EQ(state.prev, 0);
+  EXPECT_TRUE(monitor.check(1, state).ok);  // resumes cleanly
+}
+
+TEST(DiscreteMonitor, ValidatesParameters) {
+  EXPECT_THROW((DiscreteMonitor{SignalClass::discrete_sequential_linear,
+                                DiscreteParams{.domain = {}, .transitions = {}}}),
+               std::invalid_argument);
+}
+
+TEST(Monitors, ExposeClassAndPolicy) {
+  const ContinuousMonitor c{SignalClass::continuous_static_monotonic, counter_params(),
+                            RecoveryPolicy::hold_previous};
+  EXPECT_EQ(c.signal_class(), SignalClass::continuous_static_monotonic);
+  EXPECT_EQ(c.policy(), RecoveryPolicy::hold_previous);
+  EXPECT_EQ(c.params().rmax_incr, 1);
+  const DiscreteMonitor d{SignalClass::discrete_random,
+                          DiscreteParams{.domain = {1}, .transitions = {}}};
+  EXPECT_EQ(d.signal_class(), SignalClass::discrete_random);
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,225 @@
+// Exhaustive checks of the Table 1 parameter constraints.
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+ContinuousParams base() {
+  return ContinuousParams{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 0,
+                          .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+}
+
+TEST(Table1, AllRowRequiresSmaxAboveSmin) {
+  // "All: smax > smin" — applies to every continuous class.
+  for (const SignalClass cls :
+       {SignalClass::continuous_static_monotonic, SignalClass::continuous_dynamic_monotonic,
+        SignalClass::continuous_random}) {
+    ContinuousParams p = base();
+    p.smax = 0;
+    p.smin = 0;
+    EXPECT_FALSE(validate(p, cls).ok()) << to_string(cls);
+    p.smax = -1;
+    EXPECT_FALSE(validate(p, cls).ok()) << to_string(cls);
+  }
+}
+
+TEST(Table1, WrapIsFreeInEveryClass) {
+  // "w = allowed/not allowed" — both settings valid everywhere.
+  ContinuousParams p = base();
+  p.rmin_incr = p.rmax_incr = 5;  // static increasing
+  for (const bool wrap : {false, true}) {
+    p.wrap = wrap;
+    EXPECT_TRUE(validate(p, SignalClass::continuous_static_monotonic).ok());
+  }
+}
+
+TEST(Table1, StaticMonotonicIncreasing) {
+  // (rmax_decr = rmin_decr = 0) and (rmax_incr = rmin_incr > 0).
+  ContinuousParams p = base();
+  p.rmin_incr = p.rmax_incr = 1;
+  EXPECT_TRUE(validate(p, SignalClass::continuous_static_monotonic).ok());
+}
+
+TEST(Table1, StaticMonotonicDecreasing) {
+  ContinuousParams p = base();
+  p.rmin_decr = p.rmax_decr = 3;
+  EXPECT_TRUE(validate(p, SignalClass::continuous_static_monotonic).ok());
+}
+
+TEST(Table1, StaticMonotonicRejectsBands) {
+  ContinuousParams p = base();
+  p.rmin_incr = 1;
+  p.rmax_incr = 2;  // a band, not a single rate
+  EXPECT_FALSE(validate(p, SignalClass::continuous_static_monotonic).ok());
+}
+
+TEST(Table1, StaticMonotonicRejectsZeroRate) {
+  // rate must be > 0 (a never-changing signal is not static monotonic).
+  EXPECT_FALSE(validate(base(), SignalClass::continuous_static_monotonic).ok());
+}
+
+TEST(Table1, StaticMonotonicRejectsBothDirections) {
+  ContinuousParams p = base();
+  p.rmin_incr = p.rmax_incr = 1;
+  p.rmin_decr = p.rmax_decr = 1;
+  EXPECT_FALSE(validate(p, SignalClass::continuous_static_monotonic).ok());
+}
+
+TEST(Table1, DynamicMonotonicIncreasing) {
+  // (rmax_decr = rmin_decr = 0) and rmax_incr > rmin_incr >= 0.
+  ContinuousParams p = base();
+  p.rmax_incr = 10;
+  EXPECT_TRUE(validate(p, SignalClass::continuous_dynamic_monotonic).ok());
+  p.rmin_incr = 2;
+  EXPECT_TRUE(validate(p, SignalClass::continuous_dynamic_monotonic).ok());
+}
+
+TEST(Table1, DynamicMonotonicDecreasing) {
+  ContinuousParams p = base();
+  p.rmin_decr = 1;
+  p.rmax_decr = 9;
+  EXPECT_TRUE(validate(p, SignalClass::continuous_dynamic_monotonic).ok());
+}
+
+TEST(Table1, DynamicMonotonicRejectsDegenerateBand) {
+  // rmax must strictly exceed rmin (equal rates are the static class).
+  ContinuousParams p = base();
+  p.rmin_incr = p.rmax_incr = 4;
+  EXPECT_FALSE(validate(p, SignalClass::continuous_dynamic_monotonic).ok());
+}
+
+TEST(Table1, DynamicMonotonicRejectsBothDirections) {
+  ContinuousParams p = base();
+  p.rmax_incr = 5;
+  p.rmax_decr = 5;
+  EXPECT_FALSE(validate(p, SignalClass::continuous_dynamic_monotonic).ok());
+}
+
+TEST(Table1, RandomAcceptsBandsBothWays) {
+  // rmax_incr >= rmin_incr >= 0 and rmax_decr >= rmin_decr >= 0.
+  ContinuousParams p = base();
+  p.rmax_incr = 10;
+  p.rmax_decr = 20;
+  EXPECT_TRUE(validate(p, SignalClass::continuous_random).ok());
+  p.rmin_incr = 10;  // equal bounds allowed for random
+  EXPECT_TRUE(validate(p, SignalClass::continuous_random).ok());
+}
+
+TEST(Table1, RandomRejectsInvertedBand) {
+  ContinuousParams p = base();
+  p.rmin_incr = 5;
+  p.rmax_incr = 3;
+  EXPECT_FALSE(validate(p, SignalClass::continuous_random).ok());
+}
+
+TEST(Table1, NegativeRatesRejectedEverywhere) {
+  for (const SignalClass cls :
+       {SignalClass::continuous_static_monotonic, SignalClass::continuous_dynamic_monotonic,
+        SignalClass::continuous_random}) {
+    ContinuousParams p = base();
+    p.rmin_decr = -1;
+    EXPECT_FALSE(validate(p, cls).ok()) << to_string(cls);
+  }
+}
+
+TEST(Table1, ContinuousValidationRejectsDiscreteClass) {
+  EXPECT_FALSE(validate(base(), SignalClass::discrete_random).ok());
+}
+
+TEST(InferClass, PrefersMostSpecific) {
+  ContinuousParams p = base();
+  p.rmin_incr = p.rmax_incr = 1;
+  EXPECT_EQ(infer_class(p), SignalClass::continuous_static_monotonic);
+  p.rmin_incr = 0;
+  EXPECT_EQ(infer_class(p), SignalClass::continuous_dynamic_monotonic);
+  p.rmax_decr = 2;
+  EXPECT_EQ(infer_class(p), SignalClass::continuous_random);
+}
+
+TEST(InferClass, RejectsInvalid) {
+  ContinuousParams p = base();
+  p.smax = p.smin;
+  EXPECT_FALSE(infer_class(p).has_value());
+  p = base();
+  p.rmax_incr = -3;
+  EXPECT_FALSE(infer_class(p).has_value());
+  p = base();
+  p.rmin_incr = 5;
+  p.rmax_incr = 2;
+  EXPECT_FALSE(infer_class(p).has_value());
+}
+
+TEST(InferClass, AgreesWithValidate) {
+  // Property: whenever infer_class names a class, validate accepts it.
+  for (const sig_t ri_min : {0, 1, 2}) {
+    for (const sig_t ri_max : {0, 1, 2, 3}) {
+      for (const sig_t rd_min : {0, 1, 2}) {
+        for (const sig_t rd_max : {0, 1, 2, 3}) {
+          ContinuousParams p = base();
+          p.rmin_incr = ri_min;
+          p.rmax_incr = ri_max;
+          p.rmin_decr = rd_min;
+          p.rmax_decr = rd_max;
+          if (const auto cls = infer_class(p)) {
+            EXPECT_TRUE(validate(p, *cls).ok())
+                << "incr [" << ri_min << "," << ri_max << "] decr [" << rd_min << ","
+                << rd_max << "] inferred " << to_string(*cls);
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Discrete parameter validation ---
+
+TEST(DiscreteParams, DomainRequired) {
+  DiscreteParams p;
+  EXPECT_FALSE(validate(p, SignalClass::discrete_random).ok());
+  p.domain = {1};
+  EXPECT_TRUE(validate(p, SignalClass::discrete_random).ok());
+}
+
+TEST(DiscreteParams, DuplicateDomainRejected) {
+  DiscreteParams p{.domain = {1, 2, 2}, .transitions = {}};
+  EXPECT_FALSE(validate(p, SignalClass::discrete_random).ok());
+}
+
+TEST(DiscreteParams, TransitionsMustStayInsideDomain) {
+  DiscreteParams p{.domain = {1, 2}, .transitions = {{1, {2}}, {2, {3}}}};
+  EXPECT_FALSE(validate(p, SignalClass::discrete_sequential_nonlinear).ok());
+  p.transitions = {{1, {2}}, {9, {1}}};
+  EXPECT_FALSE(validate(p, SignalClass::discrete_sequential_nonlinear).ok());
+  p.transitions = {{1, {2}}, {2, {1}}};
+  EXPECT_TRUE(validate(p, SignalClass::discrete_sequential_nonlinear).ok());
+}
+
+TEST(DiscreteParams, RandomIgnoresTransitions) {
+  DiscreteParams p{.domain = {1, 2}, .transitions = {{1, {99}}}};
+  EXPECT_TRUE(validate(p, SignalClass::discrete_random).ok());
+}
+
+TEST(DiscreteParams, LinearAllowsAtMostOneSuccessor) {
+  DiscreteParams p{.domain = {1, 2, 3}, .transitions = {{1, {2, 3}}}};
+  EXPECT_FALSE(validate(p, SignalClass::discrete_sequential_linear).ok());
+  EXPECT_TRUE(validate(p, SignalClass::discrete_sequential_nonlinear).ok());
+}
+
+TEST(MakeLinearCycle, BuildsRing) {
+  const DiscreteParams p = make_linear_cycle({4, 5, 6});
+  EXPECT_TRUE(validate(p, SignalClass::discrete_sequential_linear).ok());
+  EXPECT_EQ(p.transitions.at(4), (std::vector<sig_t>{5}));
+  EXPECT_EQ(p.transitions.at(6), (std::vector<sig_t>{4}));  // wraps
+}
+
+TEST(MakeLinearChain, LastValueAbsorbs) {
+  const DiscreteParams p = make_linear_chain({1, 2, 3});
+  EXPECT_TRUE(validate(p, SignalClass::discrete_sequential_linear).ok());
+  EXPECT_EQ(p.transitions.at(2), (std::vector<sig_t>{3}));
+  EXPECT_TRUE(p.transitions.at(3).empty());
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,94 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+SignalDecl decl(const char* name) {
+  SignalDecl d;
+  d.name = name;
+  d.producer = "P";
+  d.consumer = "C";
+  return d;
+}
+
+TEST(SignalInventory, AddAndFind) {
+  SignalInventory inv;
+  inv.add(decl("a"));
+  EXPECT_TRUE(inv.contains("a"));
+  EXPECT_FALSE(inv.contains("b"));
+  EXPECT_EQ(inv.find("a").producer, "P");
+  EXPECT_THROW((void)inv.find("b"), std::out_of_range);
+}
+
+TEST(SignalInventory, RejectsDuplicates) {
+  SignalInventory inv;
+  inv.add(decl("a"));
+  EXPECT_THROW(inv.add(decl("a")), std::invalid_argument);
+}
+
+TEST(SignalInventory, PathwaysRequireKnownSignals) {
+  SignalInventory inv;
+  inv.add(decl("in"));
+  inv.add(decl("out"));
+  EXPECT_NO_THROW(inv.add_pathway({"p", {"in", "out"}}));
+  EXPECT_THROW(inv.add_pathway({"q", {"in", "mystery"}}), std::invalid_argument);
+}
+
+TEST(SignalInventory, StepMutatorsUpdateState) {
+  SignalInventory inv;
+  inv.add(decl("x"));
+  inv.mark_service_critical("x");
+  inv.classify("x", SignalClass::continuous_random);
+  inv.mark_parameters_defined("x");
+  inv.set_test_location("x", "V_REG");
+  const SignalDecl& d = inv.find("x");
+  EXPECT_TRUE(d.service_critical);
+  EXPECT_EQ(d.cls, SignalClass::continuous_random);
+  EXPECT_TRUE(d.parameters_defined);
+  EXPECT_EQ(d.test_location, "V_REG");
+  EXPECT_EQ(inv.service_critical().size(), 1u);
+}
+
+TEST(SignalInventory, UnfinishedListsEveryGap) {
+  SignalInventory inv;
+  // Empty inventory: steps 1-4 unfinished.
+  auto missing = inv.unfinished();
+  EXPECT_EQ(missing.size(), 3u);
+
+  inv.add(decl("x"));
+  inv.add(decl("y"));
+  inv.add_pathway({"p", {"x", "y"}});
+  inv.mark_service_critical("x");
+  missing = inv.unfinished();
+  // x lacks class, parameters, and test location.
+  EXPECT_EQ(missing.size(), 3u);
+
+  inv.classify("x", SignalClass::discrete_random);
+  inv.mark_parameters_defined("x");
+  inv.set_test_location("x", "M");
+  EXPECT_TRUE(inv.unfinished().empty());
+}
+
+TEST(SignalInventory, Table4RendersOnlyCriticalRows) {
+  SignalInventory inv;
+  inv.add(decl("crit"));
+  inv.add(decl("other"));
+  inv.mark_service_critical("crit");
+  inv.classify("crit", SignalClass::continuous_static_monotonic);
+  const std::string table = inv.render_table4();
+  EXPECT_NE(table.find("crit"), std::string::npos);
+  EXPECT_EQ(table.find("other"), std::string::npos);
+  EXPECT_NE(table.find("Co/Mo/St"), std::string::npos);
+}
+
+TEST(SignalRole, Printable) {
+  EXPECT_EQ(to_string(SignalRole::input), "input");
+  EXPECT_EQ(to_string(SignalRole::output), "output");
+  EXPECT_EQ(to_string(SignalRole::intermediate), "intermediate");
+  EXPECT_EQ(to_string(SignalRole::internal), "internal");
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,114 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/continuous_assertion.hpp"
+#include "util/rng.hpp"
+
+namespace easel::core {
+namespace {
+
+ContinuousParams params() {
+  return ContinuousParams{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 10,
+                          .rmin_decr = 0, .rmax_decr = 10, .wrap = false};
+}
+
+TEST(RecoverContinuous, NonePassesValueThrough) {
+  EXPECT_EQ(recover_continuous(999, 50, params(), RecoveryPolicy::none), 999);
+}
+
+TEST(RecoverContinuous, HoldPrevious) {
+  EXPECT_EQ(recover_continuous(999, 50, params(), RecoveryPolicy::hold_previous), 50);
+  // A previous value outside the bounds is clamped too (it may itself have
+  // been corrupted before the monitor primed).
+  EXPECT_EQ(recover_continuous(999, 300, params(), RecoveryPolicy::hold_previous), 100);
+}
+
+TEST(RecoverContinuous, ClampToBounds) {
+  EXPECT_EQ(recover_continuous(999, 50, params(), RecoveryPolicy::clamp_to_bounds), 100);
+  EXPECT_EQ(recover_continuous(-7, 50, params(), RecoveryPolicy::clamp_to_bounds), 0);
+  EXPECT_EQ(recover_continuous(42, 50, params(), RecoveryPolicy::clamp_to_bounds), 42);
+}
+
+TEST(RecoverContinuous, RateLimitStepsTowardObservation) {
+  // Too-fast increase: step capped at rmax_incr.
+  EXPECT_EQ(recover_continuous(90, 50, params(), RecoveryPolicy::rate_limit), 60);
+  // Too-fast decrease: capped at rmax_decr.
+  EXPECT_EQ(recover_continuous(10, 50, params(), RecoveryPolicy::rate_limit), 40);
+  // In-band movement passes through unchanged.
+  EXPECT_EQ(recover_continuous(55, 50, params(), RecoveryPolicy::rate_limit), 55);
+}
+
+TEST(RecoverContinuous, RateLimitRespectsMinimumRates) {
+  ContinuousParams p = params();
+  p.rmin_incr = 3;
+  // A +1 observation is below the minimum legal step; the recovery takes
+  // the smallest legal step instead.
+  EXPECT_EQ(recover_continuous(51, 50, p, RecoveryPolicy::rate_limit), 53);
+}
+
+TEST(RecoverContinuous, RateLimitForbiddenDirectionHolds) {
+  // Monotonic increasing: observed decrease is impossible; pause is legal
+  // (rmin_incr = 0), so hold.
+  ContinuousParams p{.smax = 100, .smin = 0, .rmin_incr = 0, .rmax_incr = 10,
+                     .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+  EXPECT_EQ(recover_continuous(30, 50, p, RecoveryPolicy::rate_limit), 50);
+}
+
+TEST(RecoverContinuous, RateLimitStaticRateMustKeepMoving) {
+  // Static increasing counter: pausing is illegal, so the recovery advances
+  // by the static rate.
+  ContinuousParams p{.smax = 100, .smin = 0, .rmin_incr = 2, .rmax_incr = 2,
+                     .rmin_decr = 0, .rmax_decr = 0, .wrap = false};
+  EXPECT_EQ(recover_continuous(30, 50, p, RecoveryPolicy::rate_limit), 52);
+  EXPECT_EQ(recover_continuous(50, 50, p, RecoveryPolicy::rate_limit), 52);
+}
+
+TEST(RecoverContinuous, RecoveredValueSatisfiesAssertion) {
+  // Property: for every policy except `none`, the recovered value passes
+  // the bounds tests; for rate_limit it passes the full Table 2 test
+  // against the previous value.
+  const ContinuousParams p = params();
+  const ContinuousAssertion assertion{p};
+  util::Rng rng{77};
+  for (int i = 0; i < 2000; ++i) {
+    const auto bad = static_cast<sig_t>(rng.uniform_i64(-500, 500));
+    const auto prev = static_cast<sig_t>(rng.uniform_i64(0, 100));
+    for (const auto policy : {RecoveryPolicy::hold_previous, RecoveryPolicy::clamp_to_bounds,
+                              RecoveryPolicy::rate_limit}) {
+      const sig_t recovered = recover_continuous(bad, prev, p, policy);
+      EXPECT_TRUE(assertion.check_bounds_only(recovered).ok)
+          << to_string(policy) << " bad=" << bad << " prev=" << prev;
+      if (policy == RecoveryPolicy::rate_limit) {
+        EXPECT_TRUE(assertion.check(recovered, prev).ok)
+            << "rate_limit bad=" << bad << " prev=" << prev;
+      }
+    }
+  }
+}
+
+TEST(RecoverDiscrete, HoldsValidPrevious) {
+  const DiscreteParams p{.domain = {1, 2, 3}, .transitions = {}};
+  EXPECT_EQ(recover_discrete(2, p, RecoveryPolicy::hold_previous), 2);
+}
+
+TEST(RecoverDiscrete, FallsBackToFirstDomainValue) {
+  const DiscreteParams p{.domain = {1, 2, 3}, .transitions = {}};
+  EXPECT_EQ(recover_discrete(9, p, RecoveryPolicy::hold_previous), 1);
+  EXPECT_EQ(recover_discrete(9, p, RecoveryPolicy::clamp_to_bounds), 1);
+}
+
+TEST(RecoverDiscrete, NoneKeepsPrevious) {
+  const DiscreteParams p{.domain = {1, 2, 3}, .transitions = {}};
+  EXPECT_EQ(recover_discrete(9, p, RecoveryPolicy::none), 9);
+}
+
+TEST(PolicyNames, Printable) {
+  EXPECT_EQ(to_string(RecoveryPolicy::none), "none");
+  EXPECT_EQ(to_string(RecoveryPolicy::hold_previous), "hold-previous");
+  EXPECT_EQ(to_string(RecoveryPolicy::clamp_to_bounds), "clamp-to-bounds");
+  EXPECT_EQ(to_string(RecoveryPolicy::rate_limit), "rate-limit");
+}
+
+}  // namespace
+}  // namespace easel::core

@@ -1,0 +1,72 @@
+#include "core/signal_class.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::core {
+namespace {
+
+constexpr SignalClass kAll[] = {
+    SignalClass::continuous_static_monotonic,  SignalClass::continuous_dynamic_monotonic,
+    SignalClass::continuous_random,            SignalClass::discrete_sequential_linear,
+    SignalClass::discrete_sequential_nonlinear, SignalClass::discrete_random,
+};
+
+TEST(SignalClass, CategoryPartition) {
+  // Figure 1: exactly three continuous and three discrete leaves.
+  int continuous = 0, discrete = 0;
+  for (const SignalClass cls : kAll) {
+    EXPECT_NE(is_continuous(cls), is_discrete(cls));
+    continuous += is_continuous(cls) ? 1 : 0;
+    discrete += is_discrete(cls) ? 1 : 0;
+  }
+  EXPECT_EQ(continuous, 3);
+  EXPECT_EQ(discrete, 3);
+}
+
+TEST(SignalClass, MonotonicSubset) {
+  EXPECT_TRUE(is_monotonic(SignalClass::continuous_static_monotonic));
+  EXPECT_TRUE(is_monotonic(SignalClass::continuous_dynamic_monotonic));
+  EXPECT_FALSE(is_monotonic(SignalClass::continuous_random));
+  EXPECT_FALSE(is_monotonic(SignalClass::discrete_sequential_linear));
+}
+
+TEST(SignalClass, SequentialSubset) {
+  EXPECT_TRUE(is_sequential(SignalClass::discrete_sequential_linear));
+  EXPECT_TRUE(is_sequential(SignalClass::discrete_sequential_nonlinear));
+  EXPECT_FALSE(is_sequential(SignalClass::discrete_random));
+  EXPECT_FALSE(is_sequential(SignalClass::continuous_random));
+}
+
+TEST(SignalClass, ShortCodesMatchTable4) {
+  EXPECT_EQ(short_code(SignalClass::continuous_static_monotonic), "Co/Mo/St");
+  EXPECT_EQ(short_code(SignalClass::continuous_dynamic_monotonic), "Co/Mo/Dy");
+  EXPECT_EQ(short_code(SignalClass::continuous_random), "Co/Ra");
+  EXPECT_EQ(short_code(SignalClass::discrete_sequential_linear), "Di/Se/Li");
+  EXPECT_EQ(short_code(SignalClass::discrete_random), "Di/Ra");
+}
+
+TEST(SignalClass, ParseRoundTripsBothForms) {
+  for (const SignalClass cls : kAll) {
+    EXPECT_EQ(parse_signal_class(to_string(cls)), cls) << to_string(cls);
+    EXPECT_EQ(parse_signal_class(short_code(cls)), cls) << short_code(cls);
+  }
+}
+
+TEST(SignalClass, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_signal_class("continuous").has_value());
+  EXPECT_FALSE(parse_signal_class("").has_value());
+  EXPECT_FALSE(parse_signal_class("Co/Mo").has_value());
+}
+
+TEST(SignalClass, NamesAreUnique) {
+  for (const SignalClass a : kAll) {
+    for (const SignalClass b : kAll) {
+      if (a == b) continue;
+      EXPECT_NE(to_string(a), to_string(b));
+      EXPECT_NE(short_code(a), short_code(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easel::core

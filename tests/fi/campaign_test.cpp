@@ -1,0 +1,180 @@
+// Campaign engine tests at reduced scale (2 test cases, 8-s windows); the
+// full-scale run lives in bench_table7/8/9.
+#include "fi/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace easel::fi {
+namespace {
+
+CampaignOptions small_options() {
+  CampaignOptions options;
+  options.test_case_count = 2;
+  // Long enough for the heavier test case to stop: a +-1-pulse flip on
+  // pulscnt is only distinguishable from real pulses once the drum stands
+  // still, so the counters-are-perfect property needs the post-stop phase.
+  options.observation_ms = 12000;
+  options.seed = 321;
+  return options;
+}
+
+TEST(PaperVersions, SevenSinglesPlusAll) {
+  const auto versions = paper_versions();
+  ASSERT_EQ(versions.size(), 8u);
+  for (std::size_t k = 0; k < 7; ++k) {
+    EXPECT_EQ(versions[k], 1u << k);
+  }
+  EXPECT_EQ(versions[kAllVersion], arrestor::kAllAssertions);
+}
+
+TEST(CampaignTestCases, GridAt25RandomOtherwise) {
+  CampaignOptions options;
+  options.test_case_count = 25;
+  EXPECT_EQ(campaign_test_cases(options).size(), 25u);
+  EXPECT_DOUBLE_EQ(campaign_test_cases(options)[0].mass_kg, sim::kMassMinKg);
+  options.test_case_count = 7;
+  const auto cases = campaign_test_cases(options);
+  EXPECT_EQ(cases.size(), 7u);
+}
+
+class E1Campaign : public ::testing::Test {
+ protected:
+  static const E1Results& results() {
+    static const E1Results r = run_e1(small_options());
+    return r;
+  }
+};
+
+TEST_F(E1Campaign, RunCountsAddUp) {
+  const E1Results& r = results();
+  EXPECT_EQ(r.runs, 8u * 112u * 2u);
+  for (std::size_t v = 0; v < kVersionCount; ++v) {
+    EXPECT_EQ(r.totals[v].detection.all.trials, 112u * 2u);
+    std::uint64_t across_signals = 0;
+    for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+      EXPECT_EQ(r.cells[s][v].detection.all.trials, 32u);  // 16 bits x 2 cases
+      across_signals += r.cells[s][v].detection.all.successes;
+    }
+    EXPECT_EQ(across_signals, r.totals[v].detection.all.successes);
+  }
+}
+
+TEST_F(E1Campaign, CountersDetectEverythingInAllVersion) {
+  const E1Results& r = results();
+  for (const auto signal :
+       {arrestor::MonitoredSignal::pulscnt, arrestor::MonitoredSignal::ms_slot_nbr,
+        arrestor::MonitoredSignal::mscnt}) {
+    const auto& cell = r.cell(signal, kAllVersion);
+    EXPECT_EQ(cell.detection.all.successes, cell.detection.all.trials)
+        << arrestor::to_string(signal);
+  }
+}
+
+TEST_F(E1Campaign, ShapeMatchesPaperOrdering) {
+  const E1Results& r = results();
+  const double set_value =
+      r.cell(arrestor::MonitoredSignal::set_value, kAllVersion).detection.all.point();
+  const double out_value =
+      r.cell(arrestor::MonitoredSignal::out_value, kAllVersion).detection.all.point();
+  const double mscnt =
+      r.cell(arrestor::MonitoredSignal::mscnt, kAllVersion).detection.all.point();
+  // Counters > continuous feedback signals > regulator output.
+  EXPECT_GT(mscnt, set_value);
+  EXPECT_GT(set_value, out_value);
+  EXPECT_GT(set_value, 0.35);
+  EXPECT_LT(out_value, 0.40);
+}
+
+TEST_F(E1Campaign, AllVersionDominatesSingles) {
+  // The all-assertions version detects at least as much per signal as the
+  // matching single-assertion version.
+  const E1Results& r = results();
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    EXPECT_GE(r.cells[s][kAllVersion].detection.all.successes,
+              r.cells[s][s].detection.all.successes)
+        << arrestor::to_string(static_cast<arrestor::MonitoredSignal>(s));
+  }
+}
+
+TEST_F(E1Campaign, LatencyOnlyForDetectedRuns) {
+  const E1Results& r = results();
+  for (std::size_t v = 0; v < kVersionCount; ++v) {
+    EXPECT_EQ(r.totals[v].latency.count(), r.totals[v].detection.all.successes);
+  }
+}
+
+TEST_F(E1Campaign, SaveLoadRoundTrip) {
+  const E1Results& r = results();
+  const std::string path = ::testing::TempDir() + "/e1_cache_test.txt";
+  save_e1(r, path, "test-key");
+  const auto loaded = load_e1(path, "test-key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->runs, r.runs);
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    for (std::size_t v = 0; v < kVersionCount; ++v) {
+      EXPECT_EQ(loaded->cells[s][v].detection.all.successes,
+                r.cells[s][v].detection.all.successes);
+      EXPECT_EQ(loaded->cells[s][v].latency.max(), r.cells[s][v].latency.max());
+      EXPECT_DOUBLE_EQ(loaded->cells[s][v].latency.average(),
+                       r.cells[s][v].latency.average());
+    }
+  }
+  // Wrong key or missing file refuse to load.
+  EXPECT_FALSE(load_e1(path, "other-key").has_value());
+  EXPECT_FALSE(load_e1(path + ".missing", "test-key").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(E1CampaignDeterminism, SameSeedSameResults) {
+  CampaignOptions options = small_options();
+  options.observation_ms = 4000;
+  const E1Results a = run_e1(options);
+  const E1Results b = run_e1(options);
+  for (std::size_t v = 0; v < kVersionCount; ++v) {
+    EXPECT_EQ(a.totals[v].detection.all.successes, b.totals[v].detection.all.successes);
+  }
+}
+
+TEST(E2Campaign, AreasPartitionTotals) {
+  CampaignOptions options = small_options();
+  const E2Results r = run_e2(options, 30, 10);
+  EXPECT_EQ(r.runs, 40u * 2u);
+  EXPECT_EQ(r.ram.detection.all.trials, 60u);
+  EXPECT_EQ(r.stack.detection.all.trials, 20u);
+  EXPECT_EQ(r.total.detection.all.trials, 80u);
+  EXPECT_EQ(r.total.detection.all.successes,
+            r.ram.detection.all.successes + r.stack.detection.all.successes);
+  EXPECT_EQ(r.total.latency_all.count(), r.total.detection.all.successes);
+}
+
+TEST(E2Campaign, ProgressCallbackReachesTotal) {
+  CampaignOptions options = small_options();
+  options.observation_ms = 2000;
+  std::size_t last_done = 0, last_total = 0;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    last_done = done;
+    last_total = total;
+  };
+  (void)run_e2(options, 50, 50);
+  EXPECT_EQ(last_total, 100u * 2u);
+  EXPECT_EQ(last_done, last_total);
+}
+
+TEST(CampaignKey, DistinguishesConfigurations) {
+  CampaignOptions a = small_options();
+  CampaignOptions b = small_options();
+  EXPECT_EQ(campaign_key(a), campaign_key(b));
+  b.observation_ms += 1;
+  EXPECT_NE(campaign_key(a), campaign_key(b));
+  b = small_options();
+  b.seed += 1;
+  EXPECT_NE(campaign_key(a), campaign_key(b));
+  b = small_options();
+  b.recovery = core::RecoveryPolicy::hold_previous;
+  EXPECT_NE(campaign_key(a), campaign_key(b));
+}
+
+}  // namespace
+}  // namespace easel::fi

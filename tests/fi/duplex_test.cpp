@@ -1,0 +1,100 @@
+#include "fi/duplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::fi {
+namespace {
+
+ErrorSpec e1_error(arrestor::MonitoredSignal signal, unsigned bit) {
+  return make_e1_for_target()[static_cast<std::size_t>(signal) * 16 + bit];
+}
+
+TEST(Duplex, CleanChannelsNeverDiverge) {
+  DuplexConfig config;
+  config.test_case = {13000.0, 58.0};
+  config.observation_ms = 15000;
+  const DuplexResult r = run_duplex_experiment(config);
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(r.mismatched_compares, 0u);
+  EXPECT_GT(r.total_compares, 2000u);
+  EXPECT_FALSE(r.failed);
+}
+
+TEST(Duplex, LsbErrorDetected) {
+  // The headline advantage over assertions: a bit-0 flip in SetValue is
+  // inside every plausible band, but the channels' outputs differ.
+  DuplexConfig config;
+  config.test_case = {13000.0, 58.0};
+  config.observation_ms = 10000;
+  config.error = e1_error(arrestor::MonitoredSignal::set_value, 0);
+  const DuplexResult r = run_duplex_experiment(config);
+  EXPECT_TRUE(r.detected);
+  // And the assertion bank misses the same error.
+  RunConfig ea;
+  ea.test_case = config.test_case;
+  ea.observation_ms = config.observation_ms;
+  ea.error = config.error;
+  EXPECT_FALSE(run_experiment(ea).detected);
+}
+
+TEST(Duplex, ControlFlowCrashDetected) {
+  // A crashed primary freezes its outputs; the shadow keeps computing.
+  const TargetInfo target = probe_target();
+  DuplexConfig config;
+  config.test_case = {17000.0, 65.0};
+  ErrorSpec spec;
+  spec.address = target.ram_bytes + 2;  // EXEC kernel entry high byte
+  spec.bit = 0;
+  spec.region = mem::Region::stack;
+  spec.label = "K-exec";
+  config.error = spec;
+  config.observation_ms = 15000;
+  const DuplexResult r = run_duplex_experiment(config);
+  EXPECT_TRUE(r.primary_halted);
+  EXPECT_TRUE(r.detected);
+  EXPECT_LT(r.first_detection_ms, 3000u);
+}
+
+TEST(Duplex, LatencyBoundedByComparePeriod) {
+  DuplexConfig config;
+  config.test_case = {13000.0, 58.0};
+  config.observation_ms = 8000;
+  config.error = e1_error(arrestor::MonitoredSignal::out_value, 13);
+  const DuplexResult r = run_duplex_experiment(config);
+  ASSERT_TRUE(r.detected);
+  // OutValue recomputes every frame; the first divergent frame is caught at
+  // the next comparison instant.
+  EXPECT_LE(r.latency_ms, 4u * config.compare_period_ms + config.injection_period_ms);
+}
+
+TEST(Duplex, Deterministic) {
+  DuplexConfig config;
+  config.test_case = {9000.0, 66.0};
+  config.observation_ms = 6000;
+  config.error = e1_error(arrestor::MonitoredSignal::is_value, 7);
+  const DuplexResult a = run_duplex_experiment(config);
+  const DuplexResult b = run_duplex_experiment(config);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.first_detection_ms, b.first_detection_ms);
+  EXPECT_EQ(a.mismatched_compares, b.mismatched_compares);
+}
+
+TEST(Duplex, InertErrorStaysUndetected) {
+  // Diagnostics-area corruption changes no output: even duplex is blind to
+  // errors with no functional effect (and that is correct behaviour).
+  DuplexConfig config;
+  config.test_case = {13000.0, 58.0};
+  config.observation_ms = 8000;
+  ErrorSpec spec;
+  const TargetInfo target = probe_target();
+  spec.address = target.ram_bytes - 10;  // banner area, end of RAM
+  spec.bit = 4;
+  spec.label = "banner";
+  config.error = spec;
+  const DuplexResult r = run_duplex_experiment(config);
+  EXPECT_FALSE(r.detected);
+  EXPECT_FALSE(r.failed);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,107 @@
+#include "fi/error_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+namespace {
+
+TEST(ErrorSetE1, PaperComposition) {
+  const auto errors = make_e1_for_target();
+  // Table 6: 7 signals x 16 bits = 112 errors, S1..S112.
+  ASSERT_EQ(errors.size(), 112u);
+  EXPECT_EQ(errors.front().label, "S1");
+  EXPECT_EQ(errors.back().label, "S112");
+  for (const auto& error : errors) {
+    EXPECT_EQ(error.region, mem::Region::ram);
+    ASSERT_TRUE(error.signal.has_value());
+    EXPECT_LT(error.bit, 8u);
+    EXPECT_LT(error.signal_bit, 16u);
+  }
+}
+
+TEST(ErrorSetE1, SignalOrderMatchesTable6) {
+  const auto errors = make_e1_for_target();
+  EXPECT_EQ(*errors[0].signal, arrestor::MonitoredSignal::set_value);     // S1-S16
+  EXPECT_EQ(*errors[16].signal, arrestor::MonitoredSignal::is_value);     // S17-S32
+  EXPECT_EQ(*errors[32].signal, arrestor::MonitoredSignal::checkpoint);   // S33-S48
+  EXPECT_EQ(*errors[48].signal, arrestor::MonitoredSignal::pulscnt);      // S49-S64
+  EXPECT_EQ(*errors[64].signal, arrestor::MonitoredSignal::ms_slot_nbr);  // S65-S80
+  EXPECT_EQ(*errors[80].signal, arrestor::MonitoredSignal::mscnt);        // S81-S96
+  EXPECT_EQ(*errors[96].signal, arrestor::MonitoredSignal::out_value);    // S97-S112
+}
+
+TEST(ErrorSetE1, CoversEveryBitOfEverySignalExactlyOnce) {
+  const auto errors = make_e1_for_target();
+  std::set<std::pair<std::size_t, unsigned>> seen;  // (signal, signal_bit)
+  for (const auto& error : errors) {
+    seen.insert({static_cast<std::size_t>(*error.signal), error.signal_bit});
+  }
+  EXPECT_EQ(seen.size(), 112u);
+}
+
+TEST(ErrorSetE1, AddressesMapOntoSignalWords) {
+  const auto errors = make_e1_for_target();
+  const TargetInfo target = probe_target();
+  for (const auto& error : errors) {
+    const std::size_t base = target.signal_addresses[static_cast<std::size_t>(*error.signal)];
+    EXPECT_EQ(error.address, base + error.signal_bit / 8);
+    EXPECT_EQ(error.bit, error.signal_bit % 8);
+  }
+}
+
+TEST(ErrorSetE2, PaperComposition) {
+  const auto errors = make_e2_for_target(util::Rng{1});
+  ASSERT_EQ(errors.size(), 200u);
+  std::size_t ram = 0, stack = 0;
+  for (const auto& error : errors) {
+    if (error.region == mem::Region::ram) {
+      ++ram;
+      EXPECT_LT(error.address, 417u);
+    } else {
+      ++stack;
+      EXPECT_GE(error.address, 417u);
+      EXPECT_LT(error.address, 1425u);
+    }
+  }
+  // Paper §3.4: 150 in application RAM, 50 in the stack area.
+  EXPECT_EQ(ram, 150u);
+  EXPECT_EQ(stack, 50u);
+}
+
+TEST(ErrorSetE2, DeterministicPerSeedDistinctAcrossSeeds) {
+  const auto a1 = make_e2_for_target(util::Rng{5});
+  const auto a2 = make_e2_for_target(util::Rng{5});
+  const auto b = make_e2_for_target(util::Rng{6});
+  ASSERT_EQ(a1.size(), a2.size());
+  bool identical = true, same_as_b = true;
+  for (std::size_t k = 0; k < a1.size(); ++k) {
+    identical &= a1[k].address == a2[k].address && a1[k].bit == a2[k].bit;
+    same_as_b &= a1[k].address == b[k].address && a1[k].bit == b[k].bit;
+  }
+  EXPECT_TRUE(identical);
+  EXPECT_FALSE(same_as_b);
+}
+
+TEST(ErrorSetE2, SamplesWithReplacement) {
+  // With 3336 possible (address,bit) RAM positions and 150 draws the seeds
+  // we use should not need distinctness; just verify duplicates are legal
+  // by drawing a large set and finding at least one duplicate.
+  const auto errors = make_e2_for_target(util::Rng{7}, 4000, 0);
+  std::set<std::pair<std::size_t, unsigned>> positions;
+  for (const auto& error : errors) positions.insert({error.address, error.bit});
+  EXPECT_LT(positions.size(), errors.size());
+}
+
+TEST(ErrorSetE2, CustomCounts) {
+  const auto errors = make_e2_for_target(util::Rng{8}, 10, 5);
+  EXPECT_EQ(errors.size(), 15u);
+  EXPECT_EQ(errors[0].label, "R1");
+  EXPECT_EQ(errors[10].label, "K1");
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,153 @@
+#include "fi/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::fi {
+namespace {
+
+ErrorSpec e1_error(arrestor::MonitoredSignal signal, unsigned bit) {
+  const auto errors = make_e1_for_target();
+  return errors[static_cast<std::size_t>(signal) * 16 + bit];
+}
+
+TEST(Experiment, GoldenRunCleanOnShortWindow) {
+  fi::RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 15000;
+  const RunResult r = run_experiment(config);
+  EXPECT_FALSE(r.detected);
+  EXPECT_FALSE(r.failed);
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.injections, 0u);
+  EXPECT_FALSE(r.node_halted);
+}
+
+TEST(Experiment, DeterministicForIdenticalConfig) {
+  RunConfig config;
+  config.test_case = {9000.0, 65.0};
+  config.error = e1_error(arrestor::MonitoredSignal::set_value, 12);
+  config.observation_ms = 15000;
+  const RunResult a = run_experiment(config);
+  const RunResult b = run_experiment(config);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.first_detection_ms, b.first_detection_ms);
+  EXPECT_EQ(a.detection_count, b.detection_count);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_DOUBLE_EQ(a.final_position_m, b.final_position_m);
+}
+
+TEST(Experiment, HighBitCounterErrorAlwaysDetectedFast) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.error = e1_error(arrestor::MonitoredSignal::mscnt, 14);
+  config.observation_ms = 5000;
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.detected);
+  // The t=0 injection lands before the monitor has primed, so it becomes
+  // the baseline; the t=20 re-injection breaks the static rate and the
+  // every-millisecond EA6 test catches it immediately.
+  EXPECT_LE(r.latency_ms, 21u);
+  EXPECT_GT(r.detection_count, 0u);
+}
+
+TEST(Experiment, InjectionCountMatchesWindowAndPeriod) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.error = e1_error(arrestor::MonitoredSignal::out_value, 0);
+  config.observation_ms = 1000;
+  config.injection_period_ms = 20;
+  const RunResult r = run_experiment(config);
+  EXPECT_EQ(r.injections, 50u);  // t = 0, 20, ..., 980
+}
+
+TEST(Experiment, LatencyMeasuredFromFirstInjection) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.error = e1_error(arrestor::MonitoredSignal::mscnt, 9);
+  config.observation_ms = 3000;
+  const RunResult r = run_experiment(config);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.latency_ms, r.first_detection_ms);  // first injection at t = 0
+}
+
+TEST(Experiment, SetValueHighBitCausesDetectedFailure) {
+  RunConfig config;
+  config.test_case = {8000.0, 55.0};
+  config.error = e1_error(arrestor::MonitoredSignal::set_value, 14);
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.failed);
+}
+
+TEST(Experiment, LowBitOutValueErrorIsBenignAndUndetected) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.error = e1_error(arrestor::MonitoredSignal::out_value, 1);
+  const RunResult r = run_experiment(config);
+  EXPECT_FALSE(r.detected);  // +-2 pu is lost in regulator noise
+  EXPECT_FALSE(r.failed);
+}
+
+TEST(Experiment, DisabledAssertionsSeeNothing) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.assertions = arrestor::kNoAssertions;
+  config.error = e1_error(arrestor::MonitoredSignal::mscnt, 15);
+  config.observation_ms = 5000;
+  const RunResult r = run_experiment(config);
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(Experiment, SingleAssertionVersionOnlySeesItsSignal) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 10000;
+  // EA6 (mscnt) version, error injected into ms_slot_nbr: EA6 may catch it
+  // only via propagation; EA5 would have caught it directly.
+  config.assertions = arrestor::ea_bit(arrestor::MonitoredSignal::ms_slot_nbr);
+  config.error = e1_error(arrestor::MonitoredSignal::ms_slot_nbr, 1);
+  const RunResult direct = run_experiment(config);
+  EXPECT_TRUE(direct.detected);
+}
+
+TEST(Experiment, KernelStackErrorHaltsUndetected) {
+  // Find the EXEC context's entry word: it is the first stack allocation.
+  const TargetInfo target = probe_target();
+  RunConfig config;
+  config.test_case = {17000.0, 65.0};
+  ErrorSpec spec;
+  spec.address = target.ram_bytes + 2;  // EXEC entry high byte region
+  spec.bit = 0;
+  spec.region = mem::Region::stack;
+  spec.label = "K";
+  config.error = spec;
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.node_halted);
+  EXPECT_FALSE(r.detected);  // control-flow errors are invisible to the EAs
+  EXPECT_TRUE(r.failed);     // valve deadman drops pressure: overrun
+  EXPECT_EQ(r.failure, arrestor::FailureKind::overrun);
+}
+
+TEST(Experiment, NoiseSeedChangesDitherNotOutcome) {
+  RunConfig a;
+  a.test_case = {12000.0, 55.0};
+  a.observation_ms = 15000;
+  RunConfig b = a;
+  b.noise_seed = 0x0ddba11;
+  const RunResult ra = run_experiment(a);
+  const RunResult rb = run_experiment(b);
+  EXPECT_FALSE(ra.detected);
+  EXPECT_FALSE(rb.detected);
+  EXPECT_NEAR(ra.final_position_m, rb.final_position_m, 2.0);
+}
+
+TEST(ProbeTarget, ReportsPaperDimensions) {
+  const TargetInfo info = probe_target();
+  EXPECT_EQ(info.ram_bytes, 417u);
+  EXPECT_EQ(info.stack_bytes, 1008u);
+  EXPECT_GT(info.ram_bytes_allocated, 0u);
+  EXPECT_LE(info.ram_bytes_allocated, info.ram_bytes);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+namespace {
+
+ErrorSpec spec_at(std::size_t address, unsigned bit, FaultModel model) {
+  ErrorSpec spec;
+  spec.address = address;
+  spec.bit = bit;
+  spec.model = model;
+  spec.label = "T";
+  return spec;
+}
+
+TEST(FaultModels, StuckAt1KeepsBitSet) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(3, 2, FaultModel::stuck_at_1), 20};
+  injector.on_tick(0, image);
+  EXPECT_EQ(image.read_u8(3), 0x04);
+  injector.on_tick(20, image);
+  EXPECT_EQ(image.read_u8(3), 0x04);  // no toggle: permanent fault model
+  image.write_u8(3, 0x00);            // application store clears it...
+  injector.on_tick(40, image);
+  EXPECT_EQ(image.read_u8(3), 0x04);  // ...but the fault re-asserts
+}
+
+TEST(FaultModels, StuckAt0KeepsBitClear) {
+  mem::AddressSpace image;
+  image.write_u8(5, 0xff);
+  Injector injector{spec_at(5, 7, FaultModel::stuck_at_0), 20};
+  injector.on_tick(0, image);
+  EXPECT_EQ(image.read_u8(5), 0x7f);
+  injector.on_tick(20, image);
+  EXPECT_EQ(image.read_u8(5), 0x7f);
+}
+
+TEST(FaultModels, StuckAtMatchingValueIsInert) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(9, 1, FaultModel::stuck_at_0), 20};
+  for (std::uint64_t t = 0; t < 100; ++t) injector.on_tick(t, image);
+  EXPECT_EQ(image.read_u8(9), 0x00);  // the bit already was 0 everywhere
+  EXPECT_EQ(injector.injections(), 5u);
+}
+
+TEST(FaultModels, Printable) {
+  EXPECT_EQ(to_string(FaultModel::bit_flip), "bit-flip");
+  EXPECT_EQ(to_string(FaultModel::stuck_at_1), "stuck-at-1");
+  EXPECT_EQ(to_string(FaultModel::stuck_at_0), "stuck-at-0");
+}
+
+TEST(FaultModels, StuckAt1OnCounterDetected) {
+  // A stuck-at-1 on a high mscnt bit pins the counter's bit; when mscnt
+  // increments across it, the static-rate assertion fires.
+  const auto errors = make_e1_for_target();
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 10000;
+  config.error = errors[static_cast<std::size_t>(arrestor::MonitoredSignal::mscnt) * 16 + 12];
+  config.error->model = FaultModel::stuck_at_1;
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(FaultModels, StuckAt0OnIdleSetValueBitIsInertUntilUse) {
+  // SetValue's bit 13 is never set during a nominal arrestment (the program
+  // stays below 9000), so stuck-at-0 there changes nothing at all.
+  const auto errors = make_e1_for_target();
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.error =
+      errors[static_cast<std::size_t>(arrestor::MonitoredSignal::set_value) * 16 + 13];
+  config.error->model = FaultModel::stuck_at_0;
+  const RunResult r = run_experiment(config);
+  EXPECT_FALSE(r.detected);
+  EXPECT_FALSE(r.failed);
+}
+
+TEST(FaultModels, BitFlipSameBitIsDisruptive) {
+  // Contrast case for the test above: the *flip* model toggles the idle bit
+  // ON, which is both detected and catastrophic.
+  const auto errors = make_e1_for_target();
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.error =
+      errors[static_cast<std::size_t>(arrestor::MonitoredSignal::set_value) * 16 + 13];
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.detected);
+  EXPECT_TRUE(r.failed);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "fi/error_set.hpp"
+
+namespace easel::fi {
+namespace {
+
+ErrorSpec spec_at(std::size_t address, unsigned bit) {
+  ErrorSpec spec;
+  spec.address = address;
+  spec.bit = bit;
+  spec.label = "T";
+  return spec;
+}
+
+TEST(Injector, FliesOnPeriodBoundariesOnly) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(0, 0), /*period_ms=*/20};
+  for (std::uint64_t t = 0; t < 100; ++t) injector.on_tick(t, image);
+  // Injections at t = 0, 20, 40, 60, 80: five XORs of the same bit.
+  EXPECT_EQ(injector.injections(), 5u);
+  EXPECT_EQ(image.read_u8(0), 0x01);  // odd number of flips leaves it set
+  EXPECT_EQ(injector.first_injection_ms(), 0u);
+}
+
+TEST(Injector, XorTogglesOnEachInjection) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(10, 3), 20};
+  injector.on_tick(0, image);
+  EXPECT_EQ(image.read_u8(10), 0x08);
+  injector.on_tick(20, image);
+  EXPECT_EQ(image.read_u8(10), 0x00);  // intermittent model: restored
+  injector.on_tick(40, image);
+  EXPECT_EQ(image.read_u8(10), 0x08);
+}
+
+TEST(Injector, RespectsStartTime) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(0, 0), 20, /*start_ms=*/50};
+  for (std::uint64_t t = 0; t < 50; ++t) injector.on_tick(t, image);
+  EXPECT_EQ(injector.injections(), 0u);
+  for (std::uint64_t t = 50; t < 91; ++t) injector.on_tick(t, image);
+  EXPECT_EQ(injector.injections(), 3u);  // 50, 70, 90
+  EXPECT_EQ(injector.first_injection_ms(), 50u);
+}
+
+TEST(Injector, InteractsWithConcurrentWrites) {
+  // A flip lands between two application writes: the second write wins, as
+  // on real hardware (store overwrites the corrupted cell).
+  mem::AddressSpace image;
+  Injector injector{spec_at(4, 7), 20};
+  image.write_u8(4, 0x12);
+  injector.on_tick(0, image);
+  EXPECT_EQ(image.read_u8(4), 0x92);
+  image.write_u8(4, 0x34);  // application store
+  EXPECT_EQ(image.read_u8(4), 0x34);
+  injector.on_tick(20, image);
+  EXPECT_EQ(image.read_u8(4), 0xb4);
+}
+
+TEST(Injector, DifferentPeriods) {
+  mem::AddressSpace image;
+  Injector fast{spec_at(0, 0), 5};
+  Injector slow{spec_at(1, 0), 500};
+  for (std::uint64_t t = 0; t < 1000; ++t) {
+    fast.on_tick(t, image);
+    slow.on_tick(t, image);
+  }
+  EXPECT_EQ(fast.injections(), 200u);
+  EXPECT_EQ(slow.injections(), 2u);
+}
+
+}  // namespace
+}  // namespace easel::fi

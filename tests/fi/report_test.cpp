@@ -1,0 +1,115 @@
+#include "fi/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::fi {
+namespace {
+
+/// Hand-built results: detections only in the (SetValue, EA1) cell and the
+/// (mscnt, All) cell.
+E1Results synthetic_e1() {
+  E1Results r;
+  auto& sv_ea1 = r.cells[0][0];
+  for (int k = 0; k < 100; ++k) {
+    const bool detected = k < 56;
+    const bool failed = k < 30;
+    sv_ea1.detection.add(detected, failed);
+    if (detected) sv_ea1.latency.add(100 + static_cast<std::uint64_t>(k));
+  }
+  auto& mscnt_all = r.cells[5][kAllVersion];
+  for (int k = 0; k < 100; ++k) {
+    mscnt_all.detection.add(true, k % 2 == 0);
+    mscnt_all.latency.add(20);
+  }
+  r.totals[0] = sv_ea1;
+  r.totals[kAllVersion] = mscnt_all;
+  r.runs = 200;
+  return r;
+}
+
+TEST(RenderTable6, MatchesPaperComposition) {
+  const std::string table = render_table6();
+  EXPECT_NE(table.find("Table 6"), std::string::npos);
+  EXPECT_NE(table.find("S97-S112"), std::string::npos);
+  EXPECT_NE(table.find("112"), std::string::npos);
+  EXPECT_NE(table.find("2800"), std::string::npos);
+  EXPECT_NE(table.find("EA7"), std::string::npos);
+}
+
+TEST(RenderTable7, ShowsMeasuresAndMarksPrimaryPairs) {
+  const std::string table = render_table7(synthetic_e1());
+  EXPECT_NE(table.find("P(d)"), std::string::npos);
+  EXPECT_NE(table.find("P(d|fail)"), std::string::npos);
+  EXPECT_NE(table.find("P(d|no fail)"), std::string::npos);
+  // SetValue x EA1 is a primary pair: value carries the '*' marker.
+  EXPECT_NE(table.find("56.0±9.7*"), std::string::npos);
+  // mscnt x All is 100 % with no CI.
+  EXPECT_NE(table.find("100.0"), std::string::npos);
+}
+
+TEST(RenderTable7, EmptyCellsStayEmpty) {
+  const std::string table = render_table7(synthetic_e1());
+  // IsValue row registered nothing anywhere: its three measure lines carry
+  // no numbers (only the label and measure names).
+  const auto row_start = table.find("IsValue");
+  ASSERT_NE(row_start, std::string::npos);
+  const auto row_end = table.find('\n', row_start);
+  const std::string line = table.substr(row_start, row_end - row_start);
+  EXPECT_EQ(line.find('%'), std::string::npos);
+  EXPECT_EQ(line.find("0.0"), std::string::npos);
+}
+
+TEST(RenderTable8, LatencyRows) {
+  const std::string table = render_table8(synthetic_e1());
+  EXPECT_NE(table.find("Min"), std::string::npos);
+  EXPECT_NE(table.find("Average"), std::string::npos);
+  EXPECT_NE(table.find("Max"), std::string::npos);
+  EXPECT_NE(table.find("100*"), std::string::npos);   // SetValue/EA1 min, primary
+  EXPECT_NE(table.find("155"), std::string::npos);    // SetValue/EA1 max = 100+55
+}
+
+TEST(RenderTable9, AreasAndLatencies) {
+  E2Results results;
+  for (int k = 0; k < 100; ++k) {
+    const bool detected = k < 13;
+    const bool failed = k < 16;
+    results.ram.detection.add(detected, failed);
+    results.total.detection.add(detected, failed);
+    if (detected) {
+      results.ram.latency_all.add(500);
+      results.total.latency_all.add(500);
+      if (failed) {
+        results.ram.latency_fail.add(900);
+        results.total.latency_fail.add(900);
+      }
+    }
+  }
+  results.stack.detection.add(false, true);
+  results.total.detection.add(false, true);
+  results.runs = 101;
+  const std::string table = render_table9(results);
+  EXPECT_NE(table.find("RAM"), std::string::npos);
+  EXPECT_NE(table.find("Stack"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+  EXPECT_NE(table.find("13.0"), std::string::npos);  // RAM P(d)
+  EXPECT_NE(table.find("500"), std::string::npos);
+  EXPECT_NE(table.find("900"), std::string::npos);
+}
+
+TEST(Summaries, QuotePaperBaselines) {
+  const E1Results e1 = synthetic_e1();
+  const std::string s1 = render_e1_summary(e1);
+  EXPECT_NE(s1.find("74.0±1.4"), std::string::npos);   // paper reference values
+  EXPECT_NE(s1.find("99.6±0.3"), std::string::npos);
+  EXPECT_NE(s1.find("511 ms"), std::string::npos);
+
+  E2Results e2;
+  e2.runs = 1;
+  e2.total.detection.add(true, true);
+  const std::string s2 = render_e2_summary(e2);
+  EXPECT_NE(s2.find("10.6±0.7"), std::string::npos);
+  EXPECT_NE(s2.find("81.1±6.8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,117 @@
+// Targeted stack-area injections: each class of stack state must produce
+// its designed failure mode (paper §5.2: stack errors often become
+// control-flow errors the assertions cannot see).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arrestor/master_node.hpp"
+#include "arrestor/modules.hpp"
+#include "core/detection_bus.hpp"
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+namespace {
+
+/// Stack layout facts derived from construction order (pinned by
+/// MasterNodeStackLayout below): EXEC is the first context, CALC the last.
+struct StackLayout {
+  std::size_t stack_base;
+  std::size_t exec_base;
+  std::size_t calc_base;
+  std::size_t calc_locals;
+  std::size_t headroom_byte;  ///< an address never claimed by any context
+};
+
+StackLayout probe_layout() {
+  sim::Environment env{sim::TestCase{12000.0, 55.0}, util::Rng{1}};
+  core::DetectionBus bus;
+  arrestor::MasterNode master{env, bus, arrestor::kAllAssertions};
+  StackLayout layout{};
+  layout.stack_base = master.image().region_base(mem::Region::stack);
+  layout.calc_base = master.calc_frame().base_address();
+  layout.calc_locals = layout.calc_base + 4;
+  // EXEC is allocated first in the stack region (verified below).
+  layout.exec_base = layout.stack_base + 1;  // 417 -> aligned 418
+  layout.headroom_byte = layout.calc_base + master.calc_frame().size_bytes() + 100;
+  return layout;
+}
+
+RunResult run_with_stack_error(std::size_t address, unsigned bit,
+                               std::uint32_t observation_ms = sim::kObservationMs,
+                               FaultModel model = FaultModel::bit_flip) {
+  RunConfig config;
+  config.test_case = {17000.0, 65.0};
+  config.observation_ms = observation_ms;
+  ErrorSpec spec;
+  spec.address = address;
+  spec.bit = bit;
+  spec.region = mem::Region::stack;
+  spec.label = "K-test";
+  spec.model = model;
+  config.error = spec;
+  return run_experiment(config);
+}
+
+TEST(MasterNodeStackLayout, ExecContextIsFirstStackAllocation) {
+  sim::Environment env{sim::TestCase{12000.0, 55.0}, util::Rng{1}};
+  core::DetectionBus bus;
+  arrestor::MasterNode master{env, bus, arrestor::kAllAssertions};
+  // The EXEC entry token must sit at the start of the stack region.
+  const std::size_t base = master.image().region_base(mem::Region::stack);
+  const std::size_t aligned = base + (base % 2);
+  EXPECT_EQ(master.image().read_u16(aligned), arrestor::kEntryExec);
+  // CALC's context is stack-resident and sized for its working set.
+  EXPECT_GE(master.calc_frame().locals_bytes(), arrestor::CalcModule::Locals::bytes);
+  EXPECT_EQ(master.image().region_of(master.calc_frame().base_address()),
+            mem::Region::stack);
+}
+
+TEST(StackEffects, HeadroomBytesAreInert) {
+  const StackLayout layout = probe_layout();
+  const RunResult r = run_with_stack_error(layout.headroom_byte, 5, 15000);
+  EXPECT_FALSE(r.detected);
+  EXPECT_FALSE(r.failed);
+  EXPECT_TRUE(r.stopped);
+}
+
+TEST(StackEffects, KernelEntryCorruptionCrashesUndetected) {
+  const StackLayout layout = probe_layout();
+  const RunResult r = run_with_stack_error(layout.exec_base, 3);
+  EXPECT_TRUE(r.node_halted);
+  EXPECT_FALSE(r.detected);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.failure, arrestor::FailureKind::overrun);
+}
+
+TEST(StackEffects, CalcCheckpointCacheCorruptionMistimesProgram) {
+  // Pin a high bit of a cached checkpoint threshold (a permanent stuck-at:
+  // intermittent flips on rarely-read config are mostly masked by the 50 %
+  // duty cycle): checkpoint 3 moves beyond the runway, so the program never
+  // advances past it — service degrades without the node crashing.
+  const StackLayout layout = probe_layout();
+  const std::size_t cp_cache =
+      layout.calc_locals + arrestor::CalcModule::Locals::cp_cache;
+  const RunResult r = run_with_stack_error(cp_cache + 2 * 2 + 1, 7, sim::kObservationMs,
+                                           FaultModel::stuck_at_1);  // cp 3 high byte
+  EXPECT_FALSE(r.node_halted);
+  // The run must differ from the golden run in outcome or in pressure
+  // program behaviour: either it fails, or it stops at a different point.
+  RunConfig golden;
+  golden.test_case = {17000.0, 65.0};
+  const RunResult g = run_experiment(golden);
+  EXPECT_TRUE(r.failed || std::abs(r.final_position_m - g.final_position_m) > 1.0);
+}
+
+TEST(StackEffects, CalcEngagedFlagCorruptionDisturbsService) {
+  const StackLayout layout = probe_layout();
+  const std::size_t engaged = layout.calc_locals + arrestor::CalcModule::Locals::engaged;
+  const RunResult r = run_with_stack_error(engaged, 0);
+  // Toggling 'engaged' every 20 ms forces repeated re-engagements: the
+  // pressure program restarts from the pre-charge over and over, so the
+  // heavy-fast aircraft cannot be stopped properly.
+  EXPECT_TRUE(r.failed || r.final_position_m > 280.0);
+}
+
+}  // namespace
+}  // namespace easel::fi

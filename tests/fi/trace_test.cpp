@@ -1,0 +1,94 @@
+#include "fi/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+namespace {
+
+TEST(TraceRecorder, SamplesAtStride) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 1000;
+  TraceRecorder recorder{10};
+  config.trace = &recorder;
+  (void)run_experiment(config);
+  ASSERT_EQ(recorder.samples().size(), 100u);
+  EXPECT_EQ(recorder.samples()[0].time_ms, 0u);
+  EXPECT_EQ(recorder.samples()[1].time_ms, 10u);
+  EXPECT_EQ(recorder.samples().back().time_ms, 990u);
+}
+
+TEST(TraceRecorder, CapturesPlantAndNodeState) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 6000;
+  TraceRecorder recorder{50};
+  config.trace = &recorder;
+  (void)run_experiment(config);
+  const auto& samples = recorder.samples();
+  // Position grows monotonically while moving; velocity decreases.
+  EXPECT_GT(samples.back().position_m, samples.front().position_m);
+  EXPECT_LT(samples.back().velocity_mps, samples.front().velocity_mps);
+  // After engagement, SetValue and pressure are live.
+  EXPECT_GT(samples.back().set_value, 0u);
+  EXPECT_GT(samples.back().pressure_master_pu, 0.0);
+  EXPECT_GT(samples.back().checkpoint, 0u);
+}
+
+TEST(TraceRecorder, CapacityCapsSamples) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 2000;
+  TraceRecorder recorder{1, 50};
+  config.trace = &recorder;
+  (void)run_experiment(config);
+  EXPECT_EQ(recorder.samples().size(), 50u);
+}
+
+TEST(TraceRecorder, CsvWellFormed) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 100;
+  TraceRecorder recorder{10};
+  config.trace = &recorder;
+  (void)run_experiment(config);
+  const std::string csv = recorder.to_csv();
+  // Header + 10 rows, constant column count.
+  std::size_t lines = 0, start = 0;
+  std::size_t commas_expected = std::string::npos;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) break;
+    const std::string line = csv.substr(start, end - start);
+    std::size_t commas = 0;
+    for (const char c : line) commas += c == ',' ? 1u : 0u;
+    if (commas_expected == std::string::npos) commas_expected = commas;
+    EXPECT_EQ(commas, commas_expected);
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 11u);
+  EXPECT_EQ(csv.rfind("time_ms,", 0), 0u);
+}
+
+TEST(TraceRecorder, ZeroStrideCoercedToOne) {
+  TraceRecorder recorder{0};
+  EXPECT_EQ(recorder.stride_ms(), 1u);
+}
+
+TEST(TraceRecorder, ClearResets) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 100;
+  TraceRecorder recorder{10};
+  config.trace = &recorder;
+  (void)run_experiment(config);
+  EXPECT_FALSE(recorder.samples().empty());
+  recorder.clear();
+  EXPECT_TRUE(recorder.samples().empty());
+}
+
+}  // namespace
+}  // namespace easel::fi

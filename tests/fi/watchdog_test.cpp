@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+namespace {
+
+/// Error that corrupts the EXEC kernel context's entry word -> node crash.
+ErrorSpec kernel_crash_error() {
+  const TargetInfo target = probe_target();
+  ErrorSpec spec;
+  spec.address = target.ram_bytes + 2;
+  spec.bit = 0;
+  spec.region = mem::Region::stack;
+  spec.label = "K-exec";
+  return spec;
+}
+
+TEST(Watchdog, QuietOnCleanRun) {
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 15000;
+  config.watchdog_timeout_ms = 150;
+  const RunResult r = run_experiment(config);
+  EXPECT_FALSE(r.watchdog_tripped);
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(Watchdog, OffByDefault) {
+  RunConfig config;
+  config.test_case = {17000.0, 65.0};
+  config.error = kernel_crash_error();
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.node_halted);
+  EXPECT_FALSE(r.watchdog_tripped);
+  EXPECT_FALSE(r.detected);  // paper configuration: crash goes unnoticed
+}
+
+TEST(Watchdog, CatchesNodeCrash) {
+  RunConfig config;
+  config.test_case = {17000.0, 65.0};
+  config.error = kernel_crash_error();
+  config.watchdog_timeout_ms = 150;
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.node_halted);
+  EXPECT_TRUE(r.watchdog_tripped);
+  EXPECT_TRUE(r.detected);
+  // The crash happens at the first kernel validation after the t=0
+  // injection; the watchdog trips one timeout later.
+  EXPECT_LE(r.first_detection_ms, 200u);
+  EXPECT_TRUE(r.failed);  // detection does not save the arrestment
+}
+
+TEST(Watchdog, CountsAsDetectionExactlyOnce) {
+  RunConfig config;
+  config.test_case = {17000.0, 65.0};
+  config.error = kernel_crash_error();
+  config.watchdog_timeout_ms = 150;
+  const RunResult r = run_experiment(config);
+  EXPECT_EQ(r.detection_count, 1u);  // latched: reported once
+}
+
+TEST(Watchdog, TimeoutBelowRefreshCadenceWouldFalseAlarm) {
+  // PRES_A refreshes every 7 ms; a 2-ms timeout trips on a clean run.
+  // (Deployment guidance: timeout must exceed the refresh period.)
+  RunConfig config;
+  config.test_case = {12000.0, 55.0};
+  config.observation_ms = 2000;
+  config.watchdog_timeout_ms = 2;
+  const RunResult r = run_experiment(config);
+  EXPECT_TRUE(r.watchdog_tripped);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,154 @@
+#include "mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::mem {
+namespace {
+
+TEST(AddressSpace, DefaultLayoutMatchesPaperTarget) {
+  AddressSpace space;
+  EXPECT_EQ(space.ram_size(), 417u);
+  EXPECT_EQ(space.stack_size(), 1008u);
+  EXPECT_EQ(space.size(), 1425u);
+}
+
+TEST(AddressSpace, RegionBoundaries) {
+  AddressSpace space;
+  EXPECT_EQ(space.region_of(0), Region::ram);
+  EXPECT_EQ(space.region_of(416), Region::ram);
+  EXPECT_EQ(space.region_of(417), Region::stack);
+  EXPECT_EQ(space.region_of(1424), Region::stack);
+  EXPECT_THROW((void)space.region_of(1425), BadAddress);
+  EXPECT_EQ(space.region_base(Region::ram), 0u);
+  EXPECT_EQ(space.region_base(Region::stack), 417u);
+}
+
+TEST(AddressSpace, ZeroInitialized) {
+  AddressSpace space;
+  for (std::size_t a = 0; a < space.size(); ++a) EXPECT_EQ(space.read_u8(a), 0u);
+}
+
+TEST(AddressSpace, U16LittleEndian) {
+  AddressSpace space;
+  space.write_u16(10, 0xabcd);
+  EXPECT_EQ(space.read_u8(10), 0xcd);
+  EXPECT_EQ(space.read_u8(11), 0xab);
+  EXPECT_EQ(space.read_u16(10), 0xabcd);
+}
+
+TEST(AddressSpace, U32LittleEndian) {
+  AddressSpace space;
+  space.write_u32(20, 0x01020304u);
+  EXPECT_EQ(space.read_u8(20), 0x04);
+  EXPECT_EQ(space.read_u8(23), 0x01);
+  EXPECT_EQ(space.read_u32(20), 0x01020304u);
+}
+
+TEST(AddressSpace, SignedRoundTrip) {
+  AddressSpace space;
+  space.write_i16(0, -12345);
+  EXPECT_EQ(space.read_i16(0), -12345);
+  space.write_i32(4, -1234567);
+  EXPECT_EQ(space.read_i32(4), -1234567);
+}
+
+TEST(AddressSpace, OutOfRangeAccessesThrow) {
+  AddressSpace space;
+  // volatile defeats constant propagation: GCC would otherwise emit a
+  // false-positive -Warray-bounds for the (guarded, throwing) access.
+  volatile std::size_t end = space.size();
+  EXPECT_THROW((void)space.read_u8(end), BadAddress);
+  EXPECT_THROW((void)space.read_u16(end - 1), BadAddress);
+  EXPECT_THROW((void)space.read_u32(end - 3), BadAddress);
+  EXPECT_THROW(space.write_u16(end - 1, 1), BadAddress);
+  EXPECT_NO_THROW((void)space.read_u16(end - 2));
+}
+
+TEST(AddressSpace, FlipBitIsXor) {
+  AddressSpace space;
+  space.write_u8(5, 0b0100);
+  space.flip_bit(5, 1);
+  EXPECT_EQ(space.read_u8(5), 0b0110);
+  space.flip_bit(5, 1);
+  EXPECT_EQ(space.read_u8(5), 0b0100);  // re-flip restores (intermittent model)
+}
+
+TEST(AddressSpace, FlipBitValidatesBitIndex) {
+  AddressSpace space;
+  EXPECT_THROW(space.flip_bit(0, 8), BadAddress);
+  EXPECT_NO_THROW(space.flip_bit(0, 7));
+}
+
+TEST(AddressSpace, FlipBit16AddressesHighByte) {
+  AddressSpace space;
+  space.write_u16(8, 0);
+  space.flip_bit16(8, 0);
+  EXPECT_EQ(space.read_u16(8), 1u);
+  space.flip_bit16(8, 15);
+  EXPECT_EQ(space.read_u16(8), 0x8001u);
+  EXPECT_THROW(space.flip_bit16(8, 16), BadAddress);
+}
+
+TEST(AddressSpace, ClearZeroesEverything) {
+  AddressSpace space;
+  space.write_u32(0, 0xffffffffu);
+  space.write_u16(1000, 0xffff);
+  space.clear();
+  EXPECT_EQ(space.read_u32(0), 0u);
+  EXPECT_EQ(space.read_u16(1000), 0u);
+}
+
+TEST(AddressSpace, CopyIsSnapshot) {
+  AddressSpace space;
+  space.write_u16(0, 42);
+  const AddressSpace snapshot = space;
+  space.write_u16(0, 43);
+  EXPECT_EQ(snapshot.read_u16(0), 42u);
+  EXPECT_EQ(space.read_u16(0), 43u);
+}
+
+TEST(Allocator, BumpAllocatesPerRegion) {
+  AddressSpace space;
+  Allocator alloc{space};
+  const std::size_t a = alloc.allocate(Region::ram, 2);
+  const std::size_t b = alloc.allocate(Region::ram, 2);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 2u);
+  const std::size_t s = alloc.allocate(Region::stack, 4);
+  EXPECT_EQ(s, 417u + 1u);  // aligned up to even address 418
+}
+
+TEST(Allocator, Alignment) {
+  AddressSpace space;
+  Allocator alloc{space};
+  (void)alloc.allocate(Region::ram, 1, 1);
+  const std::size_t aligned = alloc.allocate(Region::ram, 2, 2);
+  EXPECT_EQ(aligned % 2, 0u);
+  EXPECT_EQ(aligned, 2u);
+}
+
+TEST(Allocator, TracksUsage) {
+  AddressSpace space;
+  Allocator alloc{space};
+  (void)alloc.allocate(Region::ram, 10, 2);
+  EXPECT_EQ(alloc.used(Region::ram), 10u);
+  EXPECT_EQ(alloc.remaining(Region::ram), 407u);
+  EXPECT_EQ(alloc.used(Region::stack), 0u);
+  EXPECT_EQ(alloc.remaining(Region::stack), 1008u);
+}
+
+TEST(Allocator, ExhaustionThrows) {
+  AddressSpace space{MemoryLayout{.ram_bytes = 8, .stack_bytes = 8}};
+  Allocator alloc{space};
+  (void)alloc.allocate(Region::ram, 8);
+  EXPECT_THROW((void)alloc.allocate(Region::ram, 1), BadAddress);
+  EXPECT_NO_THROW((void)alloc.allocate(Region::stack, 8));
+}
+
+TEST(RegionNames, ToString) {
+  EXPECT_STREQ(to_string(Region::ram), "RAM");
+  EXPECT_STREQ(to_string(Region::stack), "Stack");
+}
+
+}  // namespace
+}  // namespace easel::mem

@@ -1,0 +1,72 @@
+#include "mem/mem_var.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::mem {
+namespace {
+
+TEST(MemVar, RoundTripAllTypes) {
+  AddressSpace space;
+  Allocator alloc{space};
+  MemVar<std::uint8_t> u8{space, alloc, Region::ram};
+  MemVar<std::uint16_t> u16{space, alloc, Region::ram};
+  MemVar<std::int16_t> i16{space, alloc, Region::ram};
+  MemVar<std::uint32_t> u32{space, alloc, Region::ram};
+  MemVar<std::int32_t> i32{space, alloc, Region::ram};
+
+  u8.set(200);
+  u16.set(60000);
+  i16.set(-20000);
+  u32.set(4000000000u);
+  i32.set(-2000000000);
+
+  EXPECT_EQ(u8.get(), 200u);
+  EXPECT_EQ(u16.get(), 60000u);
+  EXPECT_EQ(i16.get(), -20000);
+  EXPECT_EQ(u32.get(), 4000000000u);
+  EXPECT_EQ(i32.get(), -2000000000);
+}
+
+TEST(MemVar, ObservesExternalCorruption) {
+  // The whole point: a bit-flip between two accesses is visible.
+  AddressSpace space;
+  Allocator alloc{space};
+  Var16 signal{space, alloc, Region::ram};
+  signal.set(0x00f0);
+  space.flip_bit16(signal.address(), 3);
+  EXPECT_EQ(signal.get(), 0x00f8u);
+}
+
+TEST(MemVar, AddressAndSize) {
+  AddressSpace space;
+  Allocator alloc{space};
+  Var16 a{space, alloc, Region::ram};
+  Var16 b{space, alloc, Region::stack};
+  EXPECT_EQ(a.address(), 0u);
+  EXPECT_EQ(b.address(), 418u);  // stack base 417 aligned to 418
+  EXPECT_EQ(Var16::size_bytes(), 2u);
+  EXPECT_EQ(mem::VarI32::size_bytes(), 4u);
+}
+
+TEST(MemVar, DefaultConstructedIsUnbound) {
+  Var16 unbound;
+  EXPECT_FALSE(unbound.bound());
+  AddressSpace space;
+  Allocator alloc{space};
+  Var16 bound{space, alloc, Region::ram};
+  EXPECT_TRUE(bound.bound());
+}
+
+TEST(MemVar, TwoVarsShareNoStorage) {
+  AddressSpace space;
+  Allocator alloc{space};
+  Var16 a{space, alloc, Region::ram};
+  Var16 b{space, alloc, Region::ram};
+  a.set(1);
+  b.set(2);
+  EXPECT_EQ(a.get(), 1u);
+  EXPECT_EQ(b.get(), 2u);
+}
+
+}  // namespace
+}  // namespace easel::mem

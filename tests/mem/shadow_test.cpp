@@ -1,0 +1,101 @@
+#include "mem/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::mem {
+namespace {
+
+struct Fixture {
+  AddressSpace space;
+  Allocator alloc{space};
+  ShadowVar16 var{space, alloc, Region::ram};
+};
+
+TEST(ShadowVar, RoundTrip) {
+  Fixture f;
+  f.var.set(0xbeef);
+  EXPECT_TRUE(f.var.valid());
+  EXPECT_EQ(f.var.get(), 0xbeef);
+  EXPECT_EQ(f.var.raw(), 0xbeef);
+}
+
+TEST(ShadowVar, ZeroInitializedPairIsInconsistent) {
+  // 0 and ~0 differ, so an unwritten pair reads as corrupt — fail-safe.
+  Fixture f;
+  EXPECT_FALSE(f.var.valid());
+  EXPECT_FALSE(f.var.get().has_value());
+}
+
+TEST(ShadowVar, EverySingleBitErrorDetected) {
+  Fixture f;
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    f.var.set(0x5a5a);
+    f.space.flip_bit16(f.var.value_address(), bit);
+    EXPECT_FALSE(f.var.valid()) << "value bit " << bit;
+    f.var.set(0x5a5a);
+    f.space.flip_bit16(f.var.shadow_address(), bit);
+    EXPECT_FALSE(f.var.valid()) << "shadow bit " << bit;
+  }
+}
+
+TEST(ShadowVar, MatchedDoubleErrorEscapes) {
+  // The known blind spot: the same bit flipped in both cells cancels.
+  Fixture f;
+  f.var.set(0x1234);
+  f.space.flip_bit16(f.var.value_address(), 7);
+  f.space.flip_bit16(f.var.shadow_address(), 7);
+  EXPECT_TRUE(f.var.valid());
+  EXPECT_EQ(f.var.get(), 0x1234 ^ (1 << 7));
+}
+
+TEST(ShadowVar, ScrubRestoresConsistency) {
+  Fixture f;
+  f.var.set(100);
+  f.space.flip_bit16(f.var.shadow_address(), 3);
+  EXPECT_FALSE(f.var.valid());
+  f.var.scrub_from_value();
+  EXPECT_TRUE(f.var.valid());
+  EXPECT_EQ(f.var.get(), 100);  // value cell was intact: full recovery
+}
+
+TEST(ShadowVar, ScrubLegalisesValueCellCorruption) {
+  // Scrubbing after a value-cell hit silently adopts the corrupted value —
+  // the documented 50/50 hazard.
+  Fixture f;
+  f.var.set(100);
+  f.space.flip_bit16(f.var.value_address(), 3);
+  f.var.scrub_from_value();
+  EXPECT_TRUE(f.var.valid());
+  EXPECT_EQ(f.var.get(), 100 ^ (1 << 3));
+}
+
+TEST(ShadowVar, BindToExistingCells) {
+  AddressSpace space;
+  space.write_u16(10, 0x00ff);
+  space.write_u16(20, 0xff00);
+  const ShadowVar16 var{space, 10, 20};
+  EXPECT_TRUE(var.valid());
+  EXPECT_EQ(var.get(), 0x00ff);
+}
+
+TEST(ShadowVar, DefaultUnbound) {
+  ShadowVar16 var;
+  EXPECT_FALSE(var.bound());
+  Fixture f;
+  EXPECT_TRUE(f.var.bound());
+}
+
+TEST(ShadowVar, ComplementaryToExecutableAssertions) {
+  // An in-band (plausible) corruption an assertion band would accept is
+  // still caught by the shadow check; a *computed* wrong value written
+  // through set() is caught by neither — that is the assertions' job.
+  Fixture f;
+  f.var.set(1000);
+  f.space.flip_bit16(f.var.value_address(), 0);  // 1000 -> 1001, "plausible"
+  EXPECT_FALSE(f.var.valid());                   // shadow sees it anyway
+  f.var.set(64000);                              // wrong but properly stored
+  EXPECT_TRUE(f.var.valid());                    // shadow cannot know
+}
+
+}  // namespace
+}  // namespace easel::mem

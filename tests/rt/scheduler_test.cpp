@@ -1,0 +1,207 @@
+#include "rt/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace easel::rt {
+namespace {
+
+/// Records its invocations into a shared log.
+class ProbeModule final : public Module {
+ public:
+  ProbeModule(std::string name, std::vector<std::string>& log)
+      : name_{std::move(name)}, log_{&log} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  void execute() override { log_->push_back(name_); }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+struct Fixture {
+  mem::AddressSpace space;
+  mem::Allocator alloc{space};
+  std::vector<std::string> log;
+
+  TaskContext make_ctx(const char* name, std::uint16_t token) {
+    return TaskContext{space, alloc, name, token, 8};
+  }
+};
+
+std::size_t count(const std::vector<std::string>& log, const std::string& name) {
+  std::size_t n = 0;
+  for (const auto& entry : log) n += entry == name ? 1u : 0u;
+  return n;
+}
+
+TEST(Scheduler, EveryTickModulesRunEachTick) {
+  Fixture f;
+  auto ctx = f.make_ctx("A", 0x8111);
+  ProbeModule a{"A", f.log};
+  Scheduler sched;
+  sched.add_every_tick(a, ctx);
+  sched.boot();
+  for (int i = 0; i < 21; ++i) sched.tick();
+  EXPECT_EQ(count(f.log, "A"), 21u);
+  EXPECT_EQ(sched.stats().dispatches, 21u);
+}
+
+TEST(Scheduler, PeriodicModulesRunOncePerFrame) {
+  Fixture f;
+  auto ctx = f.make_ctx("P", 0x8111);
+  ProbeModule p{"P", f.log};
+  Scheduler sched;
+  sched.add_periodic(p, ctx, 3);
+  sched.boot();
+  for (int i = 0; i < 28; ++i) sched.tick();  // 4 frames
+  EXPECT_EQ(count(f.log, "P"), 4u);
+}
+
+TEST(Scheduler, BackgroundRunsAfterPeriodicWork) {
+  Fixture f;
+  auto ctx_p = f.make_ctx("P", 0x8111);
+  auto ctx_b = f.make_ctx("B", 0x8225);
+  ProbeModule p{"P", f.log};
+  ProbeModule b{"B", f.log};
+  Scheduler sched;
+  sched.add_periodic(p, ctx_p, 0);
+  sched.set_background(b, ctx_b);
+  sched.boot();
+  sched.tick();  // slot 0
+  ASSERT_EQ(f.log.size(), 2u);
+  EXPECT_EQ(f.log[0], "P");
+  EXPECT_EQ(f.log[1], "B");
+}
+
+TEST(Scheduler, SlotSourceSelectsPeriodicList) {
+  Fixture f;
+  auto ctx = f.make_ctx("P", 0x8111);
+  ProbeModule p{"P", f.log};
+  Scheduler sched;
+  sched.add_periodic(p, ctx, 5);
+  std::uint32_t slot = 0;
+  sched.set_slot_source([&slot] { return slot; });
+  sched.boot();
+  sched.tick();
+  EXPECT_TRUE(f.log.empty());
+  slot = 5;
+  sched.tick();
+  EXPECT_EQ(count(f.log, "P"), 1u);
+  slot = 5 + 7;  // out-of-range values fold into [0, 7)
+  sched.tick();
+  EXPECT_EQ(count(f.log, "P"), 2u);
+}
+
+TEST(Scheduler, InvalidSlotRejected) {
+  Fixture f;
+  auto ctx = f.make_ctx("P", 0x8111);
+  ProbeModule p{"P", f.log};
+  Scheduler sched;
+  EXPECT_THROW(sched.add_periodic(p, ctx, 7), std::out_of_range);
+}
+
+TEST(Scheduler, SkipSuppressesOneTask) {
+  Fixture f;
+  auto ctx_a = f.make_ctx("A", 0x8111);
+  auto ctx_b = f.make_ctx("B", 0x8225);
+  ProbeModule a{"A", f.log};
+  ProbeModule b{"B", f.log};
+  Scheduler sched;
+  sched.add_every_tick(a, ctx_a);
+  sched.add_every_tick(b, ctx_b);
+  sched.boot();
+  f.space.write_u16(ctx_a.base_address(), 0x8110);  // decode: skip
+  for (int i = 0; i < 5; ++i) sched.tick();
+  EXPECT_EQ(count(f.log, "A"), 0u);
+  EXPECT_EQ(count(f.log, "B"), 5u);
+  EXPECT_EQ(sched.stats().skips, 5u);
+  EXPECT_FALSE(sched.halted());
+}
+
+TEST(Scheduler, WrongVectorRunsAnotherRoutine) {
+  Fixture f;
+  auto ctx_a = f.make_ctx("A", 0x8111);
+  auto ctx_b = f.make_ctx("B", 0x8225);
+  ProbeModule a{"A", f.log};
+  ProbeModule b{"B", f.log};
+  Scheduler sched;
+  sched.add_every_tick(a, ctx_a);
+  sched.add_every_tick(b, ctx_b);
+  sched.boot();
+  f.space.write_u16(ctx_a.base_address(), 0x8112);  // decode: wrong vector
+  sched.tick();
+  EXPECT_EQ(count(f.log, "A"), 0u);
+  // B ran for itself, and possibly again as A's wrong vector.
+  EXPECT_GE(count(f.log, "B"), 1u);
+  EXPECT_EQ(sched.stats().wrong_vectors, 1u);
+}
+
+TEST(Scheduler, CrashHaltsNodePermanently) {
+  Fixture f;
+  auto ctx_a = f.make_ctx("A", 0x8111);
+  auto ctx_b = f.make_ctx("B", 0x8225);
+  ProbeModule a{"A", f.log};
+  ProbeModule b{"B", f.log};
+  Scheduler sched;
+  sched.add_every_tick(a, ctx_a);
+  sched.add_every_tick(b, ctx_b);
+  sched.boot();
+  sched.tick();
+  f.space.write_u16(ctx_a.base_address(), 0x8109);  // decode: crash
+  sched.tick();
+  const std::size_t b_runs = count(f.log, "B");
+  for (int i = 0; i < 10; ++i) sched.tick();
+  EXPECT_TRUE(sched.halted());
+  EXPECT_EQ(count(f.log, "B"), b_runs);          // nothing runs after the halt
+  EXPECT_EQ(sched.stats().halt_tick, 1u);
+  EXPECT_EQ(sched.tick_count(), 12u);            // time still advances
+}
+
+TEST(Scheduler, KernelContextCorruptionHalts) {
+  Fixture f;
+  auto kernel = f.make_ctx("EXEC", 0x8789);
+  auto ctx = f.make_ctx("A", 0x8111);
+  ProbeModule a{"A", f.log};
+  Scheduler sched;
+  sched.add_every_tick(a, ctx);
+  sched.set_kernel_context(kernel);
+  sched.boot();
+  sched.tick();
+  EXPECT_EQ(count(f.log, "A"), 1u);
+  f.space.write_u16(kernel.base_address(), 0x0000);  // any corruption
+  sched.tick();
+  EXPECT_TRUE(sched.halted());
+  EXPECT_EQ(count(f.log, "A"), 1u);
+}
+
+TEST(Scheduler, BootResetsStateAndRepairsContexts) {
+  Fixture f;
+  auto ctx = f.make_ctx("A", 0x8111);
+  ProbeModule a{"A", f.log};
+  Scheduler sched;
+  sched.add_every_tick(a, ctx);
+  sched.boot();
+  f.space.write_u16(ctx.base_address(), 0x8109);
+  sched.tick();
+  EXPECT_TRUE(sched.halted());
+  sched.boot();
+  EXPECT_FALSE(sched.halted());
+  EXPECT_EQ(sched.tick_count(), 0u);
+  sched.tick();
+  EXPECT_EQ(count(f.log, "A"), 1u);
+}
+
+TEST(Scheduler, CurrentSlotCyclesModulo7) {
+  Scheduler sched;
+  sched.boot();
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(sched.current_slot(), static_cast<std::uint32_t>(i % 7));
+    sched.tick();
+  }
+}
+
+}  // namespace
+}  // namespace easel::rt

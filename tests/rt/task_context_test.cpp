@@ -1,0 +1,108 @@
+#include "rt/task_context.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::rt {
+namespace {
+
+struct Fixture {
+  mem::AddressSpace space;
+  mem::Allocator alloc{space};
+};
+
+TEST(TaskContext, InitializeWritesHeader) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  EXPECT_EQ(f.space.read_u16(ctx.base_address()), 0x8111);
+  EXPECT_EQ(f.space.read_u16(ctx.base_address() + 2), ctx.base_address() + 4);
+  EXPECT_EQ(ctx.health(), ContextHealth::ok);
+  EXPECT_EQ(ctx.size_bytes(), 20u);
+  EXPECT_EQ(ctx.task_name(), "T");
+}
+
+TEST(TaskContext, LocalsRoundTrip) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  ctx.set_local_u16(0, 42);
+  ctx.set_local_i16(2, -7);
+  ctx.set_local_i32(4, -100000);
+  EXPECT_EQ(ctx.local_u16(0), 42u);
+  EXPECT_EQ(ctx.local_i16(2), -7);
+  EXPECT_EQ(ctx.local_i32(4), -100000);
+}
+
+TEST(TaskContext, LocalsLiveInStackRegion) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  EXPECT_EQ(f.space.region_of(ctx.base_address()), mem::Region::stack);
+}
+
+TEST(TaskContext, CorruptedEntryDecodesDeterministically) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  // Decode classes by entry % 8: {0,3,6} skip, {2,5} wrong vector, rest crash.
+  f.space.write_u16(ctx.base_address(), 0x8110);  // % 8 == 0
+  EXPECT_EQ(ctx.health(), ContextHealth::skip);
+  f.space.write_u16(ctx.base_address(), 0x8112);  // % 8 == 2
+  EXPECT_EQ(ctx.health(), ContextHealth::wrong_vector);
+  f.space.write_u16(ctx.base_address(), 0x8109);  // % 8 == 1
+  EXPECT_EQ(ctx.health(), ContextHealth::crash);
+  // Same corruption, same verdict.
+  EXPECT_EQ(ctx.health(), ContextHealth::crash);
+}
+
+TEST(TaskContext, ShiftedSpRedirectsLocals) {
+  Fixture f;
+  TaskContext a{f.space, f.alloc, "A", 0x8111, 16};
+  TaskContext b{f.space, f.alloc, "B", 0x8225, 16};
+  a.initialize();
+  b.initialize();
+  // Shift A's sp onto B's locals: A now reads/writes B's working set.
+  f.space.write_u16(a.base_address() + 2,
+                    static_cast<std::uint16_t>(b.base_address() + 4));
+  EXPECT_EQ(a.health(), ContextHealth::ok);  // still addressable
+  b.set_local_u16(0, 77);
+  EXPECT_EQ(a.local_u16(0), 77u);
+  a.set_local_u16(0, 78);
+  EXPECT_EQ(b.local_u16(0), 78u);
+}
+
+TEST(TaskContext, OutOfImageSpIsACrash) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  f.space.write_u16(ctx.base_address() + 2, 0xfff0);  // far outside the image
+  EXPECT_EQ(ctx.health(), ContextHealth::crash);
+  // Near the end but with the locals spilling out: also a crash.
+  f.space.write_u16(ctx.base_address() + 2,
+                    static_cast<std::uint16_t>(f.space.size() - 8));
+  EXPECT_EQ(ctx.health(), ContextHealth::crash);
+}
+
+TEST(TaskContext, WrongVectorIndexStable) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  f.space.write_u16(ctx.base_address(), 0x8112);
+  const std::size_t idx = ctx.wrong_vector_index(6);
+  EXPECT_LT(idx, 6u);
+  EXPECT_EQ(ctx.wrong_vector_index(6), idx);
+  EXPECT_EQ(ctx.wrong_vector_index(0), 0u);
+}
+
+TEST(TaskContext, ReinitializeRepairsCorruption) {
+  Fixture f;
+  TaskContext ctx{f.space, f.alloc, "T", 0x8111, 16};
+  ctx.initialize();
+  f.space.write_u16(ctx.base_address(), 0xdead);
+  f.space.write_u16(ctx.base_address() + 2, 0xbeef);
+  ctx.initialize();
+  EXPECT_EQ(ctx.health(), ContextHealth::ok);
+}
+
+}  // namespace
+}  // namespace easel::rt

@@ -1,0 +1,151 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easel::sim {
+namespace {
+
+Environment make_env(double mass = 12000.0, double velocity = 60.0, std::uint64_t seed = 1) {
+  return Environment{TestCase{mass, velocity}, util::Rng{seed}};
+}
+
+TEST(Environment, InitialState) {
+  Environment env = make_env();
+  EXPECT_DOUBLE_EQ(env.position_m(), 0.0);
+  EXPECT_DOUBLE_EQ(env.velocity_mps(), 60.0);
+  EXPECT_FALSE(env.stopped());
+  EXPECT_EQ(env.rotation_pulses(), 0u);
+  EXPECT_DOUBLE_EQ(env.master_pressure_pu(), 0.0);
+}
+
+TEST(Environment, CoastsWithoutPressure) {
+  Environment env = make_env();
+  for (int i = 0; i < 1000; ++i) env.step_1ms();
+  EXPECT_NEAR(env.position_m(), 60.0, 0.1);  // 1 s at 60 m/s
+  EXPECT_DOUBLE_EQ(env.velocity_mps(), 60.0);
+  EXPECT_DOUBLE_EQ(env.retardation_mps2(), 0.0);
+}
+
+TEST(Environment, RotationPulsesTrackPosition) {
+  Environment env = make_env();
+  for (int i = 0; i < 500; ++i) env.step_1ms();
+  // Position ~30 m -> ~3000 pulses at 1 cm/pulse.
+  EXPECT_NEAR(static_cast<double>(env.rotation_pulses()),
+              env.position_m() / kMetresPerPulse, 1.0);
+}
+
+TEST(Environment, ValveLagApproachesCommand) {
+  Environment env = make_env();
+  env.command_master_valve(5000);
+  for (int i = 0; i < 100; ++i) {           // one time constant
+    env.command_master_valve(5000);          // keep the deadman fed
+    env.step_1ms();
+  }
+  EXPECT_NEAR(env.master_pressure_pu(), 5000.0 * (1.0 - std::exp(-1.0)), 100.0);
+  for (int i = 0; i < 700; ++i) {
+    env.command_master_valve(5000);
+    env.step_1ms();
+  }
+  EXPECT_NEAR(env.master_pressure_pu(), 5000.0, 50.0);
+}
+
+TEST(Environment, PressureDeceleratesAircraft) {
+  Environment env = make_env(10000.0, 50.0);
+  for (int i = 0; i < 3000; ++i) {
+    env.command_master_valve(4000);
+    env.command_slave_valve(4000);
+    env.step_1ms();
+  }
+  // F = 15.625 * (P_m + P_s) ~ 125 kN at full lag convergence -> a ~ 12.5.
+  EXPECT_LT(env.velocity_mps(), 50.0 - 20.0);
+  EXPECT_GT(env.retardation_mps2(), 10.0);
+  EXPECT_GT(env.cable_force_n(), 100000.0);
+}
+
+TEST(Environment, StopsAndStaysStopped) {
+  Environment env = make_env(8000.0, 40.0);
+  for (int i = 0; i < 20000 && !env.stopped(); ++i) {
+    env.command_master_valve(8000);
+    env.command_slave_valve(8000);
+    env.step_1ms();
+  }
+  ASSERT_TRUE(env.stopped());
+  const double stop_position = env.position_m();
+  for (int i = 0; i < 100; ++i) env.step_1ms();
+  EXPECT_DOUBLE_EQ(env.position_m(), stop_position);
+  EXPECT_DOUBLE_EQ(env.retardation_mps2(), 0.0);
+}
+
+TEST(Environment, DeadmanClosesValveWithoutRefresh) {
+  Environment env = make_env();
+  env.command_master_valve(8000);
+  for (int i = 0; i < 90; ++i) env.step_1ms();
+  const double before = env.master_pressure_pu();
+  EXPECT_GT(before, 1000.0);
+  // No further refresh: past the deadman the valve target drops to zero.
+  for (int i = 0; i < 1000; ++i) env.step_1ms();
+  EXPECT_LT(env.master_pressure_pu(), 10.0);
+}
+
+TEST(Environment, RefreshKeepsValveOpen) {
+  Environment env = make_env();
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 7 == 0) env.command_master_valve(8000);  // PRES_A cadence
+    env.step_1ms();
+  }
+  EXPECT_GT(env.master_pressure_pu(), 7500.0);
+}
+
+TEST(Environment, SensorReadingsQuantizedAndDithered) {
+  Environment env = make_env();
+  for (int i = 0; i < 2000; ++i) {
+    env.command_master_valve(5000);
+    env.step_1ms();
+  }
+  bool varied = false;
+  std::uint16_t first = env.master_pressure_reading();
+  for (int i = 0; i < 20; ++i) {
+    const std::uint16_t reading = env.master_pressure_reading();
+    EXPECT_NEAR(reading, env.master_pressure_pu(), kPressureNoisePu + 1.0);
+    varied |= reading != first;
+  }
+  EXPECT_TRUE(varied);  // the dither actually dithers
+}
+
+TEST(Environment, CommandsClampedToFullScale) {
+  Environment env = make_env();
+  env.command_master_valve(65535);
+  for (int i = 0; i < 3000; ++i) {
+    env.command_master_valve(65535);
+    env.step_1ms();
+  }
+  EXPECT_LE(env.master_pressure_pu(), kPressureUnitsMax + 1.0);
+}
+
+TEST(Environment, MasterAndSlaveValvesIndependent) {
+  Environment env = make_env();
+  for (int i = 0; i < 500; ++i) {
+    env.command_master_valve(6000);
+    env.command_slave_valve(1000);
+    env.step_1ms();
+  }
+  EXPECT_GT(env.master_pressure_pu(), env.slave_pressure_pu() + 1000.0);
+}
+
+TEST(Environment, DeterministicForSameSeed) {
+  Environment a = make_env(9000.0, 55.0, 99);
+  Environment b = make_env(9000.0, 55.0, 99);
+  for (int i = 0; i < 1000; ++i) {
+    a.command_master_valve(3000);
+    b.command_master_valve(3000);
+    a.step_1ms();
+    b.step_1ms();
+    ASSERT_EQ(a.master_pressure_reading(), b.master_pressure_reading());
+  }
+  EXPECT_DOUBLE_EQ(a.position_m(), b.position_m());
+}
+
+}  // namespace
+}  // namespace easel::sim

@@ -1,0 +1,60 @@
+#include "sim/test_case.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::sim {
+namespace {
+
+TEST(GridTestCases, CanonicalGridCoversEnvelope) {
+  const auto cases = grid_test_cases(5);
+  ASSERT_EQ(cases.size(), 25u);
+  // Corners present.
+  EXPECT_DOUBLE_EQ(cases.front().mass_kg, kMassMinKg);
+  EXPECT_DOUBLE_EQ(cases.front().velocity_mps, kVelocityMinMps);
+  EXPECT_DOUBLE_EQ(cases.back().mass_kg, kMassMaxKg);
+  EXPECT_DOUBLE_EQ(cases.back().velocity_mps, kVelocityMaxMps);
+  // All inside the paper's ranges.
+  for (const auto& c : cases) {
+    EXPECT_GE(c.mass_kg, kMassMinKg);
+    EXPECT_LE(c.mass_kg, kMassMaxKg);
+    EXPECT_GE(c.velocity_mps, kVelocityMinMps);
+    EXPECT_LE(c.velocity_mps, kVelocityMaxMps);
+  }
+}
+
+TEST(GridTestCases, UniformSpacing) {
+  const auto cases = grid_test_cases(5);
+  // Velocity advances in constant steps within one mass row.
+  const double step = cases[1].velocity_mps - cases[0].velocity_mps;
+  EXPECT_NEAR(step, 7.5, 1e-12);
+  EXPECT_NEAR(cases[2].velocity_mps - cases[1].velocity_mps, step, 1e-12);
+}
+
+TEST(GridTestCases, DegenerateSizes) {
+  EXPECT_TRUE(grid_test_cases(0).empty());
+  const auto one = grid_test_cases(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].mass_kg, kMassMinKg);
+}
+
+TEST(RandomTestCases, DeterministicForSeed) {
+  const auto a = random_test_cases(10, util::Rng{5});
+  const auto b = random_test_cases(10, util::Rng{5});
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mass_kg, b[i].mass_kg);
+    EXPECT_DOUBLE_EQ(a[i].velocity_mps, b[i].velocity_mps);
+  }
+}
+
+TEST(RandomTestCases, WithinEnvelope) {
+  for (const auto& c : random_test_cases(1000, util::Rng{6})) {
+    EXPECT_GE(c.mass_kg, kMassMinKg);
+    EXPECT_LT(c.mass_kg, kMassMaxKg);
+    EXPECT_GE(c.velocity_mps, kVelocityMinMps);
+    EXPECT_LT(c.velocity_mps, kVelocityMaxMps);
+  }
+}
+
+}  // namespace
+}  // namespace easel::sim

@@ -1,0 +1,115 @@
+#include "stats/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easel::stats {
+namespace {
+
+TEST(Proportion, PointEstimate) {
+  Proportion p{.successes = 30, .trials = 40};
+  EXPECT_DOUBLE_EQ(p.point(), 0.75);
+  EXPECT_DOUBLE_EQ(Proportion{}.point(), 0.0);
+}
+
+TEST(Proportion, AddAccumulates) {
+  Proportion p;
+  p.add(true);
+  p.add(false);
+  p.add(true);
+  EXPECT_EQ(p.successes, 2u);
+  EXPECT_EQ(p.trials, 3u);
+}
+
+TEST(Proportion, MergeAccumulates) {
+  Proportion a{.successes = 1, .trials = 2};
+  Proportion b{.successes = 3, .trials = 4};
+  a.merge(b);
+  EXPECT_EQ(a.successes, 4u);
+  EXPECT_EQ(a.trials, 6u);
+}
+
+TEST(Proportion, HalfWidthMatchesPaperTable7) {
+  // Paper Table 7, SetValue/EA1 cell: 55.5±4.1 at ne = 400.
+  // nd = 222/400 = 0.555 -> half-width 1.96 * sqrt(.555*.445/400) = 4.87%?
+  // The paper's 4.1 suggests nd = 222 is wrong; check the formula itself:
+  Proportion p{.successes = 222, .trials = 400};
+  const double expected = kZ95 * std::sqrt(0.555 * 0.445 / 400.0);
+  EXPECT_NEAR(p.half_width(), expected, 1e-12);
+  EXPECT_NEAR(100.0 * p.half_width(), 4.87, 0.01);
+}
+
+TEST(Proportion, HalfWidthDegenerateCases) {
+  // "No confidence interval can be estimated for measured detection
+  // probabilities of 100.0%" — and symmetrically for 0%.
+  EXPECT_DOUBLE_EQ((Proportion{.successes = 400, .trials = 400}).half_width(), 0.0);
+  EXPECT_DOUBLE_EQ((Proportion{.successes = 0, .trials = 400}).half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(Proportion{}.half_width(), 0.0);
+}
+
+TEST(Proportion, HalfWidthShrinksWithSampleSize) {
+  Proportion small{.successes = 5, .trials = 10};
+  Proportion large{.successes = 500, .trials = 1000};
+  EXPECT_GT(small.half_width(), large.half_width());
+}
+
+TEST(Proportion, WilsonIntervalContainsPoint) {
+  Proportion p{.successes = 30, .trials = 40};
+  const auto [lo, hi] = p.wilson();
+  EXPECT_LT(lo, p.point());
+  EXPECT_GT(hi, p.point());
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(Proportion, WilsonInformativeAtExtremes) {
+  // Unlike the normal approximation, Wilson gives a nonzero-width interval
+  // at p̂ = 1 — useful for the paper's "100.0" cells.
+  Proportion p{.successes = 400, .trials = 400};
+  const auto [lo, hi] = p.wilson();
+  EXPECT_LT(lo, 1.0);
+  EXPECT_GT(lo, 0.98);  // n = 400 pins it near 1
+  EXPECT_NEAR(hi, 1.0, 1e-9);
+}
+
+TEST(Proportion, PercentString) {
+  EXPECT_EQ((Proportion{.successes = 222, .trials = 400}).to_percent_string(), "55.5±4.9");
+  EXPECT_EQ((Proportion{.successes = 400, .trials = 400}).to_percent_string(), "100.0");
+  EXPECT_EQ(Proportion{}.to_percent_string(), "–");
+}
+
+TEST(DetectionMeasures, PartitionsByFailure) {
+  DetectionMeasures m;
+  m.add(/*detected=*/true, /*failed=*/true);
+  m.add(true, false);
+  m.add(false, true);
+  m.add(false, false);
+  EXPECT_EQ(m.all.trials, 4u);
+  EXPECT_EQ(m.all.successes, 2u);
+  EXPECT_EQ(m.fail.trials, 2u);
+  EXPECT_EQ(m.fail.successes, 1u);
+  EXPECT_EQ(m.no_fail.trials, 2u);
+  EXPECT_EQ(m.no_fail.successes, 1u);
+}
+
+TEST(DetectionMeasures, NEqualsNFailPlusNNoFail) {
+  // The paper's identity: n = nfail + n_no_fail for errors and detections.
+  DetectionMeasures m;
+  for (int i = 0; i < 100; ++i) m.add(i % 3 == 0, i % 2 == 0);
+  EXPECT_EQ(m.all.trials, m.fail.trials + m.no_fail.trials);
+  EXPECT_EQ(m.all.successes, m.fail.successes + m.no_fail.successes);
+}
+
+TEST(DetectionMeasures, MergeCombinesAllThree) {
+  DetectionMeasures a, b;
+  a.add(true, true);
+  b.add(false, false);
+  a.merge(b);
+  EXPECT_EQ(a.all.trials, 2u);
+  EXPECT_EQ(a.fail.trials, 1u);
+  EXPECT_EQ(a.no_fail.trials, 1u);
+}
+
+}  // namespace
+}  // namespace easel::stats

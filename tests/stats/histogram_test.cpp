@@ -1,0 +1,74 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::stats {
+namespace {
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~0ull), LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, FloorsMatchBuckets) {
+  EXPECT_EQ(LatencyHistogram::bucket_floor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor(11), 1024u);
+  // Round trip: every floor lands in its own bucket.
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_floor(b)), b);
+  }
+}
+
+TEST(LatencyHistogram, CountsAndTotal) {
+  LatencyHistogram h;
+  h.add(0);
+  h.add(5);
+  h.add(6);
+  h.add(600);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_in(0), 1u);
+  EXPECT_EQ(h.count_in(LatencyHistogram::bucket_of(5)), 2u);
+  EXPECT_EQ(h.count_in(LatencyHistogram::bucket_of(600)), 1u);
+}
+
+TEST(LatencyHistogram, Merge) {
+  LatencyHistogram a, b;
+  a.add(10);
+  b.add(10);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count_in(LatencyHistogram::bucket_of(10)), 2u);
+}
+
+TEST(LatencyHistogram, QuantileFloor) {
+  LatencyHistogram h;
+  for (int k = 0; k < 90; ++k) h.add(10);    // bucket floor 8
+  for (int k = 0; k < 10; ++k) h.add(5000);  // bucket floor 4096
+  EXPECT_EQ(h.quantile_floor(0.5), 8u);
+  EXPECT_EQ(h.quantile_floor(0.9), 8u);
+  EXPECT_EQ(h.quantile_floor(0.95), 4096u);
+  EXPECT_EQ(LatencyHistogram{}.quantile_floor(0.5), 0u);
+}
+
+TEST(LatencyHistogram, RenderShowsNonEmptyBuckets) {
+  LatencyHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(700);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("2 ms"), std::string::npos);    // floor of bucket holding 3
+  EXPECT_NE(out.find("512 ms"), std::string::npos);  // floor of bucket holding 700
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_EQ(LatencyHistogram{}.render(), "(no samples)\n");
+}
+
+}  // namespace
+}  // namespace easel::stats

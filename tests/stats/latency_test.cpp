@@ -1,0 +1,86 @@
+#include "stats/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::stats {
+namespace {
+
+TEST(LatencyStats, EmptyState) {
+  LatencyStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.min(), 0u);
+  EXPECT_EQ(stats.max(), 0u);
+  EXPECT_DOUBLE_EQ(stats.average(), 0.0);
+  EXPECT_EQ(stats.to_string(), "–");
+}
+
+TEST(LatencyStats, SingleSample) {
+  LatencyStats stats;
+  stats.add(42);
+  EXPECT_EQ(stats.min(), 42u);
+  EXPECT_EQ(stats.max(), 42u);
+  EXPECT_DOUBLE_EQ(stats.average(), 42.0);
+  EXPECT_EQ(stats.count(), 1u);
+}
+
+TEST(LatencyStats, MinAvgMax) {
+  LatencyStats stats;
+  for (const std::uint64_t v : {10u, 20u, 60u}) stats.add(v);
+  EXPECT_EQ(stats.min(), 10u);
+  EXPECT_EQ(stats.max(), 60u);
+  EXPECT_DOUBLE_EQ(stats.average(), 30.0);
+  EXPECT_EQ(stats.to_string(), "10/30/60");
+}
+
+TEST(LatencyStats, ZeroLatencyIsValid) {
+  LatencyStats stats;
+  stats.add(0);
+  EXPECT_FALSE(stats.empty());
+  EXPECT_EQ(stats.min(), 0u);
+}
+
+TEST(LatencyStats, MergeBothNonEmpty) {
+  LatencyStats a, b;
+  a.add(10);
+  a.add(20);
+  b.add(5);
+  b.add(65);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 65u);
+  EXPECT_DOUBLE_EQ(a.average(), 25.0);
+}
+
+TEST(LatencyStats, MergeWithEmpty) {
+  LatencyStats a, empty;
+  a.add(7);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  LatencyStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.min(), 7u);
+}
+
+TEST(LatencyStats, FromPartsRoundTrip) {
+  LatencyStats original;
+  original.add(10);
+  original.add(30);
+  const LatencyStats rebuilt = LatencyStats::from_parts(
+      original.count(), original.min(), original.max(), original.sum());
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_EQ(rebuilt.min(), original.min());
+  EXPECT_EQ(rebuilt.max(), original.max());
+  EXPECT_DOUBLE_EQ(rebuilt.average(), original.average());
+}
+
+TEST(LatencyStats, FromPartsZeroCountIsEmpty) {
+  const LatencyStats stats = LatencyStats::from_parts(0, 99, 99, 99);
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.min(), 0u);
+}
+
+}  // namespace
+}  // namespace easel::stats

@@ -1,0 +1,102 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::stats {
+namespace {
+
+TEST(DisplayWidth, AsciiCountsBytes) {
+  EXPECT_EQ(display_width(""), 0u);
+  EXPECT_EQ(display_width("abc"), 3u);
+}
+
+TEST(DisplayWidth, MultibyteCountsCodepoints) {
+  EXPECT_EQ(display_width("±"), 1u);     // 2 bytes, 1 column
+  EXPECT_EQ(display_width("–"), 1u);     // 3 bytes, 1 column
+  EXPECT_EQ(display_width("55.5±4.1"), 8u);
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table table{{"Name", "Value"}};
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table table{{"Name", "Value"}};
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "222"});
+  const std::string out = table.render();
+  // Find the column position of '1' and '2' — right-aligned numbers share
+  // their final character column.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = out.find('\n', start);
+    if (pos == std::string::npos) break;
+    lines.push_back(out.substr(start, pos - start));
+    start = pos + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());  // "a ... 1" vs "longer ... 222"
+}
+
+TEST(Table, MissingTrailingCellsRenderEmpty) {
+  Table table{{"A", "B", "C"}};
+  table.add_row({"x"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(Table, TooManyCellsThrow) {
+  Table table{{"A"}};
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, SeparatorLine) {
+  Table table{{"A"}};
+  table.add_row({"x"});
+  table.add_separator();
+  table.add_row({"y"});
+  const std::string out = table.render();
+  // Header underline plus one explicit separator: two lines of dashes only.
+  std::size_t dash_lines = 0, start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(start, end - start);
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) ++dash_lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(dash_lines, 2u);
+}
+
+TEST(Table, MultibyteCellsDoNotBreakAlignment) {
+  Table table{{"M", "V"}};
+  table.add_row({"a", "55.5±4.1"});
+  table.add_row({"b", "100.0"});
+  const std::string out = table.render();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = out.find('\n', start);
+    if (pos == std::string::npos) break;
+    lines.push_back(out.substr(start, pos - start));
+    start = pos + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(display_width(lines[2]), display_width(lines[3]));
+}
+
+TEST(Table, Counts) {
+  Table table{{"A", "B"}};
+  EXPECT_EQ(table.column_count(), 2u);
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace easel::stats

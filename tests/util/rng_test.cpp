@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace easel::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+  // Reference values for SplitMix64 seeded with 0 (published test vector).
+  SplitMix64 gen{0};
+  EXPECT_EQ(gen.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(gen.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(gen.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a{1}, b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, SeedZeroIsUsable) {
+  // The all-zero state is illegal for xoshiro; the SplitMix64 expansion must
+  // avoid it even for seed 0.
+  Xoshiro256StarStar gen{0};
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) any_nonzero |= gen.next() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.uniform_u64(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Rng, UniformU64DegenerateRange) {
+  Rng rng{7};
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+  EXPECT_EQ(rng.uniform_u64(9, 3), 9u);  // inverted bounds: lo wins
+}
+
+TEST(Rng, UniformU64CoversFullSmallRange) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng{13};
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_u64(0, kBuckets - 1)];
+  }
+  // Each bucket should be within 5% of the expected count.
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.05);
+  }
+}
+
+TEST(Rng, UniformI64HandlesNegativeBounds) {
+  Rng rng{17};
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.uniform_i64(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+    saw_negative |= x < 0;
+    saw_positive |= x > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, UniformRealInHalfOpenInterval) {
+  Rng rng{19};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng{23};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{29};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits, 25000, 1000);
+}
+
+TEST(Rng, DeriveIsIndependentOfCallOrder) {
+  const Rng base{99};
+  Rng a1 = base.derive("alpha");
+  Rng b1 = base.derive("beta");
+  Rng b2 = base.derive("beta");
+  Rng a2 = base.derive("alpha");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a1.next(), a2.next());
+    EXPECT_EQ(b1.next(), b2.next());
+  }
+}
+
+TEST(Rng, DeriveDistinguishesNamesAndIndices) {
+  const Rng base{99};
+  EXPECT_NE(base.derive("alpha").next(), base.derive("beta").next());
+  EXPECT_NE(base.derive("alpha", 0).next(), base.derive("alpha", 1).next());
+}
+
+TEST(Rng, DeriveDependsOnBaseSeed) {
+  EXPECT_NE(Rng{1}.derive("noise").next(), Rng{2}.derive("noise").next());
+}
+
+TEST(Fnv1a, KnownHashes) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace easel::util

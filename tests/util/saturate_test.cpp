@@ -1,0 +1,56 @@
+#include "util/saturate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::util {
+namespace {
+
+TEST(Clamp, Basics) {
+  EXPECT_EQ(clamp(5, 0, 10), 5);
+  EXPECT_EQ(clamp(-5, 0, 10), 0);
+  EXPECT_EQ(clamp(15, 0, 10), 10);
+  EXPECT_EQ(clamp(0, 0, 0), 0);
+}
+
+TEST(SaturateCast, RoundsToNearest) {
+  EXPECT_EQ(saturate_cast<std::int16_t>(3.4), 3);
+  EXPECT_EQ(saturate_cast<std::int16_t>(3.6), 4);
+  EXPECT_EQ(saturate_cast<std::int16_t>(-3.6), -4);
+  // nearbyint uses round-to-even by default.
+  EXPECT_EQ(saturate_cast<std::int16_t>(2.5), 2);
+  EXPECT_EQ(saturate_cast<std::int16_t>(3.5), 4);
+}
+
+TEST(SaturateCast, SaturatesAtTypeLimits) {
+  EXPECT_EQ(saturate_cast<std::int16_t>(1e9), 32767);
+  EXPECT_EQ(saturate_cast<std::int16_t>(-1e9), -32768);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(1e9), 65535);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(-1.0), 0);
+}
+
+TEST(SaturateCast, NanMapsToZero) {
+  EXPECT_EQ(saturate_cast<std::int16_t>(std::nan("")), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(std::nan("")), 0);
+}
+
+TEST(SaturateCast, WithExplicitBounds) {
+  EXPECT_EQ((saturate_cast<std::uint16_t>(123.7, std::uint16_t{0}, std::uint16_t{100})), 100);
+  EXPECT_EQ((saturate_cast<std::uint16_t>(-3.0, std::uint16_t{10}, std::uint16_t{100})), 10);
+  EXPECT_EQ((saturate_cast<std::uint16_t>(55.2, std::uint16_t{0}, std::uint16_t{100})), 55);
+}
+
+TEST(SatAddU16, SaturatesAtMax) {
+  EXPECT_EQ(sat_add_u16(65000, 1000), 65535);
+  EXPECT_EQ(sat_add_u16(65535, 1), 65535);
+  EXPECT_EQ(sat_add_u16(1, 2), 3);
+  EXPECT_EQ(sat_add_u16(0, 0), 0);
+}
+
+TEST(SatSubU16, SaturatesAtZero) {
+  EXPECT_EQ(sat_sub_u16(5, 10), 0);
+  EXPECT_EQ(sat_sub_u16(10, 5), 5);
+  EXPECT_EQ(sat_sub_u16(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace easel::util

@@ -1,0 +1,55 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::util {
+namespace {
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-0.05, 1), "-0.1");
+  EXPECT_EQ(format_fixed(100.0, 1), "100.0");
+}
+
+TEST(FormatEstimate, WithInterval) {
+  EXPECT_EQ(format_estimate(55.5, 4.1), "55.5±4.1");
+  EXPECT_EQ(format_estimate(0.3, 0.4), "0.3±0.4");
+}
+
+TEST(FormatEstimate, DegenerateIntervalOmitted) {
+  // The paper prints plain "100.0" when no CI can be estimated.
+  EXPECT_EQ(format_estimate(100.0, 0.0), "100.0");
+  EXPECT_EQ(format_estimate(0.0, 0.0), "0.0");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("EA1(SetValue)", "EA1"));
+  EXPECT_FALSE(starts_with("EA1", "EA1(SetValue)"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace easel::util

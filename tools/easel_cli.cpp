@@ -1,0 +1,265 @@
+// easel — command-line front end for the experiment rig.
+//
+//   easel golden   [--mass M] [--velocity V] [--obs-ms N]
+//   easel inject   --signal 0..6 --bit 0..15 [--model flip|sa1|sa0]
+//                  [--mass M] [--velocity V] [--watchdog MS] [--csv]
+//   easel sweep    --signal 0..6 [--cases N] [--csv]      per-bit detection map
+//   easel e1       [--cases N] [--obs-ms N] [--seed N] [--csv]
+//   easel e2       [--cases N] [--obs-ms N] [--seed N] [--csv]
+//   easel errors   [--e2-seed N]                           list error sets
+//   easel trace    [--signal S --bit B] [--mass M] [--velocity V]  CSV trace
+//   easel table4                                           placement artefacts
+//
+// Exit code 0 on success, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "arrestor/inventory.hpp"
+#include "fi/export.hpp"
+#include "fi/report.hpp"
+#include "fi/trace.hpp"
+
+using namespace easel;
+
+namespace {
+
+struct Args {
+  std::string command;
+  double mass = 14000.0;
+  double velocity = 60.0;
+  std::optional<std::size_t> signal;
+  std::optional<unsigned> bit;
+  fi::FaultModel model = fi::FaultModel::bit_flip;
+  std::size_t cases = 25;
+  std::uint32_t obs_ms = sim::kObservationMs;
+  std::uint64_t seed = 2000;
+  std::uint64_t e2_seed = 2000;
+  std::uint32_t watchdog_ms = 0;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* reason) {
+  std::fprintf(stderr, "easel: %s\n", reason);
+  std::fprintf(stderr,
+               "commands: golden | inject | sweep | e1 | e2 | errors | trace | table4\n"
+               "options:  --mass M --velocity V --signal 0..6 --bit 0..15\n"
+               "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
+               "          --watchdog MS --csv\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const auto is = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage("option needs a value");
+      return argv[++i];
+    };
+    if (is("--mass")) {
+      args.mass = std::atof(value());
+    } else if (is("--velocity")) {
+      args.velocity = std::atof(value());
+    } else if (is("--signal")) {
+      args.signal = static_cast<std::size_t>(std::atoi(value())) % 7;
+    } else if (is("--bit")) {
+      args.bit = static_cast<unsigned>(std::atoi(value())) % 16;
+    } else if (is("--model")) {
+      const std::string m = value();
+      if (m == "flip") args.model = fi::FaultModel::bit_flip;
+      else if (m == "sa1") args.model = fi::FaultModel::stuck_at_1;
+      else if (m == "sa0") args.model = fi::FaultModel::stuck_at_0;
+      else usage("unknown fault model");
+    } else if (is("--cases")) {
+      args.cases = static_cast<std::size_t>(std::atoll(value()));
+    } else if (is("--obs-ms")) {
+      args.obs_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (is("--seed")) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (is("--e2-seed")) {
+      args.e2_seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (is("--watchdog")) {
+      args.watchdog_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (is("--csv")) {
+      args.csv = true;
+    } else {
+      usage("unknown option");
+    }
+  }
+  return args;
+}
+
+void print_run(const fi::RunConfig& config, const fi::RunResult& result, bool csv) {
+  if (csv) {
+    std::fputs(fi::run_csv_header().c_str(), stdout);
+    std::fputs(fi::run_to_csv(config, result).c_str(), stdout);
+    return;
+  }
+  std::printf("aircraft: %.0f kg at %.1f m/s\n", config.test_case.mass_kg,
+              config.test_case.velocity_mps);
+  if (config.error) {
+    std::printf("error: %s (address %zu bit %u, %s, every %u ms)\n",
+                config.error->label.c_str(), config.error->address, config.error->bit,
+                std::string{to_string(config.error->model)}.c_str(),
+                config.injection_period_ms);
+  }
+  std::printf("detected:  %s", result.detected ? "yes" : "no");
+  if (result.detected) {
+    std::printf("  (first at %llu ms, latency %llu ms, %llu reports)",
+                static_cast<unsigned long long>(result.first_detection_ms),
+                static_cast<unsigned long long>(result.latency_ms),
+                static_cast<unsigned long long>(result.detection_count));
+  }
+  std::printf("\nfailed:    %s", result.failed ? "YES" : "no");
+  if (result.failed) {
+    std::printf("  (%s at %llu ms)", std::string{arrestor::to_string(result.failure)}.c_str(),
+                static_cast<unsigned long long>(result.failure_ms));
+  }
+  std::printf("\narrestment: %s at %.1f m, peak %.2f g, peak force %.1f kN%s\n",
+              result.stopped ? "stopped" : "NOT STOPPED", result.final_position_m,
+              result.peak_retardation_g, result.peak_force_n / 1000.0,
+              result.node_halted ? "  [node halted]" : "");
+}
+
+fi::CampaignOptions campaign_options(const Args& args) {
+  fi::CampaignOptions options;
+  options.seed = args.seed;
+  options.test_case_count = args.cases;
+  options.observation_ms = args.obs_ms;
+  options.progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+  return options;
+}
+
+int cmd_golden(const Args& args) {
+  fi::RunConfig config;
+  config.test_case = {args.mass, args.velocity};
+  config.observation_ms = args.obs_ms;
+  config.watchdog_timeout_ms = args.watchdog_ms;
+  print_run(config, fi::run_experiment(config), args.csv);
+  return 0;
+}
+
+int cmd_inject(const Args& args) {
+  if (!args.signal || !args.bit) usage("inject needs --signal and --bit");
+  fi::RunConfig config;
+  config.test_case = {args.mass, args.velocity};
+  config.observation_ms = args.obs_ms;
+  config.watchdog_timeout_ms = args.watchdog_ms;
+  config.error = fi::make_e1_for_target()[*args.signal * 16 + *args.bit];
+  config.error->model = args.model;
+  print_run(config, fi::run_experiment(config), args.csv);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (!args.signal) usage("sweep needs --signal");
+  const auto errors = fi::make_e1_for_target();
+  const auto signal = static_cast<arrestor::MonitoredSignal>(*args.signal);
+  fi::CampaignOptions options = campaign_options(args);
+  if (args.cases == 25) options.test_case_count = 5;
+  const auto cases = fi::campaign_test_cases(options);
+  if (args.csv) std::fputs(fi::run_csv_header().c_str(), stdout);
+  else std::printf("per-bit sweep of %s over %zu cases:\n", arrestor::to_string(signal),
+                   cases.size());
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    std::size_t detected = 0, failed = 0;
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      fi::RunConfig config;
+      config.test_case = cases[ci];
+      config.observation_ms = options.observation_ms;
+      config.error = errors[*args.signal * 16 + bit];
+      config.error->model = args.model;
+      config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+      const fi::RunResult r = fi::run_experiment(config);
+      if (args.csv) std::fputs(fi::run_to_csv(config, r).c_str(), stdout);
+      detected += r.detected ? 1 : 0;
+      failed += r.failed ? 1 : 0;
+    }
+    if (!args.csv) {
+      std::printf("  bit %2u: detected %zu/%zu, failed %zu/%zu\n", bit, detected,
+                  cases.size(), failed, cases.size());
+    }
+  }
+  return 0;
+}
+
+int cmd_e1(const Args& args) {
+  const fi::E1Results results = fi::run_e1(campaign_options(args));
+  if (args.csv) {
+    std::fputs(fi::e1_to_csv(results).c_str(), stdout);
+  } else {
+    std::printf("%s\n%s\n%s", fi::render_table7(results).c_str(),
+                fi::render_table8(results).c_str(), fi::render_e1_summary(results).c_str());
+  }
+  return 0;
+}
+
+int cmd_e2(const Args& args) {
+  fi::CampaignOptions options = campaign_options(args);
+  options.seed = args.e2_seed != 2000 ? args.e2_seed : args.seed;
+  const fi::E2Results results = fi::run_e2(options);
+  if (args.csv) std::fputs(fi::e2_to_csv(results).c_str(), stdout);
+  else std::printf("%s\n%s", fi::render_table9(results).c_str(),
+                   fi::render_e2_summary(results).c_str());
+  return 0;
+}
+
+int cmd_errors(const Args& args) {
+  std::printf("%s\n", fi::render_table6().c_str());
+  const auto e2 = fi::make_e2_for_target(util::Rng{args.e2_seed}.derive("e2-errors"));
+  std::printf("E2 (seed %llu):\n", static_cast<unsigned long long>(args.e2_seed));
+  for (const auto& error : e2) {
+    std::printf("  %-5s %-5s address %4zu bit %u\n", error.label.c_str(),
+                mem::to_string(error.region), error.address, error.bit);
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  fi::RunConfig config;
+  config.test_case = {args.mass, args.velocity};
+  config.observation_ms = args.obs_ms == sim::kObservationMs ? 20000 : args.obs_ms;
+  if (args.signal && args.bit) {
+    config.error = fi::make_e1_for_target()[*args.signal * 16 + *args.bit];
+    config.error->model = args.model;
+  }
+  fi::TraceRecorder recorder{10};
+  config.trace = &recorder;
+  const fi::RunResult result = fi::run_experiment(config);
+  std::fprintf(stderr, "detected=%d failed=%d stop=%.1fm\n", result.detected ? 1 : 0,
+               result.failed ? 1 : 0, result.final_position_m);
+  std::fputs(recorder.to_csv().c_str(), stdout);
+  return 0;
+}
+
+int cmd_table4() {
+  const core::SignalInventory inventory = arrestor::build_inventory();
+  std::printf("%s\n", inventory.render_table4().c_str());
+  const auto unfinished = inventory.unfinished();
+  std::printf("placement steps 1-7: %s\n", unfinished.empty() ? "complete" : "incomplete");
+  for (const auto& item : unfinished) std::printf("  %s\n", item.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "golden") return cmd_golden(args);
+  if (args.command == "inject") return cmd_inject(args);
+  if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "e1") return cmd_e1(args);
+  if (args.command == "e2") return cmd_e2(args);
+  if (args.command == "errors") return cmd_errors(args);
+  if (args.command == "trace") return cmd_trace(args);
+  if (args.command == "table4") return cmd_table4();
+  usage("unknown command");
+}
