@@ -4,24 +4,76 @@
 //   --cases N       test cases per error (default 25, the 5x5 grid)
 //   --obs-ms N      observation window (default 40000)
 //   --seed N        campaign master seed (default 2000)
+//   --jobs N        worker threads (default: hardware concurrency; results
+//                   are bit-identical for any value)
+//   --out-dir DIR   directory for campaign caches and BENCH_*.json
 //   --quick         shorthand for --cases 2 --obs-ms 12000 (smoke-test scale)
 //
-// The EASEL_QUICK environment variable (any non-empty value) also enables
-// quick mode, so "for b in build/bench/*; do $b; done" can be scaled from
-// the outside.
+// Environment equivalents, so "for b in build/bench/*; do $b; done" can be
+// scaled from the outside: EASEL_QUICK (any non-empty value), EASEL_JOBS,
+// EASEL_OUT_DIR.  Numeric options are validated strictly: non-numeric,
+// zero, or negative values are usage errors, never silently 0.
 #pragma once
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <string>
 
 #include "fi/campaign.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bench {
 
+/// Strict positive-integer parsing for command-line/environment values:
+/// rejects empty, non-numeric, trailing-garbage, zero, and negative input
+/// with a clear message (std::atoll would silently yield 0).
+inline std::uint64_t parse_positive(const char* what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = text == nullptr ? 0 : std::strtoll(text, &end, 10);
+  if (text == nullptr || end == text || *end != '\0' || errno != 0 || value <= 0) {
+    std::fprintf(stderr, "easel bench: %s expects a positive integer, got '%s'\n", what,
+                 text == nullptr ? "" : text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Directory for campaign caches and BENCH_*.json artefacts:
+/// --out-dir / EASEL_OUT_DIR, else "bench_out" under the current directory
+/// (created on demand) so build artefacts never land loose in the CWD.
+inline std::string& out_dir_storage() {
+  static std::string dir;
+  return dir;
+}
+
+inline std::string out_dir() {
+  std::string dir = out_dir_storage();
+  if (dir.empty()) {
+    if (const char* env = std::getenv("EASEL_OUT_DIR"); env != nullptr && env[0] != '\0') {
+      dir = env;
+    } else {
+      dir = "bench_out";
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open errors surface later
+  return dir;
+}
+
 inline easel::fi::CampaignOptions parse_options(int argc, char** argv) {
   easel::fi::CampaignOptions options;
+  options.jobs = easel::util::default_jobs();
+  if (const char* env = std::getenv("EASEL_JOBS"); env != nullptr && env[0] != '\0') {
+    options.jobs = static_cast<std::size_t>(parse_positive("EASEL_JOBS", env));
+  }
   const auto quick = [&options] {
     options.test_case_count = 2;
     options.observation_ms = 12000;
@@ -29,21 +81,43 @@ inline easel::fi::CampaignOptions parse_options(int argc, char** argv) {
   if (const char* env = std::getenv("EASEL_QUICK"); env != nullptr && env[0] != '\0') quick();
   for (int i = 1; i < argc; ++i) {
     const auto is = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    const auto value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "easel bench: %s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     if (is("--quick")) {
       quick();
-    } else if (is("--cases") && i + 1 < argc) {
-      options.test_case_count = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (is("--obs-ms") && i + 1 < argc) {
-      options.observation_ms = static_cast<std::uint32_t>(std::atoll(argv[++i]));
-    } else if (is("--seed") && i + 1 < argc) {
-      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (is("--cases")) {
+      options.test_case_count = static_cast<std::size_t>(parse_positive("--cases", value("--cases")));
+    } else if (is("--obs-ms")) {
+      options.observation_ms = static_cast<std::uint32_t>(parse_positive("--obs-ms", value("--obs-ms")));
+    } else if (is("--seed")) {
+      options.seed = parse_positive("--seed", value("--seed"));
+    } else if (is("--jobs")) {
+      options.jobs = static_cast<std::size_t>(parse_positive("--jobs", value("--jobs")));
+    } else if (is("--out-dir")) {
+      out_dir_storage() = value("--out-dir");
     } else {
-      std::fprintf(stderr, "unknown option '%s' (supported: --quick --cases N --obs-ms N --seed N)\n",
+      std::fprintf(stderr,
+                   "unknown option '%s' (supported: --quick --cases N --obs-ms N --seed N "
+                   "--jobs N --out-dir DIR)\n",
                    argv[i]);
       std::exit(2);
     }
   }
+  // Thread-safe, rate-limited progress: workers may report concurrently, so
+  // serialize the terminal writes and cap them at ~10 updates/s (plus the
+  // final one) — a 16-way campaign otherwise spends real time on \r redraws.
   options.progress = [](std::size_t done, std::size_t total) {
+    static std::mutex mutex;
+    static std::chrono::steady_clock::time_point last{};
+    const std::lock_guard<std::mutex> lock{mutex};
+    const auto now = std::chrono::steady_clock::now();
+    if (done != total && now - last < std::chrono::milliseconds(100)) return;
+    last = now;
     std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
     if (done == total) std::fprintf(stderr, "\n");
     std::fflush(stderr);
@@ -56,7 +130,64 @@ inline std::string e1_cache_path() {
   if (const char* env = std::getenv("EASEL_E1_CACHE"); env != nullptr && env[0] != '\0') {
     return env;
   }
-  return "easel_e1_results.cache";
+  return out_dir() + "/easel_e1_results.cache";
+}
+
+/// Cache file reused across table-9 (and all-assertions ablation) runs.
+inline std::string e2_cache_path() {
+  if (const char* env = std::getenv("EASEL_E2_CACHE"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return out_dir() + "/easel_e2_results.cache";
+}
+
+/// Wall-clock stopwatch for campaign timing.
+class WallTimer {
+ public:
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
+/// Appends one record to <out-dir>/BENCH_campaigns.json (a JSON array,
+/// rewritten in place), so campaign throughput is tracked machine-readably
+/// across invocations and PRs.
+inline void record_campaign(const char* bench, const easel::fi::CampaignOptions& options,
+                            const std::string& key, std::size_t runs, double wall_seconds,
+                            bool cached) {
+  std::ostringstream entry;
+  entry << "  {\"bench\": \"" << bench << "\", \"key\": \"" << key
+        << "\", \"jobs\": " << options.jobs << ", \"cases\": " << options.test_case_count
+        << ", \"obs_ms\": " << options.observation_ms << ", \"runs\": " << runs
+        << ", \"wall_s\": " << wall_seconds << ", \"runs_per_sec\": "
+        << (wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0)
+        << ", \"cached\": " << (cached ? "true" : "false") << "}";
+
+  const std::string path = out_dir() + "/BENCH_campaigns.json";
+  std::string existing;
+  if (std::ifstream in{path}) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  // Keep the file a valid JSON array: drop the closing bracket (and any
+  // trailing whitespace) of the previous contents, then re-close it.
+  const std::size_t bracket = existing.find_last_of(']');
+  std::ofstream out{path, std::ios::trunc};
+  if (bracket == std::string::npos || existing.find_first_of('[') == std::string::npos) {
+    out << "[\n" << entry.str() << "\n]\n";
+  } else {
+    std::string head = existing.substr(0, bracket);
+    while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
+    if (head == "[") {
+      out << "[\n" << entry.str() << "\n]\n";  // previous file held an empty array
+    } else {
+      out << head << ",\n" << entry.str() << "\n]\n";
+    }
+  }
 }
 
 }  // namespace bench

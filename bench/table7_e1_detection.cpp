@@ -4,7 +4,8 @@
 // 22 400 runs at default scale).
 //
 // The campaign results are cached on disk so bench_table8_e1_latency (a
-// second view of the same runs) does not have to repeat them.
+// second view of the same runs) does not have to repeat them.  Runs are
+// spread over --jobs workers; the results are identical for any job count.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -16,17 +17,23 @@ int main(int argc, char** argv) {
   const std::string key = fi::campaign_key(options);
   const std::string cache = bench::e1_cache_path();
 
+  const bench::WallTimer timer;
+  bool cached = false;
   fi::E1Results results;
-  if (const auto cached = fi::load_e1(cache, key)) {
+  if (const auto loaded = fi::load_e1(cache, key)) {
     std::fprintf(stderr, "using cached E1 campaign from %s\n", cache.c_str());
-    results = *cached;
+    results = *loaded;
+    cached = true;
   } else {
     std::fprintf(stderr,
-                 "running E1 campaign: 8 versions x 112 errors x %zu cases, %u-ms window\n",
-                 options.test_case_count, options.observation_ms);
+                 "running E1 campaign: 8 versions x 112 errors x %zu cases, %u-ms window, "
+                 "%zu jobs\n",
+                 options.test_case_count, options.observation_ms, options.jobs);
     results = fi::run_e1(options);
     save_e1(results, cache, key);
   }
+  bench::record_campaign("table7_e1_detection", options, key, results.runs, timer.seconds(),
+                         cached);
 
   std::printf("%s\n", fi::render_table7(results).c_str());
   std::printf("%s\n", fi::render_e1_summary(results).c_str());

@@ -3,7 +3,8 @@
 // over all detected errors of the E1 campaign.
 //
 // Reuses the campaign cached by bench_table7_e1_detection when available
-// (same runs, different view); otherwise runs the campaign itself.
+// (same runs, different view); otherwise runs the campaign itself, spread
+// over --jobs workers.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -15,17 +16,23 @@ int main(int argc, char** argv) {
   const std::string key = fi::campaign_key(options);
   const std::string cache = bench::e1_cache_path();
 
+  const bench::WallTimer timer;
+  bool cached = false;
   fi::E1Results results;
-  if (const auto cached = fi::load_e1(cache, key)) {
+  if (const auto loaded = fi::load_e1(cache, key)) {
     std::fprintf(stderr, "using cached E1 campaign from %s\n", cache.c_str());
-    results = *cached;
+    results = *loaded;
+    cached = true;
   } else {
     std::fprintf(stderr,
-                 "running E1 campaign: 8 versions x 112 errors x %zu cases, %u-ms window\n",
-                 options.test_case_count, options.observation_ms);
+                 "running E1 campaign: 8 versions x 112 errors x %zu cases, %u-ms window, "
+                 "%zu jobs\n",
+                 options.test_case_count, options.observation_ms, options.jobs);
     results = fi::run_e1(options);
     save_e1(results, cache, key);
   }
+  bench::record_campaign("table8_e1_latency", options, key, results.runs, timer.seconds(),
+                         cached);
 
   std::printf("%s\n", fi::render_table8(results).c_str());
   const auto& all = results.totals[fi::kAllVersion].latency;

@@ -3,6 +3,9 @@
 // application RAM, 50 in the 1008-byte stack) x 25 test cases = 5000 runs
 // on the all-assertions version.
 //
+// The campaign is cached under its configuration key: a second invocation
+// at the same scale/seed reuses the results (no runs, no progress output).
+//
 // Also evaluates the §2.4 coverage model against the measurement: with Pem
 // read off the memory map and Pds from the E1 headline, the measured
 // Pdetect implies a propagation probability Pprop.
@@ -15,10 +18,25 @@
 int main(int argc, char** argv) {
   using namespace easel;
   const fi::CampaignOptions options = bench::parse_options(argc, argv);
+  const std::string key = fi::e2_campaign_key(options);
+  const std::string cache = bench::e2_cache_path();
 
-  std::fprintf(stderr, "running E2 campaign: 200 errors x %zu cases, %u-ms window\n",
-               options.test_case_count, options.observation_ms);
-  const fi::E2Results results = fi::run_e2(options);
+  const bench::WallTimer timer;
+  bool cached = false;
+  fi::E2Results results;
+  if (const auto loaded = fi::load_e2(cache, key)) {
+    std::fprintf(stderr, "using cached E2 campaign from %s\n", cache.c_str());
+    results = *loaded;
+    cached = true;
+  } else {
+    std::fprintf(stderr,
+                 "running E2 campaign: 200 errors x %zu cases, %u-ms window, %zu jobs\n",
+                 options.test_case_count, options.observation_ms, options.jobs);
+    results = fi::run_e2(options);
+    save_e2(results, cache, key);
+  }
+  bench::record_campaign("table9_e2_random", options, key, results.runs, timer.seconds(),
+                         cached);
 
   std::printf("%s\n", fi::render_table9(results).c_str());
   std::printf("%s\n", fi::render_e2_summary(results).c_str());

@@ -1,7 +1,12 @@
 #include "fi/campaign.hpp"
 
+#include <atomic>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace easel::fi {
 
@@ -20,6 +25,28 @@ std::vector<sim::TestCase> campaign_test_cases(const CampaignOptions& options) {
                                 util::Rng{options.seed}.derive("test-cases"));
 }
 
+void E1Results::merge(const E1Results& other) noexcept {
+  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+    for (std::size_t v = 0; v < kVersionCount; ++v) cells[s][v].merge(other.cells[s][v]);
+  }
+  for (std::size_t v = 0; v < kVersionCount; ++v) totals[v].merge(other.totals[v]);
+  runs += other.runs;
+}
+
+void AreaResults::merge(const AreaResults& other) noexcept {
+  detection.merge(other.detection);
+  latency_all.merge(other.latency_all);
+  latency_fail.merge(other.latency_fail);
+  histogram.merge(other.histogram);
+}
+
+void E2Results::merge(const E2Results& other) noexcept {
+  ram.merge(other.ram);
+  stack.merge(other.stack);
+  total.merge(other.total);
+  runs += other.runs;
+}
+
 namespace {
 
 /// Per-test-case sensor-noise seed: identical across errors and versions so
@@ -33,6 +60,56 @@ void account(Cell& cell, const RunResult& result) {
   if (result.detected) cell.latency.add(result.latency_ms);
 }
 
+/// Shared progress plumbing for the parallel drivers: workers bump an
+/// atomic counter per finished run; the callback fires (under a mutex, with
+/// monotonically increasing `done`) every 200 runs and at completion — the
+/// same cadence the serial engine always had.
+class Progress {
+ public:
+  Progress(const CampaignOptions& options, std::size_t total)
+      : callback_(options.progress), total_(total) {}
+
+  void tick() {
+    const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!callback_ || (done % 200 != 0 && done != total_)) return;
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (done <= reported_) return;  // a slower worker finished a later batch first
+    reported_ = done;
+    callback_(done, total_);
+  }
+
+ private:
+  const std::function<void(std::size_t, std::size_t)>& callback_;
+  std::size_t total_;
+  std::atomic<std::size_t> done_{0};
+  std::mutex mutex_;
+  std::size_t reported_ = 0;
+};
+
+/// Runs `total` runs across a worker pool: build_config(index) describes the
+/// run, account(partials[worker], result, index) books it.  Partials are
+/// merged into partials[0] in fixed worker order, so the outcome is
+/// bit-identical for any job count (each run is a pure function of its
+/// config, and all accumulators are order-independent integer aggregates).
+template <typename Results, typename BuildConfig, typename Account>
+Results run_campaign(const CampaignOptions& options, std::size_t total,
+                     const BuildConfig& build_config, const Account& account_run) {
+  util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
+  std::vector<Results> partials(pool.workers());
+  Progress progress{options, total};
+
+  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t index, std::size_t worker) {
+    const RunConfig config = build_config(index);
+    const RunResult result = run_experiment(config);
+    account_run(partials[worker], result, index);
+    ++partials[worker].runs;
+    progress.tick();
+  });
+
+  for (std::size_t w = 1; w < partials.size(); ++w) partials[0].merge(partials[w]);
+  return partials[0];
+}
+
 }  // namespace
 
 E1Results run_e1(const CampaignOptions& options) {
@@ -40,34 +117,31 @@ E1Results run_e1(const CampaignOptions& options) {
   const auto cases = campaign_test_cases(options);
   const auto versions = paper_versions();
 
-  E1Results results;
+  // Dense run index: ((version * errors + error) * cases + case).
   const std::size_t total = versions.size() * errors.size() * cases.size();
-  std::size_t done = 0;
-
-  for (std::size_t v = 0; v < versions.size(); ++v) {
-    for (const ErrorSpec& error : errors) {
-      const auto signal_idx = static_cast<std::size_t>(*error.signal);
-      for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+  return run_campaign<E1Results>(
+      options, total,
+      [&](std::size_t index) {
+        const std::size_t ci = index % cases.size();
+        const std::size_t e = (index / cases.size()) % errors.size();
+        const std::size_t v = index / (cases.size() * errors.size());
         RunConfig config;
         config.test_case = cases[ci];
         config.assertions = versions[v];
         config.recovery = options.recovery;
-        config.error = error;
+        config.error = errors[e];
         config.injection_period_ms = options.injection_period_ms;
         config.observation_ms = options.observation_ms;
         config.noise_seed = noise_seed(options, ci);
-
-        const RunResult result = run_experiment(config);
-        account(results.cells[signal_idx][v], result);
-        account(results.totals[v], result);
-        ++results.runs;
-        if (options.progress && (++done % 200 == 0 || done == total)) {
-          options.progress(done, total);
-        }
-      }
-    }
-  }
-  return results;
+        return config;
+      },
+      [&](E1Results& partial, const RunResult& result, std::size_t index) {
+        const std::size_t e = (index / cases.size()) % errors.size();
+        const std::size_t v = index / (cases.size() * errors.size());
+        const auto signal_idx = static_cast<std::size_t>(*errors[e].signal);
+        account(partial.cells[signal_idx][v], result);
+        account(partial.totals[v], result);
+      });
 }
 
 E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
@@ -76,85 +150,161 @@ E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
                                          ram_errors, stack_errors);
   const auto cases = campaign_test_cases(options);
 
-  E2Results results;
   const std::size_t total = errors.size() * cases.size();
-  std::size_t done = 0;
-
-  for (const ErrorSpec& error : errors) {
-    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
-      RunConfig config;
-      config.test_case = cases[ci];
-      config.assertions = arrestor::kAllAssertions;
-      config.recovery = options.recovery;
-      config.error = error;
-      config.injection_period_ms = options.injection_period_ms;
-      config.observation_ms = options.observation_ms;
-      config.noise_seed = noise_seed(options, ci);
-
-      const RunResult result = run_experiment(config);
-      AreaResults& area = error.region == mem::Region::ram ? results.ram : results.stack;
-      for (AreaResults* bucket : {&area, &results.total}) {
-        bucket->detection.add(result.detected, result.failed);
-        if (result.detected) {
-          bucket->latency_all.add(result.latency_ms);
-          bucket->histogram.add(result.latency_ms);
-          if (result.failed) bucket->latency_fail.add(result.latency_ms);
+  return run_campaign<E2Results>(
+      options, total,
+      [&](std::size_t index) {
+        const std::size_t ci = index % cases.size();
+        const std::size_t e = index / cases.size();
+        RunConfig config;
+        config.test_case = cases[ci];
+        config.assertions = arrestor::kAllAssertions;
+        config.recovery = options.recovery;
+        config.error = errors[e];
+        config.injection_period_ms = options.injection_period_ms;
+        config.observation_ms = options.observation_ms;
+        config.noise_seed = noise_seed(options, ci);
+        return config;
+      },
+      [&](E2Results& partial, const RunResult& result, std::size_t index) {
+        const std::size_t e = index / cases.size();
+        AreaResults& area =
+            errors[e].region == mem::Region::ram ? partial.ram : partial.stack;
+        for (AreaResults* bucket : {&area, &partial.total}) {
+          bucket->detection.add(result.detected, result.failed);
+          if (result.detected) {
+            bucket->latency_all.add(result.latency_ms);
+            bucket->histogram.add(result.latency_ms);
+            if (result.failed) bucket->latency_fail.add(result.latency_ms);
+          }
         }
-      }
-      ++results.runs;
-      if (options.progress && (++done % 200 == 0 || done == total)) {
-        options.progress(done, total);
-      }
-    }
-  }
-  return results;
+      });
 }
 
-std::string campaign_key(const CampaignOptions& options) {
+// ---------------------------------------------------------------------------
+// Keyed campaign cache.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kCacheMagic = "easel-campaign-cache v2";
+constexpr const char* kCacheEnd = "end";
+
+std::string options_key(const CampaignOptions& options) {
   std::ostringstream key;
-  key << "e1 v1 seed=" << options.seed << " cases=" << options.test_case_count
+  key << "seed=" << options.seed << " cases=" << options.test_case_count
       << " obs=" << options.observation_ms << " period=" << options.injection_period_ms
       << " recovery=" << static_cast<int>(options.recovery);
   return key.str();
 }
 
-namespace {
+void write_detection(std::ostream& out, const stats::DetectionMeasures& d) {
+  out << d.all.successes << ' ' << d.all.trials << ' ' << d.fail.successes << ' '
+      << d.fail.trials << ' ' << d.no_fail.successes << ' ' << d.no_fail.trials;
+}
+
+bool read_detection(std::istream& in, stats::DetectionMeasures& d) {
+  return static_cast<bool>(in >> d.all.successes >> d.all.trials >> d.fail.successes >>
+                           d.fail.trials >> d.no_fail.successes >> d.no_fail.trials);
+}
+
+void write_latency(std::ostream& out, const stats::LatencyStats& l) {
+  out << l.count() << ' ' << l.min() << ' ' << l.max() << ' ' << l.sum();
+}
+
+bool read_latency(std::istream& in, stats::LatencyStats& l) {
+  std::uint64_t count = 0, min = 0, max = 0, sum = 0;
+  if (!(in >> count >> min >> max >> sum)) return false;
+  l = stats::LatencyStats::from_parts(count, min, max, sum);
+  return true;
+}
 
 void write_cell(std::ostream& out, const Cell& cell) {
-  const auto& d = cell.detection;
-  out << d.all.successes << ' ' << d.all.trials << ' ' << d.fail.successes << ' '
-      << d.fail.trials << ' ' << d.no_fail.successes << ' ' << d.no_fail.trials << ' '
-      << cell.latency.count() << ' ' << cell.latency.min() << ' ' << cell.latency.max() << ' '
-      << cell.latency.sum() << '\n';
+  write_detection(out, cell.detection);
+  out << ' ';
+  write_latency(out, cell.latency);
+  out << '\n';
 }
 
 bool read_cell(std::istream& in, Cell& cell) {
-  std::uint64_t count = 0, min = 0, max = 0, sum = 0;
-  auto& d = cell.detection;
-  if (!(in >> d.all.successes >> d.all.trials >> d.fail.successes >> d.fail.trials >>
-        d.no_fail.successes >> d.no_fail.trials >> count >> min >> max >> sum)) {
+  return read_detection(in, cell.detection) && read_latency(in, cell.latency);
+}
+
+void write_area(std::ostream& out, const AreaResults& area) {
+  write_detection(out, area.detection);
+  out << ' ';
+  write_latency(out, area.latency_all);
+  out << ' ';
+  write_latency(out, area.latency_fail);
+  out << '\n';
+  for (std::size_t b = 0; b < stats::LatencyHistogram::kBuckets; ++b) {
+    out << area.histogram.count_in(b) << (b + 1 < stats::LatencyHistogram::kBuckets ? ' ' : '\n');
+  }
+}
+
+bool read_area(std::istream& in, AreaResults& area) {
+  if (!read_detection(in, area.detection) || !read_latency(in, area.latency_all) ||
+      !read_latency(in, area.latency_fail)) {
     return false;
   }
-  cell.latency = stats::LatencyStats::from_parts(count, min, max, sum);
+  std::array<std::uint64_t, stats::LatencyHistogram::kBuckets> counts{};
+  for (auto& count : counts) {
+    if (!(in >> count)) return false;
+  }
+  area.histogram = stats::LatencyHistogram::from_counts(counts);
   return true;
+}
+
+/// Header: magic+kind line, then the key line.  A mismatch on either means
+/// "not our cache" and the loader reports nullopt rather than guessing.
+void write_header(std::ostream& out, const char* kind, const std::string& key) {
+  out << kCacheMagic << ' ' << kind << '\n' << key << '\n';
+}
+
+bool read_header(std::istream& in, const char* kind, const std::string& key) {
+  std::string magic_line, file_key;
+  if (!std::getline(in, magic_line) || !std::getline(in, file_key)) return false;
+  return magic_line == std::string{kCacheMagic} + ' ' + kind && file_key == key;
+}
+
+/// The trailing sentinel distinguishes a complete file from one truncated
+/// after the last numeric field.
+bool read_end(std::istream& in) {
+  std::string word;
+  return static_cast<bool>(in >> word) && word == kCacheEnd;
 }
 
 }  // namespace
 
-void save_e1(const E1Results& results, const std::string& path, const std::string& key) {
-  std::ofstream out{path};
-  out << key << '\n' << results.runs << '\n';
+std::string campaign_key(const CampaignOptions& options) {
+  return "e1 " + options_key(options);
+}
+
+std::string e2_campaign_key(const CampaignOptions& options, std::size_t ram_errors,
+                            std::size_t stack_errors) {
+  std::ostringstream key;
+  key << "e2 " << options_key(options) << " ram=" << ram_errors
+      << " stack=" << stack_errors;
+  return key.str();
+}
+
+void save_e1(const E1Results& results, std::ostream& out, const std::string& key) {
+  write_header(out, "e1", key);
+  out << results.runs << '\n';
   for (const auto& row : results.cells) {
     for (const Cell& cell : row) write_cell(out, cell);
   }
   for (const Cell& cell : results.totals) write_cell(out, cell);
+  out << kCacheEnd << '\n';
 }
 
-std::optional<E1Results> load_e1(const std::string& path, const std::string& key) {
-  std::ifstream in{path};
-  if (!in) return std::nullopt;
-  std::string file_key;
-  if (!std::getline(in, file_key) || file_key != key) return std::nullopt;
+void save_e1(const E1Results& results, const std::string& path, const std::string& key) {
+  std::ofstream out{path};
+  save_e1(results, out, key);
+}
+
+std::optional<E1Results> load_e1(std::istream& in, const std::string& key) {
+  if (!read_header(in, "e1", key)) return std::nullopt;
   E1Results results;
   if (!(in >> results.runs)) return std::nullopt;
   for (auto& row : results.cells) {
@@ -165,7 +315,45 @@ std::optional<E1Results> load_e1(const std::string& path, const std::string& key
   for (Cell& cell : results.totals) {
     if (!read_cell(in, cell)) return std::nullopt;
   }
+  if (!read_end(in)) return std::nullopt;
   return results;
+}
+
+std::optional<E1Results> load_e1(const std::string& path, const std::string& key) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  return load_e1(in, key);
+}
+
+void save_e2(const E2Results& results, std::ostream& out, const std::string& key) {
+  write_header(out, "e2", key);
+  out << results.runs << '\n';
+  for (const AreaResults* area : {&results.ram, &results.stack, &results.total}) {
+    write_area(out, *area);
+  }
+  out << kCacheEnd << '\n';
+}
+
+void save_e2(const E2Results& results, const std::string& path, const std::string& key) {
+  std::ofstream out{path};
+  save_e2(results, out, key);
+}
+
+std::optional<E2Results> load_e2(std::istream& in, const std::string& key) {
+  if (!read_header(in, "e2", key)) return std::nullopt;
+  E2Results results;
+  if (!(in >> results.runs)) return std::nullopt;
+  for (AreaResults* area : {&results.ram, &results.stack, &results.total}) {
+    if (!read_area(in, *area)) return std::nullopt;
+  }
+  if (!read_end(in)) return std::nullopt;
+  return results;
+}
+
+std::optional<E2Results> load_e2(const std::string& path, const std::string& key) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  return load_e2(in, key);
 }
 
 }  // namespace easel::fi

@@ -8,12 +8,17 @@
 //   errors x the test-case set = 5000 runs.
 //
 // Campaigns are deterministic in (options.seed, scale parameters) and
-// single-threaded; a progress callback reports completed runs.
+// *invariant under options.jobs*: every run is a pure function of its
+// RunConfig (seeding derives from (seed, case index), never from execution
+// order), workers accumulate into per-worker partial results, and partials
+// are merged in fixed worker order — so jobs=1 and jobs=N are bit-identical.
+// A thread-safe progress callback reports completed runs.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -30,7 +35,9 @@ struct CampaignOptions {
   std::uint32_t observation_ms = sim::kObservationMs;
   std::uint32_t injection_period_ms = 20;
   core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
-  std::function<void(std::size_t done, std::size_t total)> progress;  ///< optional
+  std::size_t jobs = 1;               ///< worker threads; results invariant under this
+  std::function<void(std::size_t done, std::size_t total)> progress;  ///< optional;
+                                      ///< must be thread-safe when jobs > 1
 };
 
 /// The paper's eight software versions: EA1 alone .. EA7 alone, then all.
@@ -44,6 +51,11 @@ struct Cell {
   stats::DetectionMeasures detection;
   stats::LatencyStats latency;  ///< over all detected runs (Table 8 counts
                                 ///< failures and non-failures alike)
+
+  void merge(const Cell& other) noexcept {
+    detection.merge(other.detection);
+    latency.merge(other.latency);
+  }
 };
 
 struct E1Results {
@@ -55,6 +67,8 @@ struct E1Results {
                                  std::size_t version) const noexcept {
     return cells[static_cast<std::size_t>(signal)][version];
   }
+
+  void merge(const E1Results& other) noexcept;
 };
 
 [[nodiscard]] E1Results run_e1(const CampaignOptions& options);
@@ -65,6 +79,8 @@ struct AreaResults {
   stats::LatencyStats latency_all;   ///< latencies over all detected runs
   stats::LatencyStats latency_fail;  ///< latencies over detected failing runs
   stats::LatencyHistogram histogram; ///< latency distribution, all detected runs
+
+  void merge(const AreaResults& other) noexcept;
 };
 
 struct E2Results {
@@ -72,6 +88,8 @@ struct E2Results {
   AreaResults stack;
   AreaResults total;
   std::size_t runs = 0;
+
+  void merge(const E2Results& other) noexcept;
 };
 
 [[nodiscard]] E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors = 150,
@@ -81,18 +99,39 @@ struct E2Results {
 /// `count` seeded-random cases.
 [[nodiscard]] std::vector<sim::TestCase> campaign_test_cases(const CampaignOptions& options);
 
-/// Cache key identifying a campaign configuration (scale + seed); results
-/// saved under one key only load under the same key.
+// ---------------------------------------------------------------------------
+// Campaign result cache.
+//
+// One keyed text format covers both series, so any harness can reuse a
+// campaign another harness already executed (Table 8 reuses Table 7's E1;
+// a second Table 9 invocation reuses its own E2).  A file saved under one
+// key only loads under the same key; the key encodes everything the result
+// depends on — scale and seed, but deliberately NOT `jobs`, because results
+// are invariant under the job count.
+// ---------------------------------------------------------------------------
+
+/// Cache key for an E1 campaign configuration.
 [[nodiscard]] std::string campaign_key(const CampaignOptions& options);
 
-/// Saves E1 results as a small text file, so the Table 8 harness can reuse
-/// the campaign the Table 7 harness already executed (both print views of
-/// the same 22 400 runs).
+/// Cache key for an E2 campaign configuration (adds the error-sample sizes).
+[[nodiscard]] std::string e2_campaign_key(const CampaignOptions& options,
+                                          std::size_t ram_errors = 150,
+                                          std::size_t stack_errors = 50);
+
+void save_e1(const E1Results& results, std::ostream& out, const std::string& key);
 void save_e1(const E1Results& results, const std::string& path, const std::string& key);
 
-/// Loads previously saved E1 results; nullopt if the file is missing,
-/// malformed, or was produced under a different key.
+/// Loads previously saved E1 results; nullopt if the stream/file is missing,
+/// malformed, truncated, or was produced under a different key.
+[[nodiscard]] std::optional<E1Results> load_e1(std::istream& in, const std::string& key);
 [[nodiscard]] std::optional<E1Results> load_e1(const std::string& path,
+                                               const std::string& key);
+
+void save_e2(const E2Results& results, std::ostream& out, const std::string& key);
+void save_e2(const E2Results& results, const std::string& path, const std::string& key);
+
+[[nodiscard]] std::optional<E2Results> load_e2(std::istream& in, const std::string& key);
+[[nodiscard]] std::optional<E2Results> load_e2(const std::string& path,
                                                const std::string& key);
 
 }  // namespace easel::fi

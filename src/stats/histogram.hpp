@@ -42,6 +42,15 @@ class LatencyHistogram {
     return bucket;
   }
 
+  /// Reconstructs a histogram from per-bucket counts (deserialization).
+  [[nodiscard]] static LatencyHistogram from_counts(
+      const std::array<std::uint64_t, kBuckets>& counts) noexcept {
+    LatencyHistogram histogram;
+    histogram.counts_ = counts;
+    for (const std::uint64_t count : counts) histogram.total_ += count;
+    return histogram;
+  }
+
   /// Smallest latency L such that at least `quantile` (0..1] of samples are
   /// <= the upper edge of L's bucket; 0 when empty.  Bucket-resolution only.
   [[nodiscard]] std::uint64_t quantile_floor(double quantile) const noexcept;

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace easel::util {
+
+std::size_t default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One parallel_for invocation: the shared cursor plus completion tracking.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until the cursor is exhausted.  Stops early
+  /// (without abandoning claimed work mid-chunk) once an error is recorded.
+  void drain(std::size_t worker) {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = begin + chunk < count ? begin + chunk : count;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (!error) error = std::current_exception();
+        cursor.store(count, std::memory_order_relaxed);  // stop handing out work
+        return;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      wake_.wait(lock, [&] { return stopping_ || (batch_ != nullptr && generation_ != seen); });
+      if (stopping_) return;
+      batch = batch_;
+      seen = generation_;
+      ++active_;
+    }
+    batch->drain(worker);
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      --active_;
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t index, std::size_t worker)>& fn) {
+  if (count == 0) return;
+  Batch batch;
+  batch.count = count;
+  batch.chunk = chunk == 0 ? 1 : chunk;
+  batch.fn = &fn;
+
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    batch_ = &batch;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  batch.drain(0);  // the calling thread is worker 0
+
+  std::unique_lock<std::mutex> lock{mutex_};
+  batch_ = nullptr;  // late wakers see no batch and go back to sleep
+  done_.wait(lock, [&] { return active_ == 0; });
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace easel::util

@@ -1,0 +1,62 @@
+// A small reusable worker pool for embarrassingly parallel index spaces.
+//
+// The campaign engines (src/fi/campaign.cpp) hand the pool a dense index
+// range [0, count); the pool executes fn(index, worker) across its workers,
+// dealing indices out in fixed-size chunks from a shared cursor so fast
+// workers steal the slack of slow ones.  Each worker only ever sees its own
+// `worker` slot, which is how callers keep per-worker partial accumulators
+// without locking.
+//
+// parallel_for blocks until every index has been executed.  The first
+// exception thrown by the callback (if any) is captured and rethrown on the
+// calling thread after all workers have drained.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easel::util {
+
+/// Number of workers to use when the caller asked for "all of them":
+/// std::thread::hardware_concurrency(), but never 0.
+[[nodiscard]] std::size_t default_jobs() noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` threads (the calling thread of parallel_for is
+  /// the last worker).  workers == 0 is treated as 1.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Executes fn(index, worker) for every index in [0, count), handing out
+  /// `chunk` consecutive indices at a time from a shared cursor.  `worker`
+  /// is in [0, workers()).  Blocks until done; rethrows the first callback
+  /// exception.  Reusable: successive calls recycle the same threads.
+  void parallel_for(std::size_t count, std::size_t chunk,
+                    const std::function<void(std::size_t index, std::size_t worker)>& fn);
+
+ private:
+  struct Batch;
+  void worker_loop(std::size_t worker);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Batch* batch_ = nullptr;      ///< current parallel_for, null when idle
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;      ///< helper threads still inside the batch
+  bool stopping_ = false;
+};
+
+}  // namespace easel::util

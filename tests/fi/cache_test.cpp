@@ -1,0 +1,150 @@
+// Keyed campaign cache: round-trips for both series, wrong-key rejection,
+// and refusal to load truncated or corrupted files.  Campaigns here are
+// tiny (2 cases, short windows) — the format, not the physics, is under
+// test.
+#include "fi/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace easel::fi {
+namespace {
+
+CampaignOptions tiny_options() {
+  CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+std::string serialize_e1(const E1Results& results, const std::string& key) {
+  std::ostringstream out;
+  save_e1(results, out, key);
+  return out.str();
+}
+
+std::string serialize_e2(const E2Results& results, const std::string& key) {
+  std::ostringstream out;
+  save_e2(results, out, key);
+  return out.str();
+}
+
+class CampaignCache : public ::testing::Test {
+ protected:
+  static const E1Results& e1() {
+    static const E1Results r = run_e1(tiny_options());
+    return r;
+  }
+  static const E2Results& e2() {
+    static const E2Results r = run_e2(tiny_options(), 20, 10);
+    return r;
+  }
+};
+
+TEST_F(CampaignCache, E1RoundTripIsByteIdentical) {
+  const std::string key = campaign_key(tiny_options());
+  const std::string blob = serialize_e1(e1(), key);
+  std::istringstream in{blob};
+  const auto loaded = load_e1(in, key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(serialize_e1(*loaded, key), blob);
+  EXPECT_EQ(loaded->runs, e1().runs);
+}
+
+TEST_F(CampaignCache, E2RoundTripIsByteIdentical) {
+  const std::string key = e2_campaign_key(tiny_options(), 20, 10);
+  const std::string blob = serialize_e2(e2(), key);
+  std::istringstream in{blob};
+  const auto loaded = load_e2(in, key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(serialize_e2(*loaded, key), blob);
+  EXPECT_EQ(loaded->runs, e2().runs);
+  EXPECT_EQ(loaded->total.histogram.total(), e2().total.histogram.total());
+  EXPECT_EQ(loaded->ram.latency_fail.max(), e2().ram.latency_fail.max());
+}
+
+TEST_F(CampaignCache, E2FileRoundTrip) {
+  const std::string key = e2_campaign_key(tiny_options(), 20, 10);
+  const std::string path = ::testing::TempDir() + "/e2_cache_test.txt";
+  save_e2(e2(), path, key);
+  const auto loaded = load_e2(path, key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->runs, e2().runs);
+  EXPECT_FALSE(load_e2(path + ".missing", key).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(CampaignCache, WrongKeyRejected) {
+  const std::string key = campaign_key(tiny_options());
+  const std::string e1_blob = serialize_e1(e1(), key);
+  std::istringstream wrong_key{e1_blob};
+  EXPECT_FALSE(load_e1(wrong_key, key + " tampered").has_value());
+
+  const std::string e2_key = e2_campaign_key(tiny_options(), 20, 10);
+  const std::string e2_blob = serialize_e2(e2(), e2_key);
+  std::istringstream wrong_e2_key{e2_blob};
+  EXPECT_FALSE(load_e2(wrong_e2_key, e2_campaign_key(tiny_options(), 21, 10)).has_value());
+}
+
+TEST_F(CampaignCache, KindMismatchRejected) {
+  // An E1 file never loads as E2 and vice versa, even with a matching key
+  // string: the header records the series.
+  const std::string blob = serialize_e1(e1(), "shared-key");
+  std::istringstream in{blob};
+  EXPECT_FALSE(load_e2(in, "shared-key").has_value());
+  const std::string e2_blob = serialize_e2(e2(), "shared-key");
+  std::istringstream e2_in{e2_blob};
+  EXPECT_FALSE(load_e1(e2_in, "shared-key").has_value());
+}
+
+TEST_F(CampaignCache, TruncatedFileRejected) {
+  const std::string key = campaign_key(tiny_options());
+  const std::string blob = serialize_e1(e1(), key);
+  // Every truncation point must fail to load — including cutting off only
+  // the trailing sentinel, which leaves all numeric fields intact.
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    std::istringstream in{blob.substr(0, static_cast<std::size_t>(
+                                             static_cast<double>(blob.size()) * fraction))};
+    EXPECT_FALSE(load_e1(in, key).has_value()) << "fraction " << fraction;
+  }
+  std::istringstream no_sentinel{blob.substr(0, blob.rfind("end"))};
+  EXPECT_FALSE(load_e1(no_sentinel, key).has_value());
+
+  const std::string e2_key = e2_campaign_key(tiny_options(), 20, 10);
+  const std::string e2_blob = serialize_e2(e2(), e2_key);
+  std::istringstream e2_cut{e2_blob.substr(0, e2_blob.size() / 2)};
+  EXPECT_FALSE(load_e2(e2_cut, e2_key).has_value());
+}
+
+TEST_F(CampaignCache, CorruptedContentRejected) {
+  const std::string key = campaign_key(tiny_options());
+  std::string blob = serialize_e1(e1(), key);
+  const std::size_t digits = blob.find_first_of("0123456789", blob.find('\n', blob.find('\n') + 1));
+  ASSERT_NE(digits, std::string::npos);
+  blob[digits] = 'x';  // non-numeric garbage where a count belongs
+  std::istringstream in{blob};
+  EXPECT_FALSE(load_e1(in, key).has_value());
+
+  std::istringstream garbage{"not a cache file at all\n"};
+  EXPECT_FALSE(load_e1(garbage, key).has_value());
+  std::istringstream empty{""};
+  EXPECT_FALSE(load_e1(empty, key).has_value());
+}
+
+TEST(CampaignKeys, SeriesAndScaleDisambiguated) {
+  const CampaignOptions options = tiny_options();
+  EXPECT_NE(campaign_key(options), e2_campaign_key(options, 150, 50));
+  EXPECT_NE(e2_campaign_key(options, 150, 50), e2_campaign_key(options, 149, 51));
+  // The job count must NOT enter the key: results are invariant under it.
+  CampaignOptions parallel = options;
+  parallel.jobs = 16;
+  EXPECT_EQ(campaign_key(options), campaign_key(parallel));
+  EXPECT_EQ(e2_campaign_key(options, 150, 50), e2_campaign_key(parallel, 150, 50));
+}
+
+}  // namespace
+}  // namespace easel::fi

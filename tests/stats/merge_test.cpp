@@ -1,0 +1,126 @@
+// Merge identities for the mergeable accumulators: splitting a sample
+// stream across partials and merging must equal accumulating it whole.
+// These are the invariants the parallel campaign engine rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/estimator.hpp"
+#include "stats/histogram.hpp"
+#include "stats/latency.hpp"
+
+namespace easel::stats {
+namespace {
+
+TEST(DetectionMeasuresMerge, SplitEqualsWhole) {
+  // (detected, failed) stream split at an arbitrary point.
+  const std::vector<std::pair<bool, bool>> runs = {
+      {true, true}, {false, true}, {true, false}, {false, false},
+      {true, true}, {true, false}, {false, false}};
+  DetectionMeasures whole, left, right;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    whole.add(runs[i].first, runs[i].second);
+    (i < 3 ? left : right).add(runs[i].first, runs[i].second);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.all.successes, whole.all.successes);
+  EXPECT_EQ(left.all.trials, whole.all.trials);
+  EXPECT_EQ(left.fail.successes, whole.fail.successes);
+  EXPECT_EQ(left.fail.trials, whole.fail.trials);
+  EXPECT_EQ(left.no_fail.successes, whole.no_fail.successes);
+  EXPECT_EQ(left.no_fail.trials, whole.no_fail.trials);
+}
+
+TEST(DetectionMeasuresMerge, EmptyIsIdentity) {
+  DetectionMeasures a, empty;
+  a.add(true, false);
+  a.add(false, true);
+  a.merge(empty);
+  EXPECT_EQ(a.all.trials, 2u);
+  EXPECT_EQ(a.all.successes, 1u);
+
+  DetectionMeasures b;
+  b.merge(a);  // merging into an empty object copies the counts
+  EXPECT_EQ(b.all.trials, a.all.trials);
+  EXPECT_EQ(b.fail.trials, a.fail.trials);
+  EXPECT_EQ(b.no_fail.trials, a.no_fail.trials);
+}
+
+TEST(LatencyStatsMerge, MinMaxSumCountIdentities) {
+  LatencyStats whole, left, right;
+  const std::vector<std::uint64_t> samples = {40, 7, 900, 20, 20, 333, 1};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    whole.add(samples[i]);
+    (i % 2 == 0 ? left : right).add(samples[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.min(), 1u);
+  EXPECT_EQ(left.max(), 900u);
+  EXPECT_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.average(), whole.average());
+}
+
+TEST(LatencyStatsMerge, EmptyMergeEdgeCases) {
+  LatencyStats empty_a, empty_b;
+  empty_a.merge(empty_b);
+  EXPECT_TRUE(empty_a.empty());
+  EXPECT_EQ(empty_a.min(), 0u);
+  EXPECT_EQ(empty_a.max(), 0u);
+
+  LatencyStats loaded;
+  loaded.add(5);
+  loaded.merge(empty_b);  // empty right-hand side changes nothing
+  EXPECT_EQ(loaded.count(), 1u);
+  EXPECT_EQ(loaded.min(), 5u);
+  EXPECT_EQ(loaded.max(), 5u);
+
+  LatencyStats target;
+  target.merge(loaded);  // empty left-hand side adopts the other's state
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.min(), 5u);
+  // A pre-merge min sentinel must not leak through: 5 is both min and max.
+  EXPECT_EQ(target.max(), 5u);
+}
+
+TEST(LatencyHistogramMerge, BucketCountsAdd) {
+  LatencyHistogram whole, left, right;
+  const std::vector<std::uint64_t> samples = {0, 1, 2, 3, 100, 5000, 5000, 40000};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    whole.add(samples[i]);
+    (i < 4 ? left : right).add(samples[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total(), whole.total());
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(left.count_in(b), whole.count_in(b)) << "bucket " << b;
+  }
+  EXPECT_EQ(left.quantile_floor(0.5), whole.quantile_floor(0.5));
+}
+
+TEST(LatencyHistogramMerge, EmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  a.add(17);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 1u);
+  EXPECT_EQ(empty.count_in(LatencyHistogram::bucket_of(17)), 1u);
+}
+
+TEST(LatencyHistogramFromCounts, RoundTripsViaAccessors) {
+  LatencyHistogram original;
+  for (const std::uint64_t v : {0u, 3u, 3u, 250u, 1u << 20}) original.add(v);
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> counts{};
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    counts[b] = original.count_in(b);
+  }
+  const LatencyHistogram rebuilt = LatencyHistogram::from_counts(counts);
+  EXPECT_EQ(rebuilt.total(), original.total());
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(rebuilt.count_in(b), original.count_in(b));
+  }
+}
+
+}  // namespace
+}  // namespace easel::stats

@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace easel::util {
+namespace {
+
+TEST(ThreadPool, DefaultJobsIsPositive) { EXPECT_GE(default_jobs(), 1u); }
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.workers(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), 7, [&](std::size_t i, std::size_t) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool{1};
+  const auto main_thread = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(10, 3, [&](std::size_t i, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), main_thread);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);  // one worker visits indices in order
+}
+
+TEST(ThreadPool, ZeroWorkersTreatedAsOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.workers(), 1u);
+  std::size_t count = 0;
+  pool.parallel_for(5, 1, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ThreadPool, WorkerIndicesStayInRange) {
+  ThreadPool pool{3};
+  std::mutex mutex;
+  std::set<std::size_t> workers_seen;
+  pool.parallel_for(300, 1, [&](std::size_t, std::size_t worker) {
+    const std::lock_guard<std::mutex> lock{mutex};
+    workers_seen.insert(worker);
+  });
+  for (const std::size_t w : workers_seen) EXPECT_LT(w, 3u);
+}
+
+TEST(ThreadPool, MoreWorkersThanWork) {
+  ThreadPool pool{8};
+  std::atomic<int> count{0};
+  pool.parallel_for(3, 10, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool{2};
+  pool.parallel_for(0, 4, [&](std::size_t, std::size_t) { FAIL() << "no work expected"; });
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool{4};
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, 9, [&](std::size_t i, std::size_t) { sum += i; });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPool, CallbackExceptionRethrownOnCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(100, 1,
+                                 [&](std::size_t i, std::size_t) {
+                                   if (i == 42) throw std::runtime_error{"boom"};
+                                 }),
+               std::runtime_error);
+  // The pool survives the failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, 1, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace easel::util

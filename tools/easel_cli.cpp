@@ -21,6 +21,7 @@
 #include "fi/export.hpp"
 #include "fi/report.hpp"
 #include "fi/trace.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace easel;
 
@@ -38,6 +39,7 @@ struct Args {
   std::uint64_t seed = 2000;
   std::uint64_t e2_seed = 2000;
   std::uint32_t watchdog_ms = 0;
+  std::size_t jobs = util::default_jobs();  ///< campaign workers (e1/e2)
   bool csv = false;
 };
 
@@ -47,7 +49,7 @@ struct Args {
                "commands: golden | inject | sweep | e1 | e2 | errors | trace | table4\n"
                "options:  --mass M --velocity V --signal 0..6 --bit 0..15\n"
                "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
-               "          --watchdog MS --csv\n");
+               "          --watchdog MS --jobs N --csv\n");
   std::exit(2);
 }
 
@@ -85,6 +87,10 @@ Args parse(int argc, char** argv) {
       args.e2_seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (is("--watchdog")) {
       args.watchdog_ms = static_cast<std::uint32_t>(std::atoll(value()));
+    } else if (is("--jobs")) {
+      const long long jobs = std::atoll(value());
+      if (jobs <= 0) usage("--jobs expects a positive integer");
+      args.jobs = static_cast<std::size_t>(jobs);
     } else if (is("--csv")) {
       args.csv = true;
     } else {
@@ -131,6 +137,7 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.seed = args.seed;
   options.test_case_count = args.cases;
   options.observation_ms = args.obs_ms;
+  options.jobs = args.jobs;
   options.progress = [](std::size_t done, std::size_t total) {
     std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
     if (done == total) std::fprintf(stderr, "\n");
