@@ -164,6 +164,8 @@ inline void record_campaign(const char* bench, const easel::fi::CampaignOptions&
         << ", \"obs_ms\": " << options.observation_ms << ", \"runs\": " << runs
         << ", \"wall_s\": " << wall_seconds << ", \"runs_per_sec\": "
         << (wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0)
+        << ", \"ms_per_run\": "
+        << (runs > 0 ? wall_seconds * 1000.0 / static_cast<double>(runs) : 0.0)
         << ", \"cached\": " << (cached ? "true" : "false") << "}";
 
   const std::string path = out_dir() + "/BENCH_campaigns.json";

@@ -1,0 +1,149 @@
+// Single-thread hot-path microbenchmark (no campaign, no thread pool).
+//
+// Two numbers, measured after a warmup and over several repetitions:
+//
+//   golden.ticks_per_sec  — 1-ms rig ticks per second on a fault-free run
+//                           (the raw cost of scheduler + modules + monitors
+//                           + environment per simulated millisecond);
+//   faulty.runs_per_sec   — full injected runs per second through one
+//                           reused RunContext, over an E1 slice spanning
+//                           all seven monitored signals (the campaign
+//                           steady state); fresh.runs_per_sec is the same
+//                           slice through run_experiment's build-a-rig-
+//                           per-run path, isolating the RunContext gain.
+//
+// The detection-count checksum is printed and recorded so a throughput
+// change that alters results (it must not) is caught at a glance.
+//
+// Results append to <out-dir>/BENCH_hotpath.json.  Scale flags are shared
+// with the campaign benches (--quick, --obs-ms, --seed, --out-dir); --quick
+// is recommended in CI.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fi/experiment.hpp"
+#include "fi/run_context.hpp"
+
+namespace {
+
+using easel::fi::RunConfig;
+using easel::fi::RunContext;
+using easel::fi::RunResult;
+
+constexpr int kRepetitions = 3;
+
+/// E1 slice used for the faulty-run measurements: one error per monitored
+/// signal (bits vary so the slice is not all bit-0), over each test case.
+std::vector<RunConfig> faulty_slice(const easel::fi::CampaignOptions& options) {
+  const auto errors = easel::fi::make_e1_for_target();
+  const auto cases = easel::sim::random_test_cases(
+      options.test_case_count, easel::util::Rng{options.seed}.derive("test-cases"));
+  std::vector<RunConfig> slice;
+  // Stride 17 over the 112 errors picks signals 0..6 at bits 0..6 — every
+  // monitored signal once, with varying bit positions.
+  for (std::size_t e = 0; e < errors.size(); e += 17) {
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      RunConfig config;
+      config.test_case = cases[ci];
+      config.error = errors[e];
+      config.observation_ms = options.observation_ms;
+      config.noise_seed = easel::util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+      slice.push_back(config);
+    }
+  }
+  return slice;
+}
+
+struct Measurement {
+  double best_per_sec = 0.0;
+  std::uint64_t checksum = 0;  ///< accumulated detection counts (bit-identity signal)
+};
+
+template <typename Body>
+Measurement measure(std::size_t units_per_rep, Body&& body) {
+  Measurement m;
+  (void)body(m.checksum);  // warmup (also primes the checksum once)
+  m.checksum = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    std::uint64_t checksum = 0;
+    const bench::WallTimer timer;
+    body(checksum);
+    const double seconds = timer.seconds();
+    const double per_sec =
+        seconds > 0.0 ? static_cast<double>(units_per_rep) / seconds : 0.0;
+    if (per_sec > m.best_per_sec) m.best_per_sec = per_sec;
+    if (rep == 0) {
+      m.checksum = checksum;
+    } else if (checksum != m.checksum) {
+      std::fprintf(stderr, "tick_throughput: checksum drift across repetitions!\n");
+      std::exit(1);
+    }
+  }
+  return m;
+}
+
+void record_hotpath(const easel::fi::CampaignOptions& options, const Measurement& golden,
+                    const Measurement& fresh, const Measurement& reused) {
+  const std::string path = bench::out_dir() + "/BENCH_hotpath.json";
+  std::ofstream out{path, std::ios::trunc};
+  out << "{\n"
+      << "  \"bench\": \"tick_throughput\",\n"
+      << "  \"cases\": " << options.test_case_count << ",\n"
+      << "  \"obs_ms\": " << options.observation_ms << ",\n"
+      << "  \"seed\": " << options.seed << ",\n"
+      << "  \"repetitions\": " << kRepetitions << ",\n"
+      << "  \"golden_ticks_per_sec\": " << golden.best_per_sec << ",\n"
+      << "  \"fresh_rig_runs_per_sec\": " << fresh.best_per_sec << ",\n"
+      << "  \"reused_rig_runs_per_sec\": " << reused.best_per_sec << ",\n"
+      << "  \"detection_checksum\": " << reused.checksum << "\n"
+      << "}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::parse_options(argc, argv);
+  options.progress = nullptr;  // single-thread micro runs; no progress spam
+
+  // Golden runs: fault-free, so throughput is pure tick cost.
+  RunConfig golden_config;
+  golden_config.observation_ms = options.observation_ms;
+  golden_config.noise_seed = easel::util::Rng{options.seed}.derive("sensor-noise", 0).seed();
+  constexpr std::size_t kGoldenRuns = 4;
+  const Measurement golden =
+      measure(kGoldenRuns * options.observation_ms, [&](std::uint64_t& checksum) {
+        RunContext context;
+        for (std::size_t i = 0; i < kGoldenRuns; ++i) {
+          checksum += context.run(golden_config).detection_count;
+        }
+      });
+
+  const auto slice = faulty_slice(options);
+  const Measurement fresh = measure(slice.size(), [&](std::uint64_t& checksum) {
+    for (const auto& config : slice) checksum += run_experiment(config).detection_count;
+  });
+  const Measurement reused = measure(slice.size(), [&](std::uint64_t& checksum) {
+    RunContext context;
+    for (const auto& config : slice) checksum += context.run(config).detection_count;
+  });
+
+  if (fresh.checksum != reused.checksum) {
+    std::fprintf(stderr, "tick_throughput: fresh/reused checksum mismatch (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(fresh.checksum),
+                 static_cast<unsigned long long>(reused.checksum));
+    return 1;
+  }
+
+  std::printf("golden: %.0f ticks/s   (obs window %u ms)\n", golden.best_per_sec,
+              options.observation_ms);
+  std::printf("faulty: %.1f runs/s reused rig, %.1f runs/s fresh rig  "
+              "(%zu-run E1 slice, checksum %llu)\n",
+              reused.best_per_sec, fresh.best_per_sec, slice.size(),
+              static_cast<unsigned long long>(reused.checksum));
+  record_hotpath(options, golden, fresh, reused);
+  return 0;
+}

@@ -73,8 +73,45 @@ class AssertionBank {
   /// Runs the EA monitoring `signal` if enabled: reads the signal word and
   /// the monitor state from RAM, evaluates the assertion, writes the state
   /// back, reports any violation, and — under a recovery policy — writes
-  /// the recovered value back into the signal word.
-  void test(MonitoredSignal signal);
+  /// the recovered value back into the signal word.  Header-inline: the
+  /// modules invoke this at every test location on every activation.
+  void test(MonitoredSignal signal) {
+    const auto idx = static_cast<std::size_t>(signal);
+    if (!enabled(signal)) return;
+
+    const std::size_t addr = map_->signal_address(signal);
+    const std::uint16_t raw = space_->read_u16(addr);
+
+    MonitorStateSlot& slot = map_->monitor_state[idx];
+    core::MonitorState state;
+    state.prev = slot.prev.get();
+    state.primed = (slot.flags.get() & 1u) != 0;
+    const core::sig_t prev_before = state.prev;
+
+    // Mode selection (paper §2.1): the CALC-produced arrest_phase signal picks
+    // the parameter set.  A corrupted phase value degrades to the wide
+    // (braking) set rather than raising false alarms.
+    std::size_t mode = 0;
+    if (per_mode_ && signal != MonitoredSignal::ms_slot_nbr &&
+        continuous_[idx]->mode_count() > 1) {
+      mode = map_->arrest_phase.get() == 0 ? 0 : 1;
+    }
+
+    const core::CheckOutcome outcome = signal == MonitoredSignal::ms_slot_nbr
+                                           ? slot_monitor_->check(raw, state)
+                                           : continuous_[idx]->check(raw, state, mode);
+
+    slot.prev.set(static_cast<std::uint16_t>(state.prev));
+    slot.flags.set(state.primed ? 1u : 0u);
+
+    if (!outcome.ok) {
+      bus_->report(bus_ids_[idx], raw, prev_before, outcome.continuous_test,
+                   outcome.discrete_test, static_cast<std::uint8_t>(mode));
+      if (outcome.recovered) {
+        space_->write_u16(addr, static_cast<std::uint16_t>(outcome.value));
+      }
+    }
+  }
 
   [[nodiscard]] bool enabled(MonitoredSignal signal) const noexcept {
     return (enabled_ & ea_bit(signal)) != 0;

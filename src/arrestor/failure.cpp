@@ -72,32 +72,4 @@ const ForceLimitTable& force_limits() noexcept {
 FailureClassifier::FailureClassifier(const sim::TestCase& test_case) noexcept
     : limit_n_{force_limits().limit_n(test_case.mass_kg, test_case.velocity_mps)} {}
 
-void FailureClassifier::sample(const sim::Environment& env, std::uint64_t time_ms) noexcept {
-  const double g = env.retardation_mps2() / sim::kGravity;
-  const double force = env.cable_force_n();
-  peak_g_ = g > peak_g_ ? g : peak_g_;
-  // Peak force only counts while the cable is loaded (the drums keep
-  // pressure after the stop, but no force reaches a standing aircraft).
-  if (!env.stopped()) peak_force_ = force > peak_force_ ? force : peak_force_;
-  final_position_ = env.position_m();
-
-  if (env.position_m() > 0.0) moved_ = true;
-  if (!stopped_ && moved_ && env.stopped()) {
-    stopped_ = true;
-    stop_ms_ = time_ms;
-  }
-
-  if (first_ != FailureKind::none) return;
-  if (g >= sim::kMaxRetardationG) {
-    first_ = FailureKind::retardation;
-  } else if (!env.stopped() && force >= limit_n_) {
-    first_ = FailureKind::force;
-  } else if (env.position_m() >= sim::kRunwayLimitM) {
-    first_ = FailureKind::overrun;
-  } else {
-    return;
-  }
-  failure_ms_ = time_ms;
-}
-
 }  // namespace easel::arrestor

@@ -37,7 +37,7 @@ MasterNode::MasterNode(sim::Environment& env, core::DetectionBus& bus, EaMask as
   scheduler_.add_periodic(pres_a_, ctx_pres_a_, kSlotPresA);
   scheduler_.set_background(calc_, ctx_calc_);
   scheduler_.set_kernel_context(ctx_exec_);
-  scheduler_.set_slot_source([this] { return std::uint32_t{map_.ms_slot_nbr.get()}; });
+  scheduler_.set_slot_addr(space_, map_.ms_slot_nbr.address());
   boot();
 }
 
@@ -45,6 +45,11 @@ void MasterNode::boot() {
   space_.clear();
   map_.write_boot_values();
   scheduler_.boot();
+}
+
+void MasterNode::reset_run(const std::vector<std::uint8_t>& post_boot_image) {
+  space_.restore(post_boot_image);
+  scheduler_.reset_run();
 }
 
 }  // namespace easel::arrestor

@@ -33,6 +33,12 @@ class MasterNode {
   /// once already; call again to reuse the node for another run).
   void boot();
 
+  /// Fast between-runs reset: restores the image from a snapshot of
+  /// `image().bytes()` taken right after boot() and clears the executive's
+  /// host-side counters.  Bit-identical to boot() — the image bytes ARE the
+  /// node state; the modules themselves are stateless.
+  void reset_run(const std::vector<std::uint8_t>& post_boot_image);
+
   /// One 1-ms slot of the node.
   void tick() { scheduler_.tick(); }
 

@@ -108,8 +108,5 @@ void SignalMap::write_boot_values() {
   }
 }
 
-std::size_t SignalMap::signal_address(MonitoredSignal signal) const noexcept {
-  return signal_addr_[static_cast<std::size_t>(signal)];
-}
 
 }  // namespace easel::arrestor

@@ -59,7 +59,10 @@ class SignalMap {
   void write_boot_values();
 
   /// Address of a monitored signal's 16-bit word (for E1 targeting).
-  [[nodiscard]] std::size_t signal_address(MonitoredSignal signal) const noexcept;
+  /// Header-inline: the assertion bank resolves it on every test.
+  [[nodiscard]] std::size_t signal_address(MonitoredSignal signal) const noexcept {
+    return signal_addr_[static_cast<std::size_t>(signal)];
+  }
 
   // --- The seven monitored signals (paper Figure 5 / Table 4) ---
   mem::Var16 set_value;     ///< SetValue: set-point pressure per drum (pu)

@@ -43,6 +43,13 @@ class SlaveNode {
   void boot();
   void tick() { scheduler_.tick(); }
 
+  /// Fast between-runs reset from a post-boot snapshot of image().bytes();
+  /// see MasterNode::reset_run.
+  void reset_run(const std::vector<std::uint8_t>& post_boot_image) {
+    space_.restore(post_boot_image);
+    scheduler_.reset_run();
+  }
+
   /// Network delivery of the master's set-point message (called by the
   /// inter-node link once per 7-ms frame).
   void deliver_set_point(std::uint16_t set_value, std::uint16_t seq);

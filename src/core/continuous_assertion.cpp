@@ -14,63 +14,4 @@ std::string_view to_string(ContinuousTest test) noexcept {
   return "unknown";
 }
 
-ContinuousVerdict ContinuousAssertion::check(sig_t s, sig_t s_prev) const noexcept {
-  ContinuousVerdict v = check_bounds_only(s);
-  if (!v.ok) return v;
-
-  if (s > s_prev) {
-    v.status = SignalStatus::increased;
-    const sig_t delta = s - s_prev;
-    // Test 3a: within increase parameters.
-    if (delta <= p_.rmax_incr && delta >= p_.rmin_incr) return v;
-    // Test 4a: wrap-around is allowed and the wrapped step is a decrease
-    // within the decrease parameters.
-    const sig_t wrapped = (s_prev - p_.smin) + (p_.smax - s);
-    if (p_.wrap && wrapped <= p_.rmax_decr && wrapped >= p_.rmin_decr) {
-      v.wrap_used = true;
-      return v;
-    }
-    v.ok = false;
-    v.failed = ContinuousTest::group_a;
-    return v;
-  }
-
-  if (s < s_prev) {
-    v.status = SignalStatus::decreased;
-    const sig_t delta = s_prev - s;
-    // Test 3b: within decrease parameters.
-    if (delta <= p_.rmax_decr && delta >= p_.rmin_decr) return v;
-    // Test 4b: wrap-around is allowed and the wrapped step is an increase
-    // within the increase parameters.
-    const sig_t wrapped = (p_.smax - s_prev) + (s - p_.smin);
-    if (p_.wrap && wrapped <= p_.rmax_incr && wrapped >= p_.rmin_incr) {
-      v.wrap_used = true;
-      return v;
-    }
-    v.ok = false;
-    v.failed = ContinuousTest::group_b;
-    return v;
-  }
-
-  // s == s': tests 3c/4c/5c are pure parameter predicates that say whether
-  // this signal class is allowed to pause.
-  v.status = SignalStatus::unchanged;
-  if (pause_ok_decreasing_ || pause_ok_increasing_ || pause_ok_random_) return v;
-  v.ok = false;
-  v.failed = ContinuousTest::group_c;
-  return v;
-}
-
-ContinuousVerdict ContinuousAssertion::check_bounds_only(sig_t s) const noexcept {
-  ContinuousVerdict v;
-  if (s > p_.smax) {
-    v.ok = false;
-    v.failed = ContinuousTest::t1_max;
-  } else if (s < p_.smin) {
-    v.ok = false;
-    v.failed = ContinuousTest::t2_min;
-  }
-  return v;
-}
-
 }  // namespace easel::core

@@ -8,22 +8,6 @@ std::uint16_t DetectionBus::register_monitor(std::string name) {
   return static_cast<std::uint16_t>(names_.size() - 1);
 }
 
-void DetectionBus::report(std::uint16_t monitor_id, sig_t value, sig_t prev,
-                          ContinuousTest continuous_test, DiscreteTest discrete_test,
-                          std::uint8_t mode) {
-  ++count_;
-  if (!first_ms_) first_ms_ = now_ms_;
-  if (monitor_id < per_monitor_.size()) {
-    PerMonitor& pm = per_monitor_[monitor_id];
-    ++pm.count;
-    if (!pm.first_ms) pm.first_ms = now_ms_;
-  }
-  if (events_.size() < capacity_) {
-    events_.push_back(Detection{now_ms_, monitor_id, value, prev, continuous_test,
-                                discrete_test, mode});
-  }
-}
-
 std::optional<std::uint64_t> DetectionBus::first_detection_ms(std::uint16_t monitor_id) const {
   if (monitor_id >= per_monitor_.size()) return std::nullopt;
   return per_monitor_[monitor_id].first_ms;

@@ -36,7 +36,9 @@ struct Detection {
 /// always exact.
 class DetectionBus {
  public:
-  explicit DetectionBus(std::size_t capacity = 256) : capacity_{capacity} {}
+  explicit DetectionBus(std::size_t capacity = 256) : capacity_{capacity} {
+    events_.reserve(capacity_);  // report() never allocates after construction
+  }
 
   /// Advances the experiment clock (called by the harness each tick).
   void set_time_ms(std::uint64_t now) noexcept { now_ms_ = now; }
@@ -46,9 +48,23 @@ class DetectionBus {
   std::uint16_t register_monitor(std::string name);
 
   /// Raises the detection "pin" for `monitor_id` with diagnostic payload.
+  /// Header-inline and allocation-free (event storage is reserved up front):
+  /// badly corrupted runs report thousands of times per run.
   void report(std::uint16_t monitor_id, sig_t value, sig_t prev,
               ContinuousTest continuous_test, DiscreteTest discrete_test,
-              std::uint8_t mode = 0);
+              std::uint8_t mode = 0) {
+    ++count_;
+    if (!first_ms_) first_ms_ = now_ms_;
+    if (monitor_id < per_monitor_.size()) {
+      PerMonitor& pm = per_monitor_[monitor_id];
+      ++pm.count;
+      if (!pm.first_ms) pm.first_ms = now_ms_;
+    }
+    if (events_.size() < capacity_) {
+      events_.push_back(
+          Detection{now_ms_, monitor_id, value, prev, continuous_test, discrete_test, mode});
+    }
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] bool any() const noexcept { return count_ > 0; }

@@ -18,25 +18,42 @@ DiscreteAssertion::DiscreteAssertion(const DiscreteParams& params, bool sequenti
       for (const sig_t to : successors) transitions_.insert(pair_key(from, to));
     }
   }
-}
-
-DiscreteVerdict DiscreteAssertion::check(sig_t s, sig_t s_prev) const noexcept {
-  DiscreteVerdict v = check_domain_only(s);
-  if (!v.ok || !sequential_) return v;
-  if (!transitions_.contains(pair_key(s_prev, s))) {
-    v.ok = false;
-    v.failed = DiscreteTest::transition;
+  // Compile the dense fast path when every value involved fits in [0, 64).
+  dense_ = true;
+  for (const sig_t value : domain_) {
+    if (!fits_dense(value)) {
+      dense_ = false;
+      break;
+    }
   }
-  return v;
-}
-
-DiscreteVerdict DiscreteAssertion::check_domain_only(sig_t s) const noexcept {
-  DiscreteVerdict v;
-  if (!domain_.contains(s)) {
-    v.ok = false;
-    v.failed = DiscreteTest::domain;
+  if (dense_ && sequential_) {
+    for (const auto& [from, successors] : params.transitions) {
+      if (!fits_dense(from)) {
+        dense_ = false;
+        break;
+      }
+      for (const sig_t to : successors) {
+        if (!fits_dense(to)) {
+          dense_ = false;
+          break;
+        }
+      }
+      if (!dense_) break;
+    }
   }
-  return v;
+  if (dense_) {
+    for (const sig_t value : domain_) {
+      dense_domain_ |= std::uint64_t{1} << static_cast<std::uint32_t>(value);
+    }
+    if (sequential_) {
+      for (const auto& [from, successors] : params.transitions) {
+        for (const sig_t to : successors) {
+          dense_transitions_[static_cast<std::uint32_t>(from)] |=
+              std::uint64_t{1} << static_cast<std::uint32_t>(to);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace easel::core

@@ -39,6 +39,12 @@ struct DiscreteVerdict {
 
 /// The Table 3 algorithm instantiated with one Pdisc, compiled into hash
 /// lookups so the per-test cost is O(1) regardless of domain size.
+///
+/// When every domain and transition value fits in [0, 64) — true for all of
+/// the arrestment application's discrete signals (modes, valve states, node
+/// numbers) — the sets are additionally compiled into 64-bit membership
+/// masks, and check() is a pair of shifts instead of hash probes.  Domains
+/// with larger or negative values transparently fall back to the hash sets.
 class DiscreteAssertion {
  public:
   /// `sequential` selects the sequential-signal variant (domain + transition
@@ -51,23 +57,60 @@ class DiscreteAssertion {
       : DiscreteAssertion{params, is_sequential(cls)} {}
 
   /// Full Table 3 evaluation of `s` following previous value `s_prev`.
-  [[nodiscard]] DiscreteVerdict check(sig_t s, sig_t s_prev) const noexcept;
+  [[nodiscard]] DiscreteVerdict check(sig_t s, sig_t s_prev) const noexcept {
+    DiscreteVerdict v = check_domain_only(s);
+    if (!v.ok || !sequential_) return v;
+    bool legal;
+    if (dense_) {
+      const auto from = static_cast<std::uint32_t>(s_prev);
+      // Out-of-range s_prev has an empty transition set; s itself is already
+      // known dense because the domain test passed.
+      legal = from < kDenseLimit &&
+              (dense_transitions_[from] >> static_cast<std::uint32_t>(s)) & 1u;
+    } else {
+      legal = transitions_.contains(pair_key(s_prev, s));
+    }
+    if (!legal) {
+      v.ok = false;
+      v.failed = DiscreteTest::transition;
+    }
+    return v;
+  }
 
   /// Domain-only test — used for the first sample, when no previous value
   /// exists, and for random discrete signals.
-  [[nodiscard]] DiscreteVerdict check_domain_only(sig_t s) const noexcept;
+  [[nodiscard]] DiscreteVerdict check_domain_only(sig_t s) const noexcept {
+    DiscreteVerdict v;
+    const bool member = dense_ ? static_cast<std::uint32_t>(s) < kDenseLimit &&
+                                     (dense_domain_ >> static_cast<std::uint32_t>(s)) & 1u
+                               : domain_.contains(s);
+    if (!member) {
+      v.ok = false;
+      v.failed = DiscreteTest::domain;
+    }
+    return v;
+  }
 
   [[nodiscard]] bool sequential() const noexcept { return sequential_; }
   [[nodiscard]] std::size_t domain_size() const noexcept { return domain_.size(); }
 
  private:
+  static constexpr std::uint32_t kDenseLimit = 64;
+
   [[nodiscard]] static std::uint64_t pair_key(sig_t from, sig_t to) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
            static_cast<std::uint32_t>(to);
   }
 
+  [[nodiscard]] static bool fits_dense(sig_t value) noexcept {
+    return static_cast<std::uint32_t>(value) < kDenseLimit;
+  }
+
   std::unordered_set<sig_t> domain_;
   std::unordered_set<std::uint64_t> transitions_;
+  std::uint64_t dense_domain_ = 0;
+  std::uint64_t dense_transitions_[kDenseLimit] = {};
+  bool dense_ = false;
   bool sequential_;
 };
 

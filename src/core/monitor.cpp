@@ -23,27 +23,6 @@ ContinuousMonitor::ContinuousMonitor(SignalClass cls, std::vector<ContinuousPara
   }
 }
 
-CheckOutcome ContinuousMonitor::check(sig_t s, MonitorState& state, std::size_t mode) const {
-  const ContinuousAssertion& assertion = assertions_.at(mode);
-  CheckOutcome outcome;
-  const ContinuousVerdict verdict =
-      state.primed ? assertion.check(s, state.prev) : assertion.check_bounds_only(s);
-  outcome.ok = verdict.ok;
-  outcome.continuous_test = verdict.failed;
-  if (verdict.ok) {
-    outcome.value = s;
-  } else if (policy_ != RecoveryPolicy::none) {
-    const sig_t fallback = state.primed ? state.prev : assertion.params().smin;
-    outcome.recovered = true;
-    outcome.value = recover_continuous(s, fallback, assertion.params(), policy_);
-  } else {
-    outcome.value = s;  // detect-only: the signal keeps its observed value
-  }
-  state.prev = outcome.value;
-  state.primed = true;
-  return outcome;
-}
-
 DiscreteMonitor::DiscreteMonitor(SignalClass cls, std::vector<DiscreteParams> mode_params,
                                  RecoveryPolicy policy)
     : cls_{cls}, params_{std::move(mode_params)}, policy_{policy} {
@@ -53,27 +32,6 @@ DiscreteMonitor::DiscreteMonitor(SignalClass cls, std::vector<DiscreteParams> mo
     if (const Validation v = validate(params, cls); !v.ok()) throw_invalid(v);
     assertions_.emplace_back(params, cls);
   }
-}
-
-CheckOutcome DiscreteMonitor::check(sig_t s, MonitorState& state, std::size_t mode) const {
-  const DiscreteAssertion& assertion = assertions_.at(mode);
-  CheckOutcome outcome;
-  const DiscreteVerdict verdict =
-      state.primed ? assertion.check(s, state.prev) : assertion.check_domain_only(s);
-  outcome.ok = verdict.ok;
-  outcome.discrete_test = verdict.failed;
-  if (verdict.ok) {
-    outcome.value = s;
-  } else if (policy_ != RecoveryPolicy::none) {
-    outcome.recovered = true;
-    outcome.value = recover_discrete(state.primed ? state.prev : params_.at(mode).domain.front(),
-                                     params_.at(mode), policy_);
-  } else {
-    outcome.value = s;
-  }
-  state.prev = outcome.value;
-  state.primed = true;
-  return outcome;
 }
 
 }  // namespace easel::core

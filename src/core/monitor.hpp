@@ -55,7 +55,27 @@ class ContinuousMonitor {
   /// a recovery policy, `outcome.value` holds the valid replacement and the
   /// state tracks it; without recovery the state tracks the observed value
   /// so subsequent tests compare against the real signal trajectory.
-  CheckOutcome check(sig_t s, MonitorState& state, std::size_t mode = 0) const;
+  /// Header-inline: runs once per monitored signal per target tick.
+  CheckOutcome check(sig_t s, MonitorState& state, std::size_t mode = 0) const {
+    const ContinuousAssertion& assertion = assertions_.at(mode);
+    CheckOutcome outcome;
+    const ContinuousVerdict verdict =
+        state.primed ? assertion.check(s, state.prev) : assertion.check_bounds_only(s);
+    outcome.ok = verdict.ok;
+    outcome.continuous_test = verdict.failed;
+    if (verdict.ok) {
+      outcome.value = s;
+    } else if (policy_ != RecoveryPolicy::none) {
+      const sig_t fallback = state.primed ? state.prev : assertion.params().smin;
+      outcome.recovered = true;
+      outcome.value = recover_continuous(s, fallback, assertion.params(), policy_);
+    } else {
+      outcome.value = s;  // detect-only: the signal keeps its observed value
+    }
+    state.prev = outcome.value;
+    state.primed = true;
+    return outcome;
+  }
 
   [[nodiscard]] SignalClass signal_class() const noexcept { return cls_; }
   [[nodiscard]] std::size_t mode_count() const noexcept { return assertions_.size(); }
@@ -80,7 +100,26 @@ class DiscreteMonitor {
                   RecoveryPolicy policy = RecoveryPolicy::none)
       : DiscreteMonitor{cls, std::vector<DiscreteParams>{params}, policy} {}
 
-  CheckOutcome check(sig_t s, MonitorState& state, std::size_t mode = 0) const;
+  CheckOutcome check(sig_t s, MonitorState& state, std::size_t mode = 0) const {
+    const DiscreteAssertion& assertion = assertions_.at(mode);
+    CheckOutcome outcome;
+    const DiscreteVerdict verdict =
+        state.primed ? assertion.check(s, state.prev) : assertion.check_domain_only(s);
+    outcome.ok = verdict.ok;
+    outcome.discrete_test = verdict.failed;
+    if (verdict.ok) {
+      outcome.value = s;
+    } else if (policy_ != RecoveryPolicy::none) {
+      outcome.recovered = true;
+      outcome.value = recover_discrete(state.primed ? state.prev : params_.at(mode).domain.front(),
+                                       params_.at(mode), policy_);
+    } else {
+      outcome.value = s;
+    }
+    state.prev = outcome.value;
+    state.primed = true;
+    return outcome;
+  }
 
   [[nodiscard]] SignalClass signal_class() const noexcept { return cls_; }
   [[nodiscard]] std::size_t mode_count() const noexcept { return assertions_.size(); }

@@ -1,113 +1,52 @@
 #include "fi/experiment.hpp"
 
-#include "arrestor/master_node.hpp"
-#include "arrestor/slave_node.hpp"
-#include "core/detection_bus.hpp"
-#include "fi/trace.hpp"
-#include "sim/environment.hpp"
+#include "fi/run_context.hpp"
 
 namespace easel::fi {
 
 RunResult run_experiment(const RunConfig& config) {
-  sim::Environment env{config.test_case, util::Rng{config.noise_seed}};
-  core::DetectionBus bus{64};
-  arrestor::MasterNode master{env, bus, config.assertions, config.recovery,
-                              config.moded_assertions};
-  arrestor::SlaveNode slave{env};
-  arrestor::FailureClassifier classifier{config.test_case};
-
-  std::optional<Injector> injector;
-  if (config.error) injector.emplace(*config.error, config.injection_period_ms);
-
-  std::uint16_t watchdog_id = 0;
-  bool watchdog_tripped = false;
-  if (config.watchdog_timeout_ms > 0) {
-    watchdog_id = bus.register_monitor("WDG(valve-refresh)");
-  }
-
-  auto& master_map = master.signals();
-  auto& slave_node = slave;
-
-  for (std::uint64_t now = 0; now < config.observation_ms; ++now) {
-    bus.set_time_ms(now);
-    if (injector) injector->on_tick(now, master.image());
-
-    master.tick();
-    slave.tick();
-
-    // Inter-node link: one set-point message per 7-ms frame, read from the
-    // master's (injectable) transmit buffer.
-    if (now % 7 == 6) {
-      slave_node.deliver_set_point(master_map.comm_tx_set_value.get(),
-                                   master_map.comm_tx_seq.get());
-    }
-
-    env.step_1ms();
-    classifier.sample(env, now);
-
-    if (config.watchdog_timeout_ms > 0 && !watchdog_tripped &&
-        env.ms_since_master_refresh() > config.watchdog_timeout_ms) {
-      watchdog_tripped = true;
-      bus.report(watchdog_id, 0, 0, core::ContinuousTest::none, core::DiscreteTest::none);
-    }
-    if (config.trace != nullptr) config.trace->maybe_sample(now, env, master_map);
-  }
-
-  RunResult result;
-  result.detected = bus.any();
-  result.detection_count = bus.count();
-  if (const auto first = bus.first_detection_ms()) {
-    result.first_detection_ms = *first;
-    const std::uint64_t injected_at = injector ? injector->first_injection_ms() : 0;
-    result.latency_ms = *first >= injected_at ? *first - injected_at : 0;
-  }
-  result.failed = classifier.failed();
-  result.failure = classifier.kind();
-  result.failure_ms = classifier.failure_time_ms();
-  result.stopped = classifier.stopped();
-  result.stop_ms = classifier.stop_time_ms();
-  result.final_position_m = classifier.final_position_m();
-  result.peak_retardation_g = classifier.peak_retardation_g();
-  result.peak_force_n = classifier.peak_force_n();
-  result.node_halted = master.scheduler().halted();
-  result.injections = injector ? injector->injections() : 0;
-  result.watchdog_tripped = watchdog_tripped;
-  return result;
+  // A throwaway context is exactly the fresh-rig path: build, run, discard.
+  // Campaign workers keep a RunContext alive instead and reuse the rig.
+  RunContext context;
+  return context.run(config);
 }
 
 namespace {
 
 /// A scratch master layout for address probing (no environment needed).
+/// The layout is deterministic and immutable once constructed, so a single
+/// shared instance serves probe_target(), make_e1_for_target(), and
+/// make_e2_for_target().
 struct Probe {
   mem::AddressSpace space;
   mem::Allocator alloc{space};
   arrestor::SignalMap map{space, alloc};
 };
 
+const Probe& probe() {
+  static const Probe instance;
+  return instance;
+}
+
 }  // namespace
 
 TargetInfo probe_target() {
-  Probe probe;
   TargetInfo info;
-  info.ram_bytes = probe.space.ram_size();
-  info.stack_bytes = probe.space.stack_size();
-  info.ram_bytes_allocated = probe.map.ram_bytes_used();
+  info.ram_bytes = probe().space.ram_size();
+  info.stack_bytes = probe().space.stack_size();
+  info.ram_bytes_allocated = probe().map.ram_bytes_used();
   for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
     info.signal_addresses[s] =
-        probe.map.signal_address(static_cast<arrestor::MonitoredSignal>(s));
+        probe().map.signal_address(static_cast<arrestor::MonitoredSignal>(s));
   }
   return info;
 }
 
-std::vector<ErrorSpec> make_e1_for_target() {
-  Probe probe;
-  return make_e1(probe.map);
-}
+std::vector<ErrorSpec> make_e1_for_target() { return make_e1(probe().map); }
 
 std::vector<ErrorSpec> make_e2_for_target(util::Rng rng, std::size_t ram_count,
                                           std::size_t stack_count) {
-  Probe probe;
-  return make_e2(probe.space, rng, ram_count, stack_count);
+  return make_e2(probe().space, rng, ram_count, stack_count);
 }
 
 }  // namespace easel::fi

@@ -63,6 +63,10 @@ struct RunResult {
   bool node_halted = false;
   std::uint64_t injections = 0;
   bool watchdog_tripped = false;
+
+  /// Field-exact equality (doubles compared bitwise-exactly via ==) — the
+  /// bit-identity regression tests compare fresh-rig and reused-rig runs.
+  bool operator==(const RunResult&) const = default;
 };
 
 /// Executes one run to completion.  Deterministic: identical configs give

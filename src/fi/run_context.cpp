@@ -1,0 +1,119 @@
+#include "fi/run_context.hpp"
+
+#include <vector>
+
+#include "arrestor/master_node.hpp"
+#include "arrestor/slave_node.hpp"
+#include "core/detection_bus.hpp"
+#include "fi/trace.hpp"
+#include "sim/environment.hpp"
+
+namespace easel::fi {
+
+struct RunContext::Rig {
+  sim::Environment env;
+  core::DetectionBus bus;
+  arrestor::MasterNode master;
+  arrestor::SlaveNode slave;
+  std::uint16_t watchdog_id = 0;
+
+  // Post-boot image snapshots; restoring them is bit-identical to boot().
+  std::vector<std::uint8_t> master_pristine;
+  std::vector<std::uint8_t> slave_pristine;
+
+  explicit Rig(const RunConfig& config)
+      : env{config.test_case, util::Rng{config.noise_seed}},
+        bus{64},
+        master{env, bus, config.assertions, config.recovery, config.moded_assertions},
+        slave{env} {
+    if (config.watchdog_timeout_ms > 0) {
+      watchdog_id = bus.register_monitor("WDG(valve-refresh)");
+    }
+    master_pristine = master.image().bytes();
+    slave_pristine = slave.image().bytes();
+  }
+
+  void reset(const RunConfig& config) {
+    env.reset(config.test_case, util::Rng{config.noise_seed});
+    bus.reset_run();
+    master.reset_run(master_pristine);
+    slave.reset_run(slave_pristine);
+  }
+};
+
+RunContext::RunContext() noexcept = default;
+RunContext::~RunContext() = default;
+RunContext::RunContext(RunContext&&) noexcept = default;
+RunContext& RunContext::operator=(RunContext&&) noexcept = default;
+
+RunResult RunContext::run(const RunConfig& config) {
+  const RigKey key{config.assertions, config.recovery, config.moded_assertions,
+                   config.watchdog_timeout_ms > 0};
+  if (rig_ == nullptr || key_ != key) {
+    rig_ = std::make_unique<Rig>(config);
+    key_ = key;
+    reused_ = false;
+  } else {
+    rig_->reset(config);
+    reused_ = true;
+  }
+  Rig& rig = *rig_;
+
+  arrestor::FailureClassifier classifier{config.test_case};
+
+  std::optional<Injector> injector;
+  if (config.error) injector.emplace(*config.error, config.injection_period_ms);
+
+  bool watchdog_tripped = false;
+
+  auto& master_map = rig.master.signals();
+
+  for (std::uint64_t now = 0; now < config.observation_ms; ++now) {
+    rig.bus.set_time_ms(now);
+    if (injector) injector->on_tick(now, rig.master.image());
+
+    rig.master.tick();
+    rig.slave.tick();
+
+    // Inter-node link: one set-point message per 7-ms frame, read from the
+    // master's (injectable) transmit buffer.
+    if (now % 7 == 6) {
+      rig.slave.deliver_set_point(master_map.comm_tx_set_value.get(),
+                                  master_map.comm_tx_seq.get());
+    }
+
+    rig.env.step_1ms();
+    classifier.sample(rig.env, now);
+
+    if (config.watchdog_timeout_ms > 0 && !watchdog_tripped &&
+        rig.env.ms_since_master_refresh() > config.watchdog_timeout_ms) {
+      watchdog_tripped = true;
+      rig.bus.report(rig.watchdog_id, 0, 0, core::ContinuousTest::none,
+                     core::DiscreteTest::none);
+    }
+    if (config.trace != nullptr) config.trace->maybe_sample(now, rig.env, master_map);
+  }
+
+  RunResult result;
+  result.detected = rig.bus.any();
+  result.detection_count = rig.bus.count();
+  if (const auto first = rig.bus.first_detection_ms()) {
+    result.first_detection_ms = *first;
+    const std::uint64_t injected_at = injector ? injector->first_injection_ms() : 0;
+    result.latency_ms = *first >= injected_at ? *first - injected_at : 0;
+  }
+  result.failed = classifier.failed();
+  result.failure = classifier.kind();
+  result.failure_ms = classifier.failure_time_ms();
+  result.stopped = classifier.stopped();
+  result.stop_ms = classifier.stop_time_ms();
+  result.final_position_m = classifier.final_position_m();
+  result.peak_retardation_g = classifier.peak_retardation_g();
+  result.peak_force_n = classifier.peak_force_n();
+  result.node_halted = rig.master.scheduler().halted();
+  result.injections = injector ? injector->injections() : 0;
+  result.watchdog_tripped = watchdog_tripped;
+  return result;
+}
+
+}  // namespace easel::fi

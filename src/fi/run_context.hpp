@@ -1,0 +1,64 @@
+// Reusable experiment rig for campaign workers.
+//
+// run_experiment() builds the full Figure-7 rig — environment, master node
+// (image layout, monitor construction, detection-bus name interning), slave
+// node — for every run.  A campaign executes tens of thousands of runs whose
+// rigs differ only in per-run inputs (test case, error, noise seed), so each
+// worker instead keeps ONE RunContext and reuses the rig across runs:
+//
+//   * the rig is (re)built only when a config arrives whose *structural*
+//     parameters (assertion mask, recovery policy, moded assertions,
+//     watchdog presence) differ from the current rig's;
+//   * between runs, reset() restores both node images from pristine
+//     post-boot snapshots (memcpy), clears the detection bus (keeping the
+//     interned monitor names), re-arms the environment from the run's test
+//     case and noise seed, and resets the executives' host-side counters.
+//
+// Reuse is bit-identical to a fresh rig: every byte of node state lives in
+// the restored image, monitors and modules are stateless ROM, and all other
+// per-run state (classifier, injector, watchdog latch) is local to run().
+// tests/fi/parallel_determinism_test.cpp enforces this equivalence.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+
+class RunContext {
+ public:
+  RunContext() noexcept;
+  ~RunContext();
+  RunContext(RunContext&&) noexcept;
+  RunContext& operator=(RunContext&&) noexcept;
+
+  /// Executes one run to completion.  Deterministic and bit-identical to
+  /// run_experiment(config) regardless of what this context ran before.
+  [[nodiscard]] RunResult run(const RunConfig& config);
+
+  /// True if the last run() reused the existing rig instead of building a
+  /// fresh one (observability for the bit-identity regression tests).
+  [[nodiscard]] bool reused_rig() const noexcept { return reused_; }
+
+ private:
+  /// The structural parameters a rig is built for; anything else is applied
+  /// per run by reset().
+  struct RigKey {
+    arrestor::EaMask assertions = arrestor::kNoAssertions;
+    core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
+    bool moded_assertions = false;
+    bool watchdog = false;
+
+    bool operator==(const RigKey&) const = default;
+  };
+
+  struct Rig;
+
+  std::optional<RigKey> key_;
+  std::unique_ptr<Rig> rig_;
+  bool reused_ = false;
+};
+
+}  // namespace easel::fi

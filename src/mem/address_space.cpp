@@ -2,6 +2,15 @@
 
 namespace easel::mem {
 
+namespace detail {
+
+void throw_bad_access(std::size_t addr, std::size_t len, std::size_t size) {
+  throw BadAddress{"access at " + std::to_string(addr) + "+" + std::to_string(len) +
+                   " outside image of " + std::to_string(size) + " bytes"};
+}
+
+}  // namespace detail
+
 std::size_t Allocator::allocate(Region region, std::size_t size, std::size_t align) {
   std::size_t& cursor = region == Region::ram ? ram_cursor_ : stack_cursor_;
   const std::size_t end = region == Region::ram ? ram_end_ : stack_end_;

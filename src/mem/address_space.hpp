@@ -12,13 +12,31 @@
 // [ram_size, ram_size + stack_size) is the stack region.  Multi-byte values
 // are little-endian.  Accessors are header-inline: experiment campaigns
 // perform billions of image accesses.
+//
+// Access checking has two modes (see docs/experiment_rig.md):
+//   EASEL_CHECKED_IMAGE=1  every read/write is bounds-checked and throws
+//                          BadAddress when outside the image (tests build
+//                          this way unconditionally);
+//   EASEL_CHECKED_IMAGE=0  per-access checks compile out; addresses are
+//                          validated once when a MemVar binds (and when
+//                          error sets are built), which covers every access
+//                          the rig can make.  This is the campaign default.
+// Cold paths (allocation, restore, bit-index validation) stay checked in
+// both modes.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
+
+#ifndef EASEL_CHECKED_IMAGE
+#define EASEL_CHECKED_IMAGE 0
+#endif
 
 namespace easel::mem {
 
@@ -43,6 +61,12 @@ class BadAddress : public std::out_of_range {
   explicit BadAddress(const std::string& what) : std::out_of_range{what} {}
 };
 
+namespace detail {
+/// Out-of-line so the throw (and its string building) never inflates the
+/// inlined accessor fast path.
+[[noreturn]] void throw_bad_access(std::size_t addr, std::size_t len, std::size_t size);
+}  // namespace detail
+
 /// The flat memory image.  Plain value semantics: copyable (snapshots are
 /// used to diff corruption in tests) and cheap to reset between runs.
 class AddressSpace {
@@ -61,10 +85,20 @@ class AddressSpace {
     return region == Region::ram ? 0 : ram_bytes_;
   }
 
-  /// Region that contains `addr`.  Throws BadAddress if out of range.
+  /// Region that contains `addr`.  Throws BadAddress if out of range
+  /// (regardless of EASEL_CHECKED_IMAGE: this runs at layout time, not in
+  /// the tick loop).
   [[nodiscard]] Region region_of(std::size_t addr) const {
-    check(addr, 1);
+    validate(addr, 1);
     return addr < ram_bytes_ ? Region::ram : Region::stack;
+  }
+
+  /// Always-on range validation for bind-time use (MemVar construction,
+  /// error-set building, snapshot restore).  Throws BadAddress.
+  void validate(std::size_t addr, std::size_t len) const {
+    if (addr + len > bytes_.size() || addr + len < addr) [[unlikely]] {
+      detail::throw_bad_access(addr, len, bytes_.size());
+    }
   }
 
   [[nodiscard]] std::uint8_t read_u8(std::size_t addr) const {
@@ -79,13 +113,12 @@ class AddressSpace {
 
   [[nodiscard]] std::uint16_t read_u16(std::size_t addr) const {
     check(addr, 2);
-    return static_cast<std::uint16_t>(bytes_[addr] | (bytes_[addr + 1] << 8));
+    return load_le<std::uint16_t>(addr);
   }
 
   void write_u16(std::size_t addr, std::uint16_t value) {
     check(addr, 2);
-    bytes_[addr] = static_cast<std::uint8_t>(value & 0xff);
-    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    store_le(addr, value);
   }
 
   [[nodiscard]] std::int16_t read_i16(std::size_t addr) const {
@@ -98,18 +131,12 @@ class AddressSpace {
 
   [[nodiscard]] std::uint32_t read_u32(std::size_t addr) const {
     check(addr, 4);
-    return static_cast<std::uint32_t>(bytes_[addr]) |
-           (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
-           (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
-           (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+    return load_le<std::uint32_t>(addr);
   }
 
   void write_u32(std::size_t addr, std::uint32_t value) {
     check(addr, 4);
-    bytes_[addr] = static_cast<std::uint8_t>(value & 0xff);
-    bytes_[addr + 1] = static_cast<std::uint8_t>((value >> 8) & 0xff);
-    bytes_[addr + 2] = static_cast<std::uint8_t>((value >> 16) & 0xff);
-    bytes_[addr + 3] = static_cast<std::uint8_t>((value >> 24) & 0xff);
+    store_le(addr, value);
   }
 
   [[nodiscard]] std::int32_t read_i32(std::size_t addr) const {
@@ -121,8 +148,11 @@ class AddressSpace {
   }
 
   /// XORs one bit of one byte (bit in [0,7]).  This is the SWIFI primitive.
+  /// Stays fully validated in both build modes: injection happens once per
+  /// injection period, not per access, and a bad error spec must never
+  /// silently corrupt host memory.
   void flip_bit(std::size_t addr, unsigned bit) {
-    check(addr, 1);
+    validate(addr, 1);
     if (bit > 7) throw BadAddress{"byte bit index " + std::to_string(bit) + " > 7"};
     bytes_[addr] = static_cast<std::uint8_t>(bytes_[addr] ^ (1u << bit));
   }
@@ -134,18 +164,53 @@ class AddressSpace {
   }
 
   /// Zero-fills the whole image (power-on state between experiment runs).
-  void clear() noexcept {
-    for (auto& byte : bytes_) byte = 0;
+  void clear() noexcept { std::memset(bytes_.data(), 0, bytes_.size()); }
+
+  /// Restores the image from a snapshot previously taken via bytes().
+  /// Throws BadAddress on a size mismatch (snapshots are only meaningful
+  /// against the layout they were taken from).
+  void restore(const std::vector<std::uint8_t>& snapshot) {
+    if (snapshot.size() != bytes_.size()) [[unlikely]] {
+      detail::throw_bad_access(0, snapshot.size(), bytes_.size());
+    }
+    std::memcpy(bytes_.data(), snapshot.data(), bytes_.size());
   }
 
   /// Raw byte view for snapshot/diff tooling.
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
 
  private:
-  void check(std::size_t addr, std::size_t len) const {
-    if (addr + len > bytes_.size() || addr + len < addr) [[unlikely]] {
-      throw BadAddress{"access at " + std::to_string(addr) + "+" + std::to_string(len) +
-                       " outside image of " + std::to_string(bytes_.size()) + " bytes"};
+  void check([[maybe_unused]] std::size_t addr, [[maybe_unused]] std::size_t len) const {
+#if EASEL_CHECKED_IMAGE
+    validate(addr, len);
+#endif
+  }
+
+  template <typename T>
+  [[nodiscard]] T load_le(std::size_t addr) const noexcept {
+    static_assert(std::is_unsigned_v<T>);
+    if constexpr (std::endian::native == std::endian::little) {
+      T value;
+      std::memcpy(&value, bytes_.data() + addr, sizeof(T));
+      return value;
+    } else {
+      T value = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value = static_cast<T>(value | (static_cast<T>(bytes_[addr + i]) << (8 * i)));
+      }
+      return value;
+    }
+  }
+
+  template <typename T>
+  void store_le(std::size_t addr, T value) noexcept {
+    static_assert(std::is_unsigned_v<T>);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(bytes_.data() + addr, &value, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        bytes_[addr + i] = static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+      }
     }
   }
 

@@ -58,11 +58,18 @@ class MemVar {
 
   MemVar() noexcept = default;
 
-  MemVar(AddressSpace& space, std::size_t addr) noexcept : space_{&space}, addr_{addr} {}
+  /// Binds to an existing address.  The full [addr, addr + sizeof(T)) range
+  /// is validated here, once — this is what lets per-access bounds checks
+  /// compile out in unchecked builds (see address_space.hpp).
+  MemVar(AddressSpace& space, std::size_t addr) : space_{&space}, addr_{addr} {
+    space.validate(addr, sizeof(T));
+  }
 
   /// Allocates storage for the variable in `region` and binds to it.
   MemVar(AddressSpace& space, Allocator& alloc, Region region)
-      : space_{&space}, addr_{alloc.allocate(region, sizeof(T), alignof(T) < 2 ? 1 : 2)} {}
+      : space_{&space}, addr_{alloc.allocate(region, sizeof(T), alignof(T) < 2 ? 1 : 2)} {
+    space.validate(addr_, sizeof(T));
+  }
 
   [[nodiscard]] T get() const { return detail::Accessor<T>::read(*space_, addr_); }
   void set(T value) { detail::Accessor<T>::write(*space_, addr_, value); }

@@ -23,55 +23,7 @@ void Scheduler::set_background(Module& module, TaskContext& context) {
 void Scheduler::boot() {
   for (auto& entry : routines_) entry.context->initialize();
   if (kernel_ != nullptr) kernel_->initialize();
-  tick_ = 0;
-  halted_ = false;
-  stats_ = Stats{};
-}
-
-void Scheduler::dispatch(const Entry& entry) {
-  if (halted_ || entry.module == nullptr) return;
-  switch (entry.context->health()) {
-    case ContextHealth::ok:
-      ++stats_.dispatches;
-      entry.module->execute();
-      break;
-    case ContextHealth::skip:
-      ++stats_.skips;
-      break;
-    case ContextHealth::wrong_vector: {
-      ++stats_.wrong_vectors;
-      // The bogus entry address lands in some other routine's body, which
-      // then runs against its own (healthy or not) context.
-      const Entry& victim = routines_[entry.context->wrong_vector_index(routines_.size())];
-      if (victim.module != nullptr && victim.context->health() == ContextHealth::ok) {
-        victim.module->execute();
-      }
-      break;
-    }
-    case ContextHealth::crash:
-      halted_ = true;
-      stats_.halt_tick = tick_;
-      break;
-  }
-}
-
-void Scheduler::tick() {
-  if (halted_) {
-    ++tick_;
-    return;
-  }
-  if (kernel_ != nullptr && kernel_->health() != ContextHealth::ok) {
-    halted_ = true;
-    stats_.halt_tick = tick_;
-    ++tick_;
-    return;
-  }
-  for (const auto& entry : every_tick_) dispatch(entry);
-  const std::uint32_t slot =
-      slot_source_ ? slot_source_() % kSlotCount : current_slot();
-  for (const auto& entry : per_slot_[slot]) dispatch(entry);
-  dispatch(background_);
-  ++tick_;
+  reset_run();
 }
 
 }  // namespace easel::rt

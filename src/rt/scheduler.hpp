@@ -58,13 +58,52 @@ class Scheduler {
     slot_source_ = std::move(source);
   }
 
+  /// Fast-path equivalent of set_slot_source for the common case of a
+  /// 16-bit slot signal in a memory image: avoids a std::function indirect
+  /// call on every tick.  Takes precedence over set_slot_source.
+  void set_slot_addr(const mem::AddressSpace& space, std::size_t addr) {
+    space.validate(addr, 2);
+    slot_space_ = &space;
+    slot_addr_ = addr;
+  }
+
   /// Initialises all task contexts (node boot).  Must be called after the
   /// memory image is cleared and before the first tick.
   void boot();
 
+  /// Resets the executive's host-side state (tick counter, halt latch,
+  /// stats) without re-initialising task contexts — for reuse after the
+  /// memory image has been restored to a post-boot snapshot, where the
+  /// contexts' image bytes are already pristine.
+  void reset_run() noexcept {
+    tick_ = 0;
+    halted_ = false;
+    stats_ = Stats{};
+  }
+
   /// Advances one 1-ms slot: every-tick modules, then this slot's periodic
   /// modules, then the background module.  No-op once halted.
-  void tick();
+  /// Header-inline together with dispatch(): this pair plus the module
+  /// bodies is the entire target-time hot loop of a campaign run.
+  void tick() {
+    if (halted_) [[unlikely]] {
+      ++tick_;
+      return;
+    }
+    if (kernel_ != nullptr && kernel_->health() != ContextHealth::ok) [[unlikely]] {
+      halted_ = true;
+      stats_.halt_tick = tick_;
+      ++tick_;
+      return;
+    }
+    for (const auto& entry : every_tick_) dispatch(entry);
+    const std::uint32_t slot = slot_space_ != nullptr
+                                   ? slot_space_->read_u16(slot_addr_) % kSlotCount
+                                   : (slot_source_ ? slot_source_() % kSlotCount : current_slot());
+    for (const auto& entry : per_slot_[slot]) dispatch(entry);
+    dispatch(background_);
+    ++tick_;
+  }
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] std::uint64_t tick_count() const noexcept { return tick_; }
@@ -79,7 +118,32 @@ class Scheduler {
     TaskContext* context = nullptr;
   };
 
-  void dispatch(const Entry& entry);
+  void dispatch(const Entry& entry) {
+    if (halted_ || entry.module == nullptr) return;
+    switch (entry.context->health()) {
+      case ContextHealth::ok:
+        ++stats_.dispatches;
+        entry.module->execute();
+        break;
+      case ContextHealth::skip:
+        ++stats_.skips;
+        break;
+      case ContextHealth::wrong_vector: {
+        ++stats_.wrong_vectors;
+        // The bogus entry address lands in some other routine's body, which
+        // then runs against its own (healthy or not) context.
+        const Entry& victim = routines_[entry.context->wrong_vector_index(routines_.size())];
+        if (victim.module != nullptr && victim.context->health() == ContextHealth::ok) {
+          victim.module->execute();
+        }
+        break;
+      }
+      case ContextHealth::crash:
+        halted_ = true;
+        stats_.halt_tick = tick_;
+        break;
+    }
+  }
 
   std::vector<Entry> every_tick_;
   std::vector<Entry> per_slot_[kSlotCount];
@@ -87,6 +151,8 @@ class Scheduler {
   std::vector<Entry> routines_;  ///< all registered entries, for wrong-vector dispatch
   TaskContext* kernel_ = nullptr;
   std::function<std::uint32_t()> slot_source_;
+  const mem::AddressSpace* slot_space_ = nullptr;
+  std::size_t slot_addr_ = 0;
 
   std::uint64_t tick_ = 0;
   bool halted_ = false;

@@ -15,61 +15,19 @@ void TaskContext::initialize() {
   space_->write_u16(base_ + 2, static_cast<std::uint16_t>(base_ + kHeaderBytes));
 }
 
-std::size_t TaskContext::saved_locals_base() const { return space_->read_u16(base_ + 2); }
-
-bool TaskContext::sp_addressable() const {
-  const std::size_t sp = saved_locals_base();
-  return sp + locals_bytes_ <= space_->size();
-}
-
-ContextHealth TaskContext::health() const {
-  const std::uint16_t entry = space_->read_u16(base_);
-  if (entry != entry_token_) {
-    // A corrupted code address lands somewhere deterministic: model the
-    // outcome as a pure function of the bogus address.  Most bogus
-    // addresses point at non-code or at function epilogues (crash or
-    // immediate return); a minority land inside another routine's body.
-    switch (entry % 8u) {
-      case 0u:
-      case 3u:
-      case 6u: return ContextHealth::skip;          // epilogue/ret: returns at once
-      case 2u:
-      case 5u: return ContextHealth::wrong_vector;  // some other routine's body
-      default: return ContextHealth::crash;         // non-executable memory
-    }
+ContextHealth TaskContext::decode_corrupt_entry(std::uint16_t entry) noexcept {
+  // A corrupted code address lands somewhere deterministic: model the
+  // outcome as a pure function of the bogus address.  Most bogus
+  // addresses point at non-code or at function epilogues (crash or
+  // immediate return); a minority land inside another routine's body.
+  switch (entry % 8u) {
+    case 0u:
+    case 3u:
+    case 6u: return ContextHealth::skip;          // epilogue/ret: returns at once
+    case 2u:
+    case 5u: return ContextHealth::wrong_vector;  // some other routine's body
+    default: return ContextHealth::crash;         // non-executable memory
   }
-  if (!sp_addressable()) return ContextHealth::crash;  // bus error on first access
-  return ContextHealth::ok;
-}
-
-std::size_t TaskContext::wrong_vector_index(std::size_t routine_count) const {
-  if (routine_count == 0) return 0;
-  const std::uint16_t entry = space_->read_u16(base_);
-  return (entry / 4u) % routine_count;
-}
-
-std::uint16_t TaskContext::local_u16(std::size_t offset) const {
-  return space_->read_u16(saved_locals_base() + offset);
-}
-
-void TaskContext::set_local_u16(std::size_t offset, std::uint16_t value) {
-  space_->write_u16(saved_locals_base() + offset, value);
-}
-
-std::int16_t TaskContext::local_i16(std::size_t offset) const {
-  return space_->read_i16(saved_locals_base() + offset);
-}
-
-void TaskContext::set_local_i16(std::size_t offset, std::int16_t value) {
-  space_->write_i16(saved_locals_base() + offset, value);
-}
-
-std::int32_t TaskContext::local_i32(std::size_t offset) const {
-  return space_->read_i32(saved_locals_base() + offset);
-}
-
-void TaskContext::set_local_i32(std::size_t offset, std::int32_t value) {
-  space_->write_i32(saved_locals_base() + offset, value);
 }
 
 }  // namespace easel::rt

@@ -53,22 +53,46 @@ class TaskContext {
   /// Validates entry and sp as the dispatcher does before every activation.
   /// The decode of a corrupted entry is a pure function of the corrupted
   /// value, so identical corruption reproduces identical misbehaviour.
-  [[nodiscard]] ContextHealth health() const;
+  /// Header-inline: the dispatcher runs this for every task, every tick,
+  /// and in the overwhelmingly common case (entry intact) it is two image
+  /// reads and two compares.
+  [[nodiscard]] ContextHealth health() const {
+    const std::uint16_t entry = space_->read_u16(base_);
+    if (entry != entry_token_) [[unlikely]] return decode_corrupt_entry(entry);
+    if (!sp_addressable()) [[unlikely]] return ContextHealth::crash;  // bus error on first access
+    return ContextHealth::ok;
+  }
 
   /// For ContextHealth::wrong_vector: an index (derived from the corrupted
   /// entry) selecting which other routine gets executed instead.
-  [[nodiscard]] std::size_t wrong_vector_index(std::size_t routine_count) const;
+  [[nodiscard]] std::size_t wrong_vector_index(std::size_t routine_count) const {
+    if (routine_count == 0) return 0;
+    const std::uint16_t entry = space_->read_u16(base_);
+    return (entry / 4u) % routine_count;
+  }
 
   // Locals access.  All reads/writes go through the saved sp in the image,
   // so a shifted-but-in-image sp transparently redirects the task's working
   // set onto foreign stack bytes.  Out-of-image accesses must not occur when
   // health() == ok or skip; the dispatcher halts on crash before executing.
-  [[nodiscard]] std::uint16_t local_u16(std::size_t offset) const;
-  void set_local_u16(std::size_t offset, std::uint16_t value);
-  [[nodiscard]] std::int16_t local_i16(std::size_t offset) const;
-  void set_local_i16(std::size_t offset, std::int16_t value);
-  [[nodiscard]] std::int32_t local_i32(std::size_t offset) const;
-  void set_local_i32(std::size_t offset, std::int32_t value);
+  [[nodiscard]] std::uint16_t local_u16(std::size_t offset) const {
+    return space_->read_u16(saved_locals_base() + offset);
+  }
+  void set_local_u16(std::size_t offset, std::uint16_t value) {
+    space_->write_u16(saved_locals_base() + offset, value);
+  }
+  [[nodiscard]] std::int16_t local_i16(std::size_t offset) const {
+    return space_->read_i16(saved_locals_base() + offset);
+  }
+  void set_local_i16(std::size_t offset, std::int16_t value) {
+    space_->write_i16(saved_locals_base() + offset, value);
+  }
+  [[nodiscard]] std::int32_t local_i32(std::size_t offset) const {
+    return space_->read_i32(saved_locals_base() + offset);
+  }
+  void set_local_i32(std::size_t offset, std::int32_t value) {
+    space_->write_i32(saved_locals_base() + offset, value);
+  }
 
   [[nodiscard]] const std::string& task_name() const noexcept { return name_; }
   [[nodiscard]] std::size_t base_address() const noexcept { return base_; }
@@ -78,10 +102,16 @@ class TaskContext {
  private:
   static constexpr std::size_t kHeaderBytes = 4;  // entry (2) + sp (2)
 
+  /// Cold path of health(): classifies a corrupted entry token.
+  [[nodiscard]] static ContextHealth decode_corrupt_entry(std::uint16_t entry) noexcept;
+
   /// The locals base currently saved in the image (follows sp corruption).
-  [[nodiscard]] std::size_t saved_locals_base() const;
+  [[nodiscard]] std::size_t saved_locals_base() const { return space_->read_u16(base_ + 2); }
   /// True if [saved sp, saved sp + locals_bytes) lies inside the image.
-  [[nodiscard]] bool sp_addressable() const;
+  [[nodiscard]] bool sp_addressable() const {
+    const std::size_t sp = saved_locals_base();
+    return sp + locals_bytes_ <= space_->size();
+  }
 
   mem::AddressSpace* space_;
   std::string name_;

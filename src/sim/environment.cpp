@@ -1,67 +1,8 @@
 #include "sim/environment.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "util/saturate.hpp"
-
 namespace easel::sim {
 
 Environment::Environment(const TestCase& test_case, util::Rng noise_rng)
     : test_case_{test_case}, noise_rng_{noise_rng}, velocity_mps_{test_case.velocity_mps} {}
-
-void Environment::command_master_valve(std::uint16_t out_value) noexcept {
-  command_master_pu_ = std::min(static_cast<double>(out_value), kPressureUnitsMax);
-  master_refresh_ms_ = now_ms_;
-}
-
-void Environment::command_slave_valve(std::uint16_t out_value) noexcept {
-  command_slave_pu_ = std::min(static_cast<double>(out_value), kPressureUnitsMax);
-  slave_refresh_ms_ = now_ms_;
-}
-
-void Environment::step_1ms() noexcept {
-  // Retarding force from the current applied pressures.
-  force_n_ = kNewtonsPerPressureUnit * (pressure_master_pu_ + pressure_slave_pu_);
-  if (velocity_mps_ > 0.0) {
-    retardation_mps2_ = force_n_ / test_case_.mass_kg;
-    velocity_mps_ -= retardation_mps2_ * kTickSeconds;
-    if (velocity_mps_ < 0.0) velocity_mps_ = 0.0;
-    position_m_ += velocity_mps_ * kTickSeconds;
-  } else {
-    retardation_mps2_ = 0.0;
-  }
-
-  // Valves: first-order lag toward the latched commands.  A command that
-  // has not been refreshed within the deadman window means the node stopped
-  // driving the valve: the spring-return closes it.
-  ++now_ms_;
-  const double master_target =
-      now_ms_ - master_refresh_ms_ > kValveDeadmanMs ? 0.0 : command_master_pu_;
-  const double slave_target =
-      now_ms_ - slave_refresh_ms_ > kValveDeadmanMs ? 0.0 : command_slave_pu_;
-  const double alpha = kTickSeconds / kValveTauSeconds;
-  pressure_master_pu_ += (master_target - pressure_master_pu_) * alpha;
-  pressure_slave_pu_ += (slave_target - pressure_slave_pu_) * alpha;
-}
-
-std::uint32_t Environment::rotation_pulses() const noexcept {
-  return static_cast<std::uint32_t>(position_m_ / kMetresPerPulse);
-}
-
-std::uint16_t Environment::quantize_pressure(double pressure_pu) noexcept {
-  const auto noise = static_cast<double>(
-      noise_rng_.uniform_i64(-kPressureNoisePu, kPressureNoisePu));
-  const double reading = std::clamp(pressure_pu + noise, 0.0, kPressureUnitsMax);
-  return util::saturate_cast<std::uint16_t>(reading);
-}
-
-std::uint16_t Environment::master_pressure_reading() noexcept {
-  return quantize_pressure(pressure_master_pu_);
-}
-
-std::uint16_t Environment::slave_pressure_reading() noexcept {
-  return quantize_pressure(pressure_slave_pu_);
-}
 
 }  // namespace easel::sim

@@ -15,38 +15,83 @@
 // nodes consume, with a small bounded dither on the pressure sensors.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "sim/plant_constants.hpp"
 #include "sim/test_case.hpp"
 #include "util/rng.hpp"
+#include "util/saturate.hpp"
 
 namespace easel::sim {
 
+// The plant model is header-inline: step_1ms and the sensor reads run every
+// simulated millisecond of every campaign run.
 class Environment {
  public:
   /// `noise_rng` drives the pressure-sensor dither; pass a per-run stream.
   Environment(const TestCase& test_case, util::Rng noise_rng);
 
+  /// Re-arms the plant for a fresh run (same effect as constructing a new
+  /// Environment) — used by the campaign engine's reusable run contexts.
+  void reset(const TestCase& test_case, util::Rng noise_rng) noexcept {
+    *this = Environment{test_case, noise_rng};
+  }
+
   /// Latches a node's valve command (raw pressure units; values outside
   /// [0, full scale] are clamped by the valve driver hardware).
-  void command_master_valve(std::uint16_t out_value) noexcept;
-  void command_slave_valve(std::uint16_t out_value) noexcept;
+  void command_master_valve(std::uint16_t out_value) noexcept {
+    command_master_pu_ = std::min(static_cast<double>(out_value), kPressureUnitsMax);
+    master_refresh_ms_ = now_ms_;
+  }
+  void command_slave_valve(std::uint16_t out_value) noexcept {
+    command_slave_pu_ = std::min(static_cast<double>(out_value), kPressureUnitsMax);
+    slave_refresh_ms_ = now_ms_;
+  }
 
   /// Advances the plant one millisecond.
-  void step_1ms() noexcept;
+  void step_1ms() noexcept {
+    // Retarding force from the current applied pressures.
+    force_n_ = kNewtonsPerPressureUnit * (pressure_master_pu_ + pressure_slave_pu_);
+    if (velocity_mps_ > 0.0) {
+      retardation_mps2_ = force_n_ / test_case_.mass_kg;
+      velocity_mps_ -= retardation_mps2_ * kTickSeconds;
+      if (velocity_mps_ < 0.0) velocity_mps_ = 0.0;
+      position_m_ += velocity_mps_ * kTickSeconds;
+    } else {
+      retardation_mps2_ = 0.0;
+    }
+
+    // Valves: first-order lag toward the latched commands.  A command that
+    // has not been refreshed within the deadman window means the node stopped
+    // driving the valve: the spring-return closes it.
+    ++now_ms_;
+    const double master_target =
+        now_ms_ - master_refresh_ms_ > kValveDeadmanMs ? 0.0 : command_master_pu_;
+    const double slave_target =
+        now_ms_ - slave_refresh_ms_ > kValveDeadmanMs ? 0.0 : command_slave_pu_;
+    const double alpha = kTickSeconds / kValveTauSeconds;
+    pressure_master_pu_ += (master_target - pressure_master_pu_) * alpha;
+    pressure_slave_pu_ += (slave_target - pressure_slave_pu_) * alpha;
+  }
 
   // --- Sensor interfaces (what the nodes can see) ---
 
   /// Cumulative rotation-sensor pulse count (hardware counter in the sensor
   /// electronics, outside the node's injectable memory).
-  [[nodiscard]] std::uint32_t rotation_pulses() const noexcept;
+  [[nodiscard]] std::uint32_t rotation_pulses() const noexcept {
+    return static_cast<std::uint32_t>(position_m_ / kMetresPerPulse);
+  }
 
   /// Master-side pressure sensor reading in raw units (quantized + dither).
-  [[nodiscard]] std::uint16_t master_pressure_reading() noexcept;
+  [[nodiscard]] std::uint16_t master_pressure_reading() noexcept {
+    return quantize_pressure(pressure_master_pu_);
+  }
 
   /// Slave-side pressure sensor reading in raw units (quantized + dither).
-  [[nodiscard]] std::uint16_t slave_pressure_reading() noexcept;
+  [[nodiscard]] std::uint16_t slave_pressure_reading() noexcept {
+    return quantize_pressure(pressure_slave_pu_);
+  }
 
   // --- Ground truth (what the experiment readouts record) ---
 
@@ -69,7 +114,12 @@ class Environment {
   }
 
  private:
-  [[nodiscard]] std::uint16_t quantize_pressure(double pressure_pu) noexcept;
+  [[nodiscard]] std::uint16_t quantize_pressure(double pressure_pu) noexcept {
+    const auto noise =
+        static_cast<double>(noise_rng_.uniform_i64(-kPressureNoisePu, kPressureNoisePu));
+    const double reading = std::clamp(pressure_pu + noise, 0.0, kPressureUnitsMax);
+    return util::saturate_cast<std::uint16_t>(reading);
+  }
 
   TestCase test_case_;
   util::Rng noise_rng_;

@@ -5,11 +5,13 @@
 namespace easel::fi {
 namespace {
 
-ErrorSpec spec_at(std::size_t address, unsigned bit) {
+ErrorSpec spec_at(std::size_t address, unsigned bit,
+                  FaultModel model = FaultModel::bit_flip) {
   ErrorSpec spec;
   spec.address = address;
   spec.bit = bit;
   spec.label = "T";
+  spec.model = model;
   return spec;
 }
 
@@ -56,6 +58,59 @@ TEST(Injector, InteractsWithConcurrentWrites) {
   EXPECT_EQ(image.read_u8(4), 0x34);
   injector.on_tick(20, image);
   EXPECT_EQ(image.read_u8(4), 0xb4);
+}
+
+TEST(Injector, StuckAt1ForcesAndHoldsBit) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(6, 2, FaultModel::stuck_at_1), 20};
+  injector.on_tick(0, image);
+  EXPECT_EQ(image.read_u8(6), 0x04);
+  injector.on_tick(20, image);
+  EXPECT_EQ(image.read_u8(6), 0x04);  // permanent model: stays set, no toggle
+  // An application store clears the cell; the next instant re-asserts it
+  // without disturbing the neighbouring bits.
+  image.write_u8(6, 0xf0);
+  injector.on_tick(40, image);
+  EXPECT_EQ(image.read_u8(6), 0xf4);
+  EXPECT_EQ(injector.injections(), 3u);
+}
+
+TEST(Injector, StuckAt0ClearsAndHoldsBit) {
+  mem::AddressSpace image;
+  image.write_u8(7, 0xff);
+  Injector injector{spec_at(7, 5, FaultModel::stuck_at_0), 20};
+  injector.on_tick(0, image);
+  EXPECT_EQ(image.read_u8(7), 0xdf);
+  injector.on_tick(20, image);
+  EXPECT_EQ(image.read_u8(7), 0xdf);  // stays cleared, other bits untouched
+  image.write_u8(7, 0x3f);  // application store re-sets the bit
+  injector.on_tick(40, image);
+  EXPECT_EQ(image.read_u8(7), 0x1f);
+  EXPECT_EQ(injector.injections(), 3u);
+}
+
+TEST(Injector, StuckAtModelsRespectStartTime) {
+  for (const auto model : {FaultModel::stuck_at_1, FaultModel::stuck_at_0}) {
+    mem::AddressSpace image;
+    image.write_u8(0, 0x02);  // bit 1 set so stuck_at_0 has something to clear
+    Injector injector{spec_at(0, 1, model), 20, /*start_ms=*/35};
+    for (std::uint64_t t = 0; t < 35; ++t) injector.on_tick(t, image);
+    EXPECT_EQ(injector.injections(), 0u);
+    EXPECT_EQ(image.read_u8(0), 0x02);  // untouched before start
+    for (std::uint64_t t = 35; t < 76; ++t) injector.on_tick(t, image);
+    EXPECT_EQ(injector.injections(), 3u);  // 35, 55, 75
+    EXPECT_EQ(injector.first_injection_ms(), 35u);
+    EXPECT_EQ(image.read_u8(0), model == FaultModel::stuck_at_1 ? 0x02 : 0x00);
+  }
+}
+
+TEST(Injector, FirstInjectionTimestampLatchesOnce) {
+  mem::AddressSpace image;
+  Injector injector{spec_at(0, 0), 20, /*start_ms=*/40};
+  EXPECT_EQ(injector.first_injection_ms(), 0u);  // nothing injected yet
+  for (std::uint64_t t = 0; t < 200; ++t) injector.on_tick(t, image);
+  EXPECT_EQ(injector.first_injection_ms(), 40u);  // not overwritten by later hits
+  EXPECT_EQ(injector.injections(), 8u);           // 40, 60, ..., 180
 }
 
 TEST(Injector, DifferentPeriods) {

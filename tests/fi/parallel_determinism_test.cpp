@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
+
+#include "fi/run_context.hpp"
 
 namespace easel::fi {
 namespace {
@@ -46,6 +49,65 @@ TEST(ParallelDeterminism, E2SerialAndFourJobsBitIdentical) {
   const E2Results parallel = run_e2(quick_options(4), 30, 10);
   EXPECT_EQ(serial.runs, parallel.runs);
   EXPECT_EQ(e2_blob(serial), e2_blob(parallel));
+}
+
+// The guardrail for the rig-reuse fast path: a long-lived RunContext whose
+// rig is reset between runs must produce byte-identical RunResults to a
+// rig built from scratch for every run (which is what run_experiment does).
+// The slice mirrors campaign construction: E1 errors across all seven
+// signals under two assertion versions, an E2 sample, and a key change
+// (watchdog/moded) in the middle to exercise the keyed-rebuild path.
+TEST(ParallelDeterminism, FreshRigAndReusedRunContextBitIdentical) {
+  const auto options = quick_options(1);
+  const auto cases = sim::random_test_cases(options.test_case_count,
+                                            util::Rng{options.seed}.derive("test-cases"));
+  const auto e1 = make_e1_for_target();
+  const auto e2 =
+      make_e2_for_target(util::Rng{options.seed}.derive("e2-errors"), 4, 2);
+
+  std::vector<RunConfig> slice;
+  for (const auto mask :
+       {arrestor::ea_bit(arrestor::MonitoredSignal::set_value), arrestor::kAllAssertions}) {
+    for (std::size_t e = 0; e < e1.size(); e += 16) {  // one error per signal
+      for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+        RunConfig config;
+        config.test_case = cases[ci];
+        config.assertions = mask;
+        config.error = e1[e];
+        config.observation_ms = 3000;
+        config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+        slice.push_back(config);
+      }
+    }
+  }
+  for (const auto& error : e2) {
+    RunConfig config;
+    config.error = error;
+    config.observation_ms = 3000;
+    config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", 0).seed();
+    slice.push_back(config);
+  }
+  // Rig-key changes mid-stream: the context must rebuild, not mis-reuse.
+  RunConfig watchdog = slice.front();
+  watchdog.watchdog_timeout_ms = 200;
+  slice.push_back(watchdog);
+  RunConfig moded = slice.front();
+  moded.moded_assertions = true;
+  slice.push_back(moded);
+  slice.push_back(slice.front());  // and back to the original key
+
+  RunContext context;
+  std::size_t reused = 0;
+  for (const auto& config : slice) {
+    const RunResult fresh = run_experiment(config);
+    const RunResult recycled = context.run(config);
+    ASSERT_EQ(fresh, recycled);
+    if (context.reused_rig()) ++reused;
+  }
+  // Every run except a rig (re)build reuses: builds happen for the first
+  // E1 version, the all-assertions version (E2 shares this key), the
+  // watchdog key, the moded key, and the final revert to the first key.
+  EXPECT_EQ(reused, slice.size() - 5);
 }
 
 TEST(ParallelDeterminism, ProgressReachesTotalUnderParallelism) {

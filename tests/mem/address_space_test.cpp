@@ -98,6 +98,28 @@ TEST(AddressSpace, ClearZeroesEverything) {
   EXPECT_EQ(space.read_u16(1000), 0u);
 }
 
+TEST(AddressSpace, RestoreRewritesWholeImage) {
+  AddressSpace space;
+  space.write_u32(0, 0xdeadbeefu);
+  space.write_u16(420, 0x1234);
+  const std::vector<std::uint8_t> snapshot = space.bytes();
+  space.write_u32(0, 0);
+  space.write_u16(420, 0xffff);
+  space.write_u8(100, 7);
+  space.restore(snapshot);
+  EXPECT_EQ(space.read_u32(0), 0xdeadbeefu);
+  EXPECT_EQ(space.read_u16(420), 0x1234u);
+  EXPECT_EQ(space.read_u8(100), 0u);
+  EXPECT_EQ(space.bytes(), snapshot);
+}
+
+TEST(AddressSpace, RestoreRejectsWrongSize) {
+  AddressSpace space;
+  EXPECT_THROW(space.restore(std::vector<std::uint8_t>(space.size() - 1)), BadAddress);
+  EXPECT_THROW(space.restore(std::vector<std::uint8_t>{}), BadAddress);
+  EXPECT_NO_THROW(space.restore(std::vector<std::uint8_t>(space.size())));
+}
+
 TEST(AddressSpace, CopyIsSnapshot) {
   AddressSpace space;
   space.write_u16(0, 42);
