@@ -26,6 +26,7 @@
 #include "bench_common.hpp"
 #include "fi/experiment.hpp"
 #include "fi/run_context.hpp"
+#include "trace/recorder.hpp"
 
 namespace {
 
@@ -86,7 +87,8 @@ Measurement measure(std::size_t units_per_rep, Body&& body) {
 }
 
 void record_hotpath(const easel::fi::CampaignOptions& options, const Measurement& golden,
-                    const Measurement& fresh, const Measurement& reused) {
+                    const Measurement& traced, const Measurement& fresh,
+                    const Measurement& reused) {
   const std::string path = bench::out_dir() + "/BENCH_hotpath.json";
   std::ofstream out{path, std::ios::trunc};
   out << "{\n"
@@ -96,6 +98,9 @@ void record_hotpath(const easel::fi::CampaignOptions& options, const Measurement
       << "  \"seed\": " << options.seed << ",\n"
       << "  \"repetitions\": " << kRepetitions << ",\n"
       << "  \"golden_ticks_per_sec\": " << golden.best_per_sec << ",\n"
+      << "  \"golden_ticks_per_sec_traced\": " << traced.best_per_sec << ",\n"
+      << "  \"trace_hook_compiled_in\": "
+      << (easel::trace::Recorder::compiled_in() ? "true" : "false") << ",\n"
       << "  \"fresh_rig_runs_per_sec\": " << fresh.best_per_sec << ",\n"
       << "  \"reused_rig_runs_per_sec\": " << reused.best_per_sec << ",\n"
       << "  \"detection_checksum\": " << reused.checksum << "\n"
@@ -122,6 +127,27 @@ int main(int argc, char** argv) {
         }
       });
 
+  // Traced golden runs: the same fault-free workload with the trace
+  // recorder installed (when compiled in).  Compared against plain golden,
+  // this is the recorder's per-tick cost; under EASEL_TRACE=OFF the two
+  // measurements bound the hook's zero-cost claim.
+  const Measurement traced =
+      measure(kGoldenRuns * options.observation_ms, [&](std::uint64_t& checksum) {
+        easel::trace::Recorder recorder;
+        RunConfig config = golden_config;
+        config.trace = &recorder;
+        RunContext context;
+        for (std::size_t i = 0; i < kGoldenRuns; ++i) {
+          checksum += context.run(config).detection_count;
+        }
+      });
+  if (traced.checksum != golden.checksum) {
+    std::fprintf(stderr, "tick_throughput: traced/golden checksum mismatch (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(traced.checksum),
+                 static_cast<unsigned long long>(golden.checksum));
+    return 1;
+  }
+
   const auto slice = faulty_slice(options);
   const Measurement fresh = measure(slice.size(), [&](std::uint64_t& checksum) {
     for (const auto& config : slice) checksum += run_experiment(config).detection_count;
@@ -140,10 +166,12 @@ int main(int argc, char** argv) {
 
   std::printf("golden: %.0f ticks/s   (obs window %u ms)\n", golden.best_per_sec,
               options.observation_ms);
+  std::printf("traced: %.0f ticks/s   (recorder %s)\n", traced.best_per_sec,
+              easel::trace::Recorder::compiled_in() ? "installed" : "compiled out");
   std::printf("faulty: %.1f runs/s reused rig, %.1f runs/s fresh rig  "
               "(%zu-run E1 slice, checksum %llu)\n",
               reused.best_per_sec, fresh.best_per_sec, slice.size(),
               static_cast<unsigned long long>(reused.checksum));
-  record_hotpath(options, golden, fresh, reused);
+  record_hotpath(options, golden, traced, fresh, reused);
   return 0;
 }

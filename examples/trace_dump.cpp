@@ -1,19 +1,27 @@
-// trace_dump — record a full-rig signal trace to CSV (stdout), optionally
-// with an injected error.  Feed the output to any plotting tool to see the
-// control loop, the corruption, and the detection unfold.
+// trace_dump — record a full-rig signal trace via the golden-trace recorder
+// (src/trace/), optionally with an injected error, and emit it as CSV on
+// stdout or as a binary trace file loadable by easel-calibrate.
 //
 //   ./trace_dump > clean.csv
 //   ./trace_dump 14000 60 > clean.csv
 //   ./trace_dump 14000 60 0 13 > setvalue_bit13.csv   (signal 0..6, bit 0..15)
+//   ./trace_dump 14000 60 0 13 run.trace              (binary instead of CSV)
 #include <cstdio>
 #include <cstdlib>
 
 #include "fi/experiment.hpp"
-#include "fi/trace.hpp"
+#include "trace/format.hpp"
+#include "trace/recorder.hpp"
 
 using namespace easel;
 
 int main(int argc, char** argv) {
+  if (!trace::Recorder::compiled_in()) {
+    std::fprintf(stderr,
+                 "trace_dump: this build has the trace hook compiled out "
+                 "(rebuild with -DEASEL_TRACE=ON)\n");
+    return 1;
+  }
   fi::RunConfig config;
   config.test_case = {14000.0, 60.0};
   if (argc > 2) {
@@ -29,7 +37,7 @@ int main(int argc, char** argv) {
   }
   config.observation_ms = 20000;
 
-  fi::TraceRecorder recorder{10};
+  trace::Recorder recorder;
   config.trace = &recorder;
   const fi::RunResult result = fi::run_experiment(config);
 
@@ -40,6 +48,15 @@ int main(int argc, char** argv) {
                result.peak_retardation_g,
                static_cast<unsigned long long>(result.detection_count),
                static_cast<unsigned long long>(result.first_detection_ms));
-  std::fputs(recorder.to_csv().c_str(), stdout);
+  const trace::Trace snapshot = recorder.snapshot();
+  if (argc > 5) {
+    if (!trace::save(snapshot, argv[5])) {
+      std::fprintf(stderr, "trace_dump: cannot write '%s'\n", argv[5]);
+      return 1;
+    }
+    std::fprintf(stderr, "saved binary trace -> %s\n", argv[5]);
+    return 0;
+  }
+  std::fputs(trace::to_csv(snapshot, 10).c_str(), stdout);
   return 0;
 }

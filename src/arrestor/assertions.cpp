@@ -87,23 +87,21 @@ core::SignalClass rom_signal_class(MonitoredSignal signal) noexcept {
 
 AssertionBank::AssertionBank(mem::AddressSpace& space, SignalMap& map, core::DetectionBus& bus,
                              EaMask enabled, core::RecoveryPolicy policy,
-                             bool per_mode_constraints)
-    : space_{&space}, map_{&map}, bus_{&bus}, enabled_{enabled},
-      per_mode_{per_mode_constraints} {
+                             bool per_mode_constraints, const NodeParamSet* params)
+    : space_{&space}, map_{&map}, bus_{&bus}, enabled_{enabled} {
+  // One source of truth for every monitor: the caller's set if given, else
+  // the ROM values (with or without the pre-charge mode).  Mode selection
+  // arms whenever any signal carries more than one parameter set.
+  const NodeParamSet source =
+      params != nullptr ? *params : NodeParamSet::rom(per_mode_constraints);
+  per_mode_ = source.per_mode();
   for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
     const auto signal = static_cast<MonitoredSignal>(idx);
     if (!this->enabled(signal)) continue;
     if (signal == MonitoredSignal::ms_slot_nbr) {
-      slot_monitor_.emplace(rom_signal_class(signal), rom_slot_params(), policy);
-    } else if (per_mode_ && has_precharge_mode(signal)) {
-      // Mode 0: pre-charge constraints; mode 1: whole-arrestment envelope.
-      continuous_[idx].emplace(
-          rom_signal_class(signal),
-          std::vector<core::ContinuousParams>{rom_precharge_params(signal),
-                                              rom_continuous_params(signal)},
-          policy);
+      slot_monitor_.emplace(source.classes[idx], source.slot_modes, policy);
     } else {
-      continuous_[idx].emplace(rom_signal_class(signal), rom_continuous_params(signal), policy);
+      continuous_[idx].emplace(source.classes[idx], source.continuous[idx], policy);
     }
     bus_ids_[idx] = bus.register_monitor("EA" + std::to_string(ea_number(signal)) + "(" +
                                          to_string(signal) + ")");

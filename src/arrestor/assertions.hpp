@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "arrestor/param_set.hpp"
 #include "arrestor/signal_map.hpp"
 #include "core/detection_bus.hpp"
 #include "core/monitor.hpp"
@@ -57,6 +58,23 @@ inline constexpr EaMask kAllAssertions = 0x7f;
 /// Declared class of each monitored signal (paper Table 4).
 [[nodiscard]] core::SignalClass rom_signal_class(MonitoredSignal signal) noexcept;
 
+/// The scheduler period of the module hosting each EA's test location
+/// (paper Table 4 placement): the V_REG- and PRES_A-hosted tests run once
+/// per 7-ms frame, the rest every millisecond.  This is the stride at which
+/// an EA observes its signal's deltas — the trace recorder stores it per
+/// channel so the calibrator differences samples at the rate the assertion
+/// will actually see.
+[[nodiscard]] constexpr std::uint32_t ea_test_period_ms(MonitoredSignal signal) noexcept {
+  switch (signal) {
+    case MonitoredSignal::set_value:   // EA1 in V_REG
+    case MonitoredSignal::is_value:    // EA2 in V_REG
+    case MonitoredSignal::out_value:   // EA7 in PRES_A
+      return 7;
+    default:
+      return 1;
+  }
+}
+
 class AssertionBank {
  public:
   /// Builds the bank over a node image.  Each enabled EA registers itself
@@ -66,9 +84,15 @@ class AssertionBank {
   /// `per_mode_constraints`, the feedback-signal EAs carry the tighter
   /// pre-charge parameter set as mode 0, selected by the CALC-produced
   /// arrest_phase signal (off for the paper-baseline campaigns).
+  ///
+  /// `params`, when non-null, overrides the ROM values entirely (e.g. a
+  /// calibrated set): classes and per-mode Pcont/Pdisc come from it, and
+  /// mode selection arms automatically for any signal carrying more than
+  /// one mode.  Must pass validate(*params) — invalid sets throw
+  /// std::invalid_argument from the monitor constructors.
   AssertionBank(mem::AddressSpace& space, SignalMap& map, core::DetectionBus& bus,
                 EaMask enabled, core::RecoveryPolicy policy = core::RecoveryPolicy::none,
-                bool per_mode_constraints = false);
+                bool per_mode_constraints = false, const NodeParamSet* params = nullptr);
 
   /// Runs the EA monitoring `signal` if enabled: reads the signal word and
   /// the monitor state from RAM, evaluates the assertion, writes the state

@@ -8,11 +8,12 @@ constexpr std::size_t kVRegLocals = 16;
 }  // namespace
 
 MasterNode::MasterNode(sim::Environment& env, core::DetectionBus& bus, EaMask assertions,
-                       core::RecoveryPolicy policy, bool per_mode_constraints)
+                       core::RecoveryPolicy policy, bool per_mode_constraints,
+                       const NodeParamSet* params)
     : space_{},
       alloc_{space_},
       map_{space_, alloc_},
-      bank_{space_, map_, bus, assertions, policy, per_mode_constraints},
+      bank_{space_, map_, bus, assertions, policy, per_mode_constraints, params},
       ctx_exec_{space_, alloc_, "EXEC", kEntryExec, 32},
       ctx_clock_{space_, alloc_, "CLOCK", kEntryClock, kSmallLocals},
       ctx_dist_s_{space_, alloc_, "DIST_S", kEntryDistS, kSmallLocals},

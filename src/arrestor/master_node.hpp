@@ -20,10 +20,13 @@ class MasterNode {
   /// enabled (one of the paper's eight software versions) and the given
   /// recovery policy (the paper's campaigns detect only).
   /// `per_mode_constraints` arms the pre-charge/braking signal modes
-  /// (extension; off in the paper-baseline configuration).
+  /// (extension; off in the paper-baseline configuration).  A non-null
+  /// `params` replaces the ROM parameter values with a loaded/calibrated
+  /// NodeParamSet (see arrestor/param_set.hpp); the pointee is only read
+  /// during construction.
   MasterNode(sim::Environment& env, core::DetectionBus& bus, EaMask assertions,
              core::RecoveryPolicy policy = core::RecoveryPolicy::none,
-             bool per_mode_constraints = false);
+             bool per_mode_constraints = false, const NodeParamSet* params = nullptr);
 
   MasterNode(const MasterNode&) = delete;
   MasterNode& operator=(const MasterNode&) = delete;

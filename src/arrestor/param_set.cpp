@@ -1,0 +1,185 @@
+#include "arrestor/param_set.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "arrestor/assertions.hpp"
+
+namespace easel::arrestor {
+
+namespace {
+
+constexpr const char* kMagic = "easel-param-set v1";
+constexpr const char* kEnd = "end";
+
+std::optional<MonitoredSignal> parse_signal_name(const std::string& name) {
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    if (name == to_string(signal)) return signal;
+  }
+  return std::nullopt;
+}
+
+/// The semantic payload (everything except provenance/origin/margin) in the
+/// on-disk text form — shared by save() and fingerprint() so the hash is
+/// exactly "what the monitors will be built from".
+void write_payload(std::ostream& out, const NodeParamSet& params) {
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    const bool discrete = signal == MonitoredSignal::ms_slot_nbr;
+    const std::size_t modes =
+        discrete ? params.slot_modes.size() : params.continuous[idx].size();
+    out << "signal " << to_string(signal) << " class "
+        << core::short_code(params.classes[idx]) << " modes " << modes << '\n';
+    if (discrete) {
+      for (const core::DiscreteParams& mode : params.slot_modes) {
+        core::write_discrete(out, mode);
+      }
+    } else {
+      for (const core::ContinuousParams& mode : params.continuous[idx]) {
+        core::write_continuous(out, mode);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+NodeParamSet NodeParamSet::rom(bool per_mode_constraints) {
+  NodeParamSet params;
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    params.classes[idx] = rom_signal_class(signal);
+    if (signal == MonitoredSignal::ms_slot_nbr) continue;
+    if (per_mode_constraints && has_precharge_mode(signal)) {
+      params.continuous[idx] = {rom_precharge_params(signal), rom_continuous_params(signal)};
+    } else {
+      params.continuous[idx] = {rom_continuous_params(signal)};
+    }
+  }
+  params.slot_modes = {rom_slot_params()};
+  return params;
+}
+
+bool NodeParamSet::per_mode() const noexcept {
+  for (const auto& modes : continuous) {
+    if (modes.size() > 1) return true;
+  }
+  return slot_modes.size() > 1;
+}
+
+core::Validation validate(const NodeParamSet& params) {
+  core::Validation v;
+  const auto prefix = [&v](MonitoredSignal signal, const core::Validation& inner) {
+    for (const std::string& problem : inner.problems) {
+      v.problems.push_back(std::string{to_string(signal)} + ": " + problem);
+    }
+  };
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    if (signal == MonitoredSignal::ms_slot_nbr) {
+      if (params.slot_modes.empty()) {
+        v.problems.emplace_back("ms_slot_nbr: no parameter set");
+        continue;
+      }
+      for (const core::DiscreteParams& mode : params.slot_modes) {
+        prefix(signal, core::validate(mode, params.classes[idx]));
+      }
+    } else {
+      if (params.continuous[idx].empty()) {
+        v.problems.push_back(std::string{to_string(signal)} + ": no parameter set");
+        continue;
+      }
+      for (const core::ContinuousParams& mode : params.continuous[idx]) {
+        prefix(signal, core::validate(mode, params.classes[idx]));
+      }
+    }
+  }
+  return v;
+}
+
+std::uint64_t fingerprint(const NodeParamSet& params) {
+  std::ostringstream payload;
+  write_payload(payload, params);
+  // FNV-1a over the serialized payload: stable across processes and runs,
+  // cheap, and collision-safe enough for cache-key disambiguation.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : payload.str()) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void save(const NodeParamSet& params, std::ostream& out) {
+  out << kMagic << '\n';
+  out << "provenance " << core::to_string(params.provenance) << '\n';
+  out << "origin " << params.origin << '\n';
+  out << "margin " << params.margin << '\n';
+  write_payload(out, params);
+  out << kEnd << '\n';
+}
+
+bool save(const NodeParamSet& params, const std::string& path) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  save(params, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<NodeParamSet> load(std::istream& in) {
+  std::string line, word;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  NodeParamSet params;
+  if (!(in >> word) || word != "provenance" || !(in >> word)) return std::nullopt;
+  const auto provenance = core::parse_provenance(word);
+  if (!provenance) return std::nullopt;
+  params.provenance = *provenance;
+
+  if (!(in >> word) || word != "origin") return std::nullopt;
+  in.ignore(1);  // the separating space
+  if (!std::getline(in, params.origin)) return std::nullopt;
+
+  if (!(in >> word) || word != "margin" || !(in >> params.margin)) return std::nullopt;
+
+  std::array<bool, kMonitoredSignalCount> seen{};
+  for (std::size_t entry = 0; entry < kMonitoredSignalCount; ++entry) {
+    std::string name, code;
+    std::size_t modes = 0;
+    if (!(in >> word) || word != "signal" || !(in >> name) || !(in >> word) ||
+        word != "class" || !(in >> code) || !(in >> word) || word != "modes" ||
+        !(in >> modes) || modes == 0 || modes > 16) {
+      return std::nullopt;
+    }
+    const auto signal = parse_signal_name(name);
+    const auto cls = core::parse_signal_class(code);
+    if (!signal || !cls) return std::nullopt;
+    const auto idx = static_cast<std::size_t>(*signal);
+    if (seen[idx]) return std::nullopt;  // duplicate signal entry
+    seen[idx] = true;
+    params.classes[idx] = *cls;
+    if (*signal == MonitoredSignal::ms_slot_nbr) {
+      params.slot_modes.resize(modes);
+      for (core::DiscreteParams& mode : params.slot_modes) {
+        if (!core::read_discrete(in, mode)) return std::nullopt;
+      }
+    } else {
+      params.continuous[idx].resize(modes);
+      for (core::ContinuousParams& mode : params.continuous[idx]) {
+        if (!core::read_continuous(in, mode)) return std::nullopt;
+      }
+    }
+  }
+
+  if (!(in >> word) || word != kEnd) return std::nullopt;  // truncated
+  return params;
+}
+
+std::optional<NodeParamSet> load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  return load(in);
+}
+
+}  // namespace easel::arrestor

@@ -1,0 +1,68 @@
+// A complete, loadable assertion-parameter set for the master node: one
+// entry per monitored signal (paper Table 4), each carrying its declared
+// class and one Pcont/Pdisc per mode.
+//
+// This is the unit the calibrator emits and the experiment rig consumes: a
+// NodeParamSet built by NodeParamSet::rom() reproduces the hand-specified
+// Table-4/5 values exactly, while one loaded from an `easel-calibrate`
+// output carries trace-learned values plus provenance (who derived it, from
+// what, with which safety margin).  save/load use the same defensive
+// magic+sentinel discipline as the campaign cache: a file only loads
+// complete and well-formed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arrestor/signal_map.hpp"
+#include "core/params.hpp"
+
+namespace easel::arrestor {
+
+struct NodeParamSet {
+  core::ParamProvenance provenance = core::ParamProvenance::hand_specified;
+  std::string origin = "ROM (paper Tables 4-5)";  ///< free-form provenance detail
+  double margin = 0.0;  ///< calibration safety margin (0 for hand sets)
+
+  /// Declared class per signal (MonitoredSignal order).
+  std::array<core::SignalClass, kMonitoredSignalCount> classes{};
+
+  /// Per-mode Pcont per continuous signal; empty for ms_slot_nbr.  Size 1 =
+  /// single-mode, size 2 = {pre-charge, braking} (paper §2.1 signal modes).
+  std::array<std::vector<core::ContinuousParams>, kMonitoredSignalCount> continuous{};
+
+  /// Per-mode Pdisc of ms_slot_nbr (EA5); at least one entry.
+  std::vector<core::DiscreteParams> slot_modes;
+
+  /// The hand-specified ROM values (rom_continuous_params & friends); with
+  /// `per_mode_constraints`, the feedback signals carry the pre-charge set
+  /// as mode 0.
+  [[nodiscard]] static NodeParamSet rom(bool per_mode_constraints = false);
+
+  /// True if any signal carries more than one mode.
+  [[nodiscard]] bool per_mode() const noexcept;
+
+  friend bool operator==(const NodeParamSet&, const NodeParamSet&) = default;
+};
+
+/// Table-1 validation of every signal's every mode (plus structural checks:
+/// each continuous signal needs >= 1 mode, ms_slot_nbr needs >= 1 Pdisc and
+/// a discrete class).  Problems are prefixed with the signal name.
+[[nodiscard]] core::Validation validate(const NodeParamSet& params);
+
+/// Stable content hash of the semantic payload (classes + parameter values;
+/// provenance/origin excluded) — campaign cache keys use it so results
+/// under different parameter sets never alias.
+[[nodiscard]] std::uint64_t fingerprint(const NodeParamSet& params);
+
+void save(const NodeParamSet& params, std::ostream& out);
+[[nodiscard]] bool save(const NodeParamSet& params, const std::string& path);
+
+[[nodiscard]] std::optional<NodeParamSet> load(std::istream& in);
+[[nodiscard]] std::optional<NodeParamSet> load(const std::string& path);
+
+}  // namespace easel::arrestor

@@ -1,0 +1,423 @@
+#include "calib/calibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/monitor.hpp"
+
+namespace easel::calib {
+
+namespace {
+
+constexpr core::sig_t kWordMax = 65535;  // signals are 16-bit words
+
+[[nodiscard]] core::sig_t scaled_ceiling(core::sig_t magnitude, double factor) {
+  return static_cast<core::sig_t>(std::ceil(static_cast<double>(magnitude) * factor));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Observation accumulators.
+// ---------------------------------------------------------------------------
+
+void ContinuousObservation::add_value(core::sig_t value) noexcept {
+  if (samples == 0) {
+    min_value = max_value = value;
+  } else {
+    min_value = std::min(min_value, value);
+    max_value = std::max(max_value, value);
+  }
+  ++samples;
+}
+
+void ContinuousObservation::add_step(core::sig_t current, core::sig_t previous) noexcept {
+  ++steps;
+  const core::sig_t delta = current - previous;
+  if (delta == 0) {
+    paused = true;
+  } else if (delta > 0) {
+    min_incr = increased ? std::min(min_incr, delta) : delta;
+    max_incr = std::max(max_incr, delta);
+    increased = true;
+  } else {
+    const core::sig_t magnitude = -delta;
+    min_decr = decreased ? std::min(min_decr, magnitude) : magnitude;
+    max_decr = std::max(max_decr, magnitude);
+    decreased = true;
+  }
+}
+
+void ContinuousObservation::merge(const ContinuousObservation& other) noexcept {
+  if (other.samples == 0 && other.steps == 0) return;
+  if (samples == 0) {
+    min_value = other.min_value;
+    max_value = other.max_value;
+  } else if (other.samples > 0) {
+    min_value = std::min(min_value, other.min_value);
+    max_value = std::max(max_value, other.max_value);
+  }
+  samples += other.samples;
+  steps += other.steps;
+  if (other.increased) {
+    min_incr = increased ? std::min(min_incr, other.min_incr) : other.min_incr;
+    max_incr = std::max(max_incr, other.max_incr);
+    increased = true;
+  }
+  if (other.decreased) {
+    min_decr = decreased ? std::min(min_decr, other.min_decr) : other.min_decr;
+    max_decr = std::max(max_decr, other.max_decr);
+    decreased = true;
+  }
+  paused = paused || other.paused;
+}
+
+void DiscreteObservation::add_value(core::sig_t value) {
+  ++samples;
+  domain.insert(value);
+}
+
+void DiscreteObservation::add_step(core::sig_t current, core::sig_t previous) {
+  ++steps;
+  transitions[previous].insert(current);
+}
+
+void DiscreteObservation::merge(const DiscreteObservation& other) {
+  samples += other.samples;
+  steps += other.steps;
+  domain.insert(other.domain.begin(), other.domain.end());
+  for (const auto& [from, successors] : other.transitions) {
+    transitions[from].insert(successors.begin(), successors.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter derivation.
+// ---------------------------------------------------------------------------
+
+core::SignalClass derive_class(const ContinuousObservation& observed,
+                               bool allow_static) noexcept {
+  const bool one_direction = observed.increased != observed.decreased;
+  if (allow_static && one_direction && !observed.paused) {
+    const core::sig_t lo = observed.increased ? observed.min_incr : observed.min_decr;
+    const core::sig_t hi = observed.increased ? observed.max_incr : observed.max_decr;
+    if (lo == hi) return core::SignalClass::continuous_static_monotonic;
+  }
+  if (one_direction) return core::SignalClass::continuous_dynamic_monotonic;
+  // Both directions, or never moved at all (a constant signal carries
+  // all-zero rate bands, which only the Random row accepts).
+  return core::SignalClass::continuous_random;
+}
+
+core::ContinuousParams derive_continuous(const ContinuousObservation& observed, double margin,
+                                         bool allow_static) {
+  if (observed.samples == 0) {
+    throw std::invalid_argument{"derive_continuous: no samples observed"};
+  }
+  if (!(margin >= 0.0)) {
+    throw std::invalid_argument{"derive_continuous: margin must be >= 0"};
+  }
+  core::ContinuousParams params;
+
+  // Bounds: stretch by margin x span on each side, but never below zero or
+  // above the 16-bit word range the signals live in.  Table 1 "All" demands
+  // smax > smin, so a constant signal still gets a one-count band.
+  const core::sig_t span = observed.max_value - observed.min_value;
+  const core::sig_t pad = scaled_ceiling(span, margin);
+  params.smin = std::max<core::sig_t>(0, observed.min_value - pad);
+  params.smax = std::min<core::sig_t>(kWordMax, observed.max_value + pad);
+  if (params.smax <= params.smin) params.smax = params.smin + 1;
+
+  const core::SignalClass cls = derive_class(observed, allow_static);
+  if (cls == core::SignalClass::continuous_static_monotonic) {
+    // Exact rate, margin-free: loosening either end would break the Table-1
+    // static row (rmin == rmax > 0) that makes the class checkable at all.
+    if (observed.increased) {
+      params.rmin_incr = params.rmax_incr = observed.min_incr;
+    } else {
+      params.rmin_decr = params.rmax_decr = observed.min_decr;
+    }
+    return params;
+  }
+
+  // Non-static: zero minimum rates admit pauses through the Table-2 group-c
+  // predicates (3c for decrease-only, 4c for increase-only, 5c for random),
+  // and the margin widens only the maximum magnitudes.
+  if (observed.increased) {
+    params.rmax_incr = std::max<core::sig_t>(1, scaled_ceiling(observed.max_incr, 1.0 + margin));
+  }
+  if (observed.decreased) {
+    params.rmax_decr = std::max<core::sig_t>(1, scaled_ceiling(observed.max_decr, 1.0 + margin));
+  }
+  return params;
+}
+
+core::DiscreteParams derive_discrete(const DiscreteObservation& observed) {
+  if (observed.samples == 0) {
+    throw std::invalid_argument{"derive_discrete: no samples observed"};
+  }
+  core::DiscreteParams params;
+  params.domain.assign(observed.domain.begin(), observed.domain.end());
+  for (const auto& [from, successors] : observed.transitions) {
+    params.transitions[from].assign(successors.begin(), successors.end());
+  }
+  return params;
+}
+
+core::SignalClass derive_discrete_class(const DiscreteObservation& observed) noexcept {
+  for (const auto& [from, successors] : observed.transitions) {
+    if (successors.size() > 1) return core::SignalClass::discrete_sequential_nonlinear;
+  }
+  return core::SignalClass::discrete_sequential_linear;
+}
+
+// ---------------------------------------------------------------------------
+// Trace consumption.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] bool is_feedback_signal(std::string_view name) noexcept {
+  using arrestor::MonitoredSignal;
+  return name == arrestor::to_string(MonitoredSignal::set_value) ||
+         name == arrestor::to_string(MonitoredSignal::is_value) ||
+         name == arrestor::to_string(MonitoredSignal::out_value);
+}
+
+[[nodiscard]] std::size_t mode_index(const trace::Trace& trace, std::uint64_t tick) {
+  return trace.mode_at(tick) == 0 ? 0 : 1;
+}
+
+/// Specialisation rank for class unification across modes (Figure 1:
+/// static < dynamic < random, more general rightwards).
+[[nodiscard]] int generality(core::SignalClass cls) noexcept {
+  switch (cls) {
+    case core::SignalClass::continuous_static_monotonic: return 0;
+    case core::SignalClass::continuous_dynamic_monotonic: return 1;
+    default: return 2;
+  }
+}
+
+void accumulate_continuous(LearnedSignal& learned, const trace::Trace& trace,
+                           const trace::SignalTrace& channel, bool per_mode) {
+  const std::uint32_t period = std::max<std::uint32_t>(1, channel.period_ms);
+  const std::size_t mode_count = per_mode ? 2 : 1;
+  if (learned.observed.size() < mode_count) learned.observed.resize(mode_count);
+  const std::size_t n = channel.words.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t tick = channel.first_tick + k;
+    const std::size_t mode = per_mode ? mode_index(trace, tick) : 0;
+    learned.observed[mode].add_value(static_cast<core::sig_t>(channel.words[k]));
+    // Difference at the channel's test period: that stride is exactly the
+    // delta the deployed assertion observes, whatever its phase offset.
+    if (k >= period) {
+      learned.observed[mode].add_step(static_cast<core::sig_t>(channel.words[k]),
+                                      static_cast<core::sig_t>(channel.words[k - period]));
+    }
+  }
+}
+
+void accumulate_discrete(LearnedSignal& learned, const trace::SignalTrace& channel) {
+  const std::uint32_t period = std::max<std::uint32_t>(1, channel.period_ms);
+  if (learned.observed_discrete.empty()) learned.observed_discrete.resize(1);
+  DiscreteObservation& obs = learned.observed_discrete.front();
+  const std::size_t n = channel.words.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    obs.add_value(static_cast<core::sig_t>(channel.words[k]));
+    if (k >= period) {
+      obs.add_step(static_cast<core::sig_t>(channel.words[k]),
+                   static_cast<core::sig_t>(channel.words[k - period]));
+    }
+  }
+}
+
+void derive_learned(LearnedSignal& learned, const Options& options) {
+  if (learned.discrete) {
+    learned.slot_modes.clear();
+    learned.cls = core::SignalClass::discrete_sequential_linear;
+    for (const DiscreteObservation& obs : learned.observed_discrete) {
+      if (obs.samples == 0) continue;
+      learned.slot_modes.push_back(derive_discrete(obs));
+      if (derive_discrete_class(obs) == core::SignalClass::discrete_sequential_nonlinear) {
+        learned.cls = core::SignalClass::discrete_sequential_nonlinear;
+      }
+    }
+    return;
+  }
+
+  // Drop unvisited trailing modes (e.g. a trace that never left pre-charge):
+  // a mode with no samples has no envelope to check against.
+  while (learned.observed.size() > 1 && learned.observed.back().samples == 0) {
+    learned.observed.pop_back();
+  }
+
+  // Unify the per-mode classes: a monitor declares ONE class for all modes,
+  // so when modes disagree every mode is re-derived at the most general
+  // shape that still validates (static params fail the Dynamic row's strict
+  // rmax > rmin, hence the allow_static=false re-derivation; any derived
+  // band passes the Random row as-is).
+  std::vector<core::SignalClass> classes;
+  classes.reserve(learned.observed.size());
+  for (const ContinuousObservation& obs : learned.observed) {
+    classes.push_back(derive_class(obs));
+  }
+  core::SignalClass unified = classes.front();
+  for (const core::SignalClass cls : classes) {
+    if (generality(cls) > generality(unified)) unified = cls;
+  }
+  learned.cls = unified;
+  learned.modes.clear();
+  const bool allow_static = unified == core::SignalClass::continuous_static_monotonic;
+  for (const ContinuousObservation& obs : learned.observed) {
+    learned.modes.push_back(derive_continuous(obs, options.margin, allow_static));
+  }
+}
+
+}  // namespace
+
+const LearnedSignal* Calibration::find(std::string_view name) const noexcept {
+  for (const LearnedSignal& signal : signals) {
+    if (signal.name == name) return &signal;
+  }
+  return nullptr;
+}
+
+Calibration calibrate(const std::vector<trace::Trace>& traces, const Options& options) {
+  if (traces.empty()) throw std::invalid_argument{"calibrate: no traces"};
+  if (!(options.margin >= 0.0)) throw std::invalid_argument{"calibrate: margin must be >= 0"};
+
+  Calibration result;
+  result.options = options;
+
+  // The first trace defines the channel set; later traces must agree on
+  // each channel's kind and test period or the envelopes would mix strides.
+  for (const trace::SignalTrace& channel : traces.front().signals) {
+    if (channel.kind == trace::ChannelKind::analog) continue;
+    LearnedSignal learned;
+    learned.name = channel.name;
+    learned.discrete = channel.kind == trace::ChannelKind::discrete;
+    result.signals.push_back(std::move(learned));
+  }
+
+  for (const trace::Trace& trace : traces) {
+    result.sources.push_back(trace.label.empty() ? "(unlabelled trace)" : trace.label);
+    for (LearnedSignal& learned : result.signals) {
+      const trace::SignalTrace* channel = trace.find(learned.name);
+      if (channel == nullptr) continue;
+      const bool discrete = channel->kind == trace::ChannelKind::discrete;
+      if (discrete != learned.discrete) {
+        throw std::invalid_argument{"calibrate: channel '" + learned.name +
+                                    "' changes kind between traces"};
+      }
+      if (learned.discrete) {
+        accumulate_discrete(learned, *channel);
+      } else {
+        accumulate_continuous(learned, trace, *channel,
+                              options.per_mode && is_feedback_signal(learned.name));
+      }
+    }
+  }
+
+  for (LearnedSignal& learned : result.signals) derive_learned(learned, options);
+  return result;
+}
+
+arrestor::NodeParamSet to_node_params(const Calibration& calibration) {
+  arrestor::NodeParamSet set;
+  set.provenance = core::ParamProvenance::calibrated;
+  set.margin = calibration.options.margin;
+  std::ostringstream origin;
+  origin << "calibrated from";
+  for (std::size_t i = 0; i < calibration.sources.size(); ++i) {
+    origin << (i == 0 ? " " : ", ") << calibration.sources[i];
+  }
+  set.origin = origin.str();
+
+  for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(idx);
+    const LearnedSignal* learned = calibration.find(arrestor::to_string(signal));
+    if (learned == nullptr) {
+      throw std::invalid_argument{std::string{"to_node_params: signal "} +
+                                  arrestor::to_string(signal) + " missing from calibration"};
+    }
+    const bool want_discrete = signal == arrestor::MonitoredSignal::ms_slot_nbr;
+    if (learned->discrete != want_discrete) {
+      throw std::invalid_argument{std::string{"to_node_params: signal "} +
+                                  arrestor::to_string(signal) + " has the wrong channel kind"};
+    }
+    if (want_discrete) {
+      if (learned->slot_modes.empty()) {
+        throw std::invalid_argument{"to_node_params: ms_slot_nbr was never sampled"};
+      }
+      set.classes[idx] = learned->cls;
+      set.slot_modes = learned->slot_modes;
+    } else {
+      if (learned->modes.empty()) {
+        throw std::invalid_argument{std::string{"to_node_params: signal "} +
+                                    arrestor::to_string(signal) + " was never sampled"};
+      }
+      set.classes[idx] = learned->cls;
+      set.continuous[idx] = learned->modes;
+    }
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// Offline replay.
+// ---------------------------------------------------------------------------
+
+ReplayReport replay(const trace::Trace& trace, const arrestor::NodeParamSet& params) {
+  ReplayReport report;
+  const bool per_mode = params.per_mode();
+
+  for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(idx);
+    const trace::SignalTrace* channel = trace.find(arrestor::to_string(signal));
+    if (channel == nullptr || channel->words.empty()) continue;
+    const std::uint32_t period = std::max<std::uint32_t>(1, channel->period_ms);
+    const std::size_t n = channel->words.size();
+
+    if (signal == arrestor::MonitoredSignal::ms_slot_nbr) {
+      const core::DiscreteMonitor monitor{params.classes[idx], params.slot_modes};
+      for (std::uint32_t offset = 0; offset < period; ++offset) {
+        core::MonitorState state;
+        for (std::size_t k = offset; k < n; k += period) {
+          const auto outcome =
+              monitor.check(static_cast<core::sig_t>(channel->words[k]), state);
+          ++report.checks;
+          if (!outcome.ok) {
+            ++report.violations;
+            ++report.per_signal[idx];
+          }
+        }
+      }
+      continue;
+    }
+
+    const core::ContinuousMonitor monitor{params.classes[idx], params.continuous[idx]};
+    // The bank mode-selects any multi-mode continuous signal; mirror that,
+    // reading the mode the trace recorded for the sample's tick (the same
+    // arrest_phase word the deployed bank reads at test time).
+    const bool select_mode = per_mode && monitor.mode_count() > 1;
+    for (std::uint32_t offset = 0; offset < period; ++offset) {
+      core::MonitorState state;
+      for (std::size_t k = offset; k < n; k += period) {
+        const std::uint64_t tick = channel->first_tick + k;
+        const std::size_t mode = select_mode ? mode_index(trace, tick) : 0;
+        const auto outcome =
+            monitor.check(static_cast<core::sig_t>(channel->words[k]), state, mode);
+        ++report.checks;
+        if (!outcome.ok) {
+          ++report.violations;
+          ++report.per_signal[idx];
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace easel::calib

@@ -1,0 +1,142 @@
+// Automatic assertion-parameter calibration from golden traces.
+//
+// The paper derives every Pcont/Pdisc by hand from "knowledge of the
+// system" (§2.2 step 6).  The calibrator replaces that step with
+// observation: it walks recorded golden traces (src/trace/), accumulates
+// per-signal envelopes — value bounds, per-test-period increase/decrease
+// rates, discrete domains and transition relations — and emits a
+// NodeParamSet that passes the Table-1 validation for an inferred class.
+//
+// A safety-margin knob widens the observed envelope: bounds stretch by
+// margin x (observed span) on each side and maximum rates scale by
+// (1 + margin).  Minimum rates of non-static signals are forced to zero so
+// the Table-2 pause predicates (3c/4c/5c) admit steady phases the trace may
+// have under-sampled; a signal observed to step by one constant delta with
+// no pauses keeps the exact static-monotonic rate (margin never loosens a
+// static invariant — that would break the Table-1 static row).
+//
+// Rates are differenced at each channel's recorded test period (the EA's
+// placement period, paper Table 4), over every phase offset, so the learned
+// band is exactly the set of deltas the deployed assertion can observe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrestor/param_set.hpp"
+#include "core/params.hpp"
+#include "trace/trace.hpp"
+
+namespace easel::calib {
+
+struct Options {
+  double margin = 0.10;  ///< safety margin (0 = exactly the observed envelope)
+  bool per_mode = false; ///< learn separate pre-charge/braking sets for the
+                         ///< feedback signals (paper §2.1 signal modes)
+};
+
+/// Accumulated envelope of one continuous signal (per mode).
+struct ContinuousObservation {
+  std::uint64_t samples = 0;
+  std::uint64_t steps = 0;  ///< test-period-strided deltas observed
+  core::sig_t min_value = 0;
+  core::sig_t max_value = 0;
+  core::sig_t max_incr = 0;  ///< largest observed increase per test period
+  core::sig_t min_incr = 0;  ///< smallest observed non-zero increase
+  core::sig_t max_decr = 0;
+  core::sig_t min_decr = 0;
+  bool increased = false;
+  bool decreased = false;
+  bool paused = false;  ///< a zero delta was observed
+
+  void add_value(core::sig_t value) noexcept;
+  void add_step(core::sig_t current, core::sig_t previous) noexcept;
+  void merge(const ContinuousObservation& other) noexcept;
+};
+
+/// Accumulated domain and transition relation of one discrete signal.
+struct DiscreteObservation {
+  std::uint64_t samples = 0;
+  std::uint64_t steps = 0;
+  std::set<core::sig_t> domain;
+  std::map<core::sig_t, std::set<core::sig_t>> transitions;  ///< includes self-loops (dwell)
+
+  void add_value(core::sig_t value);
+  void add_step(core::sig_t current, core::sig_t previous);
+  void merge(const DiscreteObservation& other);
+};
+
+/// Derives a Pcont from one observation band.  With `allow_static`, an
+/// always-moving constant-delta signal yields exact static-monotonic rates;
+/// otherwise (and for all other shapes) minimum rates are zero and maximum
+/// rates/bounds carry the margin.  The result always passes Table 1 for
+/// derive_class() of the same arguments.
+[[nodiscard]] core::ContinuousParams derive_continuous(const ContinuousObservation& observed,
+                                                       double margin,
+                                                       bool allow_static = true);
+
+/// The most specific Table-1 class derive_continuous's output satisfies.
+[[nodiscard]] core::SignalClass derive_class(const ContinuousObservation& observed,
+                                             bool allow_static = true) noexcept;
+
+/// Derives a Pdisc: sorted observed domain, observed transition sets.
+[[nodiscard]] core::DiscreteParams derive_discrete(const DiscreteObservation& observed);
+
+/// Class of a discrete observation: sequential/linear when no value has two
+/// successors (dwell self-loops count — Table-1 linear validation counts
+/// them too), else non-linear.
+[[nodiscard]] core::SignalClass derive_discrete_class(const DiscreteObservation& observed) noexcept;
+
+/// One signal's learned artefacts.
+struct LearnedSignal {
+  std::string name;
+  bool discrete = false;
+  core::SignalClass cls = core::SignalClass::continuous_random;
+  std::vector<core::ContinuousParams> modes;      ///< continuous signals
+  std::vector<core::DiscreteParams> slot_modes;   ///< discrete signals
+  std::vector<ContinuousObservation> observed;    ///< per mode (continuous)
+  std::vector<DiscreteObservation> observed_discrete;
+};
+
+struct Calibration {
+  Options options;
+  std::vector<std::string> sources;  ///< labels of the consumed traces
+  std::vector<LearnedSignal> signals;
+
+  [[nodiscard]] const LearnedSignal* find(std::string_view name) const noexcept;
+};
+
+/// Learns per-signal parameters from one or more golden traces.  Word
+/// channels are calibrated (continuous vs discrete per their ChannelKind);
+/// analog channels are ignored.  With options.per_mode, the feedback
+/// signals (SetValue/IsValue/OutValue) carry two modes keyed by the
+/// traces' mode annotations; all other signals stay single-mode.
+[[nodiscard]] Calibration calibrate(const std::vector<trace::Trace>& traces,
+                                    const Options& options = {});
+
+/// Assembles a calibration of the master node's seven monitored signals
+/// into a loadable NodeParamSet (provenance = calibrated).  Throws
+/// std::invalid_argument if any monitored signal is missing or was never
+/// sampled.
+[[nodiscard]] arrestor::NodeParamSet to_node_params(const Calibration& calibration);
+
+/// Offline assertion replay: runs the Table-2/Table-3 monitors over a
+/// trace's channels exactly as the deployed bank would (every phase offset
+/// of each channel's test period, per-mode selection by the trace's mode
+/// annotations) and counts violations.  Zero violations over the trace a
+/// set was learned from is the calibrator's correctness property.
+struct ReplayReport {
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  std::array<std::uint64_t, arrestor::kMonitoredSignalCount> per_signal{};
+};
+
+[[nodiscard]] ReplayReport replay(const trace::Trace& trace,
+                                  const arrestor::NodeParamSet& params);
+
+}  // namespace easel::calib

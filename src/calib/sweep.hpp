@@ -1,0 +1,63 @@
+// Margin-sweep driver: the coverage-vs-false-positive frontier.
+//
+// The safety margin is the calibrator's one tuning knob.  Too tight and the
+// learned envelope flags legitimate golden behaviour (false positives on
+// fault-free runs); too loose and injected errors slip inside the envelope
+// (coverage loss).  The sweep quantifies both ends: for each margin it
+// learns a parameter set from the golden traces, golden-runs every campaign
+// test case under that set (false-positive count), re-runs the E1 campaign
+// under it (Pds from the all-assertions version), and folds Pds through the
+// §2.4 model — Pdetect = (Pen·Pprop + Pem)·Pds — for the whole-system view.
+//
+// E1 campaigns are the expensive part, so each point's results go through
+// the campaign cache (save_e1/load_e1) under a key that carries the learned
+// set's fingerprint: re-sweeping with unchanged traces is nearly free, and
+// points never alias across margins or against the hand-specified baseline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.hpp"
+#include "fi/campaign.hpp"
+
+namespace easel::calib {
+
+struct SweepOptions {
+  std::vector<double> margins{0.0, 0.05, 0.10, 0.25, 0.50, 1.00};
+  bool per_mode = false;            ///< learn per-mode feedback-signal sets
+  fi::CampaignOptions campaign;     ///< E1 scale/seed (params is overwritten)
+  double p_prop = 0.25;             ///< assumed propagation probability (§2.4)
+  std::string cache_dir;            ///< campaign-cache directory; empty = no cache
+};
+
+/// One margin's measurements.
+struct SweepPoint {
+  double margin = 0.0;
+  std::uint64_t fingerprint = 0;       ///< learned set's content hash
+  std::size_t golden_runs = 0;         ///< fault-free runs executed
+  std::size_t false_positive_runs = 0; ///< golden runs that raised a detection
+  double p_ds = 0.0;                   ///< E1 all-assertions P(d)
+  double p_detect = 0.0;               ///< §2.4 model output
+  bool campaign_cached = false;        ///< E1 came from the cache
+};
+
+struct SweepResult {
+  double p_em = 0.0;      ///< monitored-signal fraction of RAM bits
+  double p_prop = 0.0;    ///< assumption echoed from the options
+  SweepPoint baseline;    ///< hand-specified ROM parameters (margin is NaN)
+  std::vector<SweepPoint> points;  ///< one per margin, options order
+};
+
+/// Runs the sweep.  Throws std::invalid_argument on empty traces/margins
+/// (via calibrate) and propagates campaign failures.
+[[nodiscard]] SweepResult run_sweep(const std::vector<trace::Trace>& traces,
+                                    const SweepOptions& options);
+
+/// Renders the frontier as an aligned ASCII table (one row per point,
+/// baseline first).
+void render_frontier(const SweepResult& result, std::ostream& out);
+
+}  // namespace easel::calib

@@ -1,6 +1,8 @@
 #include "core/params.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <set>
 
 namespace easel::core {
@@ -143,6 +145,103 @@ std::optional<SignalClass> infer_class(const ContinuousParams& params) noexcept 
   if (is_dynamic_monotonic(params)) return SignalClass::continuous_dynamic_monotonic;
   if (is_random(params)) return SignalClass::continuous_random;
   return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Provenance and text serialization.
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(ParamProvenance provenance) noexcept {
+  switch (provenance) {
+    case ParamProvenance::hand_specified: return "hand-specified";
+    case ParamProvenance::calibrated: return "calibrated";
+  }
+  return "?";
+}
+
+std::optional<ParamProvenance> parse_provenance(std::string_view text) noexcept {
+  if (text == "hand-specified") return ParamProvenance::hand_specified;
+  if (text == "calibrated") return ParamProvenance::calibrated;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Reads "<name> <value>", enforcing the field name — a reordered or
+/// renamed file is rejected instead of silently mis-assigning fields.
+bool read_field(std::istream& in, const char* name, sig_t& value) {
+  std::string word;
+  return static_cast<bool>(in >> word) && word == name && static_cast<bool>(in >> value);
+}
+
+}  // namespace
+
+void write_continuous(std::ostream& out, const ContinuousParams& params) {
+  out << "smin " << params.smin << " smax " << params.smax << " rmin_incr "
+      << params.rmin_incr << " rmax_incr " << params.rmax_incr << " rmin_decr "
+      << params.rmin_decr << " rmax_decr " << params.rmax_decr << " wrap "
+      << (params.wrap ? 1 : 0) << '\n';
+}
+
+bool read_continuous(std::istream& in, ContinuousParams& params) {
+  sig_t wrap = 0;
+  if (!read_field(in, "smin", params.smin) || !read_field(in, "smax", params.smax) ||
+      !read_field(in, "rmin_incr", params.rmin_incr) ||
+      !read_field(in, "rmax_incr", params.rmax_incr) ||
+      !read_field(in, "rmin_decr", params.rmin_decr) ||
+      !read_field(in, "rmax_decr", params.rmax_decr) || !read_field(in, "wrap", wrap) ||
+      (wrap != 0 && wrap != 1)) {
+    return false;
+  }
+  params.wrap = wrap == 1;
+  return true;
+}
+
+void write_discrete(std::ostream& out, const DiscreteParams& params) {
+  out << "domain " << params.domain.size() << " :";
+  for (const sig_t value : params.domain) out << ' ' << value;
+  out << '\n' << "transitions " << params.transitions.size() << '\n';
+  for (const auto& [from, successors] : params.transitions) {
+    out << "from " << from << " " << successors.size() << " :";
+    for (const sig_t to : successors) out << ' ' << to;
+    out << '\n';
+  }
+}
+
+bool read_discrete(std::istream& in, DiscreteParams& params) {
+  // Counts are bounded: a discrete signal's domain is small by definition
+  // (paper §2.1) and a corrupt count must not drive a giant allocation.
+  constexpr std::size_t kMaxValues = 1u << 16;
+  std::string word;
+  std::size_t count = 0;
+  if (!(in >> word) || word != "domain" || !(in >> count) || count > kMaxValues ||
+      !(in >> word) || word != ":") {
+    return false;
+  }
+  params.domain.resize(count);
+  for (sig_t& value : params.domain) {
+    if (!(in >> value)) return false;
+  }
+  std::size_t transition_count = 0;
+  if (!(in >> word) || word != "transitions" || !(in >> transition_count) ||
+      transition_count > kMaxValues) {
+    return false;
+  }
+  params.transitions.clear();
+  for (std::size_t t = 0; t < transition_count; ++t) {
+    sig_t from = 0;
+    std::size_t successor_count = 0;
+    if (!(in >> word) || word != "from" || !(in >> from) || !(in >> successor_count) ||
+        successor_count > kMaxValues || !(in >> word) || word != ":") {
+      return false;
+    }
+    std::vector<sig_t>& successors = params.transitions[from];
+    successors.resize(successor_count);
+    for (sig_t& to : successors) {
+      if (!(in >> to)) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace easel::core

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/signal_class.hpp"
@@ -44,6 +47,8 @@ struct ContinuousParams {
 struct DiscreteParams {
   std::vector<sig_t> domain;                       ///< D
   std::map<sig_t, std::vector<sig_t>> transitions; ///< T(d)
+
+  friend bool operator==(const DiscreteParams&, const DiscreteParams&) = default;
 };
 
 /// Builds the Pdisc of a linear sequential signal that cycles through
@@ -74,5 +79,35 @@ struct Validation {
 /// Static monotonic is preferred over dynamic monotonic, which is preferred
 /// over random, mirroring the specialisation order of Figure 1.
 [[nodiscard]] std::optional<SignalClass> infer_class(const ContinuousParams& params) noexcept;
+
+// ---------------------------------------------------------------------------
+// Provenance and text serialization.
+//
+// Parameter sets now reach a node from two places: hand-specified analysis
+// values baked into ROM (paper §2.2 step 6, Tables 4-5) or values learned
+// from golden traces by the calibrator (src/calib/).  The provenance tag
+// travels with every serialized set so reports can say which one produced a
+// result.  The on-disk form is line-oriented text with named fields — the
+// same self-describing style as the campaign cache.
+// ---------------------------------------------------------------------------
+
+enum class ParamProvenance : std::uint8_t {
+  hand_specified = 0,  ///< derived by analysis, entered by a human
+  calibrated = 1,      ///< learned from recorded golden traces
+};
+
+[[nodiscard]] std::string_view to_string(ParamProvenance provenance) noexcept;
+[[nodiscard]] std::optional<ParamProvenance> parse_provenance(std::string_view text) noexcept;
+
+/// One line: "smin A smax B rmin_incr C rmax_incr D rmin_decr E rmax_decr F wrap G".
+void write_continuous(std::ostream& out, const ContinuousParams& params);
+
+/// Reads the write_continuous form; false on malformed or misnamed fields.
+[[nodiscard]] bool read_continuous(std::istream& in, ContinuousParams& params);
+
+/// "domain N : v..." line, then "transitions M" and M "from V : succ..." lines.
+void write_discrete(std::ostream& out, const DiscreteParams& params);
+
+[[nodiscard]] bool read_discrete(std::istream& in, DiscreteParams& params);
 
 }  // namespace easel::core

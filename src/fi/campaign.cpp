@@ -139,6 +139,7 @@ E1Results run_e1(const CampaignOptions& options) {
         config.injection_period_ms = options.injection_period_ms;
         config.observation_ms = options.observation_ms;
         config.noise_seed = noise_seed(options, ci);
+        config.params = options.params;
         return config;
       },
       [&](E1Results& partial, const RunResult& result, std::size_t index) {
@@ -170,6 +171,7 @@ E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
         config.injection_period_ms = options.injection_period_ms;
         config.observation_ms = options.observation_ms;
         config.noise_seed = noise_seed(options, ci);
+        config.params = options.params;
         return config;
       },
       [&](E2Results& partial, const RunResult& result, std::size_t index) {
@@ -201,6 +203,11 @@ std::string options_key(const CampaignOptions& options) {
   key << "seed=" << options.seed << " cases=" << options.test_case_count
       << " obs=" << options.observation_ms << " period=" << options.injection_period_ms
       << " recovery=" << static_cast<int>(options.recovery);
+  // Non-ROM parameter sets fingerprint into the key: a cache produced under
+  // learned params must never satisfy a ROM-params lookup (or vice versa).
+  if (options.params != nullptr) {
+    key << " params=" << std::hex << arrestor::fingerprint(*options.params) << std::dec;
+  }
   return key.str();
 }
 

@@ -36,6 +36,12 @@ struct CampaignOptions {
   std::uint32_t injection_period_ms = 20;
   core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
   std::size_t jobs = 1;               ///< worker threads; results invariant under this
+
+  /// Assertion parameters for every run (nullptr = hand-specified ROM
+  /// values).  The calibration sweep re-runs E1 under learned sets; the
+  /// cache key carries the set's fingerprint so results never alias.
+  std::shared_ptr<const arrestor::NodeParamSet> params;
+
   std::function<void(std::size_t done, std::size_t total)> progress;  ///< optional;
                                       ///< must be thread-safe when jobs > 1
 };

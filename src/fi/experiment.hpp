@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "arrestor/assertions.hpp"
@@ -12,9 +13,11 @@
 #include "fi/error_set.hpp"
 #include "sim/test_case.hpp"
 
-namespace easel::fi {
+namespace easel::trace {
+class Recorder;
+}
 
-class TraceRecorder;
+namespace easel::fi {
 
 struct RunConfig {
   sim::TestCase test_case{12000.0, 55.0};
@@ -36,8 +39,18 @@ struct RunConfig {
   /// see (paper §5.2); evaluated by bench_ablation_watchdog.
   std::uint32_t watchdog_timeout_ms = 0;
 
-  /// Optional signal tracing (nullptr = off; adds per-tick sampling cost).
-  TraceRecorder* trace = nullptr;
+  /// Extension: assertion parameters to build the master's monitors from
+  /// (nullptr = the hand-specified ROM values).  Typically a calibrated
+  /// set loaded from an easel-calibrate output; shared because campaign
+  /// workers hand the same immutable set to thousands of runs.
+  std::shared_ptr<const arrestor::NodeParamSet> params;
+
+  /// Optional golden-trace capture (nullptr = off).  The recorder is bound
+  /// to the rig's standard channels (the seven monitored signals, the
+  /// arrest_phase mode word, and five plant readouts) at run start and
+  /// sampled every scheduler tick; snapshot() it after run() returns.
+  /// Requires an EASEL_TRACE=ON build (trace::Recorder::compiled_in()).
+  trace::Recorder* trace = nullptr;
 };
 
 struct RunResult {

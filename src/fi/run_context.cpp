@@ -5,10 +5,40 @@
 #include "arrestor/master_node.hpp"
 #include "arrestor/slave_node.hpp"
 #include "core/detection_bus.hpp"
-#include "fi/trace.hpp"
 #include "sim/environment.hpp"
+#include "trace/recorder.hpp"
 
 namespace easel::fi {
+
+namespace {
+
+/// Binds a recorder to the rig's standard channel set: the seven monitored
+/// signal words (tagged with each EA's test period so the calibrator
+/// differences at the right stride), the arrest_phase mode word, and five
+/// plant readouts for plotting.  Channels reference rig internals, so the
+/// recorder must be snapshot() before the rig is torn down or rebound.
+void bind_standard_channels(trace::Recorder& recorder, arrestor::MasterNode& master,
+                            const sim::Environment& env) {
+  recorder.reset_channels();
+  const mem::AddressSpace& space = master.image();
+  const arrestor::SignalMap& map = master.signals();
+  for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(idx);
+    recorder.add_word_channel(arrestor::to_string(signal), space, map.signal_address(signal),
+                              arrestor::ea_test_period_ms(signal),
+                              signal == arrestor::MonitoredSignal::ms_slot_nbr
+                                  ? trace::ChannelKind::discrete
+                                  : trace::ChannelKind::continuous);
+  }
+  recorder.set_mode_channel(space, map.arrest_phase.address());
+  recorder.add_analog_channel("position_m", [&env] { return env.position_m(); });
+  recorder.add_analog_channel("velocity_mps", [&env] { return env.velocity_mps(); });
+  recorder.add_analog_channel("retardation_mps2", [&env] { return env.retardation_mps2(); });
+  recorder.add_analog_channel("pressure_master_pu", [&env] { return env.master_pressure_pu(); });
+  recorder.add_analog_channel("pressure_slave_pu", [&env] { return env.slave_pressure_pu(); });
+}
+
+}  // namespace
 
 struct RunContext::Rig {
   sim::Environment env;
@@ -24,7 +54,8 @@ struct RunContext::Rig {
   explicit Rig(const RunConfig& config)
       : env{config.test_case, util::Rng{config.noise_seed}},
         bus{64},
-        master{env, bus, config.assertions, config.recovery, config.moded_assertions},
+        master{env, bus, config.assertions, config.recovery, config.moded_assertions,
+               config.params.get()},
         slave{env} {
     if (config.watchdog_timeout_ms > 0) {
       watchdog_id = bus.register_monitor("WDG(valve-refresh)");
@@ -48,7 +79,7 @@ RunContext& RunContext::operator=(RunContext&&) noexcept = default;
 
 RunResult RunContext::run(const RunConfig& config) {
   const RigKey key{config.assertions, config.recovery, config.moded_assertions,
-                   config.watchdog_timeout_ms > 0};
+                   config.watchdog_timeout_ms > 0, config.params};
   if (rig_ == nullptr || key_ != key) {
     rig_ = std::make_unique<Rig>(config);
     key_ = key;
@@ -58,6 +89,11 @@ RunResult RunContext::run(const RunConfig& config) {
     reused_ = true;
   }
   Rig& rig = *rig_;
+
+  if (config.trace != nullptr) {
+    bind_standard_channels(*config.trace, rig.master, rig.env);
+    config.trace->install(rig.master.scheduler());
+  }
 
   arrestor::FailureClassifier classifier{config.test_case};
 
@@ -91,8 +127,8 @@ RunResult RunContext::run(const RunConfig& config) {
       rig.bus.report(rig.watchdog_id, 0, 0, core::ContinuousTest::none,
                      core::DiscreteTest::none);
     }
-    if (config.trace != nullptr) config.trace->maybe_sample(now, rig.env, master_map);
   }
+  if (config.trace != nullptr) config.trace->uninstall(rig.master.scheduler());
 
   RunResult result;
   result.detected = rig.bus.any();

@@ -50,8 +50,19 @@ class RunContext {
     core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
     bool moded_assertions = false;
     bool watchdog = false;
+    std::shared_ptr<const arrestor::NodeParamSet> params;
 
-    bool operator==(const RigKey&) const = default;
+    /// Same-pointer params match cheaply (the campaign case: one shared set
+    /// across all runs); otherwise deep-compare, so two distinct copies of
+    /// the same values still reuse the rig.
+    bool operator==(const RigKey& other) const {
+      if (assertions != other.assertions || recovery != other.recovery ||
+          moded_assertions != other.moded_assertions || watchdog != other.watchdog) {
+        return false;
+      }
+      if (params == other.params) return true;
+      return params != nullptr && other.params != nullptr && *params == *other.params;
+    }
   };
 
   struct Rig;

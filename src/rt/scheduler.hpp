@@ -81,11 +81,46 @@ class Scheduler {
     stats_ = Stats{};
   }
 
+  /// Observer invoked after every completed tick (trace capture).  The
+  /// callback form is a raw function pointer + user cookie, not a
+  /// std::function, so the no-probe case stays a single null test.
+  using TickProbe = void (*)(void* user, std::uint64_t tick);
+
+  /// Installs (or, with nullptr, removes) the end-of-tick probe.  The probe
+  /// fires once per tick() — including halted and kernel-crash ticks, so a
+  /// recorder sees the frozen signal values too — with the index of the
+  /// tick that just completed.  Only honoured when the build compiles the
+  /// hook in (EASEL_TRACE; see tick_probe_compiled_in()).
+  void set_tick_probe(TickProbe probe, void* user) noexcept {
+    probe_ = probe;
+    probe_user_ = user;
+  }
+
   /// Advances one 1-ms slot: every-tick modules, then this slot's periodic
   /// modules, then the background module.  No-op once halted.
   /// Header-inline together with dispatch(): this pair plus the module
   /// bodies is the entire target-time hot loop of a campaign run.
   void tick() {
+    step();
+#if EASEL_TRACE_ENABLED
+    if (probe_ != nullptr) [[unlikely]] probe_(probe_user_, tick_ - 1);
+#endif
+  }
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] std::uint64_t tick_count() const noexcept { return tick_; }
+  [[nodiscard]] std::uint32_t current_slot() const noexcept {
+    return static_cast<std::uint32_t>(tick_ % kSlotCount);
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    Module* module = nullptr;
+    TaskContext* context = nullptr;
+  };
+
+  void step() {
     if (halted_) [[unlikely]] {
       ++tick_;
       return;
@@ -104,19 +139,6 @@ class Scheduler {
     dispatch(background_);
     ++tick_;
   }
-
-  [[nodiscard]] bool halted() const noexcept { return halted_; }
-  [[nodiscard]] std::uint64_t tick_count() const noexcept { return tick_; }
-  [[nodiscard]] std::uint32_t current_slot() const noexcept {
-    return static_cast<std::uint32_t>(tick_ % kSlotCount);
-  }
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-
- private:
-  struct Entry {
-    Module* module = nullptr;
-    TaskContext* context = nullptr;
-  };
 
   void dispatch(const Entry& entry) {
     if (halted_ || entry.module == nullptr) return;
@@ -154,9 +176,23 @@ class Scheduler {
   const mem::AddressSpace* slot_space_ = nullptr;
   std::size_t slot_addr_ = 0;
 
+  // Probe members exist in every build (the class layout must not depend on
+  // EASEL_TRACE, which would be an ODR trap); only the call site is gated.
+  TickProbe probe_ = nullptr;
+  void* probe_user_ = nullptr;
+
   std::uint64_t tick_ = 0;
   bool halted_ = false;
   Stats stats_{};
 };
+
+/// True when this build compiled the tick-probe call into tick()
+/// (EASEL_TRACE=ON).  Recorders use it to report "tracing unavailable"
+/// instead of silently producing empty traces.
+#if EASEL_TRACE_ENABLED
+inline constexpr bool kTickProbeCompiledIn = true;
+#else
+inline constexpr bool kTickProbeCompiledIn = false;
+#endif
 
 }  // namespace easel::rt

@@ -1,0 +1,232 @@
+#include "trace/format.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace easel::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'A', 'S', 'L', 'T', 'R', 'C', '\n'};
+constexpr char kSentinel[8] = {'E', 'A', 'S', 'L', 'E', 'N', 'D', '\n'};
+
+// Sanity ceilings: a load that claims more than these is corrupt (and would
+// otherwise make the loader allocate gigabytes off a flipped length byte).
+constexpr std::uint32_t kMaxStringBytes = 1u << 16;
+constexpr std::uint32_t kMaxChannels = 4096;
+constexpr std::uint32_t kMaxModeChanges = 1u << 20;
+constexpr std::uint64_t kMaxSamples = 1ull << 28;
+
+void put_bytes(std::ostream& out, const char* bytes, std::size_t count) {
+  out.write(bytes, static_cast<std::streamsize>(count));
+}
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  put_bytes(out, bytes, sizeof bytes);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char bytes[4];
+  for (unsigned k = 0; k < 4; ++k) bytes[k] = static_cast<char>((v >> (8 * k)) & 0xff);
+  put_bytes(out, bytes, sizeof bytes);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char bytes[8];
+  for (unsigned k = 0; k < 8; ++k) bytes[k] = static_cast<char>((v >> (8 * k)) & 0xff);
+  put_bytes(out, bytes, sizeof bytes);
+}
+
+void put_f64(std::ostream& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_string(std::ostream& out, const std::string& text) {
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  put_bytes(out, text.data(), text.size());
+}
+
+bool get_bytes(std::istream& in, char* bytes, std::size_t count) {
+  in.read(bytes, static_cast<std::streamsize>(count));
+  return static_cast<std::size_t>(in.gcount()) == count;
+}
+
+bool get_u16(std::istream& in, std::uint16_t& v) {
+  unsigned char bytes[2];
+  if (!get_bytes(in, reinterpret_cast<char*>(bytes), sizeof bytes)) return false;
+  v = static_cast<std::uint16_t>(bytes[0] | (bytes[1] << 8));
+  return true;
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v) {
+  unsigned char bytes[4];
+  if (!get_bytes(in, reinterpret_cast<char*>(bytes), sizeof bytes)) return false;
+  v = 0;
+  for (unsigned k = 0; k < 4; ++k) v |= static_cast<std::uint32_t>(bytes[k]) << (8 * k);
+  return true;
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  unsigned char bytes[8];
+  if (!get_bytes(in, reinterpret_cast<char*>(bytes), sizeof bytes)) return false;
+  v = 0;
+  for (unsigned k = 0; k < 8; ++k) v |= static_cast<std::uint64_t>(bytes[k]) << (8 * k);
+  return true;
+}
+
+bool get_f64(std::istream& in, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(in, bits)) return false;
+  std::memcpy(&v, &bits, sizeof v);
+  return true;
+}
+
+bool get_string(std::istream& in, std::string& text) {
+  std::uint32_t length = 0;
+  if (!get_u32(in, length) || length > kMaxStringBytes) return false;
+  text.resize(length);
+  return length == 0 || get_bytes(in, text.data(), length);
+}
+
+}  // namespace
+
+void save(const Trace& trace, std::ostream& out) {
+  put_bytes(out, kMagic, sizeof kMagic);
+  put_u32(out, kFormatVersion);
+  put_string(out, trace.label);
+  put_u64(out, trace.tick_count);
+  put_u16(out, trace.initial_mode);
+  put_u32(out, static_cast<std::uint32_t>(trace.mode_changes.size()));
+  for (const ModeChange& change : trace.mode_changes) {
+    put_u64(out, change.tick);
+    put_u16(out, change.mode);
+  }
+  put_u32(out, static_cast<std::uint32_t>(trace.signals.size()));
+  for (const SignalTrace& signal : trace.signals) {
+    put_string(out, signal.name);
+    put_bytes(out, reinterpret_cast<const char*>(&signal.kind), 1);
+    put_u32(out, signal.period_ms);
+    put_u64(out, signal.first_tick);
+    put_u64(out, signal.size());
+    if (signal.kind == ChannelKind::analog) {
+      for (const double v : signal.analog) put_f64(out, v);
+    } else {
+      for (const std::uint16_t v : signal.words) put_u16(out, v);
+    }
+  }
+  put_bytes(out, kSentinel, sizeof kSentinel);
+}
+
+bool save(const Trace& trace, const std::string& path) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return false;
+  save(trace, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load(std::istream& in) {
+  char magic[8];
+  if (!get_bytes(in, magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!get_u32(in, version) || version != kFormatVersion) return std::nullopt;
+
+  Trace trace;
+  if (!get_string(in, trace.label) || !get_u64(in, trace.tick_count) ||
+      !get_u16(in, trace.initial_mode)) {
+    return std::nullopt;
+  }
+
+  std::uint32_t change_count = 0;
+  if (!get_u32(in, change_count) || change_count > kMaxModeChanges) return std::nullopt;
+  trace.mode_changes.resize(change_count);
+  std::uint64_t prev_tick = 0;
+  for (std::uint32_t k = 0; k < change_count; ++k) {
+    ModeChange& change = trace.mode_changes[k];
+    if (!get_u64(in, change.tick) || !get_u16(in, change.mode)) return std::nullopt;
+    if (k > 0 && change.tick <= prev_tick) return std::nullopt;  // must be increasing
+    prev_tick = change.tick;
+  }
+
+  std::uint32_t channel_count = 0;
+  if (!get_u32(in, channel_count) || channel_count > kMaxChannels) return std::nullopt;
+  trace.signals.resize(channel_count);
+  for (SignalTrace& signal : trace.signals) {
+    std::uint8_t kind = 0;
+    if (!get_string(in, signal.name) ||
+        !get_bytes(in, reinterpret_cast<char*>(&kind), 1) ||
+        kind > static_cast<std::uint8_t>(ChannelKind::analog)) {
+      return std::nullopt;
+    }
+    signal.kind = static_cast<ChannelKind>(kind);
+    std::uint64_t sample_count = 0;
+    if (!get_u32(in, signal.period_ms) || signal.period_ms == 0 ||
+        !get_u64(in, signal.first_tick) || !get_u64(in, sample_count) ||
+        sample_count > kMaxSamples) {
+      return std::nullopt;
+    }
+    if (signal.kind == ChannelKind::analog) {
+      signal.analog.resize(sample_count);
+      for (double& v : signal.analog) {
+        if (!get_f64(in, v)) return std::nullopt;
+      }
+    } else {
+      signal.words.resize(sample_count);
+      for (std::uint16_t& v : signal.words) {
+        if (!get_u16(in, v)) return std::nullopt;
+      }
+    }
+  }
+
+  char sentinel[8];
+  if (!get_bytes(in, sentinel, sizeof sentinel) ||
+      std::memcmp(sentinel, kSentinel, sizeof sentinel) != 0) {
+    return std::nullopt;  // truncated before the end marker
+  }
+  return trace;
+}
+
+std::optional<Trace> load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  return load(in);
+}
+
+std::string to_csv(const Trace& trace, std::uint32_t stride_ms) {
+  if (stride_ms == 0) stride_ms = 1;
+  std::string out = "tick,mode";
+  for (const SignalTrace& signal : trace.signals) {
+    out += ',';
+    out += signal.name;
+  }
+  out += '\n';
+  char cell[48];
+  for (std::uint64_t tick = 0; tick < trace.tick_count; tick += stride_ms) {
+    std::snprintf(cell, sizeof cell, "%llu,%u", static_cast<unsigned long long>(tick),
+                  static_cast<unsigned>(trace.mode_at(tick)));
+    out += cell;
+    for (const SignalTrace& signal : trace.signals) {
+      out += ',';
+      if (tick < signal.first_tick || tick - signal.first_tick >= signal.size()) continue;
+      const std::size_t k = static_cast<std::size_t>(tick - signal.first_tick);
+      if (signal.kind == ChannelKind::analog) {
+        std::snprintf(cell, sizeof cell, "%.4f", signal.analog[k]);
+      } else {
+        std::snprintf(cell, sizeof cell, "%u", static_cast<unsigned>(signal.words[k]));
+      }
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace easel::trace

@@ -1,0 +1,48 @@
+// Versioned binary trace format.
+//
+// Layout (all integers little-endian, doubles IEEE-754 binary64):
+//
+//   magic     "EASLTRC\n"                      8 bytes
+//   version   u32 (currently 1)
+//   label     u32 length + bytes
+//   tick_count    u64
+//   initial_mode  u16
+//   mode changes  u32 count, then per change: u64 tick, u16 mode
+//   channels      u32 count, then per channel:
+//       name        u32 length + bytes
+//       kind        u8  (ChannelKind)
+//       period_ms   u32
+//       first_tick  u64
+//       samples     u64 count, then count x u16 (word) or f64 (analog)
+//   sentinel  "EASLEND\n"                      8 bytes
+//
+// Mirroring the campaign-cache contract (fi/campaign.cpp): a load only
+// succeeds on a complete, well-formed file — wrong magic, unsupported
+// version, out-of-range enum values, absurd counts, truncation anywhere
+// (including a missing sentinel), or trailing garbage all yield nullopt
+// rather than a partial trace.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace easel::trace {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+void save(const Trace& trace, std::ostream& out);
+[[nodiscard]] bool save(const Trace& trace, const std::string& path);
+
+[[nodiscard]] std::optional<Trace> load(std::istream& in);
+[[nodiscard]] std::optional<Trace> load(const std::string& path);
+
+/// CSV rendering shared by trace_dump and `easel-calibrate dump`: one row
+/// per tick (every `stride_ms`-th), columns tick, mode, then every channel
+/// (word channels as integers, analog channels with 4 decimals).  Channels
+/// whose first_tick differs print empty cells outside their range.
+[[nodiscard]] std::string to_csv(const Trace& trace, std::uint32_t stride_ms = 1);
+
+}  // namespace easel::trace

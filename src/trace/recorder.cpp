@@ -1,0 +1,160 @@
+#include "trace/recorder.hpp"
+
+namespace easel::trace {
+
+namespace {
+
+void probe_trampoline(void* user, std::uint64_t tick) {
+  static_cast<Recorder*>(user)->on_tick(tick);
+}
+
+}  // namespace
+
+Recorder::Recorder(Options options)
+    : capacity_{options.capacity == 0 ? 1 : options.capacity},
+      label_{std::move(options.label)} {}
+
+void Recorder::add_word_channel(std::string name, const mem::AddressSpace& space,
+                                std::size_t address, std::uint32_t period_ms,
+                                ChannelKind kind) {
+  space.validate(address, 2);
+  WordChannel channel;
+  channel.name = std::move(name);
+  channel.space = &space;
+  channel.address = address;
+  channel.period_ms = period_ms == 0 ? 1 : period_ms;
+  channel.kind = kind;
+  channel.ring.reserve(capacity_);
+  words_.push_back(std::move(channel));
+}
+
+void Recorder::add_analog_channel(std::string name, std::function<double()> sampler) {
+  AnalogChannel channel;
+  channel.name = std::move(name);
+  channel.sampler = std::move(sampler);
+  channel.ring.reserve(capacity_);
+  analogs_.push_back(std::move(channel));
+}
+
+void Recorder::set_mode_channel(const mem::AddressSpace& space, std::size_t address) {
+  space.validate(address, 2);
+  mode_space_ = &space;
+  mode_address_ = address;
+}
+
+void Recorder::reset_channels() noexcept {
+  words_.clear();
+  analogs_.clear();
+  mode_space_ = nullptr;
+  mode_address_ = 0;
+  clear();
+}
+
+void Recorder::clear() noexcept {
+  for (WordChannel& channel : words_) {
+    channel.ring.clear();
+    channel.total = 0;
+  }
+  for (AnalogChannel& channel : analogs_) {
+    channel.ring.clear();
+    channel.total = 0;
+  }
+  mode_primed_ = false;
+  mode_last_ = 0;
+  initial_mode_ = 0;
+  mode_changes_.clear();
+  ticks_seen_ = 0;
+  first_tick_ = 0;
+  last_tick_ = 0;
+}
+
+void Recorder::on_tick(std::uint64_t tick) {
+  if (ticks_seen_ == 0) first_tick_ = tick;
+  last_tick_ = tick;
+  ++ticks_seen_;
+
+  for (WordChannel& channel : words_) {
+    const std::uint16_t value = channel.space->read_u16(channel.address);
+    if (channel.ring.size() < capacity_) {
+      channel.ring.push_back(value);
+    } else {
+      channel.ring[static_cast<std::size_t>(channel.total % capacity_)] = value;
+    }
+    ++channel.total;
+  }
+  for (AnalogChannel& channel : analogs_) {
+    const double value = channel.sampler();
+    if (channel.ring.size() < capacity_) {
+      channel.ring.push_back(value);
+    } else {
+      channel.ring[static_cast<std::size_t>(channel.total % capacity_)] = value;
+    }
+    ++channel.total;
+  }
+
+  if (mode_space_ != nullptr) {
+    const std::uint16_t mode = mode_space_->read_u16(mode_address_);
+    if (!mode_primed_) {
+      mode_primed_ = true;
+      initial_mode_ = mode;
+    } else if (mode != mode_last_) {
+      mode_changes_.push_back(ModeChange{tick, mode});
+    }
+    mode_last_ = mode;
+  }
+}
+
+bool Recorder::install(rt::Scheduler& scheduler) noexcept {
+  scheduler.set_tick_probe(&probe_trampoline, this);
+  return compiled_in();
+}
+
+void Recorder::uninstall(rt::Scheduler& scheduler) noexcept {
+  scheduler.set_tick_probe(nullptr, nullptr);
+}
+
+Trace Recorder::snapshot() const {
+  Trace trace;
+  trace.label = label_;
+  trace.tick_count = ticks_seen_ == 0 ? 0 : last_tick_ + 1;
+  trace.initial_mode = initial_mode_;
+  trace.mode_changes = mode_changes_;
+  trace.signals.reserve(words_.size() + analogs_.size());
+
+  // Ring unroll shared by both payload kinds: the retained window is the
+  // last `size` of `total` samples, ending at last_tick_.
+  const auto window = [this](std::uint64_t total) {
+    const std::uint64_t size = total < capacity_ ? total : capacity_;
+    return std::pair<std::uint64_t, std::uint64_t>{total - size, size};  // {dropped, size}
+  };
+
+  for (const WordChannel& channel : words_) {
+    SignalTrace signal;
+    signal.name = channel.name;
+    signal.kind = channel.kind;
+    signal.period_ms = channel.period_ms;
+    const auto [dropped, size] = window(channel.total);
+    signal.first_tick = first_tick_ + dropped;
+    signal.words.reserve(static_cast<std::size_t>(size));
+    for (std::uint64_t k = 0; k < size; ++k) {
+      signal.words.push_back(channel.ring[static_cast<std::size_t>((dropped + k) % capacity_)]);
+    }
+    trace.signals.push_back(std::move(signal));
+  }
+  for (const AnalogChannel& channel : analogs_) {
+    SignalTrace signal;
+    signal.name = channel.name;
+    signal.kind = ChannelKind::analog;
+    signal.period_ms = 1;
+    const auto [dropped, size] = window(channel.total);
+    signal.first_tick = first_tick_ + dropped;
+    signal.analog.reserve(static_cast<std::size_t>(size));
+    for (std::uint64_t k = 0; k < size; ++k) {
+      signal.analog.push_back(channel.ring[static_cast<std::size_t>((dropped + k) % capacity_)]);
+    }
+    trace.signals.push_back(std::move(signal));
+  }
+  return trace;
+}
+
+}  // namespace easel::trace

@@ -1,0 +1,123 @@
+// Low-overhead golden-trace recorder.
+//
+// The recorder hangs off the scheduler's end-of-tick probe (rt/scheduler.hpp,
+// compiled in behind EASEL_TRACE) and copies each registered channel into a
+// per-channel ring buffer: word channels read a 16-bit signal straight from
+// the node's memory image, analog channels invoke a sampler functor against
+// the plant.  A bounded capacity keeps long runs from growing without limit —
+// when full, the oldest samples are overwritten and the snapshot's
+// first_tick advances accordingly.
+//
+// Mode changes (the arrest_phase word) are recorded as annotations, not a
+// bulk channel: one entry per transition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "rt/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace easel::trace {
+
+class Recorder {
+ public:
+  struct Options {
+    std::size_t capacity = 1u << 20;  ///< max retained samples per channel
+    std::string label;
+  };
+
+  Recorder() : Recorder{Options{}} {}
+  explicit Recorder(Options options);
+
+  /// True when this build compiled the scheduler hook in (EASEL_TRACE=ON).
+  /// When false, install() is a no-op and every snapshot stays empty.
+  [[nodiscard]] static constexpr bool compiled_in() noexcept {
+    return rt::kTickProbeCompiledIn;
+  }
+
+  // --- Channel registration (before the run) ---
+
+  /// Word channel: a 16-bit signal at `address` in `space`.  `period_ms` is
+  /// the test period of the assertion monitoring it (1 for every-tick EAs,
+  /// 7 for the frame-slot EAs) — metadata for the calibrator, not a
+  /// sampling stride; every channel samples every tick.
+  void add_word_channel(std::string name, const mem::AddressSpace& space, std::size_t address,
+                        std::uint32_t period_ms, ChannelKind kind);
+
+  /// Analog channel: plant truth via a sampler functor.
+  void add_analog_channel(std::string name, std::function<double()> sampler);
+
+  /// The 16-bit mode word whose transitions become ModeChange annotations.
+  void set_mode_channel(const mem::AddressSpace& space, std::size_t address);
+
+  /// Drops all channel definitions and samples (rebinding to a new rig).
+  void reset_channels() noexcept;
+
+  /// Drops samples and annotations but keeps the channel definitions.
+  void clear() noexcept;
+
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return words_.size() + analogs_.size();
+  }
+
+  // --- Sampling ---
+
+  /// Samples every channel once, as of end-of-tick `tick`.  Normally driven
+  /// by the scheduler probe; callable directly for tests.
+  void on_tick(std::uint64_t tick);
+
+  /// Hooks this recorder onto `scheduler` (replacing any previous probe).
+  /// Returns compiled_in(): false means the hook is compiled out and no
+  /// samples will arrive.
+  bool install(rt::Scheduler& scheduler) noexcept;
+
+  /// Removes this recorder's probe (safe to call when not installed).
+  void uninstall(rt::Scheduler& scheduler) noexcept;
+
+  [[nodiscard]] std::uint64_t ticks_seen() const noexcept { return ticks_seen_; }
+
+  /// Copies the buffered samples out as a self-contained Trace.
+  [[nodiscard]] Trace snapshot() const;
+
+ private:
+  struct WordChannel {
+    std::string name;
+    const mem::AddressSpace* space = nullptr;
+    std::size_t address = 0;
+    std::uint32_t period_ms = 1;
+    ChannelKind kind = ChannelKind::continuous;
+    std::vector<std::uint16_t> ring;
+    std::uint64_t total = 0;  ///< samples ever taken (ring wraps at capacity)
+  };
+
+  struct AnalogChannel {
+    std::string name;
+    std::function<double()> sampler;
+    std::vector<double> ring;
+    std::uint64_t total = 0;
+  };
+
+  std::size_t capacity_;
+  std::string label_;
+  std::vector<WordChannel> words_;
+  std::vector<AnalogChannel> analogs_;
+
+  const mem::AddressSpace* mode_space_ = nullptr;
+  std::size_t mode_address_ = 0;
+  bool mode_primed_ = false;
+  std::uint16_t mode_last_ = 0;
+  std::uint16_t initial_mode_ = 0;
+  std::vector<ModeChange> mode_changes_;
+
+  std::uint64_t ticks_seen_ = 0;
+  std::uint64_t first_tick_ = 0;
+  std::uint64_t last_tick_ = 0;
+};
+
+}  // namespace easel::trace

@@ -1,0 +1,30 @@
+#include "trace/trace.hpp"
+
+namespace easel::trace {
+
+const char* to_string(ChannelKind kind) noexcept {
+  switch (kind) {
+    case ChannelKind::continuous: return "continuous";
+    case ChannelKind::discrete: return "discrete";
+    case ChannelKind::analog: return "analog";
+  }
+  return "?";
+}
+
+const SignalTrace* Trace::find(std::string_view name) const noexcept {
+  for (const SignalTrace& signal : signals) {
+    if (signal.name == name) return &signal;
+  }
+  return nullptr;
+}
+
+std::uint16_t Trace::mode_at(std::uint64_t tick) const noexcept {
+  std::uint16_t mode = initial_mode;
+  for (const ModeChange& change : mode_changes) {
+    if (change.tick > tick) break;
+    mode = change.mode;
+  }
+  return mode;
+}
+
+}  // namespace easel::trace

@@ -1,0 +1,74 @@
+// Golden-trace data model.
+//
+// A Trace is the replayable record of one fault-free (or faulty) run: one
+// sample per scheduler tick per channel, plus mode-change annotations (the
+// arrest_phase transitions that select per-mode assertion parameter sets,
+// paper §2.1 "Signal modes").  Word channels carry the node's 16-bit signal
+// values as read from the memory image; analog channels carry plant truth
+// (position, velocity, pressures) for plotting and failure analysis.
+//
+// The calibrator (src/calib/) consumes word channels; each channel records
+// the period at which its executable assertion tests it (paper Table 4
+// placement), so observed rates can be differenced at the stride the EA
+// actually sees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easel::trace {
+
+/// What a channel's samples mean (and which payload vector carries them).
+enum class ChannelKind : std::uint8_t {
+  continuous = 0,  ///< 16-bit word, continuous signal (Table 2 assertions)
+  discrete = 1,    ///< 16-bit word, discrete signal (Table 3 assertions)
+  analog = 2,      ///< double, plant truth (not an assertion target)
+};
+
+[[nodiscard]] const char* to_string(ChannelKind kind) noexcept;
+
+/// One mode switch: from `tick` onward the node operated in `mode`.
+struct ModeChange {
+  std::uint64_t tick = 0;
+  std::uint16_t mode = 0;
+
+  friend bool operator==(const ModeChange&, const ModeChange&) = default;
+};
+
+/// One channel's samples.  Word channels fill `words`, analog channels fill
+/// `analog`; sample k was taken at tick `first_tick + k` (first_tick > 0
+/// only when a bounded-capacity recorder dropped the oldest samples).
+struct SignalTrace {
+  std::string name;
+  ChannelKind kind = ChannelKind::continuous;
+  std::uint32_t period_ms = 1;  ///< the EA's test period for this signal
+  std::uint64_t first_tick = 0;
+  std::vector<std::uint16_t> words;
+  std::vector<double> analog;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return kind == ChannelKind::analog ? analog.size() : words.size();
+  }
+
+  friend bool operator==(const SignalTrace&, const SignalTrace&) = default;
+};
+
+struct Trace {
+  std::string label;            ///< free-form provenance (test case, seed, ...)
+  std::uint64_t tick_count = 0; ///< ticks the recorded run executed
+  std::uint16_t initial_mode = 0;
+  std::vector<ModeChange> mode_changes;  ///< strictly increasing ticks
+  std::vector<SignalTrace> signals;
+
+  /// Channel lookup by name; nullptr if absent.
+  [[nodiscard]] const SignalTrace* find(std::string_view name) const noexcept;
+
+  /// The mode in effect at `tick` (initial_mode before the first change).
+  [[nodiscard]] std::uint16_t mode_at(std::uint64_t tick) const noexcept;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+}  // namespace easel::trace

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace easel::util {
 
@@ -43,6 +45,32 @@ std::vector<std::string> split(std::string_view text, char delim) {
 
 bool starts_with(std::string_view text, std::string_view prefix) noexcept {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  // strtod needs a NUL terminator; option tokens are short, so a fixed
+  // buffer avoids allocation (and noexcept stays honest).
+  char buffer[64];
+  if (text.size() >= sizeof buffer) return std::nullopt;
+  text.copy(buffer, text.size());
+  buffer[text.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (end != buffer + text.size()) return std::nullopt;
+  return value;
 }
 
 }  // namespace easel::util

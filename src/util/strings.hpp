@@ -1,6 +1,9 @@
-// Small string-formatting helpers used by the report/table renderers.
+// Small string-formatting helpers used by the report/table renderers, plus
+// strict numeric parsing for command-line options.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,5 +29,15 @@ namespace easel::util {
 
 /// True if `text` begins with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Strict full-token decimal parse of an unsigned integer: nullopt on empty
+/// input, sign characters, trailing garbage, or overflow.  Unlike atoi and
+/// friends, a mistyped option ("1o0") is a reported error, not a silent 1.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+
+/// Strict full-token parse of a floating-point value: nullopt on empty
+/// input, trailing garbage, or values that do not round-trip through strtod
+/// (inf/nan spellings are accepted as strtod defines them).
+[[nodiscard]] std::optional<double> parse_double(std::string_view text) noexcept;
 
 }  // namespace easel::util

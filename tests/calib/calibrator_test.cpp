@@ -1,0 +1,342 @@
+// Calibrator unit tests: observation accumulation, Table-1 class inference
+// and parameter derivation from synthetic envelopes, and offline replay of
+// learned sets over the traces they came from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.hpp"
+#include "core/continuous_assertion.hpp"
+
+namespace easel::calib {
+namespace {
+
+using core::ContinuousParams;
+using core::sig_t;
+using core::SignalClass;
+
+/// Feeds `values` through an observation sampled every tick and differenced
+/// at `period` — the same walk accumulate_continuous performs.
+ContinuousObservation observe(const std::vector<sig_t>& values, std::uint32_t period = 1) {
+  ContinuousObservation obs;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    obs.add_value(values[k]);
+    if (k >= period) obs.add_step(values[k], values[k - period]);
+  }
+  return obs;
+}
+
+DiscreteObservation observe_discrete(const std::vector<sig_t>& values) {
+  DiscreteObservation obs;
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    obs.add_value(values[k]);
+    if (k >= 1) obs.add_step(values[k], values[k - 1]);
+  }
+  return obs;
+}
+
+TEST(ContinuousObservationTest, TracksEnvelopeAndDirections) {
+  const ContinuousObservation obs = observe({5, 7, 4, 4});
+  EXPECT_EQ(obs.samples, 4u);
+  EXPECT_EQ(obs.steps, 3u);
+  EXPECT_EQ(obs.min_value, 4);
+  EXPECT_EQ(obs.max_value, 7);
+  EXPECT_TRUE(obs.increased);
+  EXPECT_EQ(obs.min_incr, 2);
+  EXPECT_EQ(obs.max_incr, 2);
+  EXPECT_TRUE(obs.decreased);
+  EXPECT_EQ(obs.min_decr, 3);
+  EXPECT_EQ(obs.max_decr, 3);
+  EXPECT_TRUE(obs.paused);
+}
+
+TEST(ContinuousObservationTest, MergeCombinesEnvelopes) {
+  ContinuousObservation a = observe({10, 12});   // incr 2
+  const ContinuousObservation b = observe({30, 25});  // decr 5
+  a.merge(b);
+  EXPECT_EQ(a.samples, 4u);
+  EXPECT_EQ(a.min_value, 10);
+  EXPECT_EQ(a.max_value, 30);
+  EXPECT_TRUE(a.increased);
+  EXPECT_TRUE(a.decreased);
+  EXPECT_EQ(a.max_incr, 2);
+  EXPECT_EQ(a.max_decr, 5);
+  EXPECT_FALSE(a.paused);
+
+  // Merging an untouched observation is the identity.
+  const ContinuousObservation before = a;
+  a.merge(ContinuousObservation{});
+  EXPECT_EQ(a.samples, before.samples);
+  EXPECT_EQ(a.min_value, before.min_value);
+  EXPECT_EQ(a.max_value, before.max_value);
+}
+
+TEST(DeriveClassTest, FollowsTableOneSpecialisationOrder) {
+  // Constant delta, one direction, no pause: static monotonic.
+  EXPECT_EQ(derive_class(observe({0, 1, 2, 3})), SignalClass::continuous_static_monotonic);
+  // ... unless static is disallowed (multi-mode unification).
+  EXPECT_EQ(derive_class(observe({0, 1, 2, 3}), false),
+            SignalClass::continuous_dynamic_monotonic);
+  // Varying delta, one direction: dynamic monotonic.
+  EXPECT_EQ(derive_class(observe({0, 1, 3})), SignalClass::continuous_dynamic_monotonic);
+  // A pause disqualifies static (the static row forbids zero deltas).
+  EXPECT_EQ(derive_class(observe({0, 1, 1, 2})), SignalClass::continuous_dynamic_monotonic);
+  // Both directions: random.
+  EXPECT_EQ(derive_class(observe({0, 1, 0})), SignalClass::continuous_random);
+  // Never moved at all: only the random row accepts all-zero rate bands.
+  EXPECT_EQ(derive_class(observe({4, 4, 4})), SignalClass::continuous_random);
+}
+
+TEST(DeriveContinuousTest, StaticKeepsExactRateWhateverTheMargin) {
+  const ContinuousObservation obs = observe({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const ContinuousParams params = derive_continuous(obs, 0.5);
+  EXPECT_EQ(derive_class(obs), SignalClass::continuous_static_monotonic);
+  EXPECT_EQ(params.rmin_incr, 1);  // margin never loosens a static rate
+  EXPECT_EQ(params.rmax_incr, 1);
+  EXPECT_EQ(params.rmin_decr, 0);
+  EXPECT_EQ(params.rmax_decr, 0);
+  EXPECT_EQ(params.smin, 0);   // 0 - ceil(9 * 0.5) clamps at zero
+  EXPECT_EQ(params.smax, 14);  // 9 + ceil(9 * 0.5)
+  EXPECT_TRUE(core::validate(params, SignalClass::continuous_static_monotonic).ok());
+  EXPECT_EQ(core::infer_class(params), SignalClass::continuous_static_monotonic);
+}
+
+TEST(DeriveContinuousTest, DynamicGetsZeroMinRateAndScaledMaxRate) {
+  const ContinuousObservation obs = observe({100, 110, 130, 130});
+  ASSERT_EQ(derive_class(obs), SignalClass::continuous_dynamic_monotonic);
+  const ContinuousParams params = derive_continuous(obs, 0.25);
+  EXPECT_EQ(params.rmin_incr, 0);
+  EXPECT_EQ(params.rmax_incr, 25);  // ceil(20 * 1.25)
+  EXPECT_EQ(params.rmin_decr, 0);
+  EXPECT_EQ(params.rmax_decr, 0);
+  EXPECT_TRUE(core::validate(params, SignalClass::continuous_dynamic_monotonic).ok());
+
+  // The zero minimum rate is what lets the deployed assertion admit the
+  // observed pause (Table 2, test 4c).
+  const core::ContinuousAssertion assertion{params};
+  EXPECT_TRUE(assertion.check(130, 130).ok);
+}
+
+TEST(DeriveContinuousTest, BothDirectionsDeriveRandom) {
+  const ContinuousObservation obs = observe({100, 90, 95});
+  ASSERT_EQ(derive_class(obs), SignalClass::continuous_random);
+  const ContinuousParams params = derive_continuous(obs, 0.0);
+  EXPECT_EQ(params.rmax_incr, 5);
+  EXPECT_EQ(params.rmax_decr, 10);
+  EXPECT_EQ(params.rmin_incr, 0);
+  EXPECT_EQ(params.rmin_decr, 0);
+  EXPECT_EQ(params.smin, 90);
+  EXPECT_EQ(params.smax, 100);
+  EXPECT_TRUE(core::validate(params, SignalClass::continuous_random).ok());
+}
+
+TEST(DeriveContinuousTest, ConstantSignalGetsUnitBandAndAdmitsItsPauses) {
+  const ContinuousObservation obs = observe({42, 42, 42});
+  const ContinuousParams params = derive_continuous(obs, 0.0);
+  EXPECT_EQ(params.smin, 42);
+  EXPECT_EQ(params.smax, 43);  // Table 1 "All" demands smax > smin
+  EXPECT_EQ(params.rmax_incr, 0);
+  EXPECT_EQ(params.rmax_decr, 0);
+  EXPECT_TRUE(core::validate(params, SignalClass::continuous_random).ok());
+  // All-zero rates satisfy the 3c pause predicate: the replayed constant
+  // signal raises no violation.
+  EXPECT_TRUE(core::ContinuousAssertion{params}.check(42, 42).ok);
+}
+
+TEST(DeriveContinuousTest, BoundsClampToTheWordRange) {
+  const ContinuousObservation obs = observe({10, 65530});
+  const ContinuousParams params = derive_continuous(obs, 1.0);
+  EXPECT_EQ(params.smin, 0);
+  EXPECT_EQ(params.smax, 65535);
+}
+
+TEST(DeriveContinuousTest, RejectsEmptyObservationAndNegativeMargin) {
+  EXPECT_THROW((void)derive_continuous(ContinuousObservation{}, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)derive_continuous(observe({1, 2}), -0.1), std::invalid_argument);
+}
+
+TEST(DeriveDiscreteTest, CycleYieldsLinearClassAndObservedTransitions) {
+  const DiscreteObservation obs = observe_discrete({0, 1, 2, 0, 1, 2, 0});
+  EXPECT_EQ(derive_discrete_class(obs), SignalClass::discrete_sequential_linear);
+  const core::DiscreteParams params = derive_discrete(obs);
+  EXPECT_EQ(params.domain, (std::vector<sig_t>{0, 1, 2}));
+  EXPECT_EQ(params.transitions.at(0), (std::vector<sig_t>{1}));
+  EXPECT_EQ(params.transitions.at(2), (std::vector<sig_t>{0}));
+  EXPECT_TRUE(core::validate(params, SignalClass::discrete_sequential_linear).ok());
+}
+
+TEST(DeriveDiscreteTest, DwellSelfLoopMakesASecondSuccessor) {
+  // 1 -> 1 (dwell) and 1 -> 2: Table-1 linear validation counts both, so
+  // the inferred class must fall back to non-linear.
+  const DiscreteObservation obs = observe_discrete({0, 1, 1, 2});
+  EXPECT_EQ(derive_discrete_class(obs), SignalClass::discrete_sequential_nonlinear);
+  const core::DiscreteParams params = derive_discrete(obs);
+  EXPECT_EQ(params.transitions.at(1), (std::vector<sig_t>{1, 2}));
+  EXPECT_FALSE(core::validate(params, SignalClass::discrete_sequential_linear).ok());
+  EXPECT_TRUE(core::validate(params, SignalClass::discrete_sequential_nonlinear).ok());
+}
+
+// ---------------------------------------------------------------------------
+// calibrate() over synthetic traces.
+// ---------------------------------------------------------------------------
+
+/// A synthetic master-node trace with all seven monitored signals plus one
+/// analog channel, engaging (mode 0 -> 1) halfway through.
+trace::Trace synthetic_trace(std::uint64_t ticks = 400) {
+  trace::Trace t;
+  t.label = "synthetic";
+  t.tick_count = ticks;
+  t.initial_mode = 0;
+  t.mode_changes = {{ticks / 2, 1}};
+
+  const auto add = [&t, ticks](const char* name, trace::ChannelKind kind, std::uint32_t period,
+                               auto value_of) {
+    trace::SignalTrace s;
+    s.name = name;
+    s.kind = kind;
+    s.period_ms = period;
+    for (std::uint64_t k = 0; k < ticks; ++k) {
+      s.words.push_back(static_cast<std::uint16_t>(value_of(k)));
+    }
+    t.signals.push_back(std::move(s));
+  };
+
+  using trace::ChannelKind;
+  add("SetValue", ChannelKind::continuous, 7,
+      [](std::uint64_t k) { return std::min<std::uint64_t>(2000, k * 10); });
+  add("IsValue", ChannelKind::continuous, 7,
+      [](std::uint64_t k) { return std::min<std::uint64_t>(2100, k * 11); });
+  add("i", ChannelKind::continuous, 1,
+      [](std::uint64_t k) { return std::min<std::uint64_t>(6, k / 40); });
+  add("pulscnt", ChannelKind::continuous, 1, [](std::uint64_t k) { return k / 3; });
+  add("ms_slot_nbr", ChannelKind::discrete, 1, [](std::uint64_t k) { return k % 7; });
+  add("mscnt", ChannelKind::continuous, 1, [](std::uint64_t k) { return k; });
+  add("OutValue", ChannelKind::continuous, 7,
+      [](std::uint64_t k) { return std::min<std::uint64_t>(2500, k * 12); });
+
+  trace::SignalTrace analog;
+  analog.name = "velocity_mps";
+  analog.kind = ChannelKind::analog;
+  for (std::uint64_t k = 0; k < ticks; ++k) {
+    analog.analog.push_back(60.0 - 0.01 * static_cast<double>(k));
+  }
+  t.signals.push_back(std::move(analog));
+  return t;
+}
+
+TEST(CalibrateTest, LearnsEverySignalAndSkipsAnalogChannels) {
+  const Calibration calibration = calibrate({synthetic_trace()}, {0.10, false});
+  EXPECT_EQ(calibration.signals.size(), 7u);  // velocity_mps is analog: skipped
+  EXPECT_EQ(calibration.sources, (std::vector<std::string>{"synthetic"}));
+  EXPECT_EQ(calibration.find("velocity_mps"), nullptr);
+
+  const LearnedSignal* mscnt = calibration.find("mscnt");
+  ASSERT_NE(mscnt, nullptr);
+  EXPECT_EQ(mscnt->cls, SignalClass::continuous_static_monotonic);
+  ASSERT_EQ(mscnt->modes.size(), 1u);
+  EXPECT_EQ(mscnt->modes.front().rmin_incr, 1);
+  EXPECT_EQ(mscnt->modes.front().rmax_incr, 1);
+
+  const LearnedSignal* slot = calibration.find("ms_slot_nbr");
+  ASSERT_NE(slot, nullptr);
+  EXPECT_TRUE(slot->discrete);
+  EXPECT_EQ(slot->cls, SignalClass::discrete_sequential_linear);
+  ASSERT_EQ(slot->slot_modes.size(), 1u);
+  EXPECT_EQ(slot->slot_modes.front().domain, (std::vector<sig_t>{0, 1, 2, 3, 4, 5, 6}));
+
+  const LearnedSignal* pulscnt = calibration.find("pulscnt");
+  ASSERT_NE(pulscnt, nullptr);
+  EXPECT_EQ(pulscnt->cls, SignalClass::continuous_dynamic_monotonic);  // 0/+1 steps
+}
+
+TEST(CalibrateTest, PerModeSplitsOnlyTheFeedbackSignals) {
+  const Calibration calibration = calibrate({synthetic_trace()}, {0.10, true});
+  const LearnedSignal* set_value = calibration.find("SetValue");
+  ASSERT_NE(set_value, nullptr);
+  ASSERT_EQ(set_value->modes.size(), 2u);
+  // Pre-charge ramps up from zero; braking only ever holds the plateau, so
+  // its learned floor sits at the plateau value.
+  EXPECT_EQ(set_value->modes[0].smin, 0);
+  EXPECT_EQ(set_value->modes[1].smin, 2000);
+
+  const LearnedSignal* pulscnt = calibration.find("pulscnt");
+  ASSERT_NE(pulscnt, nullptr);
+  EXPECT_EQ(pulscnt->modes.size(), 1u);  // not a feedback signal: single mode
+}
+
+TEST(CalibrateTest, MergesMultipleTracesAndRejectsKindChanges) {
+  trace::Trace first = synthetic_trace();
+  trace::Trace second = synthetic_trace();
+  second.label = "second";
+  const Calibration calibration = calibrate({first, second}, {0.0, false});
+  EXPECT_EQ(calibration.sources.size(), 2u);
+  const LearnedSignal* mscnt = calibration.find("mscnt");
+  ASSERT_NE(mscnt, nullptr);
+  EXPECT_EQ(mscnt->observed.front().samples, 2u * first.tick_count);
+
+  // A channel flipping kind between traces would mix incompatible envelopes.
+  for (trace::SignalTrace& s : second.signals) {
+    if (s.name == "pulscnt") s.kind = trace::ChannelKind::discrete;
+  }
+  EXPECT_THROW((void)calibrate({first, second}, {0.0, false}), std::invalid_argument);
+}
+
+TEST(CalibrateTest, RejectsEmptyInputAndBadMargin) {
+  EXPECT_THROW((void)calibrate({}, {0.1, false}), std::invalid_argument);
+  EXPECT_THROW((void)calibrate({synthetic_trace()}, {-1.0, false}), std::invalid_argument);
+}
+
+TEST(CalibrateTest, ToNodeParamsValidatesAndCarriesProvenance) {
+  for (const bool per_mode : {false, true}) {
+    const Calibration calibration = calibrate({synthetic_trace()}, {0.10, per_mode});
+    const arrestor::NodeParamSet params = to_node_params(calibration);
+    EXPECT_EQ(params.provenance, core::ParamProvenance::calibrated);
+    EXPECT_EQ(params.origin, "calibrated from synthetic");
+    EXPECT_DOUBLE_EQ(params.margin, 0.10);
+    EXPECT_EQ(params.per_mode(), per_mode);
+    const core::Validation validation = arrestor::validate(params);
+    EXPECT_TRUE(validation.ok()) << (validation.problems.empty()
+                                         ? ""
+                                         : validation.problems.front());
+  }
+}
+
+TEST(CalibrateTest, ToNodeParamsThrowsWhenAMonitoredSignalIsMissing) {
+  trace::Trace partial = synthetic_trace();
+  std::erase_if(partial.signals,
+                [](const trace::SignalTrace& s) { return s.name == "IsValue"; });
+  const Calibration calibration = calibrate({partial}, {0.10, false});
+  EXPECT_THROW((void)to_node_params(calibration), std::invalid_argument);
+}
+
+TEST(ReplayTest, LearnedParamsReplayCleanOverTheirSourceTrace) {
+  const trace::Trace trace = synthetic_trace();
+  for (const bool per_mode : {false, true}) {
+    const arrestor::NodeParamSet params =
+        to_node_params(calibrate({trace}, {0.10, per_mode}));
+    const ReplayReport report = replay(trace, params);
+    EXPECT_GT(report.checks, 0u);
+    EXPECT_EQ(report.violations, 0u) << "per_mode=" << per_mode;
+  }
+}
+
+TEST(ReplayTest, FlagsATraceOutsideTheEnvelope) {
+  const trace::Trace trace = synthetic_trace();
+  arrestor::NodeParamSet params = to_node_params(calibrate({trace}, {0.0, false}));
+  // Tighten SetValue's ceiling below its recorded plateau: the bounds test
+  // must fire on every plateau sample.
+  auto& set_value = params.continuous[static_cast<std::size_t>(
+      arrestor::MonitoredSignal::set_value)];
+  set_value.front().smax = 1500;
+  const ReplayReport report = replay(trace, params);
+  EXPECT_GT(report.violations, 0u);
+  EXPECT_GT(report.per_signal[static_cast<std::size_t>(arrestor::MonitoredSignal::set_value)],
+            0u);
+  EXPECT_EQ(report.per_signal[static_cast<std::size_t>(arrestor::MonitoredSignal::mscnt)], 0u);
+}
+
+}  // namespace
+}  // namespace easel::calib

@@ -1,0 +1,147 @@
+// NodeParamSet: ROM equivalence, validation prefixes, the defensive
+// save/load contract, and fingerprint semantics (payload-only hashing).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "arrestor/assertions.hpp"
+#include "arrestor/param_set.hpp"
+
+namespace easel::arrestor {
+namespace {
+
+TEST(NodeParamSetTest, RomReproducesTheHandSpecifiedValues) {
+  const NodeParamSet rom = NodeParamSet::rom();
+  EXPECT_EQ(rom.provenance, core::ParamProvenance::hand_specified);
+  EXPECT_DOUBLE_EQ(rom.margin, 0.0);
+  EXPECT_FALSE(rom.per_mode());
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    EXPECT_EQ(rom.classes[idx], rom_signal_class(signal)) << to_string(signal);
+    if (signal == MonitoredSignal::ms_slot_nbr) {
+      ASSERT_EQ(rom.slot_modes.size(), 1u);
+      EXPECT_EQ(rom.slot_modes.front(), rom_slot_params());
+      EXPECT_TRUE(rom.continuous[idx].empty());
+    } else {
+      ASSERT_EQ(rom.continuous[idx].size(), 1u) << to_string(signal);
+      EXPECT_EQ(rom.continuous[idx].front(), rom_continuous_params(signal))
+          << to_string(signal);
+    }
+  }
+  EXPECT_TRUE(validate(rom).ok());
+}
+
+TEST(NodeParamSetTest, RomPerModeCarriesPrechargeSetsForFeedbackSignals) {
+  const NodeParamSet rom = NodeParamSet::rom(true);
+  EXPECT_TRUE(rom.per_mode());
+  for (std::size_t idx = 0; idx < kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<MonitoredSignal>(idx);
+    if (signal == MonitoredSignal::ms_slot_nbr) continue;
+    if (has_precharge_mode(signal)) {
+      ASSERT_EQ(rom.continuous[idx].size(), 2u) << to_string(signal);
+      EXPECT_EQ(rom.continuous[idx][0], rom_precharge_params(signal));
+      EXPECT_EQ(rom.continuous[idx][1], rom_continuous_params(signal));
+    } else {
+      EXPECT_EQ(rom.continuous[idx].size(), 1u) << to_string(signal);
+    }
+  }
+  EXPECT_TRUE(validate(rom).ok());
+}
+
+TEST(NodeParamSetTest, ValidatePrefixesProblemsWithTheSignalName) {
+  NodeParamSet params = NodeParamSet::rom();
+  const auto idx = static_cast<std::size_t>(MonitoredSignal::set_value);
+  params.continuous[idx].front().smax = params.continuous[idx].front().smin;  // breaks "All"
+  const core::Validation bad_value = validate(params);
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_EQ(bad_value.problems.front().rfind("SetValue: ", 0), 0u)
+      << bad_value.problems.front();
+
+  NodeParamSet missing = NodeParamSet::rom();
+  missing.continuous[static_cast<std::size_t>(MonitoredSignal::is_value)].clear();
+  const core::Validation no_set = validate(missing);
+  ASSERT_FALSE(no_set.ok());
+  EXPECT_NE(no_set.problems.front().find("IsValue"), std::string::npos);
+
+  NodeParamSet no_slot = NodeParamSet::rom();
+  no_slot.slot_modes.clear();
+  EXPECT_FALSE(validate(no_slot).ok());
+}
+
+NodeParamSet calibrated_fixture() {
+  NodeParamSet params = NodeParamSet::rom(true);
+  params.provenance = core::ParamProvenance::calibrated;
+  params.origin = "calibrated from golden seed=2000 case=12, golden seed=2000 case=7";
+  params.margin = 0.25;
+  return params;
+}
+
+TEST(NodeParamSetTest, SaveLoadRoundTripsStreamsAndFiles) {
+  const NodeParamSet params = calibrated_fixture();
+  std::stringstream stream;
+  save(params, stream);
+  const auto loaded = load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, params);  // provenance, spaced origin, margin included
+
+  const std::string path = ::testing::TempDir() + "param_set_roundtrip.txt";
+  ASSERT_TRUE(save(params, path));
+  const auto from_file = load(path);
+  ASSERT_TRUE(from_file.has_value());
+  EXPECT_EQ(*from_file, params);
+  EXPECT_FALSE(load(path + ".does-not-exist").has_value());
+}
+
+TEST(NodeParamSetTest, LoadRejectsMalformedInput) {
+  std::ostringstream out;
+  save(calibrated_fixture(), out);
+  const std::string good = out.str();
+
+  const auto rejects = [](std::string text) {
+    std::istringstream in{std::move(text)};
+    EXPECT_FALSE(load(in).has_value());
+  };
+
+  rejects("not-a-param-set\n" + good.substr(good.find('\n') + 1));  // wrong magic
+  rejects(good.substr(0, good.rfind("end")));                       // truncated
+  {
+    std::string corrupt = good;
+    corrupt.replace(corrupt.find("provenance calibrated"),
+                    std::string{"provenance calibrated"}.size(), "provenance guesswork");
+    rejects(corrupt);
+  }
+  {
+    std::string corrupt = good;
+    corrupt.replace(corrupt.find("rmin_incr"), std::string{"rmin_incr"}.size(), "rmin_incX");
+    rejects(corrupt);
+  }
+  {
+    // Duplicate signal entry: replace IsValue's header with SetValue's.
+    std::string corrupt = good;
+    corrupt.replace(corrupt.find("signal IsValue"), std::string{"signal IsValue"}.size(),
+                    "signal SetValue");
+    rejects(corrupt);
+  }
+}
+
+TEST(NodeParamSetTest, FingerprintHashesThePayloadOnly) {
+  const NodeParamSet rom = NodeParamSet::rom();
+  NodeParamSet relabelled = rom;
+  relabelled.provenance = core::ParamProvenance::calibrated;
+  relabelled.origin = "some other origin";
+  relabelled.margin = 0.5;
+  EXPECT_EQ(fingerprint(rom), fingerprint(relabelled));
+
+  NodeParamSet changed = rom;
+  changed.continuous[static_cast<std::size_t>(MonitoredSignal::set_value)].front().smax += 1;
+  EXPECT_NE(fingerprint(rom), fingerprint(changed));
+
+  EXPECT_NE(fingerprint(NodeParamSet::rom(false)), fingerprint(NodeParamSet::rom(true)));
+
+  // Stable across invocations (cache keys persist on disk between runs).
+  EXPECT_EQ(fingerprint(rom), fingerprint(NodeParamSet::rom()));
+}
+
+}  // namespace
+}  // namespace easel::arrestor

@@ -1,0 +1,151 @@
+// End-to-end calibration round trip — the subsystem's acceptance criteria:
+//
+//   (a) parameters learned from recorded golden traces pass the Table-1
+//       validation;
+//   (b) they raise zero violations on the traces they were learned from AND
+//       on live golden runs of the same test cases;
+//   (c) a quick E1 campaign under the learned set detects within five
+//       percentage points of the hand-specified ROM set.
+//
+// Recording needs the scheduler hook: everything trace-dependent skips
+// under EASEL_TRACE=OFF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "calib/calibrator.hpp"
+#include "fi/campaign.hpp"
+#include "fi/run_context.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+
+namespace easel::calib {
+namespace {
+
+/// The quick campaign scale of the acceptance criterion.
+fi::CampaignOptions quick_options() {
+  fi::CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 12000;
+  return options;
+}
+
+/// One golden-run config per campaign test case, with the campaign engine's
+/// own per-case sensor-noise seeds — the runs the calibrator would observe.
+std::vector<fi::RunConfig> golden_configs(const fi::CampaignOptions& options) {
+  const std::vector<sim::TestCase> cases = fi::campaign_test_cases(options);
+  std::vector<fi::RunConfig> configs;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    fi::RunConfig config;
+    config.test_case = cases[ci];
+    config.observation_ms = options.observation_ms;
+    config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+/// Records one golden trace per campaign test case (built once, shared by
+/// the tests below — recording is two full golden runs).
+const std::vector<trace::Trace>& golden_traces() {
+  static const std::vector<trace::Trace> traces = [] {
+    std::vector<trace::Trace> recorded;
+    fi::RunContext context;
+    std::size_t ci = 0;
+    for (fi::RunConfig config : golden_configs(quick_options())) {
+      trace::Recorder recorder{{1u << 20, "golden case " + std::to_string(ci++)}};
+      config.trace = &recorder;
+      const fi::RunResult result = context.run(config);
+      EXPECT_FALSE(result.detected);  // the rig's golden runs are clean
+      recorded.push_back(recorder.snapshot());
+    }
+    return recorded;
+  }();
+  return traces;
+}
+
+constexpr double kMargin = 1.0;
+
+TEST(CalibrationRoundTrip, LearnedParamsValidateAndReplayClean) {
+  if (!trace::Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
+  for (const bool per_mode : {false, true}) {
+    const Calibration calibration = calibrate(golden_traces(), {kMargin, per_mode});
+    const arrestor::NodeParamSet params = to_node_params(calibration);
+
+    // (a) Table-1 validity of every learned signal and mode.
+    const core::Validation validation = arrestor::validate(params);
+    EXPECT_TRUE(validation.ok()) << (validation.problems.empty()
+                                         ? ""
+                                         : validation.problems.front());
+    EXPECT_EQ(params.provenance, core::ParamProvenance::calibrated);
+    EXPECT_EQ(params.per_mode(), per_mode);
+
+    // (b) Zero violations replaying the source traces.
+    for (const trace::Trace& trace : golden_traces()) {
+      const ReplayReport report = replay(trace, params);
+      EXPECT_GT(report.checks, 0u);
+      EXPECT_EQ(report.violations, 0u)
+          << trace.label << " per_mode=" << per_mode;
+    }
+  }
+}
+
+TEST(CalibrationRoundTrip, LiveGoldenRunsUnderLearnedParamsStayClean) {
+  if (!trace::Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
+  const auto params = std::make_shared<const arrestor::NodeParamSet>(
+      to_node_params(calibrate(golden_traces(), {kMargin, false})));
+  fi::RunContext context;
+  for (fi::RunConfig config : golden_configs(quick_options())) {
+    config.params = params;
+    const fi::RunResult result = context.run(config);
+    EXPECT_FALSE(result.detected);  // (b): no false positives in vivo
+    EXPECT_EQ(result.detection_count, 0u);
+  }
+}
+
+TEST(CalibrationRoundTrip, QuickE1CoverageWithinFivePointsOfRom) {
+  if (!trace::Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
+  const fi::E1Results rom = fi::run_e1(quick_options());
+
+  fi::CampaignOptions learned_options = quick_options();
+  learned_options.params = std::make_shared<const arrestor::NodeParamSet>(
+      to_node_params(calibrate(golden_traces(), {kMargin, false})));
+  const fi::E1Results learned = fi::run_e1(learned_options);
+
+  const double rom_coverage = rom.totals[fi::kAllVersion].detection.all.point();
+  const double learned_coverage = learned.totals[fi::kAllVersion].detection.all.point();
+  EXPECT_GT(rom_coverage, 0.0);
+  EXPECT_LE(std::abs(learned_coverage - rom_coverage), 0.05)
+      << "ROM " << rom_coverage << " vs learned " << learned_coverage;
+}
+
+TEST(CalibrationRoundTrip, CampaignKeyAndCacheDisambiguateParamSets) {
+  // Key semantics are trace-independent: exercised even under EASEL_TRACE=OFF.
+  fi::CampaignOptions rom_options = quick_options();
+  const std::string rom_key = fi::campaign_key(rom_options);
+
+  fi::CampaignOptions a = quick_options();
+  a.params = std::make_shared<const arrestor::NodeParamSet>(arrestor::NodeParamSet::rom(false));
+  fi::CampaignOptions b = quick_options();
+  b.params = std::make_shared<const arrestor::NodeParamSet>(arrestor::NodeParamSet::rom(true));
+
+  const std::string key_a = fi::campaign_key(a);
+  const std::string key_b = fi::campaign_key(b);
+  EXPECT_NE(key_a, rom_key);  // a param set changes the cache key...
+  EXPECT_NE(key_a, key_b);    // ...and different sets never alias
+
+  // A result saved under one param set's key must not load under another's.
+  std::stringstream cache;
+  fi::save_e1(fi::E1Results{}, cache, key_a);
+  EXPECT_FALSE(fi::load_e1(cache, key_b).has_value());
+  cache.clear();
+  cache.seekg(0);
+  EXPECT_TRUE(fi::load_e1(cache, key_a).has_value());
+}
+
+}  // namespace
+}  // namespace easel::calib

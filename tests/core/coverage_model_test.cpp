@@ -30,6 +30,24 @@ TEST(CoverageModel, FullPropagation) {
   EXPECT_DOUBLE_EQ(model.p_present_in_monitored(), 1.0);
 }
 
+TEST(CoverageModel, HandComputedPdetectValues) {
+  // Literals worked out by hand from Pdetect = ((1-Pem)*Pprop + Pem)*Pds,
+  // pinning the implementation against sign/ordering slips the algebraic
+  // tests above cannot see.
+  //   ((1-0.034)*0.25 + 0.034)*0.74 = (0.2415 + 0.034)*0.74 = 0.2755*0.74
+  EXPECT_NEAR((CoverageModel{0.034, 0.25, 0.74}.p_detect()), 0.20387, 1e-12);
+  //   ((1-0.1)*0.5 + 0.1)*0.9 = 0.55*0.9
+  EXPECT_NEAR((CoverageModel{0.1, 0.5, 0.9}.p_detect()), 0.495, 1e-12);
+  //   no propagation: only the directly-hit fraction is detectable
+  EXPECT_NEAR((CoverageModel{0.05, 0.0, 0.6}.p_detect()), 0.03, 1e-12);
+  //   full propagation: every error is present in a monitored signal
+  EXPECT_NEAR((CoverageModel{0.25, 1.0, 0.8}.p_detect()), 0.8, 1e-12);
+  //   the sweep's Pem for the master node: 7 signals x 16 bits over 417
+  //   bytes of application RAM = 112/3336 bit locations
+  EXPECT_NEAR((CoverageModel{112.0 / 3336.0, 0.25, 0.74}.p_detect()),
+              0.20363309352517985, 1e-12);
+}
+
 TEST(CoverageModel, MonotoneInEachParameter) {
   const CoverageModel base{.p_em = 0.3, .p_prop = 0.4, .p_ds = 0.5};
   CoverageModel more = base;

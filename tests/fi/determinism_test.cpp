@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "fi/export.hpp"
-#include "fi/trace.hpp"
+#include "trace/format.hpp"
+#include "trace/recorder.hpp"
 
 namespace easel::fi {
 namespace {
@@ -19,15 +20,17 @@ TEST(Determinism, RunResultsBitIdenticalAcrossInvocations) {
 }
 
 TEST(Determinism, TracesBitIdentical) {
+  if (!trace::Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
   RunConfig config;
   config.test_case = {9500.0, 62.0};
   config.observation_ms = 4000;
-  TraceRecorder ta{10}, tb{10};
+  trace::Recorder ta, tb;
   config.trace = &ta;
   (void)run_experiment(config);
   config.trace = &tb;
   (void)run_experiment(config);
-  EXPECT_EQ(ta.to_csv(), tb.to_csv());
+  EXPECT_EQ(ta.snapshot(), tb.snapshot());
+  EXPECT_EQ(trace::to_csv(ta.snapshot()), trace::to_csv(tb.snapshot()));
 }
 
 TEST(Determinism, ModedAndWatchdogOptionsChangeNothingWhenInactive) {

@@ -1,0 +1,159 @@
+// Binary trace format: round-trip fidelity and the defensive-load contract
+// (wrong magic/version, truncation anywhere, corrupt counts all yield
+// nullopt, never a partial trace).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/format.hpp"
+
+namespace easel::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.label = "unit fixture";
+  trace.tick_count = 10;
+  trace.initial_mode = 0;
+  trace.mode_changes = {{4, 1}, {8, 0}};
+
+  SignalTrace words;
+  words.name = "SetValue";
+  words.kind = ChannelKind::continuous;
+  words.period_ms = 7;
+  words.words = {0, 100, 250, 400, 900, 1200, 1200, 1180, 1100, 1050};
+  trace.signals.push_back(words);
+
+  SignalTrace slot;
+  slot.name = "ms_slot_nbr";
+  slot.kind = ChannelKind::discrete;
+  slot.period_ms = 1;
+  slot.words = {0, 1, 2, 3, 4, 5, 6, 0, 1, 2};
+  trace.signals.push_back(slot);
+
+  SignalTrace analog;
+  analog.name = "velocity_mps";
+  analog.kind = ChannelKind::analog;
+  analog.first_tick = 2;
+  analog.analog = {60.0, 59.5, 58.75, 57.0};
+  trace.signals.push_back(analog);
+  return trace;
+}
+
+std::string saved_bytes(const Trace& trace) {
+  std::ostringstream out;
+  save(trace, out);
+  return out.str();
+}
+
+TEST(TraceFormat, RoundTripIsExact) {
+  const Trace original = sample_trace();
+  std::stringstream stream;
+  save(original, stream);
+  const auto loaded = load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, original);
+}
+
+TEST(TraceFormat, EmptyTraceRoundTrips) {
+  Trace empty;
+  std::stringstream stream;
+  save(empty, stream);
+  const auto loaded = load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, empty);
+}
+
+TEST(TraceFormat, RejectsWrongMagic) {
+  std::string bytes = saved_bytes(sample_trace());
+  bytes[0] = 'X';
+  std::istringstream in{bytes};
+  EXPECT_FALSE(load(in).has_value());
+}
+
+TEST(TraceFormat, RejectsUnsupportedVersion) {
+  std::string bytes = saved_bytes(sample_trace());
+  bytes[8] = static_cast<char>(kFormatVersion + 1);  // version u32 LE at offset 8
+  std::istringstream in{bytes};
+  EXPECT_FALSE(load(in).has_value());
+}
+
+TEST(TraceFormat, RejectsTruncationAtEveryPrefixLength) {
+  const std::string bytes = saved_bytes(sample_trace());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::istringstream in{bytes.substr(0, cut)};
+    EXPECT_FALSE(load(in).has_value()) << "prefix of " << cut << " bytes loaded";
+  }
+}
+
+TEST(TraceFormat, RejectsCorruptSentinel) {
+  std::string bytes = saved_bytes(sample_trace());
+  bytes[bytes.size() - 1] = '?';
+  std::istringstream in{bytes};
+  EXPECT_FALSE(load(in).has_value());
+}
+
+TEST(TraceFormat, RejectsNonIncreasingModeChangeTicks) {
+  Trace trace = sample_trace();
+  trace.mode_changes = {{8, 1}, {8, 0}};
+  std::stringstream stream;
+  save(trace, stream);
+  EXPECT_FALSE(load(stream).has_value());
+}
+
+TEST(TraceFormat, FileRoundTripAndMissingFile) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "format_test_roundtrip.trace";
+  ASSERT_TRUE(save(original, path));
+  const auto loaded = load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, original);
+  EXPECT_FALSE(load(path + ".does-not-exist").has_value());
+}
+
+TEST(TraceFormat, CsvHeaderRowsAndEmptyCells) {
+  const Trace trace = sample_trace();
+  const std::string csv = to_csv(trace, 1);
+  std::istringstream lines{csv};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "tick,mode,SetValue,ms_slot_nbr,velocity_mps");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, trace.tick_count);
+
+  // Tick 0 predates the analog channel's first_tick = 2: empty last cell.
+  std::istringstream again{csv};
+  std::getline(again, line);
+  std::getline(again, line);
+  EXPECT_EQ(line, "0,0,0,0,");
+  // Tick 4 is inside every channel and after the mode change to 1.
+  std::getline(again, line);
+  std::getline(again, line);
+  std::getline(again, line);
+  std::getline(again, line);
+  EXPECT_EQ(line, "4,1,900,4,58.7500");
+}
+
+TEST(TraceFormat, CsvStrideSkipsRows) {
+  const Trace trace = sample_trace();
+  const std::string csv = to_csv(trace, 4);
+  std::istringstream lines{csv};
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, 1 + (trace.tick_count + 3) / 4);  // header + ticks 0,4,8
+}
+
+TEST(TraceFormat, ModeAtFollowsAnnotations) {
+  const Trace trace = sample_trace();
+  EXPECT_EQ(trace.mode_at(0), 0);
+  EXPECT_EQ(trace.mode_at(3), 0);
+  EXPECT_EQ(trace.mode_at(4), 1);
+  EXPECT_EQ(trace.mode_at(7), 1);
+  EXPECT_EQ(trace.mode_at(8), 0);
+  EXPECT_EQ(trace.mode_at(10'000), 0);
+}
+
+}  // namespace
+}  // namespace easel::trace

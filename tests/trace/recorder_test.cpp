@@ -1,0 +1,168 @@
+// Trace recorder: ring retention, mode annotations, scheduler-probe
+// install semantics, and end-to-end capture through the experiment rig.
+#include <gtest/gtest.h>
+
+#include "fi/experiment.hpp"
+#include "fi/run_context.hpp"
+#include "mem/address_space.hpp"
+#include "rt/scheduler.hpp"
+#include "trace/recorder.hpp"
+
+namespace easel::trace {
+namespace {
+
+TEST(Recorder, DirectSamplingCapturesWordsAndAnalog) {
+  mem::AddressSpace space{{64, 0}};
+  Recorder recorder{{.capacity = 16, .label = "direct"}};
+  recorder.add_word_channel("sig", space, 0, 7, ChannelKind::continuous);
+  double analog_value = 1.5;
+  recorder.add_analog_channel("plant", [&analog_value] { return analog_value; });
+  for (std::uint64_t tick = 0; tick < 5; ++tick) {
+    space.write_u16(0, static_cast<std::uint16_t>(tick * 10));
+    analog_value += 0.5;
+    recorder.on_tick(tick);
+  }
+  const Trace trace = recorder.snapshot();
+  EXPECT_EQ(trace.label, "direct");
+  EXPECT_EQ(trace.tick_count, 5u);
+  ASSERT_EQ(trace.signals.size(), 2u);
+  const SignalTrace* sig = trace.find("sig");
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->period_ms, 7u);
+  EXPECT_EQ(sig->first_tick, 0u);
+  EXPECT_EQ(sig->words, (std::vector<std::uint16_t>{0, 10, 20, 30, 40}));
+  const SignalTrace* plant = trace.find("plant");
+  ASSERT_NE(plant, nullptr);
+  EXPECT_EQ(plant->kind, ChannelKind::analog);
+  ASSERT_EQ(plant->analog.size(), 5u);
+  EXPECT_DOUBLE_EQ(plant->analog.front(), 2.0);
+  EXPECT_DOUBLE_EQ(plant->analog.back(), 4.0);
+}
+
+TEST(Recorder, BoundedCapacityKeepsNewestAndAdvancesFirstTick) {
+  mem::AddressSpace space{{64, 0}};
+  Recorder recorder{{.capacity = 4, .label = ""}};
+  recorder.add_word_channel("sig", space, 0, 1, ChannelKind::continuous);
+  for (std::uint64_t tick = 0; tick < 10; ++tick) {
+    space.write_u16(0, static_cast<std::uint16_t>(100 + tick));
+    recorder.on_tick(tick);
+  }
+  const Trace trace = recorder.snapshot();
+  const SignalTrace* sig = trace.find("sig");
+  ASSERT_NE(sig, nullptr);
+  EXPECT_EQ(sig->first_tick, 6u);  // 10 samples, capacity 4: ticks 6..9 remain
+  EXPECT_EQ(sig->words, (std::vector<std::uint16_t>{106, 107, 108, 109}));
+  EXPECT_EQ(trace.tick_count, 10u);
+}
+
+TEST(Recorder, ModeChangesBecomeAnnotations) {
+  mem::AddressSpace space{{64, 0}};
+  Recorder recorder;
+  recorder.set_mode_channel(space, 4);
+  const std::uint16_t modes[] = {0, 0, 1, 1, 0, 0};
+  for (std::uint64_t tick = 0; tick < 6; ++tick) {
+    space.write_u16(4, modes[tick]);
+    recorder.on_tick(tick);
+  }
+  const Trace trace = recorder.snapshot();
+  EXPECT_EQ(trace.initial_mode, 0u);
+  ASSERT_EQ(trace.mode_changes.size(), 2u);
+  EXPECT_EQ(trace.mode_changes[0], (ModeChange{2, 1}));
+  EXPECT_EQ(trace.mode_changes[1], (ModeChange{4, 0}));
+  EXPECT_EQ(trace.mode_at(1), 0u);
+  EXPECT_EQ(trace.mode_at(3), 1u);
+  EXPECT_EQ(trace.mode_at(5), 0u);
+}
+
+TEST(Recorder, ClearKeepsChannelsResetChannelsDropsThem) {
+  mem::AddressSpace space{{64, 0}};
+  Recorder recorder;
+  recorder.add_word_channel("sig", space, 0, 1, ChannelKind::continuous);
+  recorder.on_tick(0);
+  EXPECT_EQ(recorder.ticks_seen(), 1u);
+  recorder.clear();
+  EXPECT_EQ(recorder.ticks_seen(), 0u);
+  EXPECT_EQ(recorder.channel_count(), 1u);
+  recorder.reset_channels();
+  EXPECT_EQ(recorder.channel_count(), 0u);
+}
+
+TEST(Recorder, InstallReportsCompiledState) {
+  rt::Scheduler scheduler;
+  Recorder recorder;
+  EXPECT_EQ(recorder.install(scheduler), Recorder::compiled_in());
+  recorder.uninstall(scheduler);
+}
+
+TEST(Recorder, SchedulerProbeFiresEveryTick) {
+  if (!Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
+  mem::AddressSpace space{{64, 0}};
+  rt::Scheduler scheduler;
+  Recorder recorder;
+  recorder.add_word_channel("sig", space, 0, 1, ChannelKind::continuous);
+  recorder.install(scheduler);
+  for (int t = 0; t < 25; ++t) scheduler.tick();
+  EXPECT_EQ(recorder.ticks_seen(), 25u);
+  recorder.uninstall(scheduler);
+  for (int t = 0; t < 5; ++t) scheduler.tick();
+  EXPECT_EQ(recorder.ticks_seen(), 25u);  // no samples after uninstall
+}
+
+TEST(Recorder, RunCaptureSamplesEveryTickAndSeesEngagementModeChange) {
+  if (!Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
+  Recorder recorder{{.capacity = 1u << 20, .label = "golden"}};
+  fi::RunConfig config;
+  config.observation_ms = 6000;
+  config.trace = &recorder;
+  fi::RunContext context;
+  const fi::RunResult result = context.run(config);
+  EXPECT_FALSE(result.detected);
+
+  const Trace trace = recorder.snapshot();
+  EXPECT_EQ(trace.label, "golden");
+  EXPECT_EQ(trace.tick_count, 6000u);
+  // Standard channel set: 7 signal words + 5 analog plant readouts.
+  EXPECT_EQ(trace.signals.size(), 12u);
+  for (const char* name : {"SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt",
+                           "OutValue", "position_m", "velocity_mps"}) {
+    const SignalTrace* channel = trace.find(name);
+    ASSERT_NE(channel, nullptr) << name;
+    EXPECT_EQ(channel->size(), 6000u) << name;
+    EXPECT_EQ(channel->first_tick, 0u) << name;
+  }
+  EXPECT_EQ(trace.find("ms_slot_nbr")->kind, ChannelKind::discrete);
+  EXPECT_EQ(trace.find("SetValue")->period_ms, 7u);
+  EXPECT_EQ(trace.find("mscnt")->period_ms, 1u);
+
+  // The aircraft engages the wire within the window: pre-charge (0) ->
+  // braking (1) appears as exactly one mode annotation.
+  EXPECT_EQ(trace.initial_mode, 0u);
+  ASSERT_EQ(trace.mode_changes.size(), 1u);
+  EXPECT_EQ(trace.mode_changes.front().mode, 1u);
+  EXPECT_GT(trace.mode_changes.front().tick, 0u);
+
+  // mscnt counts scheduler milliseconds: a strictly +1 staircase.
+  const SignalTrace* mscnt = trace.find("mscnt");
+  for (std::size_t k = 1; k < 100; ++k) {
+    EXPECT_EQ(mscnt->words[k], mscnt->words[k - 1] + 1);
+  }
+}
+
+TEST(Recorder, RunCaptureIsUninstalledAfterRun) {
+  if (!Recorder::compiled_in()) GTEST_SKIP() << "EASEL_TRACE is OFF in this build";
+  Recorder recorder;
+  fi::RunConfig config;
+  config.observation_ms = 1000;
+  config.trace = &recorder;
+  fi::RunContext context;
+  (void)context.run(config);
+  const std::uint64_t seen = recorder.ticks_seen();
+  EXPECT_EQ(seen, 1000u);
+  // A second run WITHOUT the recorder must not touch it.
+  config.trace = nullptr;
+  (void)context.run(config);
+  EXPECT_EQ(recorder.ticks_seen(), seen);
+}
+
+}  // namespace
+}  // namespace easel::trace

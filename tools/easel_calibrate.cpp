@@ -1,0 +1,424 @@
+// easel-calibrate — the trace-to-parameters workflow (src/calib/):
+//
+//   record   golden-run the rig and save a binary trace
+//   learn    calibrate a parameter set from traces and save it
+//   verify   replay traces under a parameter set, count violations
+//   sweep    margin sweep: coverage-vs-false-positive frontier
+//   compare  learned set vs the hand-specified ROM values, side by side
+//   dump     render a binary trace as CSV
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arrestor/param_set.hpp"
+#include "calib/calibrator.hpp"
+#include "calib/sweep.hpp"
+#include "fi/campaign.hpp"
+#include "fi/run_context.hpp"
+#include "trace/format.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace easel;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: easel-calibrate <command> ...\n"
+               "  record OUT.trace   [--obs MS] [--case-index I] [--cases N] [--seed S]\n"
+               "  learn  OUT.params TRACE... [--margin M] [--per-mode]\n"
+               "  verify PARAMS TRACE...\n"
+               "  sweep  TRACE... [--margins M,M,...] [--per-mode] [--cases N] [--obs MS]\n"
+               "                  [--seed S] [--jobs J] [--p-prop P] [--cache-dir DIR]\n"
+               "  compare PARAMS\n"
+               "  dump   TRACE [--stride MS]\n"
+               "Numeric options are parsed strictly; malformed values are errors.\n");
+  return 2;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "easel-calibrate: %s\n", message.c_str());
+  return 2;
+}
+
+/// Option scanner: positional arguments stay in `positional`; --flags are
+/// dispatched through the callbacks.  Returns false on an unknown flag or a
+/// flag missing its value.
+struct OptionScan {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> valued;
+  std::vector<std::string> bare;
+
+  static bool scan(int argc, char** argv, int first, OptionScan& out) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (!util::starts_with(arg, "--")) {
+        out.positional.push_back(arg);
+        continue;
+      }
+      if (arg == "--per-mode") {
+        out.bare.push_back(arg);
+        continue;
+      }
+      if (i + 1 >= argc) return false;
+      out.valued.emplace_back(arg, argv[++i]);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool has_bare(std::string_view name) const {
+    for (const std::string& flag : bare) {
+      if (flag == name) return true;
+    }
+    return false;
+  }
+};
+
+bool take_u64(OptionScan& scan, std::string_view name, std::uint64_t& value, bool& ok) {
+  for (auto it = scan.valued.begin(); it != scan.valued.end(); ++it) {
+    if (it->first != name) continue;
+    const auto parsed = util::parse_u64(it->second);
+    if (!parsed) {
+      std::fprintf(stderr, "easel-calibrate: %s expects an unsigned integer, got '%s'\n",
+                   std::string{name}.c_str(), it->second.c_str());
+      ok = false;
+      return false;
+    }
+    value = *parsed;
+    scan.valued.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool take_double(OptionScan& scan, std::string_view name, double& value, bool& ok) {
+  for (auto it = scan.valued.begin(); it != scan.valued.end(); ++it) {
+    if (it->first != name) continue;
+    const auto parsed = util::parse_double(it->second);
+    if (!parsed) {
+      std::fprintf(stderr, "easel-calibrate: %s expects a number, got '%s'\n",
+                   std::string{name}.c_str(), it->second.c_str());
+      ok = false;
+      return false;
+    }
+    value = *parsed;
+    scan.valued.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool take_string(OptionScan& scan, std::string_view name, std::string& value) {
+  for (auto it = scan.valued.begin(); it != scan.valued.end(); ++it) {
+    if (it->first != name) continue;
+    value = it->second;
+    scan.valued.erase(it);
+    return true;
+  }
+  return false;
+}
+
+int reject_leftovers(const OptionScan& scan) {
+  if (scan.valued.empty()) return 0;
+  return fail("unknown option " + scan.valued.front().first);
+}
+
+std::vector<trace::Trace> load_traces(const std::vector<std::string>& paths, bool& ok) {
+  std::vector<trace::Trace> traces;
+  ok = true;
+  for (const std::string& path : paths) {
+    auto loaded = trace::load(path);
+    if (!loaded) {
+      std::fprintf(stderr, "easel-calibrate: cannot load trace '%s' (missing or malformed)\n",
+                   path.c_str());
+      ok = false;
+      return traces;
+    }
+    traces.push_back(std::move(*loaded));
+  }
+  return traces;
+}
+
+std::optional<arrestor::NodeParamSet> load_params(const std::string& path) {
+  auto params = arrestor::load(path);
+  if (!params) {
+    std::fprintf(stderr, "easel-calibrate: cannot load parameter set '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  if (const auto validation = arrestor::validate(*params); !validation.ok()) {
+    std::fprintf(stderr, "easel-calibrate: parameter set '%s' fails Table-1 validation:\n",
+                 path.c_str());
+    for (const std::string& problem : validation.problems) {
+      std::fprintf(stderr, "  %s\n", problem.c_str());
+    }
+    return std::nullopt;
+  }
+  return params;
+}
+
+void print_provenance(const arrestor::NodeParamSet& params) {
+  std::printf("params: %s (%s", std::string{core::to_string(params.provenance)}.c_str(),
+              params.origin.c_str());
+  if (params.provenance == core::ParamProvenance::calibrated) {
+    std::printf("; margin %.2f", params.margin);
+  }
+  std::printf("), fingerprint %llx\n",
+              static_cast<unsigned long long>(arrestor::fingerprint(params)));
+}
+
+int cmd_record(int argc, char** argv) {
+  OptionScan scan;
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.size() != 1) return usage();
+  if (!trace::Recorder::compiled_in()) {
+    std::fprintf(stderr,
+                 "easel-calibrate: this build has the trace hook compiled out "
+                 "(rebuild with -DEASEL_TRACE=ON)\n");
+    return 1;
+  }
+  std::uint64_t obs = sim::kObservationMs;
+  std::uint64_t case_index = 12;  // grid centre: the canonical mid-energy case
+  std::uint64_t cases = 25;
+  std::uint64_t seed = 2000;
+  bool ok = true;
+  take_u64(scan, "--obs", obs, ok);
+  take_u64(scan, "--case-index", case_index, ok);
+  take_u64(scan, "--cases", cases, ok);
+  take_u64(scan, "--seed", seed, ok);
+  if (!ok) return 2;
+  if (const int rc = reject_leftovers(scan)) return rc;
+
+  fi::CampaignOptions campaign;
+  campaign.seed = seed;
+  campaign.test_case_count = cases;
+  const auto test_cases = fi::campaign_test_cases(campaign);
+  if (case_index >= test_cases.size()) {
+    return fail("--case-index " + std::to_string(case_index) + " is outside the " +
+                std::to_string(test_cases.size()) + "-case set");
+  }
+
+  trace::Recorder::Options recorder_options;
+  std::ostringstream label;
+  label << "golden seed=" << seed << " case=" << case_index << " obs=" << obs;
+  recorder_options.label = label.str();
+  trace::Recorder recorder{recorder_options};
+
+  fi::RunConfig config;
+  config.test_case = test_cases[case_index];
+  config.observation_ms = static_cast<std::uint32_t>(obs);
+  config.noise_seed = util::Rng{seed}.derive("sensor-noise", case_index).seed();
+  config.trace = &recorder;
+  fi::RunContext context;
+  const fi::RunResult result = context.run(config);
+  if (result.detected) {
+    std::fprintf(stderr,
+                 "easel-calibrate: warning: the golden run raised %llu detection(s) — "
+                 "the trace is not assertion-clean\n",
+                 static_cast<unsigned long long>(result.detection_count));
+  }
+
+  const trace::Trace snapshot = recorder.snapshot();
+  if (!trace::save(snapshot, scan.positional.front())) {
+    return fail("cannot write '" + scan.positional.front() + "'");
+  }
+  std::printf("recorded %llu ticks x %zu channels -> %s\n",
+              static_cast<unsigned long long>(snapshot.tick_count), snapshot.signals.size(),
+              scan.positional.front().c_str());
+  return 0;
+}
+
+int cmd_learn(int argc, char** argv) {
+  OptionScan scan;
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.size() < 2) return usage();
+  double margin = 0.10;
+  bool ok = true;
+  take_double(scan, "--margin", margin, ok);
+  if (!ok) return 2;
+  if (const int rc = reject_leftovers(scan)) return rc;
+
+  const std::string out_path = scan.positional.front();
+  const std::vector<std::string> trace_paths{scan.positional.begin() + 1,
+                                             scan.positional.end()};
+  const auto traces = load_traces(trace_paths, ok);
+  if (!ok) return 2;
+
+  try {
+    const calib::Calibration calibration =
+        calib::calibrate(traces, calib::Options{margin, scan.has_bare("--per-mode")});
+    const arrestor::NodeParamSet params = calib::to_node_params(calibration);
+    if (const auto validation = arrestor::validate(params); !validation.ok()) {
+      std::fprintf(stderr, "easel-calibrate: learned set fails Table-1 validation:\n");
+      for (const std::string& problem : validation.problems) {
+        std::fprintf(stderr, "  %s\n", problem.c_str());
+      }
+      return 1;
+    }
+    if (!arrestor::save(params, out_path)) {
+      return fail("cannot write '" + out_path + "'");
+    }
+    print_provenance(params);
+    for (const calib::LearnedSignal& signal : calibration.signals) {
+      std::printf("  %-10s %s, %zu mode(s)\n", signal.name.c_str(),
+                  std::string{core::short_code(signal.cls)}.c_str(),
+                  signal.discrete ? signal.slot_modes.size() : signal.modes.size());
+    }
+    std::printf("saved -> %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::invalid_argument& error) {
+    return fail(error.what());
+  }
+}
+
+int cmd_verify(int argc, char** argv) {
+  OptionScan scan;
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.size() < 2) return usage();
+  if (const int rc = reject_leftovers(scan)) return rc;
+
+  const auto params = load_params(scan.positional.front());
+  if (!params) return 2;
+  bool ok = true;
+  const auto traces = load_traces({scan.positional.begin() + 1, scan.positional.end()}, ok);
+  if (!ok) return 2;
+
+  print_provenance(*params);
+  std::uint64_t total_violations = 0;
+  for (const trace::Trace& trace : traces) {
+    const calib::ReplayReport report = calib::replay(trace, *params);
+    total_violations += report.violations;
+    std::printf("%s: %llu checks, %llu violation(s)\n",
+                trace.label.empty() ? "(unlabelled)" : trace.label.c_str(),
+                static_cast<unsigned long long>(report.checks),
+                static_cast<unsigned long long>(report.violations));
+    for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+      if (report.per_signal[idx] == 0) continue;
+      std::printf("  %-10s %llu\n",
+                  arrestor::to_string(static_cast<arrestor::MonitoredSignal>(idx)),
+                  static_cast<unsigned long long>(report.per_signal[idx]));
+    }
+  }
+  return total_violations == 0 ? 0 : 1;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  OptionScan scan;
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.empty()) return usage();
+  calib::SweepOptions options;
+  options.campaign.test_case_count = 2;     // quick scale by default; the full
+  options.campaign.observation_ms = 12000;  // frontier is a --cases/--obs away
+  std::uint64_t cases = options.campaign.test_case_count;
+  std::uint64_t obs = options.campaign.observation_ms;
+  std::uint64_t seed = options.campaign.seed;
+  std::uint64_t jobs = 1;
+  bool ok = true;
+  take_u64(scan, "--cases", cases, ok);
+  take_u64(scan, "--obs", obs, ok);
+  take_u64(scan, "--seed", seed, ok);
+  take_u64(scan, "--jobs", jobs, ok);
+  take_double(scan, "--p-prop", options.p_prop, ok);
+  take_string(scan, "--cache-dir", options.cache_dir);
+  std::string margins_text;
+  if (take_string(scan, "--margins", margins_text)) {
+    options.margins.clear();
+    for (const std::string& token : util::split(margins_text, ',')) {
+      const auto margin = util::parse_double(token);
+      if (!margin || *margin < 0.0) {
+        return fail("--margins expects comma-separated non-negative numbers, got '" + token +
+                    "'");
+      }
+      options.margins.push_back(*margin);
+    }
+  }
+  if (!ok) return 2;
+  if (const int rc = reject_leftovers(scan)) return rc;
+  options.per_mode = scan.has_bare("--per-mode");
+  options.campaign.test_case_count = static_cast<std::size_t>(cases);
+  options.campaign.observation_ms = static_cast<std::uint32_t>(obs);
+  options.campaign.seed = seed;
+  options.campaign.jobs = static_cast<std::size_t>(jobs);
+
+  const auto traces = load_traces(scan.positional, ok);
+  if (!ok) return 2;
+  try {
+    const calib::SweepResult result = calib::run_sweep(traces, options);
+    calib::render_frontier(result, std::cout);
+    return 0;
+  } catch (const std::exception& error) {
+    return fail(error.what());
+  }
+}
+
+int cmd_compare(int argc, char** argv) {
+  OptionScan scan;
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.size() != 1) return usage();
+  if (const int rc = reject_leftovers(scan)) return rc;
+  const auto learned = load_params(scan.positional.front());
+  if (!learned) return 2;
+  const arrestor::NodeParamSet rom = arrestor::NodeParamSet::rom(learned->per_mode());
+
+  print_provenance(*learned);
+  const auto render_continuous = [](const core::ContinuousParams& params) {
+    std::ostringstream out;
+    core::write_continuous(out, params);
+    std::string line = out.str();
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    return line;
+  };
+  for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(idx);
+    std::printf("%s:\n", arrestor::to_string(signal));
+    std::printf("  class  hand %-9s  learned %s\n",
+                std::string{core::short_code(rom.classes[idx])}.c_str(),
+                std::string{core::short_code(learned->classes[idx])}.c_str());
+    if (signal == arrestor::MonitoredSignal::ms_slot_nbr) {
+      std::printf("  hand    %zu mode(s), domain %zu\n", rom.slot_modes.size(),
+                  rom.slot_modes.front().domain.size());
+      std::printf("  learned %zu mode(s), domain %zu\n", learned->slot_modes.size(),
+                  learned->slot_modes.front().domain.size());
+      continue;
+    }
+    const std::size_t modes =
+        std::max(rom.continuous[idx].size(), learned->continuous[idx].size());
+    for (std::size_t m = 0; m < modes; ++m) {
+      if (m < rom.continuous[idx].size()) {
+        std::printf("  hand[%zu]    %s\n", m, render_continuous(rom.continuous[idx][m]).c_str());
+      }
+      if (m < learned->continuous[idx].size()) {
+        std::printf("  learned[%zu] %s\n", m,
+                    render_continuous(learned->continuous[idx][m]).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_dump(int argc, char** argv) {
+  OptionScan scan;
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.size() != 1) return usage();
+  std::uint64_t stride = 1;
+  bool ok = true;
+  take_u64(scan, "--stride", stride, ok);
+  if (!ok || stride == 0) return stride == 0 ? fail("--stride must be >= 1") : 2;
+  if (const int rc = reject_leftovers(scan)) return rc;
+  const auto loaded = trace::load(scan.positional.front());
+  if (!loaded) return fail("cannot load trace '" + scan.positional.front() + "'");
+  std::fputs(trace::to_csv(*loaded, static_cast<std::uint32_t>(stride)).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "record") return cmd_record(argc, argv);
+  if (command == "learn") return cmd_learn(argc, argv);
+  if (command == "verify") return cmd_verify(argc, argv);
+  if (command == "sweep") return cmd_sweep(argc, argv);
+  if (command == "compare") return cmd_compare(argc, argv);
+  if (command == "dump") return cmd_dump(argc, argv);
+  return usage();
+}

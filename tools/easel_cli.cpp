@@ -10,17 +10,26 @@
 //   easel trace    [--signal S --bit B] [--mass M] [--velocity V]  CSV trace
 //   easel table4                                           placement artefacts
 //
+// Every command accepts --params FILE to run under a calibrated assertion
+// parameter set (easel-calibrate output) instead of the ROM values; the
+// non-CSV reports state which set produced them.  Numeric options parse
+// strictly — a malformed value is a usage error, never a silent zero.
+//
 // Exit code 0 on success, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "arrestor/inventory.hpp"
+#include "arrestor/param_set.hpp"
 #include "fi/export.hpp"
 #include "fi/report.hpp"
-#include "fi/trace.hpp"
+#include "trace/format.hpp"
+#include "trace/recorder.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace easel;
@@ -41,6 +50,7 @@ struct Args {
   std::uint32_t watchdog_ms = 0;
   std::size_t jobs = util::default_jobs();  ///< campaign workers (e1/e2)
   bool csv = false;
+  std::shared_ptr<const arrestor::NodeParamSet> params;  ///< nullptr = ROM
 };
 
 [[noreturn]] void usage(const char* reason) {
@@ -49,7 +59,7 @@ struct Args {
                "commands: golden | inject | sweep | e1 | e2 | errors | trace | table4\n"
                "options:  --mass M --velocity V --signal 0..6 --bit 0..15\n"
                "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
-               "          --watchdog MS --jobs N --csv\n");
+               "          --watchdog MS --jobs N --params FILE --csv\n");
   std::exit(2);
 }
 
@@ -63,14 +73,38 @@ Args parse(int argc, char** argv) {
       if (i + 1 >= argc) usage("option needs a value");
       return argv[++i];
     };
+    // Strict parsers: reject anything atof/atoll would have silently
+    // truncated or zeroed ("--cases 1o0" is an error, not one case).
+    const auto num = [&](const char* name) -> double {
+      const char* text = value();
+      const auto parsed = util::parse_double(text);
+      if (!parsed) {
+        std::fprintf(stderr, "easel: %s expects a number, got '%s'\n", name, text);
+        std::exit(2);
+      }
+      return *parsed;
+    };
+    const auto uint = [&](const char* name) -> std::uint64_t {
+      const char* text = value();
+      const auto parsed = util::parse_u64(text);
+      if (!parsed) {
+        std::fprintf(stderr, "easel: %s expects an unsigned integer, got '%s'\n", name, text);
+        std::exit(2);
+      }
+      return *parsed;
+    };
     if (is("--mass")) {
-      args.mass = std::atof(value());
+      args.mass = num("--mass");
     } else if (is("--velocity")) {
-      args.velocity = std::atof(value());
+      args.velocity = num("--velocity");
     } else if (is("--signal")) {
-      args.signal = static_cast<std::size_t>(std::atoi(value())) % 7;
+      const std::uint64_t signal = uint("--signal");
+      if (signal > 6) usage("--signal expects 0..6");
+      args.signal = static_cast<std::size_t>(signal);
     } else if (is("--bit")) {
-      args.bit = static_cast<unsigned>(std::atoi(value())) % 16;
+      const std::uint64_t bit = uint("--bit");
+      if (bit > 15) usage("--bit expects 0..15");
+      args.bit = static_cast<unsigned>(bit);
     } else if (is("--model")) {
       const std::string m = value();
       if (m == "flip") args.model = fi::FaultModel::bit_flip;
@@ -78,19 +112,34 @@ Args parse(int argc, char** argv) {
       else if (m == "sa0") args.model = fi::FaultModel::stuck_at_0;
       else usage("unknown fault model");
     } else if (is("--cases")) {
-      args.cases = static_cast<std::size_t>(std::atoll(value()));
+      args.cases = static_cast<std::size_t>(uint("--cases"));
     } else if (is("--obs-ms")) {
-      args.obs_ms = static_cast<std::uint32_t>(std::atoll(value()));
+      args.obs_ms = static_cast<std::uint32_t>(uint("--obs-ms"));
     } else if (is("--seed")) {
-      args.seed = static_cast<std::uint64_t>(std::atoll(value()));
+      args.seed = uint("--seed");
     } else if (is("--e2-seed")) {
-      args.e2_seed = static_cast<std::uint64_t>(std::atoll(value()));
+      args.e2_seed = uint("--e2-seed");
     } else if (is("--watchdog")) {
-      args.watchdog_ms = static_cast<std::uint32_t>(std::atoll(value()));
+      args.watchdog_ms = static_cast<std::uint32_t>(uint("--watchdog"));
     } else if (is("--jobs")) {
-      const long long jobs = std::atoll(value());
-      if (jobs <= 0) usage("--jobs expects a positive integer");
+      const std::uint64_t jobs = uint("--jobs");
+      if (jobs == 0) usage("--jobs expects a positive integer");
       args.jobs = static_cast<std::size_t>(jobs);
+    } else if (is("--params")) {
+      const char* path = value();
+      auto loaded = arrestor::load(path);
+      if (!loaded) {
+        std::fprintf(stderr, "easel: cannot load parameter set '%s'\n", path);
+        std::exit(2);
+      }
+      if (const auto validation = arrestor::validate(*loaded); !validation.ok()) {
+        std::fprintf(stderr, "easel: parameter set '%s' fails Table-1 validation:\n", path);
+        for (const auto& problem : validation.problems) {
+          std::fprintf(stderr, "  %s\n", problem.c_str());
+        }
+        std::exit(2);
+      }
+      args.params = std::make_shared<const arrestor::NodeParamSet>(std::move(*loaded));
     } else if (is("--csv")) {
       args.csv = true;
     } else {
@@ -98,6 +147,21 @@ Args parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// One-line parameter provenance for report headers.  Goes to stderr in CSV
+/// mode so machine-readable output stays clean.
+void print_params_header(const Args& args) {
+  const arrestor::NodeParamSet rom = arrestor::NodeParamSet::rom();
+  const arrestor::NodeParamSet& set = args.params ? *args.params : rom;
+  char line[256];
+  if (set.provenance == core::ParamProvenance::calibrated) {
+    std::snprintf(line, sizeof line, "params: calibrated (%s; margin %.2f)\n",
+                  set.origin.c_str(), set.margin);
+  } else {
+    std::snprintf(line, sizeof line, "params: hand-specified (%s)\n", set.origin.c_str());
+  }
+  std::fputs(line, args.csv ? stderr : stdout);
 }
 
 void print_run(const fi::RunConfig& config, const fi::RunResult& result, bool csv) {
@@ -138,6 +202,7 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.test_case_count = args.cases;
   options.observation_ms = args.obs_ms;
   options.jobs = args.jobs;
+  options.params = args.params;
   options.progress = [](std::size_t done, std::size_t total) {
     std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
     if (done == total) std::fprintf(stderr, "\n");
@@ -150,6 +215,8 @@ int cmd_golden(const Args& args) {
   config.test_case = {args.mass, args.velocity};
   config.observation_ms = args.obs_ms;
   config.watchdog_timeout_ms = args.watchdog_ms;
+  config.params = args.params;
+  print_params_header(args);
   print_run(config, fi::run_experiment(config), args.csv);
   return 0;
 }
@@ -162,6 +229,8 @@ int cmd_inject(const Args& args) {
   config.watchdog_timeout_ms = args.watchdog_ms;
   config.error = fi::make_e1_for_target()[*args.signal * 16 + *args.bit];
   config.error->model = args.model;
+  config.params = args.params;
+  print_params_header(args);
   print_run(config, fi::run_experiment(config), args.csv);
   return 0;
 }
@@ -173,6 +242,7 @@ int cmd_sweep(const Args& args) {
   fi::CampaignOptions options = campaign_options(args);
   if (args.cases == 25) options.test_case_count = 5;
   const auto cases = fi::campaign_test_cases(options);
+  print_params_header(args);
   if (args.csv) std::fputs(fi::run_csv_header().c_str(), stdout);
   else std::printf("per-bit sweep of %s over %zu cases:\n", arrestor::to_string(signal),
                    cases.size());
@@ -185,6 +255,7 @@ int cmd_sweep(const Args& args) {
       config.error = errors[*args.signal * 16 + bit];
       config.error->model = args.model;
       config.noise_seed = util::Rng{options.seed}.derive("sensor-noise", ci).seed();
+      config.params = args.params;
       const fi::RunResult r = fi::run_experiment(config);
       if (args.csv) std::fputs(fi::run_to_csv(config, r).c_str(), stdout);
       detected += r.detected ? 1 : 0;
@@ -199,6 +270,7 @@ int cmd_sweep(const Args& args) {
 }
 
 int cmd_e1(const Args& args) {
+  print_params_header(args);
   const fi::E1Results results = fi::run_e1(campaign_options(args));
   if (args.csv) {
     std::fputs(fi::e1_to_csv(results).c_str(), stdout);
@@ -210,6 +282,7 @@ int cmd_e1(const Args& args) {
 }
 
 int cmd_e2(const Args& args) {
+  print_params_header(args);
   fi::CampaignOptions options = campaign_options(args);
   options.seed = args.e2_seed != 2000 ? args.e2_seed : args.seed;
   const fi::E2Results results = fi::run_e2(options);
@@ -231,6 +304,12 @@ int cmd_errors(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
+  if (!trace::Recorder::compiled_in()) {
+    std::fprintf(stderr,
+                 "easel: this build has the trace hook compiled out "
+                 "(rebuild with -DEASEL_TRACE=ON)\n");
+    return 1;
+  }
   fi::RunConfig config;
   config.test_case = {args.mass, args.velocity};
   config.observation_ms = args.obs_ms == sim::kObservationMs ? 20000 : args.obs_ms;
@@ -238,12 +317,13 @@ int cmd_trace(const Args& args) {
     config.error = fi::make_e1_for_target()[*args.signal * 16 + *args.bit];
     config.error->model = args.model;
   }
-  fi::TraceRecorder recorder{10};
+  config.params = args.params;
+  trace::Recorder recorder;
   config.trace = &recorder;
   const fi::RunResult result = fi::run_experiment(config);
   std::fprintf(stderr, "detected=%d failed=%d stop=%.1fm\n", result.detected ? 1 : 0,
                result.failed ? 1 : 0, result.final_position_m);
-  std::fputs(recorder.to_csv().c_str(), stdout);
+  std::fputs(trace::to_csv(recorder.snapshot(), 10).c_str(), stdout);
   return 0;
 }
 
