@@ -8,6 +8,8 @@
 //                   are bit-identical for any value)
 //   --out-dir DIR   directory for campaign caches and BENCH_*.json
 //   --quick         shorthand for --cases 2 --obs-ms 12000 (smoke-test scale)
+//   --no-prune      disable fault-space pruning (byte-identical, just slower)
+//   --verify-prune F  re-execute fraction F of pruned runs and assert equality
 //
 // Environment equivalents, so "for b in build/bench/*; do $b; done" can be
 // scaled from the outside: EASEL_QUICK (any non-empty value), EASEL_JOBS,
@@ -25,6 +27,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "fi/campaign.hpp"
 #include "util/thread_pool.hpp"
@@ -98,12 +101,25 @@ inline easel::fi::CampaignOptions parse_options(int argc, char** argv) {
       options.seed = parse_positive("--seed", value("--seed"));
     } else if (is("--jobs")) {
       options.jobs = static_cast<std::size_t>(parse_positive("--jobs", value("--jobs")));
+    } else if (is("--no-prune")) {
+      options.prune = false;
+    } else if (is("--verify-prune")) {
+      const char* text = value("--verify-prune");
+      char* end = nullptr;
+      errno = 0;
+      const double fraction = std::strtod(text, &end);
+      if (end == text || *end != '\0' || errno != 0 || fraction < 0.0 || fraction > 1.0) {
+        std::fprintf(stderr, "easel bench: --verify-prune expects a fraction in [0,1], got '%s'\n",
+                     text);
+        std::exit(2);
+      }
+      options.verify_prune = fraction;
     } else if (is("--out-dir")) {
       out_dir_storage() = value("--out-dir");
     } else {
       std::fprintf(stderr,
                    "unknown option '%s' (supported: --quick --cases N --obs-ms N --seed N "
-                   "--jobs N --out-dir DIR)\n",
+                   "--jobs N --no-prune --verify-prune F --out-dir DIR)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -154,19 +170,35 @@ class WallTimer {
 
 /// Appends one record to <out-dir>/BENCH_campaigns.json (a JSON array,
 /// rewritten in place), so campaign throughput is tracked machine-readably
-/// across invocations and PRs.
+/// across invocations and PRs.  Every record carries the worker count, the
+/// host's core count, and the pruning mode, so trajectories stay comparable
+/// across machines and configurations; when the campaign actually executed
+/// (not cached), the pruning breakdown says where the run budget went.
 inline void record_campaign(const char* bench, const easel::fi::CampaignOptions& options,
                             const std::string& key, std::size_t runs, double wall_seconds,
-                            bool cached) {
+                            bool cached, const easel::fi::PruneStats* prune_stats = nullptr) {
   std::ostringstream entry;
   entry << "  {\"bench\": \"" << bench << "\", \"key\": \"" << key
-        << "\", \"jobs\": " << options.jobs << ", \"cases\": " << options.test_case_count
+        << "\", \"jobs\": " << options.jobs
+        << ", \"host_cores\": " << std::thread::hardware_concurrency()
+        << ", \"prune\": " << (options.prune ? "true" : "false")
+        << ", \"cases\": " << options.test_case_count
         << ", \"obs_ms\": " << options.observation_ms << ", \"runs\": " << runs
         << ", \"wall_s\": " << wall_seconds << ", \"runs_per_sec\": "
         << (wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0)
         << ", \"ms_per_run\": "
         << (runs > 0 ? wall_seconds * 1000.0 / static_cast<double>(runs) : 0.0)
-        << ", \"cached\": " << (cached ? "true" : "false") << "}";
+        << ", \"cached\": " << (cached ? "true" : "false");
+  if (!cached && prune_stats != nullptr) {
+    entry << ", \"runs_executed\": " << prune_stats->runs_executed
+          << ", \"runs_synthesized\": " << prune_stats->runs_synthesized
+          << ", \"runs_early_exited\": " << prune_stats->runs_early_exited
+          << ", \"runs_deduped\": " << prune_stats->runs_deduped
+          << ", \"runs_collapsed\": " << prune_stats->runs_collapsed
+          << ", \"runs_verified\": " << prune_stats->runs_verified
+          << ", \"golden_passes\": " << prune_stats->golden_passes;
+  }
+  entry << "}";
 
   const std::string path = out_dir() + "/BENCH_campaigns.json";
   std::string existing;

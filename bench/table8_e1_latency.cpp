@@ -12,7 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace easel;
-  const fi::CampaignOptions options = bench::parse_options(argc, argv);
+  fi::CampaignOptions options = bench::parse_options(argc, argv);
+  fi::PruneStats prune_stats;
+  options.prune_stats = &prune_stats;
   const std::string key = fi::campaign_key(options);
   const std::string cache = bench::e1_cache_path();
 
@@ -32,7 +34,7 @@ int main(int argc, char** argv) {
     save_e1(results, cache, key);
   }
   bench::record_campaign("table8_e1_latency", options, key, results.runs, timer.seconds(),
-                         cached);
+                         cached, &prune_stats);
 
   std::printf("%s\n", fi::render_table8(results).c_str());
   const auto& all = results.totals[fi::kAllVersion].latency;

@@ -17,7 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace easel;
-  const fi::CampaignOptions options = bench::parse_options(argc, argv);
+  fi::CampaignOptions options = bench::parse_options(argc, argv);
+  fi::PruneStats prune_stats;
+  options.prune_stats = &prune_stats;
   const std::string key = fi::e2_campaign_key(options);
   const std::string cache = bench::e2_cache_path();
 
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
     save_e2(results, cache, key);
   }
   bench::record_campaign("table9_e2_random", options, key, results.runs, timer.seconds(),
-                         cached);
+                         cached, &prune_stats);
 
   std::printf("%s\n", fi::render_table9(results).c_str());
   std::printf("%s\n", fi::render_e2_summary(results).c_str());

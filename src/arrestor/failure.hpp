@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "sim/environment.hpp"
+#include "util/hash.hpp"
 
 namespace easel::arrestor {
 
@@ -99,6 +100,22 @@ class FailureClassifier {
   [[nodiscard]] double final_position_m() const noexcept { return final_position_; }
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
   [[nodiscard]] std::uint64_t stop_time_ms() const noexcept { return stop_ms_; }
+
+  /// Folds the classifier's latched state into a fingerprint, for the
+  /// campaign engine's convergence early-exit.  Covers every mutable member
+  /// — the latches and peaks feed the run result directly, so a splice is
+  /// only sound when they already agree with the golden trajectory (the
+  /// run-constant force limit is excluded).
+  void mix_state(util::StateHash& hash) const noexcept {
+    hash.mix_u64(static_cast<std::uint64_t>(first_));
+    hash.mix_u64(failure_ms_);
+    hash.mix_double(peak_g_);
+    hash.mix_double(peak_force_);
+    hash.mix_double(final_position_);
+    hash.mix_bool(stopped_);
+    hash.mix_u64(stop_ms_);
+    hash.mix_bool(moved_);
+  }
 
  private:
   double limit_n_;

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "fi/run_context.hpp"
@@ -56,23 +59,26 @@ std::uint64_t noise_seed(const CampaignOptions& options, std::size_t case_index)
   return util::Rng{options.seed}.derive("sensor-noise", case_index).seed();
 }
 
-void account(Cell& cell, const RunResult& result) {
-  cell.detection.add(result.detected, result.failed);
-  if (result.detected) cell.latency.add(result.latency_ms);
+void account(Cell& cell, const RunResult& result, std::uint64_t weight) {
+  cell.detection.add(result.detected, result.failed, weight);
+  if (result.detected) cell.latency.add(result.latency_ms, weight);
 }
 
 /// Shared progress plumbing for the parallel drivers: workers bump an
 /// atomic counter per finished run; the callback fires (under a mutex, with
-/// monotonically increasing `done`) every 200 runs and at completion — the
-/// same cadence the serial engine always had.
+/// monotonically increasing `done`) roughly every 200 runs and at completion
+/// — the same cadence the serial engine always had.  add(n) lets the pruned
+/// engine report a collapsed representative as its whole weight at once.
 class Progress {
  public:
   Progress(const CampaignOptions& options, std::size_t total)
       : callback_(options.progress), total_(total) {}
 
-  void tick() {
-    const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (!callback_ || (done % 200 != 0 && done != total_)) return;
+  void tick() { add(1); }
+
+  void add(std::size_t count) {
+    const std::size_t done = done_.fetch_add(count, std::memory_order_relaxed) + count;
+    if (!callback_ || (done / 200 == (done - count) / 200 && done != total_)) return;
     const std::lock_guard<std::mutex> lock{mutex_};
     if (done <= reported_) return;  // a slower worker finished a later batch first
     reported_ = done;
@@ -88,8 +94,8 @@ class Progress {
 };
 
 /// Runs `total` runs across a worker pool: build_config(index) describes the
-/// run, account(partials[worker], result, index) books it.  Partials are
-/// merged into partials[0] in fixed worker order, so the outcome is
+/// run, account(partials[worker], result, index, weight) books it.  Partials
+/// are merged into partials[0] in fixed worker order, so the outcome is
 /// bit-identical for any job count (each run is a pure function of its
 /// config, and all accumulators are order-independent integer aggregates).
 /// Each worker owns a RunContext and reuses its rig across runs (bit-
@@ -107,12 +113,320 @@ Results run_campaign(const CampaignOptions& options, std::size_t total,
   pool.parallel_for(total, /*chunk=*/25, [&](std::size_t index, std::size_t worker) {
     const RunConfig config = build_config(index);
     const RunResult result = contexts[worker].run(config);
-    account_run(partials[worker], result, index);
+    account_run(partials[worker], result, index, std::uint64_t{1});
     ++partials[worker].runs;
     progress.tick();
   });
 
   for (std::size_t w = 1; w < partials.size(); ++w) partials[0].merge(partials[w]);
+  if (options.prune_stats != nullptr) {
+    *options.prune_stats = PruneStats{};
+    options.prune_stats->runs_executed = total;
+  }
+  return partials[0];
+}
+
+/// Observer collapse (fi/prune.hpp): reconstructs software version `mask`'s
+/// RunResult from the all-assertions representative run.  Detection fields
+/// are the representative's per-EA statistics restricted to the mask;
+/// every other field is trajectory-derived and the trajectory is
+/// version-invariant under RecoveryPolicy::none, so it is copied verbatim.
+RunResult derive_version(const RunResult& rep, const CollapsedDetections& per_signal,
+                         arrestor::EaMask mask) {
+  RunResult result = rep;
+  result.detected = false;
+  result.detection_count = 0;
+  result.first_detection_ms = 0;
+  result.latency_ms = 0;
+  // The injection instant the representative measured latency against
+  // (0 for the campaigns' from-the-start schedule, and for golden traces).
+  const std::uint64_t injected_at =
+      rep.detected ? rep.first_detection_ms - rep.latency_ms : 0;
+  bool any = false;
+  std::uint64_t first = 0;
+  for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+    const SignalDetections& sd = per_signal[idx];
+    if (sd.count == 0 ||
+        (mask & arrestor::ea_bit(static_cast<arrestor::MonitoredSignal>(idx))) == 0) {
+      continue;
+    }
+    result.detection_count += sd.count;
+    if (!any || sd.first_ms < first) {
+      first = sd.first_ms;
+      any = true;
+    }
+  }
+  if (any) {
+    result.detected = true;
+    result.first_detection_ms = first;
+    result.latency_ms = first >= injected_at ? first - injected_at : 0;
+  }
+  return result;
+}
+
+/// The E1 engine under observer collapse: per (error, test case), execute
+/// ONLY the all-assertions version (itself def/use-synthesized or
+/// convergence-exited when provable) and derive the seven single-assertion
+/// versions' results from its per-EA detection statistics — 8 structural
+/// versions, 1 execution.  Sound because campaigns run
+/// RecoveryPolicy::none, under which assertions are pure observers (they
+/// never write anything the application, plant, or classifier reads), so
+/// the faulted trajectory — and with it every non-detection result field —
+/// is identical across versions, and the detection bus tracks exact
+/// per-monitor counts/first-times.  The def/use verdict transfers to the
+/// derived versions too: a single-EA rig's accesses to the error byte are
+/// a subset of the all-assertions rig's (same application accesses, fewer
+/// monitor reads, identical signal writes).  verify_prune re-executes
+/// sampled derived runs under their true version mask, so the collapse
+/// argument itself is machine-checked, not just argued.
+template <typename BuildConfig, typename Account>
+E1Results run_e1_collapsed(const CampaignOptions& options,
+                           const std::array<arrestor::EaMask, kVersionCount>& versions,
+                           const std::vector<ErrorSpec>& errors, std::size_t cases,
+                           const BuildConfig& build_config, const Account& account_run) {
+  util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
+  const std::size_t stride = errors.size() * cases;  // dense-index span of one version
+  const std::size_t total = kVersionCount * stride;
+  Progress progress{options, total};
+
+  // --- Stage 1: one instrumented golden pass per test case (the
+  // all-assertions rig covers every version's access pattern) ---
+  const TargetInfo target = probe_target();
+  const std::size_t image_bytes = target.ram_bytes + target.stack_bytes;
+  std::vector<GoldenTrace> traces(cases);
+  std::vector<ErrorVerdict> verdicts(errors.size() * cases);
+  {
+    std::vector<RunContext> contexts(pool.workers());
+    pool.parallel_for(cases, /*chunk=*/1, [&](std::size_t ci, std::size_t worker) {
+      RunConfig golden = build_config(kAllVersion * stride + ci);
+      golden.error.reset();
+      mem::AccessProbe probe{image_bytes, options.observation_ms};
+      for (const ErrorSpec& error : errors) probe.watch(error.address);
+      (void)contexts[worker].run_golden(golden, probe, traces[ci]);
+      for (std::size_t e = 0; e < errors.size(); ++e) {
+        verdicts[e * cases + ci] = classify_error(probe, errors[e],
+                                                  options.injection_period_ms,
+                                                  options.observation_ms);
+      }
+    });
+  }
+
+  // --- Stage 2: one representative run per (error, case), all versions
+  // accounted from it ---
+  std::vector<E1Results> partials(pool.workers());
+  std::vector<PruneStats> stats(pool.workers());
+  std::vector<RunContext> contexts(pool.workers());
+  const util::Rng verify_root{options.seed};
+
+  pool.parallel_for(stride, /*chunk=*/4, [&](std::size_t item, std::size_t worker) {
+    const std::size_t ci = item % cases;
+    const std::size_t e = item / cases;
+    PruneStats& st = stats[worker];
+    const GoldenTrace& trace = traces[ci];
+    const ErrorVerdict verdict = verdicts[e * cases + ci];
+
+    RunResult rep;
+    CollapsedDetections per_signal;
+    bool rep_pruned = false;
+    if (verdict.synthesize) {
+      rep = trace.result;
+      rep.injections =
+          expected_injections(options.injection_period_ms, options.observation_ms);
+      per_signal = trace.per_signal;  // faulted ≡ golden, detections included
+      ++st.runs_synthesized;
+      rep_pruned = true;
+    } else {
+      bool early_exited = false;
+      rep = contexts[worker].run_converging(build_config(kAllVersion * stride + item),
+                                            trace, verdict.tail_clean_from, early_exited);
+      per_signal = contexts[worker].last_signal_detections();
+      if (early_exited) {
+        ++st.runs_early_exited;
+        rep_pruned = true;
+      } else {
+        ++st.runs_executed;
+      }
+    }
+
+    for (std::size_t v = 0; v < kVersionCount; ++v) {
+      const std::size_t index = v * stride + item;
+      const RunResult result =
+          v == kAllVersion ? rep : derive_version(rep, per_signal, versions[v]);
+      if (v != kAllVersion) ++st.runs_collapsed;
+      const bool pruned = v != kAllVersion || rep_pruned;
+      if (pruned && options.verify_prune > 0.0) {
+        util::Rng coin = verify_root.derive("verify-prune", index);
+        if (coin.bernoulli(options.verify_prune)) {
+          const RunConfig config = build_config(index);
+          const RunResult truth = contexts[worker].run(config);
+          if (!(truth == result)) {
+            throw std::runtime_error{
+                "verify-prune: pruned result diverges from full execution at run index " +
+                std::to_string(index) + " (error '" + config.error->label + "')"};
+          }
+          ++st.runs_verified;
+        }
+      }
+      account_run(partials[worker], result, index, std::uint64_t{1});
+      ++partials[worker].runs;
+    }
+    progress.add(kVersionCount);
+  });
+
+  for (std::size_t w = 1; w < partials.size(); ++w) partials[0].merge(partials[w]);
+  if (options.prune_stats != nullptr) {
+    PruneStats merged;
+    for (const PruneStats& st : stats) merged.merge(st);
+    merged.golden_passes = cases;
+    *options.prune_stats = merged;
+  }
+  return partials[0];
+}
+
+/// The pruning engine.  Dense index layout (shared with the unpruned
+/// drivers): index = (group * |errors| + error) * |cases| + case, where a
+/// "group" is a structural rig configuration (E1: the eight software
+/// versions; E2: one).  Three-stage plan:
+///
+///   1. Dedup: map every error to the first error with the same
+///      (address, bit, model); duplicates (E2 samples with replacement)
+///      are accounted as their representative's result with a weight.
+///   2. Golden passes, parallel over (group, case): one instrumented run
+///      each, yielding the GoldenTrace plus a per-error ErrorVerdict.
+///   3. Planned runs, parallel over the dense index: synthesize, run with
+///      convergence early-exit, or run in full; account with the dedup
+///      weight.  verify_prune re-executes a seeded sample of pruned runs
+///      and throws on any result mismatch (surfaced by the pool's
+///      exception rethrow).
+///
+/// Equivalence argument: every synthesized/spliced result equals the full
+/// run's result field-for-field (fi/prune.hpp), duplicates are config-
+/// identical up to their label (which no run reads), and all accumulators
+/// are weight-linear integer aggregates merged in fixed worker order — so
+/// the merged Results are byte-identical to the unpruned engine's at any
+/// jobs count.
+template <typename Results, typename BuildConfig, typename Account>
+Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
+                            const std::vector<ErrorSpec>& errors, std::size_t cases,
+                            const BuildConfig& build_config, const Account& account_run) {
+  util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
+  const std::size_t total = groups * errors.size() * cases;
+  Progress progress{options, total};
+
+  // --- Stage 1: representatives and multiplicities ---
+  // Two errors collapse when they are the same physical fault AND account
+  // into the same buckets: the key carries the E1 provenance fields because
+  // the accounting callbacks bucket by signal (labels are display-only and
+  // excluded — that is exactly the E2 with-replacement duplicate case).
+  std::vector<std::size_t> rep(errors.size());
+  std::vector<std::uint64_t> mult(errors.size(), 0);
+  {
+    std::map<std::tuple<std::size_t, unsigned, FaultModel,
+                        std::optional<arrestor::MonitoredSignal>, unsigned>,
+             std::size_t>
+        first_of;
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+      const auto [it, inserted] =
+          first_of.try_emplace(std::make_tuple(errors[e].address, errors[e].bit,
+                                               errors[e].model, errors[e].signal,
+                                               errors[e].signal_bit),
+                               e);
+      rep[e] = it->second;
+      ++mult[it->second];
+    }
+  }
+
+  // --- Stage 2: golden passes + verdicts, parallel over (group, case) ---
+  const TargetInfo target = probe_target();
+  const std::size_t image_bytes = target.ram_bytes + target.stack_bytes;
+  std::vector<GoldenTrace> traces(groups * cases);
+  std::vector<ErrorVerdict> verdicts(groups * errors.size() * cases);
+  {
+    std::vector<RunContext> contexts(pool.workers());
+    pool.parallel_for(groups * cases, /*chunk=*/1, [&](std::size_t gi, std::size_t worker) {
+      const std::size_t g = gi / cases;
+      const std::size_t ci = gi % cases;
+      RunConfig golden = build_config(g * errors.size() * cases + ci);
+      golden.error.reset();
+      mem::AccessProbe probe{image_bytes, options.observation_ms};
+      for (std::size_t e = 0; e < errors.size(); ++e) {
+        if (rep[e] == e) probe.watch(errors[e].address);
+      }
+      (void)contexts[worker].run_golden(golden, probe, traces[gi]);
+      for (std::size_t e = 0; e < errors.size(); ++e) {
+        if (rep[e] != e) continue;
+        verdicts[(g * errors.size() + e) * cases + ci] = classify_error(
+            probe, errors[e], options.injection_period_ms, options.observation_ms);
+      }
+    });
+  }
+
+  // --- Stage 3: planned runs ---
+  std::vector<Results> partials(pool.workers());
+  std::vector<PruneStats> stats(pool.workers());
+  std::vector<RunContext> contexts(pool.workers());
+  const util::Rng verify_root{options.seed};
+
+  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t index, std::size_t worker) {
+    const std::size_t ci = index % cases;
+    const std::size_t e = (index / cases) % errors.size();
+    const std::size_t g = index / (cases * errors.size());
+    PruneStats& st = stats[worker];
+    if (rep[e] != e) {
+      // Accounted (and progress-reported) by the representative's run.
+      ++st.runs_deduped;
+      return;
+    }
+    const std::uint64_t weight = mult[e];
+    const GoldenTrace& trace = traces[g * cases + ci];
+    const ErrorVerdict verdict = verdicts[(g * errors.size() + e) * cases + ci];
+    const RunConfig config = build_config(index);
+
+    RunResult result;
+    bool pruned = false;
+    if (verdict.synthesize) {
+      result = trace.result;
+      result.injections =
+          expected_injections(options.injection_period_ms, options.observation_ms);
+      ++st.runs_synthesized;
+      pruned = true;
+    } else {
+      bool early_exited = false;
+      result = contexts[worker].run_converging(config, trace, verdict.tail_clean_from,
+                                               early_exited);
+      if (early_exited) {
+        ++st.runs_early_exited;
+        pruned = true;
+      } else {
+        ++st.runs_executed;
+      }
+    }
+
+    if (pruned && options.verify_prune > 0.0) {
+      util::Rng coin = verify_root.derive("verify-prune", index);
+      if (coin.bernoulli(options.verify_prune)) {
+        const RunResult truth = contexts[worker].run(config);
+        if (!(truth == result)) {
+          throw std::runtime_error{
+              "verify-prune: pruned result diverges from full execution at run index " +
+              std::to_string(index) + " (error '" + config.error->label + "')"};
+        }
+        ++st.runs_verified;
+      }
+    }
+
+    account_run(partials[worker], result, index, weight);
+    partials[worker].runs += weight;
+    progress.add(weight);
+  });
+
+  for (std::size_t w = 1; w < partials.size(); ++w) partials[0].merge(partials[w]);
+  if (options.prune_stats != nullptr) {
+    PruneStats merged;
+    for (const PruneStats& st : stats) merged.merge(st);
+    merged.golden_passes = groups * cases;
+    *options.prune_stats = merged;
+  }
   return partials[0];
 }
 
@@ -124,31 +438,44 @@ E1Results run_e1(const CampaignOptions& options) {
   const auto versions = paper_versions();
 
   // Dense run index: ((version * errors + error) * cases + case).
+  const auto build_config = [&](std::size_t index) {
+    const std::size_t ci = index % cases.size();
+    const std::size_t e = (index / cases.size()) % errors.size();
+    const std::size_t v = index / (cases.size() * errors.size());
+    RunConfig config;
+    config.test_case = cases[ci];
+    config.assertions = versions[v];
+    config.recovery = options.recovery;
+    config.error = errors[e];
+    config.injection_period_ms = options.injection_period_ms;
+    config.observation_ms = options.observation_ms;
+    config.noise_seed = noise_seed(options, ci);
+    config.params = options.params;
+    return config;
+  };
+  const auto account_run = [&](E1Results& partial, const RunResult& result,
+                               std::size_t index, std::uint64_t weight) {
+    const std::size_t e = (index / cases.size()) % errors.size();
+    const std::size_t v = index / (cases.size() * errors.size());
+    const auto signal_idx = static_cast<std::size_t>(*errors[e].signal);
+    account(partial.cells[signal_idx][v], result, weight);
+    account(partial.totals[v], result, weight);
+  };
+
+  if (options.prune) {
+    // Observer collapse needs pure-observer assertions; any active recovery
+    // policy writes recovered values back into signals the application
+    // reads, making the trajectory version-dependent — fall back to the
+    // per-version pruned engine (results stay byte-identical either way).
+    if (options.recovery == core::RecoveryPolicy::none) {
+      return run_e1_collapsed(options, versions, errors, cases.size(), build_config,
+                              account_run);
+    }
+    return run_campaign_pruned<E1Results>(options, versions.size(), errors, cases.size(),
+                                          build_config, account_run);
+  }
   const std::size_t total = versions.size() * errors.size() * cases.size();
-  return run_campaign<E1Results>(
-      options, total,
-      [&](std::size_t index) {
-        const std::size_t ci = index % cases.size();
-        const std::size_t e = (index / cases.size()) % errors.size();
-        const std::size_t v = index / (cases.size() * errors.size());
-        RunConfig config;
-        config.test_case = cases[ci];
-        config.assertions = versions[v];
-        config.recovery = options.recovery;
-        config.error = errors[e];
-        config.injection_period_ms = options.injection_period_ms;
-        config.observation_ms = options.observation_ms;
-        config.noise_seed = noise_seed(options, ci);
-        config.params = options.params;
-        return config;
-      },
-      [&](E1Results& partial, const RunResult& result, std::size_t index) {
-        const std::size_t e = (index / cases.size()) % errors.size();
-        const std::size_t v = index / (cases.size() * errors.size());
-        const auto signal_idx = static_cast<std::size_t>(*errors[e].signal);
-        account(partial.cells[signal_idx][v], result);
-        account(partial.totals[v], result);
-      });
+  return run_campaign<E1Results>(options, total, build_config, account_run);
 }
 
 E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
@@ -157,36 +484,40 @@ E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
                                          ram_errors, stack_errors);
   const auto cases = campaign_test_cases(options);
 
+  const auto build_config = [&](std::size_t index) {
+    const std::size_t ci = index % cases.size();
+    const std::size_t e = index / cases.size();
+    RunConfig config;
+    config.test_case = cases[ci];
+    config.assertions = arrestor::kAllAssertions;
+    config.recovery = options.recovery;
+    config.error = errors[e];
+    config.injection_period_ms = options.injection_period_ms;
+    config.observation_ms = options.observation_ms;
+    config.noise_seed = noise_seed(options, ci);
+    config.params = options.params;
+    return config;
+  };
+  const auto account_run = [&](E2Results& partial, const RunResult& result,
+                               std::size_t index, std::uint64_t weight) {
+    const std::size_t e = index / cases.size();
+    AreaResults& area = errors[e].region == mem::Region::ram ? partial.ram : partial.stack;
+    for (AreaResults* bucket : {&area, &partial.total}) {
+      bucket->detection.add(result.detected, result.failed, weight);
+      if (result.detected) {
+        bucket->latency_all.add(result.latency_ms, weight);
+        bucket->histogram.add(result.latency_ms, weight);
+        if (result.failed) bucket->latency_fail.add(result.latency_ms, weight);
+      }
+    }
+  };
+
+  if (options.prune) {
+    return run_campaign_pruned<E2Results>(options, /*groups=*/1, errors, cases.size(),
+                                          build_config, account_run);
+  }
   const std::size_t total = errors.size() * cases.size();
-  return run_campaign<E2Results>(
-      options, total,
-      [&](std::size_t index) {
-        const std::size_t ci = index % cases.size();
-        const std::size_t e = index / cases.size();
-        RunConfig config;
-        config.test_case = cases[ci];
-        config.assertions = arrestor::kAllAssertions;
-        config.recovery = options.recovery;
-        config.error = errors[e];
-        config.injection_period_ms = options.injection_period_ms;
-        config.observation_ms = options.observation_ms;
-        config.noise_seed = noise_seed(options, ci);
-        config.params = options.params;
-        return config;
-      },
-      [&](E2Results& partial, const RunResult& result, std::size_t index) {
-        const std::size_t e = index / cases.size();
-        AreaResults& area =
-            errors[e].region == mem::Region::ram ? partial.ram : partial.stack;
-        for (AreaResults* bucket : {&area, &partial.total}) {
-          bucket->detection.add(result.detected, result.failed);
-          if (result.detected) {
-            bucket->latency_all.add(result.latency_ms);
-            bucket->histogram.add(result.latency_ms);
-            if (result.failed) bucket->latency_fail.add(result.latency_ms);
-          }
-        }
-      });
+  return run_campaign<E2Results>(options, total, build_config, account_run);
 }
 
 // ---------------------------------------------------------------------------

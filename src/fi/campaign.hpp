@@ -12,6 +12,11 @@
 // RunConfig (seeding derives from (seed, case index), never from execution
 // order), workers accumulate into per-worker partial results, and partials
 // are merged in fixed worker order — so jobs=1 and jobs=N are bit-identical.
+// They are likewise invariant under options.prune: the pruning engine
+// (fi/prune.hpp) only skips or truncates runs whose results it can prove,
+// and replicates collapsed runs with exact integer weights, so pruned and
+// unpruned campaigns produce byte-identical tables (options.verify_prune
+// re-executes a sample of pruned runs to enforce this at run time).
 // A thread-safe progress callback reports completed runs.
 #pragma once
 
@@ -23,9 +28,11 @@
 #include <string>
 
 #include "fi/experiment.hpp"
+#include "fi/prune.hpp"
 #include "stats/estimator.hpp"
 #include "stats/histogram.hpp"
 #include "stats/latency.hpp"
+#include "util/thread_pool.hpp"
 
 namespace easel::fi {
 
@@ -35,7 +42,29 @@ struct CampaignOptions {
   std::uint32_t observation_ms = sim::kObservationMs;
   std::uint32_t injection_period_ms = 20;
   core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
-  std::size_t jobs = 1;               ///< worker threads; results invariant under this
+
+  /// Worker threads; results invariant under this.  Defaults to the host's
+  /// core count (0 means the same), matching the CLI — library callers get
+  /// parallelism without opting in.
+  std::size_t jobs = util::default_jobs();
+
+  /// Fault-space pruning (def/use synthesis, dedup collapse, convergence
+  /// early-exit, E1 observer collapse; see fi/prune.hpp).  Produces
+  /// byte-identical results to the
+  /// unpruned engine — which is why the cache key ignores this flag — so
+  /// `false` exists for verification and benchmarking, not correctness.
+  bool prune = true;
+
+  /// When pruning: probability in [0, 1] of re-executing each pruned
+  /// (synthesized or early-exited) run in full and asserting field-exact
+  /// result equality; a mismatch throws std::runtime_error.  The sample is
+  /// a pure function of (seed, run index), so it is reproducible and
+  /// jobs-invariant.  0 disables verification.
+  double verify_prune = 0.0;
+
+  /// Optional out-param: where the engine reports how the run budget was
+  /// spent.  The unpruned engine reports every run as executed.
+  PruneStats* prune_stats = nullptr;
 
   /// Assertion parameters for every run (nullptr = hand-specified ROM
   /// values).  The calibration sweep re-runs E1 under learned sets; the
@@ -112,8 +141,8 @@ struct E2Results {
 // campaign another harness already executed (Table 8 reuses Table 7's E1;
 // a second Table 9 invocation reuses its own E2).  A file saved under one
 // key only loads under the same key; the key encodes everything the result
-// depends on — scale and seed, but deliberately NOT `jobs`, because results
-// are invariant under the job count.
+// depends on — scale and seed, but deliberately NOT `jobs` or `prune`,
+// because results are invariant under the job count and the pruning mode.
 // ---------------------------------------------------------------------------
 
 /// Cache key for an E1 campaign configuration.

@@ -1,0 +1,64 @@
+#include "fi/prune.hpp"
+
+namespace easel::fi {
+
+// The residency automaton.  For a periodically XOR-injected bit, define the
+// fault state f(t) = "the target byte differs from the golden run's value at
+// the start of tick t".  While the faulted run has made exactly the golden
+// run's accesses (no read has observed the flip yet), f evolves by:
+//
+//   1. injection instant (t ≡ 0 mod period): f ^= 1 — XOR toggles residency
+//      (re-injecting onto a resident flip restores the golden value);
+//   2. the golden run reads the byte before writing it in tick t and f = 1:
+//      the run OBSERVES the flip — divergence is possible, the proof stops;
+//   3. the golden run writes the byte in tick t: f = 0 — the faulted run
+//      performs the same store (it is still tracking golden), erasing the
+//      difference.
+//
+// Within-tick ordering is exact: the injector fires before the node runs
+// (step 1 first), and the probe's read-before-write bit ignores reads that
+// follow a covering write in the same tick (steps 2/3).  The injector's own
+// read-modify-write is step 1 itself, not an observation.
+//
+// harmful[f] is the backward DP "some tick in [t, observation) observes the
+// flip, given residency f at the start of tick t".  classify_error sweeps
+// t from the end: synthesize = !harmful[0] at t = 0, and each checkpoint C
+// records whether a clean restart (f = 0, the only state a fingerprint
+// match permits — a resident flip differs from golden in the hashed image)
+// stays unobserved through the end.
+ErrorVerdict classify_error(const mem::AccessProbe& probe, const ErrorSpec& error,
+                            std::uint32_t period_ms, std::uint32_t observation_ms) {
+  ErrorVerdict verdict;  // default: never prune
+  if (error.model != FaultModel::bit_flip || period_ms == 0 ||
+      !probe.watched(error.address) || observation_ms > probe.ticks()) {
+    return verdict;
+  }
+
+  bool harmful[2] = {false, false};
+  bool suffix_clean = true;
+  for (std::uint64_t t = observation_ms; t-- > 0;) {
+    const bool inject = t % period_ms == 0;
+    const bool rbw = probe.read_before_write(error.address, t);
+    const bool written = probe.written(error.address, t);
+    bool at_t[2];
+    for (unsigned f = 0; f < 2; ++f) {
+      const unsigned resident = inject ? f ^ 1u : f;
+      if (resident == 1 && rbw) {
+        at_t[f] = true;
+        continue;
+      }
+      at_t[f] = harmful[written ? 0 : resident];
+    }
+    harmful[0] = at_t[0];
+    harmful[1] = at_t[1];
+
+    if (t > 0 && t % kCheckpointPeriodTicks == 0) {
+      suffix_clean = suffix_clean && !harmful[0];
+      if (suffix_clean) verdict.tail_clean_from = t;
+    }
+  }
+  verdict.synthesize = !harmful[0];
+  return verdict;
+}
+
+}  // namespace easel::fi

@@ -1,0 +1,157 @@
+// Fault-space pruning for the injection campaigns.
+//
+// A campaign executes |versions| x |errors| x |cases| runs, but a large
+// fraction are provably outcome-equivalent to the fault-free (golden) run or
+// to each other.  This header holds the planner that proves it:
+//
+//   * Def/use pruning.  A periodically re-injected bit flip only influences
+//     the run when some instruction READS the faulty byte while the flip is
+//     resident; a flip that is always overwritten before being read leaves
+//     every architecturally-visible value equal to the golden run's.  One
+//     instrumented golden pass per (software version, test case) records,
+//     via mem::AccessProbe, which ticks read each injectable byte before
+//     writing it; classify_error() then walks the injection schedule through
+//     that trace and, if no read can ever observe the flip, the run is
+//     *synthesized* from the golden result without executing.
+//
+//   * Convergence early-exit.  A run that does activate can still fall back
+//     onto the golden trajectory (the flip was overwritten after being read
+//     into a value that itself got recomputed).  The golden pass records a
+//     state fingerprint every kCheckpointPeriodTicks; a faulted run
+//     (RunContext::run_converging) compares its own fingerprint at the same
+//     checkpoints and, once they match AND classify_error() proved every
+//     remaining injection harmless (tail_clean_from), terminates and splices
+//     the golden tail.
+//
+//   * Dedup collapse.  E2 samples errors with replacement, so identical
+//     (address, bit, model) errors appear multiple times; the campaign
+//     driver executes one representative and replicates its result with a
+//     multiplicity weight (exact: all aggregates are weight-linear).
+//
+//   * Observer collapse (E1).  Under RecoveryPolicy::none the executable
+//     assertions are pure observers: they read signals, update their own
+//     image-resident slots, and report — nothing the application or the
+//     plant ever reads back.  The faulted trajectory is therefore identical
+//     across the eight software versions, and the detection bus tracks
+//     exact per-monitor counts and first-detection times — so one run of
+//     the all-assertions version per (error, test case) yields every other
+//     version's RunResult by restricting the per-EA detection statistics
+//     to that version's mask (see GoldenTrace::per_signal and
+//     CollapsedDetections below).  This is the big E1 multiplier: 8
+//     structural versions, 1 execution.
+//
+// All pruning decisions are conservative w.r.t. RunResult equality, so the
+// merged tables are byte-identical to the unpruned engine's; the
+// verify_prune option re-executes a deterministic sample of pruned runs in
+// full and asserts exactly that.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fi/experiment.hpp"
+#include "mem/access_probe.hpp"
+
+namespace easel::fi {
+
+/// Ticks between convergence checkpoints.  Hashing the full rig state
+/// (~2.9 KB) costs ~370 word mixes; every 50 ticks that is <10 mixes per
+/// tick — noise against the per-tick module cost — while still exiting
+/// within 50 ms of reconvergence.
+inline constexpr std::uint64_t kCheckpointPeriodTicks = 50;
+
+/// Sentinel tail_clean_from: no checkpoint has a provably-harmless tail.
+inline constexpr std::uint64_t kNeverClean = ~std::uint64_t{0};
+
+/// Number of injections a full run performs (instants 0, p, 2p, ... < obs).
+[[nodiscard]] constexpr std::uint64_t expected_injections(std::uint32_t period_ms,
+                                                          std::uint32_t observation_ms) noexcept {
+  if (observation_ms == 0 || period_ms == 0) return 0;
+  return (static_cast<std::uint64_t>(observation_ms) - 1) / period_ms + 1;
+}
+
+/// Per-EA detection statistics of one run: exact count and first report
+/// time for each monitored signal's assertion (zero/absent when the EA was
+/// not enabled or never fired).  The observer-collapse derivation restricts
+/// these to a version mask to reconstruct that version's detection fields.
+struct SignalDetections {
+  std::uint64_t count = 0;
+  std::uint64_t first_ms = 0;  ///< valid iff count > 0
+};
+
+using CollapsedDetections = std::array<SignalDetections, arrestor::kMonitoredSignalCount>;
+
+/// What one instrumented golden pass leaves behind: the fault-free result,
+/// the checkpoint fingerprints of its trajectory, and the per-EA detection
+/// statistics (golden false alarms, if any — needed to derive per-version
+/// golden results under observer collapse).  hashes[k] is the rig
+/// fingerprint after tick (k+1)*kCheckpointPeriodTicks - 1 completed.
+struct GoldenTrace {
+  RunResult result;
+  std::vector<std::uint64_t> hashes;
+  CollapsedDetections per_signal{};
+  std::uint32_t observation_ms = 0;
+
+  /// True when the golden run is entirely uneventful — the precondition for
+  /// splicing its tail onto a reconverged faulted run (a clean tail adds no
+  /// detections, failures, halts, or watchdog trips, so every non-detection
+  /// result field is the golden final value and the detection fields are
+  /// whatever the faulted run latched before converging).
+  [[nodiscard]] bool clean() const noexcept {
+    return !result.detected && !result.failed && !result.node_halted &&
+           !result.watchdog_tripped;
+  }
+};
+
+/// The planner's decision for one (error, golden trace) pair.
+struct ErrorVerdict {
+  /// The whole run is golden-equivalent: no injection is ever read while
+  /// resident.  Skip execution; the result is the golden result with the
+  /// injection counter patched to expected_injections().
+  bool synthesize = false;
+
+  /// Smallest checkpoint tick count C (a multiple of kCheckpointPeriodTicks)
+  /// such that a run whose state equals the golden state at *any* checkpoint
+  /// >= C provably finishes with the golden tail: every later injection is
+  /// overwritten before being read.  kNeverClean when no such checkpoint
+  /// exists.  Monotone by construction (safety at C requires safety at every
+  /// later checkpoint), so a single >= test suffices at run time.
+  std::uint64_t tail_clean_from = kNeverClean;
+};
+
+/// Decides synthesize / tail_clean_from for one error against one golden
+/// access trace.  `probe` must have watched error.address during a golden
+/// pass of the same (version, test case, noise seed) rig; errors that are
+/// not bit flips, or whose address was not watched, are never pruned
+/// (the def/use argument models XOR residency only — the campaigns'
+/// fault model).  Runs the two-state residency automaton backward over the
+/// per-tick read-before-write / written summaries; O(observation_ms).
+[[nodiscard]] ErrorVerdict classify_error(const mem::AccessProbe& probe,
+                                          const ErrorSpec& error, std::uint32_t period_ms,
+                                          std::uint32_t observation_ms);
+
+/// How a campaign's run budget was spent; one of executed / synthesized /
+/// early-exited / deduped / collapsed per planned run, so the five sum to
+/// the campaign's nominal run count.  Exposed via
+/// CampaignOptions::prune_stats and recorded in BENCH_campaigns.json.
+struct PruneStats {
+  std::uint64_t runs_executed = 0;      ///< full executions (incl. non-converged)
+  std::uint64_t runs_synthesized = 0;   ///< skipped via def/use proof
+  std::uint64_t runs_early_exited = 0;  ///< executed partially, golden tail spliced
+  std::uint64_t runs_deduped = 0;       ///< folded into a representative's weight
+  std::uint64_t runs_collapsed = 0;     ///< derived from the all-assertions run
+  std::uint64_t runs_verified = 0;      ///< pruned runs re-executed by verify_prune
+  std::uint64_t golden_passes = 0;      ///< instrumented golden runs
+  void merge(const PruneStats& other) noexcept {
+    runs_executed += other.runs_executed;
+    runs_synthesized += other.runs_synthesized;
+    runs_early_exited += other.runs_early_exited;
+    runs_deduped += other.runs_deduped;
+    runs_collapsed += other.runs_collapsed;
+    runs_verified += other.runs_verified;
+    golden_passes += other.golden_passes;
+  }
+};
+
+}  // namespace easel::fi

@@ -1,12 +1,15 @@
 #include "fi/run_context.hpp"
 
+#include <type_traits>
 #include <vector>
 
 #include "arrestor/master_node.hpp"
 #include "arrestor/slave_node.hpp"
 #include "core/detection_bus.hpp"
+#include "mem/access_probe.hpp"
 #include "sim/environment.hpp"
 #include "trace/recorder.hpp"
+#include "util/hash.hpp"
 
 namespace easel::fi {
 
@@ -36,6 +39,48 @@ void bind_standard_channels(trace::Recorder& recorder, arrestor::MasterNode& mas
   recorder.add_analog_channel("retardation_mps2", [&env] { return env.retardation_mps2(); });
   recorder.add_analog_channel("pressure_master_pu", [&env] { return env.master_pressure_pu(); });
   recorder.add_analog_channel("pressure_slave_pu", [&env] { return env.slave_pressure_pu(); });
+}
+
+/// The convergence fingerprint: everything that can influence any future
+/// tick or any result field the splice takes from the current run.  Node
+/// images carry all target state; the schedulers contribute their
+/// behaviour-relevant host state (tick counter, halt latch); the environment
+/// includes its dither RNG position; the classifier's latches feed the
+/// result directly.  The detection bus is deliberately EXCLUDED: nothing on
+/// the node reads it back, and the splice keeps the current run's detection
+/// fields (a clean golden tail adds none), which is precisely what lets
+/// already-detected runs still exit early.
+std::uint64_t rig_fingerprint(const sim::Environment& env, const arrestor::MasterNode& master,
+                              arrestor::SlaveNode& slave,
+                              const arrestor::FailureClassifier& classifier,
+                              bool watchdog_tripped) {
+  util::StateHash hash;
+  const auto& master_image = master.image().bytes();
+  hash.mix_bytes(master_image.data(), master_image.size());
+  master.scheduler().mix_state(hash);
+  const auto& slave_image = slave.image().bytes();
+  hash.mix_bytes(slave_image.data(), slave_image.size());
+  slave.scheduler().mix_state(hash);
+  env.mix_state(hash);
+  classifier.mix_state(hash);
+  hash.mix_bool(watchdog_tripped);
+  return hash.value();
+}
+
+/// Reads the exact per-EA detection statistics off the bus, keyed by
+/// monitored signal via the assertion bank's monitor-id mapping.  EAs the
+/// rig does not enable (or that never fired) stay zero.
+CollapsedDetections signal_detections(const core::DetectionBus& bus,
+                                      const arrestor::AssertionBank& bank) {
+  CollapsedDetections stats{};
+  for (std::size_t idx = 0; idx < arrestor::kMonitoredSignalCount; ++idx) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(idx);
+    if (!bank.enabled(signal)) continue;
+    const std::uint16_t id = bank.bus_id(signal);
+    stats[idx].count = bus.count_for(id);
+    if (const auto first = bus.first_detection_ms(id)) stats[idx].first_ms = *first;
+  }
+  return stats;
 }
 
 }  // namespace
@@ -77,7 +122,11 @@ RunContext::~RunContext() = default;
 RunContext::RunContext(RunContext&&) noexcept = default;
 RunContext& RunContext::operator=(RunContext&&) noexcept = default;
 
-RunResult RunContext::run(const RunConfig& config) {
+template <typename Aux>
+RunResult RunContext::run_impl(const RunConfig& config, Aux aux) {
+  constexpr bool kGolden = std::is_same_v<Aux, GoldenAux>;
+  constexpr bool kConverging = std::is_same_v<Aux, ConvergingAux>;
+
   const RigKey key{config.assertions, config.recovery, config.moded_assertions,
                    config.watchdog_timeout_ms > 0, config.params};
   if (rig_ == nullptr || key_ != key) {
@@ -104,7 +153,24 @@ RunResult RunContext::run(const RunConfig& config) {
 
   auto& master_map = rig.master.signals();
 
+  if constexpr (kGolden) {
+    aux.trace->hashes.clear();
+    aux.trace->observation_ms = config.observation_ms;
+    rig.master.image().attach_probe(aux.probe);
+  }
+  // A non-clean golden trace cannot be spliced; disable the exit entirely
+  // rather than checking clean() per checkpoint.
+  [[maybe_unused]] std::uint64_t exit_from = 0;
+  if constexpr (kConverging) {
+    exit_from = aux.trace->clean() && aux.trace->observation_ms == config.observation_ms
+                    ? aux.tail_clean_from
+                    : kNeverClean;
+    *aux.early_exited = false;
+  }
+
+  bool spliced = false;
   for (std::uint64_t now = 0; now < config.observation_ms; ++now) {
+    if constexpr (kGolden) aux.probe->begin_tick(now);
     rig.bus.set_time_ms(now);
     if (injector) injector->on_tick(now, rig.master.image());
 
@@ -127,16 +193,61 @@ RunResult RunContext::run(const RunConfig& config) {
       rig.bus.report(rig.watchdog_id, 0, 0, core::ContinuousTest::none,
                      core::DiscreteTest::none);
     }
+
+    if constexpr (kGolden) {
+      if ((now + 1) % kCheckpointPeriodTicks == 0) {
+        aux.trace->hashes.push_back(
+            rig_fingerprint(rig.env, rig.master, rig.slave, classifier, watchdog_tripped));
+      }
+    }
+    if constexpr (kConverging) {
+      const std::uint64_t done = now + 1;
+      if (done % kCheckpointPeriodTicks == 0 && done >= exit_from) {
+        const std::size_t k = done / kCheckpointPeriodTicks - 1;
+        if (k < aux.trace->hashes.size() &&
+            aux.trace->hashes[k] ==
+                rig_fingerprint(rig.env, rig.master, rig.slave, classifier, watchdog_tripped)) {
+          spliced = true;
+          break;
+        }
+      }
+    }
   }
+  if constexpr (kGolden) rig.master.image().attach_probe(nullptr);
   if (config.trace != nullptr) config.trace->uninstall(rig.master.scheduler());
 
   RunResult result;
+  // The detection fields come from the bus in the spliced case too: the
+  // faulted run keeps every detection it latched before converging, and a
+  // clean golden tail reports none.
   result.detected = rig.bus.any();
   result.detection_count = rig.bus.count();
   if (const auto first = rig.bus.first_detection_ms()) {
     result.first_detection_ms = *first;
     const std::uint64_t injected_at = injector ? injector->first_injection_ms() : 0;
     result.latency_ms = *first >= injected_at ? *first - injected_at : 0;
+  }
+  if constexpr (kConverging) {
+    if (spliced) {
+      // State matched golden at the checkpoint and the tail is provably
+      // golden-equivalent, so every remaining field is the golden final
+      // value — except the injection counter, which keeps ticking.
+      const RunResult& golden = aux.trace->result;
+      result.failed = golden.failed;
+      result.failure = golden.failure;
+      result.failure_ms = golden.failure_ms;
+      result.stopped = golden.stopped;
+      result.stop_ms = golden.stop_ms;
+      result.final_position_m = golden.final_position_m;
+      result.peak_retardation_g = golden.peak_retardation_g;
+      result.peak_force_n = golden.peak_force_n;
+      result.node_halted = golden.node_halted;
+      result.injections =
+          expected_injections(config.injection_period_ms, config.observation_ms);
+      result.watchdog_tripped = golden.watchdog_tripped;
+      *aux.early_exited = true;
+      return result;
+    }
   }
   result.failed = classifier.failed();
   result.failure = classifier.kind();
@@ -149,7 +260,28 @@ RunResult RunContext::run(const RunConfig& config) {
   result.node_halted = rig.master.scheduler().halted();
   result.injections = injector ? injector->injections() : 0;
   result.watchdog_tripped = watchdog_tripped;
+  if constexpr (kGolden) {
+    aux.trace->result = result;
+    aux.trace->per_signal = signal_detections(rig.bus, rig.master.assertions());
+  }
   return result;
+}
+
+CollapsedDetections RunContext::last_signal_detections() const {
+  if (rig_ == nullptr) return CollapsedDetections{};
+  return signal_detections(rig_->bus, rig_->master.assertions());
+}
+
+RunResult RunContext::run(const RunConfig& config) { return run_impl(config, PlainAux{}); }
+
+RunResult RunContext::run_golden(const RunConfig& config, mem::AccessProbe& probe,
+                                 GoldenTrace& trace) {
+  return run_impl(config, GoldenAux{&probe, &trace});
+}
+
+RunResult RunContext::run_converging(const RunConfig& config, const GoldenTrace& trace,
+                                     std::uint64_t tail_clean_from, bool& early_exited) {
+  return run_impl(config, ConvergingAux{&trace, tail_clean_from, &early_exited});
 }
 
 }  // namespace easel::fi

@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "fi/experiment.hpp"
+#include "fi/prune.hpp"
 
 namespace easel::fi {
 
@@ -37,6 +38,32 @@ class RunContext {
   /// Executes one run to completion.  Deterministic and bit-identical to
   /// run_experiment(config) regardless of what this context ran before.
   [[nodiscard]] RunResult run(const RunConfig& config);
+
+  /// Instrumented golden pass for fault-space pruning: runs `config` (which
+  /// should carry no error) with `probe` attached to the master image so it
+  /// records every typed access, and fills `trace` with the checkpoint
+  /// fingerprints and the final result.  Apart from the recording, identical
+  /// to run().
+  [[nodiscard]] RunResult run_golden(const RunConfig& config, mem::AccessProbe& probe,
+                                     GoldenTrace& trace);
+
+  /// Faulted run with convergence early-exit: at every checkpoint at or past
+  /// `tail_clean_from`, compares the rig fingerprint against `trace`; on a
+  /// match, stops and splices the golden tail (sound because the caller's
+  /// verdict proved every remaining injection harmless and trace.clean()
+  /// guarantees an uneventful tail — a non-clean trace disables the exit and
+  /// the run degenerates to run()).  Sets `early_exited` accordingly.
+  [[nodiscard]] RunResult run_converging(const RunConfig& config, const GoldenTrace& trace,
+                                         std::uint64_t tail_clean_from, bool& early_exited);
+
+  /// Per-EA detection statistics of the run that just finished on this
+  /// context (exact counts and first report times from the detection bus,
+  /// keyed by monitored signal; zero for EAs the rig does not enable).
+  /// Valid until the next run on this context resets the bus — the
+  /// observer-collapse driver reads it immediately after the
+  /// all-assertions representative run to derive the other versions'
+  /// detection fields.
+  [[nodiscard]] CollapsedDetections last_signal_detections() const;
 
   /// True if the last run() reused the existing rig instead of building a
   /// fresh one (observability for the bit-identity regression tests).
@@ -66,6 +93,23 @@ class RunContext {
   };
 
   struct Rig;
+
+  /// The three run modes share one loop body (run_impl, in the .cpp) so the
+  /// plain hot path and the instrumented variants can never drift apart; the
+  /// mode-specific work compiles in via if constexpr on the Aux type.
+  struct PlainAux {};
+  struct GoldenAux {
+    mem::AccessProbe* probe;
+    GoldenTrace* trace;
+  };
+  struct ConvergingAux {
+    const GoldenTrace* trace;
+    std::uint64_t tail_clean_from;
+    bool* early_exited;
+  };
+
+  template <typename Aux>
+  [[nodiscard]] RunResult run_impl(const RunConfig& config, Aux aux);
 
   std::optional<RigKey> key_;
   std::unique_ptr<Rig> rig_;

@@ -1,0 +1,18 @@
+#include "mem/access_probe.hpp"
+
+namespace easel::mem::detail {
+
+// Out-of-line thunks: address_space.hpp only forward-declares AccessProbe, so
+// the inline accessors can hook a probe without pulling its definition into
+// every translation unit.  Taken only while a probe is attached (the golden
+// instrumented pass), never on the campaign fault-run hot path.
+
+void probe_read(AccessProbe& probe, std::size_t addr, std::size_t len) noexcept {
+  probe.on_read(addr, len);
+}
+
+void probe_write(AccessProbe& probe, std::size_t addr, std::size_t len) noexcept {
+  probe.on_write(addr, len);
+}
+
+}  // namespace easel::mem::detail

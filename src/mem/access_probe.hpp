@@ -1,0 +1,128 @@
+// Per-byte, per-tick access recording over an AddressSpace — the data
+// source for the campaign engine's def/use fault-space pruning
+// (src/fi/prune.hpp).
+//
+// The pruning argument needs, for every injectable byte the campaign will
+// target, the golden run's access pattern at tick granularity:
+//
+//   * was the byte READ before any write in tick t ("rbw")?  A read
+//     observes whatever fault is resident, so a pending bit-flip activates;
+//   * was the byte WRITTEN (fully overwritten) in tick t ("wr")?  Every
+//     store covers whole bytes, so a write erases a resident flip.
+//
+// Access order only matters *within* a tick (injections happen at tick
+// boundaries, before the node runs), so two bits per watched byte per tick
+// capture everything the def/use automaton consumes.  Bits live in dense
+// per-byte bitmaps sized once up front: one instrumented golden pass per
+// test case records a few hundred watched bytes over tens of thousands of
+// ticks in a couple of megabytes, with an O(1) test-and-set per access.
+//
+// The probe attaches to an AddressSpace (attach_probe) only for the golden
+// pass; campaign fault runs execute with no probe attached and pay a single
+// predicted-not-taken branch per access.  The AddressSpace hooks reach the
+// probe through the out-of-line detail::probe_read/probe_write thunks
+// (access_probe.cpp) so address_space.hpp needs only a forward declaration.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "mem/address_space.hpp"
+
+namespace easel::mem {
+
+class AccessProbe {
+ public:
+  /// Sizes the probe for an image and an observation window.  Watched bytes
+  /// are registered afterwards with watch(); all bitmaps are allocated at
+  /// watch() time so the recording hooks never allocate.
+  AccessProbe(std::size_t image_bytes, std::uint64_t ticks)
+      : slot_of_(image_bytes, kUnwatched), ticks_{ticks} {}
+
+  /// Registers one byte address for recording (idempotent).  Must happen
+  /// before the instrumented run.
+  void watch(std::size_t addr) {
+    if (addr >= slot_of_.size()) {
+      detail::throw_bad_access(addr, 1, slot_of_.size());
+    }
+    if (slot_of_[addr] != kUnwatched) return;
+    slot_of_[addr] = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back(ticks_);
+  }
+
+  [[nodiscard]] bool watched(std::size_t addr) const noexcept {
+    return addr < slot_of_.size() && slot_of_[addr] != kUnwatched;
+  }
+
+  /// Announces the tick whose accesses follow.  The run loop calls this
+  /// once per tick, before the node executes.
+  void begin_tick(std::uint64_t tick) noexcept { tick_ = tick; }
+
+  // --- Recording hooks (called by AddressSpace on every access) ---
+
+  void on_read(std::size_t addr, std::size_t len) noexcept {
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint32_t slot = slot_of_[addr + i];
+      if (slot == kUnwatched) continue;
+      Slot& s = slots_[slot];
+      // A read is only "use before def" if no write already covered the
+      // byte earlier in this same tick.
+      if (s.last_write_tick != tick_ && tick_ < ticks_) set_bit(s.rbw, tick_);
+    }
+  }
+
+  void on_write(std::size_t addr, std::size_t len) noexcept {
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint32_t slot = slot_of_[addr + i];
+      if (slot == kUnwatched) continue;
+      Slot& s = slots_[slot];
+      s.last_write_tick = tick_;
+      if (tick_ < ticks_) set_bit(s.wr, tick_);
+    }
+  }
+
+  // --- Queries (consumed by the pruning planner after the pass) ---
+
+  /// True if `addr` was read in tick `t` before any write covered it.
+  [[nodiscard]] bool read_before_write(std::size_t addr, std::uint64_t t) const noexcept {
+    const Slot& s = slots_[slot_of_[addr]];
+    return get_bit(s.rbw, t);
+  }
+
+  /// True if any store covered `addr` in tick `t`.
+  [[nodiscard]] bool written(std::size_t addr, std::uint64_t t) const noexcept {
+    const Slot& s = slots_[slot_of_[addr]];
+    return get_bit(s.wr, t);
+  }
+
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  static constexpr std::uint32_t kUnwatched = std::numeric_limits<std::uint32_t>::max();
+
+  struct Slot {
+    explicit Slot(std::uint64_t ticks)
+        : rbw((ticks + 63) / 64, 0), wr((ticks + 63) / 64, 0) {}
+
+    std::vector<std::uint64_t> rbw;  ///< read-before-write bitmap, bit per tick
+    std::vector<std::uint64_t> wr;   ///< any-write bitmap, bit per tick
+    std::uint64_t last_write_tick = std::numeric_limits<std::uint64_t>::max();
+  };
+
+  static void set_bit(std::vector<std::uint64_t>& bits, std::uint64_t t) noexcept {
+    bits[t / 64] |= std::uint64_t{1} << (t % 64);
+  }
+
+  [[nodiscard]] static bool get_bit(const std::vector<std::uint64_t>& bits,
+                                    std::uint64_t t) noexcept {
+    return (bits[t / 64] >> (t % 64)) & 1u;
+  }
+
+  std::vector<std::uint32_t> slot_of_;  ///< image address -> slot, kUnwatched if not
+  std::vector<Slot> slots_;
+  std::uint64_t ticks_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace easel::mem

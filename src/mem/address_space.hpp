@@ -61,10 +61,18 @@ class BadAddress : public std::out_of_range {
   explicit BadAddress(const std::string& what) : std::out_of_range{what} {}
 };
 
+class AccessProbe;
+
 namespace detail {
 /// Out-of-line so the throw (and its string building) never inflates the
 /// inlined accessor fast path.
 [[noreturn]] void throw_bad_access(std::size_t addr, std::size_t len, std::size_t size);
+
+/// Out-of-line probe thunks (access_probe.cpp): the accessors below can
+/// notify an attached AccessProbe from a forward declaration alone, and the
+/// call stays off the unprobed fast path.
+void probe_read(AccessProbe& probe, std::size_t addr, std::size_t len) noexcept;
+void probe_write(AccessProbe& probe, std::size_t addr, std::size_t len) noexcept;
 }  // namespace detail
 
 /// The flat memory image.  Plain value semantics: copyable (snapshots are
@@ -101,23 +109,36 @@ class AddressSpace {
     }
   }
 
+  /// Attaches (or, with nullptr, detaches) an access-recording probe.  Every
+  /// typed read/write accessor notifies the probe; flip_bit and the bulk
+  /// snapshot operations (clear/restore) do not — they model host-side rig
+  /// actions, not target accesses.  Probe attachment is host instrumentation,
+  /// not image state: copies of an AddressSpace share the attachment only in
+  /// the trivial pointer sense and golden passes attach to exactly one space
+  /// at a time.
+  void attach_probe(AccessProbe* probe) noexcept { probe_ = probe; }
+
   [[nodiscard]] std::uint8_t read_u8(std::size_t addr) const {
     check(addr, 1);
+    if (probe_ != nullptr) [[unlikely]] detail::probe_read(*probe_, addr, 1);
     return bytes_[addr];
   }
 
   void write_u8(std::size_t addr, std::uint8_t value) {
     check(addr, 1);
+    if (probe_ != nullptr) [[unlikely]] detail::probe_write(*probe_, addr, 1);
     bytes_[addr] = value;
   }
 
   [[nodiscard]] std::uint16_t read_u16(std::size_t addr) const {
     check(addr, 2);
+    if (probe_ != nullptr) [[unlikely]] detail::probe_read(*probe_, addr, 2);
     return load_le<std::uint16_t>(addr);
   }
 
   void write_u16(std::size_t addr, std::uint16_t value) {
     check(addr, 2);
+    if (probe_ != nullptr) [[unlikely]] detail::probe_write(*probe_, addr, 2);
     store_le(addr, value);
   }
 
@@ -131,11 +152,13 @@ class AddressSpace {
 
   [[nodiscard]] std::uint32_t read_u32(std::size_t addr) const {
     check(addr, 4);
+    if (probe_ != nullptr) [[unlikely]] detail::probe_read(*probe_, addr, 4);
     return load_le<std::uint32_t>(addr);
   }
 
   void write_u32(std::size_t addr, std::uint32_t value) {
     check(addr, 4);
+    if (probe_ != nullptr) [[unlikely]] detail::probe_write(*probe_, addr, 4);
     store_le(addr, value);
   }
 
@@ -217,6 +240,7 @@ class AddressSpace {
   std::vector<std::uint8_t> bytes_;
   std::size_t ram_bytes_;
   std::size_t stack_bytes_;
+  AccessProbe* probe_ = nullptr;
 };
 
 /// Bump allocator that hands out image addresses while the application lays

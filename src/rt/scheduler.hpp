@@ -19,6 +19,7 @@
 
 #include "rt/module.hpp"
 #include "rt/task_context.hpp"
+#include "util/hash.hpp"
 
 namespace easel::rt {
 
@@ -109,6 +110,18 @@ class Scheduler {
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
   [[nodiscard]] std::uint64_t tick_count() const noexcept { return tick_; }
+
+  /// Folds the executive's behaviour-relevant host state into a fingerprint,
+  /// for the campaign engine's convergence early-exit: the tick counter
+  /// (drives the fallback slot sequence) and the halt latch (a halted node
+  /// never runs again).  The dispatch statistics are deliberately excluded —
+  /// they record history, not future behaviour, and appear in no run result,
+  /// so a faulted run that skipped a dispatch but reconverged in memory may
+  /// still splice the golden tail.
+  void mix_state(util::StateHash& hash) const noexcept {
+    hash.mix_u64(tick_);
+    hash.mix_bool(halted_);
+  }
   [[nodiscard]] std::uint32_t current_slot() const noexcept {
     return static_cast<std::uint32_t>(tick_ % kSlotCount);
   }

@@ -20,6 +20,7 @@
 
 #include "sim/plant_constants.hpp"
 #include "sim/test_case.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/saturate.hpp"
 
@@ -111,6 +112,26 @@ class Environment {
   }
   [[nodiscard]] std::uint64_t ms_since_slave_refresh() const noexcept {
     return now_ms_ - slave_refresh_ms_;
+  }
+
+  /// Folds the complete plant state into a fingerprint, for the campaign
+  /// engine's convergence early-exit.  Covers every member that can
+  /// influence any future step or sensor read — including the dither RNG's
+  /// 256-bit position, so two environments with equal hashes produce equal
+  /// sensor streams forever (the test case is run-constant and excluded).
+  void mix_state(util::StateHash& hash) const noexcept {
+    hash.mix_double(position_m_);
+    hash.mix_double(velocity_mps_);
+    hash.mix_double(retardation_mps2_);
+    hash.mix_double(force_n_);
+    hash.mix_double(pressure_master_pu_);
+    hash.mix_double(pressure_slave_pu_);
+    hash.mix_double(command_master_pu_);
+    hash.mix_double(command_slave_pu_);
+    hash.mix_u64(now_ms_);
+    hash.mix_u64(master_refresh_ms_);
+    hash.mix_u64(slave_refresh_ms_);
+    for (const std::uint64_t word : noise_rng_.generator().state()) hash.mix_u64(word);
   }
 
  private:

@@ -29,6 +29,15 @@ struct Proportion {
     successes += success ? 1u : 0u;
   }
 
+  /// Accounts `weight` identical trials at once.  The campaign engine's
+  /// fault-space pruning collapses outcome-equivalent runs into one
+  /// representative executed with a multiplicity; because a proportion is a
+  /// plain pair of counts, weighted accounting is exact, not approximate.
+  void add(bool success, std::uint64_t weight) noexcept {
+    trials += weight;
+    successes += success ? weight : 0u;
+  }
+
   void merge(const Proportion& other) noexcept {
     successes += other.successes;
     trials += other.trials;
@@ -66,6 +75,12 @@ struct DetectionMeasures {
   void add(bool detected, bool failed) noexcept {
     all.add(detected);
     (failed ? fail : no_fail).add(detected);
+  }
+
+  /// Accounts `weight` outcome-identical runs (see Proportion::add).
+  void add(bool detected, bool failed, std::uint64_t weight) noexcept {
+    all.add(detected, weight);
+    (failed ? fail : no_fail).add(detected, weight);
   }
 
   void merge(const DetectionMeasures& other) noexcept {

@@ -20,6 +20,13 @@ class LatencyHistogram {
     ++total_;
   }
 
+  /// Accounts `weight` identical latencies at once (exact: bucket counts are
+  /// linear in multiplicity).  Used by fault-space pruning's collapsed runs.
+  void add(std::uint64_t latency_ms, std::uint64_t weight) noexcept {
+    counts_[bucket_of(latency_ms)] += weight;
+    total_ += weight;
+  }
+
   void merge(const LatencyHistogram& other) noexcept {
     for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
     total_ += other.total_;

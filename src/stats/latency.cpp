@@ -17,6 +17,18 @@ void LatencyStats::add(std::uint64_t latency_ms) noexcept {
   ++count_;
 }
 
+void LatencyStats::add(std::uint64_t latency_ms, std::uint64_t weight) noexcept {
+  if (weight == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = latency_ms;
+  } else {
+    min_ = std::min(min_, latency_ms);
+    max_ = std::max(max_, latency_ms);
+  }
+  sum_ += latency_ms * weight;
+  count_ += weight;
+}
+
 void LatencyStats::merge(const LatencyStats& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

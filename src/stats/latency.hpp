@@ -13,6 +13,12 @@ class LatencyStats {
   /// Accounts one detection latency in milliseconds.
   void add(std::uint64_t latency_ms) noexcept;
 
+  /// Accounts `weight` identical latencies at once.  min/max are unaffected
+  /// by multiplicity and count/sum are linear in it, so the collapsed
+  /// accounting used by fault-space pruning is exact.  weight == 0 is a
+  /// no-op.
+  void add(std::uint64_t latency_ms, std::uint64_t weight) noexcept;
+
   void merge(const LatencyStats& other) noexcept;
 
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }

@@ -1,0 +1,65 @@
+// Word-at-a-time state hashing for the convergence early-exit of the
+// fault-injection campaign engine (src/fi/prune.hpp).
+//
+// A faulted run compares a hash of its full machine state (node images,
+// environment, failure classifier) against cached golden-trajectory hashes
+// every few dozen ticks, so the mix must be cheap per 64-bit word yet
+// avalanche well enough that a single flipped image bit never collides in
+// practice.  We fold each word through the SplitMix64 finalizer (a full
+// 64-bit avalanche) into a running FNV-style accumulator; byte tails are
+// zero-padded into one final word.  This is a fingerprint for trajectory
+// comparison, not a cryptographic hash — verify-prune re-executes sampled
+// runs to back the fingerprint with ground truth.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace easel::util {
+
+/// Accumulating 64-bit state fingerprint.  Value type; order-sensitive
+/// (mixing A then B differs from B then A), which is what trajectory
+/// hashing wants.
+class StateHash {
+ public:
+  void mix_u64(std::uint64_t word) noexcept {
+    hash_ = (hash_ ^ avalanche(word + 0x9e3779b97f4a7c15ULL)) * 0x100000001b3ULL;
+  }
+
+  void mix_bool(bool value) noexcept { mix_u64(value ? 1 : 0); }
+
+  void mix_double(double value) noexcept { mix_u64(std::bit_cast<std::uint64_t>(value)); }
+
+  /// Mixes an arbitrary byte range, eight bytes at a time (the campaign
+  /// hot path hashes whole memory images); a short tail is zero-padded.
+  void mix_bytes(const void* data, std::size_t len) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    while (len >= 8) {
+      std::uint64_t word;
+      std::memcpy(&word, bytes, 8);
+      mix_u64(word);
+      bytes += 8;
+      len -= 8;
+    }
+    if (len > 0) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, bytes, len);
+      mix_u64(word);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  /// SplitMix64 finalizer: full-avalanche 64-bit permutation.
+  [[nodiscard]] static std::uint64_t avalanche(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace easel::util

@@ -77,6 +77,11 @@ class Xoshiro256StarStar {
     return std::numeric_limits<std::uint64_t>::max();
   }
 
+  /// The raw 256-bit state, for position fingerprinting: two generators
+  /// with equal state produce identical futures, which is exactly what the
+  /// campaign engine's convergence early-exit needs to compare.
+  [[nodiscard]] constexpr const std::uint64_t (&state() const noexcept)[4] { return state_; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
@@ -136,6 +141,9 @@ class Rng {
   }
 
   [[nodiscard]] constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The underlying generator (state access for position fingerprinting).
+  [[nodiscard]] constexpr const Xoshiro256StarStar& generator() const noexcept { return gen_; }
 
  private:
   Xoshiro256StarStar gen_;

@@ -1,0 +1,250 @@
+// The guardrail for fault-space pruning: the pruned engine must be
+// unobservable in the results.  Quick-scale E1 and E2 campaigns are run
+// pruned and unpruned (and pruned at jobs=1 vs jobs=4) and compared through
+// the serialized cache blobs, so every counter, latency sum, and histogram
+// bucket participates in the equality.  classify_error's residency automaton
+// is additionally pinned down on hand-built access traces, and
+// verify_prune=1 re-executes every pruned run in-process as the strongest
+// self-check the engine offers.
+#include "fi/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fi/campaign.hpp"
+
+namespace easel::fi {
+namespace {
+
+CampaignOptions quick_options(std::size_t jobs, bool prune) {
+  CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 4000;
+  options.seed = 321;
+  options.jobs = jobs;
+  options.prune = prune;
+  return options;
+}
+
+std::string e1_blob(const E1Results& results) {
+  std::ostringstream out;
+  save_e1(results, out, "prune");
+  return out.str();
+}
+
+std::string e2_blob(const E2Results& results) {
+  std::ostringstream out;
+  save_e2(results, out, "prune");
+  return out.str();
+}
+
+// --- classify_error on synthetic access traces -----------------------------
+
+ErrorSpec flip_at(std::size_t addr) {
+  ErrorSpec error;
+  error.address = addr;
+  error.bit = 0;
+  return error;
+}
+
+TEST(PrunePlanner, NeverReadByteIsSynthesized) {
+  mem::AccessProbe probe{8, 10};
+  probe.watch(2);
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    probe.begin_tick(t);
+    probe.on_write(2, 1);  // written every tick, never read first
+  }
+  const ErrorVerdict verdict = classify_error(probe, flip_at(2), 2, 10);
+  EXPECT_TRUE(verdict.synthesize);
+}
+
+TEST(PrunePlanner, ReadWhileResidentIsNotSynthesized) {
+  mem::AccessProbe probe{8, 10};
+  probe.watch(2);
+  probe.begin_tick(4);
+  probe.on_read(2, 1);  // injected at t=0, still resident at the t=4 read
+  const ErrorVerdict verdict = classify_error(probe, flip_at(2), 10, 10);
+  EXPECT_FALSE(verdict.synthesize);
+}
+
+TEST(PrunePlanner, WriteBeforeReadErasesTheFlip) {
+  // Inject at t=0 and t=6; a write at t=1 erases the first flip before the
+  // t=2 read, and re-injection at t=6 toggles the (already clean) byte back
+  // dirty — but nothing reads after t=6, so the run is golden-equivalent.
+  mem::AccessProbe probe{8, 10};
+  probe.watch(3);
+  probe.begin_tick(1);
+  probe.on_write(3, 1);
+  probe.begin_tick(2);
+  probe.on_read(3, 1);
+  const ErrorVerdict verdict = classify_error(probe, flip_at(3), 6, 10);
+  EXPECT_TRUE(verdict.synthesize);
+}
+
+TEST(PrunePlanner, ReinjectionOntoResidentFlipRestoresGolden) {
+  // Period 2: the XOR at t=0 makes the byte dirty, the XOR at t=2 restores
+  // it.  A read at t=3 therefore sees golden; a read at t=1 would not.
+  mem::AccessProbe probe{8, 4};
+  probe.watch(0);
+  probe.begin_tick(3);
+  probe.on_read(0, 1);
+  EXPECT_TRUE(classify_error(probe, flip_at(0), 2, 4).synthesize);
+
+  mem::AccessProbe dirty_read{8, 4};
+  dirty_read.watch(0);
+  dirty_read.begin_tick(1);
+  dirty_read.on_read(0, 1);
+  EXPECT_FALSE(classify_error(dirty_read, flip_at(0), 2, 4).synthesize);
+}
+
+TEST(PrunePlanner, NonBitFlipAndUnwatchedAreNeverPruned) {
+  mem::AccessProbe probe{8, 10};
+  probe.watch(2);  // never accessed: maximally synthesizable if eligible
+  ErrorSpec stuck = flip_at(2);
+  stuck.model = FaultModel::stuck_at_1;
+  EXPECT_FALSE(classify_error(probe, stuck, 2, 10).synthesize);
+  EXPECT_FALSE(classify_error(probe, flip_at(5), 2, 10).synthesize);   // unwatched
+  EXPECT_FALSE(classify_error(probe, flip_at(2), 2, 20).synthesize);   // window > trace
+  EXPECT_EQ(classify_error(probe, flip_at(2), 2, 10).tail_clean_from,
+            kNeverClean);  // no checkpoint fits in 10 ticks
+}
+
+TEST(PrunePlanner, TailCleanFromIsMonotoneAndTight) {
+  // 200 ticks, checkpoint period 50.  A lone read at t=120 (flip resident
+  // from the t=120 injection... period 60: injections at 0, 60, 120, 180).
+  // From checkpoint 150 onward the only event is the t=180 injection with
+  // no later read -> clean; checkpoint 100 precedes the harmful t=120
+  // read -> not clean; checkpoint 50 likewise.
+  mem::AccessProbe probe{8, 200};
+  probe.watch(1);
+  probe.begin_tick(120);
+  probe.on_read(1, 1);
+  const ErrorVerdict verdict = classify_error(probe, flip_at(1), 60, 200);
+  EXPECT_FALSE(verdict.synthesize);
+  EXPECT_EQ(verdict.tail_clean_from, 150u);
+}
+
+TEST(PrunePlanner, ExpectedInjectionsMatchesSchedule) {
+  EXPECT_EQ(expected_injections(20, 40000), 2000u);  // 0, 20, ..., 39980
+  EXPECT_EQ(expected_injections(20, 1), 1u);
+  EXPECT_EQ(expected_injections(20, 20), 1u);
+  EXPECT_EQ(expected_injections(20, 21), 2u);
+  EXPECT_EQ(expected_injections(0, 100), 0u);
+  EXPECT_EQ(expected_injections(20, 0), 0u);
+}
+
+// --- whole-campaign equivalence --------------------------------------------
+
+TEST(PruneEquivalence, E1PrunedMatchesUnprunedByteForByte) {
+  PruneStats stats;
+  CampaignOptions pruned_options = quick_options(1, true);
+  pruned_options.prune_stats = &stats;
+  const E1Results pruned = run_e1(pruned_options);
+  const E1Results unpruned = run_e1(quick_options(1, false));
+  EXPECT_EQ(e1_blob(pruned), e1_blob(unpruned));
+
+  // Accounting identity: every planned run lands in exactly one bucket.
+  EXPECT_EQ(stats.runs_executed + stats.runs_synthesized + stats.runs_early_exited +
+                stats.runs_deduped + stats.runs_collapsed,
+            pruned.runs);
+  // Observer collapse executes only the all-assertions version: 7 of the 8
+  // versions' runs derive from it, and one golden pass per case suffices.
+  // (Def/use synthesis contributes ~nothing on E1 — every E1 error sits in
+  // a monitored signal the control law reads every few ticks — so the
+  // collapse is where E1's pruning payoff lives.)
+  EXPECT_EQ(stats.runs_collapsed, 7u * 112u * 2u);
+  EXPECT_LE(stats.runs_executed, 112u * 2u);
+  EXPECT_EQ(stats.golden_passes, 2u);  // one per test case
+}
+
+TEST(PruneEquivalence, E1PrunedIsJobsInvariant) {
+  const E1Results serial = run_e1(quick_options(1, true));
+  const E1Results parallel = run_e1(quick_options(4, true));
+  EXPECT_EQ(e1_blob(serial), e1_blob(parallel));
+}
+
+TEST(PruneEquivalence, E2PrunedMatchesUnprunedByteForByte) {
+  PruneStats stats;
+  CampaignOptions pruned_options = quick_options(4, true);
+  pruned_options.prune_stats = &stats;
+  const E2Results pruned = run_e2(pruned_options, 30, 10);
+  const E2Results unpruned = run_e2(quick_options(1, false), 30, 10);
+  EXPECT_EQ(e2_blob(pruned), e2_blob(unpruned));
+  EXPECT_EQ(stats.runs_executed + stats.runs_synthesized + stats.runs_early_exited +
+                stats.runs_deduped + stats.runs_collapsed,
+            pruned.runs);
+  EXPECT_EQ(stats.runs_collapsed, 0u);  // collapse is E1's; E2 has one version
+  EXPECT_EQ(stats.golden_passes, 2u);   // one group x cases
+  // The point of the engine: most random RAM/stack errors are provably
+  // inert (overwritten or never read), so a real fraction of the budget
+  // must have been pruned.
+  EXPECT_GT(stats.runs_synthesized + stats.runs_early_exited + stats.runs_deduped, 0u);
+}
+
+TEST(PruneEquivalence, UnprunedEngineReportsAllRunsExecuted) {
+  PruneStats stats;
+  CampaignOptions options = quick_options(2, false);
+  options.observation_ms = 2000;
+  options.prune_stats = &stats;
+  const E2Results results = run_e2(options, 10, 5);
+  EXPECT_EQ(stats.runs_executed, results.runs);
+  EXPECT_EQ(stats.runs_synthesized, 0u);
+  EXPECT_EQ(stats.runs_early_exited, 0u);
+  EXPECT_EQ(stats.runs_deduped, 0u);
+}
+
+TEST(PruneEquivalence, VerifyPruneFullSampleFindsNoDivergence) {
+  // verify_prune = 1 re-executes EVERY pruned run in full and throws on any
+  // field mismatch — the strongest in-process proof of result equality.
+  PruneStats stats;
+  CampaignOptions options = quick_options(4, true);
+  options.observation_ms = 2000;
+  options.verify_prune = 1.0;
+  options.prune_stats = &stats;
+  EXPECT_NO_THROW((void)run_e2(options, 20, 10));
+  EXPECT_EQ(stats.runs_verified, stats.runs_synthesized + stats.runs_early_exited);
+}
+
+TEST(PruneEquivalence, VerifyPruneSamplesCollapsedE1Runs) {
+  // The observer-collapse derivation is machine-checked the same way:
+  // sampled derived runs re-execute under their true single-assertion
+  // version mask and must match field-exactly.
+  PruneStats stats;
+  CampaignOptions options = quick_options(4, true);
+  options.observation_ms = 2000;
+  options.verify_prune = 0.05;
+  options.prune_stats = &stats;
+  EXPECT_NO_THROW((void)run_e1(options));
+  EXPECT_GT(stats.runs_verified, 0u);
+}
+
+// --- the E2 seed contract (campaign sampling, not pruning) -----------------
+
+TEST(E2SeedContract, SameSeedIsBitIdentical) {
+  const E2Results a = run_e2(quick_options(2, true), 15, 5);
+  const E2Results b = run_e2(quick_options(2, true), 15, 5);
+  EXPECT_EQ(e2_blob(a), e2_blob(b));
+}
+
+TEST(E2SeedContract, DifferentSeedSamplesDifferentErrors) {
+  CampaignOptions other = quick_options(2, true);
+  other.seed = 322;
+  const auto base_errors = make_e2_for_target(
+      util::Rng{quick_options(2, true).seed}.derive("e2-errors"), 15, 5);
+  const auto other_errors =
+      make_e2_for_target(util::Rng{other.seed}.derive("e2-errors"), 15, 5);
+  ASSERT_EQ(base_errors.size(), other_errors.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < base_errors.size(); ++i) {
+    if (base_errors[i].address != other_errors[i].address ||
+        base_errors[i].bit != other_errors[i].bit) {
+      any_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,123 @@
+// The access probe underpins the campaign engine's def/use pruning proof
+// (fi/prune.hpp): a wrong rbw/wr bit silently turns "byte-identical tables"
+// into wrong tables, so the recording semantics are pinned down here —
+// per-tick granularity, read-before-write vs covered-read distinction,
+// multi-byte access fan-out, and the AddressSpace attach/detach contract.
+#include "mem/access_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+
+namespace easel::mem {
+namespace {
+
+TEST(AccessProbe, WatchIsIdempotentAndBoundsChecked) {
+  AccessProbe probe{64, 10};
+  probe.watch(3);
+  probe.watch(3);  // second registration is a no-op, not a second slot
+  EXPECT_TRUE(probe.watched(3));
+  EXPECT_FALSE(probe.watched(4));
+  EXPECT_FALSE(probe.watched(10'000));  // out of image: unwatched, not UB
+  EXPECT_THROW(probe.watch(64), BadAddress);
+}
+
+TEST(AccessProbe, ReadBeforeWriteVsCoveredRead) {
+  AccessProbe probe{16, 4};
+  probe.watch(5);
+
+  // Tick 0: read with no prior write in the tick -> rbw set.
+  probe.begin_tick(0);
+  probe.on_read(5, 1);
+  EXPECT_TRUE(probe.read_before_write(5, 0));
+  EXPECT_FALSE(probe.written(5, 0));
+
+  // Tick 1: write THEN read -> the read is covered, rbw stays clear.
+  probe.begin_tick(1);
+  probe.on_write(5, 1);
+  probe.on_read(5, 1);
+  EXPECT_FALSE(probe.read_before_write(5, 1));
+  EXPECT_TRUE(probe.written(5, 1));
+
+  // Tick 2: read THEN write -> both bits set (the read saw pre-write state).
+  probe.begin_tick(2);
+  probe.on_read(5, 1);
+  probe.on_write(5, 1);
+  EXPECT_TRUE(probe.read_before_write(5, 2));
+  EXPECT_TRUE(probe.written(5, 2));
+
+  // Tick 3: the tick-1 write must not shadow reads in later ticks.
+  probe.begin_tick(3);
+  probe.on_read(5, 1);
+  EXPECT_TRUE(probe.read_before_write(5, 3));
+}
+
+TEST(AccessProbe, MultiByteAccessTouchesEveryCoveredByte) {
+  AccessProbe probe{16, 2};
+  probe.watch(4);
+  probe.watch(5);
+  probe.watch(7);
+
+  probe.begin_tick(0);
+  probe.on_write(4, 4);  // covers 4..7; byte 6 is unwatched and ignored
+  probe.on_read(4, 4);
+  for (const std::size_t addr : {std::size_t{4}, std::size_t{5}, std::size_t{7}}) {
+    EXPECT_TRUE(probe.written(addr, 0)) << addr;
+    EXPECT_FALSE(probe.read_before_write(addr, 0)) << addr;
+  }
+
+  probe.begin_tick(1);
+  probe.on_read(6, 2);  // covers 7 (watched) and 6 (not)
+  EXPECT_TRUE(probe.read_before_write(7, 1));
+  EXPECT_FALSE(probe.read_before_write(4, 1));
+}
+
+TEST(AccessProbe, AccessesBeyondTheWindowAreDropped) {
+  AccessProbe probe{8, 2};
+  probe.watch(0);
+  probe.begin_tick(7);  // past ticks(): recording must not write out of range
+  probe.on_read(0, 1);
+  probe.on_write(0, 1);
+  EXPECT_FALSE(probe.read_before_write(0, 0));
+  EXPECT_FALSE(probe.written(0, 1));
+}
+
+TEST(AccessProbe, AddressSpaceAccessorsNotifyWhileAttached) {
+  AddressSpace space;
+  AccessProbe probe{space.size(), 3};
+  const std::size_t addr = 10;
+  probe.watch(addr);
+  probe.watch(addr + 1);
+
+  space.attach_probe(&probe);
+  probe.begin_tick(0);
+  (void)space.read_u16(addr);  // 2-byte read fans out to both bytes
+  probe.begin_tick(1);
+  space.write_u16(addr, 0x1234);
+  space.attach_probe(nullptr);
+  probe.begin_tick(2);
+  (void)space.read_u8(addr);  // detached: must record nothing
+
+  EXPECT_TRUE(probe.read_before_write(addr, 0));
+  EXPECT_TRUE(probe.read_before_write(addr + 1, 0));
+  EXPECT_TRUE(probe.written(addr, 1));
+  EXPECT_TRUE(probe.written(addr + 1, 1));
+  EXPECT_FALSE(probe.read_before_write(addr, 2));
+}
+
+TEST(AccessProbe, HostSideFaultActionsDoNotRecord) {
+  // flip_bit / clear / restore are the *injector's* actions, not target
+  // accesses; recording them would poison the def/use proof.
+  AddressSpace space;
+  AccessProbe probe{space.size(), 2};
+  probe.watch(0);
+  space.attach_probe(&probe);
+  probe.begin_tick(0);
+  space.flip_bit(0, 3);
+  space.attach_probe(nullptr);
+  EXPECT_FALSE(probe.read_before_write(0, 0));
+  EXPECT_FALSE(probe.written(0, 0));
+}
+
+}  // namespace
+}  // namespace easel::mem

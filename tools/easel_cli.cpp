@@ -5,7 +5,9 @@
 //                  [--mass M] [--velocity V] [--watchdog MS] [--csv]
 //   easel sweep    --signal 0..6 [--cases N] [--csv]      per-bit detection map
 //   easel e1       [--cases N] [--obs-ms N] [--seed N] [--csv]
+//                  [--no-prune] [--verify-prune FRACTION]
 //   easel e2       [--cases N] [--obs-ms N] [--seed N] [--csv]
+//                  [--no-prune] [--verify-prune FRACTION]
 //   easel errors   [--e2-seed N]                           list error sets
 //   easel trace    [--signal S --bit B] [--mass M] [--velocity V]  CSV trace
 //   easel table4                                           placement artefacts
@@ -49,6 +51,8 @@ struct Args {
   std::uint64_t e2_seed = 2000;
   std::uint32_t watchdog_ms = 0;
   std::size_t jobs = util::default_jobs();  ///< campaign workers (e1/e2)
+  bool prune = true;                        ///< fault-space pruning (e1/e2)
+  double verify_prune = 0.0;                ///< pruned-run verification fraction
   bool csv = false;
   std::shared_ptr<const arrestor::NodeParamSet> params;  ///< nullptr = ROM
 };
@@ -59,7 +63,8 @@ struct Args {
                "commands: golden | inject | sweep | e1 | e2 | errors | trace | table4\n"
                "options:  --mass M --velocity V --signal 0..6 --bit 0..15\n"
                "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
-               "          --watchdog MS --jobs N --params FILE --csv\n");
+               "          --watchdog MS --jobs N --params FILE --csv\n"
+               "          --no-prune --verify-prune FRACTION\n");
   std::exit(2);
 }
 
@@ -125,6 +130,12 @@ Args parse(int argc, char** argv) {
       const std::uint64_t jobs = uint("--jobs");
       if (jobs == 0) usage("--jobs expects a positive integer");
       args.jobs = static_cast<std::size_t>(jobs);
+    } else if (is("--no-prune")) {
+      args.prune = false;
+    } else if (is("--verify-prune")) {
+      const double fraction = num("--verify-prune");
+      if (fraction < 0.0 || fraction > 1.0) usage("--verify-prune expects 0..1");
+      args.verify_prune = fraction;
     } else if (is("--params")) {
       const char* path = value();
       auto loaded = arrestor::load(path);
@@ -202,6 +213,8 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.test_case_count = args.cases;
   options.observation_ms = args.obs_ms;
   options.jobs = args.jobs;
+  options.prune = args.prune;
+  options.verify_prune = args.verify_prune;
   options.params = args.params;
   options.progress = [](std::size_t done, std::size_t total) {
     std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
