@@ -10,10 +10,13 @@
 //   --quick         shorthand for --cases 2 --obs-ms 12000 (smoke-test scale)
 //   --no-prune      disable fault-space pruning (byte-identical, just slower)
 //   --verify-prune F  re-execute fraction F of pruned runs and assert equality
+//   --via-daemon HOST:PORT  submit the campaign to a running easel-campaignd
+//                   instead of executing in-process (campaign benches only;
+//                   results are bit-identical, timing is client-observed)
 //
 // Environment equivalents, so "for b in build/bench/*; do $b; done" can be
 // scaled from the outside: EASEL_QUICK (any non-empty value), EASEL_JOBS,
-// EASEL_OUT_DIR.  Numeric options are validated strictly: non-numeric,
+// EASEL_OUT_DIR, EASEL_VIA_DAEMON.  Numeric options are validated strictly: non-numeric,
 // zero, or negative values are usage errors, never silently 0.
 #pragma once
 
@@ -55,6 +58,24 @@ inline std::uint64_t parse_positive(const char* what, const char* text) {
 inline std::string& out_dir_storage() {
   static std::string dir;
   return dir;
+}
+
+/// --via-daemon HOST:PORT (or EASEL_VIA_DAEMON); empty = run in-process.
+/// Kept here (plain string, no svc dependency) so parse_options can fill
+/// it; the submission helpers live in bench_daemon.hpp.
+inline std::string& via_daemon_storage() {
+  static std::string target;
+  return target;
+}
+
+inline std::string via_daemon() {
+  std::string target = via_daemon_storage();
+  if (target.empty()) {
+    if (const char* env = std::getenv("EASEL_VIA_DAEMON"); env != nullptr && env[0] != '\0') {
+      target = env;
+    }
+  }
+  return target;
 }
 
 inline std::string out_dir() {
@@ -116,10 +137,13 @@ inline easel::fi::CampaignOptions parse_options(int argc, char** argv) {
       options.verify_prune = fraction;
     } else if (is("--out-dir")) {
       out_dir_storage() = value("--out-dir");
+    } else if (is("--via-daemon")) {
+      via_daemon_storage() = value("--via-daemon");
     } else {
       std::fprintf(stderr,
                    "unknown option '%s' (supported: --quick --cases N --obs-ms N --seed N "
-                   "--jobs N --no-prune --verify-prune F --out-dir DIR)\n",
+                   "--jobs N --no-prune --verify-prune F --out-dir DIR "
+                   "--via-daemon HOST:PORT)\n",
                    argv[i]);
       std::exit(2);
     }

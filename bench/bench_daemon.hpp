@@ -1,0 +1,84 @@
+// --via-daemon support for the campaign benches: instead of executing the
+// campaign in-process, build the equivalent CampaignSpec, submit it to a
+// running easel-campaignd, and load the returned blob.  The timer around
+// the submission then measures *client-observed* throughput — daemon
+// execution plus store lookups plus the wire — which is the number that
+// matters when deciding whether campaign-as-a-service pays for itself.
+//
+// Results are bit-identical to the in-process path by construction (the
+// client verifies the result key and blob before returning), so a bench
+// run via the daemon prints exactly the tables it prints without it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "svc/client.hpp"
+#include "util/strings.hpp"
+
+namespace bench {
+
+/// Splits "HOST:PORT"; exits with a usage error on malformed input (same
+/// contract as the other strict bench parsers).
+inline void parse_daemon_target(const std::string& target, std::string* host,
+                                std::uint16_t* port) {
+  const std::size_t colon = target.rfind(':');
+  const auto parsed = colon != std::string::npos && colon > 0
+                          ? easel::util::parse_u64(std::string_view{target}.substr(colon + 1))
+                          : std::nullopt;
+  if (!parsed || *parsed == 0 || *parsed > 65535) {
+    std::fprintf(stderr, "easel bench: --via-daemon expects HOST:PORT, got '%s'\n",
+                 target.c_str());
+    std::exit(2);
+  }
+  *host = target.substr(0, colon);
+  *port = static_cast<std::uint16_t>(*parsed);
+}
+
+/// The spec equivalent of in-process campaign options.  Shard count 0
+/// leaves the decomposition to the daemon.
+inline easel::svc::CampaignSpec spec_for(const easel::fi::CampaignOptions& options,
+                                         const std::string& series) {
+  easel::svc::CampaignSpec spec;
+  spec.series = series;
+  spec.seed = options.seed;
+  spec.cases = options.test_case_count;
+  spec.obs_ms = options.observation_ms;
+  spec.period_ms = options.injection_period_ms;
+  spec.recovery = static_cast<int>(options.recovery);
+  spec.prune = options.prune;
+  spec.verify_prune = options.verify_prune;
+  if (options.params != nullptr) {
+    std::ostringstream params;
+    easel::arrestor::save(*options.params, params);
+    spec.params_text = params.str();
+  }
+  return spec;
+}
+
+/// Submits and returns the raw result; exits with a diagnostic when the
+/// daemon is unreachable or rejects (a bench run with a dead daemon should
+/// fail loudly, not silently fall back and publish in-process numbers).
+inline easel::svc::Client::SubmitResult submit_or_die(const easel::svc::CampaignSpec& spec,
+                                                      const std::string& target) {
+  std::string host, error;
+  std::uint16_t port = 0;
+  parse_daemon_target(target, &host, &port);
+  auto client = easel::svc::Client::connect(host, port, &error);
+  auto result = client ? client->submit(spec, &error) : std::nullopt;
+  if (!result) {
+    std::fprintf(stderr, "easel bench: --via-daemon %s failed: %s\n", target.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "campaignd-stats: shards=%zu hits=%zu misses=%zu peer=%zu runs=%llu\n",
+               result->stats.shards, result->stats.hits, result->stats.misses,
+               result->stats.peer_shards,
+               static_cast<unsigned long long>(result->stats.runs));
+  return *result;
+}
+
+}  // namespace bench

@@ -7,8 +7,10 @@
 // second view of the same runs) does not have to repeat them.  Runs are
 // spread over --jobs workers; the results are identical for any job count.
 #include <cstdio>
+#include <sstream>
 
 #include "bench_common.hpp"
+#include "bench_daemon.hpp"
 #include "fi/report.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +20,21 @@ int main(int argc, char** argv) {
   options.prune_stats = &prune_stats;
   const std::string key = fi::campaign_key(options);
   const std::string cache = bench::e1_cache_path();
+
+  if (const std::string daemon = bench::via_daemon(); !daemon.empty()) {
+    const bench::WallTimer timer;
+    const auto submitted = bench::submit_or_die(bench::spec_for(options, "e1"), daemon);
+    std::istringstream blob{submitted.blob};
+    const auto results = fi::load_e1(blob, submitted.key);
+    if (!results) return 1;  // unreachable: the client verified the blob
+    // Client-observed throughput: daemon execution + store + wire.
+    bench::record_campaign("table7_e1_detection_via_daemon", options, submitted.key,
+                           results->runs, timer.seconds(),
+                           /*cached=*/submitted.stats.misses == 0);
+    std::printf("%s\n", fi::render_table7(*results).c_str());
+    std::printf("%s\n", fi::render_e1_summary(*results).c_str());
+    return 0;
+  }
 
   const bench::WallTimer timer;
   bool cached = false;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "arrestor/assertions.hpp"
+#include "util/fs.hpp"
 
 namespace easel::arrestor {
 
@@ -121,10 +122,11 @@ void save(const NodeParamSet& params, std::ostream& out) {
 }
 
 bool save(const NodeParamSet& params, const std::string& path) {
-  std::ofstream out{path, std::ios::trunc};
-  if (!out) return false;
+  // Atomic replace: a parameter file is either the complete old set or the
+  // complete new one, never a torn prefix the loader must reject.
+  std::ostringstream out;
   save(params, out);
-  return static_cast<bool>(out);
+  return util::atomic_write_file(path, out.str());
 }
 
 std::optional<NodeParamSet> load(std::istream& in) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "fi/run_context.hpp"
+#include "fi/shard.hpp"
+#include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace easel::fi {
@@ -93,24 +95,33 @@ class Progress {
   std::size_t reported_ = 0;
 };
 
-/// Runs `total` runs across a worker pool: build_config(index) describes the
-/// run, account(partials[worker], result, index, weight) books it.  Partials
-/// are merged into partials[0] in fixed worker order, so the outcome is
-/// bit-identical for any job count (each run is a pure function of its
-/// config, and all accumulators are order-independent integer aggregates).
-/// Each worker owns a RunContext and reuses its rig across runs (bit-
-/// identical to fresh rigs; see run_context.hpp) — campaign throughput is
-/// dominated by per-tick cost, not rig setup, but reuse also removes all
-/// per-run allocation from the workers.
+/// Runs every (group, in-range error, case) run across a worker pool:
+/// build_config(index) describes the run, account(partials[worker], result,
+/// index, weight) books it — `index` is always the GLOBAL dense index
+/// (group * |errors| + error) * |cases| + case, so configs and accounting
+/// buckets are identical whether the engine covers the full error list or
+/// one shard of it.  Partials are merged into partials[0] in fixed worker
+/// order, so the outcome is bit-identical for any job count (each run is a
+/// pure function of its config, and all accumulators are order-independent
+/// integer aggregates).  Each worker owns a RunContext and reuses its rig
+/// across runs (bit-identical to fresh rigs; see run_context.hpp) —
+/// campaign throughput is dominated by per-tick cost, not rig setup, but
+/// reuse also removes all per-run allocation from the workers.
 template <typename Results, typename BuildConfig, typename Account>
-Results run_campaign(const CampaignOptions& options, std::size_t total,
+Results run_campaign(const CampaignOptions& options, std::size_t groups,
+                     std::size_t error_count, ShardRange range, std::size_t cases,
                      const BuildConfig& build_config, const Account& account_run) {
   util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
+  const std::size_t total = groups * range.size() * cases;
   std::vector<Results> partials(pool.workers());
   std::vector<RunContext> contexts(pool.workers());
   Progress progress{options, total};
 
-  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t index, std::size_t worker) {
+  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t local, std::size_t worker) {
+    const std::size_t ci = local % cases;
+    const std::size_t el = (local / cases) % range.size();
+    const std::size_t g = local / (cases * range.size());
+    const std::size_t index = (g * error_count + range.begin + el) * cases + ci;
     const RunConfig config = build_config(index);
     const RunResult result = contexts[worker].run(config);
     account_run(partials[worker], result, index, std::uint64_t{1});
@@ -182,11 +193,12 @@ RunResult derive_version(const RunResult& rep, const CollapsedDetections& per_si
 template <typename BuildConfig, typename Account>
 E1Results run_e1_collapsed(const CampaignOptions& options,
                            const std::array<arrestor::EaMask, kVersionCount>& versions,
-                           const std::vector<ErrorSpec>& errors, std::size_t cases,
-                           const BuildConfig& build_config, const Account& account_run) {
+                           const std::vector<ErrorSpec>& errors, ShardRange range,
+                           std::size_t cases, const BuildConfig& build_config,
+                           const Account& account_run) {
   util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
-  const std::size_t stride = errors.size() * cases;  // dense-index span of one version
-  const std::size_t total = kVersionCount * stride;
+  const std::size_t stride = errors.size() * cases;  // GLOBAL dense-index span of one version
+  const std::size_t total = kVersionCount * range.size() * cases;
   Progress progress{options, total};
 
   // --- Stage 1: one instrumented golden pass per test case (the
@@ -194,19 +206,21 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
   const TargetInfo target = probe_target();
   const std::size_t image_bytes = target.ram_bytes + target.stack_bytes;
   std::vector<GoldenTrace> traces(cases);
-  std::vector<ErrorVerdict> verdicts(errors.size() * cases);
+  std::vector<ErrorVerdict> verdicts(range.size() * cases);
   {
     std::vector<RunContext> contexts(pool.workers());
     pool.parallel_for(cases, /*chunk=*/1, [&](std::size_t ci, std::size_t worker) {
       RunConfig golden = build_config(kAllVersion * stride + ci);
       golden.error.reset();
       mem::AccessProbe probe{image_bytes, options.observation_ms};
-      for (const ErrorSpec& error : errors) probe.watch(error.address);
+      for (std::size_t el = 0; el < range.size(); ++el) {
+        probe.watch(errors[range.begin + el].address);
+      }
       (void)contexts[worker].run_golden(golden, probe, traces[ci]);
-      for (std::size_t e = 0; e < errors.size(); ++e) {
-        verdicts[e * cases + ci] = classify_error(probe, errors[e],
-                                                  options.injection_period_ms,
-                                                  options.observation_ms);
+      for (std::size_t el = 0; el < range.size(); ++el) {
+        verdicts[el * cases + ci] = classify_error(probe, errors[range.begin + el],
+                                                   options.injection_period_ms,
+                                                   options.observation_ms);
       }
     });
   }
@@ -218,12 +232,14 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
   std::vector<RunContext> contexts(pool.workers());
   const util::Rng verify_root{options.seed};
 
-  pool.parallel_for(stride, /*chunk=*/4, [&](std::size_t item, std::size_t worker) {
-    const std::size_t ci = item % cases;
-    const std::size_t e = item / cases;
+  pool.parallel_for(range.size() * cases, /*chunk=*/4, [&](std::size_t local,
+                                                           std::size_t worker) {
+    const std::size_t ci = local % cases;
+    const std::size_t el = local / cases;
+    const std::size_t item = (range.begin + el) * cases + ci;  // global (error, case)
     PruneStats& st = stats[worker];
     const GoldenTrace& trace = traces[ci];
-    const ErrorVerdict verdict = verdicts[e * cases + ci];
+    const ErrorVerdict verdict = verdicts[el * cases + ci];
 
     RunResult rep;
     CollapsedDetections per_signal;
@@ -307,10 +323,11 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
 /// jobs count.
 template <typename Results, typename BuildConfig, typename Account>
 Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
-                            const std::vector<ErrorSpec>& errors, std::size_t cases,
-                            const BuildConfig& build_config, const Account& account_run) {
+                            const std::vector<ErrorSpec>& errors, ShardRange range,
+                            std::size_t cases, const BuildConfig& build_config,
+                            const Account& account_run) {
   util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
-  const std::size_t total = groups * errors.size() * cases;
+  const std::size_t total = groups * range.size() * cases;
   Progress progress{options, total};
 
   // --- Stage 1: representatives and multiplicities ---
@@ -318,20 +335,23 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
   // into the same buckets: the key carries the E1 provenance fields because
   // the accounting callbacks bucket by signal (labels are display-only and
   // excluded — that is exactly the E2 with-replacement duplicate case).
-  std::vector<std::size_t> rep(errors.size());
-  std::vector<std::uint64_t> mult(errors.size(), 0);
+  // Dedup is local to the shard's error range: a duplicate whose
+  // representative lives in another shard is simply executed there too,
+  // which keeps every shard self-contained and the merged weights exact.
+  std::vector<std::size_t> rep(range.size());
+  std::vector<std::uint64_t> mult(range.size(), 0);
   {
     std::map<std::tuple<std::size_t, unsigned, FaultModel,
                         std::optional<arrestor::MonitoredSignal>, unsigned>,
              std::size_t>
         first_of;
-    for (std::size_t e = 0; e < errors.size(); ++e) {
-      const auto [it, inserted] =
-          first_of.try_emplace(std::make_tuple(errors[e].address, errors[e].bit,
-                                               errors[e].model, errors[e].signal,
-                                               errors[e].signal_bit),
-                               e);
-      rep[e] = it->second;
+    for (std::size_t el = 0; el < range.size(); ++el) {
+      const ErrorSpec& error = errors[range.begin + el];
+      const auto [it, inserted] = first_of.try_emplace(
+          std::make_tuple(error.address, error.bit, error.model, error.signal,
+                          error.signal_bit),
+          el);
+      rep[el] = it->second;
       ++mult[it->second];
     }
   }
@@ -340,7 +360,7 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
   const TargetInfo target = probe_target();
   const std::size_t image_bytes = target.ram_bytes + target.stack_bytes;
   std::vector<GoldenTrace> traces(groups * cases);
-  std::vector<ErrorVerdict> verdicts(groups * errors.size() * cases);
+  std::vector<ErrorVerdict> verdicts(groups * range.size() * cases);
   {
     std::vector<RunContext> contexts(pool.workers());
     pool.parallel_for(groups * cases, /*chunk=*/1, [&](std::size_t gi, std::size_t worker) {
@@ -349,14 +369,15 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
       RunConfig golden = build_config(g * errors.size() * cases + ci);
       golden.error.reset();
       mem::AccessProbe probe{image_bytes, options.observation_ms};
-      for (std::size_t e = 0; e < errors.size(); ++e) {
-        if (rep[e] == e) probe.watch(errors[e].address);
+      for (std::size_t el = 0; el < range.size(); ++el) {
+        if (rep[el] == el) probe.watch(errors[range.begin + el].address);
       }
       (void)contexts[worker].run_golden(golden, probe, traces[gi]);
-      for (std::size_t e = 0; e < errors.size(); ++e) {
-        if (rep[e] != e) continue;
-        verdicts[(g * errors.size() + e) * cases + ci] = classify_error(
-            probe, errors[e], options.injection_period_ms, options.observation_ms);
+      for (std::size_t el = 0; el < range.size(); ++el) {
+        if (rep[el] != el) continue;
+        verdicts[(g * range.size() + el) * cases + ci] =
+            classify_error(probe, errors[range.begin + el], options.injection_period_ms,
+                           options.observation_ms);
       }
     });
   }
@@ -367,19 +388,20 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
   std::vector<RunContext> contexts(pool.workers());
   const util::Rng verify_root{options.seed};
 
-  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t index, std::size_t worker) {
-    const std::size_t ci = index % cases;
-    const std::size_t e = (index / cases) % errors.size();
-    const std::size_t g = index / (cases * errors.size());
+  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t local, std::size_t worker) {
+    const std::size_t ci = local % cases;
+    const std::size_t el = (local / cases) % range.size();
+    const std::size_t g = local / (cases * range.size());
+    const std::size_t index = (g * errors.size() + range.begin + el) * cases + ci;
     PruneStats& st = stats[worker];
-    if (rep[e] != e) {
+    if (rep[el] != el) {
       // Accounted (and progress-reported) by the representative's run.
       ++st.runs_deduped;
       return;
     }
-    const std::uint64_t weight = mult[e];
+    const std::uint64_t weight = mult[el];
     const GoldenTrace& trace = traces[g * cases + ci];
-    const ErrorVerdict verdict = verdicts[(g * errors.size() + e) * cases + ci];
+    const ErrorVerdict verdict = verdicts[(g * range.size() + el) * cases + ci];
     const RunConfig config = build_config(index);
 
     RunResult result;
@@ -433,9 +455,16 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
 }  // namespace
 
 E1Results run_e1(const CampaignOptions& options) {
+  return run_e1_shard(options, ShardRange{0, e1_error_count()});
+}
+
+E1Results run_e1_shard(const CampaignOptions& options, ShardRange range) {
   const auto errors = make_e1_for_target();
   const auto cases = campaign_test_cases(options);
   const auto versions = paper_versions();
+  if (range.begin > range.end || range.end > errors.size()) {
+    throw std::out_of_range{"run_e1_shard: error range outside the E1 error list"};
+  }
 
   // Dense run index: ((version * errors + error) * cases + case).
   const auto build_config = [&](std::size_t index) {
@@ -468,21 +497,30 @@ E1Results run_e1(const CampaignOptions& options) {
     // reads, making the trajectory version-dependent — fall back to the
     // per-version pruned engine (results stay byte-identical either way).
     if (options.recovery == core::RecoveryPolicy::none) {
-      return run_e1_collapsed(options, versions, errors, cases.size(), build_config,
+      return run_e1_collapsed(options, versions, errors, range, cases.size(), build_config,
                               account_run);
     }
-    return run_campaign_pruned<E1Results>(options, versions.size(), errors, cases.size(),
-                                          build_config, account_run);
+    return run_campaign_pruned<E1Results>(options, versions.size(), errors, range,
+                                          cases.size(), build_config, account_run);
   }
-  const std::size_t total = versions.size() * errors.size() * cases.size();
-  return run_campaign<E1Results>(options, total, build_config, account_run);
+  return run_campaign<E1Results>(options, versions.size(), errors.size(), range,
+                                 cases.size(), build_config, account_run);
 }
 
 E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
                  std::size_t stack_errors) {
+  return run_e2_shard(options, ram_errors, stack_errors,
+                      ShardRange{0, e2_error_count(ram_errors, stack_errors)});
+}
+
+E2Results run_e2_shard(const CampaignOptions& options, std::size_t ram_errors,
+                       std::size_t stack_errors, ShardRange range) {
   const auto errors = make_e2_for_target(util::Rng{options.seed}.derive("e2-errors"),
                                          ram_errors, stack_errors);
   const auto cases = campaign_test_cases(options);
+  if (range.begin > range.end || range.end > errors.size()) {
+    throw std::out_of_range{"run_e2_shard: error range outside the E2 error list"};
+  }
 
   const auto build_config = [&](std::size_t index) {
     const std::size_t ci = index % cases.size();
@@ -513,11 +551,11 @@ E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
   };
 
   if (options.prune) {
-    return run_campaign_pruned<E2Results>(options, /*groups=*/1, errors, cases.size(),
-                                          build_config, account_run);
+    return run_campaign_pruned<E2Results>(options, /*groups=*/1, errors, range,
+                                          cases.size(), build_config, account_run);
   }
-  const std::size_t total = errors.size() * cases.size();
-  return run_campaign<E2Results>(options, total, build_config, account_run);
+  return run_campaign<E2Results>(options, /*groups=*/1, errors.size(), range, cases.size(),
+                                 build_config, account_run);
 }
 
 // ---------------------------------------------------------------------------
@@ -643,8 +681,11 @@ void save_e1(const E1Results& results, std::ostream& out, const std::string& key
 }
 
 void save_e1(const E1Results& results, const std::string& path, const std::string& key) {
-  std::ofstream out{path};
+  std::ostringstream out;
   save_e1(results, out, key);
+  // Atomic replace: a campaign killed mid-save must never leave a
+  // truncated cache for the defensive loader to reject on the next run.
+  (void)util::atomic_write_file(path, out.str());
 }
 
 std::optional<E1Results> load_e1(std::istream& in, const std::string& key) {
@@ -679,8 +720,9 @@ void save_e2(const E2Results& results, std::ostream& out, const std::string& key
 }
 
 void save_e2(const E2Results& results, const std::string& path, const std::string& key) {
-  std::ofstream out{path};
+  std::ostringstream out;
   save_e2(results, out, key);
+  (void)util::atomic_write_file(path, out.str());
 }
 
 std::optional<E2Results> load_e2(std::istream& in, const std::string& key) {

@@ -1,0 +1,50 @@
+#include "fi/shard.hpp"
+
+#include <sstream>
+
+#include "fi/experiment.hpp"
+
+namespace easel::fi {
+
+std::vector<ShardRange> plan_shards(ShardRange range, std::size_t shard_count) {
+  const std::size_t count = range.size();
+  if (shard_count == 0) shard_count = 1;
+  if (shard_count > count && count > 0) shard_count = count;
+  std::vector<ShardRange> plan;
+  plan.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    plan.push_back(ShardRange{range.begin + count * i / shard_count,
+                              range.begin + count * (i + 1) / shard_count});
+  }
+  return plan;
+}
+
+std::size_t e1_error_count() { return arrestor::kMonitoredSignalCount * 16; }
+
+std::string e1_shard_key(const CampaignOptions& options, ShardRange range) {
+  std::ostringstream key;
+  key << campaign_key(options) << " errors=" << range.begin << ':' << range.end;
+  return key.str();
+}
+
+std::string e2_shard_key(const CampaignOptions& options, std::size_t ram_errors,
+                         std::size_t stack_errors, ShardRange range) {
+  std::ostringstream key;
+  key << e2_campaign_key(options, ram_errors, stack_errors) << " errors=" << range.begin
+      << ':' << range.end;
+  return key.str();
+}
+
+E1Results merge_e1_shards(const std::vector<E1Results>& shards) {
+  E1Results merged;
+  for (const E1Results& shard : shards) merged.merge(shard);
+  return merged;
+}
+
+E2Results merge_e2_shards(const std::vector<E2Results>& shards) {
+  E2Results merged;
+  for (const E2Results& shard : shards) merged.merge(shard);
+  return merged;
+}
+
+}  // namespace easel::fi

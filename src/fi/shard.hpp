@@ -1,0 +1,79 @@
+// Shard planning and partial-merge API for distributing campaigns across
+// processes and hosts (the daemon in src/svc/ is the main consumer).
+//
+// The campaign engines are invariant under any partition of the run list:
+// every run is a pure function of its RunConfig, all seeding derives from
+// (seed, case index), and every accumulator is a weight-linear integer
+// aggregate.  A *shard* exploits that along the error axis: it is the
+// campaign restricted to a contiguous half-open range of error indices
+// [begin, end) within the series' full error list.  Executing the shards
+// of any plan and merging them in ascending range order is byte-identical
+// to the unsharded engine — at any shard count, any job count per shard,
+// and any pruning mode (the pruning planner dedups and collapses *within*
+// the shard, which is exact because its accounting is weight-linear).
+//
+// Shards are content-addressable: e1_shard_key/e2_shard_key fold the
+// campaign's result-relevant options (and nothing results are invariant
+// under — not jobs, not prune, not verify_prune) together with the global
+// error range, so two different campaign submissions that decompose onto
+// the same range — a full E1 and a per-signal ablation, a pruned and an
+// unpruned sweep — produce the same key and share one stored blob.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+
+namespace easel::fi {
+
+/// Half-open range of error indices [begin, end) in a series' full list.
+/// Coordinates are always global (relative to the full list), so a range's
+/// shard key is independent of which campaign asked for it.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// Deterministic balanced partition of [range.begin, range.end) into
+/// min(shard_count, range.size()) contiguous non-empty shards: shard i of S
+/// over N errors covers [begin + i*N/S, begin + (i+1)*N/S).  Pure in its
+/// arguments — the same request always yields the same plan on every host,
+/// which is what makes shard keys reproducible.  shard_count == 0 plans a
+/// single shard; an empty range yields one empty shard.
+[[nodiscard]] std::vector<ShardRange> plan_shards(ShardRange range, std::size_t shard_count);
+
+/// Size of each series' full error list (E1: 7 signals x 16 bits; E2: the
+/// requested sample counts — sampling is with replacement, so the list
+/// length is exact).
+[[nodiscard]] std::size_t e1_error_count();
+[[nodiscard]] constexpr std::size_t e2_error_count(std::size_t ram_errors = 150,
+                                                   std::size_t stack_errors = 50) noexcept {
+  return ram_errors + stack_errors;
+}
+
+/// One shard of the E1/E2 campaign: the engine restricted to the error
+/// range.  The full range reproduces run_e1/run_e2 exactly; partial-range
+/// results merged in ascending range order are byte-identical to the
+/// unsharded campaign.  Throws std::out_of_range on a range outside the
+/// error list.
+[[nodiscard]] E1Results run_e1_shard(const CampaignOptions& options, ShardRange range);
+[[nodiscard]] E2Results run_e2_shard(const CampaignOptions& options, std::size_t ram_errors,
+                                     std::size_t stack_errors, ShardRange range);
+
+/// Content address of one shard: the campaign cache key (which already
+/// excludes jobs/prune/verify_prune) plus the global error range.
+[[nodiscard]] std::string e1_shard_key(const CampaignOptions& options, ShardRange range);
+[[nodiscard]] std::string e2_shard_key(const CampaignOptions& options, std::size_t ram_errors,
+                                       std::size_t stack_errors, ShardRange range);
+
+/// Fixed-order merges (ascending plan order = vector order).  Merging is
+/// exact: all fields are order-independent integer aggregates.
+[[nodiscard]] E1Results merge_e1_shards(const std::vector<E1Results>& shards);
+[[nodiscard]] E2Results merge_e2_shards(const std::vector<E2Results>& shards);
+
+}  // namespace easel::fi

@@ -1,0 +1,156 @@
+#include "store/shard_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fs.hpp"
+#include "util/hash.hpp"
+
+namespace easel::store {
+
+namespace {
+
+constexpr const char* kMagic = "easel-shard-store v1";
+constexpr const char* kEnd = "end";
+constexpr const char* kSuffix = ".shard";
+
+/// Payload ceiling on load: far above any campaign blob, small enough that
+/// a corrupted length field can never drive a runaway allocation.
+constexpr std::uint64_t kMaxPayload = 256ull << 20;
+
+std::string render_blob(const std::string& key, std::string_view payload) {
+  std::ostringstream out;
+  out << kMagic << '\n'
+      << "key " << key << '\n'
+      << "bytes " << payload.size() << '\n'
+      << payload << '\n'
+      << kEnd << '\n';
+  return out.str();
+}
+
+/// All-or-nothing parse of a blob file's contents.  Returns the payload
+/// and the echoed key; nullopt on any structural violation.
+struct ParsedBlob {
+  std::string key;
+  std::string payload;
+};
+
+std::optional<ParsedBlob> parse_blob(const std::string& contents) {
+  std::istringstream in{contents};
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+  if (!std::getline(in, line) || line.rfind("key ", 0) != 0) return std::nullopt;
+  ParsedBlob blob;
+  blob.key = line.substr(4);
+  if (!std::getline(in, line) || line.rfind("bytes ", 0) != 0) return std::nullopt;
+  std::uint64_t bytes = 0;
+  try {
+    std::size_t used = 0;
+    bytes = std::stoull(line.substr(6), &used);
+    if (used != line.size() - 6) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (bytes > kMaxPayload) return std::nullopt;
+  blob.payload.resize(static_cast<std::size_t>(bytes));
+  if (bytes > 0 && !in.read(blob.payload.data(), static_cast<std::streamsize>(bytes))) {
+    return std::nullopt;
+  }
+  // Exactly "\nend\n" must remain: a payload-length lie in either
+  // direction desynchronizes the framing and fails here.
+  if (!std::getline(in, line) || !line.empty()) return std::nullopt;
+  if (!std::getline(in, line) || line != kEnd) return std::nullopt;
+  return blob;
+}
+
+}  // namespace
+
+ShardStore::ShardStore(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec || !std::filesystem::is_directory(directory_)) {
+    throw std::runtime_error{"shard store: cannot create directory '" + directory_ + "'"};
+  }
+}
+
+std::string ShardStore::file_name(const std::string& key) {
+  // Two independent digests of the key: same mixing core, different salts.
+  util::StateHash a, b;
+  a.mix_u64(0x5348415244303141ull);  // "SHARD01A"
+  b.mix_u64(0x5348415244303142ull);  // "SHARD01B"
+  a.mix_bytes(key.data(), key.size());
+  b.mix_bytes(key.data(), key.size());
+  char name[33];
+  std::snprintf(name, sizeof name, "%016llx%016llx",
+                static_cast<unsigned long long>(a.value()),
+                static_cast<unsigned long long>(b.value()));
+  return std::string{name} + kSuffix;
+}
+
+std::string ShardStore::path_for(const std::string& key) const {
+  return directory_ + "/" + file_name(key);
+}
+
+std::optional<std::string> ShardStore::get(const std::string& key) {
+  const auto contents = util::read_file(path_for(key));
+  const auto blob = contents ? parse_blob(*contents) : std::nullopt;
+  const bool hit = blob.has_value() && blob->key == key;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ++(hit ? stats_.hits : stats_.misses);
+  }
+  if (!hit) return std::nullopt;
+  return blob->payload;
+}
+
+bool ShardStore::put(const std::string& key, std::string_view payload) {
+  if (!util::atomic_write_file(path_for(key), render_blob(key, payload))) return false;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++stats_.puts;
+  return true;
+}
+
+bool ShardStore::contains(const std::string& key) const {
+  const auto contents = util::read_file(path_for(key));
+  if (!contents) return false;
+  const auto blob = parse_blob(*contents);
+  return blob.has_value() && blob->key == key;
+}
+
+StoreStats ShardStore::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+void ShardStore::reset_stats() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  stats_ = StoreStats{};
+}
+
+FsckReport ShardStore::fsck() const {
+  FsckReport report;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{directory_, ec}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string_view suffix{kSuffix};
+    if (name.size() < suffix.size() ||
+        std::string_view{name}.substr(name.size() - suffix.size()) != suffix) {
+      continue;  // foreign file or atomic-write temporary
+    }
+    const auto contents = util::read_file(entry.path().string());
+    const auto blob = contents ? parse_blob(*contents) : std::nullopt;
+    // The blob must be structurally complete AND live under the digest of
+    // the key it echoes — a renamed or bit-rotted file fails one of the two.
+    if (blob.has_value() && file_name(blob->key) == name) {
+      ++report.valid;
+    } else {
+      report.corrupt.push_back(entry.path().string());
+    }
+  }
+  return report;
+}
+
+}  // namespace easel::store

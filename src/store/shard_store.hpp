@@ -1,0 +1,88 @@
+// Content-addressed shard store: the shared result cache behind the
+// campaign service (src/svc/), generalizing the one-file-per-campaign
+// cache into a directory of independently addressable blobs.
+//
+// Every blob is stored under the digest of its *key* — for campaign shards
+// that is fi::e1_shard_key/e2_shard_key, i.e. the result-relevant campaign
+// options plus the global error range.  Because the key deliberately
+// excludes everything results are invariant under (jobs, prune mode,
+// verification sampling, shard topology of the *submission*), different
+// campaign submissions that decompose onto the same error range dedupe
+// onto one stored blob: a full E1 warms the store for every per-signal
+// ablation, a pruned sweep for an unpruned verification pass.
+//
+// Defensive discipline matches the rest of the tree:
+//   * every blob carries a versioned magic line, the full key (digests are
+//     not trusted — a collision or renamed file fails key echo), an exact
+//     byte length, and a trailing sentinel; get() returns a payload only
+//     if all four check out, and counts anything else as a miss;
+//   * writes are atomic (util::atomic_write_file), so a daemon killed at
+//     any instant — the CI e2e job does exactly that — can never leave a
+//     torn blob, only a missing one;
+//   * fsck() revalidates every blob on disk without needing any key, for
+//     the post-crash integrity check.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easel::store {
+
+struct StoreStats {
+  std::uint64_t hits = 0;    ///< get() served a complete, key-matching blob
+  std::uint64_t misses = 0;  ///< get() found nothing (or rejected a bad blob)
+  std::uint64_t puts = 0;    ///< successful atomic writes
+};
+
+struct FsckReport {
+  std::size_t valid = 0;
+  std::vector<std::string> corrupt;  ///< paths of rejected blobs
+
+  [[nodiscard]] bool clean() const noexcept { return corrupt.empty(); }
+};
+
+class ShardStore {
+ public:
+  /// Opens (and creates, if needed) the store directory.  Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit ShardStore(std::string directory);
+
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+  /// The payload stored under `key`, or nullopt (counted as a miss) when
+  /// the blob is absent, truncated, corrupted, or echoes a different key.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Atomically stores `payload` under `key`, replacing any previous blob.
+  /// False on I/O failure (the previous blob, if any, is untouched).
+  [[nodiscard]] bool put(const std::string& key, std::string_view payload);
+
+  /// True if a complete, valid blob exists for `key`; does not touch the
+  /// hit/miss counters.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  [[nodiscard]] StoreStats stats() const;
+  void reset_stats();
+
+  /// Validates every blob in the directory (structure + key-digest match);
+  /// ignores foreign files, including in-flight atomic-write temporaries.
+  [[nodiscard]] FsckReport fsck() const;
+
+  /// Blob file name for a key: 32 hex digits (two independent 64-bit
+  /// digests of the key) + ".shard".  Collisions are caught by the key
+  /// echo inside the blob, so the digest only needs to be well spread.
+  [[nodiscard]] static std::string file_name(const std::string& key);
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  std::string directory_;
+  mutable std::mutex mutex_;  ///< serializes counter updates (I/O is atomic per file)
+  StoreStats stats_;
+};
+
+}  // namespace easel::store

@@ -1,0 +1,113 @@
+#include "svc/client.hpp"
+
+#include <sstream>
+
+namespace easel::svc {
+
+namespace {
+
+void fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+}
+
+}  // namespace
+
+std::optional<Client> Client::connect(const std::string& host, std::uint16_t port,
+                                      std::string* error) {
+  auto stream = util::TcpStream::connect(host, port);
+  if (!stream) {
+    std::ostringstream reason;
+    reason << "cannot connect to " << host << ':' << port;
+    fail(error, reason.str());
+    return std::nullopt;
+  }
+  return Client{std::move(*stream)};
+}
+
+std::optional<util::Frame> Client::round_trip(MsgType type, std::string_view payload,
+                                              MsgType expected, std::string* error) {
+  if (!util::send_frame(stream_, static_cast<std::uint8_t>(type), payload)) {
+    fail(error, "send failed (daemon gone?)");
+    return std::nullopt;
+  }
+  auto frame = util::recv_frame(stream_, error);
+  if (!frame) return std::nullopt;
+  if (frame->type == static_cast<std::uint8_t>(MsgType::error)) {
+    fail(error, "daemon rejected request: " + frame->payload);
+    return std::nullopt;
+  }
+  if (frame->type != static_cast<std::uint8_t>(expected)) {
+    fail(error, "daemon sent an unexpected frame type");
+    return std::nullopt;
+  }
+  return frame;
+}
+
+bool Client::ping(std::string* error) {
+  static constexpr std::string_view kProbe = "easel-ping";
+  const auto frame = round_trip(MsgType::ping, kProbe, MsgType::pong, error);
+  if (!frame) return false;
+  if (frame->payload != kProbe) {
+    fail(error, "pong payload mismatch");
+    return false;
+  }
+  return true;
+}
+
+std::optional<Client::SubmitResult> Client::submit(const CampaignSpec& spec,
+                                                   std::string* error) {
+  const auto options = spec_options(spec, error);
+  const auto range = spec_error_range(spec, error);
+  if (!options || !range) return std::nullopt;
+  const std::string expected_key = spec_shard_key(spec, *options, *range);
+
+  const auto frame = round_trip(MsgType::submit, to_text(spec), MsgType::result, error);
+  if (!frame) return std::nullopt;
+
+  SubmitResult result;
+  std::string parse_error;
+  if (!parse_result_payload(frame->payload, &result.stats, &result.key, &result.blob,
+                            &parse_error)) {
+    fail(error, "malformed result envelope: " + parse_error);
+    return std::nullopt;
+  }
+  if (result.key != expected_key) {
+    fail(error, "daemon result key disagrees with this client's spec key "
+                "(protocol or build skew)");
+    return std::nullopt;
+  }
+  // The blob must load under the key before anyone downstream trusts it.
+  std::istringstream blob_in{result.blob};
+  const bool loads = spec.series == "e1"
+                         ? fi::load_e1(blob_in, expected_key).has_value()
+                         : fi::load_e2(blob_in, expected_key).has_value();
+  if (!loads) {
+    fail(error, "daemon result blob does not load under its own key");
+    return std::nullopt;
+  }
+  return result;
+}
+
+std::optional<std::string> Client::submit_shard(const CampaignSpec& spec, fi::ShardRange shard,
+                                                std::string* error) {
+  const auto options = spec_options(spec, error);
+  if (!options) return std::nullopt;
+  const std::string expected_key = spec_shard_key(spec, *options, shard);
+
+  const auto frame =
+      round_trip(MsgType::shard_exec, shard_exec_payload(spec, shard), MsgType::shard_result,
+                 error);
+  if (!frame) return std::nullopt;
+
+  std::istringstream blob_in{frame->payload};
+  const bool loads = spec.series == "e1"
+                         ? fi::load_e1(blob_in, expected_key).has_value()
+                         : fi::load_e2(blob_in, expected_key).has_value();
+  if (!loads) {
+    fail(error, "peer shard blob does not load under the expected shard key");
+    return std::nullopt;
+  }
+  return frame->payload;
+}
+
+}  // namespace easel::svc

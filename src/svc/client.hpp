@@ -1,0 +1,61 @@
+// Client side of the campaign service: one connection to a daemon, one
+// request/response exchange per call.  Used by easel-campaignctl, by the
+// bench harness's --via-daemon mode, and by a daemon itself when it fans
+// a shard out to a peer.
+//
+// Every response is verified before it is trusted: a result's key must
+// equal the key the client computes from its own spec (protocol-skew
+// detector), and a shard blob must load cleanly under the expected shard
+// key.  On any failure the methods return nullopt/false with a one-line
+// reason — the connection is then unusable and should be dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "svc/protocol.hpp"
+#include "util/net.hpp"
+
+namespace easel::svc {
+
+class Client {
+ public:
+  /// Connects to a daemon; nullopt (with a reason) if the TCP connect fails.
+  [[nodiscard]] static std::optional<Client> connect(const std::string& host,
+                                                     std::uint16_t port,
+                                                     std::string* error = nullptr);
+
+  /// Liveness round-trip: sends ping, expects pong with the echoed payload.
+  [[nodiscard]] bool ping(std::string* error = nullptr);
+
+  struct SubmitResult {
+    SubmitStats stats;
+    std::string key;   ///< verified against the client's own spec key
+    std::string blob;  ///< merged campaign blob (fi cache format)
+  };
+
+  /// Submits a campaign and waits for the merged result.  The daemon's
+  /// key is checked against the one this client derives from `spec`;
+  /// a mismatch is an error, not a result.
+  [[nodiscard]] std::optional<SubmitResult> submit(const CampaignSpec& spec,
+                                                   std::string* error = nullptr);
+
+  /// Executes one shard remotely (peer fan-out).  Returns the raw shard
+  /// blob after verifying it loads under the shard's content key.
+  [[nodiscard]] std::optional<std::string> submit_shard(const CampaignSpec& spec,
+                                                        fi::ShardRange shard,
+                                                        std::string* error = nullptr);
+
+ private:
+  explicit Client(util::TcpStream stream) noexcept : stream_(std::move(stream)) {}
+
+  /// Sends `type`+`payload`, then receives one frame, translating an
+  /// `error` frame from the daemon into a local failure.
+  [[nodiscard]] std::optional<util::Frame> round_trip(MsgType type, std::string_view payload,
+                                                      MsgType expected, std::string* error);
+
+  util::TcpStream stream_;
+};
+
+}  // namespace easel::svc

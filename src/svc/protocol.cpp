@@ -1,0 +1,295 @@
+#include "svc/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "arrestor/param_set.hpp"
+#include "util/strings.hpp"
+
+namespace easel::svc {
+
+namespace {
+
+constexpr const char* kSpecMagic = "easel-campaign-spec v1";
+constexpr const char* kResultMagic = "easel-campaign-result v1";
+constexpr const char* kEnd = "end";
+
+/// Inline payload ceiling (params inside a spec, blob inside a result):
+/// generous against real sizes, tight against corrupted length fields.
+constexpr std::uint64_t kMaxInline = 32ull << 20;
+
+void fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+}
+
+/// Reads "<name> <u64>" from the next line; false (with reason) otherwise.
+bool read_u64_line(std::istream& in, const char* name, std::uint64_t* value,
+                   std::string* error) {
+  std::string line;
+  if (!std::getline(in, line) || !util::starts_with(line, std::string{name} + ' ')) {
+    fail(error, std::string{"spec: missing '"} + name + "' line");
+    return false;
+  }
+  const auto parsed = util::parse_u64(std::string_view{line}.substr(std::strlen(name) + 1));
+  if (!parsed) {
+    fail(error, std::string{"spec: malformed '"} + name + "' value");
+    return false;
+  }
+  *value = *parsed;
+  return true;
+}
+
+/// Reads an exact-length inline payload introduced by "<name> <bytes>".
+bool read_sized_payload(std::istream& in, const char* name, std::string* payload,
+                        std::string* error) {
+  std::uint64_t bytes = 0;
+  if (!read_u64_line(in, name, &bytes, error)) return false;
+  if (bytes > kMaxInline) {
+    fail(error, std::string{"'"} + name + "' payload exceeds the inline ceiling");
+    return false;
+  }
+  payload->resize(static_cast<std::size_t>(bytes));
+  if (bytes > 0 && !in.read(payload->data(), static_cast<std::streamsize>(bytes))) {
+    fail(error, std::string{"'"} + name + "' payload truncated");
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) || !line.empty()) {
+    fail(error, std::string{"'"} + name + "' payload not followed by a newline");
+    return false;
+  }
+  return true;
+}
+
+bool read_end(std::istream& in, std::string* error) {
+  std::string line;
+  if (!std::getline(in, line) || line != kEnd) {
+    fail(error, "missing end sentinel");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_text(const CampaignSpec& spec) {
+  std::ostringstream out;
+  out << kSpecMagic << '\n'
+      << "series " << spec.series << '\n'
+      << "seed " << spec.seed << '\n'
+      << "cases " << spec.cases << '\n'
+      << "obs-ms " << spec.obs_ms << '\n'
+      << "period-ms " << spec.period_ms << '\n'
+      << "recovery " << spec.recovery << '\n'
+      << "ram " << spec.ram << '\n'
+      << "stack " << spec.stack << '\n'
+      << "shards " << spec.shards << '\n'
+      << "errors " << spec.error_begin << ' ' << spec.error_end << '\n'
+      << "prune " << (spec.prune ? 1 : 0) << '\n';
+  // verify_prune is result-irrelevant but execution-relevant; round-trip it
+  // with full precision so a relayed spec verifies at the requested rate.
+  out.precision(17);
+  out << "verify-prune " << spec.verify_prune << '\n'
+      << "params " << spec.params_text.size() << '\n'
+      << spec.params_text << '\n'
+      << kEnd << '\n';
+  return out.str();
+}
+
+std::optional<CampaignSpec> parse_spec(const std::string& text, std::string* error) {
+  std::istringstream in{text};
+  std::string line;
+  if (!std::getline(in, line) || line != kSpecMagic) {
+    fail(error, "not an easel-campaign-spec (bad magic)");
+    return std::nullopt;
+  }
+  CampaignSpec spec;
+  if (!std::getline(in, line) || !util::starts_with(line, "series ")) {
+    fail(error, "spec: missing 'series' line");
+    return std::nullopt;
+  }
+  spec.series = line.substr(7);
+  if (spec.series != "e1" && spec.series != "e2") {
+    fail(error, "spec: unknown series '" + spec.series + "'");
+    return std::nullopt;
+  }
+
+  std::uint64_t value = 0;
+  if (!read_u64_line(in, "seed", &spec.seed, error)) return std::nullopt;
+  if (!read_u64_line(in, "cases", &value, error)) return std::nullopt;
+  spec.cases = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "obs-ms", &value, error)) return std::nullopt;
+  spec.obs_ms = static_cast<std::uint32_t>(value);
+  if (!read_u64_line(in, "period-ms", &value, error)) return std::nullopt;
+  spec.period_ms = static_cast<std::uint32_t>(value);
+  if (!read_u64_line(in, "recovery", &value, error)) return std::nullopt;
+  spec.recovery = static_cast<int>(value);
+  if (!read_u64_line(in, "ram", &value, error)) return std::nullopt;
+  spec.ram = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "stack", &value, error)) return std::nullopt;
+  spec.stack = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "shards", &value, error)) return std::nullopt;
+  spec.shards = static_cast<std::size_t>(value);
+
+  if (!std::getline(in, line) || !util::starts_with(line, "errors ")) {
+    fail(error, "spec: missing 'errors' line");
+    return std::nullopt;
+  }
+  {
+    const auto tokens = util::split(std::string_view{line}.substr(7), ' ');
+    const auto begin = tokens.size() == 2 ? util::parse_u64(tokens[0]) : std::nullopt;
+    const auto end = tokens.size() == 2 ? util::parse_u64(tokens[1]) : std::nullopt;
+    if (!begin || !end) {
+      fail(error, "spec: malformed 'errors' range");
+      return std::nullopt;
+    }
+    spec.error_begin = static_cast<std::size_t>(*begin);
+    spec.error_end = static_cast<std::size_t>(*end);
+  }
+
+  if (!read_u64_line(in, "prune", &value, error) || value > 1) {
+    fail(error, "spec: malformed 'prune' flag");
+    return std::nullopt;
+  }
+  spec.prune = value == 1;
+
+  if (!std::getline(in, line) || !util::starts_with(line, "verify-prune ")) {
+    fail(error, "spec: missing 'verify-prune' line");
+    return std::nullopt;
+  }
+  const auto fraction = util::parse_double(std::string_view{line}.substr(13));
+  if (!fraction || *fraction < 0.0 || *fraction > 1.0) {
+    fail(error, "spec: verify-prune outside [0, 1]");
+    return std::nullopt;
+  }
+  spec.verify_prune = *fraction;
+
+  if (!read_sized_payload(in, "params", &spec.params_text, error)) return std::nullopt;
+  if (!read_end(in, error)) return std::nullopt;
+  return spec;
+}
+
+std::optional<fi::CampaignOptions> spec_options(const CampaignSpec& spec, std::string* error) {
+  fi::CampaignOptions options;
+  options.seed = spec.seed;
+  options.test_case_count = spec.cases;
+  options.observation_ms = spec.obs_ms;
+  options.injection_period_ms = spec.period_ms;
+  if (spec.recovery < 0 ||
+      spec.recovery > static_cast<int>(core::RecoveryPolicy::rate_limit)) {
+    fail(error, "spec: recovery policy out of range");
+    return std::nullopt;
+  }
+  options.recovery = static_cast<core::RecoveryPolicy>(spec.recovery);
+  options.prune = spec.prune;
+  options.verify_prune = spec.verify_prune;
+  if (spec.cases == 0 || spec.obs_ms == 0 || spec.period_ms == 0) {
+    fail(error, "spec: cases, obs-ms and period-ms must be positive");
+    return std::nullopt;
+  }
+  if (!spec.params_text.empty()) {
+    std::istringstream in{spec.params_text};
+    auto params = arrestor::load(in);
+    if (!params) {
+      fail(error, "spec: inline parameter payload is malformed");
+      return std::nullopt;
+    }
+    if (const auto validation = arrestor::validate(*params); !validation.ok()) {
+      fail(error, "spec: inline parameter set fails Table-1 validation");
+      return std::nullopt;
+    }
+    options.params = std::make_shared<const arrestor::NodeParamSet>(std::move(*params));
+  }
+  return options;
+}
+
+std::optional<fi::ShardRange> spec_error_range(const CampaignSpec& spec, std::string* error) {
+  const std::size_t count = spec.series == "e1"
+                                ? fi::e1_error_count()
+                                : fi::e2_error_count(spec.ram, spec.stack);
+  if (spec.error_begin == 0 && spec.error_end == 0) return fi::ShardRange{0, count};
+  if (spec.error_begin >= spec.error_end || spec.error_end > count) {
+    fail(error, "spec: error subset outside the series' error list");
+    return std::nullopt;
+  }
+  return fi::ShardRange{spec.error_begin, spec.error_end};
+}
+
+std::string spec_shard_key(const CampaignSpec& spec, const fi::CampaignOptions& options,
+                           fi::ShardRange shard) {
+  return spec.series == "e1" ? fi::e1_shard_key(options, shard)
+                             : fi::e2_shard_key(options, spec.ram, spec.stack, shard);
+}
+
+std::string result_payload(const SubmitStats& stats, const std::string& key,
+                           const std::string& blob) {
+  std::ostringstream out;
+  out << kResultMagic << '\n'
+      << "key " << key << '\n'
+      << "shards " << stats.shards << '\n'
+      << "hits " << stats.hits << '\n'
+      << "misses " << stats.misses << '\n'
+      << "peer-shards " << stats.peer_shards << '\n'
+      << "runs " << stats.runs << '\n'
+      << "blob " << blob.size() << '\n'
+      << blob << '\n'
+      << kEnd << '\n';
+  return out.str();
+}
+
+bool parse_result_payload(const std::string& payload, SubmitStats* stats, std::string* key,
+                          std::string* blob, std::string* error) {
+  std::istringstream in{payload};
+  std::string line;
+  if (!std::getline(in, line) || line != kResultMagic) {
+    fail(error, "not an easel-campaign-result (bad magic)");
+    return false;
+  }
+  if (!std::getline(in, line) || !util::starts_with(line, "key ")) {
+    fail(error, "result: missing 'key' line");
+    return false;
+  }
+  *key = line.substr(4);
+  std::uint64_t value = 0;
+  if (!read_u64_line(in, "shards", &value, error)) return false;
+  stats->shards = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "hits", &value, error)) return false;
+  stats->hits = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "misses", &value, error)) return false;
+  stats->misses = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "peer-shards", &value, error)) return false;
+  stats->peer_shards = static_cast<std::size_t>(value);
+  if (!read_u64_line(in, "runs", &stats->runs, error)) return false;
+  if (!read_sized_payload(in, "blob", blob, error)) return false;
+  return read_end(in, error);
+}
+
+std::string shard_exec_payload(const CampaignSpec& spec, fi::ShardRange shard) {
+  std::ostringstream out;
+  out << "shard " << shard.begin << ' ' << shard.end << '\n' << to_text(spec);
+  return out.str();
+}
+
+bool parse_shard_exec(const std::string& payload, CampaignSpec* spec, fi::ShardRange* shard,
+                      std::string* error) {
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string::npos || !util::starts_with(payload, "shard ")) {
+    fail(error, "shard-exec: missing 'shard' line");
+    return false;
+  }
+  const auto tokens = util::split(std::string_view{payload}.substr(6, newline - 6), ' ');
+  const auto begin = tokens.size() == 2 ? util::parse_u64(tokens[0]) : std::nullopt;
+  const auto end = tokens.size() == 2 ? util::parse_u64(tokens[1]) : std::nullopt;
+  if (!begin || !end) {
+    fail(error, "shard-exec: malformed 'shard' range");
+    return false;
+  }
+  shard->begin = static_cast<std::size_t>(*begin);
+  shard->end = static_cast<std::size_t>(*end);
+  const auto parsed = parse_spec(payload.substr(newline + 1), error);
+  if (!parsed) return false;
+  *spec = *parsed;
+  return true;
+}
+
+}  // namespace easel::svc

@@ -1,0 +1,110 @@
+// Campaign-service protocol: the campaign spec a client submits, the
+// result envelope a daemon returns, and the frame types both ride in.
+//
+// A CampaignSpec is everything a daemon needs to reproduce a campaign
+// bit-identically: series, scale, seeds, pruning mode, and — because a
+// daemon must not depend on the client's filesystem — the assertion
+// parameter set inlined as its own self-delimiting text payload.  Specs
+// serialize to a versioned line format with the same strict all-or-nothing
+// parsing as every other format in the tree; a daemon never guesses at a
+// malformed spec.
+//
+// Frames (util/net.hpp) carry one message each:
+//
+//   ping        -> pong          liveness probe (payload echoed)
+//   submit      -> result|error  spec text -> result envelope
+//   shard_exec  -> shard_result|error
+//                                one shard on behalf of a peer daemon:
+//                                "shard B E" line + spec text -> raw blob
+//
+// The result envelope reports how the campaign was assembled (shard
+// count, store hits/misses, peer fan-out) plus the merged result blob in
+// the fi campaign-cache format under the key the envelope names — a
+// client can and should recompute that key from its own spec and refuse
+// a daemon whose key disagrees (protocol-version skew detector).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fi/campaign.hpp"
+#include "fi/shard.hpp"
+#include "sim/plant_constants.hpp"
+
+namespace easel::svc {
+
+enum class MsgType : std::uint8_t {
+  ping = 1,
+  pong = 2,
+  submit = 3,
+  result = 4,
+  error = 5,  ///< payload: one-line human-readable reason
+  shard_exec = 6,
+  shard_result = 7,
+};
+
+struct CampaignSpec {
+  std::string series = "e1";  ///< "e1" | "e2"
+  std::uint64_t seed = 2000;
+  std::size_t cases = 25;
+  std::uint32_t obs_ms = sim::kObservationMs;
+  std::uint32_t period_ms = 20;
+  int recovery = 0;                          ///< core::RecoveryPolicy as int
+  std::size_t ram = 150, stack = 50;         ///< E2 sample sizes (ignored for E1)
+  std::size_t shards = 0;                    ///< requested shard count; 0 = daemon default
+  std::size_t error_begin = 0, error_end = 0;  ///< subset campaign; 0,0 = full list
+  bool prune = true;
+  double verify_prune = 0.0;
+  std::string params_text;  ///< inline easel-params payload; empty = ROM
+
+  friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;
+};
+
+[[nodiscard]] std::string to_text(const CampaignSpec& spec);
+
+/// Strict all-or-nothing parse; nullopt (with a one-line reason in *error
+/// when non-null) on any deviation from to_text's format.
+[[nodiscard]] std::optional<CampaignSpec> parse_spec(const std::string& text,
+                                                     std::string* error = nullptr);
+
+/// Campaign options implied by the spec (params payload parsed and
+/// Table-1-validated; jobs left at the library default for the executor to
+/// override).  nullopt with a reason on an invalid payload or field.
+[[nodiscard]] std::optional<fi::CampaignOptions> spec_options(const CampaignSpec& spec,
+                                                              std::string* error = nullptr);
+
+/// The spec's error range resolved against the series' full error list
+/// (0,0 = the full list); nullopt with a reason when out of bounds.
+[[nodiscard]] std::optional<fi::ShardRange> spec_error_range(const CampaignSpec& spec,
+                                                             std::string* error = nullptr);
+
+/// Content key of one shard / of the whole requested range, as the store
+/// addresses it.  Precondition: options/range came from the same spec.
+[[nodiscard]] std::string spec_shard_key(const CampaignSpec& spec,
+                                         const fi::CampaignOptions& options,
+                                         fi::ShardRange shard);
+
+// --- result envelope -------------------------------------------------------
+
+struct SubmitStats {
+  std::size_t shards = 0;       ///< shards the campaign decomposed into
+  std::size_t hits = 0;         ///< served from the store
+  std::size_t misses = 0;       ///< executed (locally or by a peer)
+  std::size_t peer_shards = 0;  ///< of the misses, executed by peer daemons
+  std::uint64_t runs = 0;       ///< total runs in the merged result
+};
+
+[[nodiscard]] std::string result_payload(const SubmitStats& stats, const std::string& key,
+                                         const std::string& blob);
+[[nodiscard]] bool parse_result_payload(const std::string& payload, SubmitStats* stats,
+                                        std::string* key, std::string* blob,
+                                        std::string* error = nullptr);
+
+// --- peer shard execution --------------------------------------------------
+
+[[nodiscard]] std::string shard_exec_payload(const CampaignSpec& spec, fi::ShardRange shard);
+[[nodiscard]] bool parse_shard_exec(const std::string& payload, CampaignSpec* spec,
+                                    fi::ShardRange* shard, std::string* error = nullptr);
+
+}  // namespace easel::svc

@@ -1,0 +1,109 @@
+#include "svc/server.hpp"
+
+namespace easel::svc {
+
+namespace {
+
+void log_to(const CampaignService& service, const std::string& line) {
+  if (service.config().log) service.config().log(line);
+}
+
+}  // namespace
+
+bool Server::start(std::uint16_t port) {
+  listener_ = util::TcpListener::bind(port);
+  return listener_.has_value();
+}
+
+std::uint16_t Server::port() const noexcept {
+  return listener_ ? listener_->port() : 0;
+}
+
+std::size_t Server::serve() {
+  std::size_t connections = 0;
+  std::vector<std::thread> handlers;
+  while (!stopping()) {
+    // Short accept timeout = stop() latency; long enough not to spin.
+    auto stream = listener_->accept(/*timeout_ms=*/200);
+    if (!stream) continue;
+    ++connections;
+    handlers.emplace_back(
+        [this](util::TcpStream connection) { handle_connection(connection); },
+        std::move(*stream));
+  }
+  for (std::thread& handler : handlers) handler.join();
+  return connections;
+}
+
+void Server::send_error(util::TcpStream& stream, const std::string& reason) {
+  // Best effort: the client may already be gone; the daemon doesn't care.
+  (void)util::send_frame(stream, static_cast<std::uint8_t>(MsgType::error), reason);
+}
+
+void Server::handle_connection(util::TcpStream& stream) {
+  while (!stopping()) {
+    std::string frame_error;
+    auto frame = util::recv_frame(stream, &frame_error);
+    if (!frame) {
+      // Clean between-frames EOF is the normal end of a conversation;
+      // anything else is a protocol violation worth a log line.  Either
+      // way only this connection ends — the daemon stays up.
+      if (frame_error != "connection closed") {
+        log_to(service_, "dropping connection: " + frame_error);
+      }
+      return;
+    }
+
+    switch (static_cast<MsgType>(frame->type)) {
+      case MsgType::ping: {
+        if (!util::send_frame(stream, static_cast<std::uint8_t>(MsgType::pong),
+                              frame->payload)) {
+          return;
+        }
+        break;
+      }
+      case MsgType::submit: {
+        std::string reason;
+        const auto spec = parse_spec(frame->payload, &reason);
+        if (!spec) {
+          send_error(stream, reason);
+          break;
+        }
+        const auto result = service_.submit(*spec, &reason);
+        if (!result) {
+          send_error(stream, reason);
+          break;
+        }
+        if (!util::send_frame(stream, static_cast<std::uint8_t>(MsgType::result),
+                              result_payload(result->stats, result->key, result->blob))) {
+          return;
+        }
+        break;
+      }
+      case MsgType::shard_exec: {
+        std::string reason;
+        CampaignSpec spec;
+        fi::ShardRange shard;
+        if (!parse_shard_exec(frame->payload, &spec, &shard, &reason)) {
+          send_error(stream, reason);
+          break;
+        }
+        const auto blob = service_.execute_shard(spec, shard, &reason);
+        if (!blob) {
+          send_error(stream, reason);
+          break;
+        }
+        if (!util::send_frame(stream, static_cast<std::uint8_t>(MsgType::shard_result),
+                              *blob)) {
+          return;
+        }
+        break;
+      }
+      default:
+        send_error(stream, "unknown frame type");
+        return;
+    }
+  }
+}
+
+}  // namespace easel::svc

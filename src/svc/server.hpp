@@ -1,0 +1,64 @@
+// The daemon's serve loop: a loopback TCP listener in front of a
+// CampaignService.
+//
+// Each connection gets its own handler thread (an idle client must never
+// block another client's campaign); requests within a connection run
+// sequentially.  Results stay deterministic regardless — shard blobs are
+// content-addressed and bit-identical whoever computes them, so
+// concurrent submissions can only race about who fills the store first.
+// A malformed frame or bad spec never takes the daemon down: the
+// offending connection gets an `error` frame (when the stream is still
+// writable) or is dropped, and the loop continues with the next accept.
+//
+// serve() polls the listener with a short timeout and re-checks stop(),
+// so the daemon can be stopped from a signal handler or another thread
+// without pthread cancellation games.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "util/net.hpp"
+
+namespace easel::svc {
+
+class Server {
+ public:
+  /// Wraps (not owns) a service.  The service must outlive the server.
+  explicit Server(CampaignService& service) noexcept : service_(service) {}
+
+  /// Binds 127.0.0.1:port (0 = kernel-chosen); false if bind fails.
+  [[nodiscard]] bool start(std::uint16_t port);
+
+  /// The bound port (valid after start() succeeded).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Accept-and-serve until stop(); handler threads are joined before it
+  /// returns.  Returns the number of connections accepted (for tests).
+  std::size_t serve();
+
+  /// Makes serve() return after its current connection; safe from other
+  /// threads and from signal handlers.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stopping() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Handles every request on one connection until the client half-closes
+  /// or a frame fails to parse.  Exposed for tests.
+  void handle_connection(util::TcpStream& stream);
+
+ private:
+  void send_error(util::TcpStream& stream, const std::string& reason);
+
+  CampaignService& service_;
+  std::optional<util::TcpListener> listener_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace easel::svc

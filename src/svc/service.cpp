@@ -1,0 +1,189 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "svc/client.hpp"
+
+namespace easel::svc {
+
+namespace {
+
+void fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+}
+
+std::string render_blob(const CampaignSpec& spec, const fi::E1Results* e1,
+                        const fi::E2Results* e2, const std::string& key) {
+  std::ostringstream out;
+  if (spec.series == "e1") {
+    fi::save_e1(*e1, out, key);
+  } else {
+    fi::save_e2(*e2, out, key);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+CampaignService::CampaignService(const std::string& store_dir, ServiceConfig config)
+    : store_(store_dir), config_(std::move(config)) {}
+
+void CampaignService::log(const std::string& line) const {
+  if (config_.log) config_.log(line);
+}
+
+std::string CampaignService::run_shard_locally(const CampaignSpec& spec,
+                                               const fi::CampaignOptions& options,
+                                               fi::ShardRange shard, const std::string& key) {
+  fi::CampaignOptions local = options;
+  if (config_.jobs != 0) local.jobs = config_.jobs;
+  if (spec.series == "e1") {
+    const auto results = fi::run_e1_shard(local, shard);
+    return render_blob(spec, &results, nullptr, key);
+  }
+  const auto results = fi::run_e2_shard(local, spec.ram, spec.stack, shard);
+  return render_blob(spec, nullptr, &results, key);
+}
+
+std::optional<CampaignService::SubmitResult> CampaignService::submit(const CampaignSpec& spec,
+                                                                     std::string* error) {
+  const auto options = spec_options(spec, error);
+  if (!options) return std::nullopt;
+  const auto range = spec_error_range(spec, error);
+  if (!range) return std::nullopt;
+
+  std::size_t shard_count = spec.shards;
+  if (shard_count == 0) shard_count = config_.default_shards;
+  if (shard_count == 0) shard_count = std::max<std::size_t>(1, range->size() / 16);
+  const auto plan = fi::plan_shards(*range, shard_count);
+
+  SubmitResult result;
+  result.stats.shards = plan.size();
+  result.key = spec_shard_key(spec, *options, *range);
+
+  // Phase 1: gather every shard blob — store hit, peer execution, or local
+  // execution — in plan order.  Order never matters for the bytes (the
+  // merge below is fixed-order over the plan), only for the log.
+  std::vector<std::string> blobs;
+  blobs.reserve(plan.size());
+  std::size_t miss_index = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const std::string key = spec_shard_key(spec, *options, plan[i]);
+    std::ostringstream tag;
+    tag << "shard " << i + 1 << '/' << plan.size() << " [" << plan[i].begin << ':'
+        << plan[i].end << ")";
+    if (auto cached = store_.get(key)) {
+      ++result.stats.hits;
+      log(tag.str() + ": store hit");
+      blobs.push_back(std::move(*cached));
+      continue;
+    }
+    ++result.stats.misses;
+    std::string blob;
+    if (!config_.peers.empty()) {
+      const Peer& peer = config_.peers[miss_index % config_.peers.size()];
+      std::string peer_error;
+      auto client = Client::connect(peer.host, peer.port, &peer_error);
+      auto remote = client ? client->submit_shard(spec, plan[i], &peer_error) : std::nullopt;
+      if (remote) {
+        ++result.stats.peer_shards;
+        log(tag.str() + ": executed by peer " + peer.host);
+        blob = std::move(*remote);
+      } else {
+        log(tag.str() + ": peer " + peer.host + " unavailable (" + peer_error +
+            "), running locally");
+      }
+    }
+    ++miss_index;
+    if (blob.empty()) {
+      log(tag.str() + ": executing locally");
+      blob = run_shard_locally(spec, *options, plan[i], key);
+    }
+    if (!store_.put(key, blob)) {
+      fail(error, "store write failed for " + key);
+      return std::nullopt;
+    }
+    blobs.push_back(std::move(blob));
+  }
+
+  // Phase 2: load + merge in plan order.  Every blob — cached, peer, or
+  // fresh — must load under its key; a store that went bad between get()
+  // and here fails loudly rather than merging garbage.
+  if (spec.series == "e1") {
+    std::vector<fi::E1Results> parts;
+    parts.reserve(blobs.size());
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+      std::istringstream in{blobs[i]};
+      auto part = fi::load_e1(in, spec_shard_key(spec, *options, plan[i]));
+      if (!part) {
+        fail(error, "shard blob failed to load during merge");
+        return std::nullopt;
+      }
+      parts.push_back(std::move(*part));
+    }
+    const auto merged = fi::merge_e1_shards(parts);
+    result.stats.runs = merged.runs;
+    result.blob = render_blob(spec, &merged, nullptr, result.key);
+  } else {
+    std::vector<fi::E2Results> parts;
+    parts.reserve(blobs.size());
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+      std::istringstream in{blobs[i]};
+      auto part = fi::load_e2(in, spec_shard_key(spec, *options, plan[i]));
+      if (!part) {
+        fail(error, "shard blob failed to load during merge");
+        return std::nullopt;
+      }
+      parts.push_back(std::move(*part));
+    }
+    const auto merged = fi::merge_e2_shards(parts);
+    result.stats.runs = merged.runs;
+    result.blob = render_blob(spec, nullptr, &merged, result.key);
+  }
+
+  // Store the merged range too (unless it IS the single shard, in which
+  // case it's already there): a later single-shard submission of the same
+  // range then hits directly.
+  if (plan.size() > 1 && !store_.put(result.key, result.blob)) {
+    fail(error, "store write failed for " + result.key);
+    return std::nullopt;
+  }
+
+  std::ostringstream summary;
+  summary << "served " << spec.series << " [" << range->begin << ':' << range->end << ") in "
+          << plan.size() << " shard(s): " << result.stats.hits << " hit, "
+          << result.stats.misses << " executed (" << result.stats.peer_shards << " by peers), "
+          << result.stats.runs << " runs";
+  log(summary.str());
+  return result;
+}
+
+std::optional<std::string> CampaignService::execute_shard(const CampaignSpec& spec,
+                                                          fi::ShardRange shard,
+                                                          std::string* error) {
+  const auto options = spec_options(spec, error);
+  if (!options) return std::nullopt;
+  const auto range = spec_error_range(spec, error);
+  if (!range) return std::nullopt;
+  if (shard.begin > shard.end || shard.begin < range->begin || shard.end > range->end) {
+    fail(error, "shard range outside the spec's error range");
+    return std::nullopt;
+  }
+  const std::string key = spec_shard_key(spec, *options, shard);
+  if (auto cached = store_.get(key)) {
+    log("peer shard [" + std::to_string(shard.begin) + ':' + std::to_string(shard.end) +
+        "): store hit");
+    return cached;
+  }
+  log("peer shard [" + std::to_string(shard.begin) + ':' + std::to_string(shard.end) +
+      "): executing");
+  std::string blob = run_shard_locally(spec, *options, shard, key);
+  if (!store_.put(key, blob)) {
+    fail(error, "store write failed for " + key);
+    return std::nullopt;
+  }
+  return blob;
+}
+
+}  // namespace easel::svc

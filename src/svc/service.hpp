@@ -1,0 +1,89 @@
+// The campaign service proper: plans a submitted campaign into shards,
+// serves every shard it can from the content-addressed store, executes
+// the rest (locally on the worker pool, or fanned out to peer daemons),
+// and merges the partials in fixed plan order.
+//
+// The service is deliberately independent of any transport: the daemon
+// (server.hpp) calls it per request, the tests call it in-process, and
+// both get byte-identical blobs — sharding and merging live entirely in
+// fi::plan_shards / merge_*_shards, which are invariant under topology.
+//
+// Peer fan-out is best-effort: a peer that is unreachable, rejects the
+// shard, or returns a blob that fails key verification simply costs a
+// local execution — never a wrong result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/shard_store.hpp"
+#include "svc/protocol.hpp"
+
+namespace easel::svc {
+
+/// A peer daemon this service may fan shards out to.
+struct Peer {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct ServiceConfig {
+  /// Worker threads per locally executed shard (campaign engine `jobs`);
+  /// 0 = the library default.  Never affects results.
+  std::size_t jobs = 0;
+
+  /// Shard count when a spec asks for 0; 0 here = one shard per 16 errors
+  /// (the E1 per-signal slab width, chosen so full-campaign shards align
+  /// with per-signal ablation subsets and dedupe in the store).
+  std::size_t default_shards = 0;
+
+  std::vector<Peer> peers;
+
+  /// Optional progress/log sink (one line per call, no trailing newline).
+  std::function<void(const std::string&)> log;
+};
+
+class CampaignService {
+ public:
+  /// Opens the store at `store_dir` (created if missing; throws
+  /// std::runtime_error like store::ShardStore does).
+  CampaignService(const std::string& store_dir, ServiceConfig config);
+
+  [[nodiscard]] store::ShardStore& store() noexcept { return store_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+  struct SubmitResult {
+    SubmitStats stats;
+    std::string key;   ///< content key of the full requested range
+    std::string blob;  ///< merged campaign blob (fi cache format) under `key`
+  };
+
+  /// Runs (or serves) the campaign described by `spec`.  nullopt — with a
+  /// one-line reason — on an invalid spec or an I/O failure; partial
+  /// results are never returned.
+  [[nodiscard]] std::optional<SubmitResult> submit(const CampaignSpec& spec,
+                                                   std::string* error = nullptr);
+
+  /// Executes exactly one shard (the peer-side half of fan-out): serves it
+  /// from the store when present, else runs and stores it.  Returns the
+  /// shard blob under its content key.
+  [[nodiscard]] std::optional<std::string> execute_shard(const CampaignSpec& spec,
+                                                         fi::ShardRange shard,
+                                                         std::string* error = nullptr);
+
+ private:
+  /// Runs one shard on the local worker pool and serializes it under `key`.
+  [[nodiscard]] std::string run_shard_locally(const CampaignSpec& spec,
+                                              const fi::CampaignOptions& options,
+                                              fi::ShardRange shard, const std::string& key);
+
+  void log(const std::string& line) const;
+
+  store::ShardStore store_;
+  ServiceConfig config_;
+};
+
+}  // namespace easel::svc

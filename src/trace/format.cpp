@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/fs.hpp"
+
 namespace easel::trace {
 
 namespace {
@@ -125,10 +127,11 @@ void save(const Trace& trace, std::ostream& out) {
 }
 
 bool save(const Trace& trace, const std::string& path) {
-  std::ofstream out{path, std::ios::binary | std::ios::trunc};
-  if (!out) return false;
+  // Atomic replace (temp + fsync + rename): a recorder killed mid-save
+  // leaves the previous trace intact instead of a truncated file.
+  std::ostringstream out;
   save(trace, out);
-  return static_cast<bool>(out);
+  return util::atomic_write_file(path, out.str());
 }
 
 std::optional<Trace> load(std::istream& in) {

@@ -1,0 +1,39 @@
+#include "util/build_info.hpp"
+
+// The version and build type arrive as compile definitions on this one
+// translation unit (src/util/CMakeLists.txt runs `git describe` at
+// configure time); the feature flags are the build-wide definitions the
+// rest of the tree already compiles under, so this file reports what the
+// libraries actually contain, not what a header claims.
+#ifndef EASEL_GIT_DESCRIBE
+#define EASEL_GIT_DESCRIBE "unversioned"
+#endif
+#ifndef EASEL_BUILD_TYPE
+#define EASEL_BUILD_TYPE "unknown"
+#endif
+
+namespace easel::util {
+
+const char* version_string() noexcept { return EASEL_GIT_DESCRIBE; }
+
+std::string build_info(const std::string& tool) {
+  std::string line = tool;
+  line += ' ';
+  line += EASEL_GIT_DESCRIBE;
+  line += " (" EASEL_BUILD_TYPE "; trace=";
+#ifdef EASEL_TRACE_ENABLED
+  line += "on";
+#else
+  line += "off";
+#endif
+  line += ", checked-image=";
+#ifdef EASEL_CHECKED_IMAGE
+  line += "on";
+#else
+  line += "off";
+#endif
+  line += ')';
+  return line;
+}
+
+}  // namespace easel::util

@@ -1,0 +1,23 @@
+// One shared build-identification line for every CLI in the tree.
+//
+// `easel --version`, `easel-calibrate --version`, `easel-campaignctl
+// --version`, and the `easel-campaignd` startup log all print the same
+// string, so a bug report (or a daemon log scraped months later) pins down
+// exactly which sources and build configuration produced it: git describe,
+// CMake build type, and the two result-relevant compile-time switches
+// (trace hook, checked image accessors).
+#pragma once
+
+#include <string>
+
+namespace easel::util {
+
+/// The raw version identifier: `git describe --always --dirty` captured at
+/// configure time, or "unversioned" when the tree was built outside git.
+[[nodiscard]] const char* version_string() noexcept;
+
+/// Full one-liner, e.g.
+/// "easel-campaignd 4d0e820 (RelWithDebInfo; trace=on, checked-image=off)".
+[[nodiscard]] std::string build_info(const std::string& tool);
+
+}  // namespace easel::util

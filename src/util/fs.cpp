@@ -1,0 +1,60 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace easel::util {
+
+namespace {
+
+/// Temp name in the same directory as `path` (rename(2) cannot cross file
+/// systems), unique per process so concurrent writers never collide on the
+/// temp file itself; the final rename still lets the last writer win whole.
+std::string temp_name(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string temp = temp_name(path);
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  const char* data = contents.data();
+  std::size_t left = contents.size();
+  bool ok = true;
+  while (left > 0) {
+    const ::ssize_t wrote = ::write(fd, data, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  // fsync before rename: the rename must never become durable before the
+  // data it points at.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(temp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(temp.c_str());
+  return ok;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace easel::util

@@ -1,0 +1,29 @@
+// Crash-safe file plumbing shared by every on-disk artefact (campaign
+// caches, shard-store blobs, traces, parameter sets, bench records).
+//
+// All of those formats load defensively — magic, length, sentinel — so a
+// torn write is *detected*, but a plain ofstream can still leave a
+// truncated file behind when the process dies mid-write, and the next run
+// then pays a cache miss it should not have.  atomic_write_file closes the
+// gap: the bytes land in a temporary file in the destination directory,
+// are fsync'd, and are rename(2)'d over the target, so any reader (before,
+// during, or after a crash) sees either the complete old contents or the
+// complete new contents — never a prefix.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace easel::util {
+
+/// Atomically replaces `path` with `contents` (temp file in the same
+/// directory + fsync + rename).  Returns false — leaving any previous file
+/// untouched — if the directory is missing or any syscall fails; the
+/// temporary is unlinked on every failure path.
+[[nodiscard]] bool atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Whole-file read (binary); nullopt if the file cannot be opened or read.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace easel::util

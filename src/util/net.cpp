@@ -1,0 +1,215 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace easel::util {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+/// SIGPIPE-free send flag: a peer that vanished must surface as an error
+/// return, not kill the daemon.
+constexpr int kSendFlags = MSG_NOSIGNAL;
+
+void set_nodelay(int fd) noexcept {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+std::optional<TcpStream> TcpStream::connect(const std::string& host, std::uint16_t port) {
+  ::addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  ::addrinfo* list = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &list) != 0) {
+    return std::nullopt;
+  }
+  Socket socket;
+  for (const ::addrinfo* info = list; info != nullptr; info = info->ai_next) {
+    Socket candidate{::socket(info->ai_family, info->ai_socktype, info->ai_protocol)};
+    if (!candidate.valid()) continue;
+    if (::connect(candidate.fd(), info->ai_addr, info->ai_addrlen) == 0) {
+      socket = std::move(candidate);
+      break;
+    }
+  }
+  ::freeaddrinfo(list);
+  if (!socket.valid()) return std::nullopt;
+  set_nodelay(socket.fd());
+  return TcpStream{std::move(socket)};
+}
+
+bool TcpStream::send_all(const void* data, std::size_t len) noexcept {
+  const char* bytes = static_cast<const char*>(data);
+  while (len > 0) {
+    const ::ssize_t sent = ::send(socket_.fd(), bytes, len, kSendFlags);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    bytes += sent;
+    len -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool TcpStream::recv_all(void* data, std::size_t len) noexcept {
+  char* bytes = static_cast<char*>(data);
+  while (len > 0) {
+    const ::ssize_t got = ::recv(socket_.fd(), bytes, len, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // peer closed mid-read
+    bytes += got;
+    len -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void TcpStream::shutdown_send() noexcept {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
+}
+
+std::optional<TcpListener> TcpListener::bind(std::uint16_t port) {
+  Socket socket{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!socket.valid()) return std::nullopt;
+  int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  ::sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  address.sin_port = ::htons(port);
+  if (::bind(socket.fd(), reinterpret_cast<const ::sockaddr*>(&address), sizeof address) != 0 ||
+      ::listen(socket.fd(), 16) != 0) {
+    return std::nullopt;
+  }
+
+  ::socklen_t length = sizeof address;
+  if (::getsockname(socket.fd(), reinterpret_cast<::sockaddr*>(&address), &length) != 0) {
+    return std::nullopt;
+  }
+  TcpListener listener;
+  listener.socket_ = std::move(socket);
+  listener.port_ = ::ntohs(address.sin_port);
+  return listener;
+}
+
+std::optional<TcpStream> TcpListener::accept(int timeout_ms) {
+  ::pollfd poller{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&poller, 1, timeout_ms);
+  if (ready <= 0) return std::nullopt;
+  Socket accepted{::accept(socket_.fd(), nullptr, nullptr)};
+  if (!accepted.valid()) return std::nullopt;
+  set_nodelay(accepted.fd());
+  return TcpStream{std::move(accepted)};
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void fail(std::string* error, const char* reason) {
+  if (error != nullptr) *error = reason;
+}
+
+}  // namespace
+
+bool send_frame(TcpStream& stream, std::uint8_t type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  char header[sizeof kFrameMagic + 1 + 4];
+  std::memcpy(header, kFrameMagic, sizeof kFrameMagic);
+  header[sizeof kFrameMagic] = static_cast<char>(type);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  header[sizeof kFrameMagic + 1] = static_cast<char>(length & 0xff);
+  header[sizeof kFrameMagic + 2] = static_cast<char>((length >> 8) & 0xff);
+  header[sizeof kFrameMagic + 3] = static_cast<char>((length >> 16) & 0xff);
+  header[sizeof kFrameMagic + 4] = static_cast<char>((length >> 24) & 0xff);
+  return stream.send_all(header, sizeof header) &&
+         (payload.empty() || stream.send_all(payload.data(), payload.size())) &&
+         stream.send_all(kFrameSentinel, sizeof kFrameSentinel);
+}
+
+std::optional<Frame> recv_frame(TcpStream& stream, std::string* error,
+                                std::size_t max_payload) {
+  char magic[sizeof kFrameMagic];
+  // Read the first magic byte separately so a clean between-frames EOF is
+  // distinguishable from a stream that died inside a frame.
+  if (!stream.recv_all(magic, 1)) {
+    fail(error, "connection closed");
+    return std::nullopt;
+  }
+  if (!stream.recv_all(magic + 1, sizeof magic - 1)) {
+    fail(error, "truncated frame header");
+    return std::nullopt;
+  }
+  if (std::memcmp(magic, kFrameMagic, sizeof kFrameMagic) != 0) {
+    fail(error, "bad frame magic (not an easel-svc peer, or protocol version mismatch)");
+    return std::nullopt;
+  }
+
+  unsigned char meta[1 + 4];
+  if (!stream.recv_all(meta, sizeof meta)) {
+    fail(error, "truncated frame header");
+    return std::nullopt;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(meta[1]) |
+                               (static_cast<std::uint32_t>(meta[2]) << 8) |
+                               (static_cast<std::uint32_t>(meta[3]) << 16) |
+                               (static_cast<std::uint32_t>(meta[4]) << 24);
+  if (length > max_payload) {
+    fail(error, "frame length prefix exceeds the payload ceiling");
+    return std::nullopt;
+  }
+
+  Frame frame;
+  frame.type = meta[0];
+  frame.payload.resize(length);
+  if (length > 0 && !stream.recv_all(frame.payload.data(), length)) {
+    fail(error, "connection closed mid-payload");
+    return std::nullopt;
+  }
+  char sentinel[sizeof kFrameSentinel];
+  if (!stream.recv_all(sentinel, sizeof sentinel)) {
+    fail(error, "connection closed before the frame sentinel");
+    return std::nullopt;
+  }
+  if (std::memcmp(sentinel, kFrameSentinel, sizeof kFrameSentinel) != 0) {
+    fail(error, "bad frame sentinel");
+    return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace easel::util

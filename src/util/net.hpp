@@ -1,0 +1,123 @@
+// Minimal TCP plumbing and length-prefixed framing for the campaign
+// service (src/svc/).
+//
+// The wire discipline follows the same defensive-load style as the trace
+// and cache formats: every frame starts with an 8-byte versioned magic,
+// carries an explicit payload length (with a hard ceiling), and ends with a
+// 4-byte sentinel, so a receiver can tell a complete frame from a
+// truncated, foreign, or corrupted byte stream without guessing — and
+// reports *why* it rejected one.  Streams are blocking; recv_all treats a
+// peer that disappears mid-frame as an error, never as a short frame.
+//
+// POSIX sockets only (the tree targets Linux); everything is loopback- and
+// LAN-grade — there is no TLS and no authentication, by design: campaignd
+// is a trusted-network build service, not an internet-facing one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace easel::util {
+
+/// RAII file-descriptor owner; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP byte stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket socket) noexcept : socket_(std::move(socket)) {}
+
+  /// Connects to host:port (numeric IPv4 host or a resolvable name);
+  /// nullopt on failure.
+  [[nodiscard]] static std::optional<TcpStream> connect(const std::string& host,
+                                                        std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+
+  /// Writes all `len` bytes (retrying partial writes); false on any error.
+  [[nodiscard]] bool send_all(const void* data, std::size_t len) noexcept;
+
+  /// Reads exactly `len` bytes; false on EOF or error before `len` arrived.
+  [[nodiscard]] bool recv_all(void* data, std::size_t len) noexcept;
+
+  /// Half-closes the send direction (the peer sees EOF after the last
+  /// frame) — lets a client signal "no more requests" without dropping the
+  /// pending response.
+  void shutdown_send() noexcept;
+
+  void close() noexcept { socket_.close(); }
+
+ private:
+  Socket socket_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (port 0 = kernel-chosen).
+class TcpListener {
+ public:
+  /// nullopt if bind/listen fails (port in use, no permission).
+  [[nodiscard]] static std::optional<TcpListener> bind(std::uint16_t port);
+
+  /// The actually bound port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to timeout_ms for one connection; nullopt on timeout or
+  /// error.  A finite timeout is what lets a serve loop poll a stop flag.
+  [[nodiscard]] std::optional<TcpStream> accept(int timeout_ms);
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------------
+
+/// 8-byte frame magic; the trailing digit is the protocol version.
+inline constexpr char kFrameMagic[8] = {'E', 'A', 'S', 'L', 'F', 'R', 'M', '1'};
+
+/// 4-byte end-of-frame sentinel.
+inline constexpr char kFrameSentinel[4] = {'E', 'S', 'N', 'D'};
+
+/// Hard ceiling on a frame payload.  Far above any real campaign blob
+/// (full-scale E1 serializes to ~6 KB) yet small enough that a corrupted
+/// or hostile length prefix can never drive a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+/// Sends one frame: magic, type byte, little-endian u32 payload length,
+/// payload, sentinel.  False on any write failure or oversized payload.
+[[nodiscard]] bool send_frame(TcpStream& stream, std::uint8_t type, std::string_view payload);
+
+/// Receives one complete frame.  nullopt — with a one-line reason in
+/// *error when non-null — on clean EOF ("connection closed"), truncation
+/// mid-frame, foreign magic, a length prefix above `max_payload`, or a bad
+/// sentinel.  The stream is unusable afterwards in every failure case.
+[[nodiscard]] std::optional<Frame> recv_frame(TcpStream& stream, std::string* error = nullptr,
+                                              std::size_t max_payload = kMaxFramePayload);
+
+}  // namespace easel::util

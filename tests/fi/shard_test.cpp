@@ -1,0 +1,146 @@
+// Shard planning and partial-merge: shards merged in fixed order must be
+// byte-identical to the unsharded campaign at every shard count, for both
+// series and both pruning modes; shard keys must be content addresses
+// (range-sensitive, topology-insensitive).  Campaigns are tiny — the
+// partition algebra, not the physics, is under test.
+#include "fi/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace easel::fi {
+namespace {
+
+CampaignOptions tiny_options() {
+  CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+std::string serialize_e1(const E1Results& results, const std::string& key) {
+  std::ostringstream out;
+  save_e1(results, out, key);
+  return out.str();
+}
+
+std::string serialize_e2(const E2Results& results, const std::string& key) {
+  std::ostringstream out;
+  save_e2(results, out, key);
+  return out.str();
+}
+
+std::string sharded_e1(const CampaignOptions& options, std::size_t shard_count,
+                       const std::string& key) {
+  std::vector<E1Results> parts;
+  for (const ShardRange shard : plan_shards({0, e1_error_count()}, shard_count)) {
+    parts.push_back(run_e1_shard(options, shard));
+  }
+  return serialize_e1(merge_e1_shards(parts), key);
+}
+
+TEST(PlanShards, CoversTheRangeExactlyOnceInOrder) {
+  for (std::size_t count : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                            std::size_t{112}, std::size_t{500}}) {
+    const auto plan = plan_shards({0, 112}, count);
+    ASSERT_EQ(plan.size(), std::min<std::size_t>(count, 112));
+    EXPECT_EQ(plan.front().begin, 0u);
+    EXPECT_EQ(plan.back().end, 112u);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_GT(plan[i].size(), 0u);
+      if (i > 0) {
+        EXPECT_EQ(plan[i].begin, plan[i - 1].end);
+      }
+    }
+  }
+}
+
+TEST(PlanShards, IsBalancedWithinOneError) {
+  const auto plan = plan_shards({0, 112}, 5);
+  std::size_t smallest = plan.front().size(), largest = plan.front().size();
+  for (const ShardRange shard : plan) {
+    smallest = std::min(smallest, shard.size());
+    largest = std::max(largest, shard.size());
+  }
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(PlanShards, SevenWayFullE1SplitsOnSignalBoundaries) {
+  // 112 errors / 7 shards = one 16-error slab per monitored signal —
+  // exactly the ranges a per-signal ablation submits, so the two share
+  // store entries.  This alignment is load-bearing for the service tests.
+  const auto plan = plan_shards({0, e1_error_count()}, 7);
+  ASSERT_EQ(plan.size(), 7u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i], (ShardRange{16 * i, 16 * (i + 1)}));
+  }
+}
+
+TEST(PlanShards, ZeroCountAndSubranges) {
+  EXPECT_EQ(plan_shards({16, 32}, 0).size(), 1u);
+  EXPECT_EQ(plan_shards({16, 32}, 0).front(), (ShardRange{16, 32}));
+  const auto plan = plan_shards({16, 48}, 2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0], (ShardRange{16, 32}));
+  EXPECT_EQ(plan[1], (ShardRange{32, 48}));
+}
+
+TEST(ShardKeys, EncodeRangeButNotTopologyOrPruneMode) {
+  CampaignOptions options = tiny_options();
+  const std::string full = e1_shard_key(options, {0, 112});
+  EXPECT_NE(full, e1_shard_key(options, {0, 16}));
+  EXPECT_EQ(campaign_key(options) + " errors=0:112", full);
+
+  CampaignOptions variant = tiny_options();
+  variant.jobs = 13;
+  variant.prune = !options.prune;
+  variant.verify_prune = 0.5;
+  EXPECT_EQ(full, e1_shard_key(variant, {0, 112}));
+
+  variant.seed = 78;
+  EXPECT_NE(full, e1_shard_key(variant, {0, 112}));
+}
+
+TEST(ShardE1, FullRangeShardEqualsUnshardedCampaign) {
+  const std::string key = campaign_key(tiny_options());
+  EXPECT_EQ(serialize_e1(run_e1_shard(tiny_options(), {0, e1_error_count()}), key),
+            serialize_e1(run_e1(tiny_options()), key));
+}
+
+TEST(ShardE1, MergedShardsAreByteIdenticalAtEveryCount) {
+  const std::string key = campaign_key(tiny_options());
+  const std::string unsharded = serialize_e1(run_e1(tiny_options()), key);
+  EXPECT_EQ(sharded_e1(tiny_options(), 1, key), unsharded);
+  EXPECT_EQ(sharded_e1(tiny_options(), 3, key), unsharded);
+  EXPECT_EQ(sharded_e1(tiny_options(), 7, key), unsharded);
+}
+
+TEST(ShardE1, UnprunedShardsMergeIdenticallyToo) {
+  CampaignOptions options = tiny_options();
+  options.prune = false;
+  const std::string key = campaign_key(options);
+  const std::string unsharded = serialize_e1(run_e1(options), key);
+  EXPECT_EQ(sharded_e1(options, 3, key), unsharded);
+}
+
+TEST(ShardE2, MergedShardsAreByteIdenticalToUnsharded) {
+  const std::string key = e2_campaign_key(tiny_options(), 20, 10);
+  const std::string unsharded = serialize_e2(run_e2(tiny_options(), 20, 10), key);
+  std::vector<E2Results> parts;
+  for (const ShardRange shard : plan_shards({0, e2_error_count(20, 10)}, 3)) {
+    parts.push_back(run_e2_shard(tiny_options(), 20, 10, shard));
+  }
+  EXPECT_EQ(serialize_e2(merge_e2_shards(parts), key), unsharded);
+}
+
+TEST(ShardE1, RejectsRangesOutsideTheErrorList) {
+  EXPECT_THROW((void)run_e1_shard(tiny_options(), {0, 113}), std::out_of_range);
+  EXPECT_THROW((void)run_e1_shard(tiny_options(), {5, 3}), std::out_of_range);
+  EXPECT_THROW((void)run_e2_shard(tiny_options(), 20, 10, {0, 31}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace easel::fi

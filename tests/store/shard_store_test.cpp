@@ -1,0 +1,142 @@
+// Content-addressed shard store: round-trips, hit/miss accounting,
+// rejection of every corruption class get() can meet on disk, and fsck's
+// ability to find what get() would reject.
+#include "store/shard_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/fs.hpp"
+
+namespace easel::store {
+namespace {
+
+class ShardStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "shard_store_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ShardStoreTest, RoundTripsPayloadsUnderTheirKeys) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key-a", "payload a"));
+  ASSERT_TRUE(store.put("key-b", std::string{"binary\0payload", 14}));
+  EXPECT_EQ(store.get("key-a"), "payload a");
+  EXPECT_EQ(store.get("key-b"), (std::string{"binary\0payload", 14}));
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.puts, 2u);
+}
+
+TEST_F(ShardStoreTest, AbsentKeyIsACountedMiss) {
+  ShardStore store{dir_};
+  EXPECT_FALSE(store.get("never-stored").has_value());
+  EXPECT_FALSE(store.contains("never-stored"));
+  EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST_F(ShardStoreTest, PutReplacesAndEmptyPayloadRoundTrips) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key", "first"));
+  ASSERT_TRUE(store.put("key", "second"));
+  EXPECT_EQ(store.get("key"), "second");
+  ASSERT_TRUE(store.put("empty", ""));
+  EXPECT_EQ(store.get("empty"), "");
+}
+
+TEST_F(ShardStoreTest, DifferentKeysGetDifferentFileNames) {
+  EXPECT_NE(ShardStore::file_name("key-a"), ShardStore::file_name("key-b"));
+  EXPECT_EQ(ShardStore::file_name("key-a"), ShardStore::file_name("key-a"));
+  EXPECT_EQ(ShardStore::file_name("key-a").size(), 32u + 6u);  // 32 hex + ".shard"
+}
+
+TEST_F(ShardStoreTest, RejectsTruncatedBlob) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key", "a payload long enough to truncate"));
+  const std::string path = dir_ + "/" + ShardStore::file_name("key");
+  const auto contents = util::read_file(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_TRUE(util::atomic_write_file(path, contents->substr(0, contents->size() / 2)));
+  EXPECT_FALSE(store.get("key").has_value());
+  EXPECT_FALSE(store.contains("key"));
+}
+
+TEST_F(ShardStoreTest, RejectsBlobEchoingADifferentKey) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key-a", "payload"));
+  // Simulate a misfiled blob: key-a's bytes under key-b's digest.
+  const auto contents = util::read_file(dir_ + "/" + ShardStore::file_name("key-a"));
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_TRUE(util::atomic_write_file(dir_ + "/" + ShardStore::file_name("key-b"), *contents));
+  EXPECT_FALSE(store.get("key-b").has_value());
+  EXPECT_TRUE(store.get("key-a").has_value());
+}
+
+TEST_F(ShardStoreTest, RejectsForeignFileContents) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(util::atomic_write_file(dir_ + "/" + ShardStore::file_name("key"),
+                                      "not a shard blob at all\n"));
+  EXPECT_FALSE(store.get("key").has_value());
+}
+
+TEST_F(ShardStoreTest, LeavesNoTemporariesBehind) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key-a", "payload"));
+  ASSERT_TRUE(store.put("key-b", "payload"));
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator{dir_}) {
+    EXPECT_EQ(entry.path().extension(), ".shard") << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST_F(ShardStoreTest, FsckCountsValidAndFindsCorrupt) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key-a", "payload a"));
+  ASSERT_TRUE(store.put("key-b", "payload b"));
+  EXPECT_TRUE(store.fsck().clean());
+  EXPECT_EQ(store.fsck().valid, 2u);
+
+  // Corrupt one blob in place; fsck must name exactly that file.
+  const std::string victim = dir_ + "/" + ShardStore::file_name("key-b");
+  ASSERT_TRUE(util::atomic_write_file(victim, "garbage"));
+  const FsckReport report = store.fsck();
+  EXPECT_EQ(report.valid, 1u);
+  ASSERT_EQ(report.corrupt.size(), 1u);
+  EXPECT_EQ(report.corrupt.front(), victim);
+}
+
+TEST_F(ShardStoreTest, FsckFlagsRenamedBlobAndIgnoresForeignFiles) {
+  ShardStore store{dir_};
+  ASSERT_TRUE(store.put("key-a", "payload"));
+  // A structurally valid blob under the wrong digest is corruption...
+  const auto contents = util::read_file(dir_ + "/" + ShardStore::file_name("key-a"));
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_TRUE(util::atomic_write_file(dir_ + "/" + ShardStore::file_name("elsewhere"),
+                                      *contents));
+  EXPECT_EQ(store.fsck().corrupt.size(), 1u);
+  // ...but a non-.shard file (e.g. an interrupted atomic-write temp) is not.
+  ASSERT_TRUE(util::atomic_write_file(dir_ + "/" + ShardStore::file_name("x") + ".tmp.123",
+                                      "partial"));
+  EXPECT_EQ(store.fsck().corrupt.size(), 1u);
+}
+
+TEST_F(ShardStoreTest, ThrowsWhenDirectoryCannotBeCreated) {
+  const std::string blocked = dir_ + "_blocked";
+  ASSERT_TRUE(util::atomic_write_file(blocked, "a file where the directory should go"));
+  EXPECT_THROW(ShardStore{blocked}, std::runtime_error);
+  std::filesystem::remove(blocked);
+}
+
+}  // namespace
+}  // namespace easel::store

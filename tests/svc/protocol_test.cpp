@@ -1,0 +1,204 @@
+// Campaign-service protocol: spec and result envelopes round-trip exactly
+// and reject every deviation — the daemon never guesses at a malformed
+// message.
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arrestor/param_set.hpp"
+
+namespace easel::svc {
+namespace {
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.series = "e1";
+  spec.seed = 77;
+  spec.cases = 2;
+  spec.obs_ms = 2000;
+  spec.shards = 3;
+  return spec;
+}
+
+TEST(SpecFormat, RoundTripsEveryField) {
+  CampaignSpec spec = tiny_spec();
+  spec.series = "e2";
+  spec.ram = 20;
+  spec.stack = 10;
+  spec.error_begin = 4;
+  spec.error_end = 17;
+  spec.prune = false;
+  spec.verify_prune = 0.125;
+  spec.recovery = 2;
+  const auto parsed = parse_spec(to_text(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(SpecFormat, RoundTripsInlineParamsPayloadWithNewlines) {
+  CampaignSpec spec = tiny_spec();
+  std::ostringstream params;
+  arrestor::save(arrestor::NodeParamSet::rom(), params);
+  spec.params_text = params.str();
+  ASSERT_GT(spec.params_text.find('\n'), 0u);  // multi-line payload
+  const auto parsed = parse_spec(to_text(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params_text, spec.params_text);
+  // And the payload actually reconstitutes a validated parameter set.
+  const auto options = spec_options(*parsed);
+  ASSERT_TRUE(options.has_value());
+  EXPECT_NE(options->params, nullptr);
+}
+
+TEST(SpecFormat, RejectsForeignMagic) {
+  std::string error;
+  EXPECT_FALSE(parse_spec("easel-campaign-spec v2\n", &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(SpecFormat, RejectsUnknownSeries) {
+  std::string text = to_text(tiny_spec());
+  const auto pos = text.find("series e1");
+  text.replace(pos, 9, "series e3");
+  std::string error;
+  EXPECT_FALSE(parse_spec(text, &error).has_value());
+  EXPECT_NE(error.find("series"), std::string::npos);
+}
+
+TEST(SpecFormat, RejectsMissingAndMalformedNumericLines) {
+  const std::string text = to_text(tiny_spec());
+  // Drop the seed line entirely.
+  std::string dropped = text;
+  const auto seed_at = dropped.find("seed ");
+  dropped.erase(seed_at, dropped.find('\n', seed_at) - seed_at + 1);
+  std::string error;
+  EXPECT_FALSE(parse_spec(dropped, &error).has_value());
+  // Corrupt the value instead.
+  std::string corrupted = text;
+  corrupted.replace(corrupted.find("seed 77"), 7, "seed 7x");
+  EXPECT_FALSE(parse_spec(corrupted, &error).has_value());
+  EXPECT_NE(error.find("seed"), std::string::npos);
+}
+
+TEST(SpecFormat, RejectsTruncatedParamsPayload) {
+  CampaignSpec spec = tiny_spec();
+  spec.params_text = "twenty bytes of text";
+  std::string text = to_text(spec);
+  // Lie about the payload length: claim more bytes than follow.
+  text.replace(text.find("params 20"), 9, "params 99");
+  std::string error;
+  EXPECT_FALSE(parse_spec(text, &error).has_value());
+}
+
+TEST(SpecFormat, RejectsMissingEndSentinel) {
+  std::string text = to_text(tiny_spec());
+  text.erase(text.rfind("end\n"));
+  std::string error;
+  EXPECT_FALSE(parse_spec(text, &error).has_value());
+  EXPECT_NE(error.find("sentinel"), std::string::npos);
+}
+
+TEST(SpecFormat, RejectsVerifyPruneOutsideUnitInterval) {
+  std::string text = to_text(tiny_spec());
+  text.replace(text.find("verify-prune 0"), 14, "verify-prune 2");
+  EXPECT_FALSE(parse_spec(text).has_value());
+}
+
+TEST(SpecOptions, MapsFieldsAndBoundsRecovery) {
+  CampaignSpec spec = tiny_spec();
+  spec.recovery = 3;
+  const auto options = spec_options(spec);
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->seed, 77u);
+  EXPECT_EQ(options->test_case_count, 2u);
+  EXPECT_EQ(options->observation_ms, 2000u);
+  EXPECT_EQ(options->recovery, core::RecoveryPolicy::rate_limit);
+
+  spec.recovery = 4;
+  std::string error;
+  EXPECT_FALSE(spec_options(spec, &error).has_value());
+  EXPECT_NE(error.find("recovery"), std::string::npos);
+}
+
+TEST(SpecOptions, RejectsZeroScales) {
+  CampaignSpec spec = tiny_spec();
+  spec.cases = 0;
+  EXPECT_FALSE(spec_options(spec).has_value());
+}
+
+TEST(SpecOptions, RejectsGarbageParamsPayload) {
+  CampaignSpec spec = tiny_spec();
+  spec.params_text = "not a parameter set";
+  std::string error;
+  EXPECT_FALSE(spec_options(spec, &error).has_value());
+  EXPECT_NE(error.find("parameter"), std::string::npos);
+}
+
+TEST(SpecErrorRange, DefaultsToFullListAndValidatesSubsets) {
+  CampaignSpec spec = tiny_spec();
+  EXPECT_EQ(spec_error_range(spec), (fi::ShardRange{0, fi::e1_error_count()}));
+  spec.error_begin = 16;
+  spec.error_end = 32;
+  EXPECT_EQ(spec_error_range(spec), (fi::ShardRange{16, 32}));
+  spec.error_end = 113;
+  EXPECT_FALSE(spec_error_range(spec).has_value());
+  spec.series = "e2";
+  spec.ram = 20;
+  spec.stack = 10;
+  spec.error_end = 30;
+  EXPECT_EQ(spec_error_range(spec), (fi::ShardRange{16, 30}));
+}
+
+TEST(ResultEnvelope, RoundTripsStatsKeyAndBlob) {
+  SubmitStats stats;
+  stats.shards = 7;
+  stats.hits = 3;
+  stats.misses = 4;
+  stats.peer_shards = 1;
+  stats.runs = 1792;
+  const std::string blob{"blob with\nnewlines and \0 bytes", 30};
+  const std::string payload = result_payload(stats, "the key", blob);
+
+  SubmitStats out_stats;
+  std::string out_key, out_blob, error;
+  ASSERT_TRUE(parse_result_payload(payload, &out_stats, &out_key, &out_blob, &error)) << error;
+  EXPECT_EQ(out_key, "the key");
+  EXPECT_EQ(out_blob, blob);
+  EXPECT_EQ(out_stats.shards, 7u);
+  EXPECT_EQ(out_stats.hits, 3u);
+  EXPECT_EQ(out_stats.misses, 4u);
+  EXPECT_EQ(out_stats.peer_shards, 1u);
+  EXPECT_EQ(out_stats.runs, 1792u);
+}
+
+TEST(ResultEnvelope, RejectsBlobLengthLie) {
+  std::string payload = result_payload(SubmitStats{}, "key", "twenty bytes of blob");
+  payload.replace(payload.find("blob 20"), 7, "blob 10");
+  SubmitStats stats;
+  std::string key, blob, error;
+  EXPECT_FALSE(parse_result_payload(payload, &stats, &key, &blob, &error));
+}
+
+TEST(ShardExec, RoundTripsShardAndSpec) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string payload = shard_exec_payload(spec, {16, 32});
+  CampaignSpec out_spec;
+  fi::ShardRange out_shard;
+  std::string error;
+  ASSERT_TRUE(parse_shard_exec(payload, &out_spec, &out_shard, &error)) << error;
+  EXPECT_EQ(out_spec, spec);
+  EXPECT_EQ(out_shard, (fi::ShardRange{16, 32}));
+}
+
+TEST(ShardExec, RejectsMissingShardLine) {
+  CampaignSpec spec;
+  fi::ShardRange shard;
+  std::string error;
+  EXPECT_FALSE(parse_shard_exec(to_text(tiny_spec()), &spec, &shard, &error));
+  EXPECT_NE(error.find("shard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easel::svc

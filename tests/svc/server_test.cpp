@@ -1,0 +1,227 @@
+// The daemon serve loop over real loopback sockets: client round-trips
+// are byte-identical to the in-process engines, peers can fan shards out,
+// and no malformed byte stream — foreign magic, truncation, a lying
+// length prefix, a mid-request disconnect — takes the server down or
+// leaves a partial result behind.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "svc/client.hpp"
+
+namespace easel::svc {
+namespace {
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.series = "e1";
+  spec.seed = 77;
+  spec.cases = 2;
+  spec.obs_ms = 2000;
+  spec.shards = 3;
+  return spec;
+}
+
+fi::CampaignOptions tiny_options() {
+  fi::CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+/// One live daemon on a kernel-chosen loopback port, served from a
+/// background thread, stopped and joined on destruction.
+class LiveServer {
+ public:
+  explicit LiveServer(const std::string& store_dir, ServiceConfig config = {})
+      : service_(store_dir, std::move(config)), server_(service_) {
+    EXPECT_TRUE(server_.start(0));
+    thread_ = std::thread{[this] { (void)server_.serve(); }};
+  }
+
+  ~LiveServer() {
+    server_.stop();
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] CampaignService& service() noexcept { return service_; }
+
+ private:
+  CampaignService service_;
+  Server server_;
+  std::thread thread_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "server_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ServerTest, PingPongOverLoopback) {
+  LiveServer daemon{dir_};
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  EXPECT_TRUE(client->ping(&error)) << error;
+}
+
+TEST_F(ServerTest, SubmitOverLoopbackMatchesInProcessEngine) {
+  LiveServer daemon{dir_};
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  const auto result = client->submit(tiny_spec(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+
+  std::ostringstream reference;
+  fi::save_e1(fi::run_e1(tiny_options()), reference,
+              fi::e1_shard_key(tiny_options(), {0, fi::e1_error_count()}));
+  EXPECT_EQ(result->blob, reference.str());
+  EXPECT_EQ(result->stats.misses, 3u);
+
+  // Same connection, warm resubmission: all hits, same bytes.
+  const auto warm = client->submit(tiny_spec(), &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_EQ(warm->stats.hits, 3u);
+  EXPECT_EQ(warm->blob, result->blob);
+}
+
+TEST_F(ServerTest, SubmitShardReturnsAVerifiableBlob) {
+  LiveServer daemon{dir_};
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  const auto blob = client->submit_shard(tiny_spec(), {0, 16}, &error);
+  ASSERT_TRUE(blob.has_value()) << error;
+  std::istringstream in{*blob};
+  EXPECT_TRUE(fi::load_e1(in, fi::e1_shard_key(tiny_options(), {0, 16})).has_value());
+}
+
+TEST_F(ServerTest, DaemonFansShardsOutToAPeer) {
+  const std::string peer_dir = dir_ + "_peer";
+  LiveServer peer{peer_dir};
+  ServiceConfig config;
+  config.peers.push_back({"127.0.0.1", peer.port()});
+  LiveServer front{dir_, std::move(config)};
+
+  std::string error;
+  auto client = Client::connect("127.0.0.1", front.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  const auto result = client->submit(tiny_spec(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->stats.peer_shards, 3u);  // every miss went to the peer
+
+  std::ostringstream reference;
+  fi::save_e1(fi::run_e1(tiny_options()), reference,
+              fi::e1_shard_key(tiny_options(), {0, fi::e1_error_count()}));
+  EXPECT_EQ(result->blob, reference.str());
+  std::filesystem::remove_all(peer_dir);
+}
+
+TEST_F(ServerTest, RejectsBadSpecWithUsefulErrorAndStaysUp) {
+  LiveServer daemon{dir_};
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  // The client validates before sending, so an out-of-range subset never
+  // even reaches the wire...
+  CampaignSpec bad = tiny_spec();
+  bad.error_end = 500;
+  EXPECT_FALSE(client->submit(bad, &error).has_value());
+  EXPECT_NE(error.find("outside"), std::string::npos) << error;
+  // ...and a raw submit frame that bypasses that validation earns a
+  // daemon-side error frame naming the reason.
+  auto raw = util::TcpStream::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(util::send_frame(*raw, static_cast<std::uint8_t>(MsgType::submit),
+                               "not a campaign spec"));
+  auto reply = util::recv_frame(*raw);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, static_cast<std::uint8_t>(MsgType::error));
+  EXPECT_NE(reply->payload.find("magic"), std::string::npos) << reply->payload;
+  // Same connections still serve good requests.
+  EXPECT_TRUE(client->ping(&error)) << error;
+  EXPECT_EQ(daemon.service().store().stats().puts, 0u);
+}
+
+TEST_F(ServerTest, GarbageMagicDropsOnlyThatConnection) {
+  LiveServer daemon{dir_};
+  auto raw = util::TcpStream::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(raw.has_value());
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(raw->send_all(garbage, sizeof garbage - 1));
+  raw->shutdown_send();
+  // The server drops the connection without replying.
+  std::string error;
+  EXPECT_FALSE(util::recv_frame(*raw, &error).has_value());
+  // And keeps serving everyone else.
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  EXPECT_TRUE(client->ping(&error)) << error;
+}
+
+TEST_F(ServerTest, MidFrameDisconnectLeavesNoPartialState) {
+  LiveServer daemon{dir_};
+  auto raw = util::TcpStream::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(raw.has_value());
+  // A submit frame header promising a large payload, then disconnect.
+  std::string header{util::kFrameMagic, sizeof util::kFrameMagic};
+  header.push_back(static_cast<char>(MsgType::submit));
+  const std::uint32_t length = 100000;
+  header.push_back(static_cast<char>(length & 0xff));
+  header.push_back(static_cast<char>((length >> 8) & 0xff));
+  header.push_back(static_cast<char>((length >> 16) & 0xff));
+  header.push_back(static_cast<char>((length >> 24) & 0xff));
+  ASSERT_TRUE(raw->send_all(header.data(), header.size()));
+  raw->close();
+
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  EXPECT_TRUE(client->ping(&error)) << error;
+  EXPECT_EQ(daemon.service().store().stats().puts, 0u);  // nothing partial
+  EXPECT_TRUE(daemon.service().store().fsck().clean());
+}
+
+TEST_F(ServerTest, OversizedLengthPrefixIsRejectedWithoutAllocation) {
+  LiveServer daemon{dir_};
+  auto raw = util::TcpStream::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(raw.has_value());
+  std::string header{util::kFrameMagic, sizeof util::kFrameMagic};
+  header.push_back(static_cast<char>(MsgType::submit));
+  for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>(0xff));
+  ASSERT_TRUE(raw->send_all(header.data(), header.size()));
+  // Server drops the connection (no error frame is possible mid-desync).
+  std::string error;
+  EXPECT_FALSE(util::recv_frame(*raw, &error).has_value());
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  EXPECT_TRUE(client->ping(&error)) << error;
+}
+
+TEST_F(ServerTest, UnknownFrameTypeGetsAnErrorFrame) {
+  LiveServer daemon{dir_};
+  auto raw = util::TcpStream::connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(util::send_frame(*raw, 99, "what is this"));
+  auto reply = util::recv_frame(*raw);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, static_cast<std::uint8_t>(MsgType::error));
+  EXPECT_NE(reply->payload.find("unknown frame type"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easel::svc

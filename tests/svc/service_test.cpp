@@ -1,0 +1,235 @@
+// CampaignService in-process: submissions are byte-identical to the
+// library engines at any shard count, warm resubmissions are all store
+// hits, and campaigns whose decompositions overlap — a full sweep and a
+// per-signal subset, a pruned and an unpruned run — share shard blobs.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/net.hpp"
+
+namespace easel::svc {
+namespace {
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.series = "e1";
+  spec.seed = 77;
+  spec.cases = 2;
+  spec.obs_ms = 2000;
+  return spec;
+}
+
+fi::CampaignOptions tiny_options() {
+  fi::CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "service_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  CampaignService make_service(ServiceConfig config = {}) {
+    return CampaignService{dir_, std::move(config)};
+  }
+
+  static std::string reference_e1_blob() {
+    static const std::string blob = [] {
+      const auto results = fi::run_e1(tiny_options());
+      std::ostringstream out;
+      fi::save_e1(results, out, fi::e1_shard_key(tiny_options(), {0, fi::e1_error_count()}));
+      return out.str();
+    }();
+    return blob;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServiceTest, SubmitMatchesInProcessEngineAtShardCountOne) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.shards = 1;
+  std::string error;
+  const auto result = service.submit(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->blob, reference_e1_blob());
+  EXPECT_EQ(result->stats.shards, 1u);
+  EXPECT_EQ(result->stats.hits, 0u);
+  EXPECT_EQ(result->stats.misses, 1u);
+  EXPECT_EQ(result->stats.runs, fi::run_e1(tiny_options()).runs);
+}
+
+TEST_F(ServiceTest, SubmitMatchesInProcessEngineAtShardCountSeven) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.shards = 7;
+  std::string error;
+  const auto result = service.submit(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->blob, reference_e1_blob());
+  EXPECT_EQ(result->stats.shards, 7u);
+  EXPECT_EQ(result->stats.misses, 7u);
+}
+
+TEST_F(ServiceTest, WarmResubmissionIsAllHits) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.shards = 3;
+  std::string error;
+  const auto cold = service.submit(spec, &error);
+  ASSERT_TRUE(cold.has_value()) << error;
+  EXPECT_EQ(cold->stats.misses, 3u);
+  const auto warm = service.submit(spec, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_EQ(warm->stats.hits, 3u);
+  EXPECT_EQ(warm->stats.misses, 0u);
+  EXPECT_EQ(warm->blob, cold->blob);
+}
+
+TEST_F(ServiceTest, SubsetCampaignHitsShardsWarmedByTheFullCampaign) {
+  CampaignService service = make_service();
+  CampaignSpec full = tiny_spec();
+  full.shards = 7;  // 16-error slabs, aligned with per-signal subsets
+  std::string error;
+  ASSERT_TRUE(service.submit(full, &error).has_value()) << error;
+
+  CampaignSpec subset = tiny_spec();
+  subset.error_begin = 16;  // second signal's slab
+  subset.error_end = 32;
+  subset.shards = 1;
+  const auto result = service.submit(subset, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->stats.hits, 1u);
+  EXPECT_EQ(result->stats.misses, 0u);
+}
+
+TEST_F(ServiceTest, PrunedAndUnprunedSubmissionsShareShards) {
+  CampaignService service = make_service();
+  CampaignSpec pruned = tiny_spec();
+  pruned.shards = 3;
+  std::string error;
+  const auto first = service.submit(pruned, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+
+  // Prune mode is result-invariant, so it is excluded from shard keys:
+  // the unpruned resubmission must be served entirely from the store.
+  CampaignSpec unpruned = pruned;
+  unpruned.prune = false;
+  const auto second = service.submit(unpruned, &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_EQ(second->stats.hits, 3u);
+  EXPECT_EQ(second->stats.misses, 0u);
+  EXPECT_EQ(second->blob, first->blob);
+}
+
+TEST_F(ServiceTest, DifferentShardCountsYieldTheSameBytes) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.shards = 3;
+  std::string error;
+  const auto three = service.submit(spec, &error);
+  ASSERT_TRUE(three.has_value()) << error;
+
+  // A different topology re-executes (3-shard and 7-shard blobs don't
+  // align) but must produce identical bytes.
+  spec.shards = 7;
+  const auto seven = service.submit(spec, &error);
+  ASSERT_TRUE(seven.has_value()) << error;
+  EXPECT_EQ(seven->blob, three->blob);
+}
+
+TEST_F(ServiceTest, E2SubmitMatchesInProcessEngine) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.series = "e2";
+  spec.ram = 20;
+  spec.stack = 10;
+  spec.shards = 3;
+  std::string error;
+  const auto result = service.submit(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+
+  const auto reference = fi::run_e2(tiny_options(), 20, 10);
+  std::ostringstream out;
+  fi::save_e2(reference, out,
+              fi::e2_shard_key(tiny_options(), 20, 10, {0, fi::e2_error_count(20, 10)}));
+  EXPECT_EQ(result->blob, out.str());
+  EXPECT_EQ(result->stats.runs, reference.runs);
+}
+
+TEST_F(ServiceTest, DefaultShardCountIsOneSlabPerSixteenErrors) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();  // shards = 0: daemon decides
+  std::string error;
+  const auto result = service.submit(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->stats.shards, fi::e1_error_count() / 16);
+  EXPECT_EQ(result->blob, reference_e1_blob());
+}
+
+TEST_F(ServiceTest, RejectsInvalidSpecWithoutTouchingTheStore) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.error_end = 500;  // outside the E1 list
+  std::string error;
+  EXPECT_FALSE(service.submit(spec, &error).has_value());
+  EXPECT_NE(error.find("error"), std::string::npos);
+  EXPECT_EQ(service.store().stats().puts, 0u);
+}
+
+TEST_F(ServiceTest, ExecuteShardServesFromStoreOnSecondCall) {
+  CampaignService service = make_service();
+  const CampaignSpec spec = tiny_spec();
+  std::string error;
+  const auto cold = service.execute_shard(spec, {0, 16}, &error);
+  ASSERT_TRUE(cold.has_value()) << error;
+  const auto warm = service.execute_shard(spec, {0, 16}, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_EQ(*cold, *warm);
+  EXPECT_EQ(service.store().stats().hits, 1u);
+}
+
+TEST_F(ServiceTest, ExecuteShardRejectsRangeOutsideTheSpec) {
+  CampaignService service = make_service();
+  CampaignSpec spec = tiny_spec();
+  spec.error_begin = 16;
+  spec.error_end = 32;
+  std::string error;
+  EXPECT_FALSE(service.execute_shard(spec, {0, 16}, &error).has_value());
+  EXPECT_NE(error.find("outside"), std::string::npos);
+}
+
+TEST_F(ServiceTest, UnreachablePeerFallsBackToLocalExecution) {
+  // Bind-then-drop a listener so the peer port is guaranteed dead.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = util::TcpListener::bind(0);
+    ASSERT_TRUE(listener.has_value());
+    dead_port = listener->port();
+  }
+  ServiceConfig config;
+  config.peers.push_back({"127.0.0.1", dead_port});
+  CampaignService service = make_service(std::move(config));
+  CampaignSpec spec = tiny_spec();
+  spec.shards = 3;
+  std::string error;
+  const auto result = service.submit(spec, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->stats.peer_shards, 0u);  // all local fallbacks
+  EXPECT_EQ(result->blob, reference_e1_blob());
+}
+
+}  // namespace
+}  // namespace easel::svc

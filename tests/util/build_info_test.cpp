@@ -1,0 +1,33 @@
+// Build identification: every tool shares one line format from one
+// source of truth, so `--version` output is greppable across the suite.
+#include "util/build_info.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::util {
+namespace {
+
+TEST(BuildInfo, VersionStringIsNonEmpty) {
+  EXPECT_NE(version_string(), nullptr);
+  EXPECT_GT(std::string{version_string()}.size(), 0u);
+}
+
+TEST(BuildInfo, LineLeadsWithTheToolName) {
+  const std::string line = build_info("easel-testtool");
+  EXPECT_EQ(line.rfind("easel-testtool ", 0), 0u) << line;
+}
+
+TEST(BuildInfo, LineReportsCompileTimeFeatureFlags) {
+  const std::string line = build_info("x");
+  EXPECT_NE(line.find("trace="), std::string::npos) << line;
+  EXPECT_NE(line.find("checked-image="), std::string::npos) << line;
+}
+
+TEST(BuildInfo, DifferentToolsDifferOnlyInTheName) {
+  const std::string a = build_info("tool-a");
+  const std::string b = build_info("tool-b");
+  EXPECT_EQ(a.substr(std::string{"tool-a"}.size()), b.substr(std::string{"tool-b"}.size()));
+}
+
+}  // namespace
+}  // namespace easel::util

@@ -1,0 +1,63 @@
+// Atomic file writes: contents land whole under the final name, replace
+// previous contents, and failures leave no debris.
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace easel::util {
+namespace {
+
+std::string test_path(const char* leaf) {
+  return ::testing::TempDir() + "fs_test_" + leaf;
+}
+
+TEST(AtomicWriteFile, RoundTripsContents) {
+  const std::string path = test_path("roundtrip.txt");
+  const std::string contents{"line one\nbinary \0 byte\nline three\n", 34};
+  ASSERT_TRUE(atomic_write_file(path, contents));
+  EXPECT_EQ(read_file(path), contents);
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWriteFile, ReplacesExistingContents) {
+  const std::string path = test_path("replace.txt");
+  ASSERT_TRUE(atomic_write_file(path, "old contents, longer than the new ones"));
+  ASSERT_TRUE(atomic_write_file(path, "new"));
+  EXPECT_EQ(read_file(path), "new");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWriteFile, LeavesNoTemporaryBehind) {
+  const std::string path = test_path("clean_dir/file.txt");
+  std::filesystem::create_directories(::testing::TempDir() + "fs_test_clean_dir");
+  ASSERT_TRUE(atomic_write_file(path, "contents"));
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator{::testing::TempDir() + "fs_test_clean_dir"}) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(::testing::TempDir() + "fs_test_clean_dir");
+}
+
+TEST(AtomicWriteFile, FailsCleanlyIntoAMissingDirectory) {
+  const std::string path = ::testing::TempDir() + "fs_test_no_such_dir/file.txt";
+  EXPECT_FALSE(atomic_write_file(path, "contents"));
+  EXPECT_FALSE(std::filesystem::exists(::testing::TempDir() + "fs_test_no_such_dir"));
+}
+
+TEST(ReadFile, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_file(test_path("never_written.txt")).has_value());
+}
+
+TEST(ReadFile, EmptyFileIsEmptyString) {
+  const std::string path = test_path("empty.txt");
+  ASSERT_TRUE(atomic_write_file(path, ""));
+  EXPECT_EQ(read_file(path), "");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace easel::util

@@ -1,0 +1,179 @@
+// Loopback TCP + framing: frames round-trip; every malformed byte stream a
+// peer can produce — foreign magic, truncated header or payload, a lying
+// length prefix, a bad sentinel, a clean close — is rejected with a
+// distinct reason and never yields a partial frame.
+#include "util/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace easel::util {
+namespace {
+
+/// One listener + one connected pair per test.
+struct Pair {
+  TcpListener listener;
+  TcpStream client;
+  TcpStream server;
+
+  static Pair make() {
+    auto listener = TcpListener::bind(0);
+    EXPECT_TRUE(listener.has_value());
+    auto client = TcpStream::connect("127.0.0.1", listener->port());
+    EXPECT_TRUE(client.has_value());
+    auto server = listener->accept(2000);
+    EXPECT_TRUE(server.has_value());
+    return Pair{std::move(*listener), std::move(*client), std::move(*server)};
+  }
+};
+
+TEST(Framing, RoundTripsTypesAndPayloads) {
+  Pair pair = Pair::make();
+  ASSERT_TRUE(send_frame(pair.client, 3, "a payload"));
+  ASSERT_TRUE(send_frame(pair.client, 7, ""));  // empty payload is legal
+  std::string error;
+  auto first = recv_frame(pair.server, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_EQ(first->type, 3);
+  EXPECT_EQ(first->payload, "a payload");
+  auto second = recv_frame(pair.server, &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_EQ(second->type, 7);
+  EXPECT_EQ(second->payload, "");
+}
+
+TEST(Framing, BinaryPayloadSurvives) {
+  Pair pair = Pair::make();
+  std::string payload(1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<char>(i & 0xff);
+  ASSERT_TRUE(send_frame(pair.client, 1, payload));
+  auto frame = recv_frame(pair.server);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(Framing, CleanCloseBetweenFramesReadsAsConnectionClosed) {
+  Pair pair = Pair::make();
+  pair.client.close();
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_EQ(error, "connection closed");
+}
+
+TEST(Framing, ForeignMagicIsRejected) {
+  Pair pair = Pair::make();
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(pair.client.send_all(garbage, sizeof garbage - 1));
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_NE(error.find("not an easel-svc peer"), std::string::npos) << error;
+}
+
+TEST(Framing, TruncatedHeaderIsRejectedAsTruncation) {
+  Pair pair = Pair::make();
+  // Correct magic, then the stream dies before type+length arrive.
+  ASSERT_TRUE(pair.client.send_all(kFrameMagic, sizeof kFrameMagic));
+  pair.client.close();
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(Framing, MidPayloadDisconnectIsRejected) {
+  Pair pair = Pair::make();
+  // A frame header promising 100 bytes, followed by only 10 and EOF.
+  std::string partial{kFrameMagic, sizeof kFrameMagic};
+  partial.push_back(3);  // type
+  const std::uint32_t length = 100;
+  partial.push_back(static_cast<char>(length & 0xff));
+  partial.push_back(static_cast<char>((length >> 8) & 0xff));
+  partial.push_back(static_cast<char>((length >> 16) & 0xff));
+  partial.push_back(static_cast<char>((length >> 24) & 0xff));
+  partial += "only ten b";
+  ASSERT_TRUE(pair.client.send_all(partial.data(), partial.size()));
+  pair.client.close();
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_NE(error.find("mid-payload"), std::string::npos) << error;
+}
+
+TEST(Framing, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  Pair pair = Pair::make();
+  std::string header{kFrameMagic, sizeof kFrameMagic};
+  header.push_back(3);
+  for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>(0xff));  // ~4 GiB claim
+  ASSERT_TRUE(pair.client.send_all(header.data(), header.size()));
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_NE(error.find("ceiling"), std::string::npos) << error;
+}
+
+TEST(Framing, BadSentinelIsRejected) {
+  Pair pair = Pair::make();
+  std::string frame{kFrameMagic, sizeof kFrameMagic};
+  frame.push_back(3);
+  const std::uint32_t length = 2;
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.push_back(0);
+  frame += "ok";
+  frame += "XXXX";  // not the sentinel
+  ASSERT_TRUE(pair.client.send_all(frame.data(), frame.size()));
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_NE(error.find("sentinel"), std::string::npos) << error;
+}
+
+TEST(Framing, PerCallPayloadCeilingApplies) {
+  Pair pair = Pair::make();
+  ASSERT_TRUE(send_frame(pair.client, 1, std::string(64, 'x')));
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error, /*max_payload=*/16).has_value());
+  EXPECT_NE(error.find("ceiling"), std::string::npos) << error;
+}
+
+TEST(Listener, AcceptTimesOutWithoutAConnection) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  EXPECT_FALSE(listener->accept(/*timeout_ms=*/50).has_value());
+}
+
+TEST(Listener, ResolvesKernelChosenPort) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST(Stream, ConnectToClosedPortFails) {
+  // Bind-then-drop guarantees the port was just free.
+  std::uint16_t port = 0;
+  {
+    auto listener = TcpListener::bind(0);
+    ASSERT_TRUE(listener.has_value());
+    port = listener->port();
+  }
+  EXPECT_FALSE(TcpStream::connect("127.0.0.1", port).has_value());
+}
+
+TEST(Stream, ShutdownSendDeliversEofAfterPendingData) {
+  Pair pair = Pair::make();
+  ASSERT_TRUE(send_frame(pair.client, 5, "last frame"));
+  pair.client.shutdown_send();
+  auto frame = recv_frame(pair.server);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "last frame");
+  std::string error;
+  EXPECT_FALSE(recv_frame(pair.server, &error).has_value());
+  EXPECT_EQ(error, "connection closed");
+  // The client can still receive the response direction.
+  ASSERT_TRUE(send_frame(pair.server, 6, "response"));
+  auto response = recv_frame(pair.client);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->payload, "response");
+}
+
+}  // namespace
+}  // namespace easel::util

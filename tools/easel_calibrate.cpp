@@ -20,6 +20,7 @@
 #include "fi/run_context.hpp"
 #include "trace/format.hpp"
 #include "trace/recorder.hpp"
+#include "util/build_info.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -37,6 +38,7 @@ int usage() {
                "                  [--seed S] [--jobs J] [--p-prop P] [--cache-dir DIR]\n"
                "  compare PARAMS\n"
                "  dump   TRACE [--stride MS]\n"
+               "  --version          print the build identification line\n"
                "Numeric options are parsed strictly; malformed values are errors.\n");
   return 2;
 }
@@ -414,6 +416,10 @@ int cmd_dump(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version") {
+    std::printf("%s\n", util::build_info("easel-calibrate").c_str());
+    return 0;
+  }
   if (command == "record") return cmd_record(argc, argv);
   if (command == "learn") return cmd_learn(argc, argv);
   if (command == "verify") return cmd_verify(argc, argv);

@@ -1,0 +1,222 @@
+// easel-campaignctl — client for easel-campaignd.
+//
+//   easel-campaignctl ping --port N [--host H]
+//   easel-campaignctl e1   --port N [--host H] [--cases N] [--obs-ms N]
+//                          [--seed N] [--csv] [--no-prune] [--verify-prune F]
+//                          [--params FILE] [--shards N] [--errors B:E]
+//   easel-campaignctl e2   (same options, plus --e2-seed N)
+//   easel-campaignctl --version
+//
+// e1/e2 submit the campaign and render the daemon's merged result with the
+// same code paths as `easel e1` / `easel e2` — stdout is byte-identical to
+// the in-process CLI for the same campaign options, which is what the CI
+// e2e job asserts with cmp(1).  A machine-readable assembly summary
+//
+//   campaignd-stats: shards=N hits=H misses=M peer=P runs=R
+//
+// goes to stderr after every submission, so scripts can assert store
+// behaviour (warm resubmission => misses=0) without parsing logs.
+//
+// Exit code 0 on success, 1 when the daemon rejects or the connection
+// fails, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "arrestor/param_set.hpp"
+#include "fi/export.hpp"
+#include "fi/report.hpp"
+#include "svc/client.hpp"
+#include "util/build_info.hpp"
+#include "util/fs.hpp"
+#include "util/strings.hpp"
+
+using namespace easel;
+
+namespace {
+
+[[noreturn]] void usage(const char* reason) {
+  std::fprintf(stderr, "easel-campaignctl: %s\n", reason);
+  std::fprintf(stderr,
+               "usage: easel-campaignctl ping|e1|e2 --port N [--host H]\n"
+               "       e1/e2 options: --cases N --obs-ms N --seed N --e2-seed N --csv\n"
+               "                      --no-prune --verify-prune F --params FILE\n"
+               "                      --shards N --errors B:E\n"
+               "       easel-campaignctl --version\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  svc::CampaignSpec spec;
+  std::uint64_t e2_seed = 2000;
+  bool csv = false;
+  std::string params_path;
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const auto is = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage("option needs a value");
+      return argv[++i];
+    };
+    const auto uint = [&](const char* name) -> std::uint64_t {
+      const char* text = value();
+      const auto parsed = util::parse_u64(text);
+      if (!parsed) {
+        std::fprintf(stderr, "easel-campaignctl: %s expects an unsigned integer, got '%s'\n",
+                     name, text);
+        std::exit(2);
+      }
+      return *parsed;
+    };
+    if (is("--host")) {
+      args.host = value();
+    } else if (is("--port")) {
+      const std::uint64_t port = uint("--port");
+      if (port == 0 || port > 65535) usage("--port expects 1..65535");
+      args.port = static_cast<std::uint16_t>(port);
+    } else if (is("--cases")) {
+      args.spec.cases = static_cast<std::size_t>(uint("--cases"));
+    } else if (is("--obs-ms")) {
+      args.spec.obs_ms = static_cast<std::uint32_t>(uint("--obs-ms"));
+    } else if (is("--seed")) {
+      args.spec.seed = uint("--seed");
+    } else if (is("--e2-seed")) {
+      args.e2_seed = uint("--e2-seed");
+    } else if (is("--shards")) {
+      args.spec.shards = static_cast<std::size_t>(uint("--shards"));
+    } else if (is("--errors")) {
+      const std::string text = value();
+      const std::size_t colon = text.find(':');
+      const auto begin = colon != std::string::npos
+                             ? util::parse_u64(std::string_view{text}.substr(0, colon))
+                             : std::nullopt;
+      const auto end = colon != std::string::npos
+                           ? util::parse_u64(std::string_view{text}.substr(colon + 1))
+                           : std::nullopt;
+      if (!begin || !end || *begin >= *end) usage("--errors expects BEGIN:END");
+      args.spec.error_begin = static_cast<std::size_t>(*begin);
+      args.spec.error_end = static_cast<std::size_t>(*end);
+    } else if (is("--no-prune")) {
+      args.spec.prune = false;
+    } else if (is("--verify-prune")) {
+      const char* text = value();
+      const auto fraction = util::parse_double(text);
+      if (!fraction || *fraction < 0.0 || *fraction > 1.0) {
+        usage("--verify-prune expects 0..1");
+      }
+      args.spec.verify_prune = *fraction;
+    } else if (is("--params")) {
+      args.params_path = value();
+    } else if (is("--csv")) {
+      args.csv = true;
+    } else {
+      usage("unknown option");
+    }
+  }
+  if (args.port == 0) usage("--port is required");
+  return args;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "easel-campaignctl: %s\n", message.c_str());
+  return 1;
+}
+
+/// Same provenance header as the easel CLI (stderr in CSV mode), so the
+/// two front ends are stream-for-stream interchangeable.
+void print_params_header(const svc::CampaignSpec& spec, bool csv) {
+  const auto options = svc::spec_options(spec);
+  const arrestor::NodeParamSet rom = arrestor::NodeParamSet::rom();
+  const arrestor::NodeParamSet& set = options && options->params ? *options->params : rom;
+  char line[256];
+  if (set.provenance == core::ParamProvenance::calibrated) {
+    std::snprintf(line, sizeof line, "params: calibrated (%s; margin %.2f)\n",
+                  set.origin.c_str(), set.margin);
+  } else {
+    std::snprintf(line, sizeof line, "params: hand-specified (%s)\n", set.origin.c_str());
+  }
+  std::fputs(line, csv ? stderr : stdout);
+}
+
+int cmd_ping(const Args& args) {
+  std::string error;
+  auto client = svc::Client::connect(args.host, args.port, &error);
+  if (!client || !client->ping(&error)) return fail(error);
+  std::printf("pong from %s:%u\n", args.host.c_str(), args.port);
+  return 0;
+}
+
+int cmd_campaign(Args args) {
+  args.spec.series = args.command;
+  if (args.command == "e2" && args.e2_seed != 2000) args.spec.seed = args.e2_seed;
+  if (!args.params_path.empty()) {
+    // The file rides inside the spec verbatim — the daemon has no access
+    // to this client's filesystem.  Validate locally first for a fast,
+    // file-named error instead of a daemon rejection.
+    const auto contents = util::read_file(args.params_path);
+    if (!contents) return fail("cannot read parameter set '" + args.params_path + "'");
+    args.spec.params_text = *contents;
+    std::string error;
+    if (!svc::spec_options(args.spec, &error)) {
+      return fail("parameter set '" + args.params_path + "': " + error);
+    }
+  }
+
+  std::string error;
+  auto client = svc::Client::connect(args.host, args.port, &error);
+  if (!client) return fail(error);
+  const auto result = client->submit(args.spec, &error);
+  if (!result) return fail(error);
+
+  std::fprintf(stderr, "campaignd-stats: shards=%zu hits=%zu misses=%zu peer=%zu runs=%llu\n",
+               result->stats.shards, result->stats.hits, result->stats.misses,
+               result->stats.peer_shards,
+               static_cast<unsigned long long>(result->stats.runs));
+
+  print_params_header(args.spec, args.csv);
+  std::istringstream blob{result->blob};
+  if (args.command == "e1") {
+    const auto results = fi::load_e1(blob, result->key);
+    if (!results) return fail("result blob failed to load");  // unreachable: client verified
+    if (args.csv) {
+      std::fputs(fi::e1_to_csv(*results).c_str(), stdout);
+    } else {
+      std::printf("%s\n%s\n%s", fi::render_table7(*results).c_str(),
+                  fi::render_table8(*results).c_str(),
+                  fi::render_e1_summary(*results).c_str());
+    }
+  } else {
+    const auto results = fi::load_e2(blob, result->key);
+    if (!results) return fail("result blob failed to load");
+    if (args.csv) {
+      std::fputs(fi::e2_to_csv(*results).c_str(), stdout);
+    } else {
+      std::printf("%s\n%s", fi::render_table9(*results).c_str(),
+                  fi::render_e2_summary(*results).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", util::build_info("easel-campaignctl").c_str());
+    return 0;
+  }
+  const Args args = parse(argc, argv);
+  if (args.command == "ping") return cmd_ping(args);
+  if (args.command == "e1" || args.command == "e2") return cmd_campaign(args);
+  usage("unknown command");
+}

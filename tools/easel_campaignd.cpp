@@ -1,0 +1,167 @@
+// easel-campaignd — the campaign daemon: serves fault-injection campaigns
+// over loopback TCP from a content-addressed shard store.
+//
+//   easel-campaignd --store DIR [--port N] [--jobs N] [--default-shards N]
+//                   [--peer HOST:PORT]... [--quiet]
+//   easel-campaignd --store DIR --check-store     post-crash integrity check
+//   easel-campaignd --version
+//
+// On startup the daemon logs its build identification and the resolved
+// port ("listening on 127.0.0.1:PORT") so scripts can scrape it.  SIGINT
+// and SIGTERM stop the serve loop after the in-flight connection; kill -9
+// at any instant leaves the store valid (all writes are atomic), which
+// --check-store verifies by revalidating every blob.
+//
+// Exit code 0 on a clean stop or a clean store, 1 on a corrupt store,
+// 2 on usage errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "util/build_info.hpp"
+#include "util/strings.hpp"
+
+using namespace easel;
+
+namespace {
+
+svc::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+[[noreturn]] void usage(const char* reason) {
+  std::fprintf(stderr, "easel-campaignd: %s\n", reason);
+  std::fprintf(stderr,
+               "usage: easel-campaignd --store DIR [--port N] [--jobs N]\n"
+               "                       [--default-shards N] [--peer HOST:PORT]... [--quiet]\n"
+               "       easel-campaignd --store DIR --check-store\n"
+               "       easel-campaignd --version\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string store_dir;
+  std::uint16_t port = 0;
+  std::size_t jobs = 0;
+  std::size_t default_shards = 0;
+  std::vector<svc::Peer> peers;
+  bool check_store = false;
+  bool quiet = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage("option needs a value");
+      return argv[++i];
+    };
+    const auto uint = [&](const char* name) -> std::uint64_t {
+      const char* text = value();
+      const auto parsed = util::parse_u64(text);
+      if (!parsed) {
+        std::fprintf(stderr, "easel-campaignd: %s expects an unsigned integer, got '%s'\n",
+                     name, text);
+        std::exit(2);
+      }
+      return *parsed;
+    };
+    if (is("--store")) {
+      args.store_dir = value();
+    } else if (is("--port")) {
+      const std::uint64_t port = uint("--port");
+      if (port > 65535) usage("--port expects 0..65535");
+      args.port = static_cast<std::uint16_t>(port);
+    } else if (is("--jobs")) {
+      args.jobs = static_cast<std::size_t>(uint("--jobs"));
+      if (args.jobs == 0) usage("--jobs expects a positive integer");
+    } else if (is("--default-shards")) {
+      args.default_shards = static_cast<std::size_t>(uint("--default-shards"));
+    } else if (is("--peer")) {
+      const std::string text = value();
+      const std::size_t colon = text.rfind(':');
+      const auto port = colon != std::string::npos
+                            ? util::parse_u64(std::string_view{text}.substr(colon + 1))
+                            : std::nullopt;
+      if (colon == 0 || !port || *port == 0 || *port > 65535) {
+        usage("--peer expects HOST:PORT");
+      }
+      args.peers.push_back({text.substr(0, colon), static_cast<std::uint16_t>(*port)});
+    } else if (is("--check-store")) {
+      args.check_store = true;
+    } else if (is("--quiet")) {
+      args.quiet = true;
+    } else {
+      usage("unknown option");
+    }
+  }
+  if (args.store_dir.empty()) usage("--store DIR is required");
+  return args;
+}
+
+int check_store(const std::string& store_dir) {
+  const store::ShardStore store{store_dir};
+  const store::FsckReport report = store.fsck();
+  std::printf("campaignd-fsck: %zu valid blob(s), %zu corrupt\n", report.valid,
+              report.corrupt.size());
+  for (const auto& path : report.corrupt) {
+    std::printf("  corrupt: %s\n", path.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", util::build_info("easel-campaignd").c_str());
+    return 0;
+  }
+  const Args args = parse(argc, argv);
+  if (args.check_store) return check_store(args.store_dir);
+
+  svc::ServiceConfig config;
+  config.jobs = args.jobs;
+  config.default_shards = args.default_shards;
+  config.peers = args.peers;
+  if (!args.quiet) {
+    config.log = [](const std::string& line) {
+      std::fprintf(stderr, "campaignd: %s\n", line.c_str());
+    };
+  }
+
+  svc::CampaignService service{args.store_dir, std::move(config)};
+  svc::Server server{service};
+  if (!server.start(args.port)) {
+    std::fprintf(stderr, "easel-campaignd: cannot bind 127.0.0.1:%u\n", args.port);
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::fprintf(stderr, "campaignd: %s\n", util::build_info("easel-campaignd").c_str());
+  std::fprintf(stderr, "campaignd: store at %s\n", service.store().directory().c_str());
+  // stdout + flush: scripts scrape the resolved port from this line.
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  const std::size_t connections = server.serve();
+  const store::StoreStats stats = service.store().stats();
+  std::fprintf(stderr,
+               "campaignd: stopped after %zu connection(s); store: %llu hit(s), "
+               "%llu miss(es), %llu put(s)\n",
+               connections, static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.puts));
+  return 0;
+}

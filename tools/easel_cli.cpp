@@ -31,6 +31,7 @@
 #include "fi/report.hpp"
 #include "trace/format.hpp"
 #include "trace/recorder.hpp"
+#include "util/build_info.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -64,7 +65,8 @@ struct Args {
                "options:  --mass M --velocity V --signal 0..6 --bit 0..15\n"
                "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
                "          --watchdog MS --jobs N --params FILE --csv\n"
-               "          --no-prune --verify-prune FRACTION\n");
+               "          --no-prune --verify-prune FRACTION\n"
+               "          --version prints the build identification line\n");
   std::exit(2);
 }
 
@@ -352,6 +354,10 @@ int cmd_table4() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", util::build_info("easel").c_str());
+    return 0;
+  }
   const Args args = parse(argc, argv);
   if (args.command == "golden") return cmd_golden(args);
   if (args.command == "inject") return cmd_inject(args);
