@@ -13,6 +13,8 @@
 //   --via-daemon HOST:PORT  submit the campaign to a running easel-campaignd
 //                   instead of executing in-process (campaign benches only;
 //                   results are bit-identical, timing is client-observed)
+//   --target NAME   fault-injection target (default: arrestor); unknown
+//                   names are a strict error listing the registry
 //
 // Environment equivalents, so "for b in build/bench/*; do $b; done" can be
 // scaled from the outside: EASEL_QUICK (any non-empty value), EASEL_JOBS,
@@ -33,6 +35,7 @@
 #include <thread>
 
 #include "fi/campaign.hpp"
+#include "target/target.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bench {
@@ -139,11 +142,21 @@ inline easel::fi::CampaignOptions parse_options(int argc, char** argv) {
       out_dir_storage() = value("--out-dir");
     } else if (is("--via-daemon")) {
       via_daemon_storage() = value("--via-daemon");
+    } else if (is("--target")) {
+      const char* name = value("--target");
+      options.target = easel::target::find_target(name);
+      if (options.target == nullptr) {
+        std::fprintf(stderr, "easel bench: unknown target '%s'; available targets:\n", name);
+        for (const easel::target::Target* t : easel::target::all_targets()) {
+          std::fprintf(stderr, "  %-10s %s\n", t->name().c_str(), t->description().c_str());
+        }
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown option '%s' (supported: --quick --cases N --obs-ms N --seed N "
                    "--jobs N --no-prune --verify-prune F --out-dir DIR "
-                   "--via-daemon HOST:PORT)\n",
+                   "--via-daemon HOST:PORT --target NAME)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -198,12 +211,17 @@ class WallTimer {
 /// host's core count, and the pruning mode, so trajectories stay comparable
 /// across machines and configurations; when the campaign actually executed
 /// (not cached), the pruning breakdown says where the run budget went.
+/// The target name keys every record, so multi-target trajectories never
+/// collide in one BENCH_campaigns.json.
 inline void record_campaign(const char* bench, const easel::fi::CampaignOptions& options,
                             const std::string& key, std::size_t runs, double wall_seconds,
                             bool cached, const easel::fi::PruneStats* prune_stats = nullptr) {
+  const std::string target_name = options.target != nullptr
+                                      ? options.target->name()
+                                      : easel::target::default_target().name();
   std::ostringstream entry;
-  entry << "  {\"bench\": \"" << bench << "\", \"key\": \"" << key
-        << "\", \"jobs\": " << options.jobs
+  entry << "  {\"bench\": \"" << bench << "\", \"target\": \"" << target_name
+        << "\", \"key\": \"" << key << "\", \"jobs\": " << options.jobs
         << ", \"host_cores\": " << std::thread::hardware_concurrency()
         << ", \"prune\": " << (options.prune ? "true" : "false")
         << ", \"cases\": " << options.test_case_count

@@ -6,11 +6,15 @@
 //                           (the raw cost of scheduler + modules + monitors
 //                           + environment per simulated millisecond);
 //   faulty.runs_per_sec   — full injected runs per second through one
-//                           reused RunContext, over an E1 slice spanning
-//                           all seven monitored signals (the campaign
-//                           steady state); fresh.runs_per_sec is the same
-//                           slice through run_experiment's build-a-rig-
-//                           per-run path, isolating the RunContext gain.
+//                           reused run context, over an E1 slice spanning
+//                           every monitored signal (the campaign steady
+//                           state); fresh.runs_per_sec is the same slice
+//                           through the build-a-rig-per-run path,
+//                           isolating the context-reuse gain.
+//
+// --target NAME benches a non-default target's rig through the same
+// harness; the target name is printed and recorded so multi-target
+// trajectories never collide.
 //
 // The detection-count checksum is printed and recorded so a throughput
 // change that alters results (it must not) is caught at a glance.
@@ -26,29 +30,33 @@
 #include "bench_common.hpp"
 #include "fi/experiment.hpp"
 #include "fi/run_context.hpp"
+#include "target/target.hpp"
 #include "trace/recorder.hpp"
 
 namespace {
 
 using easel::fi::RunConfig;
-using easel::fi::RunContext;
 using easel::fi::RunResult;
 
 constexpr int kRepetitions = 3;
 
 /// E1 slice used for the faulty-run measurements: one error per monitored
 /// signal (bits vary so the slice is not all bit-0), over each test case.
-std::vector<RunConfig> faulty_slice(const easel::fi::CampaignOptions& options) {
-  const auto errors = easel::fi::make_e1_for_target();
+std::vector<RunConfig> faulty_slice(const easel::fi::CampaignOptions& options,
+                                    const easel::target::Target& target) {
+  const auto errors = target.make_e1();
   const auto cases = easel::sim::random_test_cases(
       options.test_case_count, easel::util::Rng{options.seed}.derive("test-cases"));
   std::vector<RunConfig> slice;
-  // Stride 17 over the 112 errors picks signals 0..6 at bits 0..6 — every
-  // monitored signal once, with varying bit positions.
-  for (std::size_t e = 0; e < errors.size(); e += 17) {
+  // With 16 directed errors per monitored signal, stride count/signals + 1
+  // (17 for both current targets) picks every signal once at an ascending
+  // bit position, so the slice is not all bit-0.
+  const std::size_t stride = errors.size() / target.signal_count() + 1;
+  for (std::size_t e = 0; e < errors.size(); e += stride) {
     for (std::size_t ci = 0; ci < cases.size(); ++ci) {
       RunConfig config;
       config.test_case = cases[ci];
+      config.assertions = target.version_mask(target.version_count() - 1);
       config.error = errors[e];
       config.observation_ms = options.observation_ms;
       config.noise_seed = easel::util::Rng{options.seed}.derive("sensor-noise", ci).seed();
@@ -86,13 +94,15 @@ Measurement measure(std::size_t units_per_rep, Body&& body) {
   return m;
 }
 
-void record_hotpath(const easel::fi::CampaignOptions& options, const Measurement& golden,
+void record_hotpath(const easel::fi::CampaignOptions& options,
+                    const easel::target::Target& target, const Measurement& golden,
                     const Measurement& traced, const Measurement& fresh,
                     const Measurement& reused) {
   const std::string path = bench::out_dir() + "/BENCH_hotpath.json";
   std::ofstream out{path, std::ios::trunc};
   out << "{\n"
       << "  \"bench\": \"tick_throughput\",\n"
+      << "  \"target\": \"" << target.name() << "\",\n"
       << "  \"cases\": " << options.test_case_count << ",\n"
       << "  \"obs_ms\": " << options.observation_ms << ",\n"
       << "  \"seed\": " << options.seed << ",\n"
@@ -113,17 +123,21 @@ void record_hotpath(const easel::fi::CampaignOptions& options, const Measurement
 int main(int argc, char** argv) {
   auto options = bench::parse_options(argc, argv);
   options.progress = nullptr;  // single-thread micro runs; no progress spam
+  const easel::target::Target& target =
+      options.target != nullptr ? *options.target : easel::target::default_target();
+  const bool default_target = options.target == nullptr;
 
   // Golden runs: fault-free, so throughput is pure tick cost.
   RunConfig golden_config;
+  golden_config.assertions = target.version_mask(target.version_count() - 1);
   golden_config.observation_ms = options.observation_ms;
   golden_config.noise_seed = easel::util::Rng{options.seed}.derive("sensor-noise", 0).seed();
   constexpr std::size_t kGoldenRuns = 4;
   const Measurement golden =
       measure(kGoldenRuns * options.observation_ms, [&](std::uint64_t& checksum) {
-        RunContext context;
+        const auto context = target.make_run_context();
         for (std::size_t i = 0; i < kGoldenRuns; ++i) {
-          checksum += context.run(golden_config).detection_count;
+          checksum += context->run(golden_config).detection_count;
         }
       });
 
@@ -136,9 +150,9 @@ int main(int argc, char** argv) {
         easel::trace::Recorder recorder;
         RunConfig config = golden_config;
         config.trace = &recorder;
-        RunContext context;
+        const auto context = target.make_run_context();
         for (std::size_t i = 0; i < kGoldenRuns; ++i) {
-          checksum += context.run(config).detection_count;
+          checksum += context->run(config).detection_count;
         }
       });
   if (traced.checksum != golden.checksum) {
@@ -148,13 +162,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto slice = faulty_slice(options);
+  const auto slice = faulty_slice(options, target);
+  // The default target's fresh path stays run_experiment (the historical
+  // build-a-rig-per-run baseline); other targets build a context per run,
+  // which is the same shape through the interface.
   const Measurement fresh = measure(slice.size(), [&](std::uint64_t& checksum) {
-    for (const auto& config : slice) checksum += run_experiment(config).detection_count;
+    if (default_target) {
+      for (const auto& config : slice) checksum += run_experiment(config).detection_count;
+    } else {
+      for (const auto& config : slice) {
+        checksum += target.make_run_context()->run(config).detection_count;
+      }
+    }
   });
   const Measurement reused = measure(slice.size(), [&](std::uint64_t& checksum) {
-    RunContext context;
-    for (const auto& config : slice) checksum += context.run(config).detection_count;
+    const auto context = target.make_run_context();
+    for (const auto& config : slice) checksum += context->run(config).detection_count;
   });
 
   if (fresh.checksum != reused.checksum) {
@@ -164,6 +187,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::printf("target: %s\n", target.name().c_str());
   std::printf("golden: %.0f ticks/s   (obs window %u ms)\n", golden.best_per_sec,
               options.observation_ms);
   std::printf("traced: %.0f ticks/s   (recorder %s)\n", traced.best_per_sec,
@@ -172,6 +196,6 @@ int main(int argc, char** argv) {
               "(%zu-run E1 slice, checksum %llu)\n",
               reused.best_per_sec, fresh.best_per_sec, slice.size(),
               static_cast<unsigned long long>(reused.checksum));
-  record_hotpath(options, golden, traced, fresh, reused);
+  record_hotpath(options, target, golden, traced, fresh, reused);
   return 0;
 }

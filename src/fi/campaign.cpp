@@ -11,6 +11,7 @@
 
 #include "fi/run_context.hpp"
 #include "fi/shard.hpp"
+#include "target/target.hpp"
 #include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,6 +67,20 @@ void account(Cell& cell, const RunResult& result, std::uint64_t weight) {
   if (result.detected) cell.latency.add(result.latency_ms, weight);
 }
 
+/// What a null options.target means: the default arrestor target.
+const target::Target& campaign_target(const CampaignOptions& options) {
+  return options.target != nullptr ? *options.target : target::default_target();
+}
+
+/// One reusable execution context per pool worker, from the target.
+std::vector<std::unique_ptr<target::RunContext>> make_contexts(const target::Target& t,
+                                                               std::size_t count) {
+  std::vector<std::unique_ptr<target::RunContext>> contexts;
+  contexts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) contexts.push_back(t.make_run_context());
+  return contexts;
+}
+
 /// Shared progress plumbing for the parallel drivers: workers bump an
 /// atomic counter per finished run; the callback fires (under a mutex, with
 /// monotonically increasing `done`) roughly every 200 runs and at completion
@@ -108,13 +123,14 @@ class Progress {
 /// campaign throughput is dominated by per-tick cost, not rig setup, but
 /// reuse also removes all per-run allocation from the workers.
 template <typename Results, typename BuildConfig, typename Account>
-Results run_campaign(const CampaignOptions& options, std::size_t groups,
-                     std::size_t error_count, ShardRange range, std::size_t cases,
-                     const BuildConfig& build_config, const Account& account_run) {
+Results run_campaign(const CampaignOptions& options, const target::Target& t,
+                     std::size_t groups, std::size_t error_count, ShardRange range,
+                     std::size_t cases, const BuildConfig& build_config,
+                     const Account& account_run) {
   util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
   const std::size_t total = groups * range.size() * cases;
   std::vector<Results> partials(pool.workers());
-  std::vector<RunContext> contexts(pool.workers());
+  const auto contexts = make_contexts(t, pool.workers());
   Progress progress{options, total};
 
   pool.parallel_for(total, /*chunk=*/25, [&](std::size_t local, std::size_t worker) {
@@ -123,7 +139,7 @@ Results run_campaign(const CampaignOptions& options, std::size_t groups,
     const std::size_t g = local / (cases * range.size());
     const std::size_t index = (g * error_count + range.begin + el) * cases + ci;
     const RunConfig config = build_config(index);
-    const RunResult result = contexts[worker].run(config);
+    const RunResult result = contexts[worker]->run(config);
     account_run(partials[worker], result, index, std::uint64_t{1});
     ++partials[worker].runs;
     progress.tick();
@@ -191,7 +207,7 @@ RunResult derive_version(const RunResult& rep, const CollapsedDetections& per_si
 /// sampled derived runs under their true version mask, so the collapse
 /// argument itself is machine-checked, not just argued.
 template <typename BuildConfig, typename Account>
-E1Results run_e1_collapsed(const CampaignOptions& options,
+E1Results run_e1_collapsed(const CampaignOptions& options, const target::Target& t,
                            const std::array<arrestor::EaMask, kVersionCount>& versions,
                            const std::vector<ErrorSpec>& errors, ShardRange range,
                            std::size_t cases, const BuildConfig& build_config,
@@ -203,12 +219,12 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
 
   // --- Stage 1: one instrumented golden pass per test case (the
   // all-assertions rig covers every version's access pattern) ---
-  const TargetInfo target = probe_target();
+  const TargetInfo target = t.info();
   const std::size_t image_bytes = target.ram_bytes + target.stack_bytes;
   std::vector<GoldenTrace> traces(cases);
   std::vector<ErrorVerdict> verdicts(range.size() * cases);
   {
-    std::vector<RunContext> contexts(pool.workers());
+    const auto contexts = make_contexts(t, pool.workers());
     pool.parallel_for(cases, /*chunk=*/1, [&](std::size_t ci, std::size_t worker) {
       RunConfig golden = build_config(kAllVersion * stride + ci);
       golden.error.reset();
@@ -216,7 +232,7 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
       for (std::size_t el = 0; el < range.size(); ++el) {
         probe.watch(errors[range.begin + el].address);
       }
-      (void)contexts[worker].run_golden(golden, probe, traces[ci]);
+      (void)contexts[worker]->run_golden(golden, probe, traces[ci]);
       for (std::size_t el = 0; el < range.size(); ++el) {
         verdicts[el * cases + ci] = classify_error(probe, errors[range.begin + el],
                                                    options.injection_period_ms,
@@ -229,7 +245,7 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
   // accounted from it ---
   std::vector<E1Results> partials(pool.workers());
   std::vector<PruneStats> stats(pool.workers());
-  std::vector<RunContext> contexts(pool.workers());
+  const auto contexts = make_contexts(t, pool.workers());
   const util::Rng verify_root{options.seed};
 
   pool.parallel_for(range.size() * cases, /*chunk=*/4, [&](std::size_t local,
@@ -253,9 +269,9 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
       rep_pruned = true;
     } else {
       bool early_exited = false;
-      rep = contexts[worker].run_converging(build_config(kAllVersion * stride + item),
-                                            trace, verdict.tail_clean_from, early_exited);
-      per_signal = contexts[worker].last_signal_detections();
+      rep = contexts[worker]->run_converging(build_config(kAllVersion * stride + item),
+                                             trace, verdict.tail_clean_from, early_exited);
+      per_signal = contexts[worker]->last_signal_detections();
       if (early_exited) {
         ++st.runs_early_exited;
         rep_pruned = true;
@@ -274,7 +290,7 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
         util::Rng coin = verify_root.derive("verify-prune", index);
         if (coin.bernoulli(options.verify_prune)) {
           const RunConfig config = build_config(index);
-          const RunResult truth = contexts[worker].run(config);
+          const RunResult truth = contexts[worker]->run(config);
           if (!(truth == result)) {
             throw std::runtime_error{
                 "verify-prune: pruned result diverges from full execution at run index " +
@@ -322,10 +338,10 @@ E1Results run_e1_collapsed(const CampaignOptions& options,
 /// the merged Results are byte-identical to the unpruned engine's at any
 /// jobs count.
 template <typename Results, typename BuildConfig, typename Account>
-Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
-                            const std::vector<ErrorSpec>& errors, ShardRange range,
-                            std::size_t cases, const BuildConfig& build_config,
-                            const Account& account_run) {
+Results run_campaign_pruned(const CampaignOptions& options, const target::Target& t,
+                            std::size_t groups, const std::vector<ErrorSpec>& errors,
+                            ShardRange range, std::size_t cases,
+                            const BuildConfig& build_config, const Account& account_run) {
   util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
   const std::size_t total = groups * range.size() * cases;
   Progress progress{options, total};
@@ -357,12 +373,12 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
   }
 
   // --- Stage 2: golden passes + verdicts, parallel over (group, case) ---
-  const TargetInfo target = probe_target();
+  const TargetInfo target = t.info();
   const std::size_t image_bytes = target.ram_bytes + target.stack_bytes;
   std::vector<GoldenTrace> traces(groups * cases);
   std::vector<ErrorVerdict> verdicts(groups * range.size() * cases);
   {
-    std::vector<RunContext> contexts(pool.workers());
+    const auto contexts = make_contexts(t, pool.workers());
     pool.parallel_for(groups * cases, /*chunk=*/1, [&](std::size_t gi, std::size_t worker) {
       const std::size_t g = gi / cases;
       const std::size_t ci = gi % cases;
@@ -372,7 +388,7 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
       for (std::size_t el = 0; el < range.size(); ++el) {
         if (rep[el] == el) probe.watch(errors[range.begin + el].address);
       }
-      (void)contexts[worker].run_golden(golden, probe, traces[gi]);
+      (void)contexts[worker]->run_golden(golden, probe, traces[gi]);
       for (std::size_t el = 0; el < range.size(); ++el) {
         if (rep[el] != el) continue;
         verdicts[(g * range.size() + el) * cases + ci] =
@@ -385,7 +401,7 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
   // --- Stage 3: planned runs ---
   std::vector<Results> partials(pool.workers());
   std::vector<PruneStats> stats(pool.workers());
-  std::vector<RunContext> contexts(pool.workers());
+  const auto contexts = make_contexts(t, pool.workers());
   const util::Rng verify_root{options.seed};
 
   pool.parallel_for(total, /*chunk=*/25, [&](std::size_t local, std::size_t worker) {
@@ -414,8 +430,8 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
       pruned = true;
     } else {
       bool early_exited = false;
-      result = contexts[worker].run_converging(config, trace, verdict.tail_clean_from,
-                                               early_exited);
+      result = contexts[worker]->run_converging(config, trace, verdict.tail_clean_from,
+                                                early_exited);
       if (early_exited) {
         ++st.runs_early_exited;
         pruned = true;
@@ -427,7 +443,7 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
     if (pruned && options.verify_prune > 0.0) {
       util::Rng coin = verify_root.derive("verify-prune", index);
       if (coin.bernoulli(options.verify_prune)) {
-        const RunResult truth = contexts[worker].run(config);
+        const RunResult truth = contexts[worker]->run(config);
         if (!(truth == result)) {
           throw std::runtime_error{
               "verify-prune: pruned result diverges from full execution at run index " +
@@ -452,16 +468,110 @@ Results run_campaign_pruned(const CampaignOptions& options, std::size_t groups,
   return partials[0];
 }
 
+/// The dedup-only engine, for targets without golden-pass instrumentation
+/// (Target::supports_prune() == false): stage 1 collapses duplicate errors
+/// exactly as in run_campaign_pruned, then every representative is executed
+/// in full and accounted with its multiplicity as the weight.  Exact for
+/// the same reason the pruned engine's dedup is — duplicates are
+/// config-identical up to their display label, and all accumulators are
+/// weight-linear — so `prune` on and off stay byte-identical here too.
+/// verify_prune re-executes a seeded sample of the skipped duplicates
+/// (coin keyed by THEIR global dense index, like every other engine) and
+/// asserts field-exact equality with the representative's result.
+template <typename Results, typename BuildConfig, typename Account>
+Results run_campaign_deduped(const CampaignOptions& options, const target::Target& t,
+                             std::size_t groups, const std::vector<ErrorSpec>& errors,
+                             ShardRange range, std::size_t cases,
+                             const BuildConfig& build_config, const Account& account_run) {
+  util::ThreadPool pool{options.jobs == 0 ? util::default_jobs() : options.jobs};
+  const std::size_t total = groups * range.size() * cases;
+  Progress progress{options, total};
+
+  // --- Stage 1: representatives, multiplicities, duplicate lists ---
+  std::vector<std::size_t> rep(range.size());
+  std::vector<std::uint64_t> mult(range.size(), 0);
+  std::vector<std::vector<std::size_t>> dups(range.size());
+  {
+    std::map<std::tuple<std::size_t, unsigned, FaultModel,
+                        std::optional<arrestor::MonitoredSignal>, unsigned>,
+             std::size_t>
+        first_of;
+    for (std::size_t el = 0; el < range.size(); ++el) {
+      const ErrorSpec& error = errors[range.begin + el];
+      const auto [it, inserted] = first_of.try_emplace(
+          std::make_tuple(error.address, error.bit, error.model, error.signal,
+                          error.signal_bit),
+          el);
+      rep[el] = it->second;
+      ++mult[it->second];
+      if (it->second != el) dups[it->second].push_back(el);
+    }
+  }
+
+  // --- Stage 2: representative runs ---
+  std::vector<Results> partials(pool.workers());
+  std::vector<PruneStats> stats(pool.workers());
+  const auto contexts = make_contexts(t, pool.workers());
+  const util::Rng verify_root{options.seed};
+
+  pool.parallel_for(total, /*chunk=*/25, [&](std::size_t local, std::size_t worker) {
+    const std::size_t ci = local % cases;
+    const std::size_t el = (local / cases) % range.size();
+    const std::size_t g = local / (cases * range.size());
+    PruneStats& st = stats[worker];
+    if (rep[el] != el) {
+      // Accounted (and progress-reported) by the representative's run.
+      ++st.runs_deduped;
+      return;
+    }
+    const std::size_t index = (g * errors.size() + range.begin + el) * cases + ci;
+    const std::uint64_t weight = mult[el];
+    const RunResult result = contexts[worker]->run(build_config(index));
+    ++st.runs_executed;
+
+    if (options.verify_prune > 0.0) {
+      for (const std::size_t dup : dups[el]) {
+        const std::size_t dup_index = (g * errors.size() + range.begin + dup) * cases + ci;
+        util::Rng coin = verify_root.derive("verify-prune", dup_index);
+        if (!coin.bernoulli(options.verify_prune)) continue;
+        const RunConfig config = build_config(dup_index);
+        const RunResult truth = contexts[worker]->run(config);
+        if (!(truth == result)) {
+          throw std::runtime_error{
+              "verify-prune: deduped result diverges from full execution at run index " +
+              std::to_string(dup_index) + " (error '" + config.error->label + "')"};
+        }
+        ++st.runs_verified;
+      }
+    }
+
+    account_run(partials[worker], result, index, weight);
+    partials[worker].runs += weight;
+    progress.add(weight);
+  });
+
+  for (std::size_t w = 1; w < partials.size(); ++w) partials[0].merge(partials[w]);
+  if (options.prune_stats != nullptr) {
+    PruneStats merged;
+    for (const PruneStats& st : stats) merged.merge(st);
+    *options.prune_stats = merged;
+  }
+  return partials[0];
+}
+
 }  // namespace
 
 E1Results run_e1(const CampaignOptions& options) {
-  return run_e1_shard(options, ShardRange{0, e1_error_count()});
+  return run_e1_shard(options, ShardRange{0, e1_error_count(options)});
 }
 
 E1Results run_e1_shard(const CampaignOptions& options, ShardRange range) {
-  const auto errors = make_e1_for_target();
+  const target::Target& t = campaign_target(options);
+  const auto errors = t.make_e1();
   const auto cases = campaign_test_cases(options);
-  const auto versions = paper_versions();
+  const std::size_t version_count = t.version_count();
+  std::array<arrestor::EaMask, kVersionCount> versions{};
+  for (std::size_t v = 0; v < version_count; ++v) versions[v] = t.version_mask(v);
   if (range.begin > range.end || range.end > errors.size()) {
     throw std::out_of_range{"run_e1_shard: error range outside the E1 error list"};
   }
@@ -480,6 +590,7 @@ E1Results run_e1_shard(const CampaignOptions& options, ShardRange range) {
     config.observation_ms = options.observation_ms;
     config.noise_seed = noise_seed(options, ci);
     config.params = options.params;
+    config.target_params = options.target_params;
     return config;
   };
   const auto account_run = [&](E1Results& partial, const RunResult& result,
@@ -496,14 +607,20 @@ E1Results run_e1_shard(const CampaignOptions& options, ShardRange range) {
     // policy writes recovered values back into signals the application
     // reads, making the trajectory version-dependent — fall back to the
     // per-version pruned engine (results stay byte-identical either way).
-    if (options.recovery == core::RecoveryPolicy::none) {
-      return run_e1_collapsed(options, versions, errors, range, cases.size(), build_config,
-                              account_run);
+    // A target without golden-pass instrumentation still gets exact
+    // duplicate collapse from the dedup engine.
+    if (t.supports_collapse() && options.recovery == core::RecoveryPolicy::none) {
+      return run_e1_collapsed(options, t, versions, errors, range, cases.size(),
+                              build_config, account_run);
     }
-    return run_campaign_pruned<E1Results>(options, versions.size(), errors, range,
-                                          cases.size(), build_config, account_run);
+    if (t.supports_prune()) {
+      return run_campaign_pruned<E1Results>(options, t, version_count, errors, range,
+                                            cases.size(), build_config, account_run);
+    }
+    return run_campaign_deduped<E1Results>(options, t, version_count, errors, range,
+                                           cases.size(), build_config, account_run);
   }
-  return run_campaign<E1Results>(options, versions.size(), errors.size(), range,
+  return run_campaign<E1Results>(options, t, version_count, errors.size(), range,
                                  cases.size(), build_config, account_run);
 }
 
@@ -515,8 +632,9 @@ E2Results run_e2(const CampaignOptions& options, std::size_t ram_errors,
 
 E2Results run_e2_shard(const CampaignOptions& options, std::size_t ram_errors,
                        std::size_t stack_errors, ShardRange range) {
-  const auto errors = make_e2_for_target(util::Rng{options.seed}.derive("e2-errors"),
-                                         ram_errors, stack_errors);
+  const target::Target& t = campaign_target(options);
+  const auto errors = t.make_e2(util::Rng{options.seed}.derive("e2-errors"),
+                                ram_errors, stack_errors);
   const auto cases = campaign_test_cases(options);
   if (range.begin > range.end || range.end > errors.size()) {
     throw std::out_of_range{"run_e2_shard: error range outside the E2 error list"};
@@ -527,13 +645,14 @@ E2Results run_e2_shard(const CampaignOptions& options, std::size_t ram_errors,
     const std::size_t e = index / cases.size();
     RunConfig config;
     config.test_case = cases[ci];
-    config.assertions = arrestor::kAllAssertions;
+    config.assertions = t.version_mask(t.version_count() - 1);  // everything enabled
     config.recovery = options.recovery;
     config.error = errors[e];
     config.injection_period_ms = options.injection_period_ms;
     config.observation_ms = options.observation_ms;
     config.noise_seed = noise_seed(options, ci);
     config.params = options.params;
+    config.target_params = options.target_params;
     return config;
   };
   const auto account_run = [&](E2Results& partial, const RunResult& result,
@@ -551,11 +670,15 @@ E2Results run_e2_shard(const CampaignOptions& options, std::size_t ram_errors,
   };
 
   if (options.prune) {
-    return run_campaign_pruned<E2Results>(options, /*groups=*/1, errors, range,
-                                          cases.size(), build_config, account_run);
+    if (t.supports_prune()) {
+      return run_campaign_pruned<E2Results>(options, t, /*groups=*/1, errors, range,
+                                            cases.size(), build_config, account_run);
+    }
+    return run_campaign_deduped<E2Results>(options, t, /*groups=*/1, errors, range,
+                                           cases.size(), build_config, account_run);
   }
-  return run_campaign<E2Results>(options, /*groups=*/1, errors.size(), range, cases.size(),
-                                 build_config, account_run);
+  return run_campaign<E2Results>(options, t, /*groups=*/1, errors.size(), range,
+                                 cases.size(), build_config, account_run);
 }
 
 // ---------------------------------------------------------------------------
@@ -572,10 +695,19 @@ std::string options_key(const CampaignOptions& options) {
   key << "seed=" << options.seed << " cases=" << options.test_case_count
       << " obs=" << options.observation_ms << " period=" << options.injection_period_ms
       << " recovery=" << static_cast<int>(options.recovery);
+  // Non-default targets enter the key by name so blobs never alias across
+  // targets; the default arrestor target adds NOTHING, keeping every
+  // pre-interface key (and stored blob) byte-identical.
+  if (options.target != nullptr && options.target->name() != target::default_target().name()) {
+    key << " target=" << options.target->name();
+  }
   // Non-ROM parameter sets fingerprint into the key: a cache produced under
   // learned params must never satisfy a ROM-params lookup (or vice versa).
   if (options.params != nullptr) {
     key << " params=" << std::hex << arrestor::fingerprint(*options.params) << std::dec;
+  }
+  if (options.target_params != nullptr) {
+    key << " tparams=" << std::hex << options.target_params->fingerprint() << std::dec;
   }
   return key.str();
 }

@@ -34,6 +34,10 @@
 #include "stats/latency.hpp"
 #include "util/thread_pool.hpp"
 
+namespace easel::target {
+class Target;
+}
+
 namespace easel::fi {
 
 struct CampaignOptions {
@@ -70,6 +74,18 @@ struct CampaignOptions {
   /// values).  The calibration sweep re-runs E1 under learned sets; the
   /// cache key carries the set's fingerprint so results never alias.
   std::shared_ptr<const arrestor::NodeParamSet> params;
+
+  /// The workload under test (nullptr = the default arrestor target).  The
+  /// campaign engine resolves the error sets, software versions, and run
+  /// contexts through this interface (src/target/target.hpp); the cache key
+  /// carries the target's name for every non-default target, so blobs never
+  /// alias across targets while every pre-existing arrestor key is
+  /// unchanged byte-for-byte.
+  const target::Target* target = nullptr;
+
+  /// Assertion parameters of a non-default target (nullptr = its ROM
+  /// values); see fi::OpaqueParams.  Fingerprinted into the cache key.
+  std::shared_ptr<const OpaqueParams> target_params;
 
   std::function<void(std::size_t done, std::size_t total)> progress;  ///< optional;
                                       ///< must be thread-safe when jobs > 1

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "arrestor/assertions.hpp"
 #include "arrestor/failure.hpp"
@@ -18,6 +19,23 @@ class Recorder;
 }
 
 namespace easel::fi {
+
+/// Parameter set of a non-default target, opaque to the campaign layer.
+/// The engine only needs two things from it: a stable content fingerprint
+/// (for cache keys, so results under different sets never alias) and a
+/// one-line provenance description (for the CLI header).  Each target
+/// defines its own concrete type and parses/validates it itself; the
+/// arrestor keeps its dedicated typed NodeParamSet path below.
+class OpaqueParams {
+ public:
+  virtual ~OpaqueParams() = default;
+
+  /// Stable hash of the semantic payload (values, not provenance).
+  [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
+
+  /// Human-readable provenance, e.g. "calibrated (traces; margin 0.10)".
+  [[nodiscard]] virtual std::string provenance_line() const = 0;
+};
 
 struct RunConfig {
   sim::TestCase test_case{12000.0, 55.0};
@@ -44,6 +62,12 @@ struct RunConfig {
   /// set loaded from an easel-calibrate output; shared because campaign
   /// workers hand the same immutable set to thousands of runs.
   std::shared_ptr<const arrestor::NodeParamSet> params;
+
+  /// Assertion parameters of a non-default target (nullptr = that target's
+  /// built-in ROM values).  Ignored by the arrestor rig, which uses the
+  /// typed `params` field above; a target's RunContext downcasts to its own
+  /// concrete type.  Shared for the same reason as `params`.
+  std::shared_ptr<const OpaqueParams> target_params;
 
   /// Optional golden-trace capture (nullptr = off).  The recorder is bound
   /// to the rig's standard channels (the seven monitored signals, the

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "target/target.hpp"
+
 namespace easel::fi {
 
 namespace {
@@ -25,26 +27,25 @@ void append_cell_fields(std::string& out, const Cell& cell) {
   out += '\n';
 }
 
-std::string version_name(std::size_t version) {
-  if (version == kAllVersion) return "All";
-  return "EA" + std::to_string(version + 1);
-}
-
 }  // namespace
 
 std::string e1_to_csv(const E1Results& results) {
+  return e1_to_csv(results, target::default_target());
+}
+
+std::string e1_to_csv(const E1Results& results, const target::Target& target) {
   std::string out =
       "signal,version,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,"
       "lat_count,lat_min_ms,lat_avg_ms,lat_max_ms\n";
-  for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
-    for (std::size_t v = 0; v < kVersionCount; ++v) {
-      out += std::string{arrestor::to_string(static_cast<arrestor::MonitoredSignal>(s))} +
-             "," + version_name(v) + ",";
+  const std::size_t versions = target.version_count();
+  for (std::size_t s = 0; s < target.signal_count(); ++s) {
+    for (std::size_t v = 0; v < versions; ++v) {
+      out += target.signal_name(s) + "," + target.version_label(v) + ",";
       append_cell_fields(out, results.cells[s][v]);
     }
   }
-  for (std::size_t v = 0; v < kVersionCount; ++v) {
-    out += "Total," + version_name(v) + ",";
+  for (std::size_t v = 0; v < versions; ++v) {
+    out += "Total," + target.version_label(v) + ",";
     append_cell_fields(out, results.totals[v]);
   }
   return out;

@@ -7,12 +7,21 @@
 
 #include "fi/campaign.hpp"
 
+namespace easel::target {
+class Target;
+}
+
 namespace easel::fi {
 
 /// One row per (injected signal, version) cell plus per-version totals:
 /// signal,version,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,
 /// lat_count,lat_min_ms,lat_avg_ms,lat_max_ms
 [[nodiscard]] std::string e1_to_csv(const E1Results& results);
+
+/// Target-aware variant: row keys come from the target's signal and version
+/// inventory.  Byte-identical to e1_to_csv(results) for the default target
+/// (which delegates here).
+[[nodiscard]] std::string e1_to_csv(const E1Results& results, const target::Target& target);
 
 /// One row per memory area:
 /// area,ne,nd,ne_fail,nd_fail,ne_nofail,nd_nofail,

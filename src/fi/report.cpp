@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "stats/table.hpp"
+#include "target/target.hpp"
 #include "util/strings.hpp"
 
 namespace easel::fi {
@@ -12,10 +13,12 @@ namespace {
 using arrestor::MonitoredSignal;
 using arrestor::kMonitoredSignalCount;
 
-std::vector<std::string> version_headers(const std::string& first) {
+std::vector<std::string> version_headers(const target::Target& target,
+                                         const std::string& first) {
   std::vector<std::string> headers{first, "Measure"};
-  for (unsigned k = 1; k <= 7; ++k) headers.push_back("EA" + std::to_string(k));
-  headers.emplace_back("All");
+  for (std::size_t v = 0; v < target.version_count(); ++v) {
+    headers.push_back(target.version_label(v));
+  }
   return headers;
 }
 
@@ -32,11 +35,12 @@ std::string percent_cell(const stats::Proportion& p, bool any_detection) {
 
 void add_detection_rows(stats::Table& table, const std::string& label,
                         const std::array<Cell, kVersionCount>& row_cells,
+                        std::size_t version_count,
                         std::optional<std::size_t> primary_version) {
   const char* measures[3] = {"P(d)", "P(d|fail)", "P(d|no fail)"};
   for (int m = 0; m < 3; ++m) {
     std::vector<std::string> row{m == 0 ? label : "", measures[m]};
-    for (std::size_t v = 0; v < kVersionCount; ++v) {
+    for (std::size_t v = 0; v < version_count; ++v) {
       const Cell& cell = row_cells[v];
       const bool any = cell.detection.all.successes > 0;
       const stats::Proportion& p = m == 0   ? cell.detection.all
@@ -50,11 +54,12 @@ void add_detection_rows(stats::Table& table, const std::string& label,
 
 void add_latency_rows(stats::Table& table, const std::string& label,
                       const std::array<Cell, kVersionCount>& row_cells,
+                      std::size_t version_count,
                       std::optional<std::size_t> primary_version) {
   const char* measures[3] = {"Min", "Average", "Max"};
   for (int m = 0; m < 3; ++m) {
     std::vector<std::string> row{m == 0 ? label : "", measures[m]};
-    for (std::size_t v = 0; v < kVersionCount; ++v) {
+    for (std::size_t v = 0; v < version_count; ++v) {
       const stats::LatencyStats& lat = row_cells[v].latency;
       std::string cell;
       if (!lat.empty()) {
@@ -70,14 +75,15 @@ void add_latency_rows(stats::Table& table, const std::string& label,
 
 }  // namespace
 
-std::string render_table6() {
+std::string render_table6() { return render_table6(target::default_target()); }
+
+std::string render_table6(const target::Target& target) {
   stats::Table table{{"Signal", "Executable assertion", "# errors (ns)", "Error numbers",
                       "# injections (ns*25)"}};
-  const auto errors = make_e1_for_target();
-  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
-    const auto signal = static_cast<MonitoredSignal>(s);
+  const auto errors = target.make_e1();
+  for (std::size_t s = 0; s < target.signal_count(); ++s) {
     const std::size_t first = s * 16 + 1;
-    table.add_row({to_string(signal), "EA" + std::to_string(arrestor::ea_number(signal)), "16",
+    table.add_row({target.signal_name(s), target.version_label(s), "16",
                    "S" + std::to_string(first) + "-S" + std::to_string(first + 15), "400"});
   }
   table.add_separator();
@@ -87,13 +93,17 @@ std::string render_table6() {
 }
 
 std::string render_table7(const E1Results& results) {
-  stats::Table table{version_headers("Signal")};
-  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
-    const auto signal = static_cast<MonitoredSignal>(s);
-    add_detection_rows(table, to_string(signal), results.cells[s], s);
+  return render_table7(results, target::default_target());
+}
+
+std::string render_table7(const E1Results& results, const target::Target& target) {
+  stats::Table table{version_headers(target, "Signal")};
+  const std::size_t versions = target.version_count();
+  for (std::size_t s = 0; s < target.signal_count(); ++s) {
+    add_detection_rows(table, target.signal_name(s), results.cells[s], versions, s);
     table.add_separator();
   }
-  add_detection_rows(table, "Total", results.totals, std::nullopt);
+  add_detection_rows(table, "Total", results.totals, versions, std::nullopt);
   return "Table 7. Error detection probabilities (%) with confidence intervals at 95%.\n"
          "('*' marks the primary signal-mechanism pairs; empty cells registered no "
          "detection.)\n" +
@@ -101,13 +111,17 @@ std::string render_table7(const E1Results& results) {
 }
 
 std::string render_table8(const E1Results& results) {
-  stats::Table table{version_headers("Signal")};
-  for (std::size_t s = 0; s < kMonitoredSignalCount; ++s) {
-    const auto signal = static_cast<MonitoredSignal>(s);
-    add_latency_rows(table, to_string(signal), results.cells[s], s);
+  return render_table8(results, target::default_target());
+}
+
+std::string render_table8(const E1Results& results, const target::Target& target) {
+  stats::Table table{version_headers(target, "Signal")};
+  const std::size_t versions = target.version_count();
+  for (std::size_t s = 0; s < target.signal_count(); ++s) {
+    add_latency_rows(table, target.signal_name(s), results.cells[s], versions, s);
     table.add_separator();
   }
-  add_latency_rows(table, "Total", results.totals, std::nullopt);
+  add_latency_rows(table, "Total", results.totals, versions, std::nullopt);
   return "Table 8. Error detection latencies for all errors (milliseconds).\n" +
          table.render();
 }
@@ -146,6 +160,25 @@ std::string render_e1_summary(const E1Results& results) {
   return out;
 }
 
+std::string render_e1_summary(const E1Results& results, const target::Target& target) {
+  // The paper's headline numbers only compare against the default target.
+  if (target.name() == target::default_target().name()) return render_e1_summary(results);
+  const Cell& all = results.totals[target.version_count() - 1];
+  std::string out;
+  out += "E1 summary (" + target.name() + " target, " + target.version_label(
+             target.version_count() - 1) + " version, " +
+         std::to_string(all.detection.all.trials) + " runs):\n";
+  out += "  overall detection probability P(d)            = " +
+         all.detection.all.to_percent_string() + "%\n";
+  out += "  detection given failure P(d|fail)             = " +
+         all.detection.fail.to_percent_string() + "%\n";
+  out += "  detection given no failure P(d|no fail)       = " +
+         all.detection.no_fail.to_percent_string() + "%\n";
+  out += "  average detection latency (all mechanisms on) = " +
+         util::format_fixed(all.latency.average(), 0) + " ms\n";
+  return out;
+}
+
 std::string render_e2_summary(const E2Results& results) {
   std::string out;
   out += "E2 summary (" + std::to_string(results.runs) + " runs):\n";
@@ -157,6 +190,18 @@ std::string render_e2_summary(const E2Results& results) {
          "%  (paper: 81.1±6.8%)\n";
   out += "  stack P(d|fail)   = " + results.stack.detection.fail.to_percent_string() +
          "%  (paper: 13.7±4.7%)\n";
+  return out;
+}
+
+std::string render_e2_summary(const E2Results& results, const target::Target& target) {
+  if (target.name() == target::default_target().name()) return render_e2_summary(results);
+  std::string out;
+  out += "E2 summary (" + target.name() + " target, " + std::to_string(results.runs) +
+         " runs):\n";
+  out += "  total P(d)        = " + results.total.detection.all.to_percent_string() + "%\n";
+  out += "  total P(d|fail)   = " + results.total.detection.fail.to_percent_string() + "%\n";
+  out += "  RAM   P(d|fail)   = " + results.ram.detection.fail.to_percent_string() + "%\n";
+  out += "  stack P(d|fail)   = " + results.stack.detection.fail.to_percent_string() + "%\n";
   return out;
 }
 

@@ -6,6 +6,10 @@
 
 #include "fi/campaign.hpp"
 
+namespace easel::target {
+class Target;
+}
+
 namespace easel::fi {
 
 /// Paper Table 6: the composition of error set E1.
@@ -27,5 +31,18 @@ namespace easel::fi {
 /// The §5.1/§5.2 headline numbers derived from campaign results.
 [[nodiscard]] std::string render_e1_summary(const E1Results& results);
 [[nodiscard]] std::string render_e2_summary(const E2Results& results);
+
+// Target-aware renderers: signal names and version labels come from the
+// target's inventory.  For the default target these produce byte-identical
+// output to the functions above (which delegate here).
+[[nodiscard]] std::string render_table6(const target::Target& target);
+[[nodiscard]] std::string render_table7(const E1Results& results,
+                                        const target::Target& target);
+[[nodiscard]] std::string render_table8(const E1Results& results,
+                                        const target::Target& target);
+[[nodiscard]] std::string render_e1_summary(const E1Results& results,
+                                            const target::Target& target);
+[[nodiscard]] std::string render_e2_summary(const E2Results& results,
+                                            const target::Target& target);
 
 }  // namespace easel::fi

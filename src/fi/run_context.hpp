@@ -25,19 +25,22 @@
 
 #include "fi/experiment.hpp"
 #include "fi/prune.hpp"
+#include "target/target.hpp"
 
 namespace easel::fi {
 
-class RunContext {
+/// The arrestor target's context; implements every target::RunContext entry
+/// point (the arrestor supports both pruning engines).
+class RunContext final : public target::RunContext {
  public:
   RunContext() noexcept;
-  ~RunContext();
+  ~RunContext() override;
   RunContext(RunContext&&) noexcept;
   RunContext& operator=(RunContext&&) noexcept;
 
   /// Executes one run to completion.  Deterministic and bit-identical to
   /// run_experiment(config) regardless of what this context ran before.
-  [[nodiscard]] RunResult run(const RunConfig& config);
+  [[nodiscard]] RunResult run(const RunConfig& config) override;
 
   /// Instrumented golden pass for fault-space pruning: runs `config` (which
   /// should carry no error) with `probe` attached to the master image so it
@@ -45,7 +48,7 @@ class RunContext {
   /// fingerprints and the final result.  Apart from the recording, identical
   /// to run().
   [[nodiscard]] RunResult run_golden(const RunConfig& config, mem::AccessProbe& probe,
-                                     GoldenTrace& trace);
+                                     GoldenTrace& trace) override;
 
   /// Faulted run with convergence early-exit: at every checkpoint at or past
   /// `tail_clean_from`, compares the rig fingerprint against `trace`; on a
@@ -54,7 +57,8 @@ class RunContext {
   /// guarantees an uneventful tail — a non-clean trace disables the exit and
   /// the run degenerates to run()).  Sets `early_exited` accordingly.
   [[nodiscard]] RunResult run_converging(const RunConfig& config, const GoldenTrace& trace,
-                                         std::uint64_t tail_clean_from, bool& early_exited);
+                                         std::uint64_t tail_clean_from,
+                                         bool& early_exited) override;
 
   /// Per-EA detection statistics of the run that just finished on this
   /// context (exact counts and first report times from the detection bus,
@@ -63,7 +67,7 @@ class RunContext {
   /// observer-collapse driver reads it immediately after the
   /// all-assertions representative run to derive the other versions'
   /// detection fields.
-  [[nodiscard]] CollapsedDetections last_signal_detections() const;
+  [[nodiscard]] CollapsedDetections last_signal_detections() const override;
 
   /// True if the last run() reused the existing rig instead of building a
   /// fresh one (observability for the bit-identity regression tests).

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "fi/experiment.hpp"
+#include "target/target.hpp"
 
 namespace easel::fi {
 
@@ -20,6 +21,11 @@ std::vector<ShardRange> plan_shards(ShardRange range, std::size_t shard_count) {
 }
 
 std::size_t e1_error_count() { return arrestor::kMonitoredSignalCount * 16; }
+
+std::size_t e1_error_count(const CampaignOptions& options) {
+  return options.target != nullptr ? options.target->e1_error_count()
+                                   : target::default_target().e1_error_count();
+}
 
 std::string e1_shard_key(const CampaignOptions& options, ShardRange range) {
   std::ostringstream key;

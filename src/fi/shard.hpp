@@ -47,10 +47,12 @@ struct ShardRange {
 /// single shard; an empty range yields one empty shard.
 [[nodiscard]] std::vector<ShardRange> plan_shards(ShardRange range, std::size_t shard_count);
 
-/// Size of each series' full error list (E1: 7 signals x 16 bits; E2: the
-/// requested sample counts — sampling is with replacement, so the list
-/// length is exact).
+/// Size of each series' full error list (E1: the target's monitored signals
+/// x 16 bits; E2: the requested sample counts — sampling is with
+/// replacement, so the list length is exact).  The nullary overload is the
+/// default target's count; pass the options to respect options.target.
 [[nodiscard]] std::size_t e1_error_count();
+[[nodiscard]] std::size_t e1_error_count(const CampaignOptions& options);
 [[nodiscard]] constexpr std::size_t e2_error_count(std::size_t ram_errors = 150,
                                                    std::size_t stack_errors = 50) noexcept {
   return ram_errors + stack_errors;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "arrestor/param_set.hpp"
+#include "target/target.hpp"
 #include "util/strings.hpp"
 
 namespace easel::svc {
@@ -75,8 +76,11 @@ bool read_end(std::istream& in, std::string* error) {
 std::string to_text(const CampaignSpec& spec) {
   std::ostringstream out;
   out << kSpecMagic << '\n'
-      << "series " << spec.series << '\n'
-      << "seed " << spec.seed << '\n'
+      << "series " << spec.series << '\n';
+  // Omitted for the default target: an arrestor spec's wire bytes predate
+  // the multi-target protocol unchanged.
+  if (spec.target != "arrestor") out << "target " << spec.target << '\n';
+  out << "seed " << spec.seed << '\n'
       << "cases " << spec.cases << '\n'
       << "obs-ms " << spec.obs_ms << '\n'
       << "period-ms " << spec.period_ms << '\n'
@@ -112,6 +116,20 @@ std::optional<CampaignSpec> parse_spec(const std::string& text, std::string* err
   if (spec.series != "e1" && spec.series != "e2") {
     fail(error, "spec: unknown series '" + spec.series + "'");
     return std::nullopt;
+  }
+
+  // Optional 'target' line (absent = the default arrestor target).  The
+  // next mandatory line is 'seed', so one character disambiguates.
+  if (in.peek() == 't') {
+    if (!std::getline(in, line) || !util::starts_with(line, "target ")) {
+      fail(error, "spec: malformed 'target' line");
+      return std::nullopt;
+    }
+    spec.target = line.substr(7);
+    if (spec.target.empty()) {
+      fail(error, "spec: empty 'target' name");
+      return std::nullopt;
+    }
   }
 
   std::uint64_t value = 0;
@@ -187,6 +205,24 @@ std::optional<fi::CampaignOptions> spec_options(const CampaignSpec& spec, std::s
     fail(error, "spec: cases, obs-ms and period-ms must be positive");
     return std::nullopt;
   }
+  if (spec.target != "arrestor") {
+    const target::Target* resolved = target::find_target(spec.target);
+    if (resolved == nullptr) {
+      fail(error, "spec: unknown target '" + spec.target + "'");
+      return std::nullopt;
+    }
+    options.target = resolved;
+    if (!spec.params_text.empty()) {
+      std::string parse_error;
+      auto params = resolved->parse_params(spec.params_text, parse_error);
+      if (!params) {
+        fail(error, "spec: inline parameter payload rejected: " + parse_error);
+        return std::nullopt;
+      }
+      options.target_params = std::move(params);
+    }
+    return options;
+  }
   if (!spec.params_text.empty()) {
     std::istringstream in{spec.params_text};
     auto params = arrestor::load(in);
@@ -204,8 +240,13 @@ std::optional<fi::CampaignOptions> spec_options(const CampaignSpec& spec, std::s
 }
 
 std::optional<fi::ShardRange> spec_error_range(const CampaignSpec& spec, std::string* error) {
+  const target::Target* resolved = target::find_target(spec.target);
+  if (resolved == nullptr) {
+    fail(error, "spec: unknown target '" + spec.target + "'");
+    return std::nullopt;
+  }
   const std::size_t count = spec.series == "e1"
-                                ? fi::e1_error_count()
+                                ? resolved->e1_error_count()
                                 : fi::e2_error_count(spec.ram, spec.stack);
   if (spec.error_begin == 0 && spec.error_end == 0) return fi::ShardRange{0, count};
   if (spec.error_begin >= spec.error_end || spec.error_end > count) {

@@ -46,6 +46,10 @@ enum class MsgType : std::uint8_t {
 
 struct CampaignSpec {
   std::string series = "e1";  ///< "e1" | "e2"
+  /// Registry name of the workload (target/target.hpp).  Default-target
+  /// specs serialize without a `target` line, so their wire bytes are
+  /// identical to the pre-multi-target protocol.
+  std::string target = "arrestor";
   std::uint64_t seed = 2000;
   std::size_t cases = 25;
   std::uint32_t obs_ms = sim::kObservationMs;

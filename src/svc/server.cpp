@@ -42,6 +42,13 @@ void Server::send_error(util::TcpStream& stream, const std::string& reason) {
 
 void Server::handle_connection(util::TcpStream& stream) {
   while (!stopping()) {
+    // Poll between frames: recv_frame blocks indefinitely, so an idle
+    // client would otherwise pin this handler thread past stop() — and
+    // serve()'s join with it, swallowing the daemon's clean-shutdown
+    // report (the final store-stats line).
+    const int readable = stream.wait_readable(/*timeout_ms=*/200);
+    if (readable < 0) return;
+    if (readable == 0) continue;
     std::string frame_error;
     auto frame = util::recv_frame(stream, &frame_error);
     if (!frame) {

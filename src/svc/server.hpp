@@ -12,7 +12,8 @@
 //
 // serve() polls the listener with a short timeout and re-checks stop(),
 // so the daemon can be stopped from a signal handler or another thread
-// without pthread cancellation games.
+// without pthread cancellation games; handler threads poll the same flag
+// between frames, so an idle connection never wedges a clean shutdown.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,67 @@
+#include "target/arrestor_target.hpp"
+
+#include <stdexcept>
+
+#include "arrestor/signal_map.hpp"
+#include "fi/run_context.hpp"
+
+namespace easel::target {
+
+std::string ArrestorTarget::name() const { return "arrestor"; }
+
+std::string ArrestorTarget::description() const {
+  return "paper Figure-7 aircraft-arrestor rig (master/slave nodes, 7 EA-monitored signals)";
+}
+
+std::size_t ArrestorTarget::signal_count() const { return arrestor::kMonitoredSignalCount; }
+
+std::string ArrestorTarget::signal_name(std::size_t index) const {
+  if (index >= arrestor::kMonitoredSignalCount) {
+    throw std::out_of_range{"ArrestorTarget::signal_name: bad signal index"};
+  }
+  return arrestor::to_string(static_cast<arrestor::MonitoredSignal>(index));
+}
+
+std::size_t ArrestorTarget::version_count() const { return fi::kVersionCount; }
+
+arrestor::EaMask ArrestorTarget::version_mask(std::size_t version) const {
+  if (version >= fi::kVersionCount) {
+    throw std::out_of_range{"ArrestorTarget::version_mask: bad version index"};
+  }
+  return fi::paper_versions()[version];
+}
+
+std::string ArrestorTarget::version_label(std::size_t version) const {
+  if (version == fi::kAllVersion) return "All";
+  return "EA" + std::to_string(version + 1);
+}
+
+fi::TargetInfo ArrestorTarget::info() const { return fi::probe_target(); }
+
+std::vector<fi::ErrorSpec> ArrestorTarget::make_e1() const { return fi::make_e1_for_target(); }
+
+std::vector<fi::ErrorSpec> ArrestorTarget::make_e2(util::Rng rng, std::size_t ram_count,
+                                                   std::size_t stack_count) const {
+  return fi::make_e2_for_target(rng, ram_count, stack_count);
+}
+
+std::unique_ptr<RunContext> ArrestorTarget::make_run_context() const {
+  return std::make_unique<fi::RunContext>();
+}
+
+std::shared_ptr<const fi::OpaqueParams> ArrestorTarget::parse_params(
+    const std::string& /*text*/, std::string& error) const {
+  // The arrestor predates the opaque-params seam and keeps its richer typed
+  // path: arrestor::load() -> CampaignOptions::params / RunConfig::params.
+  error =
+      "the arrestor target uses typed NodeParamSet files (--params), not opaque "
+      "target parameters";
+  return nullptr;
+}
+
+const Target& arrestor_target() {
+  static const ArrestorTarget instance;
+  return instance;
+}
+
+}  // namespace easel::target

@@ -1,0 +1,37 @@
+// The default target: the paper's Figure-7 aircraft-arrestor rig, adapted
+// to the target::Target interface.  Pure delegation — layout probing, error
+// sets, versions, and execution all live in src/arrestor/ and src/fi/
+// exactly as before this interface existed, which is what keeps the default
+// target's results and cache keys byte-identical.
+#pragma once
+
+#include "target/target.hpp"
+
+namespace easel::target {
+
+class ArrestorTarget final : public Target {
+ public:
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string description() const override;
+
+  [[nodiscard]] std::size_t signal_count() const override;
+  [[nodiscard]] std::string signal_name(std::size_t index) const override;
+
+  [[nodiscard]] std::size_t version_count() const override;
+  [[nodiscard]] arrestor::EaMask version_mask(std::size_t version) const override;
+  [[nodiscard]] std::string version_label(std::size_t version) const override;
+
+  [[nodiscard]] fi::TargetInfo info() const override;
+  [[nodiscard]] std::vector<fi::ErrorSpec> make_e1() const override;
+  [[nodiscard]] std::vector<fi::ErrorSpec> make_e2(util::Rng rng, std::size_t ram_count,
+                                                   std::size_t stack_count) const override;
+
+  [[nodiscard]] std::unique_ptr<RunContext> make_run_context() const override;
+  [[nodiscard]] bool supports_collapse() const override { return true; }
+  [[nodiscard]] bool supports_prune() const override { return true; }
+
+  [[nodiscard]] std::shared_ptr<const fi::OpaqueParams> parse_params(
+      const std::string& text, std::string& error) const override;
+};
+
+}  // namespace easel::target

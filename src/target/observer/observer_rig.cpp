@@ -1,0 +1,489 @@
+#include "target/observer/observer_rig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace easel::observer {
+
+namespace {
+
+constexpr double kDampNsPerM = 6.0;       ///< plant viscous damping (N s/m)
+constexpr double kTickS = 1.0e-3;
+constexpr std::uint64_t kSpHoldMs = 1000;  ///< set point stays 0 until here
+constexpr std::uint64_t kSpHalfPeriodMs = 2500;
+
+constexpr std::int64_t kEstClamp = 30000;  ///< estimate saturation (fixed-point)
+
+constexpr double kDivergenceM = 2.5;
+constexpr std::uint64_t kDivergenceArmMs = 1500;
+constexpr std::uint64_t kSaturationMs = 700;
+constexpr double kRetardationLimit = 400.0;  ///< m/s^2; beyond the clamped actuator
+constexpr double kSettleTolM = 0.05;
+constexpr double kSettleTolMps = 0.2;
+
+constexpr std::size_t kSmallLocals = 8;
+
+[[nodiscard]] std::int64_t clamp64(std::int64_t value, std::int64_t limit) noexcept {
+  return std::clamp(value, -limit, limit);
+}
+
+}  // namespace
+
+const char* to_string(Signal signal) noexcept {
+  switch (signal) {
+    case Signal::set_point: return "set_point";
+    case Signal::meas_pos: return "meas_pos";
+    case Signal::est_pos: return "est_pos";
+    case Signal::est_vel: return "est_vel";
+    case Signal::cmd_u: return "cmd_u";
+  }
+  return "?";
+}
+
+// --- SignalMap -----------------------------------------------------------
+
+namespace {
+
+mem::Var16 var16(mem::AddressSpace& space, mem::Allocator& alloc) {
+  return mem::Var16{space, alloc.allocate(mem::Region::ram, 2, 2)};
+}
+
+mem::Var8 var8(mem::AddressSpace& space, mem::Allocator& alloc) {
+  return mem::Var8{space, alloc.allocate(mem::Region::ram, 1, 1)};
+}
+
+}  // namespace
+
+SignalMap::SignalMap(mem::AddressSpace& space, mem::Allocator& alloc) : space_{&space} {
+  // Monitored signals first, in EA order.
+  set_point = var16(space, alloc);
+  meas_pos = var16(space, alloc);
+  est_pos = var16(space, alloc);
+  est_vel = var16(space, alloc);
+  cmd_u = var16(space, alloc);
+
+  signal_addr_ = {set_point.address(), meas_pos.address(), est_pos.address(),
+                  est_vel.address(), cmd_u.address()};
+
+  residual = var16(space, alloc);
+  mscnt = var16(space, alloc);
+  slot_nbr = var16(space, alloc);
+  ctl_integral = mem::VarI32{space, alloc.allocate(mem::Region::ram, 4, 2)};
+
+  cfg_l1 = var16(space, alloc);
+  cfg_l2 = var16(space, alloc);
+  cfg_kp = var16(space, alloc);
+  cfg_ki = var16(space, alloc);
+  cfg_kd = var16(space, alloc);
+  cfg_damp = var16(space, alloc);
+  cfg_bgain = var16(space, alloc);
+  cfg_res_limit = var16(space, alloc);
+
+  for (auto& slot : monitor_state) {
+    slot.prev = var16(space, alloc);
+    slot.flags = var8(space, alloc);
+    (void)alloc.allocate(mem::Region::ram, 1, 1);  // pad to keep slots word-aligned
+  }
+
+  diag_max_residual = var16(space, alloc);
+  diag_frame_count = var16(space, alloc);
+
+  ram_used_ = alloc.used(mem::Region::ram);
+}
+
+void SignalMap::write_boot_values(const ObserverParamSet* params) {
+  // Power-on estimate = offset-binary zero (a zeroed image would decode to
+  // -32768 and the very first EA sample would be out of bounds).
+  set_point.set(encode(0));
+  meas_pos.set(encode(0));
+  est_pos.set(encode(0));
+  est_vel.set(encode(0));
+  cmd_u.set(encode(0));
+
+  cfg_l1.set(kRomL1);
+  cfg_l2.set(kRomL2);
+  cfg_kp.set(kRomKp);
+  cfg_ki.set(kRomKi);
+  cfg_kd.set(kRomKd);
+  cfg_damp.set(kRomDamp);
+  cfg_bgain.set(kRomBGain);
+  cfg_res_limit.set(params != nullptr ? params->residual_limit : kRomResLimit);
+}
+
+// --- Environment ---------------------------------------------------------
+
+void Environment::reset(const sim::TestCase& test_case, std::uint64_t noise_seed) {
+  // Effective moving mass 8..20 kg; set-point amplitude 400..700 mm.
+  mass_kg_ = test_case.mass_kg / 1000.0;
+  amp_mm_ = static_cast<std::int32_t>(std::lround(test_case.velocity_mps * 10.0));
+  pos_m_ = 0.0;
+  vel_mps_ = 0.0;
+  acc_mps2_ = 0.0;
+  force_n_ = 0;
+  now_ms_ = 0;
+  noise_ = util::Rng{noise_seed};
+}
+
+void Environment::step_1ms() {
+  acc_mps2_ = (static_cast<double>(force_n_) - kDampNsPerM * vel_mps_) / mass_kg_;
+  vel_mps_ += acc_mps2_ * kTickS;
+  pos_m_ += vel_mps_ * kTickS;
+  ++now_ms_;
+}
+
+std::int32_t Environment::set_point_command_mm() const noexcept {
+  if (now_ms_ < kSpHoldMs) return 0;
+  const std::uint64_t phase = (now_ms_ - kSpHoldMs) / kSpHalfPeriodMs;
+  return (phase % 2 == 0) ? amp_mm_ : -amp_mm_;
+}
+
+std::int32_t Environment::measured_position_mm() {
+  const auto quantised =
+      static_cast<std::int32_t>(clamp64(std::llround(pos_m_ * 1000.0), kEstClamp));
+  const auto dither = static_cast<std::int32_t>(noise_.uniform_u64(0, 2)) - 1;
+  return quantised + dither;
+}
+
+// --- Classifier ----------------------------------------------------------
+
+Classifier::Classifier(const sim::TestCase& /*test_case*/) {}
+
+void Classifier::latch(arrestor::FailureKind kind, std::uint64_t now_ms) noexcept {
+  if (failure_ == arrestor::FailureKind::none) {
+    failure_ = kind;
+    failure_ms_ = now_ms;
+  }
+}
+
+void Classifier::sample(const Environment& env, std::uint64_t now_ms) {
+  const double force = std::abs(static_cast<double>(env.applied_force_n()));
+  const double acc = std::abs(env.acceleration_mps2());
+  peak_force_n_ = std::max(peak_force_n_, force);
+  peak_acc_mps2_ = std::max(peak_acc_mps2_, acc);
+
+  // A command word past the target code's clamp means the word itself is
+  // corrupt; the resulting acceleration is physically impossible for the
+  // healthy actuator.
+  if (acc > kRetardationLimit) latch(arrestor::FailureKind::retardation, now_ms);
+
+  const double err = std::abs(env.position_m() - env.set_point_m());
+  if (now_ms >= kDivergenceArmMs && err > kDivergenceM) {
+    latch(arrestor::FailureKind::overrun, now_ms);
+  }
+
+  if (force >= static_cast<double>(kForceLimitN)) {
+    if (!saturated_) {
+      saturated_ = true;
+      saturated_since_ms_ = now_ms;
+    } else if (now_ms - saturated_since_ms_ >= kSaturationMs) {
+      latch(arrestor::FailureKind::force, now_ms);
+    }
+  } else {
+    saturated_ = false;
+  }
+
+  if (err <= kSettleTolM && std::abs(env.velocity_mps()) <= kSettleTolMps) {
+    if (!in_tolerance_) {
+      in_tolerance_ = true;
+      settle_ms_ = now_ms;
+    }
+  } else {
+    in_tolerance_ = false;
+  }
+}
+
+// --- MonitorBank ---------------------------------------------------------
+
+MonitorBank::MonitorBank(mem::AddressSpace& space, SignalMap& map, core::DetectionBus& bus,
+                         std::uint8_t enabled, core::RecoveryPolicy policy,
+                         const ObserverParamSet* params)
+    : space_{&space}, map_{&map}, bus_{&bus}, enabled_{static_cast<std::uint8_t>(
+                                                  enabled & kAllEa)} {
+  static const ObserverParamSet rom = ObserverParamSet::rom();
+  const ObserverParamSet& set = params != nullptr ? *params : rom;
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<Signal>(idx);
+    if (!this->enabled(signal)) continue;
+    monitors_[idx].emplace(set.classes[idx], set.continuous[idx], policy);
+    bus_ids_[idx] = bus.register_monitor("EA" + std::to_string(idx + 1) + "(" +
+                                         to_string(signal) + ")");
+  }
+}
+
+void MonitorBank::test(Signal signal) {
+  const auto idx = static_cast<std::size_t>(signal);
+  if (!enabled(signal)) return;
+
+  const std::size_t addr = map_->signal_address(signal);
+  const std::uint16_t raw = space_->read_u16(addr);
+
+  SignalMap::MonitorStateSlot& slot = map_->monitor_state[idx];
+  core::MonitorState state;
+  state.prev = slot.prev.get();
+  state.primed = (slot.flags.get() & 1u) != 0;
+  const core::sig_t prev_before = state.prev;
+
+  const core::CheckOutcome outcome = monitors_[idx]->check(raw, state);
+
+  slot.prev.set(static_cast<std::uint16_t>(state.prev));
+  slot.flags.set(state.primed ? 1u : 0u);
+
+  if (!outcome.ok) {
+    bus_->report(bus_ids_[idx], raw, prev_before, outcome.continuous_test,
+                 outcome.discrete_test);
+    if (outcome.recovered) {
+      space_->write_u16(addr, static_cast<std::uint16_t>(outcome.value));
+    }
+  }
+}
+
+// --- Modules -------------------------------------------------------------
+
+void ClockModule::execute() {
+  map_->mscnt.set(static_cast<std::uint16_t>(map_->mscnt.get() + 1u));
+  map_->slot_nbr.set(static_cast<std::uint16_t>((map_->slot_nbr.get() + 1u) % 7u));
+}
+
+void SenseModule::execute() {
+  map_->meas_pos.set(encode(env_->measured_position_mm()));
+}
+
+void ObsvModule::execute() {
+  const std::int64_t meas = decode(map_->meas_pos.get());
+  const std::int64_t ep = decode(map_->est_pos.get());
+  const std::int64_t ev = decode(map_->est_vel.get());
+  const std::int64_t u = decode(map_->cmd_u.get());
+
+  const std::int64_t l1 = map_->cfg_l1.get();
+  const std::int64_t l2 = map_->cfg_l2.get();
+  const std::int64_t damp = map_->cfg_damp.get();
+  const std::int64_t bgain = map_->cfg_bgain.get();
+
+  const std::int64_t innov = meas - ep;
+  const std::int64_t innov_prev = frame_->local_i32(Locals::innov_prev);
+
+  // Discrete-time Luenberger update over the 7-ms frame, with a small
+  // innovation-trend correction fed from the stack-resident previous
+  // innovation.
+  const std::int64_t ep_next = ep + (ev * 7) / 1000 + (l1 * innov) / 256;
+  const std::int64_t ev_next = ev - (damp * ev) / 4096 + (bgain * u) / 4096 +
+                               (l2 * innov) / 256 + (innov - innov_prev) / 8;
+
+  map_->est_pos.set(encode(static_cast<std::int32_t>(clamp64(ep_next, kEstClamp))));
+  map_->est_vel.set(encode(static_cast<std::int32_t>(clamp64(ev_next, kEstClamp))));
+  frame_->set_local_i32(Locals::innov_prev,
+                        static_cast<std::int32_t>(clamp64(innov, kEstClamp)));
+}
+
+void CtrlModule::execute() {
+  const std::int64_t sp = decode(map_->set_point.get());
+  const std::int64_t ep = decode(map_->est_pos.get());
+  const std::int64_t ev = decode(map_->est_vel.get());
+
+  const std::int64_t err = sp - ep;
+  const std::int64_t integ = clamp64(map_->ctl_integral.get() + err, 32000);
+  map_->ctl_integral.set(static_cast<std::int32_t>(integ));
+
+  const std::int64_t kp = map_->cfg_kp.get();
+  const std::int64_t ki = map_->cfg_ki.get();
+  const std::int64_t kd = map_->cfg_kd.get();
+
+  const std::int64_t cmd =
+      clamp64((kp * err) / 16 + (ki * integ) / 2048 - (kd * ev) / 16, kForceLimitN);
+  map_->cmd_u.set(encode(static_cast<std::int32_t>(cmd)));
+}
+
+void ResidModule::execute() {
+  const std::int64_t meas = decode(map_->meas_pos.get());
+  const std::int64_t ep = decode(map_->est_pos.get());
+  const std::int64_t r = std::min<std::int64_t>(std::abs(meas - ep), 65535);
+  const auto word = static_cast<std::uint16_t>(r);
+
+  map_->residual.set(word);
+  if (word > map_->diag_max_residual.get()) map_->diag_max_residual.set(word);
+  map_->diag_frame_count.set(static_cast<std::uint16_t>(map_->diag_frame_count.get() + 1u));
+
+  if (detect_ && word > map_->cfg_res_limit.get()) {
+    bus_->report(bus_id_, word, map_->cfg_res_limit.get(), core::ContinuousTest::t1_max,
+                 core::DiscreteTest::none);
+  }
+}
+
+void MonModule::execute() {
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    bank_->test(static_cast<Signal>(idx));
+  }
+}
+
+void SetpModule::execute() {
+  map_->set_point.set(encode(env_->set_point_command_mm()));
+}
+
+// --- Node ----------------------------------------------------------------
+
+Node::Node(Environment& env, core::DetectionBus& bus, std::uint8_t detectors,
+           core::RecoveryPolicy policy, const ObserverParamSet* params)
+    : space_{mem::MemoryLayout{kRamBytes, kStackBytes}},
+      alloc_{space_},
+      map_{space_, alloc_},
+      bank_{space_, map_, bus, detectors, policy, params},
+      params_{params},
+      ctx_exec_{space_, alloc_, "EXEC", kEntryExec, 32},
+      ctx_clock_{space_, alloc_, "CLOCK", kEntryClock, kSmallLocals},
+      ctx_sense_{space_, alloc_, "SENSE", kEntrySense, kSmallLocals},
+      ctx_obsv_{space_, alloc_, "OBSV", kEntryObsv, ObsvModule::Locals::bytes},
+      ctx_ctrl_{space_, alloc_, "CTRL", kEntryCtrl, kSmallLocals},
+      ctx_resid_{space_, alloc_, "RESID", kEntryResid, kSmallLocals},
+      ctx_mon_{space_, alloc_, "MON", kEntryMon, kSmallLocals},
+      ctx_setp_{space_, alloc_, "SETP", kEntrySetp, kSmallLocals},
+      clock_{map_},
+      sense_{map_, env},
+      obsv_{map_, ctx_obsv_},
+      ctrl_{map_},
+      resid_{map_, bus, (detectors & kResidualBit) != 0},
+      mon_{bank_},
+      setp_{map_, env} {
+  scheduler_.add_every_tick(clock_, ctx_clock_);
+  scheduler_.add_periodic(sense_, ctx_sense_, kSlotSense);
+  scheduler_.add_periodic(obsv_, ctx_obsv_, kSlotObsv);
+  scheduler_.add_periodic(ctrl_, ctx_ctrl_, kSlotCtrl);
+  scheduler_.add_periodic(resid_, ctx_resid_, kSlotResid);
+  scheduler_.add_periodic(mon_, ctx_mon_, kSlotMon);
+  scheduler_.add_periodic(setp_, ctx_setp_, kSlotSetp);
+  scheduler_.set_kernel_context(ctx_exec_);
+  scheduler_.set_slot_addr(space_, map_.slot_nbr.address());
+  boot();
+}
+
+void Node::boot() {
+  space_.clear();
+  map_.write_boot_values(params_);
+  scheduler_.boot();
+}
+
+void Node::reset_run(const std::vector<std::uint8_t>& post_boot_image) {
+  space_.restore(post_boot_image);
+  scheduler_.reset_run();
+}
+
+// --- RunContext ----------------------------------------------------------
+
+namespace {
+
+/// Binds a recorder to the observer rig's standard channel set: the five
+/// monitored signal words plus the residual word (all at the 7-ms test
+/// stride), and four plant-truth analog channels.
+void bind_channels(trace::Recorder& recorder, Node& node, const Environment& env) {
+  recorder.reset_channels();
+  const mem::AddressSpace& space = node.image();
+  SignalMap& map = node.signals();
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<Signal>(idx);
+    recorder.add_word_channel(to_string(signal), space, map.signal_address(signal),
+                              kTestPeriodMs, trace::ChannelKind::continuous);
+  }
+  recorder.add_word_channel("residual", space, map.residual.address(), kTestPeriodMs,
+                            trace::ChannelKind::continuous);
+  recorder.add_analog_channel("position_m", [&env] { return env.position_m(); });
+  recorder.add_analog_channel("velocity_mps", [&env] { return env.velocity_mps(); });
+  recorder.add_analog_channel("acceleration_mps2", [&env] { return env.acceleration_mps2(); });
+  recorder.add_analog_channel("set_point_m", [&env] { return env.set_point_m(); });
+}
+
+}  // namespace
+
+struct RunContext::Rig {
+  Environment env;
+  core::DetectionBus bus{64};
+  Node node;
+  std::vector<std::uint8_t> post_boot;
+
+  explicit Rig(const fi::RunConfig& config, const ObserverParamSet* params)
+      : node{env, bus, config.assertions, config.recovery, params} {
+    post_boot = node.image().bytes();
+  }
+
+  void reset() {
+    bus.reset_run();
+    node.reset_run(post_boot);
+  }
+};
+
+RunContext::RunContext() noexcept = default;
+RunContext::~RunContext() = default;
+RunContext::RunContext(RunContext&&) noexcept = default;
+RunContext& RunContext::operator=(RunContext&&) noexcept = default;
+
+fi::RunResult RunContext::run(const fi::RunConfig& config) {
+  const ObserverParamSet* params = nullptr;
+  if (config.target_params != nullptr) {
+    params = dynamic_cast<const ObserverParamSet*>(config.target_params.get());
+    if (params == nullptr) {
+      throw std::invalid_argument{
+          "observer RunContext: target_params is not an ObserverParamSet"};
+    }
+  }
+
+  const RigKey key{config.assertions, config.recovery, config.target_params};
+  if (rig_ == nullptr || key_ != key) {
+    rig_ = std::make_unique<Rig>(config, params);
+    key_ = key;
+  } else {
+    rig_->reset();
+  }
+  Rig& rig = *rig_;
+  rig.env.reset(config.test_case, config.noise_seed);
+
+  if (config.trace != nullptr) {
+    bind_channels(*config.trace, rig.node, rig.env);
+    config.trace->install(rig.node.scheduler());
+  }
+
+  Classifier classifier{config.test_case};
+
+  std::optional<fi::Injector> injector;
+  if (config.error) injector.emplace(*config.error, config.injection_period_ms);
+
+  SignalMap& map = rig.node.signals();
+
+  for (std::uint64_t now = 0; now < config.observation_ms; ++now) {
+    rig.bus.set_time_ms(now);
+    if (injector) injector->on_tick(now, rig.node.image());
+
+    rig.node.tick();
+
+    // Actuator DAC: the (injectable) command word drives the plant every
+    // millisecond, zero-order held between controller frames.
+    rig.env.apply_force_n(decode(map.cmd_u.get()));
+    rig.env.step_1ms();
+    classifier.sample(rig.env, now);
+  }
+  if (config.trace != nullptr) config.trace->uninstall(rig.node.scheduler());
+
+  fi::RunResult result;
+  result.detected = rig.bus.any();
+  result.detection_count = rig.bus.count();
+  if (const auto first = rig.bus.first_detection_ms()) {
+    result.first_detection_ms = *first;
+    const std::uint64_t injected_at = injector ? injector->first_injection_ms() : 0;
+    result.latency_ms = *first >= injected_at ? *first - injected_at : 0;
+  }
+  result.failed = classifier.failed();
+  result.failure = classifier.failure();
+  result.failure_ms = classifier.failure_ms();
+  result.stopped = classifier.settled();
+  result.stop_ms = classifier.settle_ms();
+  result.final_position_m = rig.env.position_m();
+  result.peak_retardation_g = classifier.peak_acc_mps2() / 9.80665;
+  result.peak_force_n = classifier.peak_force_n();
+  result.node_halted = rig.node.scheduler().halted();
+  result.injections = injector ? injector->injections() : 0;
+  return result;
+}
+
+}  // namespace easel::observer

@@ -1,0 +1,442 @@
+// The observer workload: a discrete-time servo loop with a fixed-point
+// Luenberger observer, registered as the second fault-injection target.
+//
+// A host-side plant (mass on a damped linear axis, driven by an actuator
+// force) is tracked by a two-state observer running on the simulated node:
+//
+//   SENSE (slot 0, 7 ms) — position sensor (quantised + dither) -> meas_pos
+//   OBSV  (slot 1, 7 ms) — Luenberger update -> est_pos, est_vel
+//   CTRL  (slot 2, 7 ms) — PID on the *estimated* state -> cmd_u
+//   RESID (slot 3, 7 ms) — residual |meas - est| + threshold detector
+//   MON   (slot 4, 7 ms) — executable assertions over the five signals
+//   SETP  (slot 5, 7 ms) — set-point profile from the environment
+//   CLOCK (every tick)   — mscnt, slot_nbr (the executive's slot source)
+//
+// The observer sits inside the control loop (the controller acts on the
+// estimate, not the measurement), so corrupting the estimate state drives
+// the physical plant off its set point — data errors become failures, as
+// in the paper's rig.  All node state lives in one mem::AddressSpace image
+// (RAM + per-task stack contexts) so random bit-flips can reach any of it.
+//
+// Signal words are offset-binary u16 (value + 32768, like a bipolar ADC/DAC
+// code): the trace recorder, the calibrator, and the EA monitors all see
+// plain unsigned words with well-behaved deltas.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arrestor/failure.hpp"
+#include "core/detection_bus.hpp"
+#include "core/monitor.hpp"
+#include "fi/error_set.hpp"
+#include "fi/experiment.hpp"
+#include "mem/address_space.hpp"
+#include "mem/mem_var.hpp"
+#include "rt/module.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/task_context.hpp"
+#include "sim/test_case.hpp"
+#include "target/observer/param_set.hpp"
+#include "target/target.hpp"
+#include "util/rng.hpp"
+
+namespace easel::observer {
+
+/// The monitored signals, in image layout order (= EA numbering).
+enum class Signal : std::uint8_t {
+  set_point = 0,  ///< EA1: commanded position (mm, offset-binary)
+  meas_pos = 1,   ///< EA2: measured position (mm, offset-binary)
+  est_pos = 2,    ///< EA3: observer position estimate (mm, offset-binary)
+  est_vel = 3,    ///< EA4: observer velocity estimate (mm/s, offset-binary)
+  cmd_u = 4,      ///< EA5: actuator force command (N, offset-binary)
+};
+
+inline constexpr std::size_t kSignalCount = 5;
+
+[[nodiscard]] const char* to_string(Signal signal) noexcept;
+
+/// Offset-binary zero: the u16 word value that encodes signal value 0.
+inline constexpr std::int32_t kBias = 32768;
+
+[[nodiscard]] constexpr std::uint16_t encode(std::int32_t value) noexcept {
+  return static_cast<std::uint16_t>(value + kBias);
+}
+[[nodiscard]] constexpr std::int32_t decode(std::uint16_t word) noexcept {
+  return static_cast<std::int32_t>(word) - kBias;
+}
+
+/// Image dimensions of the observer node (distinct from the paper target's
+/// 417 + 1008; E2 samples addresses uniformly over these areas).
+inline constexpr std::size_t kRamBytes = 160;
+inline constexpr std::size_t kStackBytes = 416;
+
+// Scheduler slots (7-slot minor frame, 1 ms ticks).
+inline constexpr std::uint32_t kSlotSense = 0;
+inline constexpr std::uint32_t kSlotObsv = 1;
+inline constexpr std::uint32_t kSlotCtrl = 2;
+inline constexpr std::uint32_t kSlotResid = 3;
+inline constexpr std::uint32_t kSlotMon = 4;
+inline constexpr std::uint32_t kSlotSetp = 5;
+
+/// Every EA (and the residual detector) observes its signal once per 7-ms
+/// frame; the trace recorder differences samples at this stride.
+inline constexpr std::uint32_t kTestPeriodMs = 7;
+
+// Task-context entry tokens (arbitrary distinct magic words, as on the
+// arrestor node).
+inline constexpr std::uint16_t kEntryExec = 0x0b5e;
+inline constexpr std::uint16_t kEntryClock = 0x0b51;
+inline constexpr std::uint16_t kEntrySense = 0x0b52;
+inline constexpr std::uint16_t kEntryObsv = 0x0b53;
+inline constexpr std::uint16_t kEntryCtrl = 0x0b54;
+inline constexpr std::uint16_t kEntryResid = 0x0b55;
+inline constexpr std::uint16_t kEntryMon = 0x0b56;
+inline constexpr std::uint16_t kEntrySetp = 0x0b57;
+
+// Fixed-point configuration constants (boot-time .data words, injectable).
+inline constexpr std::uint16_t kRomL1 = 64;       ///< innovation gain, /256
+inline constexpr std::uint16_t kRomL2 = 32;       ///< velocity innovation gain, /256
+inline constexpr std::uint16_t kRomKp = 32;       ///< proportional gain, /16
+inline constexpr std::uint16_t kRomKi = 16;       ///< integral gain, /2048
+inline constexpr std::uint16_t kRomKd = 48;       ///< derivative (est_vel) gain, /16
+inline constexpr std::uint16_t kRomDamp = 14;     ///< velocity decay per frame, /4096
+inline constexpr std::uint16_t kRomBGain = 2400;  ///< force->velocity per frame, /4096
+inline constexpr std::int32_t kForceLimitN = 2000;
+inline constexpr std::uint16_t kRomResLimit = 300;  ///< residual threshold (mm)
+
+/// The observer node's memory map: five monitored signal words first (the
+/// hand-written linker map puts the service-critical words at the start of
+/// .data), then loop state, configuration words, monitor state, and
+/// diagnostics.
+class SignalMap {
+ public:
+  SignalMap(mem::AddressSpace& space, mem::Allocator& alloc);
+
+  [[nodiscard]] std::size_t signal_address(Signal signal) const noexcept {
+    return signal_addr_[static_cast<std::size_t>(signal)];
+  }
+  [[nodiscard]] std::size_t ram_used() const noexcept { return ram_used_; }
+
+  /// Writes the boot-time .data constants.  A non-null parameter set
+  /// replaces the ROM residual threshold (the EA parameters live host-side
+  /// in the monitor bank, but the residual limit is a target-code constant).
+  void write_boot_values(const ObserverParamSet* params);
+
+  // Monitored signals (offset-binary u16).
+  mem::Var16 set_point;
+  mem::Var16 meas_pos;
+  mem::Var16 est_pos;
+  mem::Var16 est_vel;
+  mem::Var16 cmd_u;
+
+  mem::Var16 residual;  ///< |meas_pos - est_pos| in mm (unsigned, traceable)
+  mem::Var16 mscnt;
+  mem::Var16 slot_nbr;        ///< the executive's slot source (injectable)
+  mem::VarI32 ctl_integral;   ///< controller integral state
+
+  // Configuration words (.data, written at boot, injectable).
+  mem::Var16 cfg_l1;
+  mem::Var16 cfg_l2;
+  mem::Var16 cfg_kp;
+  mem::Var16 cfg_ki;
+  mem::Var16 cfg_kd;
+  mem::Var16 cfg_damp;
+  mem::Var16 cfg_bgain;
+  mem::Var16 cfg_res_limit;
+
+  /// Per-EA monitor state (previous value + primed flag), in RAM so faults
+  /// can corrupt the monitors themselves, as on the real node.
+  struct MonitorStateSlot {
+    mem::Var16 prev;
+    mem::Var8 flags;  ///< bit 0: primed
+  };
+  std::array<MonitorStateSlot, kSignalCount> monitor_state;
+
+  mem::Var16 diag_max_residual;
+  mem::Var16 diag_frame_count;
+
+ private:
+  mem::AddressSpace* space_;
+  std::array<std::size_t, kSignalCount> signal_addr_{};
+  std::size_t ram_used_ = 0;
+};
+
+/// Host-side plant: a mass on a damped linear axis driven by the node's
+/// force command, plus the set-point profile and the (dithered) position
+/// sensor.  Plays the role sim::Environment plays for the arrestor rig.
+class Environment {
+ public:
+  /// Effective moving mass from the shared test-case grid: mass_kg/1000
+  /// (8..20 kg).  The set-point amplitude comes from velocity_mps * 10
+  /// (400..700 mm) — heavier/faster cases stress the loop harder.
+  void reset(const sim::TestCase& test_case, std::uint64_t noise_seed);
+
+  /// Advances the plant 1 ms under the force applied at the last
+  /// apply_force_n() call (zero-order hold, like a DAC).
+  void step_1ms();
+
+  /// Actuator output: the node's decoded cmd_u word.  Deliberately NOT
+  /// clamped here — target code clamps to kForceLimitN, so a corrupted
+  /// command word can overdrive the plant, which is how injected errors
+  /// become failures.
+  void apply_force_n(std::int32_t force) noexcept { force_n_ = force; }
+
+  /// Set-point command for the current millisecond (what SETP reads).
+  [[nodiscard]] std::int32_t set_point_command_mm() const noexcept;
+
+  /// Quantised position measurement with +/-1 mm dither (what SENSE reads).
+  [[nodiscard]] std::int32_t measured_position_mm();
+
+  [[nodiscard]] double position_m() const noexcept { return pos_m_; }
+  [[nodiscard]] double velocity_mps() const noexcept { return vel_mps_; }
+  [[nodiscard]] double acceleration_mps2() const noexcept { return acc_mps2_; }
+  [[nodiscard]] double set_point_m() const noexcept {
+    return static_cast<double>(set_point_command_mm()) / 1000.0;
+  }
+  [[nodiscard]] std::int32_t applied_force_n() const noexcept { return force_n_; }
+
+ private:
+  double mass_kg_ = 12.0;
+  double pos_m_ = 0.0;
+  double vel_mps_ = 0.0;
+  double acc_mps2_ = 0.0;
+  std::int32_t force_n_ = 0;
+  std::int32_t amp_mm_ = 550;
+  std::uint64_t now_ms_ = 0;
+  util::Rng noise_{0};
+};
+
+/// Failure classification over the plant truth, mirroring the arrestor
+/// classifier's latched-failure contract (reusing its FailureKind values:
+/// overrun = tracking divergence, force = persistent actuator saturation,
+/// retardation = physically impossible acceleration).
+class Classifier {
+ public:
+  explicit Classifier(const sim::TestCase& test_case);
+
+  void sample(const Environment& env, std::uint64_t now_ms);
+
+  [[nodiscard]] bool failed() const noexcept {
+    return failure_ != arrestor::FailureKind::none;
+  }
+  [[nodiscard]] arrestor::FailureKind failure() const noexcept { return failure_; }
+  [[nodiscard]] std::uint64_t failure_ms() const noexcept { return failure_ms_; }
+  [[nodiscard]] bool settled() const noexcept { return in_tolerance_; }
+  [[nodiscard]] std::uint64_t settle_ms() const noexcept { return settle_ms_; }
+  [[nodiscard]] double peak_force_n() const noexcept { return peak_force_n_; }
+  [[nodiscard]] double peak_acc_mps2() const noexcept { return peak_acc_mps2_; }
+
+ private:
+  void latch(arrestor::FailureKind kind, std::uint64_t now_ms) noexcept;
+
+  arrestor::FailureKind failure_ = arrestor::FailureKind::none;
+  std::uint64_t failure_ms_ = 0;
+  std::uint64_t saturated_since_ms_ = 0;
+  bool saturated_ = false;
+  bool in_tolerance_ = false;
+  std::uint64_t settle_ms_ = 0;
+  double peak_force_n_ = 0.0;
+  double peak_acc_mps2_ = 0.0;
+};
+
+/// The EA bank: one continuous monitor per signal, built from ROM or a
+/// calibrated ObserverParamSet; monitor state round-trips through the image.
+class MonitorBank {
+ public:
+  MonitorBank(mem::AddressSpace& space, SignalMap& map, core::DetectionBus& bus,
+              std::uint8_t enabled, core::RecoveryPolicy policy,
+              const ObserverParamSet* params);
+
+  void test(Signal signal);
+
+  [[nodiscard]] bool enabled(Signal signal) const noexcept {
+    return (enabled_ & (1u << static_cast<unsigned>(signal))) != 0;
+  }
+
+ private:
+  mem::AddressSpace* space_;
+  SignalMap* map_;
+  core::DetectionBus* bus_;
+  std::uint8_t enabled_;
+  std::array<std::optional<core::ContinuousMonitor>, kSignalCount> monitors_;
+  std::array<std::uint16_t, kSignalCount> bus_ids_{};
+};
+
+// --- Modules -------------------------------------------------------------
+
+class ClockModule final : public rt::Module {
+ public:
+  explicit ClockModule(SignalMap& map) : map_{&map} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "CLOCK"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+};
+
+class SenseModule final : public rt::Module {
+ public:
+  SenseModule(SignalMap& map, Environment& env) : map_{&map}, env_{&env} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "SENSE"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  Environment* env_;
+};
+
+class ObsvModule final : public rt::Module {
+ public:
+  /// Stack-resident working set: the previous innovation persists across
+  /// frames (derivative correction term), so stack faults have a semantic
+  /// effect on the estimate.
+  struct Locals {
+    static constexpr std::size_t innov_prev = 0;  ///< i32
+    static constexpr std::size_t bytes = 24;
+  };
+
+  ObsvModule(SignalMap& map, rt::TaskContext& frame) : map_{&map}, frame_{&frame} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "OBSV"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  rt::TaskContext* frame_;
+};
+
+class CtrlModule final : public rt::Module {
+ public:
+  CtrlModule(SignalMap& map) : map_{&map} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "CTRL"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+};
+
+class ResidModule final : public rt::Module {
+ public:
+  /// `detect` arms the residual threshold detector (version mask bit 5);
+  /// the residual word itself is always computed (it is a trace channel).
+  ResidModule(SignalMap& map, core::DetectionBus& bus, bool detect)
+      : map_{&map}, bus_{&bus}, detect_{detect} {
+    if (detect_) bus_id_ = bus.register_monitor("RES(residual)");
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "RESID"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  core::DetectionBus* bus_;
+  bool detect_;
+  std::uint16_t bus_id_ = 0;
+};
+
+class MonModule final : public rt::Module {
+ public:
+  explicit MonModule(MonitorBank& bank) : bank_{&bank} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "MON"; }
+  void execute() override;
+
+ private:
+  MonitorBank* bank_;
+};
+
+class SetpModule final : public rt::Module {
+ public:
+  SetpModule(SignalMap& map, Environment& env) : map_{&map}, env_{&env} {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "SETP"; }
+  void execute() override;
+
+ private:
+  SignalMap* map_;
+  Environment* env_;
+};
+
+/// Version mask semantics for the observer target: bits 0..4 enable the EA
+/// on the same-numbered signal, bit 5 arms the residual detector.
+inline constexpr std::uint8_t kResidualBit = 0x20;
+inline constexpr std::uint8_t kAllEa = 0x1f;
+inline constexpr std::uint8_t kAllDetectors = 0x3f;
+
+/// The observer node: image, signal map, monitor bank, modules, task
+/// contexts, cyclic executive — the counterpart of arrestor::MasterNode.
+class Node {
+ public:
+  Node(Environment& env, core::DetectionBus& bus, std::uint8_t detectors,
+       core::RecoveryPolicy policy, const ObserverParamSet* params);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  void boot();
+  void reset_run(const std::vector<std::uint8_t>& post_boot_image);
+  void tick() { scheduler_.tick(); }
+
+  [[nodiscard]] mem::AddressSpace& image() noexcept { return space_; }
+  [[nodiscard]] const mem::AddressSpace& image() const noexcept { return space_; }
+  [[nodiscard]] SignalMap& signals() noexcept { return map_; }
+  [[nodiscard]] const SignalMap& signals() const noexcept { return map_; }
+  [[nodiscard]] rt::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] const rt::Scheduler& scheduler() const noexcept { return scheduler_; }
+
+ private:
+  mem::AddressSpace space_;
+  mem::Allocator alloc_;
+  SignalMap map_;
+  MonitorBank bank_;
+  const ObserverParamSet* params_;
+
+  rt::TaskContext ctx_exec_;
+  rt::TaskContext ctx_clock_;
+  rt::TaskContext ctx_sense_;
+  rt::TaskContext ctx_obsv_;
+  rt::TaskContext ctx_ctrl_;
+  rt::TaskContext ctx_resid_;
+  rt::TaskContext ctx_mon_;
+  rt::TaskContext ctx_setp_;
+
+  ClockModule clock_;
+  SenseModule sense_;
+  ObsvModule obsv_;
+  CtrlModule ctrl_;
+  ResidModule resid_;
+  MonModule mon_;
+  SetpModule setp_;
+
+  rt::Scheduler scheduler_;
+};
+
+/// target::RunContext for the observer workload.  Caches the rig across
+/// runs of identical build shape (mask, recovery, parameter set), exactly
+/// like the arrestor run context; the observer target supports neither
+/// collapse nor def/use pruning, so only plain run() is implemented (the
+/// campaign engine's dedup engine handles its pruned mode).
+class RunContext final : public target::RunContext {
+ public:
+  RunContext() noexcept;
+  ~RunContext() override;
+  RunContext(RunContext&&) noexcept;
+  RunContext& operator=(RunContext&&) noexcept;
+
+  [[nodiscard]] fi::RunResult run(const fi::RunConfig& config) override;
+
+ private:
+  struct Rig;
+  struct RigKey {
+    std::uint8_t detectors = 0;
+    core::RecoveryPolicy recovery = core::RecoveryPolicy::none;
+    std::shared_ptr<const fi::OpaqueParams> params;
+
+    bool operator==(const RigKey&) const = default;
+  };
+
+  std::unique_ptr<Rig> rig_;
+  RigKey key_;
+};
+
+}  // namespace easel::observer

@@ -1,0 +1,178 @@
+#include "target/observer/observer_target.hpp"
+
+#include <array>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/detection_bus.hpp"
+#include "target/observer/observer_rig.hpp"
+#include "target/observer/param_set.hpp"
+
+namespace easel::observer {
+
+namespace {
+
+/// The eight software versions: each EA alone, all EAs, the residual
+/// detector alone, and everything.  The last entry is the everything-enabled
+/// version, as the Target contract requires.
+constexpr std::array<arrestor::EaMask, 8> kVersions = {0x01, 0x02, 0x04, 0x08,
+                                                      0x10, kAllEa, kResidualBit,
+                                                      kAllDetectors};
+constexpr std::array<const char*, 8> kVersionLabels = {"EA1", "EA2", "EA3", "EA4",
+                                                       "EA5", "EA-all", "RES", "All"};
+
+constexpr std::size_t kEaAllVersion = 5;
+constexpr std::size_t kResVersion = 6;
+constexpr std::size_t kAllVersion = 7;
+
+/// A throwaway rig probed once for layout facts (addresses, allocation);
+/// function-local static like the arrestor's probe_target().
+struct LayoutProbe {
+  Environment env;
+  core::DetectionBus bus{8};
+  Node node{env, bus, kAllDetectors, core::RecoveryPolicy::none, nullptr};
+};
+
+const LayoutProbe& layout_probe() {
+  static const LayoutProbe probe;
+  return probe;
+}
+
+void append_row(std::ostringstream& out, const std::string& label,
+                const fi::Cell& ea_all, const fi::Cell& res, const fi::Cell& all) {
+  const auto pct = [](const fi::Cell& cell) {
+    std::ostringstream s;
+    s << std::fixed << std::setprecision(1) << cell.detection.all.point() * 100.0 << '%';
+    return s.str();
+  };
+  out << "  " << std::left << std::setw(11) << label << std::setw(10) << pct(ea_all)
+      << std::setw(10) << pct(res) << std::setw(10) << pct(all) << '\n';
+}
+
+}  // namespace
+
+std::string ObserverTarget::name() const { return "observer"; }
+
+std::string ObserverTarget::description() const {
+  return "discrete-time Luenberger-observer servo loop (EA bank + residual detector)";
+}
+
+std::size_t ObserverTarget::signal_count() const { return kSignalCount; }
+
+std::string ObserverTarget::signal_name(std::size_t index) const {
+  if (index >= kSignalCount) {
+    throw std::out_of_range{"observer signal index " + std::to_string(index)};
+  }
+  return to_string(static_cast<Signal>(index));
+}
+
+std::size_t ObserverTarget::version_count() const { return kVersions.size(); }
+
+arrestor::EaMask ObserverTarget::version_mask(std::size_t version) const {
+  if (version >= kVersions.size()) {
+    throw std::out_of_range{"observer version index " + std::to_string(version)};
+  }
+  return kVersions[version];
+}
+
+std::string ObserverTarget::version_label(std::size_t version) const {
+  if (version >= kVersionLabels.size()) {
+    throw std::out_of_range{"observer version index " + std::to_string(version)};
+  }
+  return kVersionLabels[version];
+}
+
+fi::TargetInfo ObserverTarget::info() const {
+  const LayoutProbe& probe = layout_probe();
+  fi::TargetInfo info;
+  info.ram_bytes = probe.node.image().ram_size();
+  info.stack_bytes = probe.node.image().stack_size();
+  info.ram_bytes_allocated = probe.node.signals().ram_used();
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    info.signal_addresses[idx] = probe.node.signals().signal_address(static_cast<Signal>(idx));
+  }
+  return info;
+}
+
+std::vector<fi::ErrorSpec> ObserverTarget::make_e1() const {
+  const SignalMap& map = layout_probe().node.signals();
+  std::vector<fi::ErrorSpec> errors;
+  errors.reserve(kSignalCount * 16);
+  unsigned number = 1;
+  for (std::size_t s = 0; s < kSignalCount; ++s) {
+    const std::size_t base = map.signal_address(static_cast<Signal>(s));
+    for (unsigned bit = 0; bit < 16; ++bit) {
+      fi::ErrorSpec spec;
+      spec.address = base + bit / 8;
+      spec.bit = bit % 8;
+      spec.region = mem::Region::ram;
+      spec.label = "S" + std::to_string(number++);
+      spec.signal = static_cast<arrestor::MonitoredSignal>(s);
+      spec.signal_bit = bit;
+      errors.push_back(std::move(spec));
+    }
+  }
+  return errors;
+}
+
+std::vector<fi::ErrorSpec> ObserverTarget::make_e2(util::Rng rng, std::size_t ram_count,
+                                                   std::size_t stack_count) const {
+  return fi::make_e2(layout_probe().node.image(), rng, ram_count, stack_count);
+}
+
+std::unique_ptr<target::RunContext> ObserverTarget::make_run_context() const {
+  return std::make_unique<RunContext>();
+}
+
+std::shared_ptr<const fi::OpaqueParams> ObserverTarget::parse_params(
+    const std::string& text, std::string& error) const {
+  std::istringstream in{text};
+  std::optional<ObserverParamSet> params = load(in);
+  if (!params) {
+    error = "not a valid easel-observer-params file";
+    return nullptr;
+  }
+  const core::Validation validation = validate(*params);
+  if (!validation.ok()) {
+    std::ostringstream joined;
+    for (std::size_t k = 0; k < validation.problems.size(); ++k) {
+      if (k > 0) joined << "; ";
+      joined << validation.problems[k];
+    }
+    error = joined.str();
+    return nullptr;
+  }
+  return std::make_shared<const ObserverParamSet>(*std::move(params));
+}
+
+std::string ObserverTarget::comparison_report(const fi::E1Results& results) const {
+  if (results.runs == 0) return {};
+  std::ostringstream out;
+  out << "EA coverage vs observer-residual coverage (E1 detection, per injected signal)\n";
+  out << "  " << std::left << std::setw(11) << "signal" << std::setw(10) << "EA-all"
+      << std::setw(10) << "RES" << std::setw(10) << "All" << '\n';
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<arrestor::MonitoredSignal>(idx);
+    append_row(out, to_string(static_cast<Signal>(idx)), results.cell(signal, kEaAllVersion),
+               results.cell(signal, kResVersion), results.cell(signal, kAllVersion));
+  }
+  append_row(out, "total", results.totals[kEaAllVersion], results.totals[kResVersion],
+             results.totals[kAllVersion]);
+  out << "  latency ms (min/avg/max): EA-all "
+      << results.totals[kEaAllVersion].latency.to_string() << ", RES "
+      << results.totals[kResVersion].latency.to_string() << ", All "
+      << results.totals[kAllVersion].latency.to_string() << '\n';
+  return out.str();
+}
+
+}  // namespace easel::observer
+
+namespace easel::target {
+
+const Target& observer_target() {
+  static const observer::ObserverTarget instance;
+  return instance;
+}
+
+}  // namespace easel::target

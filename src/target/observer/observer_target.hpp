@@ -1,0 +1,35 @@
+// Target-registry adapter for the observer workload (see observer_rig.hpp).
+#pragma once
+
+#include "target/target.hpp"
+
+namespace easel::observer {
+
+class ObserverTarget final : public target::Target {
+ public:
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string description() const override;
+
+  [[nodiscard]] std::size_t signal_count() const override;
+  [[nodiscard]] std::string signal_name(std::size_t index) const override;
+
+  [[nodiscard]] std::size_t version_count() const override;
+  [[nodiscard]] arrestor::EaMask version_mask(std::size_t version) const override;
+  [[nodiscard]] std::string version_label(std::size_t version) const override;
+
+  [[nodiscard]] fi::TargetInfo info() const override;
+  [[nodiscard]] std::vector<fi::ErrorSpec> make_e1() const override;
+  [[nodiscard]] std::vector<fi::ErrorSpec> make_e2(util::Rng rng, std::size_t ram_count,
+                                                   std::size_t stack_count) const override;
+
+  [[nodiscard]] std::unique_ptr<target::RunContext> make_run_context() const override;
+  [[nodiscard]] bool supports_collapse() const override { return false; }
+  [[nodiscard]] bool supports_prune() const override { return false; }
+
+  [[nodiscard]] std::shared_ptr<const fi::OpaqueParams> parse_params(
+      const std::string& text, std::string& error) const override;
+
+  [[nodiscard]] std::string comparison_report(const fi::E1Results& results) const override;
+};
+
+}  // namespace easel::observer

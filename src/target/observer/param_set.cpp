@@ -1,0 +1,220 @@
+#include "target/observer/param_set.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "calib/calibrator.hpp"
+#include "target/observer/observer_rig.hpp"
+#include "util/fs.hpp"
+
+namespace easel::observer {
+
+namespace {
+
+constexpr const char* kMagic = "easel-observer-params v1";
+constexpr const char* kEnd = "end";
+
+std::optional<Signal> parse_signal_name(const std::string& name) {
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<Signal>(idx);
+    if (name == to_string(signal)) return signal;
+  }
+  return std::nullopt;
+}
+
+/// The semantic payload (everything except provenance/origin/margin) in the
+/// on-disk text form — shared by save() and fingerprint() so the hash is
+/// exactly "what the monitors and the residual detector are built from".
+void write_payload(std::ostream& out, const ObserverParamSet& params) {
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<Signal>(idx);
+    out << "signal " << to_string(signal) << " class "
+        << core::short_code(params.classes[idx]) << '\n';
+    core::write_continuous(out, params.continuous[idx]);
+  }
+  out << "residual_limit " << params.residual_limit << '\n';
+}
+
+[[nodiscard]] core::ContinuousParams rom_params(Signal signal) {
+  // Offset-binary envelopes (zero = 32768) over the 7-ms test stride,
+  // hand-sized from the loop's worst golden transient: a full set-point
+  // reversal (2 x 700 mm) with the actuator briefly saturated.
+  core::ContinuousParams p;
+  p.rmin_incr = 0;
+  p.rmin_decr = 0;
+  switch (signal) {
+    case Signal::set_point:
+      p.smin = encode(-900);
+      p.smax = encode(900);
+      p.rmax_incr = 1600;
+      p.rmax_decr = 1600;
+      break;
+    case Signal::meas_pos:
+    case Signal::est_pos:
+      p.smin = encode(-1600);
+      p.smax = encode(1600);
+      p.rmax_incr = 160;
+      p.rmax_decr = 160;
+      break;
+    case Signal::est_vel:
+      p.smin = encode(-6000);
+      p.smax = encode(6000);
+      p.rmax_incr = 1300;
+      p.rmax_decr = 1300;
+      break;
+    case Signal::cmd_u:
+      p.smin = encode(-2100);
+      p.smax = encode(2100);
+      p.rmax_incr = 4096;
+      p.rmax_decr = 4096;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+ObserverParamSet ObserverParamSet::rom() {
+  ObserverParamSet params;
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    params.classes[idx] = core::SignalClass::continuous_random;
+    params.continuous[idx] = rom_params(static_cast<Signal>(idx));
+  }
+  params.residual_limit = kRomResLimit;
+  return params;
+}
+
+ObserverParamSet ObserverParamSet::from_calibration(const calib::Calibration& calibration) {
+  ObserverParamSet params;
+  params.provenance = core::ParamProvenance::calibrated;
+  params.margin = calibration.options.margin;
+  std::ostringstream origin;
+  origin << "calibrated from " << calibration.sources.size() << " trace(s)";
+  params.origin = origin.str();
+
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<Signal>(idx);
+    const calib::LearnedSignal* learned = calibration.find(to_string(signal));
+    if (learned == nullptr || learned->discrete || learned->modes.empty()) {
+      throw std::invalid_argument{std::string{"from_calibration: no continuous "
+                                              "calibration for signal "} +
+                                  to_string(signal)};
+    }
+    params.classes[idx] = learned->cls;
+    params.continuous[idx] = learned->modes.front();
+  }
+
+  const calib::LearnedSignal* residual = calibration.find("residual");
+  if (residual == nullptr || residual->discrete || residual->modes.empty()) {
+    throw std::invalid_argument{
+        "from_calibration: the traces carry no residual channel"};
+  }
+  // The learned smax is the observed residual peak padded by the margin and
+  // clamped to the word range — exactly the threshold semantics.
+  params.residual_limit =
+      static_cast<std::uint16_t>(std::max<core::sig_t>(1, residual->modes.front().smax));
+  return params;
+}
+
+std::uint64_t ObserverParamSet::fingerprint() const {
+  std::ostringstream payload;
+  write_payload(payload, *this);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : payload.str()) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string ObserverParamSet::provenance_line() const {
+  std::ostringstream out;
+  out << core::to_string(provenance) << " (" << origin;
+  if (provenance == core::ParamProvenance::calibrated) out << "; margin " << margin;
+  out << ")";
+  return out.str();
+}
+
+core::Validation validate(const ObserverParamSet& params) {
+  core::Validation v;
+  for (std::size_t idx = 0; idx < kSignalCount; ++idx) {
+    const auto signal = static_cast<Signal>(idx);
+    if (!core::is_continuous(params.classes[idx])) {
+      v.problems.push_back(std::string{to_string(signal)} + ": class is not continuous");
+      continue;
+    }
+    const core::Validation inner =
+        core::validate(params.continuous[idx], params.classes[idx]);
+    for (const std::string& problem : inner.problems) {
+      v.problems.push_back(std::string{to_string(signal)} + ": " + problem);
+    }
+  }
+  if (params.residual_limit == 0) {
+    v.problems.emplace_back("residual_limit: must be positive");
+  }
+  return v;
+}
+
+void save(const ObserverParamSet& params, std::ostream& out) {
+  out << kMagic << '\n';
+  out << "provenance " << core::to_string(params.provenance) << '\n';
+  out << "origin " << params.origin << '\n';
+  out << "margin " << params.margin << '\n';
+  write_payload(out, params);
+  out << kEnd << '\n';
+}
+
+bool save(const ObserverParamSet& params, const std::string& path) {
+  std::ostringstream out;
+  save(params, out);
+  return util::atomic_write_file(path, out.str());
+}
+
+std::optional<ObserverParamSet> load(std::istream& in) {
+  std::string line, word;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  ObserverParamSet params;
+  if (!(in >> word) || word != "provenance" || !(in >> word)) return std::nullopt;
+  const auto provenance = core::parse_provenance(word);
+  if (!provenance) return std::nullopt;
+  params.provenance = *provenance;
+
+  if (!(in >> word) || word != "origin") return std::nullopt;
+  in.ignore(1);  // the separating space
+  if (!std::getline(in, params.origin)) return std::nullopt;
+
+  if (!(in >> word) || word != "margin" || !(in >> params.margin)) return std::nullopt;
+
+  std::array<bool, kSignalCount> seen{};
+  for (std::size_t entry = 0; entry < kSignalCount; ++entry) {
+    std::string name, code;
+    if (!(in >> word) || word != "signal" || !(in >> name) || !(in >> word) ||
+        word != "class" || !(in >> code)) {
+      return std::nullopt;
+    }
+    const auto signal = parse_signal_name(name);
+    const auto cls = core::parse_signal_class(code);
+    if (!signal || !cls) return std::nullopt;
+    const auto idx = static_cast<std::size_t>(*signal);
+    if (seen[idx]) return std::nullopt;  // duplicate signal entry
+    seen[idx] = true;
+    params.classes[idx] = *cls;
+    if (!core::read_continuous(in, params.continuous[idx])) return std::nullopt;
+  }
+
+  if (!(in >> word) || word != "residual_limit" || !(in >> params.residual_limit)) {
+    return std::nullopt;
+  }
+  if (!(in >> word) || word != kEnd) return std::nullopt;  // truncated
+  return params;
+}
+
+std::optional<ObserverParamSet> load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  return load(in);
+}
+
+}  // namespace easel::observer

@@ -1,0 +1,63 @@
+// The observer target's assertion parameters: one continuous parameter set
+// per monitored signal plus the residual detector threshold.  Implements
+// fi::OpaqueParams so the campaign layer can fingerprint it into cache keys
+// without knowing the concrete type (the arrestor keeps its typed
+// NodeParamSet path).  Text format mirrors arrestor/param_set.hpp:
+// magic line, provenance/origin/margin, per-signal class + parameter lines,
+// residual limit, "end" terminator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/params.hpp"
+#include "core/signal_class.hpp"
+#include "fi/experiment.hpp"
+
+namespace easel::calib {
+struct Calibration;
+}
+
+namespace easel::observer {
+
+class ObserverParamSet final : public fi::OpaqueParams {
+ public:
+  core::ParamProvenance provenance = core::ParamProvenance::hand_specified;
+  std::string origin = "rom";
+  double margin = 0.0;
+
+  /// Index = Signal; all five observer signals are continuous.
+  std::array<core::ContinuousParams, 5> continuous{};
+  std::array<core::SignalClass, 5> classes{};
+
+  /// Residual detector threshold in mm (written into the node's
+  /// cfg_res_limit word at boot).
+  std::uint16_t residual_limit = 0;
+
+  /// The hand-specified boot values.
+  [[nodiscard]] static ObserverParamSet rom();
+
+  /// Learns a set from a calibration of observer golden traces (requires
+  /// the five signal channels plus the "residual" channel).  Throws
+  /// std::invalid_argument when a channel is missing.
+  [[nodiscard]] static ObserverParamSet from_calibration(const calib::Calibration& calibration);
+
+  // fi::OpaqueParams
+  [[nodiscard]] std::uint64_t fingerprint() const override;
+  [[nodiscard]] std::string provenance_line() const override;
+};
+
+/// Structural validation of every per-signal set plus the residual limit.
+[[nodiscard]] core::Validation validate(const ObserverParamSet& params);
+
+void save(const ObserverParamSet& params, std::ostream& out);
+[[nodiscard]] bool save(const ObserverParamSet& params, const std::string& path);
+
+/// nullopt on bad magic, malformed lines, or a truncated stream.
+[[nodiscard]] std::optional<ObserverParamSet> load(std::istream& in);
+[[nodiscard]] std::optional<ObserverParamSet> load(const std::string& path);
+
+}  // namespace easel::observer

@@ -1,0 +1,39 @@
+#include "target/target.hpp"
+
+#include <stdexcept>
+
+namespace easel::target {
+
+fi::RunResult RunContext::run_golden(const fi::RunConfig& /*config*/,
+                                     mem::AccessProbe& /*probe*/,
+                                     fi::GoldenTrace& /*trace*/) {
+  throw std::logic_error{
+      "RunContext::run_golden: this target does not support instrumented golden passes"};
+}
+
+fi::RunResult RunContext::run_converging(const fi::RunConfig& /*config*/,
+                                         const fi::GoldenTrace& /*trace*/,
+                                         std::uint64_t /*tail_clean_from*/,
+                                         bool& /*early_exited*/) {
+  throw std::logic_error{
+      "RunContext::run_converging: this target does not support convergence early-exit"};
+}
+
+fi::CollapsedDetections RunContext::last_signal_detections() const { return {}; }
+
+std::string Target::comparison_report(const fi::E1Results& /*results*/) const { return {}; }
+
+const Target& default_target() { return arrestor_target(); }
+
+const Target* find_target(const std::string& name) {
+  for (const Target* candidate : all_targets()) {
+    if (candidate->name() == name) return candidate;
+  }
+  return nullptr;
+}
+
+std::vector<const Target*> all_targets() {
+  return {&arrestor_target(), &observer_target()};
+}
+
+}  // namespace easel::target

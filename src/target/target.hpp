@@ -1,0 +1,179 @@
+// Pluggable fault-injection targets.
+//
+// The paper's method — executable assertions placed on monitored signals,
+// graded by fault-injection campaigns — is target-agnostic, but the engine
+// grew up hard-wired to the Figure-7 arrestor rig.  This interface is the
+// seam: a Target owns everything workload-specific (memory layout, module
+// schedule, monitored-signal inventory, environment model, failure
+// classifier, golden-trace channels, parameter format), and the campaign
+// engine, shard planner, service protocol, and CLIs consume only this
+// interface.  The arrestor rig is the default target
+// (src/target/arrestor_target.*); the observer-based fault detector
+// (src/target/observer/) is the second.
+//
+// Key and provenance rules (enforced by fi/campaign.cpp):
+//   * The default target's cache keys are byte-identical to the
+//     pre-interface keys — `target=NAME` is appended to options_key() ONLY
+//     for non-default targets, so every previously stored arrestor blob
+//     stays addressable and blobs never alias across targets.
+//   * A non-default target's parameter set enters the key as
+//     `tparams=<fingerprint>` (see fi::OpaqueParams); the arrestor keeps
+//     its typed `params=<fingerprint>` path.
+//   * Targets are identified by name() everywhere — registry lookup, spec
+//     protocol `target` line, bench records — so a name is forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "fi/error_set.hpp"
+#include "fi/experiment.hpp"
+#include "fi/prune.hpp"
+#include "util/rng.hpp"
+
+namespace easel::mem {
+class AccessProbe;
+}
+
+namespace easel::target {
+
+/// One campaign worker's reusable execution context.  run() must be a pure
+/// function of its config — deterministic, order-independent, bit-identical
+/// whether the context is fresh or reused — because every campaign
+/// invariant (jobs, shards, prune) rests on that.
+///
+/// The instrumented entry points exist for the pruning engines; a target
+/// that does not support pruning (Target::supports_prune() == false) keeps
+/// the throwing defaults and the engine never calls them.
+class RunContext {
+ public:
+  virtual ~RunContext() = default;
+
+  /// Executes one run to completion.
+  [[nodiscard]] virtual fi::RunResult run(const fi::RunConfig& config) = 0;
+
+  /// Instrumented golden pass (fault-space pruning, fi/prune.hpp): run
+  /// `config` without an error, with `probe` attached to the target image,
+  /// and fill `trace`.  Default: std::logic_error.
+  [[nodiscard]] virtual fi::RunResult run_golden(const fi::RunConfig& config,
+                                                 mem::AccessProbe& probe,
+                                                 fi::GoldenTrace& trace);
+
+  /// Faulted run with convergence early-exit against a golden trace.
+  /// Default: std::logic_error.
+  [[nodiscard]] virtual fi::RunResult run_converging(const fi::RunConfig& config,
+                                                     const fi::GoldenTrace& trace,
+                                                     std::uint64_t tail_clean_from,
+                                                     bool& early_exited);
+
+  /// Per-signal detection statistics of the run that just finished (for the
+  /// observer-collapse engine; only called when Target::supports_collapse()).
+  /// Default: all-zero.
+  [[nodiscard]] virtual fi::CollapsedDetections last_signal_detections() const;
+};
+
+/// A fault-injection workload: everything the campaign engine needs to
+/// enumerate, execute, and report a target's E1/E2 series.  Implementations
+/// are stateless singletons owned by the registry below; all methods must be
+/// thread-safe (campaign workers call them concurrently).
+class Target {
+ public:
+  virtual ~Target() = default;
+
+  /// Stable registry key; enters non-default cache/shard keys and the
+  /// service spec protocol, so it can never be renamed.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One line for --list-targets.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  // --- Monitored-signal inventory ------------------------------------------
+  // At most arrestor::kMonitoredSignalCount (7) signals: E1Results' cell
+  // matrix and the per-signal accounting buckets are sized by that bound,
+  // which keeps the cache format target-independent (unused rows stay zero).
+
+  [[nodiscard]] virtual std::size_t signal_count() const = 0;
+  [[nodiscard]] virtual std::string signal_name(std::size_t index) const = 0;
+
+  // --- Software versions ----------------------------------------------------
+  // At most fi::kVersionCount (8) structural rig configurations; the last
+  // one is always the everything-enabled version (the E2 series runs it, and
+  // the collapse engine uses it as the representative).  version_mask() is
+  // the target-defined encoding of RunConfig::assertions.
+
+  [[nodiscard]] virtual std::size_t version_count() const = 0;
+  [[nodiscard]] virtual arrestor::EaMask version_mask(std::size_t version) const = 0;
+  [[nodiscard]] virtual std::string version_label(std::size_t version) const = 0;
+
+  // --- Error sets -----------------------------------------------------------
+
+  /// Image/bookkeeping facts (region sizes, signal addresses) needed to
+  /// build error sets and access probes without running anything.
+  [[nodiscard]] virtual fi::TargetInfo info() const = 0;
+
+  /// The directed E1 set: every bit of every monitored signal.
+  [[nodiscard]] virtual std::vector<fi::ErrorSpec> make_e1() const = 0;
+
+  /// The random E2 set: `ram_count` + `stack_count` bit-flips sampled (with
+  /// replacement) from the target image.
+  [[nodiscard]] virtual std::vector<fi::ErrorSpec> make_e2(util::Rng rng,
+                                                           std::size_t ram_count,
+                                                           std::size_t stack_count) const = 0;
+
+  /// Length of the full E1 list (for shard planning without building it).
+  [[nodiscard]] virtual std::size_t e1_error_count() const { return signal_count() * 16; }
+
+  // --- Execution ------------------------------------------------------------
+
+  [[nodiscard]] virtual std::unique_ptr<RunContext> make_run_context() const = 0;
+
+  /// Whether the observer-collapse E1 engine is sound for this target
+  /// (assertions are pure observers under RecoveryPolicy::none and the
+  /// RunContext implements the instrumented entry points).
+  [[nodiscard]] virtual bool supports_collapse() const = 0;
+
+  /// Whether the def/use + convergence pruning engine is supported (the
+  /// RunContext implements run_golden/run_converging).  Targets without it
+  /// still get exact duplicate-error collapse from the dedup engine.
+  [[nodiscard]] virtual bool supports_prune() const = 0;
+
+  // --- Parameters and reporting --------------------------------------------
+
+  /// Parses this target's assertion-parameter file format into an opaque
+  /// set for RunConfig::target_params / CampaignOptions::target_params.
+  /// Returns nullptr with `error` filled on failure (including "this target
+  /// has no opaque parameter format" — the arrestor's typed path).
+  [[nodiscard]] virtual std::shared_ptr<const fi::OpaqueParams> parse_params(
+      const std::string& text, std::string& error) const = 0;
+
+  /// Optional target-specific analysis of finished E1 results (the observer
+  /// target renders its EA-coverage vs residual-coverage comparison here).
+  /// Empty string = no report.
+  [[nodiscard]] virtual std::string comparison_report(const fi::E1Results& results) const;
+};
+
+// --- Registry ---------------------------------------------------------------
+// String-keyed, fixed at link time: targets are stateless singletons with
+// eternal lifetime (function-local statics), so `const Target*` is safe to
+// hold anywhere, including CampaignOptions::target.
+
+/// The default Figure-7 arrestor target.
+[[nodiscard]] const Target& arrestor_target();
+
+/// The observer-based fault-detector target.
+[[nodiscard]] const Target& observer_target();
+
+/// What a null CampaignOptions::target means: the arrestor.
+[[nodiscard]] const Target& default_target();
+
+/// Registry lookup; nullptr when no target has that name.
+[[nodiscard]] const Target* find_target(const std::string& name);
+
+/// Every registered target, in stable listing order (default first).
+[[nodiscard]] std::vector<const Target*> all_targets();
+
+}  // namespace easel::target

@@ -95,6 +95,13 @@ bool TcpStream::recv_all(void* data, std::size_t len) noexcept {
   return true;
 }
 
+int TcpStream::wait_readable(int timeout_ms) noexcept {
+  ::pollfd poller{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&poller, 1, timeout_ms);
+  if (ready < 0) return errno == EINTR ? 0 : -1;
+  return ready == 0 ? 0 : 1;
+}
+
 void TcpStream::shutdown_send() noexcept {
   if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_WR);
 }

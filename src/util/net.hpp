@@ -60,6 +60,11 @@ class TcpStream {
   /// Reads exactly `len` bytes; false on EOF or error before `len` arrived.
   [[nodiscard]] bool recv_all(void* data, std::size_t len) noexcept;
 
+  /// Waits up to timeout_ms for readable data (or EOF): 1 = readable,
+  /// 0 = timeout, -1 = error.  Lets a server poll a stop flag between
+  /// frames instead of blocking indefinitely on an idle peer.
+  [[nodiscard]] int wait_readable(int timeout_ms) noexcept;
+
   /// Half-closes the send direction (the peer sees EOF after the last
   /// frame) — lets a client signal "no more requests" without dropping the
   /// pending response.

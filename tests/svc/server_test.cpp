@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -210,6 +212,25 @@ TEST_F(ServerTest, OversizedLengthPrefixIsRejectedWithoutAllocation) {
   auto client = Client::connect("127.0.0.1", daemon.port(), &error);
   ASSERT_TRUE(client.has_value()) << error;
   EXPECT_TRUE(client->ping(&error)) << error;
+}
+
+TEST_F(ServerTest, IdleConnectionDoesNotWedgeShutdown) {
+  // Regression: a client that connects and then sends nothing used to pin
+  // its handler thread inside recv_frame, so stop() + join never returned
+  // and the daemon's shutdown stats line was lost.  Handlers now poll the
+  // stop flag between frames; shutdown must complete promptly.
+  auto daemon = std::make_unique<LiveServer>(dir_);
+  auto idle = util::TcpStream::connect("127.0.0.1", daemon->port());
+  ASSERT_TRUE(idle.has_value());
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon->port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  EXPECT_TRUE(client->ping(&error)) << error;  // the idle peer is accepted by now
+
+  const auto before = std::chrono::steady_clock::now();
+  daemon.reset();  // stop() + serve()-thread join, with the idle client still open
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 3000);
 }
 
 TEST_F(ServerTest, UnknownFrameTypeGetsAnErrorFrame) {

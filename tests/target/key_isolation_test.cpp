@@ -1,0 +1,111 @@
+// Cross-target cache-key isolation: identical campaign options under
+// different targets must produce distinct campaign and shard keys, the
+// default target's keys must stay byte-identical to the pre-interface
+// format (stored arrestor blobs remain addressable), and a non-default
+// target's parameter set must fingerprint into the key.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "fi/campaign.hpp"
+#include "fi/shard.hpp"
+#include "target/observer/param_set.hpp"
+#include "target/target.hpp"
+
+namespace easel::fi {
+namespace {
+
+CampaignOptions tiny_options() {
+  CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+CampaignOptions observer_options() {
+  CampaignOptions options = tiny_options();
+  options.target = &target::observer_target();
+  return options;
+}
+
+TEST(KeyIsolation, SameOptionsDifferentTargetsGetDistinctCampaignKeys) {
+  const std::string arrestor_key = campaign_key(tiny_options());
+  const std::string observer_key = campaign_key(observer_options());
+  EXPECT_NE(arrestor_key, observer_key);
+  EXPECT_NE(observer_key.find("target=observer"), std::string::npos) << observer_key;
+  EXPECT_EQ(arrestor_key.find("target="), std::string::npos) << arrestor_key;
+}
+
+TEST(KeyIsolation, ExplicitDefaultTargetKeepsThePreInterfaceKey) {
+  // Selecting the arrestor explicitly must hit the same cache entries as
+  // leaving options.target null — the stored-blob compatibility guarantee.
+  CampaignOptions explicit_default = tiny_options();
+  explicit_default.target = &target::arrestor_target();
+  EXPECT_EQ(campaign_key(tiny_options()), campaign_key(explicit_default));
+}
+
+TEST(KeyIsolation, ShardKeysAreDistinctAcrossTargetsForTheSameRange) {
+  const ShardRange range{0, 16};
+  EXPECT_NE(e1_shard_key(tiny_options(), range), e1_shard_key(observer_options(), range));
+  // And the range suffix still composes with the target-qualified key.
+  EXPECT_EQ(campaign_key(observer_options()) + " errors=0:16",
+            e1_shard_key(observer_options(), range));
+}
+
+TEST(KeyIsolation, E2KeysAreDistinctAcrossTargetsToo) {
+  EXPECT_NE(e2_campaign_key(tiny_options(), 20, 10),
+            e2_campaign_key(observer_options(), 20, 10));
+}
+
+TEST(KeyIsolation, ErrorCountRespectsTheSelectedTarget) {
+  EXPECT_EQ(e1_error_count(tiny_options()), 112u);
+  EXPECT_EQ(e1_error_count(observer_options()), 80u);
+  EXPECT_EQ(e1_error_count(), 112u);  // the no-options overload stays default
+}
+
+TEST(KeyIsolation, TargetParamsFingerprintIntoTheKey) {
+  CampaignOptions rom = observer_options();
+  const std::string rom_key = campaign_key(rom);
+  EXPECT_EQ(rom_key.find("tparams="), std::string::npos) << rom_key;
+
+  auto learned = std::make_shared<observer::ObserverParamSet>(observer::ObserverParamSet::rom());
+  learned->provenance = core::ParamProvenance::calibrated;
+  learned->origin = "unit-test";
+  learned->residual_limit = static_cast<std::uint16_t>(learned->residual_limit + 1);
+  CampaignOptions with_params = observer_options();
+  with_params.target_params = learned;
+  const std::string learned_key = campaign_key(with_params);
+  EXPECT_NE(learned_key, rom_key);
+  EXPECT_NE(learned_key.find("tparams="), std::string::npos) << learned_key;
+
+  // A different parameter set is a different key — caches never alias
+  // across parameter values.
+  auto other = std::make_shared<observer::ObserverParamSet>(*learned);
+  other->residual_limit = static_cast<std::uint16_t>(other->residual_limit + 1);
+  CampaignOptions with_other = observer_options();
+  with_other.target_params = other;
+  EXPECT_NE(campaign_key(with_other), learned_key);
+}
+
+TEST(KeyIsolation, CampaignBlobsAreDistinctAcrossTargets) {
+  // Same options, different targets: not just different keys, different
+  // bytes — a misrouted lookup could never be satisfied silently.
+  const E1Results arrestor_results = run_e1(tiny_options());
+  const E1Results observer_results = run_e1(observer_options());
+  std::ostringstream arrestor_blob;
+  save_e1(arrestor_results, arrestor_blob, campaign_key(tiny_options()));
+  std::ostringstream observer_blob;
+  save_e1(observer_results, observer_blob, campaign_key(observer_options()));
+  EXPECT_NE(arrestor_blob.str(), observer_blob.str());
+
+  // Each blob round-trips only under its own key.
+  std::istringstream wrong_key{observer_blob.str()};
+  EXPECT_FALSE(load_e1(wrong_key, campaign_key(tiny_options())).has_value());
+  std::istringstream right_key{observer_blob.str()};
+  EXPECT_TRUE(load_e1(right_key, campaign_key(observer_options())).has_value());
+}
+
+}  // namespace
+}  // namespace easel::fi

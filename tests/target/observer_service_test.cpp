@@ -1,0 +1,163 @@
+// The observer target over the wire: the spec protocol's optional target
+// line round-trips (and stays absent for the default target, keeping old
+// daemons and old specs byte-compatible), and a loopback submission with
+// target=observer is byte-identical to the in-process engine while never
+// sharing store entries with an arrestor campaign of the same shape.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "svc/client.hpp"
+#include "target/target.hpp"
+
+namespace easel::svc {
+namespace {
+
+CampaignSpec observer_spec() {
+  CampaignSpec spec;
+  spec.series = "e1";
+  spec.target = "observer";
+  spec.seed = 77;
+  spec.cases = 2;
+  spec.obs_ms = 2000;
+  spec.shards = 3;
+  return spec;
+}
+
+fi::CampaignOptions observer_options() {
+  fi::CampaignOptions options;
+  options.target = &target::observer_target();
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+TEST(SpecProtocol, TargetLineRoundTrips) {
+  const std::string text = to_text(observer_spec());
+  EXPECT_NE(text.find("target observer\n"), std::string::npos) << text;
+  std::string error;
+  const auto parsed = parse_spec(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->target, "observer");
+  EXPECT_EQ(to_text(*parsed), text);
+}
+
+TEST(SpecProtocol, DefaultTargetEmitsNoTargetLine) {
+  // Wire-byte compatibility: an arrestor spec serializes exactly as it did
+  // before targets existed, and parses back to target == "arrestor".
+  CampaignSpec spec = observer_spec();
+  spec.target = "arrestor";
+  const std::string text = to_text(spec);
+  EXPECT_EQ(text.find("target"), std::string::npos) << text;
+  std::string error;
+  const auto parsed = parse_spec(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->target, "arrestor");
+}
+
+TEST(SpecProtocol, UnknownTargetIsRejectedWithTheName) {
+  CampaignSpec spec = observer_spec();
+  spec.target = "toaster";
+  std::string error;
+  EXPECT_FALSE(spec_options(spec, &error).has_value());
+  EXPECT_NE(error.find("toaster"), std::string::npos) << error;
+}
+
+TEST(SpecProtocol, ErrorRangeValidatesAgainstTheTargetsErrorCount) {
+  // 80..112 is a valid arrestor subset but out of range for the observer's
+  // 80-error E1 list — the range check must consult the selected target.
+  CampaignSpec spec = observer_spec();
+  spec.error_begin = 80;
+  spec.error_end = 112;
+  std::string error;
+  EXPECT_FALSE(spec_error_range(spec, &error).has_value());
+  EXPECT_NE(error.find("outside"), std::string::npos) << error;
+  spec.target = "arrestor";
+  EXPECT_TRUE(spec_error_range(spec, &error).has_value()) << error;
+}
+
+/// One live daemon on a kernel-chosen loopback port (same shape as
+/// server_test.cpp, duplicated to keep the binaries independent).
+class LiveServer {
+ public:
+  explicit LiveServer(const std::string& store_dir)
+      : service_(store_dir, {}), server_(service_) {
+    EXPECT_TRUE(server_.start(0));
+    thread_ = std::thread{[this] { (void)server_.serve(); }};
+  }
+
+  ~LiveServer() {
+    server_.stop();
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+
+ private:
+  CampaignService service_;
+  Server server_;
+  std::thread thread_;
+};
+
+class ObserverServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "observer_service_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ObserverServiceTest, LoopbackSubmissionMatchesInProcessEngine) {
+  LiveServer daemon{dir_};
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  const auto result = client->submit(observer_spec(), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->stats.misses, 3u);
+
+  const auto options = observer_options();
+  std::ostringstream reference;
+  fi::save_e1(fi::run_e1(options), reference,
+              fi::e1_shard_key(options, {0, fi::e1_error_count(options)}));
+  EXPECT_EQ(result->blob, reference.str());
+
+  // Warm resubmission: every shard hits, same bytes.
+  const auto warm = client->submit(observer_spec(), &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_EQ(warm->stats.hits, 3u);
+  EXPECT_EQ(warm->blob, result->blob);
+}
+
+TEST_F(ObserverServiceTest, TargetsNeverShareStoreEntries) {
+  LiveServer daemon{dir_};
+  std::string error;
+  auto client = Client::connect("127.0.0.1", daemon.port(), &error);
+  ASSERT_TRUE(client.has_value()) << error;
+
+  CampaignSpec arrestor = observer_spec();
+  arrestor.target = "arrestor";
+  const auto first = client->submit(arrestor, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  EXPECT_EQ(first->stats.misses, 3u);
+
+  // Same shape, different target: a fully cold submission — none of the
+  // arrestor shards may satisfy an observer lookup.
+  const auto second = client->submit(observer_spec(), &error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_EQ(second->stats.hits, 0u);
+  EXPECT_EQ(second->stats.misses, 3u);
+  EXPECT_NE(second->blob, first->blob);
+}
+
+}  // namespace
+}  // namespace easel::svc

@@ -1,0 +1,134 @@
+// The observer target end-to-end through the campaign engine: pruning is a
+// declared no-op (byte-identical results either way), parameter sets
+// round-trip through their text format with stable fingerprints, and the
+// EA-vs-residual comparison report renders from finished E1 results.
+#include "target/observer/param_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "fi/campaign.hpp"
+#include "target/target.hpp"
+
+namespace easel::observer {
+namespace {
+
+fi::CampaignOptions tiny_options() {
+  fi::CampaignOptions options;
+  options.target = &target::observer_target();
+  options.test_case_count = 2;
+  options.observation_ms = 2000;
+  options.seed = 77;
+  return options;
+}
+
+TEST(ObserverCampaign, PrunedAndUnprunedRunsAreByteIdentical) {
+  fi::CampaignOptions pruned = tiny_options();
+  fi::CampaignOptions unpruned = tiny_options();
+  unpruned.prune = false;
+  const std::string key = fi::campaign_key(tiny_options());
+  std::ostringstream a;
+  fi::save_e1(fi::run_e1(pruned), a, key);
+  std::ostringstream b;
+  fi::save_e1(fi::run_e1(unpruned), b, key);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ObserverCampaign, E2PrunedAndUnprunedAreByteIdenticalToo) {
+  fi::CampaignOptions pruned = tiny_options();
+  fi::CampaignOptions unpruned = tiny_options();
+  unpruned.prune = false;
+  const std::string key = fi::e2_campaign_key(tiny_options(), 20, 10);
+  std::ostringstream a;
+  fi::save_e2(fi::run_e2(pruned, 20, 10), a, key);
+  std::ostringstream b;
+  fi::save_e2(fi::run_e2(unpruned, 20, 10), b, key);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ObserverCampaign, JobCountNeverChangesTheBytes) {
+  fi::CampaignOptions serial = tiny_options();
+  serial.jobs = 1;
+  fi::CampaignOptions parallel = tiny_options();
+  parallel.jobs = 4;
+  const std::string key = fi::campaign_key(tiny_options());
+  std::ostringstream a;
+  fi::save_e1(fi::run_e1(serial), a, key);
+  std::ostringstream b;
+  fi::save_e1(fi::run_e1(parallel), b, key);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ObserverCampaign, ComparisonReportRendersFromE1Results) {
+  const fi::E1Results results = fi::run_e1(tiny_options());
+  const std::string report = target::observer_target().comparison_report(results);
+  ASSERT_FALSE(report.empty());
+  // The report contrasts the assertion ensemble with the residual
+  // detector, per monitored signal.
+  for (std::size_t s = 0; s < target::observer_target().signal_count(); ++s) {
+    EXPECT_NE(report.find(target::observer_target().signal_name(s)), std::string::npos)
+        << report;
+  }
+  // The arrestor has no comparison report — the hook is optional.
+  EXPECT_TRUE(target::arrestor_target().comparison_report(results).empty());
+}
+
+TEST(ObserverParamSet, RomValidatesAndSaveLoadRoundTrips) {
+  const ObserverParamSet rom = ObserverParamSet::rom();
+  const core::Validation validation = validate(rom);
+  EXPECT_TRUE(validation.ok())
+      << (validation.problems.empty() ? "" : validation.problems.front());
+
+  std::ostringstream out;
+  save(rom, out);
+  std::istringstream in{out.str()};
+  const auto loaded = load(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->fingerprint(), rom.fingerprint());
+  EXPECT_EQ(loaded->residual_limit, rom.residual_limit);
+  EXPECT_EQ(loaded->provenance, rom.provenance);
+
+  // A re-save of the loaded set is byte-identical: the format is a fixed
+  // point, so provenance survives any number of round trips.
+  std::ostringstream again;
+  save(*loaded, again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(ObserverParamSet, FingerprintSeparatesDifferentSets) {
+  ObserverParamSet a = ObserverParamSet::rom();
+  ObserverParamSet b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.residual_limit = static_cast<std::uint16_t>(b.residual_limit + 1);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ObserverParamSet, LoadRejectsForeignMagicAndTruncation) {
+  std::istringstream foreign{"easel-params v1\nend\n"};
+  EXPECT_FALSE(load(foreign).has_value());
+
+  std::ostringstream out;
+  save(ObserverParamSet::rom(), out);
+  std::string text = out.str();
+  text.resize(text.size() / 2);  // drop the tail, including "end"
+  std::istringstream truncated{text};
+  EXPECT_FALSE(load(truncated).has_value());
+}
+
+TEST(ObserverParamSet, ParsesThroughTheTargetInterface) {
+  std::ostringstream out;
+  save(ObserverParamSet::rom(), out);
+  std::string error;
+  const auto parsed = target::observer_target().parse_params(out.str(), error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_EQ(parsed->fingerprint(), ObserverParamSet::rom().fingerprint());
+
+  const auto bad = target::observer_target().parse_params("not a param set", error);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace easel::observer

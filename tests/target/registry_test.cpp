@@ -1,0 +1,87 @@
+// The target registry: names are stable addresses, lookup is strict, and
+// the listing order puts the default target first (the CLIs print it as
+// the available-targets list on a bad --target).
+#include "target/target.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easel::target {
+namespace {
+
+TEST(TargetRegistry, FindsBothTargetsByName) {
+  EXPECT_EQ(find_target("arrestor"), &arrestor_target());
+  EXPECT_EQ(find_target("observer"), &observer_target());
+}
+
+TEST(TargetRegistry, UnknownNameIsNull) {
+  EXPECT_EQ(find_target(""), nullptr);
+  EXPECT_EQ(find_target("Arrestor"), nullptr);  // names are case-sensitive
+  EXPECT_EQ(find_target("no-such-target"), nullptr);
+}
+
+TEST(TargetRegistry, DefaultTargetIsTheArrestor) {
+  EXPECT_EQ(&default_target(), &arrestor_target());
+  EXPECT_EQ(default_target().name(), "arrestor");
+}
+
+TEST(TargetRegistry, ListingIsStableWithDefaultFirst) {
+  const auto all = all_targets();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], &default_target());
+  EXPECT_EQ(all[1], &observer_target());
+  for (const Target* t : all) {
+    EXPECT_EQ(find_target(t->name()), t);
+    EXPECT_FALSE(t->description().empty());
+  }
+}
+
+TEST(TargetRegistry, SingletonsAreStableAcrossCalls) {
+  // CampaignOptions::target holds bare pointers; the registry must hand
+  // out the same eternal instance every time.
+  EXPECT_EQ(&arrestor_target(), &arrestor_target());
+  EXPECT_EQ(&observer_target(), &observer_target());
+}
+
+TEST(ArrestorTarget, MatchesTheHistoricalInventory) {
+  const Target& t = arrestor_target();
+  EXPECT_EQ(t.signal_count(), 7u);
+  EXPECT_EQ(t.version_count(), 8u);
+  EXPECT_EQ(t.e1_error_count(), 112u);
+  EXPECT_EQ(t.make_e1().size(), t.e1_error_count());
+  EXPECT_TRUE(t.supports_collapse());
+  EXPECT_TRUE(t.supports_prune());
+}
+
+TEST(ObserverTarget, InventoryAndCapabilities) {
+  const Target& t = observer_target();
+  EXPECT_EQ(t.signal_count(), 5u);
+  EXPECT_EQ(t.version_count(), 8u);
+  EXPECT_EQ(t.e1_error_count(), 80u);
+  EXPECT_EQ(t.make_e1().size(), t.e1_error_count());
+  EXPECT_FALSE(t.supports_collapse());
+  EXPECT_FALSE(t.supports_prune());
+  // The last version is the everything-enabled configuration: all five EA
+  // bits plus the residual detector bit.
+  EXPECT_EQ(t.version_mask(t.version_count() - 1), 0x3f);
+}
+
+TEST(ObserverTarget, E2SamplingIsDeterministicAndSized) {
+  const Target& t = observer_target();
+  const auto a = t.make_e2(util::Rng{42}.derive("e2"), 20, 10);
+  const auto b = t.make_e2(util::Rng{42}.derive("e2"), 20, 10);
+  ASSERT_EQ(a.size(), 30u);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].address, b[i].address) << i;
+    EXPECT_EQ(a[i].bit, b[i].bit) << i;
+  }
+  const auto c = t.make_e2(util::Rng{43}.derive("e2"), 20, 10);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference = any_difference || a[i].address != c[i].address || a[i].bit != c[i].bit;
+  }
+  EXPECT_TRUE(any_difference);  // the seed actually reaches the sampler
+}
+
+}  // namespace
+}  // namespace easel::target

@@ -18,6 +18,8 @@
 #include "calib/sweep.hpp"
 #include "fi/campaign.hpp"
 #include "fi/run_context.hpp"
+#include "target/observer/param_set.hpp"
+#include "target/target.hpp"
 #include "trace/format.hpp"
 #include "trace/recorder.hpp"
 #include "util/build_info.hpp"
@@ -32,8 +34,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: easel-calibrate <command> ...\n"
                "  record OUT.trace   [--obs MS] [--case-index I] [--cases N] [--seed S]\n"
-               "  learn  OUT.params TRACE... [--margin M] [--per-mode]\n"
-               "  verify PARAMS TRACE...\n"
+               "                     [--target NAME]\n"
+               "  learn  OUT.params TRACE... [--margin M] [--per-mode] [--target NAME]\n"
+               "  verify PARAMS TRACE...              (arrestor: offline trace replay)\n"
+               "  verify PARAMS --target observer [--cases N] [--obs MS] [--seed S]\n"
+               "                                      (observer: golden-grid detection count)\n"
                "  sweep  TRACE... [--margins M,M,...] [--per-mode] [--cases N] [--obs MS]\n"
                "                  [--seed S] [--jobs J] [--p-prop P] [--cache-dir DIR]\n"
                "  compare PARAMS\n"
@@ -130,6 +135,27 @@ int reject_leftovers(const OptionScan& scan) {
   return fail("unknown option " + scan.valued.front().first);
 }
 
+/// Resolves an optional --target flag against the registry; exits with the
+/// available list on an unknown name.  nullptr = flag absent (default target).
+const target::Target* take_target(OptionScan& scan, bool& ok) {
+  std::string name;
+  if (!take_string(scan, "--target", name)) return nullptr;
+  const target::Target* resolved = target::find_target(name);
+  if (resolved == nullptr) {
+    std::fprintf(stderr, "easel-calibrate: unknown target '%s'; available targets:\n",
+                 name.c_str());
+    for (const target::Target* t : target::all_targets()) {
+      std::fprintf(stderr, "  %-10s %s\n", t->name().c_str(), t->description().c_str());
+    }
+    ok = false;
+  }
+  return resolved;
+}
+
+bool is_default_target(const target::Target* t) {
+  return t == nullptr || t->name() == target::default_target().name();
+}
+
 std::vector<trace::Trace> load_traces(const std::vector<std::string>& paths, bool& ok) {
   std::vector<trace::Trace> traces;
   ok = true;
@@ -191,6 +217,7 @@ int cmd_record(int argc, char** argv) {
   take_u64(scan, "--case-index", case_index, ok);
   take_u64(scan, "--cases", cases, ok);
   take_u64(scan, "--seed", seed, ok);
+  const target::Target* target = take_target(scan, ok);
   if (!ok) return 2;
   if (const int rc = reject_leftovers(scan)) return rc;
 
@@ -206,6 +233,7 @@ int cmd_record(int argc, char** argv) {
   trace::Recorder::Options recorder_options;
   std::ostringstream label;
   label << "golden seed=" << seed << " case=" << case_index << " obs=" << obs;
+  if (!is_default_target(target)) label << " target=" << target->name();
   recorder_options.label = label.str();
   trace::Recorder recorder{recorder_options};
 
@@ -214,8 +242,14 @@ int cmd_record(int argc, char** argv) {
   config.observation_ms = static_cast<std::uint32_t>(obs);
   config.noise_seed = util::Rng{seed}.derive("sensor-noise", case_index).seed();
   config.trace = &recorder;
-  fi::RunContext context;
-  const fi::RunResult result = context.run(config);
+  fi::RunResult result;
+  if (is_default_target(target)) {
+    fi::RunContext context;
+    result = context.run(config);
+  } else {
+    const auto context = target->make_run_context();
+    result = context->run(config);
+  }
   if (result.detected) {
     std::fprintf(stderr,
                  "easel-calibrate: warning: the golden run raised %llu detection(s) — "
@@ -239,6 +273,7 @@ int cmd_learn(int argc, char** argv) {
   double margin = 0.10;
   bool ok = true;
   take_double(scan, "--margin", margin, ok);
+  const target::Target* target = take_target(scan, ok);
   if (!ok) return 2;
   if (const int rc = reject_leftovers(scan)) return rc;
 
@@ -247,6 +282,38 @@ int cmd_learn(int argc, char** argv) {
                                              scan.positional.end()};
   const auto traces = load_traces(trace_paths, ok);
   if (!ok) return 2;
+
+  if (!is_default_target(target)) {
+    if (target->name() != "observer") {
+      return fail("learn supports the arrestor and observer targets");
+    }
+    try {
+      const calib::Calibration calibration =
+          calib::calibrate(traces, calib::Options{margin, false});
+      const auto params = observer::ObserverParamSet::from_calibration(calibration);
+      if (const auto validation = observer::validate(params); !validation.ok()) {
+        std::fprintf(stderr, "easel-calibrate: learned observer set fails validation:\n");
+        for (const std::string& problem : validation.problems) {
+          std::fprintf(stderr, "  %s\n", problem.c_str());
+        }
+        return 1;
+      }
+      if (!observer::save(params, out_path)) {
+        return fail("cannot write '" + out_path + "'");
+      }
+      std::printf("params: %s, fingerprint %llx\n", params.provenance_line().c_str(),
+                  static_cast<unsigned long long>(params.fingerprint()));
+      for (const calib::LearnedSignal& signal : calibration.signals) {
+        std::printf("  %-10s %s, %zu mode(s)\n", signal.name.c_str(),
+                    std::string{core::short_code(signal.cls)}.c_str(),
+                    signal.discrete ? signal.slot_modes.size() : signal.modes.size());
+      }
+      std::printf("saved -> %s\n", out_path.c_str());
+      return 0;
+    } catch (const std::invalid_argument& error) {
+      return fail(error.what());
+    }
+  }
 
   try {
     const calib::Calibration calibration =
@@ -277,12 +344,69 @@ int cmd_learn(int argc, char** argv) {
 
 int cmd_verify(int argc, char** argv) {
   OptionScan scan;
-  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.size() < 2) return usage();
+  if (!OptionScan::scan(argc, argv, 2, scan) || scan.positional.empty()) return usage();
+  bool ok = true;
+  const target::Target* target = take_target(scan, ok);
+  if (!ok) return 2;
+
+  if (!is_default_target(target)) {
+    // Observer verify is end-to-end rather than offline: golden-run the
+    // test-case grid under the learned set and demand zero detections —
+    // the same correctness property the arrestor replay asserts.
+    if (target->name() != "observer") {
+      return fail("verify supports the arrestor and observer targets");
+    }
+    if (scan.positional.size() != 1) return usage();
+    std::uint64_t cases = 25, obs = sim::kObservationMs, seed = 2000;
+    take_u64(scan, "--cases", cases, ok);
+    take_u64(scan, "--obs", obs, ok);
+    take_u64(scan, "--seed", seed, ok);
+    if (!ok) return 2;
+    if (const int rc = reject_leftovers(scan)) return rc;
+
+    auto loaded = observer::load(scan.positional.front());
+    if (!loaded) {
+      return fail("cannot load observer parameter set '" + scan.positional.front() + "'");
+    }
+    if (const auto validation = observer::validate(*loaded); !validation.ok()) {
+      std::fprintf(stderr, "easel-calibrate: observer parameter set fails validation:\n");
+      for (const std::string& problem : validation.problems) {
+        std::fprintf(stderr, "  %s\n", problem.c_str());
+      }
+      return 2;
+    }
+    const auto params =
+        std::make_shared<const observer::ObserverParamSet>(std::move(*loaded));
+    std::printf("params: %s, fingerprint %llx\n", params->provenance_line().c_str(),
+                static_cast<unsigned long long>(params->fingerprint()));
+
+    fi::CampaignOptions grid;
+    grid.seed = seed;
+    grid.test_case_count = static_cast<std::size_t>(cases);
+    const auto test_cases = fi::campaign_test_cases(grid);
+    const auto context = target->make_run_context();
+    std::uint64_t detections = 0, failures = 0;
+    for (std::size_t ci = 0; ci < test_cases.size(); ++ci) {
+      fi::RunConfig config;
+      config.test_case = test_cases[ci];
+      config.observation_ms = static_cast<std::uint32_t>(obs);
+      config.noise_seed = util::Rng{seed}.derive("sensor-noise", ci).seed();
+      config.target_params = params;
+      const fi::RunResult result = context->run(config);
+      detections += result.detection_count;
+      failures += result.failed ? 1 : 0;
+    }
+    std::printf("golden grid: %zu case(s), %llu detection(s), %llu failure(s)\n",
+                test_cases.size(), static_cast<unsigned long long>(detections),
+                static_cast<unsigned long long>(failures));
+    return detections == 0 && failures == 0 ? 0 : 1;
+  }
+
+  if (scan.positional.size() < 2) return usage();
   if (const int rc = reject_leftovers(scan)) return rc;
 
   const auto params = load_params(scan.positional.front());
   if (!params) return 2;
-  bool ok = true;
   const auto traces = load_traces({scan.positional.begin() + 1, scan.positional.end()}, ok);
   if (!ok) return 2;
 

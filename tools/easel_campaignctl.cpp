@@ -4,7 +4,9 @@
 //   easel-campaignctl e1   --port N [--host H] [--cases N] [--obs-ms N]
 //                          [--seed N] [--csv] [--no-prune] [--verify-prune F]
 //                          [--params FILE] [--shards N] [--errors B:E]
+//                          [--target NAME]
 //   easel-campaignctl e2   (same options, plus --e2-seed N)
+//   easel-campaignctl --list-targets
 //   easel-campaignctl --version
 //
 // e1/e2 submit the campaign and render the daemon's merged result with the
@@ -29,6 +31,7 @@
 #include "fi/export.hpp"
 #include "fi/report.hpp"
 #include "svc/client.hpp"
+#include "target/target.hpp"
 #include "util/build_info.hpp"
 #include "util/fs.hpp"
 #include "util/strings.hpp"
@@ -43,7 +46,8 @@ namespace {
                "usage: easel-campaignctl ping|e1|e2 --port N [--host H]\n"
                "       e1/e2 options: --cases N --obs-ms N --seed N --e2-seed N --csv\n"
                "                      --no-prune --verify-prune F --params FILE\n"
-               "                      --shards N --errors B:E\n"
+               "                      --shards N --errors B:E --target NAME\n"
+               "       easel-campaignctl --list-targets\n"
                "       easel-campaignctl --version\n");
   std::exit(2);
 }
@@ -117,6 +121,17 @@ Args parse(int argc, char** argv) {
       args.spec.verify_prune = *fraction;
     } else if (is("--params")) {
       args.params_path = value();
+    } else if (is("--target")) {
+      const std::string name = value();
+      if (target::find_target(name) == nullptr) {
+        std::fprintf(stderr, "easel-campaignctl: unknown target '%s'; available targets:\n",
+                     name.c_str());
+        for (const target::Target* t : target::all_targets()) {
+          std::fprintf(stderr, "  %-10s %s\n", t->name().c_str(), t->description().c_str());
+        }
+        std::exit(2);
+      }
+      args.spec.target = name;
     } else if (is("--csv")) {
       args.csv = true;
     } else {
@@ -136,6 +151,16 @@ int fail(const std::string& message) {
 /// two front ends are stream-for-stream interchangeable.
 void print_params_header(const svc::CampaignSpec& spec, bool csv) {
   const auto options = svc::spec_options(spec);
+  if (spec.target != "arrestor") {
+    std::FILE* out = csv ? stderr : stdout;
+    std::fprintf(out, "target: %s\n", spec.target.c_str());
+    if (options && options->target_params != nullptr) {
+      std::fprintf(out, "params: %s\n", options->target_params->provenance_line().c_str());
+    } else {
+      std::fprintf(out, "params: ROM defaults\n");
+    }
+    return;
+  }
   const arrestor::NodeParamSet rom = arrestor::NodeParamSet::rom();
   const arrestor::NodeParamSet& set = options && options->params ? *options->params : rom;
   char line[256];
@@ -184,16 +209,20 @@ int cmd_campaign(Args args) {
                static_cast<unsigned long long>(result->stats.runs));
 
   print_params_header(args.spec, args.csv);
+  // spec_options validated the target name at parse time; this cannot fail.
+  const target::Target& t = *target::find_target(args.spec.target);
   std::istringstream blob{result->blob};
   if (args.command == "e1") {
     const auto results = fi::load_e1(blob, result->key);
     if (!results) return fail("result blob failed to load");  // unreachable: client verified
     if (args.csv) {
-      std::fputs(fi::e1_to_csv(*results).c_str(), stdout);
+      std::fputs(fi::e1_to_csv(*results, t).c_str(), stdout);
     } else {
-      std::printf("%s\n%s\n%s", fi::render_table7(*results).c_str(),
-                  fi::render_table8(*results).c_str(),
-                  fi::render_e1_summary(*results).c_str());
+      std::printf("%s\n%s\n%s", fi::render_table7(*results, t).c_str(),
+                  fi::render_table8(*results, t).c_str(),
+                  fi::render_e1_summary(*results, t).c_str());
+      const std::string comparison = t.comparison_report(*results);
+      if (!comparison.empty()) std::printf("\n%s", comparison.c_str());
     }
   } else {
     const auto results = fi::load_e2(blob, result->key);
@@ -202,7 +231,7 @@ int cmd_campaign(Args args) {
       std::fputs(fi::e2_to_csv(*results).c_str(), stdout);
     } else {
       std::printf("%s\n%s", fi::render_table9(*results).c_str(),
-                  fi::render_e2_summary(*results).c_str());
+                  fi::render_e2_summary(*results, t).c_str());
     }
   }
   return 0;
@@ -213,6 +242,13 @@ int cmd_campaign(Args args) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
     std::printf("%s\n", util::build_info("easel-campaignctl").c_str());
+    return 0;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--list-targets") == 0) {
+    std::printf("registered targets:\n");
+    for (const target::Target* t : target::all_targets()) {
+      std::printf("  %-10s %s\n", t->name().c_str(), t->description().c_str());
+    }
     return 0;
   }
   const Args args = parse(argc, argv);

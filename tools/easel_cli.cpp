@@ -29,9 +29,11 @@
 #include "arrestor/param_set.hpp"
 #include "fi/export.hpp"
 #include "fi/report.hpp"
+#include "target/target.hpp"
 #include "trace/format.hpp"
 #include "trace/recorder.hpp"
 #include "util/build_info.hpp"
+#include "util/fs.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,8 +57,28 @@ struct Args {
   bool prune = true;                        ///< fault-space pruning (e1/e2)
   double verify_prune = 0.0;                ///< pruned-run verification fraction
   bool csv = false;
+  const target::Target* target = nullptr;                ///< nullptr = default target
   std::shared_ptr<const arrestor::NodeParamSet> params;  ///< nullptr = ROM
+  std::shared_ptr<const fi::OpaqueParams> target_params;  ///< non-default targets
 };
+
+/// True for the default (arrestor) workload, explicit or implied.
+bool default_target_selected(const Args& args) {
+  return args.target == nullptr ||
+         args.target->name() == target::default_target().name();
+}
+
+void list_targets(std::FILE* out) {
+  for (const target::Target* t : target::all_targets()) {
+    std::fprintf(out, "  %-10s %s\n", t->name().c_str(), t->description().c_str());
+  }
+}
+
+[[noreturn]] void unknown_target(const char* tool, const std::string& name) {
+  std::fprintf(stderr, "%s: unknown target '%s'; available targets:\n", tool, name.c_str());
+  list_targets(stderr);
+  std::exit(2);
+}
 
 [[noreturn]] void usage(const char* reason) {
   std::fprintf(stderr, "easel: %s\n", reason);
@@ -66,6 +88,8 @@ struct Args {
                "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
                "          --watchdog MS --jobs N --params FILE --csv\n"
                "          --no-prune --verify-prune FRACTION\n"
+               "          --target NAME selects the workload (e1/e2/errors)\n"
+               "          --list-targets prints the registered workloads\n"
                "          --version prints the build identification line\n");
   std::exit(2);
 }
@@ -74,6 +98,7 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   Args args;
   args.command = argv[1];
+  std::string params_path;  ///< resolved after the loop, once the target is known
   for (int i = 2; i < argc; ++i) {
     const auto is = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
     const auto value = [&]() -> const char* {
@@ -139,24 +164,46 @@ Args parse(int argc, char** argv) {
       if (fraction < 0.0 || fraction > 1.0) usage("--verify-prune expects 0..1");
       args.verify_prune = fraction;
     } else if (is("--params")) {
-      const char* path = value();
-      auto loaded = arrestor::load(path);
+      params_path = value();
+    } else if (is("--target")) {
+      const std::string name = value();
+      args.target = target::find_target(name);
+      if (args.target == nullptr) unknown_target("easel", name);
+    } else if (is("--csv")) {
+      args.csv = true;
+    } else {
+      usage("unknown option");
+    }
+  }
+  if (!params_path.empty()) {
+    if (default_target_selected(args)) {
+      auto loaded = arrestor::load(params_path);
       if (!loaded) {
-        std::fprintf(stderr, "easel: cannot load parameter set '%s'\n", path);
+        std::fprintf(stderr, "easel: cannot load parameter set '%s'\n", params_path.c_str());
         std::exit(2);
       }
       if (const auto validation = arrestor::validate(*loaded); !validation.ok()) {
-        std::fprintf(stderr, "easel: parameter set '%s' fails Table-1 validation:\n", path);
+        std::fprintf(stderr, "easel: parameter set '%s' fails Table-1 validation:\n",
+                     params_path.c_str());
         for (const auto& problem : validation.problems) {
           std::fprintf(stderr, "  %s\n", problem.c_str());
         }
         std::exit(2);
       }
       args.params = std::make_shared<const arrestor::NodeParamSet>(std::move(*loaded));
-    } else if (is("--csv")) {
-      args.csv = true;
     } else {
-      usage("unknown option");
+      const auto text = util::read_file(params_path);
+      if (!text) {
+        std::fprintf(stderr, "easel: cannot read parameter set '%s'\n", params_path.c_str());
+        std::exit(2);
+      }
+      std::string parse_error;
+      args.target_params = args.target->parse_params(*text, parse_error);
+      if (args.target_params == nullptr) {
+        std::fprintf(stderr, "easel: parameter set '%s' rejected by target '%s': %s\n",
+                     params_path.c_str(), args.target->name().c_str(), parse_error.c_str());
+        std::exit(2);
+      }
     }
   }
   return args;
@@ -165,6 +212,16 @@ Args parse(int argc, char** argv) {
 /// One-line parameter provenance for report headers.  Goes to stderr in CSV
 /// mode so machine-readable output stays clean.
 void print_params_header(const Args& args) {
+  if (!default_target_selected(args)) {
+    std::FILE* out = args.csv ? stderr : stdout;
+    std::fprintf(out, "target: %s\n", args.target->name().c_str());
+    if (args.target_params != nullptr) {
+      std::fprintf(out, "params: %s\n", args.target_params->provenance_line().c_str());
+    } else {
+      std::fprintf(out, "params: ROM defaults\n");
+    }
+    return;
+  }
   const arrestor::NodeParamSet rom = arrestor::NodeParamSet::rom();
   const arrestor::NodeParamSet& set = args.params ? *args.params : rom;
   char line[256];
@@ -218,6 +275,10 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.prune = args.prune;
   options.verify_prune = args.verify_prune;
   options.params = args.params;
+  if (!default_target_selected(args)) {
+    options.target = args.target;
+    options.target_params = args.target_params;
+  }
   options.progress = [](std::size_t done, std::size_t total) {
     std::fprintf(stderr, "\r  %zu / %zu runs", done, total);
     if (done == total) std::fprintf(stderr, "\n");
@@ -286,12 +347,16 @@ int cmd_sweep(const Args& args) {
 
 int cmd_e1(const Args& args) {
   print_params_header(args);
+  const target::Target& t = args.target != nullptr ? *args.target : target::default_target();
   const fi::E1Results results = fi::run_e1(campaign_options(args));
   if (args.csv) {
-    std::fputs(fi::e1_to_csv(results).c_str(), stdout);
+    std::fputs(fi::e1_to_csv(results, t).c_str(), stdout);
   } else {
-    std::printf("%s\n%s\n%s", fi::render_table7(results).c_str(),
-                fi::render_table8(results).c_str(), fi::render_e1_summary(results).c_str());
+    std::printf("%s\n%s\n%s", fi::render_table7(results, t).c_str(),
+                fi::render_table8(results, t).c_str(),
+                fi::render_e1_summary(results, t).c_str());
+    const std::string comparison = t.comparison_report(results);
+    if (!comparison.empty()) std::printf("\n%s", comparison.c_str());
   }
   return 0;
 }
@@ -300,16 +365,18 @@ int cmd_e2(const Args& args) {
   print_params_header(args);
   fi::CampaignOptions options = campaign_options(args);
   options.seed = args.e2_seed != 2000 ? args.e2_seed : args.seed;
+  const target::Target& t = args.target != nullptr ? *args.target : target::default_target();
   const fi::E2Results results = fi::run_e2(options);
   if (args.csv) std::fputs(fi::e2_to_csv(results).c_str(), stdout);
   else std::printf("%s\n%s", fi::render_table9(results).c_str(),
-                   fi::render_e2_summary(results).c_str());
+                   fi::render_e2_summary(results, t).c_str());
   return 0;
 }
 
 int cmd_errors(const Args& args) {
-  std::printf("%s\n", fi::render_table6().c_str());
-  const auto e2 = fi::make_e2_for_target(util::Rng{args.e2_seed}.derive("e2-errors"));
+  const target::Target& t = args.target != nullptr ? *args.target : target::default_target();
+  std::printf("%s\n", fi::render_table6(t).c_str());
+  const auto e2 = t.make_e2(util::Rng{args.e2_seed}.derive("e2-errors"), 150, 50);
   std::printf("E2 (seed %llu):\n", static_cast<unsigned long long>(args.e2_seed));
   for (const auto& error : e2) {
     std::printf("  %-5s %-5s address %4zu bit %u\n", error.label.c_str(),
@@ -358,7 +425,18 @@ int main(int argc, char** argv) {
     std::printf("%s\n", util::build_info("easel").c_str());
     return 0;
   }
+  if (argc >= 2 && std::strcmp(argv[1], "--list-targets") == 0) {
+    std::printf("registered targets:\n");
+    list_targets(stdout);
+    return 0;
+  }
   const Args args = parse(argc, argv);
+  if (!default_target_selected(args) && args.command != "e1" && args.command != "e2" &&
+      args.command != "errors") {
+    std::fprintf(stderr, "easel: command '%s' only supports the default target\n",
+                 args.command.c_str());
+    return 2;
+  }
   if (args.command == "golden") return cmd_golden(args);
   if (args.command == "inject") return cmd_inject(args);
   if (args.command == "sweep") return cmd_sweep(args);
