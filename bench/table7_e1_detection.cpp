@@ -38,21 +38,23 @@ int main(int argc, char** argv) {
 
   const bench::WallTimer timer;
   bool cached = false;
+  double wall = 0.0;
   fi::E1Results results;
   if (const auto loaded = fi::load_e1(cache, key)) {
     std::fprintf(stderr, "using cached E1 campaign from %s\n", cache.c_str());
     results = *loaded;
     cached = true;
+    wall = timer.seconds();
   } else {
     std::fprintf(stderr,
                  "running E1 campaign: 8 versions x 112 errors x %zu cases, %u-ms window, "
                  "%zu jobs\n",
                  options.test_case_count, options.observation_ms, options.jobs);
-    results = fi::run_e1(options);
+    wall = bench::best_of_repeat([&] { results = fi::run_e1(options); });
     save_e1(results, cache, key);
   }
-  bench::record_campaign("table7_e1_detection", options, key, results.runs, timer.seconds(),
-                         cached, &prune_stats);
+  bench::record_campaign("table7_e1_detection", options, key, results.runs, wall, cached,
+                         &prune_stats);
 
   std::printf("%s\n", fi::render_table7(results).c_str());
   std::printf("%s\n", fi::render_e1_summary(results).c_str());

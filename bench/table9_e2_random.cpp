@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
   const bench::WallTimer timer;
   bool cached = false;
+  double wall = 0.0;
   fi::E2Results results;
   if (const std::string daemon = bench::via_daemon(); !daemon.empty()) {
     const auto submitted = bench::submit_or_die(bench::spec_for(options, "e2"), daemon);
@@ -42,16 +43,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "using cached E2 campaign from %s\n", cache.c_str());
     results = *loaded;
     cached = true;
+    wall = timer.seconds();
   } else {
     std::fprintf(stderr,
                  "running E2 campaign: 200 errors x %zu cases, %u-ms window, %zu jobs\n",
                  options.test_case_count, options.observation_ms, options.jobs);
-    results = fi::run_e2(options);
+    wall = bench::best_of_repeat([&] { results = fi::run_e2(options); });
     save_e2(results, cache, key);
   }
   if (bench::via_daemon().empty()) {
-    bench::record_campaign("table9_e2_random", options, key, results.runs, timer.seconds(),
-                           cached, &prune_stats);
+    bench::record_campaign("table9_e2_random", options, key, results.runs, wall, cached,
+                           &prune_stats);
   }
 
   std::printf("%s\n", fi::render_table9(results).c_str());

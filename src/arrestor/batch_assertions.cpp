@@ -1,0 +1,92 @@
+#include "arrestor/batch_assertions.hpp"
+
+#include <bit>
+
+#include "core/signal_class.hpp"
+
+namespace easel::arrestor {
+
+BatchAssertionBank::BatchAssertionBank(const SignalMap& map, const NodeParamSet& source) {
+  // The tables carry exactly one mode per signal; per-mode sets select
+  // parameters through the (fault-injectable) arrest_phase signal, which
+  // the flat tables cannot reproduce — scalar fallback.
+  eligible_ = !source.per_mode();
+
+  for (std::size_t i = 0; i < kMonitoredSignalCount; ++i) {
+    const auto signal = static_cast<MonitoredSignal>(i);
+    prev_addr_[i] = map.monitor_state[i].prev.address();
+    flags_addr_[i] = map.monitor_state[i].flags.address();
+
+    if (signal == MonitoredSignal::ms_slot_nbr) {
+      if (source.slot_modes.empty()) {
+        eligible_ = false;
+        continue;
+      }
+      slot_sequential_ = core::is_sequential(source.classes[i]);
+      const core::DiscreteParams& p = source.slot_modes.front();
+      for (const core::sig_t value : p.domain) {
+        if (static_cast<std::uint32_t>(value) >= kDenseLimit) {
+          eligible_ = false;
+          break;
+        }
+        slot_domain_ |= std::uint64_t{1} << static_cast<std::uint32_t>(value);
+      }
+      for (const auto& [from, successors] : p.transitions) {
+        if (static_cast<std::uint32_t>(from) >= kDenseLimit) {
+          eligible_ = false;
+          break;
+        }
+        for (const core::sig_t to : successors) {
+          if (static_cast<std::uint32_t>(to) >= kDenseLimit) {
+            eligible_ = false;
+            break;
+          }
+          slot_transitions_[static_cast<std::uint32_t>(from)] |=
+              std::uint64_t{1} << static_cast<std::uint32_t>(to);
+        }
+      }
+      // Arithmetic fast path (SlotTester::test_lanes): a contiguous domain
+      // [0, m) whose sole transition from p is (p+1) % m — the scheduler's
+      // slot counter — tests without the per-lane transition-bitmap gather
+      // that defeats vectorization.  The gate is exact, so the fast path
+      // is a pure re-expression of the bitmaps it replaces.
+      if (eligible_ && slot_sequential_ && slot_domain_ != 0) {
+        const auto m = static_cast<std::uint32_t>(std::popcount(slot_domain_));
+        const std::uint64_t contiguous =
+            m == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - 1;
+        bool succ = slot_domain_ == contiguous;
+        for (std::uint32_t from = 0; succ && from < kDenseLimit; ++from) {
+          const std::uint64_t expected =
+              from < m ? std::uint64_t{1} << ((from + 1) % m) : 0;
+          succ = slot_transitions_[from] == expected;
+        }
+        if (succ) slot_succ_mod_ = static_cast<std::uint16_t>(m);
+      }
+      continue;
+    }
+
+    if (source.continuous[i].empty()) {
+      eligible_ = false;
+      continue;
+    }
+    const core::ContinuousParams& p = source.continuous[i].front();
+    ContinuousTable& t = cont_[i];
+    t.smax = p.smax;
+    t.smin = p.smin;
+    t.rmin_incr = p.rmin_incr;
+    t.rmax_incr = p.rmax_incr;
+    t.rmin_decr = p.rmin_decr;
+    t.rmax_decr = p.rmax_decr;
+    t.wrap = p.wrap;
+    // ContinuousAssertion's three pause predicates (Table 2 tests 3c/4c/5c),
+    // folded: the verdict only needs their disjunction.
+    const bool pause_decreasing = p.rmin_incr == 0 && p.rmax_incr == 0 && p.rmin_decr == 0;
+    const bool pause_increasing = p.rmin_decr == 0 && p.rmax_decr == 0 && p.rmin_incr == 0;
+    const bool pause_random = !(p.rmin_decr == 0 && p.rmax_decr == 0) &&
+                              !(p.rmin_incr == 0 && p.rmax_incr == 0) &&
+                              (p.rmin_incr == 0 || p.rmin_decr == 0);
+    t.pause_ok = pause_decreasing || pause_increasing || pause_random;
+  }
+}
+
+}  // namespace easel::arrestor

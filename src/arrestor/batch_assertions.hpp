@@ -1,0 +1,380 @@
+// Batch-width executable-assertion evaluation over replica byte planes —
+// the lockstep-batch counterpart of AssertionBank (assertions.hpp).
+//
+// The scalar bank evaluates one EA against one AddressSpace through the
+// monitor objects (core/monitor.hpp).  The batch engine steps many faulted
+// replicas of the same node in lockstep, so this bank pre-compiles the same
+// parameter source — `params ? *params : NodeParamSet::rom()` exactly as
+// the AssertionBank constructor resolves it — into flat per-signal tables
+// (Table 2 bounds/rates plus the precomputed pause predicates, and the
+// dense 64-bit domain/transition bitmaps of the discrete slot signal,
+// mirroring DiscreteAssertion's fast path).
+//
+// Evaluation is exposed as per-run *testers*: small by-value objects bound
+// to one signal's table, its image-resident monitor-state rows, and its
+// per-lane detection accumulators.  The batch engine's module loops call
+// tester.test(value, lane, now) with the signal word they just computed, so
+// the EA check rides the module's own loads — no second pass over the
+// planes and no per-access address arithmetic (see PlaneSet::Row16).
+//
+// Semantics are exactly AssertionBank::test under the batch engine's
+// structural gate (RecoveryPolicy::none, no per-mode constraints, all
+// assertions enabled):
+//   * unprimed lanes get the bounds/domain-only test,
+//   * the state written back is always the observed value (detect-only),
+//     with the primed flag set,
+//   * a violation bumps the lane's detection count and latches the first
+//     detection time — the per-signal statistics the observer-collapse
+//     derivation consumes (there is no DetectionBus in the batch engine;
+//     per-lane count/first arrays carry the same exact information).
+//
+// A parameter set the tables cannot represent exactly (per-mode signals, a
+// slot domain or transition outside the dense [0, 64) range) makes the bank
+// ineligible; the campaign engine then falls back to the scalar RunContext
+// path, never to an approximation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arrestor/param_set.hpp"
+#include "arrestor/signal_map.hpp"
+#include "mem/plane.hpp"
+
+namespace easel::arrestor {
+
+class BatchAssertionBank {
+ public:
+  /// Compiles the tables from `map`'s addresses and `source`'s parameter
+  /// values.  `source` is the resolved set (caller applies the
+  /// params-or-ROM default, as AssertionBank's constructor does).
+  BatchAssertionBank(const SignalMap& map, const NodeParamSet& source);
+
+  /// False when `source` cannot be represented exactly (see file comment);
+  /// an ineligible bank must not be tested against.
+  [[nodiscard]] bool eligible() const noexcept { return eligible_; }
+
+  /// One continuous EA bound to its monitor rows and detection
+  /// accumulators for the duration of a batch run.
+  struct ContinuousTester {
+    mem::PlaneSet::Row16 prev_row{};
+    std::uint8_t* flags_row = nullptr;
+    std::uint64_t* det_count = nullptr;
+    std::uint64_t* det_first = nullptr;
+    std::int32_t smax = 0, smin = 0;
+    std::int32_t rmin_incr = 0, rmax_incr = 0, rmin_decr = 0, rmax_decr = 0;
+    bool wrap = false;
+    bool pause_ok = false;
+
+    /// Table 2's tests against the freshly computed signal word `s` for
+    /// lane `l`; updates the lane's monitor state and detection stats.
+    void test(std::int32_t s, std::size_t l, std::uint64_t now_ms) const noexcept {
+      const auto prev = static_cast<std::int32_t>(prev_row.load(l));
+      const bool primed = (flags_row[l] & 1u) != 0;
+      bool ok;
+      if (s > smax || s < smin) {
+        ok = false;  // Tests 1 / 2
+      } else if (!primed) {
+        ok = true;  // first sample: bounds only
+      } else if (s > prev) {
+        const std::int32_t delta = s - prev;
+        const std::int32_t wrapped = (prev - smin) + (smax - s);
+        ok = (delta <= rmax_incr && delta >= rmin_incr) ||           // 3a
+             (wrap && wrapped <= rmax_decr && wrapped >= rmin_decr); // 4a
+      } else if (s < prev) {
+        const std::int32_t delta = prev - s;
+        const std::int32_t wrapped = (smax - prev) + (s - smin);
+        ok = (delta <= rmax_decr && delta >= rmin_decr) ||           // 3b
+             (wrap && wrapped <= rmax_incr && wrapped >= rmin_incr); // 4b
+      } else {
+        ok = pause_ok;  // 3c / 4c / 5c — pure parameter predicates
+      }
+      prev_row.store(l, static_cast<std::uint16_t>(s));
+      flags_row[l] = 1u;
+      if (!ok) {
+        if (det_count[l] == 0) det_first[l] = now_ms;
+        ++det_count[l];
+      }
+    }
+
+    /// The same tests over lanes [0, count) at once, values in `s`.  The
+    /// lane loop is branch-free — every Table 2 predicate is evaluated as
+    /// data and combined with selects, which is exactly the branchy test()
+    /// above flattened (the compiler vectorizes it across lanes) — and the
+    /// rare detection bookkeeping runs in a second pass only over violating
+    /// chunks.  Semantically identical to calling test(s[l], l, now_ms) for
+    /// each lane in order: lanes are independent, so per-lane state updates
+    /// commute across lanes.
+    void test_lanes(const std::int32_t* s, std::size_t count,
+                    std::uint64_t now_ms) const noexcept {
+      // The vectorized passes below carry a fixed per-call cost (alias
+      // versioning checks, prologue/epilogue) that only pays for itself
+      // from a few SIMD widths of lanes upward; below that the plain
+      // per-lane test is faster.
+      constexpr std::size_t kVectorMinLanes = 32;
+      if (count < kVectorMinLanes) {
+        for (std::size_t l = 0; l < count; ++l) test(s[l], l, now_ms);
+        return;
+      }
+      // Local __restrict aliases: every plane row is a uint8_t*, which
+      // otherwise may-alias the value row and each other and blocks
+      // vectorization outright.  The rows are disjoint by construction
+      // (distinct image addresses; the value row is a staging buffer
+      // outside the planes).
+      std::uint8_t* __restrict prev_lo = prev_row.lo;
+      std::uint8_t* __restrict prev_hi = prev_row.hi;
+      std::uint8_t* __restrict flags = flags_row;
+      const std::int32_t* __restrict values = s;
+      // Split into uniform-width passes over a chunk of lanes: a u8->i32
+      // widening pass, a branch-free all-int32 predicate pass, and an
+      // i32->u8 narrowing write-back — mixed-width bodies defeat the loop
+      // vectorizer, single-width ones don't.  All predicates use `&`/`|`
+      // on 0/1 ints, never short-circuit operators, so no lane introduces
+      // control flow.
+      constexpr std::size_t kChunk = 64;
+      std::int32_t prevv[kChunk];
+      std::int32_t primv[kChunk];
+      std::int32_t viol[kChunk];
+      const std::int32_t wrap_i = wrap ? 1 : 0;
+      const std::int32_t pause_i = pause_ok ? 1 : 0;
+      for (std::size_t base = 0; base < count; base += kChunk) {
+        const std::size_t n = count - base < kChunk ? count - base : kChunk;
+        for (std::size_t i = 0; i < n; ++i) {
+          prevv[i] = static_cast<std::int32_t>(prev_lo[base + i]) +
+                     (static_cast<std::int32_t>(prev_hi[base + i]) << 8);
+          primv[i] = static_cast<std::int32_t>(flags[base + i] & 1u);
+        }
+        std::int32_t any = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::int32_t v = values[base + i];
+          const std::int32_t prev = prevv[i];
+          const std::int32_t d_up = v - prev;
+          const std::int32_t w_up = (prev - smin) + (smax - v);
+          const std::int32_t d_dn = prev - v;
+          const std::int32_t w_dn = (smax - prev) + (v - smin);
+          const std::int32_t ok_up =
+              ((d_up <= rmax_incr) & (d_up >= rmin_incr)) |
+              (wrap_i & (w_up <= rmax_decr) & (w_up >= rmin_decr));   // 3a | 4a
+          const std::int32_t ok_dn =
+              ((d_dn <= rmax_decr) & (d_dn >= rmin_decr)) |
+              (wrap_i & (w_dn <= rmax_incr) & (w_dn >= rmin_incr));   // 3b | 4b
+          const std::int32_t rate_ok =
+              v > prev ? ok_up : (v < prev ? ok_dn : pause_i);        // 3c/4c/5c
+          const std::int32_t bounds = (v <= smax) & (v >= smin);      // 1 & 2
+          viol[i] = 1 - (bounds & ((1 - primv[i]) | rate_ok));
+          any |= viol[i];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::int32_t v = values[base + i];
+          prev_lo[base + i] = static_cast<std::uint8_t>(v & 0xff);
+          prev_hi[base + i] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+          flags[base + i] = 1u;
+        }
+        if (any != 0) {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (viol[i] == 0) continue;
+            const std::size_t l = base + i;
+            if (det_count[l] == 0) det_first[l] = now_ms;
+            ++det_count[l];
+          }
+        }
+      }
+    }
+  };
+
+  /// The discrete slot-counter EA (dense-bitmap fast path), bound likewise.
+  struct SlotTester {
+    mem::PlaneSet::Row16 prev_row{};
+    std::uint8_t* flags_row = nullptr;
+    std::uint64_t* det_count = nullptr;
+    std::uint64_t* det_first = nullptr;
+    const std::uint64_t* transitions = nullptr;
+    std::uint64_t domain = 0;
+    /// Nonzero m when the domain is [0, m) and every transition is
+    /// p -> (p+1) % m: test_lanes then uses vectorizable arithmetic in
+    /// place of the transition-bitmap gather.  Exactness-gated at bank
+    /// compile time (see batch_assertions.cpp).
+    std::uint16_t succ_mod = 0;
+    bool sequential = false;
+
+    void test(std::uint16_t raw, std::size_t l, std::uint64_t now_ms) const noexcept {
+      const std::uint16_t prev = prev_row.load(l);
+      const bool primed = (flags_row[l] & 1u) != 0;
+      const bool member =
+          raw < kDenseLimit && ((domain >> static_cast<unsigned>(raw)) & 1u) != 0;
+      bool ok = member;
+      if (primed && member && sequential) {
+        ok = prev < kDenseLimit &&
+             ((transitions[prev] >> static_cast<unsigned>(raw)) & 1u) != 0;
+      }
+      prev_row.store(l, raw);
+      flags_row[l] = 1u;
+      if (!ok) {
+        if (det_count[l] == 0) det_first[l] = now_ms;
+        ++det_count[l];
+      }
+    }
+
+    /// Branch-free lane batch of test() over [0, count) — same flattening
+    /// as ContinuousTester::test_lanes.  With a successor-pattern bank
+    /// (succ_mod != 0, the scheduler's slot counter) the whole body is
+    /// vectorizable arithmetic; otherwise the transition lookup indexes by
+    /// the lane's own prev (clamped into range and masked out of the
+    /// result when prev was out of domain), so no branch depends on lane
+    /// data either way.
+    void test_lanes(const std::uint16_t* raw, std::size_t count,
+                    std::uint64_t now_ms) const noexcept {
+      std::uint8_t* __restrict prev_lo = prev_row.lo;
+      std::uint8_t* __restrict prev_hi = prev_row.hi;
+      std::uint8_t* __restrict flags = flags_row;
+      const std::uint16_t* __restrict values = raw;
+      constexpr std::size_t kChunk = 64;
+      constexpr std::size_t kVectorMinLanes = 32;
+      if (succ_mod != 0 && count >= kVectorMinLanes) {
+        // domain == [0, m), transitions[p] == {(p+1) % m} exactly, and
+        // sequential is set (the compile gate requires it) — so
+        //   member   == v < m
+        //   trans_ok == prev < m && v == (prev + 1) % m
+        //   ok       == member && (!primed || trans_ok)
+        // in the same uniform-width passes as the continuous tester.
+        const std::int32_t m = succ_mod;
+        std::int32_t prevv[kChunk];
+        std::int32_t primv[kChunk];
+        std::int32_t viol[kChunk];
+        for (std::size_t base = 0; base < count; base += kChunk) {
+          const std::size_t n = count - base < kChunk ? count - base : kChunk;
+          for (std::size_t i = 0; i < n; ++i) {
+            prevv[i] = static_cast<std::int32_t>(prev_lo[base + i]) +
+                       (static_cast<std::int32_t>(prev_hi[base + i]) << 8);
+            primv[i] = static_cast<std::int32_t>(flags[base + i] & 1u);
+          }
+          std::int32_t any = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto v = static_cast<std::int32_t>(values[base + i]);
+            const std::int32_t prev = prevv[i];
+            const std::int32_t member = v < m;
+            const std::int32_t trans_ok =
+                (v == prev + 1) | ((prev == m - 1) & (v == 0));
+            viol[i] = 1 - (member & ((1 - primv[i]) | trans_ok));
+            any |= viol[i];
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto v = static_cast<std::int32_t>(values[base + i]);
+            prev_lo[base + i] = static_cast<std::uint8_t>(v & 0xff);
+            prev_hi[base + i] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+            flags[base + i] = 1u;
+          }
+          if (any != 0) {
+            for (std::size_t i = 0; i < n; ++i) {
+              if (viol[i] == 0) continue;
+              const std::size_t l = base + i;
+              if (det_count[l] == 0) det_first[l] = now_ms;
+              ++det_count[l];
+            }
+          }
+        }
+        return;
+      }
+      std::uint8_t viol[kChunk];
+      for (std::size_t base = 0; base < count; base += kChunk) {
+        const std::size_t n = count - base < kChunk ? count - base : kChunk;
+        std::uint8_t any = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t l = base + i;
+          const std::uint16_t v = values[l];
+          const auto prev =
+              static_cast<std::uint16_t>(prev_lo[l] | prev_hi[l] << 8);
+          const bool primed = (flags[l] & 1u) != 0;
+          const bool member =
+              v < kDenseLimit && ((domain >> static_cast<unsigned>(v)) & 1u) != 0;
+          const bool prev_dense = prev < kDenseLimit;
+          const std::uint64_t row = transitions[prev_dense ? prev : 0];
+          const bool trans_ok =
+              prev_dense && ((row >> static_cast<unsigned>(v % kDenseLimit)) & 1u) != 0;
+          const bool ok = (primed && member && sequential) ? trans_ok : member;
+          prev_lo[l] = static_cast<std::uint8_t>(v & 0xff);
+          prev_hi[l] = static_cast<std::uint8_t>(v >> 8);
+          flags[l] = 1u;
+          viol[i] = static_cast<std::uint8_t>(!ok);
+          any = static_cast<std::uint8_t>(any | viol[i]);
+        }
+        if (any != 0) {
+          for (std::size_t i = 0; i < n; ++i) {
+            if (viol[i] == 0) continue;
+            const std::size_t l = base + i;
+            if (det_count[l] == 0) det_first[l] = now_ms;
+            ++det_count[l];
+          }
+        }
+      }
+    }
+  };
+
+  /// Binds `signal`'s continuous table to its monitor rows in `planes` and
+  /// the caller's lane-indexed detection accumulators.  `signal` must not
+  /// be ms_slot_nbr (that one is discrete — use slot_tester).
+  [[nodiscard]] ContinuousTester continuous_tester(MonitoredSignal signal,
+                                                   mem::PlaneSet& planes,
+                                                   std::uint64_t* det_count,
+                                                   std::uint64_t* det_first) const noexcept {
+    const auto idx = static_cast<std::size_t>(signal);
+    const ContinuousTable& t = cont_[idx];
+    ContinuousTester tester;
+    tester.prev_row = planes.row16(prev_addr_[idx]);
+    tester.flags_row = planes.row(flags_addr_[idx]);
+    tester.det_count = det_count;
+    tester.det_first = det_first;
+    tester.smax = t.smax;
+    tester.smin = t.smin;
+    tester.rmin_incr = t.rmin_incr;
+    tester.rmax_incr = t.rmax_incr;
+    tester.rmin_decr = t.rmin_decr;
+    tester.rmax_decr = t.rmax_decr;
+    tester.wrap = t.wrap;
+    tester.pause_ok = t.pause_ok;
+    return tester;
+  }
+
+  [[nodiscard]] SlotTester slot_tester(mem::PlaneSet& planes, std::uint64_t* det_count,
+                                       std::uint64_t* det_first) const noexcept {
+    const auto idx = static_cast<std::size_t>(MonitoredSignal::ms_slot_nbr);
+    SlotTester tester;
+    tester.prev_row = planes.row16(prev_addr_[idx]);
+    tester.flags_row = planes.row(flags_addr_[idx]);
+    tester.det_count = det_count;
+    tester.det_first = det_first;
+    tester.transitions = slot_transitions_.data();
+    tester.domain = slot_domain_;
+    tester.succ_mod = slot_succ_mod_;
+    tester.sequential = slot_sequential_;
+    return tester;
+  }
+
+ private:
+  static constexpr std::uint16_t kDenseLimit = 64;
+
+  /// One continuous EA's Table 2 parameters with the pause predicates of
+  /// tests 3c/4c/5c folded into a single boolean (ContinuousAssertion
+  /// computes the same three predicates at construction).
+  struct ContinuousTable {
+    std::int32_t smax = 0;
+    std::int32_t smin = 0;
+    std::int32_t rmin_incr = 0;
+    std::int32_t rmax_incr = 0;
+    std::int32_t rmin_decr = 0;
+    std::int32_t rmax_decr = 0;
+    bool wrap = false;
+    bool pause_ok = false;
+  };
+
+  std::array<std::size_t, kMonitoredSignalCount> prev_addr_{};
+  std::array<std::size_t, kMonitoredSignalCount> flags_addr_{};
+  std::array<ContinuousTable, kMonitoredSignalCount> cont_{};
+  std::array<std::uint64_t, kDenseLimit> slot_transitions_{};
+  std::uint64_t slot_domain_ = 0;
+  std::uint16_t slot_succ_mod_ = 0;
+  bool slot_sequential_ = false;
+  bool eligible_ = true;
+};
+
+}  // namespace easel::arrestor

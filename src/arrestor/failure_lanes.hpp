@@ -1,0 +1,141 @@
+// SoA mirror of arrestor::FailureClassifier for the lockstep batch engine:
+// per-lane latched failure state held as contiguous rows, sampled for all
+// live lanes in one sweep per millisecond.
+//
+// Exactness contract (same as sim::EnvironmentLanes): each lane performs
+// FailureClassifier::sample's operations in the same order, with the
+// branchy latches re-expressed as value selects on the same comparisons —
+// so the latched state, the peaks, and mix_state's fingerprint are
+// bit-identical to running |lanes| independent classifiers.  Enforced by
+// fi/batch_test.cpp's equivalence suite and the --verify-batch sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrestor/failure.hpp"
+#include "sim/environment_lanes.hpp"
+#include "sim/plant_constants.hpp"
+#include "util/hash.hpp"
+
+namespace easel::arrestor {
+
+class FailureClassifierLanes {
+ public:
+  /// Re-arms every lane for a fresh run.  The force limit is interpolated
+  /// once: the whole batch flies the same aircraft.
+  void reset(const sim::TestCase& test_case, std::size_t lanes) {
+    limit_n_ = force_limits().limit_n(test_case.mass_kg, test_case.velocity_mps);
+    first_.assign(lanes, 0);
+    failure_ms_.assign(lanes, 0);
+    peak_g_.assign(lanes, 0.0);
+    peak_force_.assign(lanes, 0.0);
+    final_position_.assign(lanes, 0.0);
+    stopped_.assign(lanes, 0);
+    stop_ms_.assign(lanes, 0);
+    moved_.assign(lanes, 0);
+  }
+
+  /// Samples the first `live` lanes' plant state at `time_ms` (call once
+  /// per 1-ms step, after EnvironmentLanes::step_1ms).  Split into a pure
+  /// double pass (peaks — the every-tick work, vectorizable) and a latch
+  /// pass (the rare once-per-run transitions).
+  void sample(const sim::EnvironmentLanes& envs, std::size_t live,
+              std::uint64_t time_ms) noexcept {
+    const double* __restrict ret = envs.retardation_row();
+    const double* __restrict force = envs.force_row();
+    const double* __restrict vel = envs.velocity_row();
+    const double* __restrict pos = envs.position_row();
+    {
+      double* __restrict peak_g = peak_g_.data();
+      double* __restrict peak_force = peak_force_.data();
+      double* __restrict final_pos = final_position_.data();
+      for (std::size_t l = 0; l < live; ++l) {
+        const double g = ret[l] / sim::kGravity;
+        peak_g[l] = g > peak_g[l] ? g : peak_g[l];
+        // Peak force only counts while the cable is loaded (vel > 0).
+        const double loaded_force = vel[l] > 0.0 ? force[l] : peak_force[l];
+        peak_force[l] = loaded_force > peak_force[l] ? loaded_force : peak_force[l];
+        final_pos[l] = pos[l];
+      }
+    }
+    {
+      std::int32_t* __restrict first = first_.data();
+      std::int32_t* __restrict moved = moved_.data();
+      std::int32_t* __restrict stopped = stopped_.data();
+      std::uint64_t* __restrict stop_ms = stop_ms_.data();
+      std::uint64_t* __restrict failure_ms = failure_ms_.data();
+      const double limit = limit_n_;
+      for (std::size_t l = 0; l < live; ++l) {
+        const std::int32_t env_stopped = vel[l] <= 0.0 ? 1 : 0;
+        const std::int32_t moved_now = moved[l] | (pos[l] > 0.0 ? 1 : 0);
+        moved[l] = moved_now;
+        const std::int32_t newly_stopped = (1 - stopped[l]) & moved_now & env_stopped;
+        stop_ms[l] = newly_stopped != 0 ? time_ms : stop_ms[l];
+        stopped[l] = stopped[l] | newly_stopped;
+
+        const double g = ret[l] / sim::kGravity;
+        const std::int32_t c_retard = g >= sim::kMaxRetardationG ? 1 : 0;
+        const std::int32_t c_force = (1 - env_stopped) & (force[l] >= limit ? 1 : 0);
+        const std::int32_t c_overrun = pos[l] >= sim::kRunwayLimitM ? 1 : 0;
+        const std::int32_t fresh =
+            c_retard != 0 ? 1 : (c_force != 0 ? 2 : (c_overrun != 0 ? 3 : 0));
+        const std::int32_t latched = first[l] != 0 ? 1 : 0;
+        failure_ms[l] = (latched == 0 && fresh != 0) ? time_ms : failure_ms[l];
+        first[l] = latched != 0 ? first[l] : fresh;
+      }
+    }
+  }
+
+  [[nodiscard]] bool failed(std::size_t l) const noexcept { return first_[l] != 0; }
+  [[nodiscard]] FailureKind kind(std::size_t l) const noexcept {
+    return static_cast<FailureKind>(first_[l]);
+  }
+  [[nodiscard]] std::uint64_t failure_time_ms(std::size_t l) const noexcept {
+    return failure_ms_[l];
+  }
+  [[nodiscard]] double peak_retardation_g(std::size_t l) const noexcept { return peak_g_[l]; }
+  [[nodiscard]] double peak_force_n(std::size_t l) const noexcept { return peak_force_[l]; }
+  [[nodiscard]] double final_position_m(std::size_t l) const noexcept {
+    return final_position_[l];
+  }
+  [[nodiscard]] bool stopped(std::size_t l) const noexcept { return stopped_[l] != 0; }
+  [[nodiscard]] std::uint64_t stop_time_ms(std::size_t l) const noexcept { return stop_ms_[l]; }
+
+  /// One lane's fingerprint contribution; member-for-member the same mix as
+  /// FailureClassifier::mix_state.
+  void mix_state(std::size_t l, util::StateHash& hash) const noexcept {
+    hash.mix_u64(static_cast<std::uint64_t>(first_[l]));
+    hash.mix_u64(failure_ms_[l]);
+    hash.mix_double(peak_g_[l]);
+    hash.mix_double(peak_force_[l]);
+    hash.mix_double(final_position_[l]);
+    hash.mix_bool(stopped_[l] != 0);
+    hash.mix_u64(stop_ms_[l]);
+    hash.mix_bool(moved_[l] != 0);
+  }
+
+  void swap_lanes(std::size_t x, std::size_t y) noexcept {
+    std::swap(first_[x], first_[y]);
+    std::swap(failure_ms_[x], failure_ms_[y]);
+    std::swap(peak_g_[x], peak_g_[y]);
+    std::swap(peak_force_[x], peak_force_[y]);
+    std::swap(final_position_[x], final_position_[y]);
+    std::swap(stopped_[x], stopped_[y]);
+    std::swap(stop_ms_[x], stop_ms_[y]);
+    std::swap(moved_[x], moved_[y]);
+  }
+
+ private:
+  double limit_n_ = 0.0;
+  std::vector<std::int32_t> first_;
+  std::vector<std::uint64_t> failure_ms_;
+  std::vector<double> peak_g_;
+  std::vector<double> peak_force_;
+  std::vector<double> final_position_;
+  std::vector<std::int32_t> stopped_;
+  std::vector<std::uint64_t> stop_ms_;
+  std::vector<std::int32_t> moved_;
+};
+
+}  // namespace easel::arrestor

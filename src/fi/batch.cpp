@@ -1,0 +1,797 @@
+#include "fi/batch.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "arrestor/batch_assertions.hpp"
+#include "arrestor/config.hpp"
+#include "arrestor/failure.hpp"
+#include "arrestor/failure_lanes.hpp"
+#include "arrestor/master_node.hpp"
+#include "arrestor/modules.hpp"
+#include "arrestor/slave_node.hpp"
+#include "core/detection_bus.hpp"
+#include "mem/plane.hpp"
+#include "rt/scheduler.hpp"
+#include "sim/environment.hpp"
+#include "sim/environment_lanes.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/saturate.hpp"
+
+namespace easel::fi {
+
+using arrestor::MonitoredSignal;
+using util::sat_add_u16;
+
+/// Lane count from which the tick loop uses the pass-structured
+/// (vectorizable) module compute; below it the plain per-lane form is
+/// faster (fixed per-pass overhead).  Mirrors the testers' own threshold
+/// in arrestor/batch_assertions.hpp.
+constexpr std::size_t kVectorMinLanes = 32;
+
+bool batch_eligible_config(const RunConfig& config) noexcept {
+  // The batch tick path reproduces the scalar engine only for the paper
+  // campaigns' observer configuration; anything else takes the scalar path.
+  return config.recovery == core::RecoveryPolicy::none &&
+         config.assertions == arrestor::kAllAssertions && !config.moded_assertions &&
+         config.watchdog_timeout_ms == 0 && config.trace == nullptr &&
+         config.injection_period_ms > 0 &&
+         (config.params == nullptr || !config.params->per_mode());
+}
+
+bool batch_eligible_error(const ErrorSpec& error) noexcept {
+  // RAM errors can never reach the stack-resident task contexts, so every
+  // lane's dispatcher state is pristine: health checks always pass, the node
+  // never halts, and the CALC frame's saved stack pointer keeps its boot
+  // value — which is what lets the lane loops use fixed absolute addresses.
+  return error.region == mem::Region::ram;
+}
+
+struct BatchContext::Impl {
+  /// Absolute image addresses of everything the master/slave module bodies
+  /// touch, captured from a reference node pair (the layout is
+  /// configuration-independent).
+  struct Addresses {
+    // Master monitored signals + module state.
+    std::size_t set_value = 0, is_value = 0, checkpoint_i = 0, pulscnt = 0;
+    std::size_t ms_slot_nbr = 0, mscnt = 0, out_value = 0;
+    std::size_t arrest_phase = 0, comm_tx_set_value = 0, comm_tx_seq = 0;
+    std::size_t dist_last_hw = 0, sv_target = 0, pid_integral = 0, pid_prev_err = 0;
+    std::array<std::size_t, arrestor::kCheckpointCount> cp_pulse{};
+    std::size_t cfg_design_mass_kg10 = 0, cfg_stop_target_m = 0;
+    std::size_t cfg_precharge_pu = 0, cfg_engage_pulses = 0;
+    std::size_t diag_arrest_count = 0, diag_max_pressure = 0, diag_max_set_value = 0;
+    std::size_t diag_engage_velocity = 0, diag_status_word = 0;
+    std::array<std::size_t, arrestor::SignalMap::kTraceDepth> trace_ring{};
+    std::size_t trace_head = 0;
+    std::size_t calc_locals = 0;  ///< CALC frame's boot-time locals base
+    // Slave.
+    std::size_t s_set_value = 0, s_is_value = 0, s_out_value = 0, s_mscnt = 0;
+    std::size_t s_rx_seq = 0, s_pid_integral = 0, s_pid_prev_err = 0;
+  };
+
+  bool ready = false;
+  const arrestor::NodeParamSet* params_key = nullptr;
+  Addresses a;
+  std::vector<std::uint8_t> master_pristine;
+  std::vector<std::uint8_t> slave_pristine;
+  std::optional<arrestor::BatchAssertionBank> bank;
+
+  // Reusable per-run buffers.  Environments and classifiers are SoA
+  // mirrors of their scalar counterparts (sim/environment_lanes.hpp,
+  // arrestor/failure_lanes.hpp): the plant step and the failure sampling
+  // run as row passes over all live lanes instead of per-object calls.
+  sim::EnvironmentLanes envs;
+  arrestor::FailureClassifierLanes classifiers;
+  std::vector<std::uint64_t> det_count, det_first;
+  std::vector<std::size_t> lane_item, err_addr;
+  std::vector<std::uint8_t> err_bit;
+  std::vector<FaultModel> err_model;
+  std::vector<std::uint64_t> exit_from;
+  std::vector<std::uint8_t> slot_of, diff;
+  std::vector<std::uint8_t> scratch;
+  // Staging rows for the lane-batched testers: the every-tick module loops
+  // store each lane's freshly computed signal word here, then hand the whole
+  // row to tester.test_lanes in one branch-free pass (see
+  // arrestor/batch_assertions.hpp).  stage_a/stage_b are extra int32 rows
+  // for the vectorized module passes (hardware readings, previous values).
+  std::vector<std::int32_t> sig_i32;
+  std::vector<std::uint16_t> sig_u16;
+  std::vector<std::int32_t> stage_a, stage_b;
+
+  /// Builds one reference node pair to capture the layout, the pristine
+  /// post-boot images, and the compiled assertion tables.  Only the
+  /// parameter set can change any of these, so rebuilds are keyed on it.
+  void ensure_layout(const RunConfig& config) {
+    if (ready && params_key == config.params.get()) return;
+    sim::Environment env{config.test_case, util::Rng{config.noise_seed}};
+    core::DetectionBus bus{64};
+    arrestor::MasterNode master{env, bus, arrestor::kAllAssertions, core::RecoveryPolicy::none,
+                                false, config.params.get()};
+    arrestor::SlaveNode slave{env};
+
+    const arrestor::SignalMap& m = master.signals();
+    a.set_value = m.set_value.address();
+    a.is_value = m.is_value.address();
+    a.checkpoint_i = m.checkpoint_i.address();
+    a.pulscnt = m.pulscnt.address();
+    a.ms_slot_nbr = m.ms_slot_nbr.address();
+    a.mscnt = m.mscnt.address();
+    a.out_value = m.out_value.address();
+    a.arrest_phase = m.arrest_phase.address();
+    a.comm_tx_set_value = m.comm_tx_set_value.address();
+    a.comm_tx_seq = m.comm_tx_seq.address();
+    a.dist_last_hw = m.dist_last_hw.address();
+    a.sv_target = m.sv_target.address();
+    a.pid_integral = m.pid_integral.address();
+    a.pid_prev_err = m.pid_prev_err.address();
+    for (std::size_t k = 0; k < arrestor::kCheckpointCount; ++k) {
+      a.cp_pulse[k] = m.cp_pulse[k].address();
+    }
+    a.cfg_design_mass_kg10 = m.cfg_design_mass_kg10.address();
+    a.cfg_stop_target_m = m.cfg_stop_target_m.address();
+    a.cfg_precharge_pu = m.cfg_precharge_pu.address();
+    a.cfg_engage_pulses = m.cfg_engage_pulses.address();
+    a.diag_arrest_count = m.diag_arrest_count.address();
+    a.diag_max_pressure = m.diag_max_pressure.address();
+    a.diag_max_set_value = m.diag_max_set_value.address();
+    a.diag_engage_velocity = m.diag_engage_velocity.address();
+    a.diag_status_word = m.diag_status_word.address();
+    for (std::size_t k = 0; k < arrestor::SignalMap::kTraceDepth; ++k) {
+      a.trace_ring[k] = m.trace_ring[k].address();
+    }
+    a.trace_head = m.trace_head.address();
+
+    const arrestor::SlaveMap& s = slave.signals();
+    a.s_set_value = s.set_value.address();
+    a.s_is_value = s.is_value.address();
+    a.s_out_value = s.out_value.address();
+    a.s_mscnt = s.mscnt.address();
+    a.s_rx_seq = s.rx_seq.address();
+    a.s_pid_integral = s.pid_integral.address();
+    a.s_pid_prev_err = s.pid_prev_err.address();
+
+    master_pristine = master.image().bytes();
+    slave_pristine = slave.image().bytes();
+    // The CALC frame's saved stack pointer as boot wrote it — RAM-only
+    // faults can never move it, so the lane loops address the locals
+    // directly (TaskContext re-reads it per access for sp-corruption
+    // modelling the batch gate excludes).
+    const std::size_t sp_addr = master.calc_frame().base_address() + 2;
+    a.calc_locals = static_cast<std::size_t>(master_pristine[sp_addr]) |
+                    static_cast<std::size_t>(master_pristine[sp_addr + 1]) << 8;
+
+    bank.emplace(m, config.params ? *config.params : arrestor::NodeParamSet::rom(false));
+    params_key = config.params.get();
+    ready = true;
+  }
+
+  bool run(const RunConfig& config, const GoldenTrace& trace,
+           const std::vector<BatchItem>& items, std::vector<BatchOutcome>& outcomes);
+};
+
+bool BatchContext::Impl::run(const RunConfig& config, const GoldenTrace& trace,
+                             const std::vector<BatchItem>& items,
+                             std::vector<BatchOutcome>& outcomes) {
+  ensure_layout(config);
+  if (!bank->eligible()) return false;
+
+  const std::size_t width = items.size();
+  outcomes.assign(width, BatchOutcome{});
+  if (width == 0) return true;
+  const std::size_t lanes = width + 1;  // lane 0 is the live golden replica
+
+  mem::PlaneSet mp{master_pristine.size(), lanes};
+  mem::PlaneSet sp{slave_pristine.size(), lanes};
+  mp.broadcast(master_pristine);
+  sp.broadcast(slave_pristine);
+
+  envs.reset(config.test_case, config.noise_seed, lanes);
+  classifiers.reset(config.test_case, lanes);
+
+  det_count.assign(arrestor::kMonitoredSignalCount * lanes, 0);
+  det_first.assign(arrestor::kMonitoredSignalCount * lanes, 0);
+  lane_item.assign(lanes, 0);
+  err_addr.assign(lanes, 0);
+  err_bit.assign(lanes, 0);
+  err_model.assign(lanes, FaultModel::bit_flip);
+  exit_from.assign(lanes, kNeverClean);
+  slot_of.assign(lanes, 0);
+  scratch.resize(std::max(master_pristine.size(), slave_pristine.size()));
+  sig_i32.assign(lanes, 0);
+  sig_u16.assign(lanes, 0);
+  stage_a.assign(lanes, 0);
+  stage_b.assign(lanes, 0);
+
+  // Retirement is only sound against a clean golden tail of the same
+  // observation window — the same precondition RunContext::run_converging
+  // applies per run.
+  const bool splice_ok = trace.clean() && trace.observation_ms == config.observation_ms;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t l = i + 1;
+    lane_item[l] = i;
+    err_addr[l] = items[i].error.address;
+    err_bit[l] = static_cast<std::uint8_t>(1u << items[i].error.bit);
+    err_model[l] = items[i].error.model;
+    exit_from[l] = splice_ok ? items[i].tail_clean_from : kNeverClean;
+  }
+
+  std::size_t live = lanes;
+  auto min_exit_from = [&] {
+    std::uint64_t m = kNeverClean;
+    for (std::size_t l = 1; l < live; ++l) m = std::min(m, exit_from[l]);
+    return m;
+  };
+  std::uint64_t min_exit = min_exit_from();
+
+  auto count_row = [&](MonitoredSignal sig) {
+    return det_count.data() + static_cast<std::size_t>(sig) * lanes;
+  };
+  auto first_row = [&](MonitoredSignal sig) {
+    return det_first.data() + static_cast<std::size_t>(sig) * lanes;
+  };
+
+  auto fill_detections = [&](BatchOutcome& out, std::size_t l) {
+    std::uint64_t total = 0;
+    std::uint64_t first = kNeverClean;
+    for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+      const std::uint64_t c = det_count[s * lanes + l];
+      out.per_signal[s].count = c;
+      out.per_signal[s].first_ms = c > 0 ? det_first[s * lanes + l] : 0;
+      total += c;
+      if (c > 0) first = std::min(first, det_first[s * lanes + l]);
+    }
+    out.result.detected = total > 0;
+    out.result.detection_count = total;
+    if (total > 0) {
+      out.result.first_detection_ms = first;
+      out.result.latency_ms = first;  // the first injection is at t = 0
+    }
+  };
+
+  const std::uint64_t injections =
+      expected_injections(config.injection_period_ms, config.observation_ms);
+
+  auto swap_lanes = [&](std::size_t x, std::size_t y) {
+    if (x == y) return;
+    mp.swap_lanes(x, y);
+    sp.swap_lanes(x, y);
+    envs.swap_lanes(x, y);
+    classifiers.swap_lanes(x, y);
+    for (std::size_t s = 0; s < arrestor::kMonitoredSignalCount; ++s) {
+      std::swap(det_count[s * lanes + x], det_count[s * lanes + y]);
+      std::swap(det_first[s * lanes + x], det_first[s * lanes + y]);
+    }
+    std::swap(lane_item[x], lane_item[y]);
+    std::swap(err_addr[x], err_addr[y]);
+    std::swap(err_bit[x], err_bit[y]);
+    std::swap(err_model[x], err_model[y]);
+    std::swap(exit_from[x], exit_from[y]);
+    std::swap(diff[x], diff[y]);
+  };
+
+  /// Lane 0's full rig fingerprint, bit-compatible with run_context.cpp's
+  /// rig_fingerprint: master image, master scheduler (tick counter `done`,
+  /// never halted), slave image, slave scheduler, environment, classifier,
+  /// watchdog (never tripped under the batch gate).
+  auto golden_fingerprint = [&](std::uint64_t done) {
+    util::StateHash h;
+    mp.gather_lane(0, scratch.data());
+    h.mix_bytes(scratch.data(), master_pristine.size());
+    h.mix_u64(done);
+    h.mix_bool(false);
+    sp.gather_lane(0, scratch.data());
+    h.mix_bytes(scratch.data(), slave_pristine.size());
+    h.mix_u64(done);
+    h.mix_bool(false);
+    envs.mix_state(0, h);
+    classifiers.mix_state(0, h);
+    h.mix_bool(false);
+    return h.value();
+  };
+
+  auto lane_sig = [&](std::size_t l) {
+    util::StateHash h;
+    envs.mix_state(l, h);
+    classifiers.mix_state(l, h);
+    return h.value();
+  };
+
+  const std::uint64_t period = config.injection_period_ms;
+  const arrestor::BatchAssertionBank& ea = *bank;
+
+  // Hot-row handles, captured once: every module-state address is fixed for
+  // the whole run (plane storage never reallocates; retirement swaps bytes
+  // in place), and holding the row pointers in locals keeps the per-tick
+  // lane loops free of per-access address arithmetic and data-pointer
+  // reloads (see PlaneSet::Row16).
+  using Row16 = mem::PlaneSet::Row16;
+  struct Row32 {
+    Row16 lo, hi;
+    [[nodiscard]] std::int32_t load(std::size_t l) const noexcept {
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(lo.load(l)) |
+                                       static_cast<std::uint32_t>(hi.load(l)) << 16);
+    }
+    void store(std::size_t l, std::int32_t v) const noexcept {
+      const auto u = static_cast<std::uint32_t>(v);
+      lo.store(l, static_cast<std::uint16_t>(u & 0xffff));
+      hi.store(l, static_cast<std::uint16_t>(u >> 16));
+    }
+  };
+  const auto row32 = [](mem::PlaneSet& p, std::size_t addr) {
+    return Row32{p.row16(addr), p.row16(addr + 2)};
+  };
+  const std::size_t lb = a.calc_locals;
+  using Locals = arrestor::CalcModule::Locals;
+  const Row16 r_mscnt = mp.row16(a.mscnt);
+  const Row16 r_slot = mp.row16(a.ms_slot_nbr);
+  const Row16 r_dist_last = mp.row16(a.dist_last_hw);
+  const Row16 r_pulscnt = mp.row16(a.pulscnt);
+  const Row16 r_set_value = mp.row16(a.set_value);
+  const Row16 r_is_value = mp.row16(a.is_value);
+  const Row16 r_out_value = mp.row16(a.out_value);
+  const Row16 r_sv_target = mp.row16(a.sv_target);
+  const Row16 r_checkpoint_i = mp.row16(a.checkpoint_i);
+  const Row16 r_arrest_phase = mp.row16(a.arrest_phase);
+  const Row16 r_comm_tx_sv = mp.row16(a.comm_tx_set_value);
+  const Row16 r_comm_tx_seq = mp.row16(a.comm_tx_seq);
+  const Row16 r_diag_max_pressure = mp.row16(a.diag_max_pressure);
+  const Row16 r_diag_max_sv = mp.row16(a.diag_max_set_value);
+  const Row16 r_diag_arrest_count = mp.row16(a.diag_arrest_count);
+  const Row16 r_diag_engage_v = mp.row16(a.diag_engage_velocity);
+  const Row16 r_diag_status = mp.row16(a.diag_status_word);
+  const Row16 r_cfg_mass = mp.row16(a.cfg_design_mass_kg10);
+  const Row16 r_cfg_stop = mp.row16(a.cfg_stop_target_m);
+  const Row16 r_cfg_precharge = mp.row16(a.cfg_precharge_pu);
+  const Row16 r_cfg_engage = mp.row16(a.cfg_engage_pulses);
+  const Row16 r_trace_head = mp.row16(a.trace_head);
+  const Row16 r_pid_prev_err = mp.row16(a.pid_prev_err);
+  const Row32 r_pid_integral = row32(mp, a.pid_integral);
+  const Row16 r_engaged = mp.row16(lb + Locals::engaged);
+  const Row16 r_t_mark = mp.row16(lb + Locals::t_mark);
+  const Row16 r_p_mark = mp.row16(lb + Locals::p_mark);
+  const Row16 r_v_est = mp.row16(lb + Locals::v_est);
+  const Row16 r_v_prev = mp.row16(lb + Locals::v_prev);
+  const Row16 r_sv_cmd = mp.row16(lb + Locals::sv_cmd);
+  const Row32 r_f_needed = row32(mp, lb + Locals::f_needed);
+  const Row32 r_scratch = row32(mp, lb + Locals::scratch);
+  std::array<Row16, arrestor::kCheckpointCount> r_cp_pulse;
+  std::array<Row16, arrestor::kCheckpointCount> r_cp_cache;
+  for (std::size_t k = 0; k < arrestor::kCheckpointCount; ++k) {
+    r_cp_pulse[k] = mp.row16(a.cp_pulse[k]);
+    r_cp_cache[k] = mp.row16(lb + Locals::cp_cache + 2 * k);
+  }
+  const Row16 s_mscnt = sp.row16(a.s_mscnt);
+  const Row16 s_set_value = sp.row16(a.s_set_value);
+  const Row16 s_is_value = sp.row16(a.s_is_value);
+  const Row16 s_out_value = sp.row16(a.s_out_value);
+  const Row16 s_rx_seq = sp.row16(a.s_rx_seq);
+  const Row16 s_pid_prev_err = sp.row16(a.s_pid_prev_err);
+  const Row32 s_pid_integral = row32(sp, a.s_pid_integral);
+
+  // EA testers, bound per run: the module loops feed them the signal word
+  // they just computed, so every assertion check rides the module's own
+  // load (arrestor/batch_assertions.hpp).
+  const auto tester = [&](MonitoredSignal sig) {
+    return ea.continuous_tester(sig, mp, count_row(sig), first_row(sig));
+  };
+  const arrestor::BatchAssertionBank::ContinuousTester t_set_value =
+      tester(MonitoredSignal::set_value);
+  const arrestor::BatchAssertionBank::ContinuousTester t_is_value =
+      tester(MonitoredSignal::is_value);
+  const arrestor::BatchAssertionBank::ContinuousTester t_checkpoint =
+      tester(MonitoredSignal::checkpoint);
+  const arrestor::BatchAssertionBank::ContinuousTester t_pulscnt =
+      tester(MonitoredSignal::pulscnt);
+  const arrestor::BatchAssertionBank::ContinuousTester t_mscnt =
+      tester(MonitoredSignal::mscnt);
+  const arrestor::BatchAssertionBank::ContinuousTester t_out_value =
+      tester(MonitoredSignal::out_value);
+  const arrestor::BatchAssertionBank::SlotTester t_slot =
+      ea.slot_tester(mp, count_row(MonitoredSignal::ms_slot_nbr),
+                     first_row(MonitoredSignal::ms_slot_nbr));
+
+  for (std::uint64_t now = 0; now < config.observation_ms; ++now) {
+    // --- Injection (Injector::on_tick per faulted lane; start_ms = 0) ---
+    if (now % period == 0) {
+      for (std::size_t l = 1; l < live; ++l) {
+        const std::uint8_t byte = mp.load_u8(err_addr[l], l);
+        const std::uint8_t mask = err_bit[l];
+        std::uint8_t next = byte;
+        switch (err_model[l]) {
+          case FaultModel::bit_flip: next = byte ^ mask; break;
+          case FaultModel::stuck_at_1: next = byte | mask; break;
+          case FaultModel::stuck_at_0:
+            next = byte & static_cast<std::uint8_t>(~mask);
+            break;
+        }
+        mp.store_u8(err_addr[l], l, next);
+      }
+    }
+
+    // --- Master tick (module-major; per-lane op order == scalar's) ---
+    // CLOCK: mscnt, EA6; ms_slot_nbr, EA5.  The post-increment slot value
+    // is always in [0, 7), so it doubles as the tick's dispatch slot (the
+    // scalar executive re-reads the word %7 after the every-tick modules;
+    // nothing writes it in between).  The compute loops stage each lane's
+    // signal word; the testers then sweep all lanes branch-free — the EA
+    // monitors touch only their own prev/flags rows, so splitting the
+    // per-lane compute-then-test sequence across lanes changes nothing.
+    // Wide batches additionally split the compute into uniform-width
+    // widen / arithmetic / narrow passes over __restrict row pointers,
+    // the shape the loop vectorizer accepts (same trick as test_lanes).
+    if (live >= kVectorMinLanes) {
+      {
+        std::uint8_t* __restrict mlo = r_mscnt.lo;
+        std::uint8_t* __restrict mhi = r_mscnt.hi;
+        std::int32_t* __restrict mv = sig_i32.data();
+        for (std::size_t l = 0; l < live; ++l) {
+          const std::int32_t m = static_cast<std::int32_t>(mlo[l]) +
+                                 (static_cast<std::int32_t>(mhi[l]) << 8) + 1;
+          mv[l] = m > 65535 ? 65535 : m;  // sat_add_u16(mscnt, 1)
+        }
+        for (std::size_t l = 0; l < live; ++l) {
+          mlo[l] = static_cast<std::uint8_t>(mv[l] & 0xff);
+          mhi[l] = static_cast<std::uint8_t>((mv[l] >> 8) & 0xff);
+        }
+      }
+      {
+        std::uint8_t* __restrict slo = r_slot.lo;
+        std::uint8_t* __restrict shi = r_slot.hi;
+        std::int32_t* __restrict sv = stage_a.data();
+        std::uint16_t* __restrict s16 = sig_u16.data();
+        std::uint8_t* __restrict so = slot_of.data();
+        for (std::size_t l = 0; l < live; ++l) {
+          const std::int32_t s = static_cast<std::int32_t>(slo[l]) +
+                                 (static_cast<std::int32_t>(shi[l]) << 8) + 1;
+          sv[l] = s >= static_cast<std::int32_t>(rt::Scheduler::kSlotCount) ? 0 : s;
+        }
+        for (std::size_t l = 0; l < live; ++l) {
+          slo[l] = static_cast<std::uint8_t>(sv[l]);  // wrapped value < 7
+          shi[l] = 0;
+          s16[l] = static_cast<std::uint16_t>(sv[l]);
+          so[l] = static_cast<std::uint8_t>(sv[l]);
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < live; ++l) {
+        const std::uint16_t m = sat_add_u16(r_mscnt.load(l), 1);
+        r_mscnt.store(l, m);
+        sig_i32[l] = static_cast<std::int32_t>(m);
+        std::uint16_t slot = r_slot.load(l);
+        ++slot;
+        if (slot >= rt::Scheduler::kSlotCount) slot = 0;
+        r_slot.store(l, slot);
+        sig_u16[l] = slot;
+        slot_of[l] = static_cast<std::uint8_t>(slot);
+      }
+    }
+    t_mscnt.test_lanes(sig_i32.data(), live, now);
+    t_slot.test_lanes(sig_u16.data(), live, now);
+
+    // Lanes only leave slot lockstep when a fault lands on the slot-counter
+    // word itself, so at any tick the live lanes occupy one or two distinct
+    // dispatch slots.  A presence bitmask over the (seven) slot values lets
+    // the three slot-gated module loops below skip outright whenever no lane
+    // sits in their slot — most ticks for each of them — instead of scanning
+    // `live` lanes to find no work.  The per-lane guards inside the loops
+    // stay; they carry the divergent-lane case unchanged.
+    std::uint32_t slots_present = 0;
+    for (std::size_t l = 0; l < live; ++l) {
+      slots_present |= 1u << (slot_of[l] & 31u);
+    }
+
+    // DIST_S: latch the hardware pulse counter, EA4.  The environment read
+    // is inherently per-lane; the counter arithmetic is not, so wide
+    // batches stage the readings and run the row math as passes.
+    if (live >= kVectorMinLanes) {
+      std::int32_t* __restrict hw = stage_a.data();
+      std::int32_t* __restrict last = stage_b.data();
+      std::int32_t* __restrict pulses = sig_i32.data();
+      envs.rotation_pulses_u16(hw, live);
+      {
+        std::uint8_t* __restrict dlo = r_dist_last.lo;
+        std::uint8_t* __restrict dhi = r_dist_last.hi;
+        for (std::size_t l = 0; l < live; ++l) {
+          last[l] = static_cast<std::int32_t>(dlo[l]) +
+                    (static_cast<std::int32_t>(dhi[l]) << 8);
+        }
+        for (std::size_t l = 0; l < live; ++l) {
+          dlo[l] = static_cast<std::uint8_t>(hw[l] & 0xff);
+          dhi[l] = static_cast<std::uint8_t>((hw[l] >> 8) & 0xff);
+        }
+      }
+      {
+        std::uint8_t* __restrict plo = r_pulscnt.lo;
+        std::uint8_t* __restrict phi = r_pulscnt.hi;
+        for (std::size_t l = 0; l < live; ++l) {
+          const std::int32_t delta = (hw[l] - last[l]) & 0xffff;  // mod-2^16
+          const std::int32_t p = static_cast<std::int32_t>(plo[l]) +
+                                 (static_cast<std::int32_t>(phi[l]) << 8) + delta;
+          pulses[l] = p > 65535 ? 65535 : p;  // sat_add_u16
+        }
+        for (std::size_t l = 0; l < live; ++l) {
+          plo[l] = static_cast<std::uint8_t>(pulses[l] & 0xff);
+          phi[l] = static_cast<std::uint8_t>((pulses[l] >> 8) & 0xff);
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < live; ++l) {
+        const auto hw = static_cast<std::uint16_t>(envs.rotation_pulses(l));
+        const std::uint16_t last = r_dist_last.load(l);
+        const auto delta = static_cast<std::uint16_t>(hw - last);  // mod-2^16 diff
+        r_dist_last.store(l, hw);
+        const std::uint16_t pulses = sat_add_u16(r_pulscnt.load(l), delta);
+        r_pulscnt.store(l, pulses);
+        sig_i32[l] = static_cast<std::int32_t>(pulses);
+      }
+    }
+    t_pulscnt.test_lanes(sig_i32.data(), live, now);
+
+    // PRES_S @ slot 0.
+    if (slots_present & (1u << arrestor::kSlotPresS)) {
+      for (std::size_t l = 0; l < live; ++l) {
+        if (slot_of[l] != arrestor::kSlotPresS) continue;
+        const std::uint16_t reading = envs.master_pressure_reading(l);
+        r_is_value.store(l, reading);
+        r_diag_max_pressure.store(l, std::max(r_diag_max_pressure.load(l), reading));
+      }
+    }
+
+    // V_REG @ slot 2: EA1, EA2, then the PI regulator.
+    if (slots_present & (1u << arrestor::kSlotVReg)) {
+      for (std::size_t l = 0; l < live; ++l) {
+        if (slot_of[l] != arrestor::kSlotVReg) continue;
+        const auto sv = static_cast<std::int32_t>(r_set_value.load(l));
+        const auto iv = static_cast<std::int32_t>(r_is_value.load(l));
+        t_set_value.test(sv, l, now);
+        t_is_value.test(iv, l, now);
+        const std::int32_t error = sv - iv;
+        std::int32_t integral = r_pid_integral.load(l) + error;
+        integral =
+            std::clamp(integral, -arrestor::kPidIntegralClamp, arrestor::kPidIntegralClamp);
+        r_pid_integral.store(l, integral);
+        const std::int32_t correction =
+            error / arrestor::kPidPDiv + integral / arrestor::kPidIDiv;
+        const std::int32_t out =
+            std::clamp<std::int32_t>(sv + correction, 0, arrestor::kOutValueMaxPu);
+        r_out_value.store(l, static_cast<std::uint16_t>(out));
+        r_pid_prev_err.store(l, static_cast<std::uint16_t>(static_cast<std::int16_t>(
+                                    std::clamp<std::int32_t>(error, -32768, 32767))));
+        const auto head = static_cast<std::uint16_t>(r_trace_head.load(l) %
+                                                     arrestor::SignalMap::kTraceDepth);
+        mp.store_i32(a.trace_ring[head], l,
+                     static_cast<std::int32_t>(
+                         (static_cast<std::uint32_t>(r_mscnt.load(l)) << 16) |
+                         static_cast<std::uint32_t>(out)));
+        r_trace_head.store(
+            l, static_cast<std::uint16_t>((head + 1) % arrestor::SignalMap::kTraceDepth));
+      }
+    }
+
+    // PRES_A @ slot 4: EA7, then the valve command.
+    if (slots_present & (1u << arrestor::kSlotPresA)) {
+      for (std::size_t l = 0; l < live; ++l) {
+        if (slot_of[l] != arrestor::kSlotPresA) continue;
+        const std::uint16_t out = r_out_value.load(l);
+        t_out_value.test(static_cast<std::int32_t>(out), l, now);
+        envs.command_master_valve(l, out);
+      }
+    }
+
+    // CALC (background, every tick): EA3, then the arrestment program.
+    {
+      const std::uint8_t* __restrict clo = r_checkpoint_i.lo;
+      const std::uint8_t* __restrict chi = r_checkpoint_i.hi;
+      std::int32_t* __restrict cv = sig_i32.data();
+      for (std::size_t l = 0; l < live; ++l) {
+        cv[l] = static_cast<std::int32_t>(clo[l]) +
+                (static_cast<std::int32_t>(chi[l]) << 8);
+      }
+    }
+    t_checkpoint.test_lanes(sig_i32.data(), live, now);
+    for (std::size_t l = 0; l < live; ++l) {
+      if (r_engaged.load(l) == 0) {
+        // detect_engagement
+        if (r_pulscnt.load(l) < r_cfg_engage.load(l)) continue;
+        r_engaged.store(l, 1);
+        r_t_mark.store(l, r_mscnt.load(l));
+        r_p_mark.store(l, r_pulscnt.load(l));
+        for (std::size_t k = 0; k < arrestor::kCheckpointCount; ++k) {
+          r_cp_cache[k].store(l, r_cp_pulse[k].load(l));
+        }
+        r_sv_target.store(l, r_cfg_precharge.load(l));
+        r_diag_arrest_count.store(l, sat_add_u16(r_diag_arrest_count.load(l), 1));
+        r_diag_status.store(l, 1);
+        continue;
+      }
+      // checkpoint_update
+      const std::uint16_t index = r_checkpoint_i.load(l);
+      if (index < arrestor::kCheckpointCount) {
+        const std::uint16_t threshold = r_cp_cache[index].load(l);
+        const std::uint16_t pulses = r_pulscnt.load(l);
+        if (pulses >= threshold) {
+          auto dt_ms = static_cast<std::uint16_t>(r_mscnt.load(l) - r_t_mark.load(l));
+          if (dt_ms == 0) dt_ms = 1;
+          const auto dp = static_cast<std::uint16_t>(pulses - r_p_mark.load(l));
+          const std::uint32_t v_cms32 = static_cast<std::uint32_t>(dp) * 1000u / dt_ms;
+          const auto v_cms = static_cast<std::uint16_t>(std::min<std::uint32_t>(v_cms32, 0xffffu));
+          r_v_prev.store(l, r_v_est.load(l));
+          r_v_est.store(l, v_cms);
+          const std::int32_t mass_kg = static_cast<std::int32_t>(r_cfg_mass.load(l)) * 10;
+          const std::int32_t here_m = threshold / 100;
+          std::int32_t remaining_m = static_cast<std::int32_t>(r_cfg_stop.load(l)) - here_m;
+          if (remaining_m < 5) remaining_m = 5;
+          r_scratch.store(l, remaining_m);
+          const std::int64_t v2 = static_cast<std::int64_t>(v_cms) * v_cms;
+          const std::int64_t force_n =
+              static_cast<std::int64_t>(mass_kg) * v2 / (20000LL * remaining_m);
+          r_f_needed.store(l,
+                           static_cast<std::int32_t>(std::min<std::int64_t>(force_n, 1 << 30)));
+          std::int64_t set_point = force_n * 32 / 1000;
+          set_point = std::clamp<std::int64_t>(set_point, 0, arrestor::kSetValueClampPu);
+          const auto svv = static_cast<std::uint16_t>(set_point);
+          r_sv_cmd.store(l, svv);
+          r_sv_target.store(l, svv);
+          r_checkpoint_i.store(l, static_cast<std::uint16_t>(index + 1));
+          r_t_mark.store(l, r_mscnt.load(l));
+          r_p_mark.store(l, pulses);
+          if (index == 0) {
+            r_diag_engage_v.store(l, static_cast<std::uint16_t>(v_cms / 100));
+            r_arrest_phase.store(l, 1);
+          }
+        }
+      }
+      // slew_set_value
+      const std::uint16_t target = r_sv_target.load(l);
+      std::uint16_t current = r_set_value.load(l);
+      if (current < target) {
+        current = static_cast<std::uint16_t>(
+            current + std::min<std::uint16_t>(arrestor::kSetValueSlewPuPerMs,
+                                              static_cast<std::uint16_t>(target - current)));
+      } else if (current > target) {
+        current = static_cast<std::uint16_t>(
+            current - std::min<std::uint16_t>(arrestor::kSetValueSlewPuPerMs,
+                                              static_cast<std::uint16_t>(current - target)));
+      } else {
+        continue;
+      }
+      r_set_value.store(l, current);
+      r_comm_tx_sv.store(l, current);
+      r_comm_tx_seq.store(l, sat_add_u16(r_comm_tx_seq.load(l), 1));
+      r_diag_max_sv.store(l, std::max(r_diag_max_sv.load(l), current));
+    }
+
+    // --- Slave tick (slot from the executive's own counter: tick % 7) ---
+    for (std::size_t l = 0; l < live; ++l) {
+      s_mscnt.store(l, sat_add_u16(s_mscnt.load(l), 1));
+    }
+    const auto sslot = static_cast<std::uint32_t>(now % rt::Scheduler::kSlotCount);
+    if (sslot == arrestor::kSlotPresS) {
+      for (std::size_t l = 0; l < live; ++l) {
+        s_is_value.store(l, envs.slave_pressure_reading(l));
+      }
+    } else if (sslot == arrestor::kSlotVReg) {
+      for (std::size_t l = 0; l < live; ++l) {
+        const auto sv = static_cast<std::int32_t>(s_set_value.load(l));
+        const auto iv = static_cast<std::int32_t>(s_is_value.load(l));
+        const std::int32_t error = sv - iv;
+        std::int32_t integral = s_pid_integral.load(l) + error;
+        integral =
+            std::clamp(integral, -arrestor::kPidIntegralClamp, arrestor::kPidIntegralClamp);
+        s_pid_integral.store(l, integral);
+        const std::int32_t correction =
+            error / arrestor::kPidPDiv + integral / arrestor::kPidIDiv;
+        const std::int32_t out =
+            std::clamp<std::int32_t>(sv + correction, 0, arrestor::kOutValueMaxPu);
+        s_out_value.store(l, static_cast<std::uint16_t>(out));
+        s_pid_prev_err.store(l, static_cast<std::uint16_t>(static_cast<std::int16_t>(
+                                    std::clamp<std::int32_t>(error, -32768, 32767))));
+      }
+    } else if (sslot == arrestor::kSlotPresA) {
+      for (std::size_t l = 0; l < live; ++l) {
+        envs.command_slave_valve(l, s_out_value.load(l));
+      }
+    }
+
+    // --- Inter-node link: one set-point message per 7-ms frame ---
+    if (now % 7 == 6) {
+      for (std::size_t l = 0; l < live; ++l) {
+        s_set_value.store(l, r_comm_tx_sv.load(l));
+        s_rx_seq.store(l, r_comm_tx_seq.load(l));
+      }
+    }
+
+    // --- Plant + classifier, all live lanes per row pass ---
+    envs.step_1ms(live);
+    classifiers.sample(envs, live, now);
+
+    // --- Convergence checkpoint: retire lanes equal to the golden lane ---
+    const std::uint64_t done = now + 1;
+    if (live > 1 && done % kCheckpointPeriodTicks == 0 && done >= min_exit) {
+      const auto k = static_cast<std::size_t>(done / kCheckpointPeriodTicks - 1);
+      if (k >= trace.hashes.size() || golden_fingerprint(done) != trace.hashes[k]) {
+        // The live golden lane disagrees with the cached trace — the trace
+        // cannot vouch for any splice.  Whole batch falls back to scalar.
+        return false;
+      }
+      diff.assign(live, 0);
+      for (std::size_t addr = 0; addr < master_pristine.size(); ++addr) {
+        const std::uint8_t* row = mp.row(addr);
+        const std::uint8_t g = row[0];
+        for (std::size_t l = 1; l < live; ++l) {
+          diff[l] = static_cast<std::uint8_t>(diff[l] | (row[l] != g));
+        }
+      }
+      for (std::size_t addr = 0; addr < slave_pristine.size(); ++addr) {
+        const std::uint8_t* row = sp.row(addr);
+        const std::uint8_t g = row[0];
+        for (std::size_t l = 1; l < live; ++l) {
+          diff[l] = static_cast<std::uint8_t>(diff[l] | (row[l] != g));
+        }
+      }
+      const std::uint64_t sig0 = lane_sig(0);
+      for (std::size_t l = live; l-- > 1;) {
+        if (done < exit_from[l] || diff[l] != 0 || lane_sig(l) != sig0) continue;
+        // Byte-equal to the golden lane with a provably-harmless tail:
+        // splice exactly as run_converging does.
+        BatchOutcome& out = outcomes[lane_item[l]];
+        fill_detections(out, l);
+        const RunResult& golden = trace.result;
+        RunResult& r = out.result;
+        r.failed = golden.failed;
+        r.failure = golden.failure;
+        r.failure_ms = golden.failure_ms;
+        r.stopped = golden.stopped;
+        r.stop_ms = golden.stop_ms;
+        r.final_position_m = golden.final_position_m;
+        r.peak_retardation_g = golden.peak_retardation_g;
+        r.peak_force_n = golden.peak_force_n;
+        r.node_halted = golden.node_halted;
+        r.injections = injections;
+        r.watchdog_tripped = golden.watchdog_tripped;
+        out.early_exited = true;
+        swap_lanes(l, live - 1);
+        --live;
+      }
+      if (live == 1) break;  // every faulted lane retired; the golden lane's
+                             // remaining trajectory is already in the trace
+      min_exit = min_exit_from();
+    }
+  }
+
+  // Lanes that ran the full window: the scalar result assembly.
+  for (std::size_t l = 1; l < live; ++l) {
+    BatchOutcome& out = outcomes[lane_item[l]];
+    out.early_exited = false;
+    fill_detections(out, l);
+    RunResult& r = out.result;
+    r.failed = classifiers.failed(l);
+    r.failure = classifiers.kind(l);
+    r.failure_ms = classifiers.failure_time_ms(l);
+    r.stopped = classifiers.stopped(l);
+    r.stop_ms = classifiers.stop_time_ms(l);
+    r.final_position_m = classifiers.final_position_m(l);
+    r.peak_retardation_g = classifiers.peak_retardation_g(l);
+    r.peak_force_n = classifiers.peak_force_n(l);
+    r.node_halted = false;  // RAM-only lanes never corrupt a task context
+    r.injections = injections;
+    r.watchdog_tripped = false;
+  }
+  return true;
+}
+
+BatchContext::BatchContext() noexcept = default;
+BatchContext::~BatchContext() = default;
+BatchContext::BatchContext(BatchContext&&) noexcept = default;
+BatchContext& BatchContext::operator=(BatchContext&&) noexcept = default;
+
+bool BatchContext::run(const RunConfig& config, const GoldenTrace& trace,
+                       const std::vector<BatchItem>& items,
+                       std::vector<BatchOutcome>& outcomes) {
+  if (impl_ == nullptr) impl_ = std::make_unique<Impl>();
+  return impl_->run(config, trace, items, outcomes);
+}
+
+}  // namespace easel::fi

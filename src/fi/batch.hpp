@@ -1,0 +1,105 @@
+// Lockstep SoA batched execution of faulted replicas.
+//
+// After pruning, the runs a campaign still executes share everything but
+// the injected fault: same schedule, same physics, same assertion
+// parameters, same golden trajectory.  This engine steps W faulted
+// replicas of the node pair in lockstep against that shared trajectory:
+//
+//   * Replica images are laid out SoA as replica-major byte planes
+//     (mem/plane.hpp) — one plane set per node — so the per-tick module
+//     bodies and assertion checks become stride-1 lane loops
+//     (arrestor/batch_assertions.hpp holds the batch-width EA entry
+//     points with the dense-bitmap discrete fast path).
+//
+//   * Lane 0 is a live golden replica (no fault).  At every convergence
+//     checkpoint its full rig fingerprint is verified against the cached
+//     GoldenTrace, and each faulted lane whose tail_clean_from has been
+//     reached is compared to lane 0 by a row-pass byte-equality scan plus
+//     environment/classifier state hashes; an equal lane provably finishes
+//     with the golden tail, so it retires from the batch on the spot
+//     (result spliced exactly as RunContext::run_converging splices) and
+//     the batch compacts by lane swap.
+//
+//   * A lane that never reconverges simply runs to completion inside the
+//     batch; its per-lane module sequence, environment, classifier, and
+//     detection statistics are the scalar engine's, so the RunResult is
+//     bit-identical by construction.  Whole-batch divergence — the live
+//     golden lane's fingerprint not matching the trace — aborts the batch
+//     and the campaign re-runs every item on the scalar RunContext engine
+//     (the fell-back bucket of PruneStats).
+//
+// Eligibility: batching reproduces the scalar tick path only for the
+// campaigns' observer configuration — detect-only recovery, all seven
+// assertions, single-mode parameters, no watchdog, no trace capture — and
+// for RAM-region errors.  A stack-region error can corrupt task contexts
+// (control-flow errors, halts, foreign-stack redirection), machinery the
+// flat lane loops deliberately do not model; such items take the scalar
+// path.  The structural gate is batch_eligible_config/batch_eligible_error;
+// anything the gate admits and the engine still cannot represent (e.g. a
+// calibrated parameter set without a dense slot domain) is reported by
+// run() returning false, never approximated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fi/experiment.hpp"
+#include "fi/prune.hpp"
+
+namespace easel::fi {
+
+/// One faulted replica of a batch: its error and the pruning planner's
+/// tail-clean checkpoint (kNeverClean disables retirement for the lane).
+struct BatchItem {
+  ErrorSpec error;
+  std::uint64_t tail_clean_from = kNeverClean;
+};
+
+/// What the batch engine produces per item — exactly what the campaign
+/// engine gets from RunContext::run_converging + last_signal_detections.
+struct BatchOutcome {
+  RunResult result;
+  CollapsedDetections per_signal{};
+  bool early_exited = false;
+};
+
+/// Structural eligibility of a run configuration for the batch engine (see
+/// file comment).  Pure predicate on the config; cheap enough to gate every
+/// campaign item.
+[[nodiscard]] bool batch_eligible_config(const RunConfig& config) noexcept;
+
+/// Per-error eligibility: RAM-region errors only.
+[[nodiscard]] bool batch_eligible_error(const ErrorSpec& error) noexcept;
+
+/// Reusable batch execution context (one per campaign worker, like
+/// RunContext): owns the reference layout, pristine images, and compiled
+/// assertion tables, rebuilt only when the parameter set changes.
+class BatchContext {
+ public:
+  BatchContext() noexcept;
+  ~BatchContext();
+  BatchContext(BatchContext&&) noexcept;
+  BatchContext& operator=(BatchContext&&) noexcept;
+
+  /// Steps items.size() faulted replicas in lockstep against `trace`'s
+  /// golden trajectory.  `config` must satisfy batch_eligible_config and
+  /// carry the batch's shared (test case, noise seed, observation window);
+  /// its `error` field is ignored — each item brings its own, satisfying
+  /// batch_eligible_error.  `trace` must come from a golden pass of the
+  /// same configuration.
+  ///
+  /// True: outcomes[i] holds item i's result (outcomes is resized).
+  /// False: the engine cannot represent the configuration or the golden
+  /// lane diverged from `trace`; no outcome is valid and the caller must
+  /// re-run every item on the scalar engine.
+  [[nodiscard]] bool run(const RunConfig& config, const GoldenTrace& trace,
+                         const std::vector<BatchItem>& items,
+                         std::vector<BatchOutcome>& outcomes);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace easel::fi

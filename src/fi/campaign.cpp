@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "fi/batch.hpp"
 #include "fi/run_context.hpp"
 #include "fi/shard.hpp"
 #include "target/target.hpp"
@@ -191,6 +192,67 @@ RunResult derive_version(const RunResult& rep, const CollapsedDetections& per_si
   return result;
 }
 
+/// One shared-configuration group of the lockstep batch pre-pass: the
+/// (group, case) cell's run configuration and golden trace plus the
+/// batch-eligible items, each tagged with the consumption loop's dense
+/// local index (`slots[i]` receives `items[i]`'s outcome).
+struct BatchGroupPlan {
+  RunConfig config;
+  const GoldenTrace* trace = nullptr;
+  std::vector<std::size_t> slots;
+  std::vector<BatchItem> items;
+};
+
+/// One consumption-index cell of the pre-pass result.  Unresolved means the
+/// item was ineligible, batching is off, or its batch fell back wholesale —
+/// the consumption loop runs it on the scalar engine exactly as before.
+struct BatchSlot {
+  bool resolved = false;
+  BatchOutcome outcome;
+};
+
+/// Executes every planned item in lockstep batches of options.batch across
+/// the pool (fi/batch.hpp).  Group membership and batch boundaries are
+/// built serially by the caller, so they are deterministic; each slot is
+/// written by exactly one batch job, so the parallel fill is race-free and
+/// the consumption loop's worker-order merge keeps results jobs-invariant.
+std::vector<BatchSlot> run_batch_prepass(const CampaignOptions& options,
+                                         util::ThreadPool& pool, std::size_t slot_count,
+                                         const std::vector<BatchGroupPlan>& plans) {
+  std::vector<BatchSlot> slots(slot_count);
+  const std::size_t width = options.batch;
+  if (width == 0 || plans.empty()) return slots;
+  struct Job {
+    std::size_t plan, first, count;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const std::size_t n = plans[p].items.size();
+    for (std::size_t first = 0; first < n; first += width) {
+      jobs.push_back({p, first, std::min(width, n - first)});
+    }
+  }
+  std::vector<BatchContext> contexts(pool.workers());
+  std::vector<std::vector<BatchItem>> job_items(pool.workers());
+  std::vector<std::vector<BatchOutcome>> job_outcomes(pool.workers());
+  pool.parallel_for(jobs.size(), /*chunk=*/1, [&](std::size_t j, std::size_t worker) {
+    const Job& job = jobs[j];
+    const BatchGroupPlan& plan = plans[job.plan];
+    std::vector<BatchItem>& items = job_items[worker];
+    std::vector<BatchOutcome>& outcomes = job_outcomes[worker];
+    const auto first = static_cast<std::ptrdiff_t>(job.first);
+    items.assign(plan.items.begin() + first,
+                 plan.items.begin() + first + static_cast<std::ptrdiff_t>(job.count));
+    if (!contexts[worker].run(plan.config, *plan.trace, items, outcomes)) return;
+    for (std::size_t i = 0; i < job.count; ++i) {
+      BatchSlot& slot = slots[plan.slots[job.first + i]];
+      slot.outcome = outcomes[i];
+      slot.resolved = true;
+    }
+  });
+  return slots;
+}
+
 /// The E1 engine under observer collapse: per (error, test case), execute
 /// ONLY the all-assertions version (itself def/use-synthesized or
 /// convergence-exited when provable) and derive the seven single-assertion
@@ -233,12 +295,38 @@ E1Results run_e1_collapsed(const CampaignOptions& options, const target::Target&
         probe.watch(errors[range.begin + el].address);
       }
       (void)contexts[worker]->run_golden(golden, probe, traces[ci]);
+      ErrorClassifier classifier{probe, options.injection_period_ms,
+                                 options.observation_ms};
       for (std::size_t el = 0; el < range.size(); ++el) {
-        verdicts[el * cases + ci] = classify_error(probe, errors[range.begin + el],
-                                                   options.injection_period_ms,
-                                                   options.observation_ms);
+        verdicts[el * cases + ci] = classifier.classify(errors[range.begin + el]);
       }
     });
+  }
+
+  // --- Batched pre-pass: per test case, every executable batch-eligible
+  // representative shares one rig configuration and one golden trace, so
+  // they step together in lockstep (fi/batch.hpp); the consumption loop
+  // below picks resolved outcomes out of `slots` and runs the rest scalar.
+  const bool batching = options.batch > 0 && t.supports_batch();
+  std::vector<BatchSlot> slots(range.size() * cases);
+  if (batching) {
+    std::vector<BatchGroupPlan> plans;
+    for (std::size_t ci = 0; ci < cases; ++ci) {
+      BatchGroupPlan plan;
+      plan.config = build_config(kAllVersion * stride + range.begin * cases + ci);
+      plan.config.error.reset();
+      if (!batch_eligible_config(plan.config)) continue;
+      plan.trace = &traces[ci];
+      for (std::size_t el = 0; el < range.size(); ++el) {
+        const ErrorVerdict verdict = verdicts[el * cases + ci];
+        const ErrorSpec& error = errors[range.begin + el];
+        if (verdict.synthesize || !batch_eligible_error(error)) continue;
+        plan.slots.push_back(el * cases + ci);
+        plan.items.push_back(BatchItem{error, verdict.tail_clean_from});
+      }
+      if (!plan.items.empty()) plans.push_back(std::move(plan));
+    }
+    slots = run_batch_prepass(options, pool, range.size() * cases, plans);
   }
 
   // --- Stage 2: one representative run per (error, case), all versions
@@ -267,11 +355,38 @@ E1Results run_e1_collapsed(const CampaignOptions& options, const target::Target&
       per_signal = trace.per_signal;  // faulted ≡ golden, detections included
       ++st.runs_synthesized;
       rep_pruned = true;
+    } else if (slots[local].resolved) {
+      const BatchOutcome& out = slots[local].outcome;
+      rep = out.result;
+      per_signal = out.per_signal;
+      ++st.runs_executed_batched;
+      if (out.early_exited) {
+        ++st.runs_early_exited;
+        rep_pruned = true;
+      } else {
+        ++st.runs_executed;
+      }
+      if (options.verify_batch > 0.0) {
+        const std::size_t index = kAllVersion * stride + item;
+        util::Rng coin = verify_root.derive("verify-batch", index);
+        if (coin.bernoulli(options.verify_batch)) {
+          const RunConfig config = build_config(index);
+          const RunResult truth = contexts[worker]->run(config);
+          if (!(truth == rep) ||
+              contexts[worker]->last_signal_detections() != per_signal) {
+            throw std::runtime_error{
+                "verify-batch: batched result diverges from scalar execution at run index " +
+                std::to_string(index) + " (error '" + config.error->label + "')"};
+          }
+          ++st.runs_verified;
+        }
+      }
     } else {
       bool early_exited = false;
       rep = contexts[worker]->run_converging(build_config(kAllVersion * stride + item),
                                              trace, verdict.tail_clean_from, early_exited);
       per_signal = contexts[worker]->last_signal_detections();
+      if (batching) ++st.runs_fell_back;
       if (early_exited) {
         ++st.runs_early_exited;
         rep_pruned = true;
@@ -389,13 +504,41 @@ Results run_campaign_pruned(const CampaignOptions& options, const target::Target
         if (rep[el] == el) probe.watch(errors[range.begin + el].address);
       }
       (void)contexts[worker]->run_golden(golden, probe, traces[gi]);
+      ErrorClassifier classifier{probe, options.injection_period_ms,
+                                 options.observation_ms};
       for (std::size_t el = 0; el < range.size(); ++el) {
         if (rep[el] != el) continue;
         verdicts[(g * range.size() + el) * cases + ci] =
-            classify_error(probe, errors[range.begin + el], options.injection_period_ms,
-                           options.observation_ms);
+            classifier.classify(errors[range.begin + el]);
       }
     });
+  }
+
+  // --- Batched pre-pass: per (group, case), the executable batch-eligible
+  // representatives share one rig configuration and one golden trace ---
+  const bool batching = options.batch > 0 && t.supports_batch();
+  std::vector<BatchSlot> slots(groups * range.size() * cases);
+  if (batching) {
+    std::vector<BatchGroupPlan> plans;
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t ci = 0; ci < cases; ++ci) {
+        BatchGroupPlan plan;
+        plan.config = build_config(g * errors.size() * cases + ci);
+        plan.config.error.reset();
+        if (!batch_eligible_config(plan.config)) continue;
+        plan.trace = &traces[g * cases + ci];
+        for (std::size_t el = 0; el < range.size(); ++el) {
+          if (rep[el] != el) continue;
+          const ErrorVerdict verdict = verdicts[(g * range.size() + el) * cases + ci];
+          const ErrorSpec& error = errors[range.begin + el];
+          if (verdict.synthesize || !batch_eligible_error(error)) continue;
+          plan.slots.push_back((g * range.size() + el) * cases + ci);
+          plan.items.push_back(BatchItem{error, verdict.tail_clean_from});
+        }
+        if (!plan.items.empty()) plans.push_back(std::move(plan));
+      }
+    }
+    slots = run_batch_prepass(options, pool, groups * range.size() * cases, plans);
   }
 
   // --- Stage 3: planned runs ---
@@ -428,10 +571,34 @@ Results run_campaign_pruned(const CampaignOptions& options, const target::Target
           expected_injections(options.injection_period_ms, options.observation_ms);
       ++st.runs_synthesized;
       pruned = true;
+    } else if (slots[local].resolved) {
+      const BatchOutcome& out = slots[local].outcome;
+      result = out.result;
+      pruned = out.early_exited;  // verify-prune samples batch-retired runs too
+      ++st.runs_executed_batched;
+      if (out.early_exited) {
+        ++st.runs_early_exited;
+      } else {
+        ++st.runs_executed;
+      }
+      if (options.verify_batch > 0.0) {
+        util::Rng coin = verify_root.derive("verify-batch", index);
+        if (coin.bernoulli(options.verify_batch)) {
+          const RunResult truth = contexts[worker]->run(config);
+          if (!(truth == result) ||
+              contexts[worker]->last_signal_detections() != out.per_signal) {
+            throw std::runtime_error{
+                "verify-batch: batched result diverges from scalar execution at run index " +
+                std::to_string(index) + " (error '" + config.error->label + "')"};
+          }
+          ++st.runs_verified;
+        }
+      }
     } else {
       bool early_exited = false;
       result = contexts[worker]->run_converging(config, trace, verdict.tail_clean_from,
                                                 early_exited);
+      if (batching) ++st.runs_fell_back;
       if (early_exited) {
         ++st.runs_early_exited;
         pruned = true;

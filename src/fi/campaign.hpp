@@ -66,6 +66,23 @@ struct CampaignOptions {
   /// jobs-invariant.  0 disables verification.
   double verify_prune = 0.0;
 
+  /// Lockstep batch width: how many faulted replicas of one (test case,
+  /// version) the SoA batch engine (fi/batch.hpp) steps together.  0 runs
+  /// every replica scalar (the --no-batch escape hatch); the default is
+  /// sized so the u8 lane rows fill an AVX2 register pair with headroom
+  /// for early retirements.  Requires prune (the batch engine consumes the
+  /// planner's golden traces) and a target whose supports_batch() is true;
+  /// otherwise it is ignored.  Results are bit-identical for every width —
+  /// which is why the cache key ignores this knob, like jobs and prune.
+  std::size_t batch = 56;
+
+  /// When batching: probability in [0, 1] of re-executing each
+  /// batch-completed run on the scalar engine and asserting field-exact
+  /// equality of the RunResult and the per-signal detection statistics; a
+  /// mismatch throws std::runtime_error.  Deterministic in (seed, run
+  /// index) and jobs-invariant, like verify_prune.  0 disables it.
+  double verify_batch = 0.0;
+
   /// Optional out-param: where the engine reports how the run budget was
   /// spent.  The unpruned engine reports every run as executed.
   PruneStats* prune_stats = nullptr;

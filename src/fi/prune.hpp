@@ -48,6 +48,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "fi/experiment.hpp"
@@ -78,6 +79,8 @@ inline constexpr std::uint64_t kNeverClean = ~std::uint64_t{0};
 struct SignalDetections {
   std::uint64_t count = 0;
   std::uint64_t first_ms = 0;  ///< valid iff count > 0
+
+  friend bool operator==(const SignalDetections&, const SignalDetections&) = default;
 };
 
 using CollapsedDetections = std::array<SignalDetections, arrestor::kMonitoredSignalCount>;
@@ -131,6 +134,36 @@ struct ErrorVerdict {
                                           const ErrorSpec& error, std::uint32_t period_ms,
                                           std::uint32_t observation_ms);
 
+/// Memoizing wrapper around classify_error for one golden probe.  The
+/// verdict is a pure function of (probe, address, model, period,
+/// observation) — the bit index never enters the residency automaton — and
+/// a campaign classifies every bit of every watched byte against the same
+/// probe, so caching by address cuts the planner's O(observation) sweeps
+/// by 8x on the paper's exhaustive bit lists.
+class ErrorClassifier {
+ public:
+  ErrorClassifier(const mem::AccessProbe& probe, std::uint32_t period_ms,
+                  std::uint32_t observation_ms) noexcept
+      : probe_(probe), period_ms_(period_ms), observation_ms_(observation_ms) {}
+
+  [[nodiscard]] ErrorVerdict classify(const ErrorSpec& error) {
+    if (error.model != FaultModel::bit_flip) {
+      return classify_error(probe_, error, period_ms_, observation_ms_);
+    }
+    const auto [it, inserted] = cache_.try_emplace(error.address);
+    if (inserted) {
+      it->second = classify_error(probe_, error, period_ms_, observation_ms_);
+    }
+    return it->second;
+  }
+
+ private:
+  const mem::AccessProbe& probe_;
+  std::uint32_t period_ms_;
+  std::uint32_t observation_ms_;
+  std::unordered_map<std::size_t, ErrorVerdict> cache_;
+};
+
 /// How a campaign's run budget was spent; one of executed / synthesized /
 /// early-exited / deduped / collapsed per planned run, so the five sum to
 /// the campaign's nominal run count.  Exposed via
@@ -143,6 +176,14 @@ struct PruneStats {
   std::uint64_t runs_collapsed = 0;     ///< derived from the all-assertions run
   std::uint64_t runs_verified = 0;      ///< pruned runs re-executed by verify_prune
   std::uint64_t golden_passes = 0;      ///< instrumented golden runs
+  /// Of runs_executed + runs_early_exited, how many completed inside the
+  /// lockstep batch engine (fi/batch.hpp) rather than on a scalar
+  /// RunContext — a subset, not a sixth budget bucket.
+  std::uint64_t runs_executed_batched = 0;
+  /// Batch-enabled runs that nonetheless executed scalar: ineligible error
+  /// or configuration, an unrepresentable parameter set, or a whole-batch
+  /// golden-lane divergence.  Also a subset of executed/early-exited.
+  std::uint64_t runs_fell_back = 0;
   void merge(const PruneStats& other) noexcept {
     runs_executed += other.runs_executed;
     runs_synthesized += other.runs_synthesized;
@@ -151,6 +192,8 @@ struct PruneStats {
     runs_collapsed += other.runs_collapsed;
     runs_verified += other.runs_verified;
     golden_passes += other.golden_passes;
+    runs_executed_batched += other.runs_executed_batched;
+    runs_fell_back += other.runs_fell_back;
   }
 };
 

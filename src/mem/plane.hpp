@@ -1,0 +1,124 @@
+// Replica-major byte planes over an AddressSpace-shaped image — the SoA
+// layout of the lockstep batched campaign engine (src/fi/batch.hpp).
+//
+// A PlaneSet holds L replica images of the same memory layout, transposed:
+// byte `addr` of lane `l` lives at data[addr * lanes + l], so the L copies
+// of any one byte are contiguous.  That makes the per-lane inner loops of
+// the batch engine stride-1 over lanes (auto-vectorizable row operations)
+// and keeps a 16-bit little-endian load two adjacent-row accesses:
+//
+//     value(l) = row(addr)[l] | row(addr + 1)[l] << 8
+//
+// exactly mirroring AddressSpace::read_u16 on a per-lane image.  The batch
+// engine only ever constructs lanes from a pristine post-boot snapshot
+// (broadcast) and compares/retires lanes column-wise, so those bulk
+// operations live here too.  No bounds checks: every address the batch
+// engine touches was validated against the reference AddressSpace at
+// layout time, the same argument that lets EASEL_CHECKED_IMAGE=0 compile
+// per-access checks out of the scalar hot path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace easel::mem {
+
+class PlaneSet {
+ public:
+  PlaneSet(std::size_t image_bytes, std::size_t lanes)
+      : data_(image_bytes * lanes, 0), image_bytes_{image_bytes}, lanes_{lanes} {}
+
+  [[nodiscard]] std::size_t image_bytes() const noexcept { return image_bytes_; }
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// The L contiguous copies of image byte `addr` (one per lane).
+  [[nodiscard]] std::uint8_t* row(std::size_t addr) noexcept {
+    return data_.data() + addr * lanes_;
+  }
+  [[nodiscard]] const std::uint8_t* row(std::size_t addr) const noexcept {
+    return data_.data() + addr * lanes_;
+  }
+
+  /// A 16-bit word's two byte rows, captured once: the hot per-tick lane
+  /// loops hold Row16 handles in locals so the compiler never re-derives
+  /// data_.data() + addr * lanes per access (stores through std::uint8_t*
+  /// may alias anything, so an un-hoisted row() reloads the vector's data
+  /// pointer after every store — measurably dominant at small lane counts).
+  struct Row16 {
+    std::uint8_t* lo = nullptr;
+    std::uint8_t* hi = nullptr;
+    [[nodiscard]] std::uint16_t load(std::size_t lane) const noexcept {
+      return static_cast<std::uint16_t>(lo[lane] |
+                                        static_cast<std::uint16_t>(hi[lane]) << 8);
+    }
+    void store(std::size_t lane, std::uint16_t value) const noexcept {
+      lo[lane] = static_cast<std::uint8_t>(value & 0xff);
+      hi[lane] = static_cast<std::uint8_t>(value >> 8);
+    }
+  };
+  [[nodiscard]] Row16 row16(std::size_t addr) noexcept { return {row(addr), row(addr + 1)}; }
+
+  [[nodiscard]] std::uint8_t load_u8(std::size_t addr, std::size_t lane) const noexcept {
+    return row(addr)[lane];
+  }
+  void store_u8(std::size_t addr, std::size_t lane, std::uint8_t value) noexcept {
+    row(addr)[lane] = value;
+  }
+
+  [[nodiscard]] std::uint16_t load_u16(std::size_t addr, std::size_t lane) const noexcept {
+    return static_cast<std::uint16_t>(row(addr)[lane] |
+                                      static_cast<std::uint16_t>(row(addr + 1)[lane]) << 8);
+  }
+  void store_u16(std::size_t addr, std::size_t lane, std::uint16_t value) noexcept {
+    row(addr)[lane] = static_cast<std::uint8_t>(value & 0xff);
+    row(addr + 1)[lane] = static_cast<std::uint8_t>(value >> 8);
+  }
+
+  [[nodiscard]] std::uint32_t load_u32(std::size_t addr, std::size_t lane) const noexcept {
+    return static_cast<std::uint32_t>(load_u16(addr, lane)) |
+           static_cast<std::uint32_t>(load_u16(addr + 2, lane)) << 16;
+  }
+  void store_u32(std::size_t addr, std::size_t lane, std::uint32_t value) noexcept {
+    store_u16(addr, lane, static_cast<std::uint16_t>(value & 0xffff));
+    store_u16(addr + 2, lane, static_cast<std::uint16_t>(value >> 16));
+  }
+
+  [[nodiscard]] std::int32_t load_i32(std::size_t addr, std::size_t lane) const noexcept {
+    return static_cast<std::int32_t>(load_u32(addr, lane));
+  }
+  void store_i32(std::size_t addr, std::size_t lane, std::int32_t value) noexcept {
+    store_u32(addr, lane, static_cast<std::uint32_t>(value));
+  }
+
+  /// Fills every lane from a pristine per-lane image (post-boot snapshot).
+  void broadcast(const std::vector<std::uint8_t>& pristine) noexcept {
+    for (std::size_t addr = 0; addr < image_bytes_; ++addr) {
+      std::memset(row(addr), pristine[addr], lanes_);
+    }
+  }
+
+  /// Copies one lane's full image out into a contiguous buffer (the batch
+  /// engine fingerprints its live golden lane this way at checkpoints).
+  void gather_lane(std::size_t lane, std::uint8_t* out) const noexcept {
+    for (std::size_t addr = 0; addr < image_bytes_; ++addr) out[addr] = row(addr)[lane];
+  }
+
+  /// Exchanges two lanes' images (retired-lane compaction).
+  void swap_lanes(std::size_t a, std::size_t b) noexcept {
+    if (a == b) return;
+    for (std::size_t addr = 0; addr < image_bytes_; ++addr) {
+      std::uint8_t* r = row(addr);
+      const std::uint8_t tmp = r[a];
+      r[a] = r[b];
+      r[b] = tmp;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t image_bytes_;
+  std::size_t lanes_;
+};
+
+}  // namespace easel::mem

@@ -1,0 +1,226 @@
+// SoA mirror of sim::Environment for the lockstep batch engine: one plant
+// per replica lane, with each state member held as a contiguous row across
+// lanes so the every-millisecond step runs as vectorizable passes instead
+// of |lanes| strided object updates.
+//
+// Exactness contract: every lane's arithmetic is Environment's, operation
+// for operation and in the same order — the conditional updates become
+// value selects on the same comparisons, which changes nothing because the
+// selected expressions are the ones the branches would have computed.  The
+// doubles (and hence the sensor streams) are therefore bit-identical to
+// running |lanes| independent Environments, and mix_state folds the same
+// members in the same order as Environment::mix_state — which is what lets
+// the batch engine compare its lanes against checkpoint fingerprints
+// recorded by the *scalar* engine's golden pass.  fi/batch_test.cpp's
+// equivalence suite and the --verify-batch sampler enforce the contract.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/plant_constants.hpp"
+#include "sim/test_case.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/saturate.hpp"
+
+namespace easel::sim {
+
+class EnvironmentLanes {
+ public:
+  /// Re-arms every lane for a fresh run: lane state as Environment's
+  /// constructor leaves it, every lane starting from the same noise seed
+  /// (streams diverge per lane as faulted replicas read their sensors on
+  /// different ticks).
+  void reset(const TestCase& test_case, std::uint64_t noise_seed, std::size_t lanes) {
+    test_case_ = test_case;
+    rng_.assign(lanes, util::Rng{noise_seed});
+    position_.assign(lanes, 0.0);
+    velocity_.assign(lanes, test_case.velocity_mps);
+    retardation_.assign(lanes, 0.0);
+    force_.assign(lanes, 0.0);
+    pressure_master_.assign(lanes, 0.0);
+    pressure_slave_.assign(lanes, 0.0);
+    command_master_.assign(lanes, 0.0);
+    command_slave_.assign(lanes, 0.0);
+    master_refresh_ms_.assign(lanes, 0);
+    slave_refresh_ms_.assign(lanes, 0);
+    now_ms_ = 0;
+    all_stopped_ = false;
+  }
+
+  void command_master_valve(std::size_t l, std::uint16_t out_value) noexcept {
+    command_master_[l] = std::min(static_cast<double>(out_value), kPressureUnitsMax);
+    master_refresh_ms_[l] = now_ms_;
+  }
+  void command_slave_valve(std::size_t l, std::uint16_t out_value) noexcept {
+    command_slave_[l] = std::min(static_cast<double>(out_value), kPressureUnitsMax);
+    slave_refresh_ms_[l] = now_ms_;
+  }
+
+  /// Advances the first `live` lanes' plants one millisecond.  All live
+  /// lanes tick together, so the clock is shared; retired lanes (swapped
+  /// past `live`) stop advancing, exactly like the per-object form.
+  void step_1ms(std::size_t live) noexcept {
+    const double mass = test_case_.mass_kg;
+    if (all_stopped_) {
+      // Absorbing state: nothing accelerates the aircraft, so a lane with
+      // zero velocity has zero velocity forever.  Position and velocity are
+      // fixed points of the full pass (moving == false selects them
+      // unchanged) and retardation re-selects 0.0 — only the force and the
+      // valve lags still evolve.  Skipping the per-lane division here is
+      // what keeps the stopped two-thirds of an observation window as cheap
+      // as the scalar engine's branch-predicted skip.
+      double* __restrict ret = retardation_.data();
+      double* __restrict force = force_.data();
+      const double* __restrict pm = pressure_master_.data();
+      const double* __restrict ps = pressure_slave_.data();
+      for (std::size_t l = 0; l < live; ++l) {
+        force[l] = kNewtonsPerPressureUnit * (pm[l] + ps[l]);
+        ret[l] = 0.0;
+      }
+    } else {
+      double* __restrict pos = position_.data();
+      double* __restrict vel = velocity_.data();
+      double* __restrict ret = retardation_.data();
+      double* __restrict force = force_.data();
+      const double* __restrict pm = pressure_master_.data();
+      const double* __restrict ps = pressure_slave_.data();
+      std::int32_t moving_any = 0;
+      for (std::size_t l = 0; l < live; ++l) {
+        const double f = kNewtonsPerPressureUnit * (pm[l] + ps[l]);
+        force[l] = f;
+        const bool moving = vel[l] > 0.0;
+        const double r = f / mass;
+        double v = vel[l] - r * kTickSeconds;
+        v = v < 0.0 ? 0.0 : v;
+        ret[l] = moving ? r : 0.0;
+        pos[l] = moving ? pos[l] + v * kTickSeconds : pos[l];
+        vel[l] = moving ? v : vel[l];
+        moving_any |= vel[l] > 0.0 ? 1 : 0;
+      }
+      all_stopped_ = moving_any == 0;
+    }
+
+    ++now_ms_;
+    const std::uint64_t now = now_ms_;
+    const double alpha = kTickSeconds / kValveTauSeconds;
+    {
+      double* __restrict pm = pressure_master_.data();
+      const double* __restrict cm = command_master_.data();
+      const std::uint64_t* __restrict refresh = master_refresh_ms_.data();
+      for (std::size_t l = 0; l < live; ++l) {
+        const double target = now - refresh[l] > kValveDeadmanMs ? 0.0 : cm[l];
+        pm[l] += (target - pm[l]) * alpha;
+      }
+    }
+    {
+      double* __restrict ps = pressure_slave_.data();
+      const double* __restrict cs = command_slave_.data();
+      const std::uint64_t* __restrict refresh = slave_refresh_ms_.data();
+      for (std::size_t l = 0; l < live; ++l) {
+        const double target = now - refresh[l] > kValveDeadmanMs ? 0.0 : cs[l];
+        ps[l] += (target - ps[l]) * alpha;
+      }
+    }
+  }
+
+  // --- Sensor interfaces ---
+
+  [[nodiscard]] std::uint32_t rotation_pulses(std::size_t l) const noexcept {
+    return static_cast<std::uint32_t>(position_[l] / kMetresPerPulse);
+  }
+
+  /// Row form of rotation_pulses, truncated to the 16-bit counter the node
+  /// latches and widened for the batch engine's staging rows.  The signed
+  /// intermediate is exact: positions are metres along a runway, so the
+  /// pulse count sits far inside int32 and the int-then-unsigned cast
+  /// matches Environment's direct double-to-uint32 conversion.
+  void rotation_pulses_u16(std::int32_t* __restrict out, std::size_t live) const noexcept {
+    const double* __restrict pos = position_.data();
+    for (std::size_t l = 0; l < live; ++l) {
+      out[l] = static_cast<std::int32_t>(static_cast<std::uint16_t>(
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(pos[l] / kMetresPerPulse))));
+    }
+  }
+
+  [[nodiscard]] std::uint16_t master_pressure_reading(std::size_t l) noexcept {
+    return quantize_pressure(pressure_master_[l], l);
+  }
+  [[nodiscard]] std::uint16_t slave_pressure_reading(std::size_t l) noexcept {
+    return quantize_pressure(pressure_slave_[l], l);
+  }
+
+  // --- Ground-truth rows (what the lane classifier consumes) ---
+
+  /// True once every live lane's aircraft has velocity zero — monotone,
+  /// since nothing in the plant ever accelerates (commands and pressures
+  /// are nonnegative, so retardation only brakes).  Retirement only ever
+  /// shrinks the live prefix, which preserves the property.
+  [[nodiscard]] bool all_stopped() const noexcept { return all_stopped_; }
+
+  [[nodiscard]] const double* position_row() const noexcept { return position_.data(); }
+  [[nodiscard]] const double* velocity_row() const noexcept { return velocity_.data(); }
+  [[nodiscard]] const double* retardation_row() const noexcept { return retardation_.data(); }
+  [[nodiscard]] const double* force_row() const noexcept { return force_.data(); }
+
+  /// One lane's fingerprint contribution; member-for-member the same mix as
+  /// Environment::mix_state.
+  void mix_state(std::size_t l, util::StateHash& hash) const noexcept {
+    hash.mix_double(position_[l]);
+    hash.mix_double(velocity_[l]);
+    hash.mix_double(retardation_[l]);
+    hash.mix_double(force_[l]);
+    hash.mix_double(pressure_master_[l]);
+    hash.mix_double(pressure_slave_[l]);
+    hash.mix_double(command_master_[l]);
+    hash.mix_double(command_slave_[l]);
+    hash.mix_u64(now_ms_);
+    hash.mix_u64(master_refresh_ms_[l]);
+    hash.mix_u64(slave_refresh_ms_[l]);
+    for (const std::uint64_t word : rng_[l].generator().state()) hash.mix_u64(word);
+  }
+
+  void swap_lanes(std::size_t x, std::size_t y) noexcept {
+    std::swap(rng_[x], rng_[y]);
+    std::swap(position_[x], position_[y]);
+    std::swap(velocity_[x], velocity_[y]);
+    std::swap(retardation_[x], retardation_[y]);
+    std::swap(force_[x], force_[y]);
+    std::swap(pressure_master_[x], pressure_master_[y]);
+    std::swap(pressure_slave_[x], pressure_slave_[y]);
+    std::swap(command_master_[x], command_master_[y]);
+    std::swap(command_slave_[x], command_slave_[y]);
+    std::swap(master_refresh_ms_[x], master_refresh_ms_[y]);
+    std::swap(slave_refresh_ms_[x], slave_refresh_ms_[y]);
+  }
+
+ private:
+  [[nodiscard]] std::uint16_t quantize_pressure(double pressure_pu, std::size_t l) noexcept {
+    const auto noise =
+        static_cast<double>(rng_[l].uniform_i64(-kPressureNoisePu, kPressureNoisePu));
+    const double reading = std::clamp(pressure_pu + noise, 0.0, kPressureUnitsMax);
+    return util::saturate_cast<std::uint16_t>(reading);
+  }
+
+  TestCase test_case_;
+  std::vector<util::Rng> rng_;
+
+  std::vector<double> position_;
+  std::vector<double> velocity_;
+  std::vector<double> retardation_;
+  std::vector<double> force_;
+
+  std::vector<double> pressure_master_;
+  std::vector<double> pressure_slave_;
+  std::vector<double> command_master_;
+  std::vector<double> command_slave_;
+
+  std::uint64_t now_ms_ = 0;
+  std::vector<std::uint64_t> master_refresh_ms_;
+  std::vector<std::uint64_t> slave_refresh_ms_;
+  bool all_stopped_ = false;
+};
+
+}  // namespace easel::sim

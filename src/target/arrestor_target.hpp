@@ -29,6 +29,7 @@ class ArrestorTarget final : public Target {
   [[nodiscard]] std::unique_ptr<RunContext> make_run_context() const override;
   [[nodiscard]] bool supports_collapse() const override { return true; }
   [[nodiscard]] bool supports_prune() const override { return true; }
+  [[nodiscard]] bool supports_batch() const noexcept override { return true; }
 
   [[nodiscard]] std::shared_ptr<const fi::OpaqueParams> parse_params(
       const std::string& text, std::string& error) const override;

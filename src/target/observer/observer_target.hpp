@@ -25,6 +25,9 @@ class ObserverTarget final : public target::Target {
   [[nodiscard]] std::unique_ptr<target::RunContext> make_run_context() const override;
   [[nodiscard]] bool supports_collapse() const override { return false; }
   [[nodiscard]] bool supports_prune() const override { return false; }
+  // Explicit (it is also the base default): the batch engine's lane loops
+  // model the arrestor rig, not this one — every replica runs scalar.
+  [[nodiscard]] bool supports_batch() const noexcept override { return false; }
 
   [[nodiscard]] std::shared_ptr<const fi::OpaqueParams> parse_params(
       const std::string& text, std::string& error) const override;

@@ -141,6 +141,13 @@ class Target {
   /// still get exact duplicate-error collapse from the dedup engine.
   [[nodiscard]] virtual bool supports_prune() const = 0;
 
+  /// Whether the fi lockstep batch engine (fi/batch.hpp) models this
+  /// target's rig — its lane loops are transliterated from the target's
+  /// module code, so a target must opt in explicitly.  Requires
+  /// supports_prune() (batching consumes the planner's golden traces).
+  /// Targets that stay out simply run every replica scalar.
+  [[nodiscard]] virtual bool supports_batch() const noexcept { return false; }
+
   // --- Parameters and reporting --------------------------------------------
 
   /// Parses this target's assertion-parameter file format into an opaque

@@ -1,0 +1,226 @@
+// The guardrail for lockstep batched execution: the SoA batch engine must
+// be unobservable in the results.  Quick-scale E1 and E2 campaigns are run
+// batched and scalar (and batched at jobs=1 vs jobs=4, and at several
+// widths) and compared through the serialized cache blobs, so every
+// counter, latency sum, and histogram bucket participates in the equality.
+// The structural eligibility gates are pinned down predicate-by-predicate,
+// the PruneStats accounting must show the batch engine actually carrying
+// the load, and verify_batch=1 re-executes every batch-completed run on
+// the scalar engine as the strongest self-check the engine offers.
+#include "fi/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arrestor/param_set.hpp"
+#include "fi/campaign.hpp"
+#include "target/target.hpp"
+#include "trace/recorder.hpp"
+
+namespace easel::fi {
+namespace {
+
+CampaignOptions quick_options(std::size_t jobs, std::size_t batch) {
+  CampaignOptions options;
+  options.test_case_count = 2;
+  options.observation_ms = 4000;
+  options.seed = 321;
+  options.jobs = jobs;
+  options.batch = batch;
+  return options;
+}
+
+std::string e1_blob(const E1Results& results) {
+  std::ostringstream out;
+  save_e1(results, out, "batch");
+  return out.str();
+}
+
+std::string e2_blob(const E2Results& results) {
+  std::ostringstream out;
+  save_e2(results, out, "batch");
+  return out.str();
+}
+
+// --- structural eligibility gates ------------------------------------------
+
+TEST(BatchEligibility, PaperObserverConfigurationIsEligible) {
+  EXPECT_TRUE(batch_eligible_config(RunConfig{}));
+}
+
+TEST(BatchEligibility, ConfigGateRejectsEveryScalarOnlyFeature) {
+  // Each feature the lane loops deliberately do not model must force the
+  // scalar path on its own.
+  RunConfig recovery;
+  recovery.recovery = core::RecoveryPolicy::hold_previous;
+  EXPECT_FALSE(batch_eligible_config(recovery));
+
+  RunConfig single_assertion;
+  single_assertion.assertions = arrestor::EaMask{0x01};
+  EXPECT_FALSE(batch_eligible_config(single_assertion));
+
+  RunConfig moded;
+  moded.moded_assertions = true;
+  EXPECT_FALSE(batch_eligible_config(moded));
+
+  RunConfig watchdog;
+  watchdog.watchdog_timeout_ms = 100;
+  EXPECT_FALSE(batch_eligible_config(watchdog));
+
+  trace::Recorder recorder;
+  RunConfig traced;
+  traced.trace = &recorder;
+  EXPECT_FALSE(batch_eligible_config(traced));
+
+  RunConfig no_injection;
+  no_injection.injection_period_ms = 0;
+  EXPECT_FALSE(batch_eligible_config(no_injection));
+
+  RunConfig per_mode;
+  per_mode.params =
+      std::make_shared<arrestor::NodeParamSet>(arrestor::NodeParamSet::rom(true));
+  EXPECT_FALSE(batch_eligible_config(per_mode));
+
+  // A single-mode parameter set, on the other hand, stays eligible.
+  RunConfig single_mode;
+  single_mode.params =
+      std::make_shared<arrestor::NodeParamSet>(arrestor::NodeParamSet::rom());
+  EXPECT_TRUE(batch_eligible_config(single_mode));
+}
+
+TEST(BatchEligibility, ErrorGateAdmitsRamAndRejectsStack) {
+  ErrorSpec ram;
+  ram.region = mem::Region::ram;
+  EXPECT_TRUE(batch_eligible_error(ram));
+  ErrorSpec stack;
+  stack.region = mem::Region::stack;
+  EXPECT_FALSE(batch_eligible_error(stack));
+}
+
+// --- whole-campaign equivalence --------------------------------------------
+
+TEST(BatchEquivalence, E1BatchedMatchesScalarByteForByte) {
+  PruneStats stats;
+  CampaignOptions batched_options = quick_options(1, 8);
+  batched_options.prune_stats = &stats;
+  const E1Results batched = run_e1(batched_options);
+  const E1Results scalar = run_e1(quick_options(1, 0));
+  EXPECT_EQ(e1_blob(batched), e1_blob(scalar));
+
+  // The batch engine must actually carry load on E1 — every E1 error sits
+  // in a monitored RAM signal, so the eligibility gates admit the whole
+  // campaign and fallbacks can only come from golden-lane divergence.
+  EXPECT_GT(stats.runs_executed_batched, 0u);
+  // Batched and fell-back runs are subsets of the executed/early-exited
+  // buckets, never a budget bucket of their own.
+  EXPECT_LE(stats.runs_executed_batched + stats.runs_fell_back,
+            stats.runs_executed + stats.runs_early_exited);
+}
+
+TEST(BatchEquivalence, E2BatchedMatchesScalarByteForByte) {
+  PruneStats stats;
+  CampaignOptions batched_options = quick_options(4, 8);
+  batched_options.prune_stats = &stats;
+  const E2Results batched = run_e2(batched_options, 20, 10);
+  const E2Results scalar = run_e2(quick_options(1, 0), 20, 10);
+  EXPECT_EQ(e2_blob(batched), e2_blob(scalar));
+
+  EXPECT_GT(stats.runs_executed_batched, 0u);
+  // This sample draws stack errors that survive synthesis, and the error
+  // gate sends those down the scalar path — so the campaign must report
+  // fallbacks alongside the batched majority.
+  EXPECT_GT(stats.runs_fell_back, 0u);
+  EXPECT_LE(stats.runs_executed_batched + stats.runs_fell_back,
+            stats.runs_executed + stats.runs_early_exited);
+}
+
+TEST(BatchEquivalence, IneligibleConfigFallsBackWhollyAndStillMatchesScalar) {
+  // A recovery policy the lane loops do not model: the config gate rejects
+  // every run, so a batch-enabled campaign executes entirely scalar — and
+  // the accounting must say so, with results unchanged.
+  PruneStats stats;
+  CampaignOptions batched_options = quick_options(2, 8);
+  batched_options.observation_ms = 2000;
+  batched_options.recovery = core::RecoveryPolicy::hold_previous;
+  batched_options.prune_stats = &stats;
+  CampaignOptions scalar_options = quick_options(2, 0);
+  scalar_options.observation_ms = 2000;
+  scalar_options.recovery = core::RecoveryPolicy::hold_previous;
+  EXPECT_EQ(e2_blob(run_e2(batched_options, 10, 5)), e2_blob(run_e2(scalar_options, 10, 5)));
+  EXPECT_EQ(stats.runs_executed_batched, 0u);
+  EXPECT_EQ(stats.runs_fell_back, stats.runs_executed + stats.runs_early_exited);
+}
+
+TEST(BatchEquivalence, BatchedCampaignIsJobsInvariant) {
+  const E1Results serial = run_e1(quick_options(1, 8));
+  const E1Results parallel = run_e1(quick_options(4, 8));
+  EXPECT_EQ(e1_blob(serial), e1_blob(parallel));
+}
+
+TEST(BatchEquivalence, WidthDoesNotAffectResults) {
+  // Width changes how lanes pack into batches (including a ragged final
+  // batch at width 3); the results must not notice.
+  const std::string scalar = e2_blob(run_e2(quick_options(1, 0), 20, 10));
+  EXPECT_EQ(e2_blob(run_e2(quick_options(2, 3), 20, 10)), scalar);
+  EXPECT_EQ(e2_blob(run_e2(quick_options(2, 16), 20, 10)), scalar);
+}
+
+TEST(BatchEquivalence, ObserverTargetIgnoresBatchingEntirely) {
+  // The observer target's supports_batch() is false — the lane loops model
+  // the arrestor rig, not its — so a batch-enabled campaign must be a pure
+  // no-op there: identical blobs, zero batch counters (it does not even
+  // report fallbacks, because batching never engaged), at jobs=1 and
+  // jobs=N.
+  PruneStats stats;
+  CampaignOptions batched_options = quick_options(1, 8);
+  batched_options.target = &target::observer_target();
+  batched_options.prune_stats = &stats;
+  CampaignOptions batched_parallel = quick_options(4, 8);
+  batched_parallel.target = &target::observer_target();
+  CampaignOptions scalar_options = quick_options(1, 0);
+  scalar_options.target = &target::observer_target();
+  const std::string scalar = e1_blob(run_e1(scalar_options));
+  EXPECT_EQ(e1_blob(run_e1(batched_options)), scalar);
+  EXPECT_EQ(e1_blob(run_e1(batched_parallel)), scalar);
+  EXPECT_EQ(stats.runs_executed_batched, 0u);
+  EXPECT_EQ(stats.runs_fell_back, 0u);
+}
+
+TEST(BatchEquivalence, ScalarEngineReportsNoBatchActivity) {
+  PruneStats stats;
+  CampaignOptions options = quick_options(2, 0);
+  options.observation_ms = 2000;
+  options.prune_stats = &stats;
+  (void)run_e2(options, 10, 5);
+  EXPECT_EQ(stats.runs_executed_batched, 0u);
+  EXPECT_EQ(stats.runs_fell_back, 0u);
+}
+
+TEST(BatchEquivalence, VerifyBatchFullSampleFindsNoDivergence) {
+  // verify_batch = 1 re-executes EVERY batch-completed run on the scalar
+  // engine and throws on any field mismatch of the RunResult or the
+  // per-signal detection statistics — the strongest in-process proof that
+  // the lane loops reproduce the scalar tick path.
+  PruneStats stats;
+  CampaignOptions options = quick_options(4, 8);
+  options.observation_ms = 2000;
+  options.verify_batch = 1.0;
+  options.prune_stats = &stats;
+  EXPECT_NO_THROW((void)run_e1(options));
+  EXPECT_GT(stats.runs_executed_batched, 0u);
+  EXPECT_EQ(stats.runs_verified, stats.runs_executed_batched);
+}
+
+TEST(BatchEquivalence, VerifyBatchSamplesE2Runs) {
+  PruneStats stats;
+  CampaignOptions options = quick_options(4, 8);
+  options.observation_ms = 2000;
+  options.verify_batch = 1.0;
+  options.prune_stats = &stats;
+  EXPECT_NO_THROW((void)run_e2(options, 20, 10));
+  EXPECT_EQ(stats.runs_verified, stats.runs_executed_batched);
+}
+
+}  // namespace
+}  // namespace easel::fi

@@ -1,0 +1,117 @@
+// PlaneSet is the transposed (replica-major) counterpart of AddressSpace
+// images: byte `addr` of lane `l` at data[addr * lanes + l].  The batch
+// engine relies on exactly four properties, each pinned here: broadcast
+// reproduces a pristine snapshot in every lane, per-lane accessors match
+// AddressSpace's little-endian accessors bit-for-bit, gather_lane inverts
+// broadcast+stores back into a restorable snapshot, and swap_lanes is an
+// exact image exchange (retired-lane compaction).
+#include "mem/plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "util/rng.hpp"
+
+namespace easel::mem {
+namespace {
+
+/// A deterministic non-trivial image: every byte a mix of address and salt.
+std::vector<std::uint8_t> patterned_image(std::size_t bytes, std::uint64_t salt) {
+  util::Rng rng{salt};
+  std::vector<std::uint8_t> image(bytes);
+  for (std::size_t addr = 0; addr < bytes; ++addr) {
+    image[addr] = static_cast<std::uint8_t>(rng.uniform_i64(0, 255));
+  }
+  return image;
+}
+
+TEST(PlaneSet, BroadcastReplicatesSnapshotIntoEveryLane) {
+  AddressSpace space{MemoryLayout{64, 32}};
+  for (std::size_t addr = 0; addr < space.size(); ++addr) {
+    space.write_u8(addr, static_cast<std::uint8_t>(addr * 37 + 11));
+  }
+  const std::vector<std::uint8_t> snapshot = space.bytes();
+
+  PlaneSet planes{space.size(), 5};
+  planes.broadcast(snapshot);
+  for (std::size_t l = 0; l < planes.lanes(); ++l) {
+    for (std::size_t addr = 0; addr < space.size(); ++addr) {
+      ASSERT_EQ(planes.load_u8(addr, l), snapshot[addr]) << "lane " << l << " addr " << addr;
+    }
+  }
+}
+
+TEST(PlaneSet, GatherLaneRoundTripsThroughAddressSpaceRestore) {
+  AddressSpace space{MemoryLayout{48, 16}};
+  const std::vector<std::uint8_t> pristine = patterned_image(space.size(), 7);
+  space.restore(pristine);
+
+  PlaneSet planes{space.size(), 3};
+  planes.broadcast(space.bytes());
+  // Perturb one lane the way the batch engine injects a fault.
+  planes.store_u8(17, 1, static_cast<std::uint8_t>(planes.load_u8(17, 1) ^ 0x40));
+
+  std::vector<std::uint8_t> gathered(space.size());
+  planes.gather_lane(0, gathered.data());
+  AddressSpace restored{MemoryLayout{48, 16}};
+  restored.restore(gathered);
+  EXPECT_EQ(restored.bytes(), pristine);  // untouched lane == pristine image
+
+  planes.gather_lane(1, gathered.data());
+  restored.restore(gathered);
+  EXPECT_EQ(restored.read_u8(17), pristine[17] ^ 0x40);
+}
+
+TEST(PlaneSet, WordAccessorsMatchAddressSpaceEncoding) {
+  AddressSpace space{MemoryLayout{32, 0}};
+  PlaneSet planes{space.size(), 4};
+  planes.broadcast(space.bytes());
+
+  space.write_u16(4, 0xBEEF);
+  planes.store_u16(4, 2, 0xBEEF);
+  EXPECT_EQ(planes.load_u16(4, 2), space.read_u16(4));
+  EXPECT_EQ(planes.load_u8(4, 2), space.read_u8(4));  // same low byte
+  EXPECT_EQ(planes.load_u8(5, 2), space.read_u8(5));  // same high byte
+  EXPECT_EQ(planes.load_u16(4, 0), 0u);               // other lanes untouched
+
+  space.write_u32(8, 0xDEAD1234u);
+  planes.store_u32(8, 3, 0xDEAD1234u);
+  EXPECT_EQ(planes.load_u32(8, 3), space.read_u32(8));
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(planes.load_u8(8 + b, 3), space.read_u8(8 + b));
+  }
+
+  space.write_i32(12, -987654);
+  planes.store_i32(12, 1, -987654);
+  EXPECT_EQ(planes.load_i32(12, 1), space.read_i32(12));
+
+  const PlaneSet::Row16 row = planes.row16(4);
+  EXPECT_EQ(row.load(2), 0xBEEF);
+  row.store(1, 0x0102);
+  EXPECT_EQ(planes.load_u16(4, 1), 0x0102);
+}
+
+TEST(PlaneSet, SwapLanesExchangesWholeImages) {
+  const std::vector<std::uint8_t> a = patterned_image(40, 1);
+  const std::vector<std::uint8_t> b = patterned_image(40, 2);
+  PlaneSet planes{40, 2};
+  for (std::size_t addr = 0; addr < 40; ++addr) {
+    planes.store_u8(addr, 0, a[addr]);
+    planes.store_u8(addr, 1, b[addr]);
+  }
+  planes.swap_lanes(0, 1);
+  std::vector<std::uint8_t> gathered(40);
+  planes.gather_lane(0, gathered.data());
+  EXPECT_EQ(gathered, b);
+  planes.gather_lane(1, gathered.data());
+  EXPECT_EQ(gathered, a);
+  planes.swap_lanes(1, 1);  // self-swap is a no-op
+  planes.gather_lane(1, gathered.data());
+  EXPECT_EQ(gathered, a);
+}
+
+}  // namespace
+}  // namespace easel::mem

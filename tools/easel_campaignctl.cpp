@@ -247,7 +247,20 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--list-targets") == 0) {
     std::printf("registered targets:\n");
     for (const target::Target* t : target::all_targets()) {
-      std::printf("  %-10s %s\n", t->name().c_str(), t->description().c_str());
+      // Capability flags: which campaign engines the target opts into
+      // (prune = def/use + convergence, collapse = E1 observer collapse,
+      // batch = the lockstep SoA batch engine; none = dedup-only).
+      std::string caps;
+      if (t->supports_prune()) caps += "prune ";
+      if (t->supports_collapse()) caps += "collapse ";
+      if (t->supports_batch()) caps += "batch ";
+      if (caps.empty()) {
+        caps = "dedup-only";
+      } else {
+        caps.pop_back();
+      }
+      std::printf("  %-10s %s  [%s]\n", t->name().c_str(), t->description().c_str(),
+                  caps.c_str());
     }
     return 0;
   }

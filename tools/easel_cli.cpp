@@ -6,8 +6,10 @@
 //   easel sweep    --signal 0..6 [--cases N] [--csv]      per-bit detection map
 //   easel e1       [--cases N] [--obs-ms N] [--seed N] [--csv]
 //                  [--no-prune] [--verify-prune FRACTION]
+//                  [--batch N | --no-batch] [--verify-batch FRACTION]
 //   easel e2       [--cases N] [--obs-ms N] [--seed N] [--csv]
 //                  [--no-prune] [--verify-prune FRACTION]
+//                  [--batch N | --no-batch] [--verify-batch FRACTION]
 //   easel errors   [--e2-seed N]                           list error sets
 //   easel trace    [--signal S --bit B] [--mass M] [--velocity V]  CSV trace
 //   easel table4                                           placement artefacts
@@ -56,6 +58,8 @@ struct Args {
   std::size_t jobs = util::default_jobs();  ///< campaign workers (e1/e2)
   bool prune = true;                        ///< fault-space pruning (e1/e2)
   double verify_prune = 0.0;                ///< pruned-run verification fraction
+  std::size_t batch = 56;                   ///< lockstep batch width (0 = scalar)
+  double verify_batch = 0.0;                ///< batched-run verification fraction
   bool csv = false;
   const target::Target* target = nullptr;                ///< nullptr = default target
   std::shared_ptr<const arrestor::NodeParamSet> params;  ///< nullptr = ROM
@@ -68,9 +72,24 @@ bool default_target_selected(const Args& args) {
          args.target->name() == target::default_target().name();
 }
 
+/// One capability column per campaign engine a target can opt into, so
+/// `--list-targets` answers "why is this workload slower" without reading
+/// the target's source: prune = def/use + convergence pruning, collapse =
+/// E1 observer collapse, batch = the lockstep SoA batch engine.
+std::string target_capabilities(const target::Target& t) {
+  std::string caps;
+  if (t.supports_prune()) caps += "prune ";
+  if (t.supports_collapse()) caps += "collapse ";
+  if (t.supports_batch()) caps += "batch ";
+  if (caps.empty()) return "dedup-only";
+  caps.pop_back();
+  return caps;
+}
+
 void list_targets(std::FILE* out) {
   for (const target::Target* t : target::all_targets()) {
-    std::fprintf(out, "  %-10s %s\n", t->name().c_str(), t->description().c_str());
+    std::fprintf(out, "  %-10s %s  [%s]\n", t->name().c_str(), t->description().c_str(),
+                 target_capabilities(*t).c_str());
   }
 }
 
@@ -88,6 +107,7 @@ void list_targets(std::FILE* out) {
                "          --model flip|sa1|sa0 --cases N --obs-ms N --seed N\n"
                "          --watchdog MS --jobs N --params FILE --csv\n"
                "          --no-prune --verify-prune FRACTION\n"
+               "          --batch N --no-batch --verify-batch FRACTION\n"
                "          --target NAME selects the workload (e1/e2/errors)\n"
                "          --list-targets prints the registered workloads\n"
                "          --version prints the build identification line\n");
@@ -163,6 +183,16 @@ Args parse(int argc, char** argv) {
       const double fraction = num("--verify-prune");
       if (fraction < 0.0 || fraction > 1.0) usage("--verify-prune expects 0..1");
       args.verify_prune = fraction;
+    } else if (is("--batch")) {
+      const std::uint64_t width = uint("--batch");
+      if (width == 0) usage("--batch expects a positive width (use --no-batch for scalar)");
+      args.batch = static_cast<std::size_t>(width);
+    } else if (is("--no-batch")) {
+      args.batch = 0;
+    } else if (is("--verify-batch")) {
+      const double fraction = num("--verify-batch");
+      if (fraction < 0.0 || fraction > 1.0) usage("--verify-batch expects 0..1");
+      args.verify_batch = fraction;
     } else if (is("--params")) {
       params_path = value();
     } else if (is("--target")) {
@@ -274,6 +304,8 @@ fi::CampaignOptions campaign_options(const Args& args) {
   options.jobs = args.jobs;
   options.prune = args.prune;
   options.verify_prune = args.verify_prune;
+  options.batch = args.batch;
+  options.verify_batch = args.verify_batch;
   options.params = args.params;
   if (!default_target_selected(args)) {
     options.target = args.target;
